@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Ablation microbenchmarks (google-benchmark) for the design choices
+ * DESIGN.md calls out: the cost of promote under each metadata scheme,
+ * the layout walker's cost versus nesting depth, MAC verification
+ * cost, and the single-cycle tag operations. These measure the *model*
+ * (host nanoseconds track simulated work), and each benchmark also
+ * reports the simulated cycle count as a counter, which is the number
+ * the timing model actually charges.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/layout_gen.hh"
+#include "ifp/metadata.hh"
+#include "ifp/ops.hh"
+#include "ifp/promote_engine.hh"
+#include "ir/module.hh"
+#include "support/bitops.hh"
+
+namespace infat {
+namespace {
+
+struct Fixture
+{
+    GuestMemory mem;
+    IfpControlRegs regs;
+    PromoteEngine engine{mem, nullptr, regs};
+
+    Fixture()
+    {
+        regs.macKey = {0xfeed, 0xbeef};
+        regs.globalTableBase = layout::tableBase;
+        regs.globalTableRows = IfpConfig::globalTableRows;
+        regs.subheap[0] = {true, 16, 0};
+    }
+
+    TaggedPtr
+    localObject(GuestAddr base, uint64_t size, GuestAddr lt = 0)
+    {
+        GuestAddr meta = base + roundUp(size, 16);
+        LocalOffsetMeta::write(mem, meta, size, lt, regs.macKey);
+        return TaggedPtr::make(base, Scheme::LocalOffset,
+                               ((meta - base) / 16) << 6);
+    }
+};
+
+void
+BM_PromoteLocalOffset(benchmark::State &state)
+{
+    Fixture f;
+    TaggedPtr p = f.localObject(0x2000, 64);
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        PromoteResult r = f.engine.promote(p);
+        benchmark::DoNotOptimize(r.bounds);
+        cycles = r.cycles;
+    }
+    state.counters["sim_cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_PromoteLocalOffset);
+
+void
+BM_PromoteSubheap(benchmark::State &state)
+{
+    Fixture f;
+    SubheapBlockMeta meta;
+    meta.slotsStart = 32;
+    meta.slotsEnd = 32 + 64 * 64;
+    meta.slotSize = 64;
+    meta.objectSize = 48;
+    meta.valid = true;
+    SubheapBlockMeta::write(f.mem, 0x10000, 0, meta, f.regs.macKey);
+    TaggedPtr p = TaggedPtr::make(0x10000 + 32 + 3 * 64,
+                                  Scheme::Subheap, 0);
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        PromoteResult r = f.engine.promote(p);
+        benchmark::DoNotOptimize(r.bounds);
+        cycles = r.cycles;
+    }
+    state.counters["sim_cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_PromoteSubheap);
+
+void
+BM_PromoteGlobalTable(benchmark::State &state)
+{
+    Fixture f;
+    GlobalTableRow row{0x7000, 4096, true};
+    GlobalTableRow::write(f.mem, f.regs.globalTableBase, 5, row);
+    TaggedPtr p = TaggedPtr::make(0x7800, Scheme::GlobalTable, 5);
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        PromoteResult r = f.engine.promote(p);
+        benchmark::DoNotOptimize(r.bounds);
+        cycles = r.cycles;
+    }
+    state.counters["sim_cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_PromoteGlobalTable);
+
+/** Narrowing cost vs. array-of-struct nesting depth. */
+void
+BM_PromoteNarrowDepth(benchmark::State &state)
+{
+    auto depth = static_cast<unsigned>(state.range(0));
+    Fixture f;
+    ir::Module m;
+    ir::TypeContext &tc = m.types();
+    // Build nested: L0 { i64 x; L1 arr[2]; } with L_last = {i64, i64}.
+    const ir::Type *inner = tc.createStruct(
+        "L_leaf", {tc.i64(), tc.i64()});
+    for (unsigned d = 0; d < depth; ++d) {
+        inner = tc.createStruct(strfmt("L_%u", d),
+                                {tc.i64(), tc.array(inner, 2)});
+    }
+    LayoutTable table = buildLayoutTable(inner);
+    GuestAddr lt = 0x9000;
+    table.writeTo(f.mem, lt);
+    // Deepest leaf's first field: walk the chain to find its index.
+    uint64_t idx = table.numEntries() - 2; // leaf's first i64 (v of last elem)
+    uint64_t size = inner->size();
+    TaggedPtr base = f.localObject(0x4000, size, lt);
+    // Point at the first element chain throughout.
+    GuestAddr addr = 0x4000 + 8 * (depth + 0); // inside first elements
+    TaggedPtr p = ops::ifpAdd(base.withSubobjIndex(idx),
+                              static_cast<int64_t>(addr - 0x4000),
+                              Bounds::cleared());
+    uint64_t cycles = 0;
+    bool narrowed = false;
+    for (auto _ : state) {
+        PromoteResult r = f.engine.promote(p);
+        benchmark::DoNotOptimize(r.bounds);
+        cycles = r.cycles;
+        narrowed = r.narrowSucceeded;
+    }
+    state.counters["sim_cycles"] = static_cast<double>(cycles);
+    state.counters["narrowed"] = narrowed ? 1 : 0;
+}
+BENCHMARK(BM_PromoteNarrowDepth)->DenseRange(1, 5);
+
+void
+BM_PromoteMac(benchmark::State &state)
+{
+    Fixture f;
+    IfpConfig config;
+    config.macEnabled = state.range(0) != 0;
+    f.engine.setConfig(config);
+    TaggedPtr p = f.localObject(0x2000, 64);
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        PromoteResult r = f.engine.promote(p);
+        benchmark::DoNotOptimize(r.bounds);
+        cycles = r.cycles;
+    }
+    state.counters["sim_cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_PromoteMac)->Arg(0)->Arg(1);
+
+void
+BM_IfpAdd(benchmark::State &state)
+{
+    TaggedPtr p = TaggedPtr::make(0x2000, Scheme::LocalOffset, 4 << 6);
+    Bounds b(0x2000, 0x2040);
+    int64_t delta = 8;
+    for (auto _ : state) {
+        p = ops::ifpAdd(p, delta, b);
+        delta = -delta;
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_IfpAdd);
+
+void
+BM_MacCompute(benchmark::State &state)
+{
+    GuestMemory mem;
+    MacKey key{1, 2};
+    for (auto _ : state) {
+        LocalOffsetMeta::write(mem, 0x1000, 64, 0, key);
+        benchmark::DoNotOptimize(mem);
+    }
+}
+BENCHMARK(BM_MacCompute);
+
+} // namespace
+} // namespace infat
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Section 5.2.2 cache discussion: L1D behaviour of the thrashing
+ * workloads.
+ *
+ * The paper singles out health and ft: their baselines already thrash
+ * the L1D, the wrapped allocator's per-object metadata inflates misses
+ * by ~95%, and the subheap scheme's shared per-block metadata keeps
+ * the increase far smaller. This harness prints the measured miss
+ * counts and increases for every workload, with health and ft first.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace infat;
+using namespace infat::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    printHeader("Section 5.2.2: L1D Cache Effects",
+                "paper Sec. 5.2.2 (health/ft: wrapped +93%/+96% "
+                "misses, subheap +26%/~0%)");
+
+    TextTable table({"benchmark", "base miss-rate", "base misses",
+                     "subheap dMiss", "wrapped dMiss"});
+    auto add_row = [&](const WorkloadMatrix &m) {
+        double base_rate =
+            ratio(m.baseline.l1dMisses,
+                  m.baseline.l1dMisses + m.baseline.l1dHits);
+        table.addRow(
+            {m.workload->name, TextTable::cellPct(base_rate, 2),
+             TextTable::cell(m.baseline.l1dMisses),
+             TextTable::cellPct(
+                 overhead(m.subheap.l1dMisses, m.baseline.l1dMisses),
+                 1),
+             TextTable::cellPct(
+                 overhead(m.wrapped.l1dMisses, m.baseline.l1dMisses),
+                 1)});
+    };
+
+    // The paper's two call-outs first, then the rest.
+    for (const char *name : {"health", "ft"}) {
+        add_row(runMatrix(*workloads::byName(name)));
+    }
+    for (const Workload &w : workloads::all()) {
+        if (std::string(w.name) == "health" ||
+            std::string(w.name) == "ft")
+            continue;
+        add_row(runMatrix(w));
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\npaper reference: metadata sharing in the subheap "
+                "scheme reduces the metadata footprint and therefore "
+                "instrumented cache misses\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 10: performance overhead of all benchmarks.
+ *
+ * For every workload, the normalized runtime (cycle) overhead of the
+ * subheap and wrapped allocator versions, plus both no-promote
+ * variants that isolate the cost of the promote instruction (paper
+ * §5.2.2). Paper headline: ~12% geo-mean for subheap, ~24% for
+ * wrapped; perimeter and treeadd run *faster* than baseline under the
+ * subheap allocator.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace infat;
+using namespace infat::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    printHeader("Figure 10: Performance Overhead of All Benchmarks",
+                "paper Fig. 10 (subheap 12%, wrapped 24% geo-mean)");
+
+    TextTable table({"benchmark", "subheap", "wrapped", "subheap-np",
+                     "wrapped-np"});
+    std::vector<double> sub_ratios, wrap_ratios, sub_np_ratios,
+        wrap_np_ratios;
+    for (const WorkloadMatrix &m : runAllMatrices()) {
+        double sub = overhead(m.subheap.cycles, m.baseline.cycles);
+        double wrap = overhead(m.wrapped.cycles, m.baseline.cycles);
+        double sub_np = overhead(m.subheapNp.cycles, m.baseline.cycles);
+        double wrap_np =
+            overhead(m.wrappedNp.cycles, m.baseline.cycles);
+        sub_ratios.push_back(1.0 + sub);
+        wrap_ratios.push_back(1.0 + wrap);
+        sub_np_ratios.push_back(1.0 + sub_np);
+        wrap_np_ratios.push_back(1.0 + wrap_np);
+        table.addRow({m.workload->name, TextTable::cellPct(sub, 1),
+                      TextTable::cellPct(wrap, 1),
+                      TextTable::cellPct(sub_np, 1),
+                      TextTable::cellPct(wrap_np, 1)});
+    }
+    table.addRow({"GEO-MEAN",
+                  TextTable::cellPct(geomean(sub_ratios) - 1.0, 1),
+                  TextTable::cellPct(geomean(wrap_ratios) - 1.0, 1),
+                  TextTable::cellPct(geomean(sub_np_ratios) - 1.0, 1),
+                  TextTable::cellPct(geomean(wrap_np_ratios) - 1.0, 1)});
+    std::printf("%s", table.render().c_str());
+    std::printf("\npaper reference: subheap 12%%, wrapped 24%% "
+                "geo-mean; FRAMER 223%%, Intel MPX 50%%\n");
+    return 0;
+}

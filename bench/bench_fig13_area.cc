@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 13 / §5.3: LUT increase in the modified processor.
+ *
+ * Structural area model (see src/ifp/area_model.hh for the
+ * substitution rationale): per-pipeline-stage vanilla LUTs and the
+ * LUT growth from the In-Fat Pointer hardware, plus the IFP-unit
+ * internal breakdown (layout walker vs. the three metadata schemes)
+ * and the §5.3 trade-off of dropping the walker.
+ */
+
+#include <cstdio>
+
+#include "ifp/area_model.hh"
+#include "support/table.hh"
+
+using namespace infat;
+
+int
+main()
+{
+    AreaModel model;
+
+    std::printf("====================================================\n");
+    std::printf("Figure 13: LUT Increase in the Modified Processor\n");
+    std::printf("Reproduces: paper Fig. 13 / Section 5.3\n");
+    std::printf("====================================================\n");
+
+    TextTable table({"stage", "vanilla LUTs", "growth LUTs"});
+    for (const StageArea &stage : model.stages()) {
+        table.addRow({stage.stage,
+                      TextTable::cell(static_cast<uint64_t>(
+                          stage.vanillaLuts)),
+                      TextTable::cell(static_cast<uint64_t>(
+                          stage.growthLuts))});
+    }
+    table.addRow({"TOTAL",
+                  TextTable::cell(
+                      static_cast<uint64_t>(model.vanillaTotal())),
+                  TextTable::cell(
+                      static_cast<uint64_t>(model.growthTotal()))});
+    std::printf("%s", table.render().c_str());
+
+    double growth_pct = 100.0 * model.growthTotal() /
+                        model.vanillaTotal();
+    std::printf("\nLUT growth: %.0f%% (paper: ~60%%, 37,088 -> "
+                "59,261 LUTs)\n\n", growth_pct);
+
+    std::printf("IFP unit decomposition:\n");
+    TextTable unit({"component", "LUTs", "share"});
+    double unit_total = 0;
+    for (const AreaItem &item : model.ifpUnitBreakdown())
+        unit_total += item.luts;
+    for (const AreaItem &item : model.ifpUnitBreakdown()) {
+        unit.addRow({item.component,
+                     TextTable::cell(static_cast<uint64_t>(item.luts)),
+                     TextTable::cellPct(item.luts / unit_total, 0)});
+    }
+    std::printf("%s", unit.render().c_str());
+    std::printf("\npaper reference: layout walker 3,059 LUTs (36%% of "
+                "the IFP unit), schemes 2,501 (30%%)\n");
+
+    std::printf("\nSection 5.3 trade-off: dropping the layout walker "
+                "cuts growth to %.0f%% of vanilla\n",
+                100.0 * model.growthWithoutWalker() /
+                    model.vanillaTotal());
+    return 0;
+}

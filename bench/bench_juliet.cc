@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Section 5.1: functional evaluation on the generated Juliet-style
+ * suite. Prints the detection matrix per flaw category and location,
+ * for both allocators and the uninstrumented baseline.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "juliet/juliet.hh"
+#include "support/logging.hh"
+#include "support/table.hh"
+
+using namespace infat;
+using namespace infat::juliet;
+
+namespace {
+
+void
+report(const char *label, const SuiteResult &result)
+{
+    std::printf("\n--- %s ---\n", label);
+    std::printf("total cases: %zu (bad %zu / good %zu)\n", result.total,
+                result.badDetected + result.badMissed,
+                result.goodPassed + result.falsePositives);
+    std::printf("bad detected: %zu   bad missed: %zu   "
+                "false positives: %zu\n",
+                result.badDetected, result.badMissed,
+                result.falsePositives);
+
+    // Per-category detection, as the paper's §5.1 categories.
+    std::map<std::string, std::pair<size_t, size_t>> categories;
+    for (const CaseOutcome &o : result.outcomes) {
+        if (!o.testCase.bad)
+            continue;
+        std::string key = std::string(toString(o.testCase.flaw)) +
+                          (o.testCase.intraObject() ? " (intra)" : "");
+        categories[key].first += o.trapped;
+        categories[key].second += 1;
+    }
+    TextTable table({"category", "detected", "total"});
+    for (const auto &[key, counts] : categories) {
+        table.addRow({key, TextTable::cell(uint64_t(counts.first)),
+                      TextTable::cell(uint64_t(counts.second))});
+    }
+    std::printf("%s", table.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("====================================================\n");
+    std::printf("Section 5.1: Functional Evaluation (Juliet-style)\n");
+    std::printf("Reproduces: paper Sec. 5.1 (5,572 cases: all "
+                "vulnerabilities detected, all good cases pass)\n");
+    std::printf("====================================================\n");
+
+    report("instrumented, wrapped allocator",
+           runSuite(AllocatorKind::Wrapped));
+    report("instrumented, subheap allocator",
+           runSuite(AllocatorKind::Subheap));
+    report("baseline (uninstrumented)",
+           runSuite(AllocatorKind::Wrapped, /*instrumented=*/false));
+
+    std::printf("\nNote: the baseline misses every intra-object case "
+                "and nearly all object-granularity cases; the "
+                "instrumented runs must detect 100%% with zero false "
+                "positives.\n");
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared helpers for the experiment harness binaries.
+ *
+ * Each bench binary reproduces one table or figure from the paper's
+ * evaluation (see DESIGN.md §3 for the index) and prints the same rows
+ * or series the paper reports, plus the paper's headline value for
+ * comparison where one exists.
+ */
+
+#ifndef INFAT_BENCH_BENCH_UTIL_HH
+#define INFAT_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+#include "workloads/harness.hh"
+
+namespace infat {
+namespace bench {
+
+using workloads::Config;
+using workloads::RunResult;
+using workloads::Workload;
+
+/** Results for one workload across all five configurations. */
+struct WorkloadMatrix
+{
+    const Workload *workload;
+    RunResult baseline;
+    RunResult subheap;
+    RunResult wrapped;
+    RunResult subheapNp;
+    RunResult wrappedNp;
+};
+
+/** Run one workload under every configuration. */
+inline WorkloadMatrix
+runMatrix(const Workload &w)
+{
+    WorkloadMatrix matrix;
+    matrix.workload = &w;
+    matrix.baseline = runWorkload(w, Config::Baseline);
+    matrix.subheap = runWorkload(w, Config::Subheap);
+    matrix.wrapped = runWorkload(w, Config::Wrapped);
+    matrix.subheapNp = runWorkload(w, Config::SubheapNoPromote);
+    matrix.wrappedNp = runWorkload(w, Config::WrappedNoPromote);
+    fatal_if(matrix.subheap.checksum != matrix.baseline.checksum ||
+                 matrix.wrapped.checksum != matrix.baseline.checksum,
+             "%s: checksum mismatch between configurations", w.name);
+    return matrix;
+}
+
+/** Run the full 18-workload matrix, printing progress to stderr. */
+inline std::vector<WorkloadMatrix>
+runAllMatrices()
+{
+    std::vector<WorkloadMatrix> matrices;
+    for (const Workload &w : workloads::all()) {
+        std::fprintf(stderr, "  running %s...\n", w.name);
+        matrices.push_back(runMatrix(w));
+    }
+    return matrices;
+}
+
+inline double
+ratio(uint64_t a, uint64_t b)
+{
+    return b == 0 ? 0.0 : static_cast<double>(a) / static_cast<double>(b);
+}
+
+/** Overhead of a configuration relative to baseline, as a fraction. */
+inline double
+overhead(uint64_t value, uint64_t base)
+{
+    return ratio(value, base) - 1.0;
+}
+
+inline void
+printHeader(const char *what, const char *paper_ref)
+{
+    std::printf("==============================================="
+                "=========================\n");
+    std::printf("%s\n", what);
+    std::printf("Reproduces: %s\n", paper_ref);
+    std::printf("==============================================="
+                "=========================\n");
+}
+
+} // namespace bench
+} // namespace infat
+
+#endif // INFAT_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * ifpsim — command-line driver for the simulator.
+ *
+ * Run any evaluation workload under any configuration and print the
+ * full statistics record:
+ *
+ *   ifpsim <workload> [baseline|subheap|wrapped|mixed]
+ *          [--no-promote] [--no-mac] [--no-narrow]
+ *          [--explicit-checks] [--superscalar] [--list]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "support/logging.hh"
+#include "workloads/harness.hh"
+
+using namespace infat;
+using namespace infat::workloads;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: ifpsim <workload> "
+                 "[baseline|subheap|wrapped|mixed]\n"
+                 "              [--no-promote] [--no-mac] "
+                 "[--no-narrow]\n"
+                 "              [--explicit-checks] [--superscalar]\n"
+                 "       ifpsim --list\n");
+    return 2;
+}
+
+void
+printResult(const RunResult &r, const char *config_name)
+{
+    std::printf("workload:        %s (%s)\n", r.workload.c_str(),
+                config_name);
+    std::printf("checksum:        %llu\n",
+                (unsigned long long)r.checksum);
+    std::printf("instructions:    %llu\n",
+                (unsigned long long)r.instructions);
+    std::printf("cycles:          %llu (CPI %.2f)\n",
+                (unsigned long long)r.cycles,
+                r.instructions
+                    ? double(r.cycles) / double(r.instructions)
+                    : 0.0);
+    std::printf("promotes:        %llu (valid %llu, null %llu, "
+                "legacy %llu)\n",
+                (unsigned long long)r.promotes,
+                (unsigned long long)r.validPromotes,
+                (unsigned long long)r.bypassNull,
+                (unsigned long long)r.bypassLegacy);
+    std::printf("narrowing:       %llu attempts, %llu ok, %llu "
+                "coarsened\n",
+                (unsigned long long)r.narrowAttempts,
+                (unsigned long long)r.narrowSuccess,
+                (unsigned long long)r.narrowFail);
+    std::printf("objects:         heap %llu (%llu w/ layout), local "
+                "%llu, global %llu\n",
+                (unsigned long long)r.heapObjects,
+                (unsigned long long)r.heapObjectsWithLayout,
+                (unsigned long long)r.localObjects,
+                (unsigned long long)r.globalObjects);
+    std::printf("ifp instr mix:   promote %llu, arith %llu, "
+                "bnd-ld/st %llu\n",
+                (unsigned long long)r.promoteInstrs,
+                (unsigned long long)r.ifpArith,
+                (unsigned long long)r.bndLdSt);
+    std::printf("l1d:             %llu hits, %llu misses (%.2f%%)\n",
+                (unsigned long long)r.l1dHits,
+                (unsigned long long)r.l1dMisses,
+                r.l1dHits + r.l1dMisses
+                    ? 100.0 * double(r.l1dMisses) /
+                          double(r.l1dHits + r.l1dMisses)
+                    : 0.0);
+    std::printf("memory:          resident %llu KiB, heap peak %llu "
+                "KiB\n",
+                (unsigned long long)(r.residentBytes / 1024),
+                (unsigned long long)(r.heapPeak / 1024));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2 && std::strcmp(argv[1], "--list") == 0) {
+        for (const Workload &w : all())
+            std::printf("%-14s [%s] %s\n", w.name, w.suite, w.notes);
+        return 0;
+    }
+    if (argc < 2)
+        return usage();
+
+    const Workload *workload = byName(argv[1]);
+    if (!workload) {
+        std::fprintf(stderr, "unknown workload '%s' (try --list)\n",
+                     argv[1]);
+        return 2;
+    }
+
+    std::string config_name = argc >= 3 && argv[2][0] != '-'
+                                  ? argv[2]
+                                  : "subheap";
+    CustomRun custom;
+    bool baseline = false;
+    if (config_name == "baseline") {
+        baseline = true;
+    } else if (config_name == "subheap") {
+        custom.allocator = AllocatorKind::Subheap;
+    } else if (config_name == "wrapped") {
+        custom.allocator = AllocatorKind::Wrapped;
+    } else if (config_name == "mixed") {
+        custom.allocator = AllocatorKind::Mixed;
+    } else {
+        return usage();
+    }
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg[0] != '-')
+            continue;
+        if (arg == "--no-promote")
+            custom.ifp.noPromote = true;
+        else if (arg == "--no-mac")
+            custom.ifp.macEnabled = false;
+        else if (arg == "--no-narrow")
+            custom.ifp.narrowingEnabled = false;
+        else if (arg == "--explicit-checks") {
+            custom.explicitChecks = true;
+            custom.implicitChecks = false;
+        } else if (arg == "--superscalar")
+            custom.superscalar = true;
+        else
+            return usage();
+    }
+
+    setQuiet(true);
+    RunResult result;
+    if (baseline) {
+        result = runWorkload(*workload, Config::Baseline);
+    } else {
+        result = runWorkloadCustom(*workload, custom);
+    }
+    printResult(result, config_name.c_str());
+    return 0;
+}

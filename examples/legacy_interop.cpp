@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Legacy-code interoperability (paper §3, §4.1.2).
+ *
+ * In-Fat Pointer keeps pointer size unchanged, so instrumented code
+ * can exchange pointers with uninstrumented ("legacy") code freely:
+ *
+ *  - pointers returned by legacy libc carry no tag; promote bypasses
+ *    them and they are never bounds-checked;
+ *  - tagged pointers handed to legacy code still *point at the
+ *    object* (the local-offset metadata sits past the end), so legacy
+ *    code can dereference them;
+ *  - when a call returns through an uninstrumented function, the
+ *    hardware's implicit bounds clearing prevents stale bounds from
+ *    being picked up (demonstrated via an uninstrumented identity
+ *    function in the module).
+ */
+
+#include <cstdio>
+
+#include "compiler/instrument.hh"
+#include "ir/builder.hh"
+#include "vm/libc_model.hh"
+#include "vm/machine.hh"
+
+using namespace infat;
+using namespace infat::ir;
+
+int
+main()
+{
+    std::printf("Legacy interop demo\n");
+    std::printf("===================\n");
+
+    Module m;
+    declareLibc(m);
+    TypeContext &tc = m.types();
+
+    // An uninstrumented identity function: models a legacy library
+    // routine that passes a pointer through.
+    {
+        FunctionBuilder fb(m, "legacy_pass", {tc.ptr(tc.i64())},
+                           tc.ptr(tc.i64()));
+        fb.function()->setInstrumented(false);
+        fb.ret(fb.arg(0));
+    }
+
+    FunctionBuilder fb(m, "main", {}, tc.i64());
+    // 1. A legacy pointer from libc: usable, never checked.
+    Value raw = fb.ptrCast(fb.call("malloc", {fb.iconst(64)}),
+                           tc.i64());
+    fb.store(fb.iconst(1), fb.elemPtr(raw, 2));
+
+    // 2. An instrumented allocation handed through legacy code: the
+    // tag survives (it travels in the pointer value), but the bounds
+    // register is cleared at the boundary; a later promote recovers
+    // full checking from the in-memory metadata.
+    Value prot = fb.mallocTyped(tc.i64(), fb.iconst(8));
+    Value back = fb.call("legacy_pass", {prot});
+    fb.store(fb.iconst(2), fb.elemPtr(back, 7)); // unchecked, in-bounds
+
+    // 3. Re-promote by a store/load round trip, then overflow: caught.
+    GlobalId slot = m.addGlobal("slot", tc.ptr(tc.i64()));
+    fb.store(back, fb.globalAddr(slot));
+    Value repromoted = fb.load(fb.globalAddr(slot));
+    fb.store(fb.iconst(3), fb.elemPtr(repromoted, 8)); // out of bounds!
+    fb.ret(fb.iconst(0));
+
+    InstrumentResult inst = instrumentModule(m);
+    VmConfig config;
+    config.instrumented = true;
+    Machine machine(m, &inst.layouts, config);
+    installLibc(machine);
+    try {
+        machine.run();
+        std::printf("ERROR: overflow was not detected\n");
+        return 1;
+    } catch (const GuestTrap &trap) {
+        std::printf("legacy pointer write:            unchecked, ok\n");
+        std::printf("tagged ptr through legacy code:  usable, ok\n");
+        std::printf("overflow after re-promotion:     %s\n",
+                    trap.what());
+        std::printf("\nAll three interop behaviours as designed.\n");
+    }
+    return 0;
+}

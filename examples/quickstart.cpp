@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Quickstart: protect a program with In-Fat Pointer in five steps.
+ *
+ *  1. Build a program against the IR builder (here: a toy that writes
+ *     through a heap array).
+ *  2. Run it uninstrumented: the out-of-bounds write silently lands.
+ *  3. Run the In-Fat Pointer compiler pass over the module.
+ *  4. Execute on the machine model: the same write now traps.
+ *  5. Inspect the promote statistics the hardware kept.
+ */
+
+#include <cstdio>
+
+#include "compiler/instrument.hh"
+#include "ir/builder.hh"
+#include "vm/libc_model.hh"
+#include "vm/machine.hh"
+
+using namespace infat;
+using namespace infat::ir;
+
+namespace {
+
+/** A tiny program: sum an 8-element array, then write buf[index]. */
+void
+buildProgram(Module &m, int64_t index)
+{
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    FunctionBuilder fb(m, "main", {}, tc.i64());
+
+    Value buf = fb.mallocTyped(tc.i64(), fb.iconst(8));
+    for (int64_t i = 0; i < 8; ++i)
+        fb.store(fb.iconst(i * i), fb.elemPtr(buf, i));
+
+    Value sum = fb.var(tc.i64());
+    fb.assign(sum, fb.iconst(0));
+    for (int64_t i = 0; i < 8; ++i)
+        fb.assign(sum, fb.add(sum, fb.load(fb.elemPtr(buf, i))));
+
+    // The interesting access: buf[index].
+    fb.store(fb.iconst(42), fb.elemPtr(buf, fb.iconst(index)));
+
+    fb.freePtr(buf);
+    fb.ret(sum);
+}
+
+void
+run(const char *label, int64_t index, bool instrument)
+{
+    Module m;
+    buildProgram(m, index);
+
+    InstrumentResult inst;
+    if (instrument)
+        inst = instrumentModule(m);
+
+    VmConfig config;
+    config.instrumented = instrument;
+    Machine machine(m, instrument ? &inst.layouts : nullptr, config);
+    installLibc(machine);
+
+    std::printf("%-34s buf[%lld]: ", label, (long long)index);
+    try {
+        uint64_t sum = machine.run();
+        std::printf("completed, sum = %llu", (unsigned long long)sum);
+    } catch (const GuestTrap &trap) {
+        std::printf("TRAPPED (%s)", trap.what());
+    }
+    if (instrument) {
+        std::printf("  [promotes: %llu]",
+                    (unsigned long long)
+                        machine.promoteEngine().stats().value(
+                            "promotes"));
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("In-Fat Pointer quickstart\n");
+    std::printf("-------------------------\n");
+    run("baseline, in bounds", 7, false);
+    run("baseline, OUT of bounds", 8, false); // silently corrupts
+    run("instrumented, in bounds", 7, true);
+    run("instrumented, OUT of bounds", 8, true); // detected
+    return 0;
+}

@@ -1,0 +1,78 @@
+#include "alloc/buddy_allocator.hh"
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace infat {
+
+BuddyAllocator::BuddyAllocator(GuestAddr region_base,
+                               unsigned region_order_log2,
+                               unsigned min_order_log2)
+    : base_(region_base), maxOrder_(region_order_log2),
+      minOrder_(min_order_log2), stats_("buddy")
+{
+    fatal_if(minOrder_ > maxOrder_, "buddy min order above region order");
+    fatal_if(base_ & mask(maxOrder_),
+             "buddy region base not aligned to region size");
+    freeBlocks_.resize(maxOrder_ + 1);
+    freeBlocks_[maxOrder_].insert(base_);
+}
+
+GuestAddr
+BuddyAllocator::buddyOf(GuestAddr addr, unsigned order) const
+{
+    return ((addr - base_) ^ (GuestAddr{1} << order)) + base_;
+}
+
+GuestAddr
+BuddyAllocator::allocate(unsigned order)
+{
+    fatal_if(order < minOrder_ || order > maxOrder_,
+             "buddy order %u out of [%u, %u]", order, minOrder_, maxOrder_);
+    stats_.counter("allocs")++;
+
+    unsigned avail = order;
+    while (avail <= maxOrder_ && freeBlocks_[avail].empty())
+        ++avail;
+    if (avail > maxOrder_) {
+        stats_.counter("failed_allocs")++;
+        return 0;
+    }
+
+    GuestAddr block = *freeBlocks_[avail].begin();
+    freeBlocks_[avail].erase(freeBlocks_[avail].begin());
+    while (avail > order) {
+        --avail;
+        freeBlocks_[avail].insert(buddyOf(block, avail));
+        stats_.counter("splits")++;
+    }
+    liveBytes_ += GuestAddr{1} << order;
+    uint64_t end_off = (block - base_) + (GuestAddr{1} << order);
+    if (end_off > peak_)
+        peak_ = end_off;
+    return block;
+}
+
+void
+BuddyAllocator::deallocate(GuestAddr addr, unsigned order)
+{
+    panic_if(addr & mask(order), "buddy free of unaligned block");
+    liveBytes_ -= GuestAddr{1} << order;
+    stats_.counter("frees")++;
+
+    while (order < maxOrder_) {
+        GuestAddr buddy = buddyOf(addr, order);
+        auto it = freeBlocks_[order].find(buddy);
+        if (it == freeBlocks_[order].end())
+            break;
+        freeBlocks_[order].erase(it);
+        stats_.counter("merges")++;
+        addr = std::min(addr, buddy);
+        ++order;
+    }
+    bool inserted = freeBlocks_[order].insert(addr).second;
+    panic_if(!inserted, "buddy double free at %#llx",
+             static_cast<unsigned long long>(addr));
+}
+
+} // namespace infat

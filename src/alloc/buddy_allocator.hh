@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Binary buddy allocator for power-of-2-sized, aligned memory blocks.
+ *
+ * The subheap metadata scheme (paper §3.3.2) requires objects to live
+ * inside power-of-2-sized *and aligned* memory blocks so that hardware
+ * can find the block base by masking the pointer. The paper's subheap
+ * allocator is "a pool allocator on top of a buddy allocator" (§4.2.1);
+ * this class is that buddy layer.
+ */
+
+#ifndef INFAT_ALLOC_BUDDY_ALLOCATOR_HH
+#define INFAT_ALLOC_BUDDY_ALLOCATOR_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "mem/address_space.hh"
+#include "support/stats.hh"
+
+namespace infat {
+
+class BuddyAllocator
+{
+  public:
+    /**
+     * Manage [region_base, region_base + 2^region_order_log2). The base
+     * must itself be aligned to the region size so every block the buddy
+     * scheme produces is naturally aligned.
+     */
+    BuddyAllocator(GuestAddr region_base, unsigned region_order_log2,
+                   unsigned min_order_log2);
+
+    /** Allocate a block of exactly 2^order bytes; 0 on exhaustion. */
+    GuestAddr allocate(unsigned order);
+
+    /** Free a block previously returned for @p order. */
+    void deallocate(GuestAddr addr, unsigned order);
+
+    /** Bytes spanned from region base to highest block ever in use. */
+    uint64_t peakFootprint() const { return peak_; }
+
+    uint64_t liveBytes() const { return liveBytes_; }
+
+    unsigned minOrder() const { return minOrder_; }
+    unsigned maxOrder() const { return maxOrder_; }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    GuestAddr buddyOf(GuestAddr addr, unsigned order) const;
+
+    GuestAddr base_;
+    unsigned maxOrder_;
+    unsigned minOrder_;
+
+    /** Free blocks per order. */
+    std::vector<std::set<GuestAddr>> freeBlocks_;
+    uint64_t liveBytes_ = 0;
+    uint64_t peak_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace infat
+
+#endif // INFAT_ALLOC_BUDDY_ALLOCATOR_HH

@@ -1,0 +1,110 @@
+#include "alloc/freelist_allocator.hh"
+
+#include <algorithm>
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace infat {
+
+FreeListAllocator::FreeListAllocator(GuestAddr arena_base,
+                                     GuestAddr arena_limit)
+    // Chunks sit at 16k+8 so user pointers (chunk + 8-byte header)
+    // are 16-aligned, as glibc lays them out.
+    : arenaBase_(roundUp(arena_base, alignment) + alignment -
+                 headerBytes),
+      arenaLimit_(arena_limit), brk_(arenaBase_), peak_(arenaBase_),
+      stats_("freelist")
+{
+    fatal_if(arenaBase_ >= arenaLimit_, "empty freelist arena");
+}
+
+GuestAddr
+FreeListAllocator::allocate(uint64_t size)
+{
+    uint64_t total = std::max(roundUp(size + headerBytes, alignment),
+                              minChunkBytes);
+    stats_.counter("allocs")++;
+
+    // Address-ordered first fit over the free list, with splitting.
+    for (auto it = freeChunks_.begin(); it != freeChunks_.end(); ++it) {
+        if (it->second < total)
+            continue;
+        GuestAddr chunk = it->first;
+        uint64_t chunk_size = it->second;
+        freeChunks_.erase(it);
+        if (chunk_size - total >= headerBytes + alignment) {
+            freeChunks_[chunk + total] = chunk_size - total;
+        } else {
+            total = chunk_size; // absorb the remainder
+        }
+        GuestAddr user = chunk + headerBytes;
+        live_[user] = total;
+        liveBytes_ += total;
+        stats_.counter("reuse_allocs")++;
+        return user;
+    }
+
+    // Grow the arena.
+    if (brk_ + total > arenaLimit_) {
+        stats_.counter("failed_allocs")++;
+        return 0;
+    }
+    GuestAddr chunk = brk_;
+    brk_ += total;
+    if (brk_ > peak_)
+        peak_ = brk_;
+    GuestAddr user = chunk + headerBytes;
+    live_[user] = total;
+    liveBytes_ += total;
+    return user;
+}
+
+void
+FreeListAllocator::deallocate(GuestAddr addr)
+{
+    if (addr == 0)
+        return;
+    auto it = live_.find(addr);
+    panic_if(it == live_.end(), "free of unknown pointer %#llx",
+             static_cast<unsigned long long>(addr));
+    GuestAddr chunk = addr - headerBytes;
+    uint64_t size = it->second;
+    live_.erase(it);
+    liveBytes_ -= size;
+    stats_.counter("frees")++;
+
+    // Coalesce with neighbours.
+    auto [ins, ok] = freeChunks_.emplace(chunk, size);
+    panic_if(!ok, "double free at %#llx",
+             static_cast<unsigned long long>(addr));
+    if (ins != freeChunks_.begin()) {
+        auto prev = std::prev(ins);
+        if (prev->first + prev->second == ins->first) {
+            prev->second += ins->second;
+            freeChunks_.erase(ins);
+            ins = prev;
+        }
+    }
+    auto next = std::next(ins);
+    if (next != freeChunks_.end() &&
+        ins->first + ins->second == next->first) {
+        ins->second += next->second;
+        freeChunks_.erase(next);
+    }
+    // Return a trailing chunk to the brk so footprints can shrink.
+    if (ins->first + ins->second == brk_) {
+        brk_ = ins->first;
+        freeChunks_.erase(ins);
+    }
+}
+
+uint64_t
+FreeListAllocator::usableSize(GuestAddr addr) const
+{
+    auto it = live_.find(addr);
+    panic_if(it == live_.end(), "usableSize of unknown pointer");
+    return it->second - headerBytes;
+}
+
+} // namespace infat

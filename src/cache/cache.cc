@@ -1,0 +1,95 @@
+#include "cache/cache.hh"
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace infat {
+
+Cache::Cache(std::string name, CacheConfig config)
+    : config_(config), stats_(std::move(name))
+{
+    fatal_if(!isPowerOf2(config_.lineBytes), "cache line size not pow2");
+    fatal_if(config_.sizeBytes % (config_.lineBytes * config_.assoc) != 0,
+             "cache size not divisible by way size");
+    numSets_ = static_cast<unsigned>(
+        config_.sizeBytes / (config_.lineBytes * config_.assoc));
+    fatal_if(!isPowerOf2(numSets_), "cache set count not pow2");
+    lines_.resize(static_cast<size_t>(numSets_) * config_.assoc);
+}
+
+unsigned
+Cache::accessLine(uint64_t line_addr, bool is_write)
+{
+    uint64_t set = line_addr & (numSets_ - 1);
+    uint64_t tag = line_addr / numSets_;
+    Line *set_base = &lines_[set * config_.assoc];
+
+    for (unsigned way = 0; way < config_.assoc; ++way) {
+        Line &line = set_base[way];
+        if (line.valid && line.tag == tag) {
+            line.lruStamp = ++lruClock_;
+            line.dirty |= is_write;
+            stats_.counter("hits")++;
+            return config_.hitLatency;
+        }
+    }
+    stats_.counter("misses")++;
+
+    // Miss: pick a victim, preferring an invalid way, else true LRU.
+    Line *victim = set_base;
+    for (unsigned way = 1; way < config_.assoc && victim->valid; ++way) {
+        Line &line = set_base[way];
+        if (!line.valid || line.lruStamp < victim->lruStamp)
+            victim = &line;
+    }
+    if (victim->valid && victim->dirty)
+        stats_.counter("writebacks")++;
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lruStamp = ++lruClock_;
+
+    // Refill from the next level when one is chained; otherwise pay
+    // the flat memory penalty.
+    unsigned fill;
+    if (nextLevel_) {
+        fill = nextLevel_
+                   ->access(line_addr * config_.lineBytes,
+                            config_.lineBytes, false)
+                   .latency;
+    } else {
+        fill = config_.missPenalty;
+    }
+    return config_.hitLatency + fill;
+}
+
+CacheAccessResult
+Cache::access(GuestAddr addr, uint64_t len, bool is_write)
+{
+    GuestAddr canon = layout::canonical(addr);
+    uint64_t first_line = canon / config_.lineBytes;
+    uint64_t last_line = len == 0 ? first_line
+                                  : (canon + len - 1) / config_.lineBytes;
+
+    unsigned worst = config_.hitLatency;
+    bool all_hit = true;
+    for (uint64_t line = first_line; line <= last_line; ++line) {
+        unsigned latency = accessLine(line, is_write);
+        if (latency > config_.hitLatency)
+            all_hit = false;
+        if (latency > worst)
+            worst = latency;
+    }
+    return {all_hit, worst};
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines_) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+} // namespace infat

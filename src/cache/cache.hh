@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Set-associative cache timing model.
+ *
+ * The model tracks tags only; data always lives in GuestMemory and is
+ * functionally correct regardless of cache state. What the cache provides
+ * is hit/miss classification and latency, which is what the paper's
+ * evaluation discusses (L1 data cache thrashing in health/ft, and the
+ * subheap scheme's metadata sharing reducing misses, §5.2.2).
+ *
+ * The geometry defaults mirror the CVA6 core used for the FPGA prototype:
+ * a 32 KiB 8-way L1D with 16-byte lines and no L2 (Genesys-2 DDR behind).
+ */
+
+#ifndef INFAT_CACHE_CACHE_HH
+#define INFAT_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/address_space.hh"
+#include "support/stats.hh"
+
+namespace infat {
+
+struct CacheConfig
+{
+    uint64_t sizeBytes = 32 * 1024;
+    unsigned assoc = 8;
+    unsigned lineBytes = 16;
+    unsigned hitLatency = 1;
+    unsigned missPenalty = 20;
+};
+
+/** Result of one cache access. */
+struct CacheAccessResult
+{
+    bool hit;
+    unsigned latency;
+};
+
+class Cache
+{
+  public:
+    explicit Cache(std::string name, CacheConfig config = {});
+
+    /**
+     * Access @p len bytes at @p addr. Accesses that span lines touch each
+     * line; the returned latency is the worst line's latency (the CVA6
+     * LSU serializes split accesses, but one extra cycle is noise here).
+     */
+    CacheAccessResult access(GuestAddr addr, uint64_t len, bool is_write);
+
+    /**
+     * Chain a next cache level: misses are refilled from it and pay
+     * its access latency instead of this level's flat missPenalty.
+     * The CVA6 FPGA prototype has no L2 (the paper's board goes
+     * straight to DDR); the ASIC prediction model adds one.
+     */
+    void setNextLevel(Cache *next) { nextLevel_ = next; }
+    Cache *nextLevel() const { return nextLevel_; }
+
+    /** Invalidate everything (used between benchmark configurations). */
+    void flush();
+
+    uint64_t hits() const { return stats_.value("hits"); }
+    uint64_t misses() const { return stats_.value("misses"); }
+    uint64_t accesses() const { return hits() + misses(); }
+
+    double
+    missRate() const
+    {
+        uint64_t total = accesses();
+        return total == 0 ? 0.0
+                          : static_cast<double>(misses()) /
+                                static_cast<double>(total);
+    }
+
+    StatGroup &stats() { return stats_; }
+    const CacheConfig &config() const { return config_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        uint64_t tag = 0;
+        uint64_t lruStamp = 0;
+    };
+
+    /** Returns the latency of accessing one line. */
+    unsigned accessLine(uint64_t line_addr, bool is_write);
+
+    CacheConfig config_;
+    unsigned numSets_;
+    std::vector<Line> lines_;
+    Cache *nextLevel_ = nullptr;
+    uint64_t lruClock_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace infat
+
+#endif // INFAT_CACHE_CACHE_HH

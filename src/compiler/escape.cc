@@ -1,0 +1,174 @@
+#include "compiler/escape.hh"
+
+#include <map>
+
+#include "support/logging.hh"
+
+namespace infat {
+
+using namespace ir;
+
+namespace {
+
+/** A root is either an alloca (by dst register) or a global. */
+struct Root
+{
+    bool isGlobal;
+    uint32_t id; // alloca dst reg, or global id
+
+    auto operator<=>(const Root &) const = default;
+};
+
+class FunctionAnalysis
+{
+  public:
+    FunctionAnalysis(const Function &func, FunctionEscapes &out,
+                     std::set<GlobalId> &global_out)
+        : func_(func), out_(out), globalOut_(global_out)
+    {
+    }
+
+    void
+    run()
+    {
+        if (func_.isNative() || func_.numBlocks() == 0)
+            return;
+        seedRoots();
+        // Fixpoint: registers are mutable, so derivations can flow
+        // around loops.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (const BasicBlock &block : func_.blocks()) {
+                for (const Instr &instr : block.instrs)
+                    changed |= propagate(instr);
+            }
+        }
+        for (const BasicBlock &block : func_.blocks()) {
+            for (const Instr &instr : block.instrs)
+                collectEscapes(instr);
+        }
+    }
+
+  private:
+    void
+    seedRoots()
+    {
+        for (const BasicBlock &block : func_.blocks()) {
+            for (const Instr &instr : block.instrs) {
+                if (instr.op == Opcode::Alloca) {
+                    roots_[instr.dst].insert({false, instr.dst});
+                } else if (instr.op == Opcode::Mov &&
+                           instr.a.kind == Operand::Kind::Global) {
+                    roots_[instr.dst].insert(
+                        {true, static_cast<uint32_t>(instr.a.payload)});
+                }
+            }
+        }
+    }
+
+    bool
+    mergeInto(Reg dst, const Operand &src)
+    {
+        if (!src.isReg())
+            return false;
+        auto it = roots_.find(static_cast<Reg>(src.payload));
+        if (it == roots_.end())
+            return false;
+        auto &dst_set = roots_[dst];
+        size_t before = dst_set.size();
+        dst_set.insert(it->second.begin(), it->second.end());
+        return dst_set.size() != before;
+    }
+
+    bool
+    propagate(const Instr &instr)
+    {
+        if (instr.dst == noReg)
+            return false;
+        switch (instr.op) {
+          case Opcode::Mov:
+          case Opcode::GepField:
+          case Opcode::GepIndex:
+          case Opcode::Add:
+          case Opcode::Sub:
+          case Opcode::And:
+          case Opcode::Or:
+            return mergeInto(instr.dst, instr.a);
+          case Opcode::Select:
+            return mergeInto(instr.dst, instr.b) |
+                   mergeInto(instr.dst, instr.c);
+          default:
+            return false;
+        }
+    }
+
+    void
+    escapeRootsOf(const Operand &operand)
+    {
+        if (!operand.isReg())
+            return;
+        auto it = roots_.find(static_cast<Reg>(operand.payload));
+        if (it == roots_.end())
+            return;
+        for (const Root &root : it->second) {
+            if (root.isGlobal)
+                globalOut_.insert(root.id);
+            else
+                out_.escapingAllocas.insert(root.id);
+        }
+    }
+
+    void
+    collectEscapes(const Instr &instr)
+    {
+        switch (instr.op) {
+          case Opcode::Store:
+            // Storing the pointer *value*; the store's address operand
+            // (b) is a use, not an escape.
+            escapeRootsOf(instr.a);
+            break;
+          case Opcode::Call:
+          case Opcode::CallPtr:
+            for (const Operand &arg : instr.args)
+                escapeRootsOf(arg);
+            break;
+          case Opcode::Ret:
+            escapeRootsOf(instr.a);
+            break;
+          case Opcode::GepIndex:
+            // A dynamic index defeats static bounds reasoning.
+            if (instr.b.isReg())
+                escapeRootsOf(instr.a);
+            break;
+          case Opcode::FreePtr:
+            escapeRootsOf(instr.a);
+            break;
+          default:
+            break;
+        }
+    }
+
+    const Function &func_;
+    FunctionEscapes &out_;
+    std::set<GlobalId> &globalOut_;
+    std::map<Reg, std::set<Root>> roots_;
+};
+
+} // namespace
+
+ModuleEscapes
+analyzeEscapes(const Module &module)
+{
+    ModuleEscapes result;
+    result.functions.resize(module.numFunctions());
+    for (size_t i = 0; i < module.numFunctions(); ++i) {
+        const Function *func = module.function(static_cast<FuncId>(i));
+        FunctionAnalysis(*func, result.functions[i],
+                         result.escapingGlobals)
+            .run();
+    }
+    return result;
+}
+
+} // namespace infat

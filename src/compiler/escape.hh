@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Escape analysis: which objects need In-Fat Pointer metadata.
+ *
+ * The compiler instruments an object when the safety of accesses
+ * through it cannot be statically determined (paper §3.1). The policy
+ * here mirrors the paper's example and errs conservative:
+ *
+ *  - a stack object (alloca) is instrumented when its address (or any
+ *    pointer derived from it) is stored to memory as a value, passed to
+ *    a call, returned, or indexed with a non-constant index;
+ *  - a global is instrumented under the same conditions; globals only
+ *    referenced by name (direct load/store of their fields) stay
+ *    uninstrumented, matching §4.2.2.
+ */
+
+#ifndef INFAT_COMPILER_ESCAPE_HH
+#define INFAT_COMPILER_ESCAPE_HH
+
+#include <set>
+
+#include "ir/module.hh"
+
+namespace infat {
+
+struct FunctionEscapes
+{
+    /** Registers holding allocas whose object must be instrumented. */
+    std::set<ir::Reg> escapingAllocas;
+};
+
+struct ModuleEscapes
+{
+    /** Per-function results, indexed by function id. */
+    std::vector<FunctionEscapes> functions;
+    /** Globals that must be instrumented. */
+    std::set<ir::GlobalId> escapingGlobals;
+};
+
+ModuleEscapes analyzeEscapes(const ir::Module &module);
+
+} // namespace infat
+
+#endif // INFAT_COMPILER_ESCAPE_HH

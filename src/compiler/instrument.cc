@@ -1,0 +1,454 @@
+#include "compiler/instrument.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "compiler/escape.hh"
+#include "support/logging.hh"
+
+namespace infat {
+
+using namespace ir;
+
+namespace {
+
+class FunctionInstrumenter
+{
+  public:
+    FunctionInstrumenter(Module &module, Function &func,
+                         const FunctionEscapes &escapes,
+                         const std::set<GlobalId> &escaping_globals,
+                         LayoutRegistry &layouts, InstrumentStats &stats,
+                         const InstrumentOptions &options)
+        : module_(module), func_(func), escapes_(escapes),
+          escapingGlobals_(escaping_globals), layouts_(layouts),
+          stats_(stats), options_(options)
+    {
+    }
+
+    void
+    run()
+    {
+        classifyUses();
+        for (size_t b = 0; b < func_.numBlocks(); ++b)
+            rewriteBlock(func_.block(static_cast<BlockId>(b)));
+        computeSavedBounds();
+    }
+
+  private:
+    /**
+     * Mark registers with uses beyond "address of a load/store": only
+     * those need their subobject index and narrowed bounds maintained
+     * (an immediately-dereferenced temporary never exposes either, so
+     * the tag updates would be dead code).
+     */
+    void
+    classifyUses()
+    {
+        auto mark = [&](const Operand &operand) {
+            if (operand.isReg())
+                complexUse_.insert(static_cast<Reg>(operand.payload));
+        };
+        for (const BasicBlock &block : func_.blocks()) {
+            for (const Instr &instr : block.instrs) {
+                switch (instr.op) {
+                  case Opcode::Load:
+                    break; // address-only use of a
+                  case Opcode::Store:
+                    mark(instr.a); // the stored value escapes
+                    break;
+                  default:
+                    mark(instr.a);
+                    mark(instr.b);
+                    mark(instr.c);
+                    break;
+                }
+                for (const Operand &arg : instr.args)
+                    mark(arg);
+            }
+        }
+    }
+
+    bool
+    needsTagMaintenance(Reg reg) const
+    {
+        return complexUse_.count(reg) != 0;
+    }
+
+    const Type *
+    allocationRootType(const Instr &alloca_instr) const
+    {
+        const Type *type = alloca_instr.type;
+        if (alloca_instr.imm0 > 1)
+            return type; // array allocation: table of the element type
+        return type;
+    }
+
+    void
+    rewriteBlock(BasicBlock &block)
+    {
+        std::vector<Instr> out;
+        out.reserve(block.instrs.size() + 8);
+        for (Instr &instr : block.instrs)
+            rewriteInstr(instr, out);
+        block.instrs = std::move(out);
+    }
+
+    void
+    rewriteInstr(Instr &instr, std::vector<Instr> &out)
+    {
+        switch (instr.op) {
+          case Opcode::Alloca:
+            rewriteAlloca(instr, out);
+            return;
+          case Opcode::MallocTyped: {
+            instr.op = Opcode::IfpMallocTyped;
+            instr.layout = layouts_.tableFor(instr.type);
+            ++stats_.mallocSitesTyped;
+            out.push_back(instr);
+            return;
+          }
+          case Opcode::FreePtr:
+            instr.op = Opcode::IfpFree;
+            out.push_back(instr);
+            return;
+          case Opcode::Call:
+            rewriteCall(instr, out);
+            return;
+          case Opcode::GepField:
+            lowerGepField(instr, out);
+            return;
+          case Opcode::GepIndex:
+            lowerGepIndex(instr, out);
+            return;
+          case Opcode::Load: {
+            emitExplicitCheck(instr.a, instr.type, out);
+            out.push_back(instr);
+            if (instr.type && instr.type->isPtr()) {
+                // A pointer fresh from memory has no IFPR bounds; the
+                // promote recomputes them from the tag (paper §3.2).
+                Instr promote;
+                promote.op = Opcode::Promote;
+                promote.type = instr.type;
+                promote.dst = instr.dst;
+                promote.a = Operand::reg(instr.dst);
+                out.push_back(promote);
+                ++stats_.promotesInserted;
+            }
+            return;
+          }
+          case Opcode::Mov: {
+            out.push_back(instr);
+            if (instr.a.kind == Operand::Kind::Global) {
+                auto gid = static_cast<GlobalId>(instr.a.payload);
+                if (escapingGlobals_.count(gid)) {
+                    markGlobal(gid);
+                    // The registered global's size is static; narrow
+                    // immediately instead of promoting.
+                    Instr bnd;
+                    bnd.op = Opcode::IfpBnd;
+                    bnd.type = instr.type;
+                    bnd.dst = instr.dst;
+                    bnd.a = Operand::reg(instr.dst);
+                    bnd.imm0 = module_.global(gid).type->size();
+                    out.push_back(bnd);
+                }
+            }
+            return;
+          }
+          case Opcode::Store:
+            emitExplicitCheck(instr.b, instr.type, out);
+            out.push_back(instr);
+            return;
+          case Opcode::Ret: {
+            emitDeregisters(out);
+            out.push_back(instr);
+            return;
+          }
+          default:
+            out.push_back(instr);
+            return;
+        }
+    }
+
+    void
+    rewriteAlloca(Instr &instr, std::vector<Instr> &out)
+    {
+        if (!escapes_.escapingAllocas.count(instr.dst)) {
+            out.push_back(instr);
+            return;
+        }
+        ++stats_.allocaSites;
+        const Type *type = instr.type;
+        uint64_t object_size = type->size() * instr.imm0;
+        LayoutId layout = layouts_.tableFor(
+            instr.imm0 > 1 ? type : allocationRootType(instr));
+        if (layout != noLayout)
+            ++stats_.allocaSitesWithLayout;
+
+        Reg raw = func_.newReg();
+        Reg tagged = instr.dst;
+        instr.dst = raw;
+        instr.imm1 = 1; // padded for in-band metadata
+        out.push_back(instr);
+
+        Instr reg_obj;
+        reg_obj.op = Opcode::RegisterObj;
+        reg_obj.type = type;
+        reg_obj.dst = tagged;
+        reg_obj.a = Operand::reg(raw);
+        reg_obj.imm0 = object_size;
+        reg_obj.layout = layout;
+        out.push_back(reg_obj);
+        registeredAllocas_.push_back(tagged);
+    }
+
+    void
+    rewriteCall(Instr &instr, std::vector<Instr> &out)
+    {
+        const Function *callee = module_.function(instr.callee);
+        // Allocator calls are rewritten to the runtime library
+        // (paper §4.2.1). Plain malloc has no type information, so no
+        // layout table can be attached.
+        if (callee->isNative() && callee->name() == "malloc" &&
+            instr.args.size() == 1) {
+            Instr alloc;
+            alloc.op = Opcode::IfpMallocTyped;
+            alloc.type = module_.types().i8();
+            alloc.dst = instr.dst;
+            alloc.a = instr.args[0];
+            alloc.layout = noLayout;
+            ++stats_.mallocSitesUntyped;
+            out.push_back(alloc);
+            return;
+        }
+        if (callee->isNative() && callee->name() == "free" &&
+            instr.args.size() == 1) {
+            Instr free_instr;
+            free_instr.op = Opcode::IfpFree;
+            free_instr.a = instr.args[0];
+            out.push_back(free_instr);
+            return;
+        }
+        out.push_back(instr);
+    }
+
+    void
+    lowerGepField(Instr &instr, std::vector<Instr> &out)
+    {
+        ++stats_.gepsLowered;
+        const auto *st = static_cast<const StructType *>(instr.type);
+        auto field = static_cast<unsigned>(instr.imm0);
+        uint64_t offset = st->fieldOffset(field);
+        const Type *field_type = st->field(field);
+
+        Instr add;
+        add.op = Opcode::IfpAdd;
+        add.type = module_.types().ptr(field_type);
+        add.dst = instr.dst;
+        add.a = instr.a;
+        add.b = Operand::immInt(offset);
+        out.push_back(add);
+
+        // A temporary that is only ever dereferenced exposes neither
+        // its subobject index nor its bounds register: the updates are
+        // dead and DCE'd (the implicit check still covers the access).
+        if (!needsTagMaintenance(instr.dst))
+            return;
+
+        Instr idx;
+        idx.op = Opcode::IfpIdx;
+        idx.type = add.type;
+        idx.dst = instr.dst;
+        idx.a = Operand::reg(instr.dst);
+        idx.imm0 = layoutFieldDelta(st, field);
+        out.push_back(idx);
+
+        Instr bnd;
+        bnd.op = Opcode::IfpBnd;
+        bnd.type = add.type;
+        bnd.dst = instr.dst;
+        bnd.a = Operand::reg(instr.dst);
+        bnd.imm0 = field_type->size();
+        out.push_back(bnd);
+    }
+
+    void
+    lowerGepIndex(Instr &instr, std::vector<Instr> &out)
+    {
+        ++stats_.gepsLowered;
+        uint64_t elem_size = instr.type->size();
+
+        Instr add;
+        add.op = Opcode::IfpAdd;
+        add.type = module_.types().ptr(instr.type);
+        add.dst = instr.dst;
+        add.a = instr.a;
+
+        if (!instr.b.isReg()) {
+            add.b = Operand::immInt(instr.b.payload * elem_size);
+            out.push_back(add);
+            return;
+        }
+        if (elem_size == 1) {
+            add.b = instr.b;
+            out.push_back(add);
+            return;
+        }
+        Reg scaled = func_.newReg();
+        Instr mul;
+        mul.op = Opcode::Mul;
+        mul.type = module_.types().i64();
+        mul.dst = scaled;
+        mul.a = instr.b;
+        mul.b = Operand::immInt(elem_size);
+        out.push_back(mul);
+        add.b = Operand::reg(scaled);
+        out.push_back(add);
+    }
+
+    /** Explicit access-size check (ablation mode, §4.1.1). */
+    void
+    emitExplicitCheck(const Operand &addr, const Type *type,
+                      std::vector<Instr> &out)
+    {
+        if (!options_.explicitChecks || !addr.isReg() || !type)
+            return;
+        Instr chk;
+        chk.op = Opcode::IfpChk;
+        chk.type = type;
+        chk.dst = static_cast<Reg>(addr.payload);
+        chk.a = addr;
+        chk.imm0 = type->size();
+        out.push_back(chk);
+    }
+
+    void
+    emitDeregisters(std::vector<Instr> &out)
+    {
+        for (Reg tagged : registeredAllocas_) {
+            Instr dereg;
+            dereg.op = Opcode::DeregisterObj;
+            dereg.a = Operand::reg(tagged);
+            out.push_back(dereg);
+        }
+    }
+
+    void
+    markGlobal(GlobalId gid)
+    {
+        Global &global = module_.global(gid);
+        if (!global.instrumented) {
+            global.instrumented = true;
+            ++stats_.instrumentedGlobals;
+            if (layouts_.tableFor(global.type) != noLayout)
+                ++stats_.globalsWithLayout;
+        }
+    }
+
+    /**
+     * Conservative estimate of callee-saved bounds registers: pointer
+     * registers defined before some call and used after one must
+     * survive in callee-saved bounds registers (paper §4.1.2).
+     */
+    void
+    computeSavedBounds()
+    {
+        std::map<Reg, size_t> first_def;
+        std::map<Reg, size_t> last_use;
+        std::vector<size_t> call_positions;
+        std::map<Reg, bool> is_ptr;
+
+        // Incoming pointer arguments arrive with bounds in their
+        // paired registers ("defined" at entry).
+        for (size_t p = 0; p < func_.numParams(); ++p) {
+            if (func_.paramType(p)->isPtr()) {
+                first_def[static_cast<Reg>(p)] = 0;
+                is_ptr[static_cast<Reg>(p)] = true;
+            }
+        }
+
+        size_t pos = 0;
+        for (const BasicBlock &block : func_.blocks()) {
+            for (const Instr &instr : block.instrs) {
+                ++pos;
+                if (instr.op == Opcode::Call ||
+                    instr.op == Opcode::CallPtr ||
+                    instr.op == Opcode::IfpMallocTyped) {
+                    call_positions.push_back(pos);
+                }
+                for (const Operand *operand :
+                     {&instr.a, &instr.b, &instr.c}) {
+                    if (operand->isReg())
+                        last_use[static_cast<Reg>(operand->payload)] = pos;
+                }
+                for (const Operand &arg : instr.args) {
+                    if (arg.isReg())
+                        last_use[static_cast<Reg>(arg.payload)] = pos;
+                }
+                if (instr.dst != noReg &&
+                    !first_def.count(instr.dst)) {
+                    first_def[instr.dst] = pos;
+                    bool ptr = instr.op == Opcode::Alloca ||
+                               instr.op == Opcode::RegisterObj ||
+                               instr.op == Opcode::IfpMallocTyped ||
+                               instr.op == Opcode::IfpAdd ||
+                               (instr.type && instr.type->isPtr());
+                    is_ptr[instr.dst] = ptr;
+                }
+            }
+        }
+        if (call_positions.empty()) {
+            func_.setSavedBoundsRegs(0);
+            return;
+        }
+        unsigned saved = 0;
+        for (const auto &[reg, def_pos] : first_def) {
+            if (!is_ptr[reg])
+                continue;
+            auto use_it = last_use.find(reg);
+            if (use_it == last_use.end())
+                continue;
+            bool live_across = std::any_of(
+                call_positions.begin(), call_positions.end(),
+                [&](size_t c) {
+                    return def_pos < c && c < use_it->second;
+                });
+            if (live_across)
+                ++saved;
+        }
+        func_.setSavedBoundsRegs(std::min(saved, 8u));
+    }
+
+    Module &module_;
+    Function &func_;
+    const FunctionEscapes &escapes_;
+    const std::set<GlobalId> &escapingGlobals_;
+    LayoutRegistry &layouts_;
+    InstrumentStats &stats_;
+    const InstrumentOptions &options_;
+    std::vector<Reg> registeredAllocas_;
+    std::set<Reg> complexUse_;
+};
+
+} // namespace
+
+InstrumentResult
+instrumentModule(Module &module, const InstrumentOptions &options)
+{
+    InstrumentResult result;
+    ModuleEscapes escapes = analyzeEscapes(module);
+    for (size_t i = 0; i < module.numFunctions(); ++i) {
+        Function *func = module.function(static_cast<FuncId>(i));
+        if (func->isNative() || !func->isInstrumented())
+            continue;
+        FunctionInstrumenter(module, *func, escapes.functions[i],
+                             escapes.escapingGlobals, result.layouts,
+                             result.stats, options)
+            .run();
+    }
+    return result;
+}
+
+} // namespace infat

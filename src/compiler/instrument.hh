@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The In-Fat Pointer compiler instrumentation pass (paper §3.1, §4.2).
+ *
+ * Rewrites a module in place:
+ *  - escaping stack objects: the alloca is padded for metadata and a
+ *    RegisterObj / DeregisterObj pair brackets the object lifetime
+ *    (IFP_Register / IFP_Deregister in the paper's Listing 2);
+ *  - escaping globals are marked for registration at startup (the
+ *    "getptr" mechanism collapses to startup registration here);
+ *  - typed heap allocation sites become runtime-allocator calls that
+ *    carry the layout table (IfpMallocTyped); calls to plain malloc()
+ *    (allocation wrappers, function-pointer indirection) also route to
+ *    the runtime but without a layout table, reproducing the failed
+ *    narrowing the paper reports for CoreMark/bzip2/wolfcrypt;
+ *  - field GEPs lower to ifpadd + ifpidx + ifpbnd (static subobject
+ *    narrowing); when the derived pointer's only use is as the address
+ *    of loads/stores, the ifpidx/ifpbnd pair is dead (nothing ever
+ *    reads the index or the narrowed bounds register) and is not
+ *    emitted, matching what DCE does to the paper's LLVM-based pass;
+ *    array GEPs lower to ifpadd only, keeping index and bounds;
+ *  - pointer loads are followed by a promote;
+ *  - the number of bounds registers each function saves across calls is
+ *    recorded for ldbnd/stbnd accounting (paper §4.1.2).
+ */
+
+#ifndef INFAT_COMPILER_INSTRUMENT_HH
+#define INFAT_COMPILER_INSTRUMENT_HH
+
+#include "compiler/layout_gen.hh"
+#include "ir/module.hh"
+
+namespace infat {
+
+struct InstrumentOptions
+{
+    /**
+     * When true, emit an explicit ifpchk before every dereference
+     * instead of relying on the LSU's implicit checking (paper §4.1.1
+     * proposes implicit checks exactly to avoid this instruction
+     * overhead; the option exists for the ablation benchmark).
+     */
+    bool explicitChecks = false;
+};
+
+struct InstrumentStats
+{
+    uint64_t instrumentedGlobals = 0;
+    uint64_t globalsWithLayout = 0;
+    uint64_t allocaSites = 0;
+    uint64_t allocaSitesWithLayout = 0;
+    uint64_t mallocSitesTyped = 0;
+    uint64_t mallocSitesUntyped = 0;
+    uint64_t promotesInserted = 0;
+    uint64_t gepsLowered = 0;
+};
+
+struct InstrumentResult
+{
+    LayoutRegistry layouts;
+    InstrumentStats stats;
+};
+
+/**
+ * Instrument @p module in place. Functions flagged uninstrumented and
+ * native functions are left alone (legacy code).
+ */
+InstrumentResult instrumentModule(ir::Module &module,
+                                  const InstrumentOptions &options = {});
+
+} // namespace infat
+
+#endif // INFAT_COMPILER_INSTRUMENT_HH

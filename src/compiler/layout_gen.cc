@@ -1,0 +1,158 @@
+#include "compiler/layout_gen.hh"
+
+#include "support/logging.hh"
+
+namespace infat {
+
+using ir::ArrayType;
+using ir::StructType;
+using ir::Type;
+
+namespace {
+
+/** Entries contributed by the subtree of one field of type @p type. */
+uint64_t
+entriesForField(const Type *type)
+{
+    if (type->isStruct()) {
+        const auto *st = static_cast<const StructType *>(type);
+        uint64_t n = 1;
+        for (size_t i = 0; i < st->numFields(); ++i)
+            n += entriesForField(st->field(i));
+        return n;
+    }
+    if (type->isArray()) {
+        const auto *at = static_cast<const ArrayType *>(type);
+        const Type *elem = at->elem();
+        // The array entry doubles as the element context (Figure 9:
+        // S.array has one entry; the element struct's fields hang
+        // directly off it).
+        uint64_t n = 1;
+        if (elem->isStruct()) {
+            const auto *st = static_cast<const StructType *>(elem);
+            for (size_t i = 0; i < st->numFields(); ++i)
+                n += entriesForField(st->field(i));
+        } else if (elem->isArray()) {
+            n += entriesForField(elem);
+        }
+        return n;
+    }
+    return 1;
+}
+
+class TableBuilder
+{
+  public:
+    LayoutTable
+    build(const Type *root)
+    {
+        LayoutEntry root_entry;
+        root_entry.parent = 0;
+        root_entry.base = 0;
+        if (root->isArray()) {
+            const auto *at = static_cast<const ArrayType *>(root);
+            root_entry.bound = static_cast<uint32_t>(at->size());
+            root_entry.size = static_cast<uint32_t>(at->elem()->size());
+            table_.addEntry(root_entry);
+            addElementChildren(0, at->elem());
+        } else {
+            root_entry.bound = static_cast<uint32_t>(root->size());
+            root_entry.size = static_cast<uint32_t>(root->size());
+            table_.addEntry(root_entry);
+            addElementChildren(0, root);
+        }
+        return std::move(table_);
+    }
+
+  private:
+    /** Add the children living inside one element of entry @p parent. */
+    void
+    addElementChildren(uint16_t parent, const Type *elem)
+    {
+        if (elem->isStruct()) {
+            const auto *st = static_cast<const StructType *>(elem);
+            for (size_t i = 0; i < st->numFields(); ++i) {
+                addField(parent, st->field(i),
+                         static_cast<uint32_t>(st->fieldOffset(i)));
+            }
+        } else if (elem->isArray()) {
+            addField(parent, elem, 0);
+        }
+    }
+
+    void
+    addField(uint16_t parent, const Type *type, uint32_t base)
+    {
+        LayoutEntry entry;
+        entry.parent = parent;
+        entry.base = base;
+        if (type->isArray()) {
+            const auto *at = static_cast<const ArrayType *>(type);
+            entry.bound = base + static_cast<uint32_t>(at->size());
+            entry.size = static_cast<uint32_t>(at->elem()->size());
+            auto idx = static_cast<uint16_t>(table_.numEntries());
+            table_.addEntry(entry);
+            addElementChildren(idx, at->elem());
+        } else {
+            entry.bound = base + static_cast<uint32_t>(type->size());
+            entry.size = static_cast<uint32_t>(type->size());
+            auto idx = static_cast<uint16_t>(table_.numEntries());
+            table_.addEntry(entry);
+            if (type->isStruct())
+                addElementChildren(idx, type);
+        }
+    }
+
+    LayoutTable table_;
+};
+
+} // namespace
+
+uint64_t
+layoutSubtreeEntries(const Type *type)
+{
+    return entriesForField(type);
+}
+
+uint64_t
+layoutFieldDelta(const StructType *struct_type, unsigned field_index)
+{
+    panic_if(field_index >= struct_type->numFields(),
+             "field index out of range");
+    uint64_t delta = 1;
+    for (unsigned i = 0; i < field_index; ++i)
+        delta += entriesForField(struct_type->field(i));
+    return delta;
+}
+
+LayoutTable
+buildLayoutTable(const Type *root)
+{
+    return TableBuilder().build(root);
+}
+
+ir::LayoutId
+LayoutRegistry::tableFor(const Type *type)
+{
+    auto it = byType_.find(type);
+    if (it != byType_.end())
+        return it->second;
+
+    // Types without subobjects need no table: their object bounds are
+    // already the finest granularity.
+    if (layoutSubtreeEntries(type) <= 1) {
+        byType_.emplace(type, ir::noLayout);
+        return ir::noLayout;
+    }
+
+    LayoutTable table = buildLayoutTable(type);
+    std::string error;
+    panic_if(!table.verify(&error), "generated bad layout table for %s: %s",
+             type->toString().c_str(), error.c_str());
+    auto id = static_cast<ir::LayoutId>(tables_.size());
+    tables_.push_back(std::move(table));
+    byType_.emplace(type, id);
+    return id;
+}
+
+} // namespace infat

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Layout-table generation from IR types (paper §3.4, Figure 9).
+ *
+ * Tables are generated in DFS preorder over the subobject tree. This
+ * ordering has a crucial property the instrumentation relies on: the
+ * layout-table index of a field is always the parent's index plus a
+ * statically known *relative* delta, no matter which root type the
+ * table was generated for. The ifpidx instruction therefore only needs
+ * a static immediate delta, and a `NestedTy *` pointer can be narrowed
+ * correctly whether it points into a `struct S` or at a standalone
+ * allocation.
+ *
+ * One table is generated per root type and shared by all objects of the
+ * type; types without subobjects (scalars, arrays of scalars as whole
+ * allocations are described by their object bounds alone) get no table.
+ */
+
+#ifndef INFAT_COMPILER_LAYOUT_GEN_HH
+#define INFAT_COMPILER_LAYOUT_GEN_HH
+
+#include <map>
+#include <vector>
+
+#include "ifp/layout_table.hh"
+#include "ir/instr.hh"
+#include "ir/type.hh"
+
+namespace infat {
+
+/** Module-wide registry of generated layout tables. */
+class LayoutRegistry
+{
+  public:
+    /**
+     * Get (generating on demand) the layout table id for allocations of
+     * @p type. Returns ir::noLayout when the type has no subobjects.
+     */
+    ir::LayoutId tableFor(const ir::Type *type);
+
+    /** Lookup without generation; ir::noLayout when never generated. */
+    ir::LayoutId
+    find(const ir::Type *type) const
+    {
+        auto it = byType_.find(type);
+        return it == byType_.end() ? ir::noLayout : it->second;
+    }
+
+    const LayoutTable &table(ir::LayoutId id) const
+    {
+        return tables_.at(id);
+    }
+    size_t numTables() const { return tables_.size(); }
+    const std::vector<LayoutTable> &tables() const { return tables_; }
+
+  private:
+    std::vector<LayoutTable> tables_;
+    std::map<const ir::Type *, ir::LayoutId> byType_;
+};
+
+/**
+ * Number of layout-table entries in the subtree rooted at @p type
+ * (including the entry for the root itself).
+ */
+uint64_t layoutSubtreeEntries(const ir::Type *type);
+
+/**
+ * The static subobject-index delta for taking the address of
+ * @p field_index within @p struct_type: new index = pointer's current
+ * index + delta. This is the immediate carried by ifpidx.
+ */
+uint64_t layoutFieldDelta(const ir::StructType *struct_type,
+                          unsigned field_index);
+
+/** Build the full layout table for a root type (exposed for tests). */
+LayoutTable buildLayoutTable(const ir::Type *root);
+
+} // namespace infat
+
+#endif // INFAT_COMPILER_LAYOUT_GEN_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Structural FPGA-area model for the hardware changes (paper §5.3).
+ *
+ * We cannot synthesize RTL here, so Figure 13 is reproduced with a
+ * structural cost model: every hardware block the design adds is
+ * described as an inventory of primitives (register bits, adder bits,
+ * comparator bits, mux inputs, divider stages, state-machine states),
+ * each with a LUT-equivalent cost. The primitive costs are calibrated
+ * once so the *vanilla* CVA6 stage totals match the paper's reported
+ * decomposition; the *growth* column is then computed from the actual
+ * inventory implied by IfpConfig (bounds-register width and count,
+ * number of schemes, walker depth, etc.), so design-parameter changes
+ * move the model the way they would move the RTL.
+ */
+
+#ifndef INFAT_IFP_AREA_MODEL_HH
+#define INFAT_IFP_AREA_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ifp/config.hh"
+
+namespace infat {
+
+/** LUT-equivalent costs of synthesis primitives (calibration knobs). */
+struct AreaPrimitives
+{
+    double lutPerRegBit = 0.35;     // register bit incl. write mux
+    double lutPerAdderBit = 1.0;    // carry-chain adder/subtractor bit
+    double lutPerCmpBit = 0.5;      // comparator bit
+    double lutPerMuxInputBit = 0.3; // one 1-bit mux leg
+    double lutPerDividerStage = 55; // one radix-2 restoring stage (48b)
+    double lutPerFsmState = 18;     // control FSM state
+    double lutPerDecodeTerm = 6;    // instruction decode product term
+};
+
+struct AreaItem
+{
+    std::string component;
+    double luts;
+};
+
+/** One pipeline-stage row of Figure 13: vanilla LUTs and LUT growth. */
+struct StageArea
+{
+    std::string stage;
+    double vanillaLuts;
+    double growthLuts;
+    std::vector<AreaItem> breakdown;
+};
+
+class AreaModel
+{
+  public:
+    explicit AreaModel(const IfpConfig &config = {},
+                       const AreaPrimitives &prims = {});
+
+    /** Per-stage vanilla/growth rows (Figure 13's stacked bars). */
+    std::vector<StageArea> stages() const;
+
+    /** Breakdown inside the IFP unit (walker vs schemes vs rest). */
+    std::vector<AreaItem> ifpUnitBreakdown() const;
+
+    double vanillaTotal() const;
+    double growthTotal() const;
+
+    /** Growth with the layout walker removed (paper §5.3's trade-off). */
+    double growthWithoutWalker() const;
+
+  private:
+    double boundsRegfileLuts() const;
+    double issueForwardingLuts() const;
+    double lsuGrowthLuts() const;
+    double ifpUnitLuts() const;
+    double walkerLuts() const;
+    double schemesLuts() const;
+    double macUnitLuts() const;
+    double decodeGrowthLuts() const;
+
+    IfpConfig config_;
+    AreaPrimitives prims_;
+};
+
+} // namespace infat
+
+#endif // INFAT_IFP_AREA_MODEL_HH

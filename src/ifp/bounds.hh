@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Pointer bounds as held in an In-Fat Pointer Register (IFPR).
+ *
+ * Each of the 32 general-purpose registers pairs with a 96-bit
+ * (2 x 48-bit) bounds register (paper §4.1). A cleared bounds register
+ * means the paired pointer is not subject to bounds checking (legacy or
+ * demoted pointers).
+ */
+
+#ifndef INFAT_IFP_BOUNDS_HH
+#define INFAT_IFP_BOUNDS_HH
+
+#include <string>
+
+#include "mem/address_space.hh"
+#include "support/logging.hh"
+
+namespace infat {
+
+class Bounds
+{
+  public:
+    constexpr Bounds() = default;
+    constexpr Bounds(GuestAddr lower, GuestAddr upper)
+        : lower_(lower), upper_(upper), valid_(true)
+    {
+    }
+
+    /** The cleared state: not subject to checking. */
+    static constexpr Bounds
+    cleared()
+    {
+        return Bounds();
+    }
+
+    constexpr bool valid() const { return valid_; }
+    constexpr GuestAddr lower() const { return lower_; }
+    constexpr GuestAddr upper() const { return upper_; }
+    constexpr uint64_t size() const { return upper_ - lower_; }
+
+    /**
+     * The access-size check (paper §4.1): the address must be at or
+     * above the lower bound and addr + size must not exceed the upper
+     * bound. Cleared bounds pass everything.
+     */
+    constexpr bool
+    contains(GuestAddr addr, uint64_t access_size) const
+    {
+        if (!valid_)
+            return true;
+        GuestAddr canon = layout::canonical(addr);
+        return canon >= lower_ && canon + access_size <= upper_;
+    }
+
+    /** C legally permits a pointer one past the end (paper footnote 4). */
+    constexpr bool
+    recoverable(GuestAddr addr) const
+    {
+        if (!valid_)
+            return true;
+        GuestAddr canon = layout::canonical(addr);
+        return canon >= lower_ && canon <= upper_;
+    }
+
+    std::string
+    toString() const
+    {
+        if (!valid_)
+            return "[cleared]";
+        return strfmt("[%#llx, %#llx)",
+                      static_cast<unsigned long long>(lower_),
+                      static_cast<unsigned long long>(upper_));
+    }
+
+    constexpr bool operator==(const Bounds &other) const = default;
+
+  private:
+    GuestAddr lower_ = 0;
+    GuestAddr upper_ = 0;
+    bool valid_ = false;
+};
+
+} // namespace infat
+
+#endif // INFAT_IFP_BOUNDS_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * All In-Fat Pointer design parameters in one place.
+ *
+ * Values default to the paper's prototype choices (§3.3, §4): a 16-bit
+ * tag with 2 poison + 2 scheme-selector bits, a 16-byte granule and
+ * 6-bit offset for the local offset scheme (max object 1008 B, 64 layout
+ * entries), 16 subheap control registers with 8-bit subobject indices,
+ * and a 4096-row global metadata table.
+ */
+
+#ifndef INFAT_IFP_CONFIG_HH
+#define INFAT_IFP_CONFIG_HH
+
+#include <cstdint>
+
+namespace infat {
+
+struct IfpConfig
+{
+    // --- Tag geometry (fixed by the paper's Figure 4) ---
+    static constexpr unsigned tagBits = 16;
+    static constexpr unsigned poisonBits = 2;
+    static constexpr unsigned schemeBits = 2;
+    static constexpr unsigned metaBits = 12;
+
+    // --- Local offset scheme ---
+    static constexpr unsigned granuleBytes = 16;
+    static constexpr unsigned localOffsetBits = 6;
+    static constexpr unsigned localSubobjBits = 6;
+    /** Max object size: (2^6 - 1) * 16 = 1008 bytes (paper §3.3.1). */
+    static constexpr uint64_t localMaxObjectBytes =
+        ((1ULL << localOffsetBits) - 1) * granuleBytes;
+    static constexpr unsigned localMetadataBytes = 16;
+
+    // --- Subheap scheme ---
+    static constexpr unsigned subheapCtrlRegBits = 4;
+    static constexpr unsigned numSubheapCtrlRegs = 1u << subheapCtrlRegBits;
+    static constexpr unsigned subheapSubobjBits = 8;
+    static constexpr unsigned subheapMetadataBytes = 32;
+
+    // --- Global table scheme ---
+    static constexpr unsigned globalIndexBits = 12;
+    static constexpr unsigned globalTableRows = 1u << globalIndexBits;
+    static constexpr unsigned globalRowBytes = 16;
+
+    // --- Layout tables ---
+    static constexpr unsigned layoutEntryBytes = 16;
+    static constexpr unsigned maxLayoutWalkDepth = 8;
+
+    // --- Runtime feature toggles (benchmark configurations) ---
+    /** When true, promote behaves as a nop (the "no-promote" variant). */
+    bool noPromote = false;
+    /** Verify metadata MACs during promote. */
+    bool macEnabled = true;
+    /** Perform subobject narrowing when layout tables are present. */
+    bool narrowingEnabled = true;
+
+    // --- Timing (cycles; see DESIGN.md §5) ---
+    unsigned promoteBaseCycles = 3;
+    unsigned macCheckCycles = 2;
+    unsigned divisionCycles = 8;
+    unsigned layoutStepCycles = 1;
+};
+
+} // namespace infat
+
+#endif // INFAT_IFP_CONFIG_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Architectural control state introduced by In-Fat Pointer.
+ *
+ * The prototype dedicates 16 control registers to the subheap scheme
+ * (paper §3.3.2): each maps a 4-bit tag field to a memory-block size and
+ * the offset from block base to the shared block metadata. A further
+ * control register holds the global metadata table base (§3.3.3), and
+ * the MAC key used by ifpmac/promote is architectural per-process state.
+ */
+
+#ifndef INFAT_IFP_CONTROL_REGS_HH
+#define INFAT_IFP_CONTROL_REGS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "ifp/config.hh"
+#include "mem/address_space.hh"
+
+namespace infat {
+
+/** 128-bit key for the metadata MAC. */
+struct MacKey
+{
+    uint64_t k0 = 0;
+    uint64_t k1 = 0;
+};
+
+/** One subheap control register: implementation-defined mapping from
+ *  tag bits to block size and metadata offset (Figure 7's dashed box). */
+struct SubheapCtrlReg
+{
+    bool valid = false;
+    /** log2 of the power-of-2 block size. */
+    uint8_t blockOrderLog2 = 0;
+    /** Offset from block base to the 32-byte common metadata. */
+    uint32_t metaOffset = 0;
+};
+
+struct IfpControlRegs
+{
+    std::array<SubheapCtrlReg, IfpConfig::numSubheapCtrlRegs> subheap;
+
+    GuestAddr globalTableBase = 0;
+    uint32_t globalTableRows = 0;
+
+    MacKey macKey;
+};
+
+} // namespace infat
+
+#endif // INFAT_IFP_CONTROL_REGS_HH

@@ -1,0 +1,101 @@
+#include "ifp/layout_table.hh"
+
+#include "mem/guest_memory.hh"
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace infat {
+
+void
+LayoutEntry::encode(uint64_t &word0, uint64_t &word1) const
+{
+    word0 = static_cast<uint64_t>(base) |
+            (static_cast<uint64_t>(bound) << 32);
+    word1 = static_cast<uint64_t>(parent) |
+            (static_cast<uint64_t>(size) << 16);
+}
+
+LayoutEntry
+LayoutEntry::decode(uint64_t word0, uint64_t word1)
+{
+    LayoutEntry entry;
+    entry.base = static_cast<uint32_t>(bits(word0, 31, 0));
+    entry.bound = static_cast<uint32_t>(bits(word0, 63, 32));
+    entry.parent = static_cast<uint16_t>(bits(word1, 15, 0));
+    entry.size = static_cast<uint32_t>(bits(word1, 47, 16));
+    return entry;
+}
+
+void
+LayoutTable::writeTo(GuestMemory &mem, GuestAddr base) const
+{
+    panic_if(base & 0xf, "layout table base not 16-byte aligned");
+    GuestAddr cur = base;
+    for (const auto &entry : entries_) {
+        uint64_t word0, word1;
+        entry.encode(word0, word1);
+        mem.store<uint64_t>(cur, word0);
+        mem.store<uint64_t>(cur + 8, word1);
+        cur += IfpConfig::layoutEntryBytes;
+    }
+}
+
+LayoutEntry
+LayoutTable::fetchEntry(GuestMemory &mem, GuestAddr table_base,
+                        uint64_t index)
+{
+    GuestAddr addr = table_base + index * IfpConfig::layoutEntryBytes;
+    return LayoutEntry::decode(mem.load<uint64_t>(addr),
+                               mem.load<uint64_t>(addr + 8));
+}
+
+bool
+LayoutTable::verify(std::string *error) const
+{
+    auto fail = [&](std::string msg) {
+        if (error)
+            *error = std::move(msg);
+        return false;
+    };
+
+    if (entries_.empty())
+        return fail("layout table has no entries");
+    const LayoutEntry &root = entries_[0];
+    if (root.parent != 0)
+        return fail("entry 0 must be its own parent");
+    if (root.base != 0)
+        return fail("entry 0 base must be 0");
+
+    for (size_t i = 1; i < entries_.size(); ++i) {
+        const LayoutEntry &entry = entries_[i];
+        if (entry.parent >= i)
+            return fail(strfmt("entry %zu parent %u does not precede it",
+                               i, entry.parent));
+        if (entry.base >= entry.bound)
+            return fail(strfmt("entry %zu has empty range", i));
+        if (entry.size == 0)
+            return fail(strfmt("entry %zu has zero size", i));
+        if ((entry.bound - entry.base) % entry.size != 0)
+            return fail(strfmt("entry %zu span not multiple of size", i));
+        const LayoutEntry &parent = entries_[entry.parent];
+        // Child offsets are relative to one parent *element*.
+        if (entry.bound > parent.size)
+            return fail(strfmt("entry %zu exceeds parent element", i));
+    }
+    return true;
+}
+
+std::string
+LayoutTable::toString() const
+{
+    std::string out;
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        const LayoutEntry &entry = entries_[i];
+        out += strfmt("%zu: parent=%u [%u, %u) size=%u%s\n", i,
+                      entry.parent, entry.base, entry.bound, entry.size,
+                      entry.isArray() ? " (array)" : "");
+    }
+    return out;
+}
+
+} // namespace infat

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Per-type layout tables (paper §3.4, Figure 9).
+ *
+ * A layout table flattens a type's subobject tree into an array of
+ * entries {parent, base, bound, size}. Entry 0 is the object itself;
+ * base/bound of every other entry are byte offsets relative to the base
+ * of the *parent* subobject (or, when the parent is an array, relative
+ * to the array element containing the address). size is the element size
+ * for arrays and the full subobject size otherwise, so an entry
+ * describes an array exactly when bound - base > size.
+ *
+ * Each entry occupies 16 bytes in guest memory:
+ *   word0: bits 31:0  base, bits 63:32 bound
+ *   word1: bits 15:0  parent, bits 47:16 size, bits 63:48 reserved
+ *
+ * One table is shared by all objects of the same type (paper §3.3).
+ */
+
+#ifndef INFAT_IFP_LAYOUT_TABLE_HH
+#define INFAT_IFP_LAYOUT_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ifp/config.hh"
+#include "mem/address_space.hh"
+
+namespace infat {
+
+class GuestMemory;
+
+struct LayoutEntry
+{
+    uint16_t parent = 0;
+    uint32_t base = 0;
+    uint32_t bound = 0;
+    uint32_t size = 0;
+
+    bool isArray() const { return bound - base > size; }
+
+    /** Encode into the two guest-memory words. */
+    void encode(uint64_t &word0, uint64_t &word1) const;
+    static LayoutEntry decode(uint64_t word0, uint64_t word1);
+
+    bool operator==(const LayoutEntry &other) const = default;
+};
+
+/**
+ * A host-side layout table under construction (the compile-time
+ * artifact, "__IFP_LT_..." in the paper's Listing 2), plus helpers to
+ * materialize it into guest memory and read entries back.
+ */
+class LayoutTable
+{
+  public:
+    LayoutTable() = default;
+    explicit LayoutTable(std::vector<LayoutEntry> entries)
+        : entries_(std::move(entries))
+    {
+    }
+
+    uint16_t
+    addEntry(const LayoutEntry &entry)
+    {
+        entries_.push_back(entry);
+        return static_cast<uint16_t>(entries_.size() - 1);
+    }
+
+    size_t numEntries() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    const LayoutEntry &entry(size_t i) const { return entries_.at(i); }
+    const std::vector<LayoutEntry> &entries() const { return entries_; }
+
+    /** Total guest-memory footprint of the table. */
+    uint64_t
+    byteSize() const
+    {
+        return entries_.size() * IfpConfig::layoutEntryBytes;
+    }
+
+    /** Write all entries to guest memory at @p base (16-aligned). */
+    void writeTo(GuestMemory &mem, GuestAddr base) const;
+
+    /** Read one entry of a materialized table from guest memory. */
+    static LayoutEntry fetchEntry(GuestMemory &mem, GuestAddr table_base,
+                                  uint64_t index);
+
+    /** Structural sanity: parents precede children, offsets nest. */
+    bool verify(std::string *error = nullptr) const;
+
+    std::string toString() const;
+
+  private:
+    std::vector<LayoutEntry> entries_;
+};
+
+} // namespace infat
+
+#endif // INFAT_IFP_LAYOUT_TABLE_HH

@@ -1,0 +1,169 @@
+#include "ifp/metadata.hh"
+
+#include "mem/guest_memory.hh"
+#include "support/bitops.hh"
+#include "support/logging.hh"
+#include "support/siphash.hh"
+
+namespace infat {
+
+// --- LocalOffsetMeta ---
+
+uint64_t
+LocalOffsetMeta::word0() const
+{
+    return (objectSize & mask(16)) |
+           (layout::canonical(layoutTable) << 16);
+}
+
+void
+LocalOffsetMeta::write(GuestMemory &mem, GuestAddr meta_addr,
+                       uint64_t object_size, GuestAddr layout_table,
+                       const MacKey &key)
+{
+    panic_if(object_size > mask(16), "local-offset object too large");
+    LocalOffsetMeta meta;
+    meta.objectSize = object_size;
+    meta.layoutTable = layout::canonical(layout_table);
+    uint64_t w0 = meta.word0();
+    uint64_t m = mac48(w0, layout::canonical(meta_addr), key.k0, key.k1);
+    uint64_t w1 = m | (static_cast<uint64_t>(magicValue) << 48);
+    mem.store<uint64_t>(meta_addr, w0);
+    mem.store<uint64_t>(meta_addr + 8, w1);
+}
+
+LocalOffsetMeta
+LocalOffsetMeta::read(GuestMemory &mem, GuestAddr meta_addr)
+{
+    uint64_t w0 = mem.load<uint64_t>(meta_addr);
+    uint64_t w1 = mem.load<uint64_t>(meta_addr + 8);
+    LocalOffsetMeta meta;
+    meta.objectSize = bits(w0, 15, 0);
+    meta.layoutTable = bits(w0, 63, 16);
+    meta.mac = bits(w1, 47, 0);
+    meta.magic = static_cast<uint8_t>(bits(w1, 55, 48));
+    return meta;
+}
+
+bool
+LocalOffsetMeta::verify(GuestAddr meta_addr, const MacKey &key) const
+{
+    if (magic != magicValue)
+        return false;
+    uint64_t expect =
+        mac48(word0(), layout::canonical(meta_addr), key.k0, key.k1);
+    return mac == expect;
+}
+
+void
+LocalOffsetMeta::erase(GuestMemory &mem, GuestAddr meta_addr)
+{
+    mem.store<uint64_t>(meta_addr, 0);
+    mem.store<uint64_t>(meta_addr + 8, 0);
+}
+
+// --- SubheapBlockMeta ---
+
+void
+SubheapBlockMeta::encodeWords(uint64_t words[3]) const
+{
+    words[0] = static_cast<uint64_t>(slotsStart) |
+               (static_cast<uint64_t>(slotsEnd) << 32);
+    words[1] = static_cast<uint64_t>(slotSize) |
+               (static_cast<uint64_t>(objectSize) << 32);
+    words[2] = layout::canonical(layoutTable) |
+               (static_cast<uint64_t>(valid ? 1 : 0) << 48);
+}
+
+void
+SubheapBlockMeta::write(GuestMemory &mem, GuestAddr block_base,
+                        uint32_t meta_offset, const SubheapBlockMeta &meta,
+                        const MacKey &key)
+{
+    uint64_t words[4];
+    meta.encodeWords(words);
+    words[3] = layout::canonical(block_base);
+    uint64_t m = mac48Words(words, 4, key.k0, key.k1);
+    GuestAddr addr = block_base + meta_offset;
+    mem.store<uint64_t>(addr, words[0]);
+    mem.store<uint64_t>(addr + 8, words[1]);
+    mem.store<uint64_t>(addr + 16, words[2]);
+    mem.store<uint64_t>(addr + 24, m);
+}
+
+SubheapBlockMeta
+SubheapBlockMeta::read(GuestMemory &mem, GuestAddr block_base,
+                       uint32_t meta_offset)
+{
+    GuestAddr addr = block_base + meta_offset;
+    uint64_t w0 = mem.load<uint64_t>(addr);
+    uint64_t w1 = mem.load<uint64_t>(addr + 8);
+    uint64_t w2 = mem.load<uint64_t>(addr + 16);
+    uint64_t w3 = mem.load<uint64_t>(addr + 24);
+    SubheapBlockMeta meta;
+    meta.slotsStart = static_cast<uint32_t>(bits(w0, 31, 0));
+    meta.slotsEnd = static_cast<uint32_t>(bits(w0, 63, 32));
+    meta.slotSize = static_cast<uint32_t>(bits(w1, 31, 0));
+    meta.objectSize = static_cast<uint32_t>(bits(w1, 63, 32));
+    meta.layoutTable = bits(w2, 47, 0);
+    meta.valid = bits(w2, 48, 48) != 0;
+    meta.mac = bits(w3, 47, 0);
+    return meta;
+}
+
+bool
+SubheapBlockMeta::verify(GuestAddr block_base, const MacKey &key) const
+{
+    if (!valid)
+        return false;
+    uint64_t words[4];
+    encodeWords(words);
+    words[3] = layout::canonical(block_base);
+    return mac == mac48Words(words, 4, key.k0, key.k1);
+}
+
+void
+SubheapBlockMeta::erase(GuestMemory &mem, GuestAddr block_base,
+                        uint32_t meta_offset)
+{
+    GuestAddr addr = block_base + meta_offset;
+    for (unsigned i = 0; i < 4; ++i)
+        mem.store<uint64_t>(addr + i * 8, 0);
+}
+
+// --- GlobalTableRow ---
+
+void
+GlobalTableRow::write(GuestMemory &mem, GuestAddr table_base,
+                      uint64_t index, const GlobalTableRow &row)
+{
+    GuestAddr addr = rowAddr(table_base, index);
+    uint64_t w0 = layout::canonical(row.base) |
+                  (static_cast<uint64_t>(row.valid ? 1 : 0) << 48);
+    mem.store<uint64_t>(addr, w0);
+    mem.store<uint64_t>(addr + 8, row.size);
+}
+
+GlobalTableRow
+GlobalTableRow::read(GuestMemory &mem, GuestAddr table_base,
+                     uint64_t index)
+{
+    GuestAddr addr = rowAddr(table_base, index);
+    uint64_t w0 = mem.load<uint64_t>(addr);
+    GlobalTableRow row;
+    row.base = bits(w0, 47, 0);
+    row.valid = bits(w0, 48, 48) != 0;
+    row.size = mem.load<uint64_t>(addr + 8);
+    return row;
+}
+
+void
+GlobalTableRow::erase(GuestMemory &mem, GuestAddr table_base,
+                      uint64_t index)
+{
+    GuestAddr addr = rowAddr(table_base, index);
+    mem.store<uint64_t>(addr, 0);
+    mem.store<uint64_t>(addr + 8, 0);
+}
+
+} // namespace infat

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * In-memory object metadata encodings for the three schemes (paper §3.3).
+ *
+ * Local offset (16 bytes, appended after the object, granule-aligned):
+ *   word0: bits 15:0 object size, bits 63:16 layout-table address
+ *          (canonical 48-bit; 0 = no layout table)
+ *   word1: bits 47:0 MAC, bits 55:48 magic 0xA5, bits 63:56 reserved
+ *   The MAC covers (word0, metadata address) so metadata cannot be
+ *   replayed at a different location.
+ *
+ * Subheap block metadata (32 bytes, shared by all objects in a block):
+ *   word0: bits 31:0 slot-array start offset, bits 63:32 end offset
+ *          (both relative to the block base)
+ *   word1: bits 31:0 slot size, bits 63:32 object size
+ *   word2: bits 47:0 layout-table address, bit 48 valid flag
+ *   word3: bits 47:0 MAC over (word0..word2, block base)
+ *
+ * Global table row (16 bytes):
+ *   word0: bits 47:0 object base address, bit 48 valid flag,
+ *          bit 49 layout-table-present (unused: the prototype devotes
+ *          all 12 tag bits to the row index, so no narrowing, §3.3.3)
+ *   word1: object size
+ *   Rows live in runtime-owned memory and carry no MAC (the table is
+ *   the integrity root the other schemes defend with MACs).
+ */
+
+#ifndef INFAT_IFP_METADATA_HH
+#define INFAT_IFP_METADATA_HH
+
+#include <cstdint>
+
+#include "ifp/control_regs.hh"
+#include "mem/address_space.hh"
+
+namespace infat {
+
+class GuestMemory;
+
+/** Decoded local-offset metadata. */
+struct LocalOffsetMeta
+{
+    uint64_t objectSize = 0;
+    GuestAddr layoutTable = 0; // 0 = none
+    uint64_t mac = 0;
+    uint8_t magic = 0;
+
+    static constexpr uint8_t magicValue = 0xA5;
+
+    /** Encode + MAC and write to guest memory at @p meta_addr. */
+    static void write(GuestMemory &mem, GuestAddr meta_addr,
+                      uint64_t object_size, GuestAddr layout_table,
+                      const MacKey &key);
+
+    /** Read raw words from @p meta_addr and decode (no verification). */
+    static LocalOffsetMeta read(GuestMemory &mem, GuestAddr meta_addr);
+
+    /** Verify magic and MAC for metadata loaded from @p meta_addr. */
+    bool verify(GuestAddr meta_addr, const MacKey &key) const;
+
+    /** Invalidate metadata in memory (object deallocation). */
+    static void erase(GuestMemory &mem, GuestAddr meta_addr);
+
+  private:
+    uint64_t word0() const;
+};
+
+/** Decoded subheap block metadata. */
+struct SubheapBlockMeta
+{
+    uint32_t slotsStart = 0;
+    uint32_t slotsEnd = 0;
+    uint32_t slotSize = 0;
+    uint32_t objectSize = 0;
+    GuestAddr layoutTable = 0;
+    bool valid = false;
+    uint64_t mac = 0;
+
+    static void write(GuestMemory &mem, GuestAddr block_base,
+                      uint32_t meta_offset, const SubheapBlockMeta &meta,
+                      const MacKey &key);
+
+    static SubheapBlockMeta read(GuestMemory &mem, GuestAddr block_base,
+                                 uint32_t meta_offset);
+
+    bool verify(GuestAddr block_base, const MacKey &key) const;
+
+    static void erase(GuestMemory &mem, GuestAddr block_base,
+                      uint32_t meta_offset);
+
+  private:
+    void encodeWords(uint64_t words[3]) const;
+};
+
+/** Decoded global-table row. */
+struct GlobalTableRow
+{
+    GuestAddr base = 0;
+    uint64_t size = 0;
+    bool valid = false;
+
+    static void write(GuestMemory &mem, GuestAddr table_base,
+                      uint64_t index, const GlobalTableRow &row);
+
+    static GlobalTableRow read(GuestMemory &mem, GuestAddr table_base,
+                               uint64_t index);
+
+    static void erase(GuestMemory &mem, GuestAddr table_base,
+                      uint64_t index);
+
+    static GuestAddr
+    rowAddr(GuestAddr table_base, uint64_t index)
+    {
+        return table_base + index * 16;
+    }
+};
+
+} // namespace infat
+
+#endif // INFAT_IFP_METADATA_HH

@@ -1,0 +1,91 @@
+#include "ifp/ops.hh"
+
+#include "ifp/config.hh"
+#include "support/bitops.hh"
+
+namespace infat {
+namespace ops {
+
+TaggedPtr
+ifpAdd(TaggedPtr ptr, int64_t delta, const Bounds &bounds)
+{
+    GuestAddr old_addr = ptr.addr();
+    GuestAddr new_addr = layout::canonical(
+        old_addr + static_cast<uint64_t>(delta));
+    TaggedPtr result = ptr.withAddr(new_addr);
+
+    if (ptr.poison() == Poison::Invalid)
+        return result; // invalid is sticky
+
+    if (ptr.scheme() == Scheme::LocalOffset) {
+        int64_t granules_crossed =
+            (static_cast<int64_t>(roundDown(new_addr,
+                                            IfpConfig::granuleBytes)) -
+             static_cast<int64_t>(roundDown(old_addr,
+                                            IfpConfig::granuleBytes))) /
+            static_cast<int64_t>(IfpConfig::granuleBytes);
+        int64_t new_offset =
+            static_cast<int64_t>(ptr.localGranuleOffset()) -
+            granules_crossed;
+        if (new_offset < 0 ||
+            new_offset > static_cast<int64_t>(
+                             mask(IfpConfig::localOffsetBits))) {
+            // Metadata no longer reachable: irrecoverable.
+            return result.withPoison(Poison::Invalid);
+        }
+        result = result.withLocalGranuleOffset(
+            static_cast<uint64_t>(new_offset));
+    }
+
+    if (bounds.valid()) {
+        Poison poison = bounds.contains(new_addr, 1) ? Poison::Valid
+                                                     : Poison::OutOfBounds;
+        result = result.withPoison(poison);
+    }
+    return result;
+}
+
+TaggedPtr
+ifpIdx(TaggedPtr ptr, uint64_t subobj_index)
+{
+    if (ptr.poison() == Poison::Invalid)
+        return ptr;
+    if (subobj_index > ptr.maxSubobjIndex())
+        return ptr.withSubobjIndex(0);
+    return ptr.withSubobjIndex(subobj_index);
+}
+
+Bounds
+ifpBnd(TaggedPtr ptr, uint64_t size)
+{
+    GuestAddr addr = ptr.addr();
+    return Bounds(addr, addr + size);
+}
+
+Bounds
+ifpBndRange(GuestAddr lower, GuestAddr upper)
+{
+    return Bounds(layout::canonical(lower), layout::canonical(upper));
+}
+
+TaggedPtr
+ifpChk(TaggedPtr ptr, const Bounds &bounds, uint64_t access_size)
+{
+    if (!bounds.valid())
+        return ptr; // unchecked (legacy / demoted)
+    if (ptr.poison() == Poison::Invalid)
+        return ptr;
+    Poison poison = bounds.contains(ptr.addr(), access_size)
+                        ? Poison::Valid
+                        : Poison::OutOfBounds;
+    return ptr.withPoison(poison);
+}
+
+TaggedPtr
+demote(TaggedPtr ptr)
+{
+    return ptr;
+}
+
+} // namespace ops
+} // namespace infat

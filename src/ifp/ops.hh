@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Semantics of the single-cycle In-Fat Pointer instructions (Table 3).
+ *
+ * These are the operations the prototype implements in the integer ALU:
+ * ifpadd (address computation with tag update), ifpidx (subobject index
+ * update), ifpbnd (bounds creation), ifpchk (access-size check),
+ * ifpextract (demote), and ifpmd (tag assembly). promote and ifpmac live
+ * in the IFP unit (promote_engine.hh / metadata.hh).
+ */
+
+#ifndef INFAT_IFP_OPS_HH
+#define INFAT_IFP_OPS_HH
+
+#include "ifp/bounds.hh"
+#include "ifp/tag.hh"
+
+namespace infat {
+namespace ops {
+
+/**
+ * ifpadd: compute ptr + delta, updating tag fields and poison bits.
+ *
+ * For local-offset pointers the granule-offset field tracks the distance
+ * to the object metadata, so the field is adjusted by the number of
+ * granule boundaries crossed; if the new distance is unrepresentable the
+ * metadata is unreachable and the pointer becomes irrecoverably invalid.
+ * When @p bounds are valid the result's poison bits reflect an access
+ * check at the new address.
+ */
+TaggedPtr ifpAdd(TaggedPtr ptr, int64_t delta, const Bounds &bounds);
+
+/** ifpidx: set the subobject index field (no-op for schemes without). */
+TaggedPtr ifpIdx(TaggedPtr ptr, uint64_t subobj_index);
+
+/** ifpbnd: create bounds of @p size bytes starting at the pointer. */
+Bounds ifpBnd(TaggedPtr ptr, uint64_t size);
+
+/** ifpbnd (range form): narrow to an explicit [lower, upper). */
+Bounds ifpBndRange(GuestAddr lower, GuestAddr upper);
+
+/**
+ * ifpchk: the access-size check. Checks addr >= lower and
+ * addr + access_size <= upper, and returns the pointer with poison bits
+ * updated; a failed check poisons the output so a subsequent dereference
+ * traps. Cleared bounds pass unconditionally (legacy pointers).
+ */
+TaggedPtr ifpChk(TaggedPtr ptr, const Bounds &bounds,
+                 uint64_t access_size);
+
+/**
+ * ifpextract (demote): produce the plain 64-bit pointer for storage to
+ * memory. The tag travels with the value; only the IFPR bounds are
+ * dropped, which is the caller's doing. Poison bits are preserved.
+ */
+TaggedPtr demote(TaggedPtr ptr);
+
+} // namespace ops
+} // namespace infat
+
+#endif // INFAT_IFP_OPS_HH

@@ -1,0 +1,328 @@
+#include "ifp/promote_engine.hh"
+
+#include <vector>
+
+#include "ifp/layout_table.hh"
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace infat {
+
+PromoteEngine::PromoteEngine(GuestMemory &mem, Cache *l1d,
+                             const IfpControlRegs &regs,
+                             const IfpConfig &config)
+    : mem_(mem), l1d_(l1d), regs_(regs), config_(config), stats_("promote")
+{
+}
+
+void
+PromoteEngine::fetch(GuestAddr addr, uint64_t len, unsigned &cycles)
+{
+    stats_.counter("meta_fetches")++;
+    if (l1d_) {
+        // The IFP unit's metadata loads are not pipelined with the rest
+        // of the promote (paper §5.2.2), so the full latency is charged.
+        cycles += l1d_->access(addr, len, false).latency;
+    } else {
+        cycles += 1;
+    }
+}
+
+PromoteResult
+PromoteEngine::poisonResult(TaggedPtr ptr, unsigned cycles)
+{
+    PromoteResult result;
+    result.outcome = PromoteResult::Outcome::MetaInvalid;
+    result.ptr = ptr.withPoison(Poison::Invalid);
+    result.bounds = Bounds::cleared();
+    result.cycles = cycles;
+    stats_.counter("meta_invalid")++;
+    return result;
+}
+
+PromoteResult
+PromoteEngine::promote(TaggedPtr ptr)
+{
+    stats_.counter("promotes")++;
+    unsigned cycles = config_.promoteBaseCycles;
+
+    if (config_.noPromote) {
+        // The no-promote configuration (paper §5.2): promote costs the
+        // same as a nop and treats every pointer as legacy.
+        PromoteResult result;
+        result.outcome = PromoteResult::Outcome::BypassLegacy;
+        result.ptr = ptr;
+        result.bounds = Bounds::cleared();
+        result.cycles = 1;
+        return result;
+    }
+
+    // Figure 5: an invalid pointer must not drive a metadata lookup
+    // (the lookup depends on the pointer value and could fault).
+    if (ptr.poison() == Poison::Invalid) {
+        PromoteResult result;
+        result.outcome = PromoteResult::Outcome::BypassPoisoned;
+        result.ptr = ptr;
+        result.bounds = Bounds::cleared();
+        result.cycles = cycles;
+        stats_.counter("bypass_invalid")++;
+        return result;
+    }
+
+    if (ptr.isNull()) {
+        PromoteResult result;
+        result.outcome = PromoteResult::Outcome::BypassNull;
+        result.ptr = ptr;
+        result.bounds = Bounds::cleared();
+        result.cycles = cycles;
+        stats_.counter("bypass_null")++;
+        return result;
+    }
+
+    if (ptr.isLegacy()) {
+        // Legacy pointers have bounds cleared and are never checked.
+        PromoteResult result;
+        result.outcome = PromoteResult::Outcome::BypassLegacy;
+        result.ptr = ptr;
+        result.bounds = Bounds::cleared();
+        result.cycles = cycles;
+        stats_.counter("bypass_legacy")++;
+        return result;
+    }
+
+    stats_.counter("valid_promotes")++;
+    PromoteResult result;
+    switch (ptr.scheme()) {
+      case Scheme::LocalOffset:
+        stats_.counter("scheme_local")++;
+        result = retrieveLocalOffset(ptr);
+        break;
+      case Scheme::Subheap:
+        stats_.counter("scheme_subheap")++;
+        result = retrieveSubheap(ptr);
+        break;
+      case Scheme::GlobalTable:
+        stats_.counter("scheme_global")++;
+        result = retrieveGlobalTable(ptr);
+        break;
+      default:
+        panic("legacy scheme reached retrieval");
+    }
+    result.cycles += config_.promoteBaseCycles;
+    return result;
+}
+
+PromoteResult
+PromoteEngine::retrieveLocalOffset(TaggedPtr ptr)
+{
+    unsigned cycles = 0;
+    GuestAddr addr = ptr.addr();
+    GuestAddr meta_addr = roundDown(addr, IfpConfig::granuleBytes) +
+                          ptr.localGranuleOffset() * IfpConfig::granuleBytes;
+
+    fetch(meta_addr, IfpConfig::localMetadataBytes, cycles);
+    LocalOffsetMeta meta = LocalOffsetMeta::read(mem_, meta_addr);
+    if (config_.macEnabled) {
+        cycles += config_.macCheckCycles;
+        if (!meta.verify(meta_addr, regs_.macKey)) {
+            stats_.counter("mac_fail")++;
+            return poisonResult(ptr, cycles);
+        }
+    } else if (meta.magic != LocalOffsetMeta::magicValue) {
+        return poisonResult(ptr, cycles);
+    }
+    if (meta.objectSize == 0 ||
+        meta.objectSize > IfpConfig::localMaxObjectBytes) {
+        return poisonResult(ptr, cycles);
+    }
+
+    // Object base: metadata directly follows the granule-padded object.
+    GuestAddr base =
+        meta_addr - roundUp(meta.objectSize, IfpConfig::granuleBytes);
+    Bounds object_bounds(base, base + meta.objectSize);
+    return finish(ptr, object_bounds, meta.layoutTable, cycles);
+}
+
+PromoteResult
+PromoteEngine::retrieveSubheap(TaggedPtr ptr)
+{
+    unsigned cycles = 0;
+    const SubheapCtrlReg &ctrl = regs_.subheap[ptr.subheapCtrlIndex()];
+    if (!ctrl.valid)
+        return poisonResult(ptr, cycles);
+
+    GuestAddr addr = ptr.addr();
+    GuestAddr block_base = roundDown(addr, 1ULL << ctrl.blockOrderLog2);
+    fetch(block_base + ctrl.metaOffset, IfpConfig::subheapMetadataBytes,
+          cycles);
+    SubheapBlockMeta meta =
+        SubheapBlockMeta::read(mem_, block_base, ctrl.metaOffset);
+    if (!meta.valid)
+        return poisonResult(ptr, cycles);
+    if (config_.macEnabled) {
+        cycles += config_.macCheckCycles;
+        if (!meta.verify(block_base, regs_.macKey)) {
+            stats_.counter("mac_fail")++;
+            return poisonResult(ptr, cycles);
+        }
+    }
+    if (meta.slotSize == 0 || meta.slotsEnd <= meta.slotsStart ||
+        meta.objectSize == 0 || meta.objectSize > meta.slotSize) {
+        return poisonResult(ptr, cycles);
+    }
+
+    uint64_t rel = addr - block_base;
+    if (rel < meta.slotsStart || rel >= meta.slotsEnd) {
+        // The pointer does not fall inside the slot array; its object
+        // cannot be identified.
+        return poisonResult(ptr, cycles);
+    }
+    // Slot sizes are constrained so hardware division is cheap; model a
+    // fast path for powers of two (paper §3.3.2).
+    cycles += isPowerOf2(meta.slotSize) ? 1 : config_.divisionCycles;
+    stats_.counter("slot_divisions")++;
+    uint64_t slot = (rel - meta.slotsStart) / meta.slotSize;
+    GuestAddr base = block_base + meta.slotsStart + slot * meta.slotSize;
+    Bounds object_bounds(base, base + meta.objectSize);
+    return finish(ptr, object_bounds, meta.layoutTable, cycles);
+}
+
+PromoteResult
+PromoteEngine::retrieveGlobalTable(TaggedPtr ptr)
+{
+    unsigned cycles = 0;
+    uint64_t index = ptr.globalTableIndex();
+    if (regs_.globalTableBase == 0 || index >= regs_.globalTableRows)
+        return poisonResult(ptr, cycles);
+
+    fetch(GlobalTableRow::rowAddr(regs_.globalTableBase, index),
+          IfpConfig::globalRowBytes, cycles);
+    GlobalTableRow row =
+        GlobalTableRow::read(mem_, regs_.globalTableBase, index);
+    if (!row.valid || row.size == 0)
+        return poisonResult(ptr, cycles);
+
+    Bounds object_bounds(row.base, row.base + row.size);
+    // All 12 tag bits are the row index, so there is no subobject index
+    // and no narrowing in this scheme (paper §3.3.3).
+    return finish(ptr, object_bounds, 0, cycles);
+}
+
+PromoteEngine::NarrowResult
+PromoteEngine::narrow(const Bounds &object_bounds, GuestAddr table_base,
+                      uint64_t subobj_index, GuestAddr addr,
+                      unsigned &cycles)
+{
+    NarrowResult result;
+    result.bounds = object_bounds;
+
+    // Collect the parent chain bottom-up (Figure 9c fetch order).
+    struct ChainStep
+    {
+        LayoutEntry entry;
+    };
+    std::vector<ChainStep> chain;
+    uint64_t cur = subobj_index;
+    while (cur != 0) {
+        if (chain.size() >= IfpConfig::maxLayoutWalkDepth) {
+            result.metaInvalid = true;
+            return result;
+        }
+        fetch(table_base + cur * IfpConfig::layoutEntryBytes,
+              IfpConfig::layoutEntryBytes, cycles);
+        cycles += config_.layoutStepCycles;
+        LayoutEntry entry = LayoutTable::fetchEntry(mem_, table_base, cur);
+        if (entry.parent >= cur || entry.base >= entry.bound ||
+            entry.size == 0) {
+            result.metaInvalid = true;
+            return result;
+        }
+        chain.push_back({entry});
+        cur = entry.parent;
+    }
+    if (chain.empty())
+        return result; // index 0: object bounds, nothing to do
+
+    // The base case needs the root element size to handle objects that
+    // are arrays of the type (e.g. malloc(n * sizeof(T))).
+    fetch(table_base, IfpConfig::layoutEntryBytes, cycles);
+    LayoutEntry root = LayoutTable::fetchEntry(mem_, table_base, 0);
+    if (root.size == 0) {
+        result.metaInvalid = true;
+        return result;
+    }
+
+    // Resolve top-down (paper's recursion, iteratively).
+    Bounds bounds = object_bounds;
+    uint64_t elem_size = root.size;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        const LayoutEntry &entry = it->entry;
+        GuestAddr elem_base = bounds.lower();
+        if (bounds.size() > elem_size) {
+            // Parent is an array context: identify the element that
+            // contains the address (multi-cycle division, §5.3).
+            if (addr < bounds.lower() || addr >= bounds.upper()) {
+                // Cannot identify the element; keep the coarser bounds
+                // resolved so far (conservative, never poisons).
+                result.bounds = bounds;
+                return result;
+            }
+            cycles += config_.divisionCycles;
+            stats_.counter("walk_divisions")++;
+            uint64_t elem = (addr - bounds.lower()) / elem_size;
+            elem_base = bounds.lower() + elem * elem_size;
+        }
+        if (entry.bound > elem_size) {
+            result.metaInvalid = true;
+            return result;
+        }
+        bounds = Bounds(elem_base + entry.base, elem_base + entry.bound);
+        elem_size = entry.size;
+    }
+
+    result.narrowed = true;
+    result.bounds = bounds;
+    return result;
+}
+
+PromoteResult
+PromoteEngine::finish(TaggedPtr ptr, Bounds object_bounds,
+                      GuestAddr layout_table, unsigned cycles)
+{
+    PromoteResult result;
+    result.outcome = PromoteResult::Outcome::Retrieved;
+    result.bounds = object_bounds;
+
+    uint64_t subobj_index = ptr.subobjIndex();
+    if (subobj_index != 0) {
+        result.narrowAttempted = true;
+        stats_.counter("narrow_attempts")++;
+        if (layout_table != 0 && config_.narrowingEnabled) {
+            NarrowResult nr = narrow(object_bounds, layout_table,
+                                     subobj_index, ptr.addr(), cycles);
+            if (nr.metaInvalid) {
+                PromoteResult bad = poisonResult(ptr, cycles);
+                bad.narrowAttempted = true;
+                return bad;
+            }
+            result.narrowSucceeded = nr.narrowed;
+            result.bounds = nr.bounds;
+        }
+        if (result.narrowSucceeded)
+            stats_.counter("narrow_success")++;
+        else
+            stats_.counter("narrow_fail")++;
+    }
+
+    // Fused access check (paper §3.2): update the poison bits so that a
+    // wildly out-of-bounds pointer cannot be dereferenced even before an
+    // explicit check.
+    Poison poison = result.bounds.contains(ptr.addr(), 1)
+                        ? Poison::Valid
+                        : Poison::OutOfBounds;
+    result.ptr = ptr.withPoison(poison);
+    result.cycles = cycles;
+    return result;
+}
+
+} // namespace infat

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The promote operation: pointer bounds retrieval (paper Figures 2 & 5).
+ *
+ * promote takes a 64-bit tagged pointer and produces an IFPR: either
+ * retrieved (and possibly subobject-narrowed) bounds, cleared bounds for
+ * legacy/NULL pointers, or a poisoned result when metadata is invalid.
+ * This class is the model of the IFP execution unit added to the CVA6
+ * execute stage; metadata loads go through the L1 data cache, and the
+ * cycle cost of every fetch, MAC check and layout-walk division is
+ * accumulated into the result for the timing model.
+ */
+
+#ifndef INFAT_IFP_PROMOTE_ENGINE_HH
+#define INFAT_IFP_PROMOTE_ENGINE_HH
+
+#include "cache/cache.hh"
+#include "ifp/bounds.hh"
+#include "ifp/config.hh"
+#include "ifp/control_regs.hh"
+#include "ifp/metadata.hh"
+#include "ifp/tag.hh"
+#include "mem/guest_memory.hh"
+#include "support/stats.hh"
+
+namespace infat {
+
+struct PromoteResult
+{
+    enum class Outcome
+    {
+        /** Input pointer was already invalid; nothing fetched. */
+        BypassPoisoned,
+        /** NULL pointer; bounds cleared, no lookup. */
+        BypassNull,
+        /** Legacy pointer; bounds cleared, no lookup. */
+        BypassLegacy,
+        /** Object metadata fetched and bounds produced. */
+        Retrieved,
+        /** Metadata fetched but invalid; output poisoned. */
+        MetaInvalid,
+    };
+
+    Outcome outcome = Outcome::BypassPoisoned;
+    /** The pointer with poison bits updated by the fused check. */
+    TaggedPtr ptr;
+    Bounds bounds;
+    /** Cycles consumed by the whole promote. */
+    unsigned cycles = 0;
+    bool narrowAttempted = false;
+    bool narrowSucceeded = false;
+
+    bool
+    retrieved() const
+    {
+        return outcome == Outcome::Retrieved;
+    }
+};
+
+class PromoteEngine
+{
+  public:
+    /**
+     * @param mem   Guest memory the metadata lives in.
+     * @param l1d   Data cache used for metadata fetches; may be null
+     *              (functional-only runs).
+     * @param regs  Architectural control registers (subheap mapping,
+     *              global table base, MAC key).
+     */
+    PromoteEngine(GuestMemory &mem, Cache *l1d, const IfpControlRegs &regs,
+                  const IfpConfig &config = {});
+
+    PromoteResult promote(TaggedPtr ptr);
+
+    StatGroup &stats() { return stats_; }
+    const IfpConfig &config() const { return config_; }
+    void setConfig(const IfpConfig &config) { config_ = config; }
+
+  private:
+    /** Charge a metadata fetch of @p len bytes through the cache. */
+    void fetch(GuestAddr addr, uint64_t len, unsigned &cycles);
+
+    PromoteResult retrieveLocalOffset(TaggedPtr ptr);
+    PromoteResult retrieveSubheap(TaggedPtr ptr);
+    PromoteResult retrieveGlobalTable(TaggedPtr ptr);
+
+    /**
+     * Subobject bounds narrowing (paper §3.4). Returns the narrowed
+     * bounds, or the coarser @p object_bounds when the element
+     * containing the address cannot be identified, or nothing when an
+     * entry is structurally invalid (output must be poisoned).
+     */
+    struct NarrowResult
+    {
+        bool metaInvalid = false;
+        bool narrowed = false;
+        Bounds bounds;
+    };
+    NarrowResult narrow(const Bounds &object_bounds, GuestAddr table_base,
+                        uint64_t subobj_index, GuestAddr addr,
+                        unsigned &cycles);
+
+    /** Assemble a Retrieved result: fused check + optional narrowing. */
+    PromoteResult finish(TaggedPtr ptr, Bounds object_bounds,
+                         GuestAddr layout_table, unsigned cycles);
+
+    PromoteResult poisonResult(TaggedPtr ptr, unsigned cycles);
+
+    GuestMemory &mem_;
+    Cache *l1d_;
+    const IfpControlRegs &regs_;
+    IfpConfig config_;
+    StatGroup stats_;
+};
+
+} // namespace infat
+
+#endif // INFAT_IFP_PROMOTE_ENGINE_HH

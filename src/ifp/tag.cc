@@ -1,0 +1,124 @@
+#include "ifp/tag.hh"
+
+#include "support/logging.hh"
+
+namespace infat {
+
+const char *
+toString(Poison poison)
+{
+    switch (poison) {
+      case Poison::Valid:
+        return "valid";
+      case Poison::OutOfBounds:
+        return "oob";
+      case Poison::Invalid:
+        return "invalid";
+      default:
+        return "reserved";
+    }
+}
+
+const char *
+toString(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::Legacy:
+        return "legacy";
+      case Scheme::LocalOffset:
+        return "local-offset";
+      case Scheme::Subheap:
+        return "subheap";
+      case Scheme::GlobalTable:
+        return "global-table";
+    }
+    return "?";
+}
+
+TaggedPtr
+TaggedPtr::make(GuestAddr addr, Scheme scheme, uint64_t meta12,
+                Poison poison)
+{
+    uint64_t raw = layout::canonical(addr);
+    raw = insertBits(raw, 63, 62, static_cast<uint64_t>(poison));
+    raw = insertBits(raw, 61, 60, static_cast<uint64_t>(scheme));
+    raw = insertBits(raw, 59, 48, meta12);
+    return TaggedPtr(raw);
+}
+
+uint64_t
+TaggedPtr::subobjIndex() const
+{
+    switch (scheme()) {
+      case Scheme::LocalOffset:
+        return localSubobjIndex();
+      case Scheme::Subheap:
+        return subheapSubobjIndex();
+      default:
+        return 0;
+    }
+}
+
+TaggedPtr
+TaggedPtr::withPoison(Poison poison) const
+{
+    return TaggedPtr(
+        insertBits(raw_, 63, 62, static_cast<uint64_t>(poison)));
+}
+
+TaggedPtr
+TaggedPtr::withAddr(GuestAddr addr) const
+{
+    return TaggedPtr((raw_ & ~layout::addrMask) | layout::canonical(addr));
+}
+
+TaggedPtr
+TaggedPtr::withMeta12(uint64_t meta12) const
+{
+    return TaggedPtr(insertBits(raw_, 59, 48, meta12));
+}
+
+TaggedPtr
+TaggedPtr::withSubobjIndex(uint64_t index) const
+{
+    switch (scheme()) {
+      case Scheme::LocalOffset:
+        return TaggedPtr(insertBits(raw_, 53, 48, index));
+      case Scheme::Subheap:
+        return TaggedPtr(insertBits(raw_, 55, 48, index));
+      default:
+        // Legacy and global-table pointers have no subobject index; the
+        // update is architecturally a no-op (paper §3.3.3).
+        return *this;
+    }
+}
+
+TaggedPtr
+TaggedPtr::withLocalGranuleOffset(uint64_t offset) const
+{
+    return TaggedPtr(insertBits(raw_, 59, 54, offset));
+}
+
+uint64_t
+TaggedPtr::maxSubobjIndex() const
+{
+    switch (scheme()) {
+      case Scheme::LocalOffset:
+        return mask(IfpConfig::localSubobjBits);
+      case Scheme::Subheap:
+        return mask(IfpConfig::subheapSubobjBits);
+      default:
+        return 0;
+    }
+}
+
+std::string
+TaggedPtr::toString() const
+{
+    return strfmt("[%s %s meta=%#llx addr=%#llx]", infat::toString(poison()),
+                  infat::toString(scheme()),
+                  static_cast<unsigned long long>(meta12()),
+                  static_cast<unsigned long long>(addr()));
+}
+
+} // namespace infat

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Pointer tag codec (paper Figure 4).
+ *
+ * The top 16 bits of every 64-bit pointer form the tag:
+ *
+ *   bit 63..62  poison bits (valid / out-of-bounds-recoverable / invalid)
+ *   bit 61..60  scheme selector
+ *   bit 59..48  scheme metadata + subobject index, layout per scheme:
+ *                 local offset:  [59:54] granule offset, [53:48] subobject
+ *                 subheap:       [59:56] control reg,    [55:48] subobject
+ *                 global table:  [59:48] table row index
+ *
+ * An all-zero tag is a canonical user-level pointer, i.e. a legacy
+ * pointer carrying no metadata. The scheme selector value 0 is therefore
+ * reserved for legacy pointers.
+ */
+
+#ifndef INFAT_IFP_TAG_HH
+#define INFAT_IFP_TAG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "ifp/config.hh"
+#include "mem/address_space.hh"
+#include "support/bitops.hh"
+
+namespace infat {
+
+/**
+ * Poison states (paper §3.2). Any load/store through a pointer whose
+ * poison state is not Valid traps.
+ */
+enum class Poison : uint8_t
+{
+    Valid = 0,
+    /** Out of bounds but recoverable (e.g. one-past-the-end). */
+    OutOfBounds = 1,
+    /** Irrecoverable: invalid metadata or post-failure derivation. */
+    Invalid = 3,
+};
+
+/** Object metadata scheme selector (paper §3.3). */
+enum class Scheme : uint8_t
+{
+    Legacy = 0,
+    LocalOffset = 1,
+    Subheap = 2,
+    GlobalTable = 3,
+};
+
+const char *toString(Poison poison);
+const char *toString(Scheme scheme);
+
+/**
+ * A 64-bit tagged pointer. This is a value type: "pointer" values in
+ * guest registers and guest memory are exactly these 64 bits.
+ */
+class TaggedPtr
+{
+  public:
+    constexpr TaggedPtr() = default;
+    constexpr explicit TaggedPtr(uint64_t raw) : raw_(raw) {}
+
+    /** A legacy (untagged, canonical) pointer to @p addr. */
+    static constexpr TaggedPtr
+    legacy(GuestAddr addr)
+    {
+        return TaggedPtr(layout::canonical(addr));
+    }
+
+    /** Assemble a tagged pointer from fields (the ifpmd instruction). */
+    static TaggedPtr make(GuestAddr addr, Scheme scheme, uint64_t meta12,
+                          Poison poison = Poison::Valid);
+
+    constexpr uint64_t raw() const { return raw_; }
+    constexpr GuestAddr addr() const { return layout::canonical(raw_); }
+    constexpr bool isNull() const { return addr() == 0; }
+
+    Poison
+    poison() const
+    {
+        return static_cast<Poison>(bits(raw_, 63, 62));
+    }
+
+    Scheme
+    scheme() const
+    {
+        return static_cast<Scheme>(bits(raw_, 61, 60));
+    }
+
+    bool isLegacy() const { return scheme() == Scheme::Legacy; }
+    bool isPoisoned() const { return poison() != Poison::Valid; }
+
+    /** The whole 12-bit scheme-metadata + subobject-index field. */
+    uint64_t meta12() const { return bits(raw_, 59, 48); }
+
+    // --- Per-scheme field accessors ---
+    /** Local offset scheme: granules from the pointer to the metadata. */
+    uint64_t localGranuleOffset() const { return bits(raw_, 59, 54); }
+    uint64_t localSubobjIndex() const { return bits(raw_, 53, 48); }
+
+    /** Subheap scheme: which control register describes the block. */
+    uint64_t subheapCtrlIndex() const { return bits(raw_, 59, 56); }
+    uint64_t subheapSubobjIndex() const { return bits(raw_, 55, 48); }
+
+    /** Global table scheme: row index into the metadata table. */
+    uint64_t globalTableIndex() const { return bits(raw_, 59, 48); }
+
+    /** Scheme-dispatched subobject index (0 for global table/legacy). */
+    uint64_t subobjIndex() const;
+
+    // --- Field update (value-returning, register semantics) ---
+    TaggedPtr withPoison(Poison poison) const;
+    TaggedPtr withAddr(GuestAddr addr) const;
+    TaggedPtr withMeta12(uint64_t meta12) const;
+    TaggedPtr withSubobjIndex(uint64_t index) const;
+    TaggedPtr withLocalGranuleOffset(uint64_t offset) const;
+
+    /** Maximum representable subobject index for this pointer's scheme. */
+    uint64_t maxSubobjIndex() const;
+
+    std::string toString() const;
+
+    constexpr bool operator==(const TaggedPtr &other) const = default;
+
+  private:
+    uint64_t raw_ = 0;
+};
+
+} // namespace infat
+
+#endif // INFAT_IFP_TAG_HH

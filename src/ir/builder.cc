@@ -1,0 +1,604 @@
+#include "ir/builder.hh"
+
+#include "support/logging.hh"
+
+namespace infat {
+namespace ir {
+
+FunctionBuilder::FunctionBuilder(Module &module, Function *func)
+    : module_(module), func_(func)
+{
+    if (func_->numBlocks() == 0)
+        func_->addBlock("entry");
+    cur_ = 0;
+}
+
+FunctionBuilder::FunctionBuilder(Module &module, const std::string &name,
+                                 std::vector<const Type *> param_types,
+                                 const Type *ret_type)
+    : FunctionBuilder(module, module.createFunction(
+                                  name, std::move(param_types), ret_type))
+{
+}
+
+Instr &
+FunctionBuilder::emit(Instr instr)
+{
+    BasicBlock &block = func_->block(cur_);
+    panic_if(block.terminated(),
+             "emitting into terminated block %s of %s",
+             block.name.c_str(), func_->name().c_str());
+    block.instrs.push_back(std::move(instr));
+    return block.instrs.back();
+}
+
+Value
+FunctionBuilder::newValue(const Type *type)
+{
+    return {func_->newReg(), type};
+}
+
+const Type *
+FunctionBuilder::pointeeOf(Value ptr, const char *what) const
+{
+    panic_if(!ptr.type || !ptr.type->isPtr(), "%s on non-pointer in %s",
+             what, func_->name().c_str());
+    const Type *pointee = static_cast<const PtrType *>(ptr.type)->pointee();
+    panic_if(pointee == nullptr, "%s through opaque pointer in %s", what,
+             func_->name().c_str());
+    return pointee;
+}
+
+Value
+FunctionBuilder::arg(unsigned i)
+{
+    panic_if(i >= func_->numParams(), "arg %u out of range", i);
+    return {static_cast<Reg>(i), func_->paramType(i)};
+}
+
+Value
+FunctionBuilder::iconst(int64_t v)
+{
+    Value dst = newValue(types().i64());
+    Instr instr;
+    instr.op = Opcode::Mov;
+    instr.type = dst.type;
+    instr.dst = dst.reg;
+    instr.a = Operand::immInt(static_cast<uint64_t>(v));
+    emit(instr);
+    return dst;
+}
+
+Value
+FunctionBuilder::iconst32(int64_t v)
+{
+    Value dst = newValue(types().i32());
+    Instr instr;
+    instr.op = Opcode::Mov;
+    instr.type = dst.type;
+    instr.dst = dst.reg;
+    instr.a = Operand::immInt(static_cast<uint64_t>(v) & 0xffffffffu);
+    emit(instr);
+    return dst;
+}
+
+Value
+FunctionBuilder::fconst(double v)
+{
+    Value dst = newValue(types().f64());
+    Instr instr;
+    instr.op = Opcode::Mov;
+    instr.type = dst.type;
+    instr.dst = dst.reg;
+    instr.a = Operand::immF64(v);
+    emit(instr);
+    return dst;
+}
+
+Value
+FunctionBuilder::nullPtr(const Type *pointee)
+{
+    Value dst = newValue(types().ptr(pointee));
+    Instr instr;
+    instr.op = Opcode::Mov;
+    instr.type = dst.type;
+    instr.dst = dst.reg;
+    instr.a = Operand::immInt(0);
+    emit(instr);
+    return dst;
+}
+
+Value
+FunctionBuilder::var(const Type *type)
+{
+    return newValue(type);
+}
+
+void
+FunctionBuilder::assign(Value dest, Value src)
+{
+    Instr instr;
+    instr.op = Opcode::Mov;
+    instr.type = dest.type;
+    instr.dst = dest.reg;
+    instr.a = Operand::reg(src.reg);
+    emit(instr);
+}
+
+namespace {
+
+Instr
+binInstr(Opcode op, const Type *type, Reg dst, Value a, Value b)
+{
+    Instr instr;
+    instr.op = op;
+    instr.type = type;
+    instr.dst = dst;
+    instr.a = Operand::reg(a.reg);
+    instr.b = Operand::reg(b.reg);
+    return instr;
+}
+
+} // namespace
+
+#define BIN_OP(method, opcode)                                              \
+    Value FunctionBuilder::method(Value a, Value b)                         \
+    {                                                                       \
+        Value dst = newValue(a.type);                                       \
+        emit(binInstr(Opcode::opcode, a.type, dst.reg, a, b));              \
+        return dst;                                                         \
+    }
+
+BIN_OP(add, Add)
+BIN_OP(sub, Sub)
+BIN_OP(mul, Mul)
+BIN_OP(sdiv, SDiv)
+BIN_OP(udiv, UDiv)
+BIN_OP(srem, SRem)
+BIN_OP(urem, URem)
+BIN_OP(and_, And)
+BIN_OP(or_, Or)
+BIN_OP(xor_, Xor)
+BIN_OP(shl, Shl)
+BIN_OP(lshr, LShr)
+BIN_OP(ashr, AShr)
+BIN_OP(fadd, FAdd)
+BIN_OP(fsub, FSub)
+BIN_OP(fmul, FMul)
+BIN_OP(fdiv, FDiv)
+
+#undef BIN_OP
+
+Value
+FunctionBuilder::addImm(Value a, int64_t imm)
+{
+    Value dst = newValue(a.type);
+    Instr instr;
+    instr.op = Opcode::Add;
+    instr.type = a.type;
+    instr.dst = dst.reg;
+    instr.a = Operand::reg(a.reg);
+    instr.b = Operand::immInt(static_cast<uint64_t>(imm));
+    emit(instr);
+    return dst;
+}
+
+Value
+FunctionBuilder::mulImm(Value a, int64_t imm)
+{
+    Value dst = newValue(a.type);
+    Instr instr;
+    instr.op = Opcode::Mul;
+    instr.type = a.type;
+    instr.dst = dst.reg;
+    instr.a = Operand::reg(a.reg);
+    instr.b = Operand::immInt(static_cast<uint64_t>(imm));
+    emit(instr);
+    return dst;
+}
+
+Value
+FunctionBuilder::icmp(ICmpPred pred, Value a, Value b)
+{
+    Value dst = newValue(types().i64());
+    Instr instr = binInstr(Opcode::ICmp, dst.type, dst.reg, a, b);
+    instr.icmp = pred;
+    emit(instr);
+    return dst;
+}
+
+Value
+FunctionBuilder::fneg(Value a)
+{
+    Value dst = newValue(a.type);
+    Instr instr;
+    instr.op = Opcode::FNeg;
+    instr.type = a.type;
+    instr.dst = dst.reg;
+    instr.a = Operand::reg(a.reg);
+    emit(instr);
+    return dst;
+}
+
+Value
+FunctionBuilder::fcmp(FCmpPred pred, Value a, Value b)
+{
+    Value dst = newValue(types().i64());
+    Instr instr = binInstr(Opcode::FCmp, dst.type, dst.reg, a, b);
+    instr.fcmp = pred;
+    emit(instr);
+    return dst;
+}
+
+Value
+FunctionBuilder::sitofp(Value a)
+{
+    Value dst = newValue(types().f64());
+    Instr instr;
+    instr.op = Opcode::SIToFP;
+    instr.type = dst.type;
+    instr.dst = dst.reg;
+    instr.a = Operand::reg(a.reg);
+    emit(instr);
+    return dst;
+}
+
+Value
+FunctionBuilder::fptosi(Value a)
+{
+    Value dst = newValue(types().i64());
+    Instr instr;
+    instr.op = Opcode::FPToSI;
+    instr.type = dst.type;
+    instr.dst = dst.reg;
+    instr.a = Operand::reg(a.reg);
+    emit(instr);
+    return dst;
+}
+
+namespace {
+
+Instr
+convInstr(Opcode op, const Type *to, Reg dst, Value a)
+{
+    Instr instr;
+    instr.op = op;
+    instr.type = to;
+    instr.dst = dst;
+    instr.a = Operand::reg(a.reg);
+    return instr;
+}
+
+} // namespace
+
+Value
+FunctionBuilder::sext(Value a, const Type *to)
+{
+    Value dst = newValue(to);
+    emit(convInstr(Opcode::SExt, to, dst.reg, a));
+    return dst;
+}
+
+Value
+FunctionBuilder::zext(Value a, const Type *to)
+{
+    Value dst = newValue(to);
+    emit(convInstr(Opcode::ZExt, to, dst.reg, a));
+    return dst;
+}
+
+Value
+FunctionBuilder::trunc(Value a, const Type *to)
+{
+    Value dst = newValue(to);
+    emit(convInstr(Opcode::Trunc, to, dst.reg, a));
+    return dst;
+}
+
+Value
+FunctionBuilder::select(Value cond, Value a, Value b)
+{
+    Value dst = newValue(a.type);
+    Instr instr;
+    instr.op = Opcode::Select;
+    instr.type = a.type;
+    instr.dst = dst.reg;
+    instr.a = Operand::reg(cond.reg);
+    instr.b = Operand::reg(a.reg);
+    instr.c = Operand::reg(b.reg);
+    emit(instr);
+    return dst;
+}
+
+Value
+FunctionBuilder::load(Value ptr)
+{
+    const Type *pointee = pointeeOf(ptr, "load");
+    Value dst = newValue(pointee);
+    Instr instr;
+    instr.op = Opcode::Load;
+    instr.type = pointee;
+    instr.dst = dst.reg;
+    instr.a = Operand::reg(ptr.reg);
+    emit(instr);
+    return dst;
+}
+
+void
+FunctionBuilder::store(Value value, Value ptr)
+{
+    const Type *pointee = pointeeOf(ptr, "store");
+    Instr instr;
+    instr.op = Opcode::Store;
+    instr.type = pointee;
+    instr.a = Operand::reg(value.reg);
+    instr.b = Operand::reg(ptr.reg);
+    emit(instr);
+}
+
+Value
+FunctionBuilder::stackAlloc(const Type *type, uint64_t count)
+{
+    Value dst = newValue(types().ptr(type));
+    Instr instr;
+    instr.op = Opcode::Alloca;
+    instr.type = type;
+    instr.dst = dst.reg;
+    instr.imm0 = count;
+    // Allocas conventionally live in the entry block; hoist there,
+    // before its terminator if it is already closed.
+    BasicBlock &entry = func_->block(0);
+    if (entry.terminated())
+        entry.instrs.insert(entry.instrs.end() - 1, instr);
+    else
+        entry.instrs.push_back(instr);
+    return dst;
+}
+
+Value
+FunctionBuilder::fieldPtr(Value ptr, unsigned field)
+{
+    const Type *pointee = pointeeOf(ptr, "fieldPtr");
+    panic_if(!pointee->isStruct(), "fieldPtr on non-struct pointer");
+    const auto *st = static_cast<const StructType *>(pointee);
+    panic_if(field >= st->numFields(), "field %u out of range of %s",
+             field, st->name().c_str());
+    Value dst = newValue(types().ptr(st->field(field)));
+    Instr instr;
+    instr.op = Opcode::GepField;
+    instr.type = pointee;
+    instr.dst = dst.reg;
+    instr.a = Operand::reg(ptr.reg);
+    instr.imm0 = field;
+    emit(instr);
+    return dst;
+}
+
+Value
+FunctionBuilder::elemPtr(Value ptr, Value index)
+{
+    const Type *pointee = pointeeOf(ptr, "elemPtr");
+    const Type *elem = pointee;
+    if (pointee->isArray())
+        elem = static_cast<const ArrayType *>(pointee)->elem();
+    Value dst = newValue(types().ptr(elem));
+    Instr instr;
+    instr.op = Opcode::GepIndex;
+    instr.type = elem;
+    instr.dst = dst.reg;
+    instr.a = Operand::reg(ptr.reg);
+    instr.b = Operand::reg(index.reg);
+    emit(instr);
+    return dst;
+}
+
+Value
+FunctionBuilder::elemPtr(Value ptr, int64_t index)
+{
+    const Type *pointee = pointeeOf(ptr, "elemPtr");
+    const Type *elem = pointee;
+    if (pointee->isArray())
+        elem = static_cast<const ArrayType *>(pointee)->elem();
+    Value dst = newValue(types().ptr(elem));
+    Instr instr;
+    instr.op = Opcode::GepIndex;
+    instr.type = elem;
+    instr.dst = dst.reg;
+    instr.a = Operand::reg(ptr.reg);
+    instr.b = Operand::immInt(static_cast<uint64_t>(index));
+    emit(instr);
+    return dst;
+}
+
+Value
+FunctionBuilder::loadField(Value ptr, unsigned field)
+{
+    return load(fieldPtr(ptr, field));
+}
+
+void
+FunctionBuilder::storeField(Value ptr, unsigned field, Value value)
+{
+    store(value, fieldPtr(ptr, field));
+}
+
+Value
+FunctionBuilder::globalAddr(GlobalId id)
+{
+    const Global &g = module_.global(id);
+    Value dst = newValue(types().ptr(g.type));
+    Instr instr;
+    instr.op = Opcode::Mov;
+    instr.type = dst.type;
+    instr.dst = dst.reg;
+    instr.a = Operand::global(id);
+    emit(instr);
+    return dst;
+}
+
+Value
+FunctionBuilder::call(const std::string &callee, std::vector<Value> args)
+{
+    Function *target = module_.functionByName(callee);
+    panic_if(target == nullptr, "call to unknown function %s",
+             callee.c_str());
+    panic_if(!target->isNative() && args.size() != target->numParams(),
+             "call to %s with %zu args, expected %zu", callee.c_str(),
+             args.size(), target->numParams());
+    Value dst;
+    if (!target->retType()->isVoid())
+        dst = newValue(target->retType());
+    Instr instr;
+    instr.op = Opcode::Call;
+    instr.type = target->retType();
+    instr.dst = dst.valid() ? dst.reg : noReg;
+    instr.callee = target->id();
+    for (const Value &arg : args)
+        instr.args.push_back(Operand::reg(arg.reg));
+    emit(instr);
+    return dst;
+}
+
+Value
+FunctionBuilder::callPtr(Value target, const Type *ret_type,
+                         std::vector<Value> args)
+{
+    Value dst;
+    if (!ret_type->isVoid())
+        dst = newValue(ret_type);
+    Instr instr;
+    instr.op = Opcode::CallPtr;
+    instr.type = ret_type;
+    instr.dst = dst.valid() ? dst.reg : noReg;
+    instr.a = Operand::reg(target.reg);
+    for (const Value &arg : args)
+        instr.args.push_back(Operand::reg(arg.reg));
+    emit(instr);
+    return dst;
+}
+
+Value
+FunctionBuilder::funcAddr(const std::string &callee)
+{
+    Function *target = module_.functionByName(callee);
+    panic_if(target == nullptr, "funcAddr of unknown function %s",
+             callee.c_str());
+    Value dst = newValue(types().i64());
+    Instr instr;
+    instr.op = Opcode::Mov;
+    instr.type = dst.type;
+    instr.dst = dst.reg;
+    instr.a = Operand::funcAddr(target->id());
+    emit(instr);
+    return dst;
+}
+
+Value
+FunctionBuilder::mallocTyped(const Type *type, Value count)
+{
+    Value dst = newValue(types().ptr(type));
+    Instr instr;
+    instr.op = Opcode::MallocTyped;
+    instr.type = type;
+    instr.dst = dst.reg;
+    instr.a = Operand::reg(count.reg);
+    emit(instr);
+    return dst;
+}
+
+Value
+FunctionBuilder::mallocTyped(const Type *type)
+{
+    Value dst = newValue(types().ptr(type));
+    Instr instr;
+    instr.op = Opcode::MallocTyped;
+    instr.type = type;
+    instr.dst = dst.reg;
+    instr.a = Operand::immInt(1);
+    emit(instr);
+    return dst;
+}
+
+void
+FunctionBuilder::freePtr(Value ptr)
+{
+    Instr instr;
+    instr.op = Opcode::FreePtr;
+    instr.a = Operand::reg(ptr.reg);
+    emit(instr);
+}
+
+BlockId
+FunctionBuilder::newBlock(const std::string &name)
+{
+    return func_->addBlock(name);
+}
+
+void
+FunctionBuilder::setBlock(BlockId block)
+{
+    cur_ = block;
+}
+
+void
+FunctionBuilder::br(Value cond, BlockId if_true, BlockId if_false)
+{
+    Instr instr;
+    instr.op = Opcode::Br;
+    instr.a = Operand::reg(cond.reg);
+    instr.target0 = if_true;
+    instr.target1 = if_false;
+    emit(instr);
+}
+
+void
+FunctionBuilder::jmp(BlockId target)
+{
+    Instr instr;
+    instr.op = Opcode::Jmp;
+    instr.target0 = target;
+    emit(instr);
+}
+
+void
+FunctionBuilder::ret(Value value)
+{
+    Instr instr;
+    instr.op = Opcode::Ret;
+    instr.type = value.type;
+    instr.a = Operand::reg(value.reg);
+    emit(instr);
+}
+
+void
+FunctionBuilder::retVoid()
+{
+    Instr instr;
+    instr.op = Opcode::Ret;
+    emit(instr);
+}
+
+void
+FunctionBuilder::trap(uint64_t code)
+{
+    Instr instr;
+    instr.op = Opcode::Trap;
+    instr.imm0 = code;
+    emit(instr);
+}
+
+Value
+FunctionBuilder::ptrCast(Value ptr, const Type *pointee)
+{
+    // Pointer casts are free at runtime; they only retype the handle.
+    return {ptr.reg, types().ptr(pointee)};
+}
+
+Value
+FunctionBuilder::opaqueCast(Value ptr)
+{
+    return {ptr.reg, types().opaquePtr()};
+}
+
+} // namespace ir
+} // namespace infat

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Fluent builder for writing IR functions in C++.
+ *
+ * The 18 evaluation workloads and the Juliet suite are all written
+ * against this API. A Value is a typed handle to a virtual register;
+ * because the IR is non-SSA, var()/assign() give mutable variables for
+ * loop counters and accumulators without any phi machinery.
+ */
+
+#ifndef INFAT_IR_BUILDER_HH
+#define INFAT_IR_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace infat {
+namespace ir {
+
+struct Value
+{
+    Reg reg = noReg;
+    const Type *type = nullptr;
+
+    bool valid() const { return reg != noReg; }
+};
+
+class FunctionBuilder
+{
+  public:
+    FunctionBuilder(Module &module, Function *func);
+
+    /** Create a function and position at its entry block. */
+    FunctionBuilder(Module &module, const std::string &name,
+                    std::vector<const Type *> param_types,
+                    const Type *ret_type);
+
+    Module &module() { return module_; }
+    Function *function() { return func_; }
+    TypeContext &types() { return module_.types(); }
+
+    // --- Values ---
+    Value arg(unsigned i);
+    Value iconst(int64_t v);
+    Value iconst32(int64_t v);
+    Value fconst(double v);
+    Value nullPtr(const Type *pointee = nullptr);
+
+    /** A fresh mutable variable of @p type (uninitialized). */
+    Value var(const Type *type);
+    /** Emit mov into an existing variable's register. */
+    void assign(Value dest, Value src);
+
+    // --- Integer arithmetic (result type follows lhs) ---
+    Value add(Value a, Value b);
+    Value sub(Value a, Value b);
+    Value mul(Value a, Value b);
+    Value sdiv(Value a, Value b);
+    Value udiv(Value a, Value b);
+    Value srem(Value a, Value b);
+    Value urem(Value a, Value b);
+    Value and_(Value a, Value b);
+    Value or_(Value a, Value b);
+    Value xor_(Value a, Value b);
+    Value shl(Value a, Value b);
+    Value lshr(Value a, Value b);
+    Value ashr(Value a, Value b);
+    Value addImm(Value a, int64_t imm);
+    Value mulImm(Value a, int64_t imm);
+
+    Value icmp(ICmpPred pred, Value a, Value b);
+    Value eq(Value a, Value b) { return icmp(ICmpPred::Eq, a, b); }
+    Value ne(Value a, Value b) { return icmp(ICmpPred::Ne, a, b); }
+    Value slt(Value a, Value b) { return icmp(ICmpPred::Slt, a, b); }
+    Value sle(Value a, Value b) { return icmp(ICmpPred::Sle, a, b); }
+    Value sgt(Value a, Value b) { return icmp(ICmpPred::Sgt, a, b); }
+    Value sge(Value a, Value b) { return icmp(ICmpPred::Sge, a, b); }
+    Value ult(Value a, Value b) { return icmp(ICmpPred::Ult, a, b); }
+
+    // --- Floating point ---
+    Value fadd(Value a, Value b);
+    Value fsub(Value a, Value b);
+    Value fmul(Value a, Value b);
+    Value fdiv(Value a, Value b);
+    Value fneg(Value a);
+    Value fcmp(FCmpPred pred, Value a, Value b);
+    Value flt(Value a, Value b) { return fcmp(FCmpPred::Lt, a, b); }
+    Value fgt(Value a, Value b) { return fcmp(FCmpPred::Gt, a, b); }
+    Value sitofp(Value a);
+    Value fptosi(Value a);
+
+    Value sext(Value a, const Type *to);
+    Value zext(Value a, const Type *to);
+    Value trunc(Value a, const Type *to);
+    Value select(Value cond, Value a, Value b);
+
+    // --- Memory ---
+    Value load(Value ptr);
+    void store(Value value, Value ptr);
+    Value stackAlloc(const Type *type, uint64_t count = 1);
+    /** &ptr->field (struct field address). */
+    Value fieldPtr(Value ptr, unsigned field);
+    /** ptr + index (array element address; sees through array types). */
+    Value elemPtr(Value ptr, Value index);
+    Value elemPtr(Value ptr, int64_t index);
+    /** Load ptr->field (fieldPtr + load). */
+    Value loadField(Value ptr, unsigned field);
+    /** Store into ptr->field. */
+    void storeField(Value ptr, unsigned field, Value value);
+    /** Address of a module global. */
+    Value globalAddr(GlobalId id);
+
+    // --- Calls and allocation ---
+    Value call(const std::string &callee, std::vector<Value> args = {});
+    Value callPtr(Value target, const Type *ret_type,
+                  std::vector<Value> args = {});
+    Value funcAddr(const std::string &callee);
+    Value mallocTyped(const Type *type, Value count);
+    Value mallocTyped(const Type *type);
+    void freePtr(Value ptr);
+
+    // --- Control flow ---
+    BlockId newBlock(const std::string &name);
+    void setBlock(BlockId block);
+    BlockId currentBlock() const { return cur_; }
+    void br(Value cond, BlockId if_true, BlockId if_false);
+    void jmp(BlockId target);
+    void ret(Value value);
+    void retVoid();
+    void trap(uint64_t code);
+
+    /** Cast a pointer value to another pointer type (free, no instr). */
+    Value ptrCast(Value ptr, const Type *pointee);
+    Value opaqueCast(Value ptr);
+
+  private:
+    Instr &emit(Instr instr);
+    Value newValue(const Type *type);
+    const Type *pointeeOf(Value ptr, const char *what) const;
+
+    Module &module_;
+    Function *func_;
+    BlockId cur_ = 0;
+};
+
+} // namespace ir
+} // namespace infat
+
+#endif // INFAT_IR_BUILDER_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Functions and basic blocks.
+ */
+
+#ifndef INFAT_IR_FUNCTION_HH
+#define INFAT_IR_FUNCTION_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/instr.hh"
+
+namespace infat {
+namespace ir {
+
+struct BasicBlock
+{
+    std::string name;
+    std::vector<Instr> instrs;
+
+    bool
+    terminated() const
+    {
+        return !instrs.empty() && instrs.back().isTerminator();
+    }
+};
+
+class Function
+{
+  public:
+    Function(FuncId id, std::string name,
+             std::vector<const Type *> param_types, const Type *ret_type)
+        : id_(id), name_(std::move(name)),
+          paramTypes_(std::move(param_types)), retType_(ret_type)
+    {
+        // Registers 0..N-1 are the incoming arguments.
+        numRegs_ = static_cast<Reg>(paramTypes_.size());
+    }
+
+    FuncId id() const { return id_; }
+    const std::string &name() const { return name_; }
+    const Type *retType() const { return retType_; }
+    size_t numParams() const { return paramTypes_.size(); }
+    const Type *paramType(size_t i) const { return paramTypes_.at(i); }
+
+    /** Native functions are host-implemented (the legacy libc model). */
+    bool isNative() const { return native_; }
+    void setNative(bool native) { native_ = native; }
+
+    /**
+     * Uninstrumented functions model code compiled without In-Fat
+     * Pointer support: the instrumentation pass skips them, and calls
+     * into them clear argument bounds.
+     */
+    bool isInstrumented() const { return instrumented_; }
+    void setInstrumented(bool on) { instrumented_ = on; }
+
+    Reg
+    newReg()
+    {
+        return numRegs_++;
+    }
+    Reg numRegs() const { return numRegs_; }
+
+    BlockId
+    addBlock(std::string name)
+    {
+        blocks_.push_back({std::move(name), {}});
+        return static_cast<BlockId>(blocks_.size() - 1);
+    }
+
+    BasicBlock &block(BlockId id) { return blocks_.at(id); }
+    const BasicBlock &block(BlockId id) const { return blocks_.at(id); }
+    size_t numBlocks() const { return blocks_.size(); }
+    std::vector<BasicBlock> &blocks() { return blocks_; }
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    /**
+     * Number of bounds registers the callee saves/restores across its
+     * body (ldbnd/stbnd accounting, paper §4.1.2). Computed by the
+     * instrumentation pass.
+     */
+    unsigned savedBoundsRegs() const { return savedBoundsRegs_; }
+    void setSavedBoundsRegs(unsigned n) { savedBoundsRegs_ = n; }
+
+  private:
+    FuncId id_;
+    std::string name_;
+    std::vector<const Type *> paramTypes_;
+    const Type *retType_;
+    bool native_ = false;
+    bool instrumented_ = true;
+    Reg numRegs_ = 0;
+    unsigned savedBoundsRegs_ = 0;
+    std::vector<BasicBlock> blocks_;
+};
+
+} // namespace ir
+} // namespace infat
+
+#endif // INFAT_IR_FUNCTION_HH

@@ -1,0 +1,105 @@
+#include "ir/instr.hh"
+
+#include <bit>
+
+namespace infat {
+namespace ir {
+
+Operand
+Operand::immF64(double v)
+{
+    return {Kind::ImmF64, std::bit_cast<uint64_t>(v)};
+}
+
+const char *
+toString(Opcode op)
+{
+    switch (op) {
+      case Opcode::Mov: return "mov";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::SDiv: return "sdiv";
+      case Opcode::UDiv: return "udiv";
+      case Opcode::SRem: return "srem";
+      case Opcode::URem: return "urem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::LShr: return "lshr";
+      case Opcode::AShr: return "ashr";
+      case Opcode::ICmp: return "icmp";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FSub: return "fsub";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FDiv: return "fdiv";
+      case Opcode::FNeg: return "fneg";
+      case Opcode::FCmp: return "fcmp";
+      case Opcode::SIToFP: return "sitofp";
+      case Opcode::FPToSI: return "fptosi";
+      case Opcode::SExt: return "sext";
+      case Opcode::ZExt: return "zext";
+      case Opcode::Trunc: return "trunc";
+      case Opcode::Select: return "select";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Alloca: return "alloca";
+      case Opcode::GepField: return "gep.field";
+      case Opcode::GepIndex: return "gep.index";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Br: return "br";
+      case Opcode::Call: return "call";
+      case Opcode::CallPtr: return "call.ptr";
+      case Opcode::Ret: return "ret";
+      case Opcode::Trap: return "trap";
+      case Opcode::MallocTyped: return "malloc.typed";
+      case Opcode::FreePtr: return "free";
+      case Opcode::Promote: return "ifp.promote";
+      case Opcode::IfpAdd: return "ifp.add";
+      case Opcode::IfpIdx: return "ifp.idx";
+      case Opcode::IfpBnd: return "ifp.bnd";
+      case Opcode::IfpChk: return "ifp.chk";
+      case Opcode::RegisterObj: return "ifp.register";
+      case Opcode::DeregisterObj: return "ifp.deregister";
+      case Opcode::IfpMallocTyped: return "ifp.malloc";
+      case Opcode::IfpFree: return "ifp.free";
+    }
+    return "?";
+}
+
+bool
+Instr::isTerminator() const
+{
+    switch (op) {
+      case Opcode::Jmp:
+      case Opcode::Br:
+      case Opcode::Ret:
+      case Opcode::Trap:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instr::isIfpOp() const
+{
+    switch (op) {
+      case Opcode::Promote:
+      case Opcode::IfpAdd:
+      case Opcode::IfpIdx:
+      case Opcode::IfpBnd:
+      case Opcode::IfpChk:
+      case Opcode::RegisterObj:
+      case Opcode::DeregisterObj:
+      case Opcode::IfpMallocTyped:
+      case Opcode::IfpFree:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace ir
+} // namespace infat

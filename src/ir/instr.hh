@@ -1,0 +1,167 @@
+/**
+ * @file
+ * IR instructions.
+ *
+ * The IR is a typed, non-SSA register machine: a function has an
+ * unbounded set of mutable virtual registers, basic blocks, and explicit
+ * control flow. This mirrors what reaches a backend after register-level
+ * lowering and makes dynamic instruction counts a faithful stand-in for
+ * executed machine instructions (DESIGN.md §6).
+ *
+ * Two instruction groups exist:
+ *  - the base ISA (arithmetic, memory, control, typed allocation), which
+ *    workload builders emit;
+ *  - the In-Fat Pointer extension (Promote, IfpAdd, IfpIdx, IfpBnd,
+ *    IfpChk, RegisterObj, ...), which only the instrumentation pass
+ *    emits, mirroring the paper's Table 3.
+ */
+
+#ifndef INFAT_IR_INSTR_HH
+#define INFAT_IR_INSTR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/type.hh"
+
+namespace infat {
+namespace ir {
+
+using Reg = uint32_t;
+constexpr Reg noReg = ~0u;
+
+using BlockId = uint32_t;
+using FuncId = uint32_t;
+using GlobalId = uint32_t;
+using LayoutId = uint32_t;
+constexpr LayoutId noLayout = ~0u;
+
+enum class Opcode : uint8_t
+{
+    // Data movement and arithmetic
+    Mov,   // dst = a (raw 64-bit move; also materializes immediates)
+    Add, Sub, Mul, SDiv, UDiv, SRem, URem,
+    And, Or, Xor, Shl, LShr, AShr,
+    ICmp,  // dst = pred(a, b), pred in `icmp`
+    FAdd, FSub, FMul, FDiv, FNeg,
+    FCmp,  // dst = pred(a, b), pred in `fcmp`
+    SIToFP, FPToSI,
+    SExt, ZExt, Trunc, // integer width conversion; type = result type
+    Select, // dst = a ? b : c
+
+    // Memory
+    Load,     // dst = *(type *)a
+    Store,    // *(type *)b = a
+    Alloca,   // dst = &stack slot (type x imm0); entry block only
+    GepField, // dst = &((type *)a)->field[imm0]
+    GepIndex, // dst = (type *)a + b
+
+    // Control flow
+    Jmp,  // goto target0
+    Br,   // if (a) goto target0 else goto target1
+    Call, // dst = callee(args); callee = func field
+    CallPtr, // dst = (*a)(args); a holds a function index value
+    Ret,  // return a (or nothing)
+    Trap, // workload-level assertion failure (imm0 = code)
+
+    // Typed heap allocation (pre-instrumentation form)
+    MallocTyped, // dst = malloc(a x sizeof(type))
+    FreePtr,     // free(a)
+
+    // --- In-Fat Pointer extension (inserted by instrumentation) ---
+    Promote, // dst IFPR <- bounds retrieval on pointer a
+    IfpAdd,  // dst = a + b, with tag update and bounds poison update
+    IfpIdx,  // dst = a with subobject index imm0
+    IfpBnd,  // set bounds of pointer a to [a, a + imm0)
+    IfpChk,  // explicit access-size check of a against its bounds
+    RegisterObj,   // dst = tagged ptr; register object at a, size imm0,
+                   // layout `layout`
+    DeregisterObj, // clean up metadata for tagged pointer a
+    IfpMallocTyped, // dst = runtime alloc (a x sizeof(type)), layout set
+    IfpFree,        // runtime free of tagged pointer a
+};
+
+const char *toString(Opcode op);
+
+enum class ICmpPred : uint8_t
+{
+    Eq, Ne, Slt, Sle, Sgt, Sge, Ult, Ule, Ugt, Uge,
+};
+
+enum class FCmpPred : uint8_t
+{
+    Eq, Ne, Lt, Le, Gt, Ge,
+};
+
+struct Operand
+{
+    enum class Kind : uint8_t
+    {
+        None,
+        Reg,
+        ImmInt,
+        ImmF64,
+        Global,   // address of module global (payload = GlobalId)
+        FuncAddr, // function index as a value (payload = FuncId)
+    };
+
+    Kind kind = Kind::None;
+    uint64_t payload = 0; // reg id, raw immediate bits, or global id
+
+    Operand() = default;
+
+    static Operand
+    reg(Reg r)
+    {
+        return {Kind::Reg, r};
+    }
+    static Operand
+    immInt(uint64_t v)
+    {
+        return {Kind::ImmInt, v};
+    }
+    static Operand immF64(double v);
+    static Operand
+    global(GlobalId g)
+    {
+        return {Kind::Global, g};
+    }
+    static Operand
+    funcAddr(FuncId f)
+    {
+        return {Kind::FuncAddr, f};
+    }
+
+    bool isNone() const { return kind == Kind::None; }
+    bool isReg() const { return kind == Kind::Reg; }
+
+  private:
+    Operand(Kind k, uint64_t p) : kind(k), payload(p) {}
+};
+
+struct Instr
+{
+    Opcode op = Opcode::Mov;
+    /** Result / pointee / element / allocated type, per opcode. */
+    const Type *type = nullptr;
+    Reg dst = noReg;
+    Operand a, b, c;
+    uint64_t imm0 = 0;
+    uint64_t imm1 = 0;
+    ICmpPred icmp = ICmpPred::Eq;
+    FCmpPred fcmp = FCmpPred::Eq;
+    BlockId target0 = 0;
+    BlockId target1 = 0;
+    FuncId callee = 0;
+    LayoutId layout = noLayout;
+    std::vector<Operand> args;
+
+    bool isTerminator() const;
+    bool isIfpOp() const;
+};
+
+} // namespace ir
+} // namespace infat
+
+#endif // INFAT_IR_INSTR_HH

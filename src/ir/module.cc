@@ -1,0 +1,52 @@
+#include "ir/module.hh"
+
+#include "support/logging.hh"
+
+namespace infat {
+namespace ir {
+
+Function *
+Module::createFunction(const std::string &name,
+                       std::vector<const Type *> param_types,
+                       const Type *ret_type)
+{
+    panic_if(functionByName(name) != nullptr, "duplicate function %s",
+             name.c_str());
+    auto id = static_cast<FuncId>(funcs_.size());
+    funcs_.push_back(std::make_unique<Function>(
+        id, name, std::move(param_types), ret_type));
+    return funcs_.back().get();
+}
+
+Function *
+Module::declareNative(const std::string &name,
+                      std::vector<const Type *> param_types,
+                      const Type *ret_type)
+{
+    Function *f = createFunction(name, std::move(param_types), ret_type);
+    f->setNative(true);
+    f->setInstrumented(false);
+    return f;
+}
+
+Function *
+Module::functionByName(const std::string &name) const
+{
+    for (const auto &f : funcs_) {
+        if (f->name() == name)
+            return f.get();
+    }
+    return nullptr;
+}
+
+GlobalId
+Module::addGlobal(const std::string &name, const Type *type,
+                  std::vector<uint8_t> init)
+{
+    auto id = static_cast<GlobalId>(globals_.size());
+    globals_.push_back({id, name, type, false, std::move(init)});
+    return id;
+}
+
+} // namespace ir
+} // namespace infat

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A module: types, globals, and functions of one guest program.
+ */
+
+#ifndef INFAT_IR_MODULE_HH
+#define INFAT_IR_MODULE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+#include "ir/type.hh"
+
+namespace infat {
+namespace ir {
+
+struct Global
+{
+    GlobalId id = 0;
+    std::string name;
+    const Type *type = nullptr;
+    /** Whether the global needs In-Fat Pointer metadata (its address
+     *  escapes); decided by the instrumentation pass. */
+    bool instrumented = false;
+    /** Optional initial bytes; zero-filled when shorter than the type. */
+    std::vector<uint8_t> init;
+};
+
+class Module
+{
+  public:
+    Module() = default;
+    Module(const Module &) = delete;
+    Module &operator=(const Module &) = delete;
+
+    TypeContext &types() { return types_; }
+    const TypeContext &types() const { return types_; }
+
+    Function *createFunction(const std::string &name,
+                             std::vector<const Type *> param_types,
+                             const Type *ret_type);
+
+    /**
+     * Declare a native (host-implemented) function, e.g. the legacy
+     * libc model. Native functions have no blocks.
+     */
+    Function *declareNative(const std::string &name,
+                            std::vector<const Type *> param_types,
+                            const Type *ret_type);
+
+    Function *functionByName(const std::string &name) const;
+    Function *function(FuncId id) const { return funcs_.at(id).get(); }
+    size_t numFunctions() const { return funcs_.size(); }
+
+    GlobalId addGlobal(const std::string &name, const Type *type,
+                       std::vector<uint8_t> init = {});
+    Global &global(GlobalId id) { return globals_.at(id); }
+    const Global &global(GlobalId id) const { return globals_.at(id); }
+    size_t numGlobals() const { return globals_.size(); }
+    std::vector<Global> &globals() { return globals_; }
+    const std::vector<Global> &globals() const { return globals_; }
+
+  private:
+    TypeContext types_;
+    std::vector<std::unique_ptr<Function>> funcs_;
+    std::vector<Global> globals_;
+};
+
+} // namespace ir
+} // namespace infat
+
+#endif // INFAT_IR_MODULE_HH

@@ -1,0 +1,127 @@
+#include "ir/printer.hh"
+
+#include <bit>
+
+#include "support/logging.hh"
+
+namespace infat {
+namespace ir {
+
+namespace {
+
+std::string
+printOperand(const Operand &operand, const Module &module)
+{
+    switch (operand.kind) {
+      case Operand::Kind::None:
+        return "_";
+      case Operand::Kind::Reg:
+        return strfmt("r%llu",
+                      static_cast<unsigned long long>(operand.payload));
+      case Operand::Kind::ImmInt:
+        return strfmt("%lld", static_cast<long long>(operand.payload));
+      case Operand::Kind::ImmF64:
+        return strfmt("%g", std::bit_cast<double>(operand.payload));
+      case Operand::Kind::Global:
+        return "@" + module.global(
+                         static_cast<GlobalId>(operand.payload)).name;
+      case Operand::Kind::FuncAddr:
+        return "&" + module.function(
+                         static_cast<FuncId>(operand.payload))->name();
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+print(const Instr &instr, const Module &module)
+{
+    std::string out;
+    if (instr.dst != noReg)
+        out += strfmt("r%u = ", instr.dst);
+    out += toString(instr.op);
+    if (instr.type)
+        out += strfmt(" <%s>", instr.type->toString().c_str());
+    for (const Operand *operand : {&instr.a, &instr.b, &instr.c}) {
+        if (!operand->isNone())
+            out += " " + printOperand(*operand, module);
+    }
+    switch (instr.op) {
+      case Opcode::GepField:
+      case Opcode::IfpIdx:
+      case Opcode::IfpBnd:
+      case Opcode::IfpChk:
+      case Opcode::RegisterObj:
+      case Opcode::Alloca:
+      case Opcode::Trap:
+        out += strfmt(" #%llu",
+                      static_cast<unsigned long long>(instr.imm0));
+        break;
+      case Opcode::Jmp:
+        out += strfmt(" ->b%u", instr.target0);
+        break;
+      case Opcode::Br:
+        out += strfmt(" ->b%u, b%u", instr.target0, instr.target1);
+        break;
+      case Opcode::Call:
+        out += " " + module.function(instr.callee)->name();
+        [[fallthrough]];
+      case Opcode::CallPtr:
+        out += "(";
+        for (size_t i = 0; i < instr.args.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += printOperand(instr.args[i], module);
+        }
+        out += ")";
+        break;
+      default:
+        break;
+    }
+    if (instr.layout != noLayout)
+        out += strfmt(" layout=%u", instr.layout);
+    return out;
+}
+
+std::string
+print(const Function &func, const Module &module)
+{
+    std::string out = strfmt("func %s(", func.name().c_str());
+    for (size_t i = 0; i < func.numParams(); ++i) {
+        if (i)
+            out += ", ";
+        out += strfmt("r%zu: %s", i,
+                      func.paramType(i)->toString().c_str());
+    }
+    out += strfmt(") -> %s", func.retType()->toString().c_str());
+    if (func.isNative())
+        return out + " [native]\n";
+    if (!func.isInstrumented())
+        out += " [uninstrumented]";
+    out += "\n";
+    for (size_t b = 0; b < func.numBlocks(); ++b) {
+        const BasicBlock &block = func.block(static_cast<BlockId>(b));
+        out += strfmt("b%zu (%s):\n", b, block.name.c_str());
+        for (const Instr &instr : block.instrs)
+            out += "    " + print(instr, module) + "\n";
+    }
+    return out;
+}
+
+std::string
+print(const Module &module)
+{
+    std::string out;
+    for (const auto &global : module.globals()) {
+        out += strfmt("global @%s: %s%s\n", global.name.c_str(),
+                      global.type->toString().c_str(),
+                      global.instrumented ? " [instrumented]" : "");
+    }
+    for (size_t i = 0; i < module.numFunctions(); ++i)
+        out += print(*module.function(static_cast<FuncId>(i)), module);
+    return out;
+}
+
+} // namespace ir
+} // namespace infat

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Human-readable rendering of modules and functions (debug aid).
+ */
+
+#ifndef INFAT_IR_PRINTER_HH
+#define INFAT_IR_PRINTER_HH
+
+#include <string>
+
+#include "ir/module.hh"
+
+namespace infat {
+namespace ir {
+
+std::string print(const Instr &instr, const Module &module);
+std::string print(const Function &func, const Module &module);
+std::string print(const Module &module);
+
+} // namespace ir
+} // namespace infat
+
+#endif // INFAT_IR_PRINTER_HH

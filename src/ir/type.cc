@@ -1,0 +1,125 @@
+#include "ir/type.hh"
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace infat {
+namespace ir {
+
+std::string
+IntType::toString() const
+{
+    return strfmt("i%u", bits_);
+}
+
+std::string
+PtrType::toString() const
+{
+    return pointee_ ? pointee_->toString() + "*" : "void*";
+}
+
+void
+StructType::setBody(std::vector<const Type *> fields)
+{
+    panic_if(hasBody_, "struct %s body set twice", name_.c_str());
+    fields_ = std::move(fields);
+    offsets_.clear();
+    uint64_t offset = 0;
+    align_ = 1;
+    for (const Type *field : fields_) {
+        panic_if(field->isVoid(), "void struct field");
+        offset = roundUp(offset, field->align());
+        offsets_.push_back(offset);
+        offset += field->size();
+        if (field->align() > align_)
+            align_ = field->align();
+    }
+    size_ = roundUp(offset, align_);
+    if (size_ == 0)
+        size_ = align_; // empty structs still occupy storage
+    hasBody_ = true;
+}
+
+uint64_t
+StructType::size() const
+{
+    panic_if(!hasBody_, "size of opaque struct %s", name_.c_str());
+    return size_;
+}
+
+uint64_t
+StructType::align() const
+{
+    panic_if(!hasBody_, "align of opaque struct %s", name_.c_str());
+    return align_;
+}
+
+std::string
+ArrayType::toString() const
+{
+    return strfmt("[%llu x %s]", static_cast<unsigned long long>(count_),
+                  elem_->toString().c_str());
+}
+
+TypeContext::TypeContext() = default;
+
+const IntType *
+TypeContext::intTy(unsigned bits) const
+{
+    switch (bits) {
+      case 8:
+        return &i8_;
+      case 16:
+        return &i16_;
+      case 32:
+        return &i32_;
+      case 64:
+        return &i64_;
+      default:
+        panic("unsupported integer width %u", bits);
+    }
+}
+
+const PtrType *
+TypeContext::ptr(const Type *pointee)
+{
+    for (const auto &p : ptrs_) {
+        if (p->pointee() == pointee)
+            return p.get();
+    }
+    ptrs_.push_back(std::make_unique<PtrType>(pointee));
+    return ptrs_.back().get();
+}
+
+StructType *
+TypeContext::createStruct(const std::string &name)
+{
+    panic_if(structByName(name) != nullptr, "duplicate struct %s",
+             name.c_str());
+    structs_.push_back(std::make_unique<StructType>(name));
+    return structs_.back().get();
+}
+
+const ArrayType *
+TypeContext::array(const Type *elem, uint64_t count)
+{
+    for (const auto &a : arrays_) {
+        if (a->elem() == elem && a->count() == count)
+            return a.get();
+    }
+    arrays_.push_back(std::make_unique<ArrayType>(elem, count));
+    return arrays_.back().get();
+}
+
+StructType *
+TypeContext::structByName(const std::string &name) const
+{
+    for (const auto &s : structs_) {
+        if (s->name() == name)
+            return s.get();
+    }
+    return nullptr;
+}
+
+} // namespace ir
+} // namespace infat

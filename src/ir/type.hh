@@ -1,0 +1,214 @@
+/**
+ * @file
+ * The IR type system.
+ *
+ * Workloads are written against a small typed IR (DESIGN.md §2). Types
+ * carry C-like layout (size, alignment, field offsets) because the
+ * layout-table generator and the instrumentation pass need exactly the
+ * information a C compiler's record layout provides.
+ *
+ * Types are interned in a TypeContext and referenced by pointer;
+ * equality is pointer equality. Struct types may be created opaque and
+ * have their body set later so recursive types (list nodes, tree nodes)
+ * can be expressed.
+ */
+
+#ifndef INFAT_IR_TYPE_HH
+#define INFAT_IR_TYPE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace infat {
+namespace ir {
+
+enum class TypeKind : uint8_t
+{
+    Void,
+    Int,   // i8 / i16 / i32 / i64
+    F64,
+    Ptr,   // typed or opaque (void *) pointer
+    Struct,
+    Array,
+};
+
+class Type
+{
+  public:
+    virtual ~Type() = default;
+
+    TypeKind kind() const { return kind_; }
+
+    bool isVoid() const { return kind_ == TypeKind::Void; }
+    bool isInt() const { return kind_ == TypeKind::Int; }
+    bool isF64() const { return kind_ == TypeKind::F64; }
+    bool isPtr() const { return kind_ == TypeKind::Ptr; }
+    bool isStruct() const { return kind_ == TypeKind::Struct; }
+    bool isArray() const { return kind_ == TypeKind::Array; }
+    bool isAggregate() const { return isStruct() || isArray(); }
+
+    /** Size in bytes, including struct tail padding. */
+    virtual uint64_t size() const = 0;
+    virtual uint64_t align() const = 0;
+
+    virtual std::string toString() const = 0;
+
+  protected:
+    explicit Type(TypeKind kind) : kind_(kind) {}
+
+  private:
+    TypeKind kind_;
+};
+
+class VoidType : public Type
+{
+  public:
+    VoidType() : Type(TypeKind::Void) {}
+    uint64_t size() const override { return 0; }
+    uint64_t align() const override { return 1; }
+    std::string toString() const override { return "void"; }
+};
+
+class IntType : public Type
+{
+  public:
+    explicit IntType(unsigned bits) : Type(TypeKind::Int), bits_(bits) {}
+
+    unsigned bits() const { return bits_; }
+    uint64_t size() const override { return bits_ / 8; }
+    uint64_t align() const override { return bits_ / 8; }
+    std::string toString() const override;
+
+  private:
+    unsigned bits_;
+};
+
+class F64Type : public Type
+{
+  public:
+    F64Type() : Type(TypeKind::F64) {}
+    uint64_t size() const override { return 8; }
+    uint64_t align() const override { return 8; }
+    std::string toString() const override { return "f64"; }
+};
+
+class PtrType : public Type
+{
+  public:
+    /** @param pointee may be null for an opaque (void *) pointer. */
+    explicit PtrType(const Type *pointee)
+        : Type(TypeKind::Ptr), pointee_(pointee)
+    {
+    }
+
+    const Type *pointee() const { return pointee_; }
+    bool isOpaque() const { return pointee_ == nullptr; }
+
+    uint64_t size() const override { return 8; }
+    uint64_t align() const override { return 8; }
+    std::string toString() const override;
+
+  private:
+    const Type *pointee_;
+};
+
+class StructType : public Type
+{
+  public:
+    explicit StructType(std::string name)
+        : Type(TypeKind::Struct), name_(std::move(name))
+    {
+    }
+
+    /** Set the field list; computes C-like offsets and padding. */
+    void setBody(std::vector<const Type *> fields);
+
+    bool isOpaqueStruct() const { return !hasBody_; }
+    const std::string &name() const { return name_; }
+
+    size_t numFields() const { return fields_.size(); }
+    const Type *field(size_t i) const { return fields_.at(i); }
+    uint64_t fieldOffset(size_t i) const { return offsets_.at(i); }
+
+    uint64_t size() const override;
+    uint64_t align() const override;
+    std::string toString() const override { return "%" + name_; }
+
+  private:
+    std::string name_;
+    bool hasBody_ = false;
+    std::vector<const Type *> fields_;
+    std::vector<uint64_t> offsets_;
+    uint64_t size_ = 0;
+    uint64_t align_ = 1;
+};
+
+class ArrayType : public Type
+{
+  public:
+    ArrayType(const Type *elem, uint64_t count)
+        : Type(TypeKind::Array), elem_(elem), count_(count)
+    {
+    }
+
+    const Type *elem() const { return elem_; }
+    uint64_t count() const { return count_; }
+
+    uint64_t size() const override { return elem_->size() * count_; }
+    uint64_t align() const override { return elem_->align(); }
+    std::string toString() const override;
+
+  private:
+    const Type *elem_;
+    uint64_t count_;
+};
+
+/** Owns and interns all types of one module. */
+class TypeContext
+{
+  public:
+    TypeContext();
+
+    const VoidType *voidTy() const { return &voidTy_; }
+    const IntType *i8() const { return &i8_; }
+    const IntType *i16() const { return &i16_; }
+    const IntType *i32() const { return &i32_; }
+    const IntType *i64() const { return &i64_; }
+    const F64Type *f64() const { return &f64_; }
+
+    const IntType *intTy(unsigned bits) const;
+
+    const PtrType *ptr(const Type *pointee);
+    const PtrType *opaquePtr() { return ptr(nullptr); }
+
+    /** Create a named struct; body may be set later (recursion). */
+    StructType *createStruct(const std::string &name);
+    StructType *
+    createStruct(const std::string &name,
+                 std::vector<const Type *> fields)
+    {
+        StructType *s = createStruct(name);
+        s->setBody(std::move(fields));
+        return s;
+    }
+
+    const ArrayType *array(const Type *elem, uint64_t count);
+
+    /** Find a struct by name; null when absent. */
+    StructType *structByName(const std::string &name) const;
+
+  private:
+    VoidType voidTy_;
+    IntType i8_{8}, i16_{16}, i32_{32}, i64_{64};
+    F64Type f64_;
+    std::vector<std::unique_ptr<PtrType>> ptrs_;
+    std::vector<std::unique_ptr<StructType>> structs_;
+    std::vector<std::unique_ptr<ArrayType>> arrays_;
+};
+
+} // namespace ir
+} // namespace infat
+
+#endif // INFAT_IR_TYPE_HH

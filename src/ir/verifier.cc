@@ -1,0 +1,182 @@
+#include "ir/verifier.hh"
+
+#include "ir/printer.hh"
+#include "support/logging.hh"
+
+namespace infat {
+namespace ir {
+
+namespace {
+
+class FunctionVerifier
+{
+  public:
+    FunctionVerifier(const Module &module, const Function &func,
+                     std::vector<std::string> &problems)
+        : module_(module), func_(func), problems_(problems)
+    {
+    }
+
+    void
+    run()
+    {
+        if (func_.isNative()) {
+            if (func_.numBlocks() != 0)
+                report("native function has blocks");
+            return;
+        }
+        if (func_.numBlocks() == 0) {
+            report("function has no blocks");
+            return;
+        }
+        for (size_t b = 0; b < func_.numBlocks(); ++b) {
+            const BasicBlock &block = func_.block(static_cast<BlockId>(b));
+            if (!block.terminated()) {
+                report(strfmt("block b%zu not terminated", b));
+                continue;
+            }
+            for (size_t i = 0; i < block.instrs.size(); ++i) {
+                const Instr &instr = block.instrs[i];
+                if (instr.isTerminator() && i + 1 != block.instrs.size())
+                    report(strfmt("terminator mid-block in b%zu", b));
+                checkInstr(instr, b != 0);
+            }
+        }
+    }
+
+  private:
+    void
+    report(const std::string &what)
+    {
+        problems_.push_back(
+            strfmt("%s: %s", func_.name().c_str(), what.c_str()));
+    }
+
+    void
+    checkOperand(const Operand &operand)
+    {
+        switch (operand.kind) {
+          case Operand::Kind::Reg:
+            if (operand.payload >= func_.numRegs())
+                report(strfmt("register r%llu out of range",
+                              static_cast<unsigned long long>(
+                                  operand.payload)));
+            break;
+          case Operand::Kind::Global:
+            if (operand.payload >= module_.numGlobals())
+                report("global id out of range");
+            break;
+          case Operand::Kind::FuncAddr:
+            if (operand.payload >= module_.numFunctions())
+                report("function id out of range");
+            break;
+          default:
+            break;
+        }
+    }
+
+    void
+    checkInstr(const Instr &instr, bool not_entry)
+    {
+        checkOperand(instr.a);
+        checkOperand(instr.b);
+        checkOperand(instr.c);
+        for (const Operand &arg : instr.args)
+            checkOperand(arg);
+        if (instr.dst != noReg && instr.dst >= func_.numRegs())
+            report("dst register out of range");
+
+        switch (instr.op) {
+          case Opcode::Alloca:
+            if (not_entry)
+                report("alloca outside entry block");
+            if (!instr.type || instr.type->isVoid())
+                report("alloca without type");
+            break;
+          case Opcode::Load:
+          case Opcode::Store:
+            if (!instr.type || instr.type->isAggregate() ||
+                instr.type->isVoid()) {
+                report(strfmt("%s of non-scalar type",
+                              toString(instr.op)));
+            }
+            break;
+          case Opcode::GepField: {
+            if (!instr.type || !instr.type->isStruct()) {
+                report("gep.field without struct type");
+                break;
+            }
+            const auto *st = static_cast<const StructType *>(instr.type);
+            if (instr.imm0 >= st->numFields())
+                report("gep.field index out of range");
+            break;
+          }
+          case Opcode::GepIndex:
+            if (!instr.type || instr.type->isVoid())
+                report("gep.index without element type");
+            break;
+          case Opcode::Jmp:
+            checkTarget(instr.target0);
+            break;
+          case Opcode::Br:
+            checkTarget(instr.target0);
+            checkTarget(instr.target1);
+            break;
+          case Opcode::Call: {
+            if (instr.callee >= module_.numFunctions()) {
+                report("callee id out of range");
+                break;
+            }
+            const Function *callee = module_.function(instr.callee);
+            if (!callee->isNative() &&
+                instr.args.size() != callee->numParams()) {
+                report(strfmt("call to %s arity mismatch",
+                              callee->name().c_str()));
+            }
+            break;
+          }
+          case Opcode::MallocTyped:
+          case Opcode::IfpMallocTyped:
+            if (!instr.type || instr.type->isVoid())
+                report("malloc without type");
+            break;
+          default:
+            break;
+        }
+    }
+
+    void
+    checkTarget(BlockId target)
+    {
+        if (target >= func_.numBlocks())
+            report(strfmt("branch target b%u out of range", target));
+    }
+
+    const Module &module_;
+    const Function &func_;
+    std::vector<std::string> &problems_;
+};
+
+} // namespace
+
+std::vector<std::string>
+verify(const Module &module)
+{
+    std::vector<std::string> problems;
+    for (size_t i = 0; i < module.numFunctions(); ++i) {
+        const Function *func = module.function(static_cast<FuncId>(i));
+        FunctionVerifier(module, *func, problems).run();
+    }
+    return problems;
+}
+
+void
+verifyOrDie(const Module &module)
+{
+    auto problems = verify(module);
+    if (!problems.empty())
+        fatal("IR verification failed: %s", problems.front().c_str());
+}
+
+} // namespace ir
+} // namespace infat

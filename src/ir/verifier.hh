@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Structural well-formedness checks for modules.
+ *
+ * Catches builder and instrumentation bugs before the VM runs a module:
+ * unterminated blocks, branch targets out of range, register ids out of
+ * range, call arity mismatches, allocas outside the entry block, and
+ * type mismatches on memory operations.
+ */
+
+#ifndef INFAT_IR_VERIFIER_HH
+#define INFAT_IR_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace infat {
+namespace ir {
+
+/** Returns human-readable problems; empty = module is well-formed. */
+std::vector<std::string> verify(const Module &module);
+
+/** Verify and fatal() on the first problem (harness entry point). */
+void verifyOrDie(const Module &module);
+
+} // namespace ir
+} // namespace infat
+
+#endif // INFAT_IR_VERIFIER_HH

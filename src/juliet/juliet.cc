@@ -1,0 +1,359 @@
+#include "juliet/juliet.hh"
+
+#include "compiler/instrument.hh"
+#include "ir/builder.hh"
+#include "support/logging.hh"
+#include "vm/libc_model.hh"
+#include "vm/machine.hh"
+#include "workloads/dsl.hh"
+
+namespace infat {
+namespace juliet {
+
+using namespace ir;
+using workloads::ForLoop;
+using workloads::IfElse;
+
+const char *
+toString(Flaw flaw)
+{
+    switch (flaw) {
+      case Flaw::Overflow: return "overflow";
+      case Flaw::Underwrite: return "underwrite";
+      case Flaw::Overread: return "overread";
+      case Flaw::Underread: return "underread";
+    }
+    return "?";
+}
+
+const char *
+toString(Location location)
+{
+    switch (location) {
+      case Location::Stack: return "stack";
+      case Location::Heap: return "heap";
+      case Location::Global: return "global";
+    }
+    return "?";
+}
+
+const char *
+toString(Pattern pattern)
+{
+    switch (pattern) {
+      case Pattern::DirectIndex: return "direct";
+      case Pattern::VarIndex: return "varindex";
+      case Pattern::LoopBound: return "loop";
+      case Pattern::PtrArith: return "ptrarith";
+      case Pattern::CrossFunction: return "crossfn";
+      case Pattern::ReloadPromote: return "reload";
+      case Pattern::IntraField: return "intrafield";
+      case Pattern::IntraReload: return "intrareload";
+    }
+    return "?";
+}
+
+std::string
+TestCase::name() const
+{
+    return strfmt("%s_%s_%s_%s", toString(flaw), toString(location),
+                  toString(pattern), bad ? "bad" : "good");
+}
+
+bool
+TestCase::intraObject() const
+{
+    return pattern == Pattern::IntraField ||
+           pattern == Pattern::IntraReload;
+}
+
+namespace {
+
+constexpr int64_t bufElems = 8;
+
+bool
+isWrite(Flaw flaw)
+{
+    return flaw == Flaw::Overflow || flaw == Flaw::Underwrite;
+}
+
+bool
+isUnder(Flaw flaw)
+{
+    return flaw == Flaw::Underwrite || flaw == Flaw::Underread;
+}
+
+/** The accessed element index for a variant. */
+int64_t
+accessIndex(Flaw flaw, bool bad)
+{
+    if (isUnder(flaw))
+        return bad ? -1 : 0;
+    return bad ? bufElems : bufElems - 1;
+}
+
+class CaseBuilder
+{
+  public:
+    CaseBuilder(Module &m, const TestCase &tc) : m_(m), tc_(tc)
+    {
+        declareLibc(m_);
+        TypeContext &types = m_.types();
+        elem_ = types.i64();
+        // A guarded struct so both intra-overflow and intra-underflow
+        // stay inside the object: { guard; buf[8]; sensitive; }.
+        intraTy_ = types.createStruct(
+            "JulietS",
+            {types.i64(), types.array(types.i64(), bufElems),
+             types.i64()});
+    }
+
+    void
+    build()
+    {
+        TypeContext &types = m_.types();
+        // Opaque identity for indices (defeats any constant folding).
+        {
+            FunctionBuilder fb(m_, "opaque_id", {types.i64()},
+                               types.i64());
+            fb.ret(fb.arg(0));
+        }
+        // Pointer laundering helper: forces escape, keeps bounds via
+        // the calling convention.
+        {
+            FunctionBuilder fb(m_, "launder", {types.ptr(elem_)},
+                               types.ptr(elem_));
+            fb.ret(fb.arg(0));
+        }
+        // Cross-function accessors.
+        {
+            FunctionBuilder fb(m_, "helper_read",
+                               {types.ptr(elem_), types.i64()},
+                               types.i64());
+            fb.ret(fb.load(fb.elemPtr(fb.arg(0), fb.arg(1))));
+        }
+        {
+            FunctionBuilder fb(m_, "helper_write",
+                               {types.ptr(elem_), types.i64()},
+                               types.voidTy());
+            fb.store(fb.iconst(7), fb.elemPtr(fb.arg(0), fb.arg(1)));
+            fb.retVoid();
+        }
+
+        // Globals used by locations/patterns.
+        if (tc_.location == Location::Global) {
+            if (tc_.intraObject())
+                globalObj_ = m_.addGlobal("g_struct", intraTy_);
+            else
+                globalObj_ = m_.addGlobal(
+                    "g_buf", types.array(elem_, bufElems));
+        }
+        slot_ = m_.addGlobal("g_slot", types.ptr(elem_));
+
+        FunctionBuilder fb(m_, "main", {}, types.i64());
+        Value buf = makeBuffer(fb);
+        Value k = fb.iconst(accessIndex(tc_.flaw, tc_.bad));
+        emitAccess(fb, buf, k);
+        fb.ret(fb.iconst(0));
+    }
+
+  private:
+    /** Produce the buffer pointer (element-typed, 8 elements). */
+    Value
+    makeBuffer(FunctionBuilder &fb)
+    {
+        TypeContext &types = m_.types();
+        Value base;
+        if (tc_.intraObject()) {
+            Value obj;
+            switch (tc_.location) {
+              case Location::Stack:
+                obj = fb.stackAlloc(intraTy_);
+                break;
+              case Location::Heap:
+                obj = fb.mallocTyped(intraTy_);
+                break;
+              case Location::Global:
+                obj = fb.globalAddr(globalObj_);
+                break;
+            }
+            // Make the object escape so it is instrumented.
+            fb.call("launder", {fb.ptrCast(obj, elem_)});
+            fb.storeField(obj, 0, fb.iconst(1)); // guard
+            fb.storeField(obj, 2, fb.iconst(2)); // sensitive
+            base = fb.fieldPtr(obj, 1); // &obj->buf
+            return fb.ptrCast(base, elem_);
+        }
+        switch (tc_.location) {
+          case Location::Stack:
+            base = fb.stackAlloc(elem_, bufElems);
+            break;
+          case Location::Heap:
+            base = fb.mallocTyped(elem_, fb.iconst(bufElems));
+            break;
+          case Location::Global:
+            base = fb.ptrCast(fb.globalAddr(globalObj_), elem_);
+            break;
+        }
+        return fb.call("launder", {fb.ptrCast(base, elem_)});
+    }
+
+    void
+    emitAccess(FunctionBuilder &fb, Value buf, Value k)
+    {
+        bool write = isWrite(tc_.flaw);
+        auto touch = [&](Value ptr) {
+            if (write)
+                fb.store(fb.iconst(7), ptr);
+            else
+                fb.load(ptr);
+        };
+
+        switch (tc_.pattern) {
+          case Pattern::DirectIndex:
+          case Pattern::IntraField:
+            touch(fb.elemPtr(buf,
+                             accessIndex(tc_.flaw, tc_.bad)));
+            return;
+          case Pattern::VarIndex: {
+            Value idx = fb.call("opaque_id", {k});
+            touch(fb.elemPtr(buf, idx));
+            return;
+          }
+          case Pattern::LoopBound: {
+            // Off-by-one loop: the bad variant includes the index one
+            // past (or one before) the valid range.
+            int64_t start = isUnder(tc_.flaw)
+                                ? accessIndex(tc_.flaw, tc_.bad)
+                                : 0;
+            int64_t limit = isUnder(tc_.flaw)
+                                ? bufElems
+                                : accessIndex(tc_.flaw, tc_.bad) + 1;
+            ForLoop i(fb, fb.iconst(start), fb.iconst(limit));
+            touch(fb.elemPtr(buf, i.index()));
+            i.finish();
+            return;
+          }
+          case Pattern::PtrArith: {
+            Value mid = fb.elemPtr(buf, fb.call("opaque_id",
+                                                {fb.iconst(4)}));
+            Value target = fb.elemPtr(mid, fb.addImm(k, -4));
+            touch(target);
+            return;
+          }
+          case Pattern::CrossFunction: {
+            if (write)
+                fb.call("helper_write", {buf, k});
+            else
+                fb.call("helper_read", {buf, k});
+            return;
+          }
+          case Pattern::ReloadPromote:
+          case Pattern::IntraReload: {
+            fb.store(buf, fb.globalAddr(slot_));
+            Value reloaded = fb.load(fb.globalAddr(slot_));
+            touch(fb.elemPtr(reloaded, fb.call("opaque_id", {k})));
+            return;
+          }
+        }
+    }
+
+    Module &m_;
+    const TestCase &tc_;
+    const Type *elem_ = nullptr;
+    StructType *intraTy_ = nullptr;
+    GlobalId globalObj_ = 0;
+    GlobalId slot_ = 0;
+};
+
+} // namespace
+
+void
+TestCase::build(Module &module) const
+{
+    CaseBuilder(module, *this).build();
+}
+
+std::vector<TestCase>
+generateSuite()
+{
+    std::vector<TestCase> cases;
+    const Flaw flaws[] = {Flaw::Overflow, Flaw::Underwrite,
+                          Flaw::Overread, Flaw::Underread};
+    const Location locations[] = {Location::Stack, Location::Heap,
+                                  Location::Global};
+    const Pattern patterns[] = {
+        Pattern::DirectIndex,   Pattern::VarIndex,
+        Pattern::LoopBound,     Pattern::PtrArith,
+        Pattern::CrossFunction, Pattern::ReloadPromote,
+        Pattern::IntraField,    Pattern::IntraReload,
+    };
+    for (Flaw flaw : flaws) {
+        for (Location location : locations) {
+            for (Pattern pattern : patterns) {
+                for (bool bad : {false, true})
+                    cases.push_back({flaw, location, pattern, bad});
+            }
+        }
+    }
+    return cases;
+}
+
+CaseOutcome
+runCase(const TestCase &test_case, AllocatorKind allocator,
+        bool instrumented)
+{
+    Module module;
+    test_case.build(module);
+    InstrumentResult inst;
+    if (instrumented)
+        inst = instrumentModule(module);
+
+    VmConfig config;
+    config.instrumented = instrumented;
+    config.allocator = allocator;
+    config.useCache = false; // functional runs
+    Machine machine(module, instrumented ? &inst.layouts : nullptr,
+                    config);
+    installLibc(machine);
+
+    CaseOutcome outcome;
+    outcome.testCase = test_case;
+    try {
+        machine.run();
+    } catch (const GuestTrap &trap) {
+        outcome.trapped = trap.isSpatialViolation();
+        outcome.trapDetail = trap.what();
+        if (!trap.isSpatialViolation())
+            throw; // unexpected trap kind: a harness bug
+    }
+    outcome.correct = test_case.bad == outcome.trapped;
+    return outcome;
+}
+
+SuiteResult
+runSuite(AllocatorKind allocator, bool instrumented)
+{
+    SuiteResult result;
+    for (const TestCase &test_case : generateSuite()) {
+        CaseOutcome outcome = runCase(test_case, allocator,
+                                      instrumented);
+        result.total++;
+        if (test_case.bad) {
+            if (outcome.trapped)
+                result.badDetected++;
+            else
+                result.badMissed++;
+        } else {
+            if (outcome.trapped)
+                result.falsePositives++;
+            else
+                result.goodPassed++;
+        }
+        result.outcomes.push_back(std::move(outcome));
+    }
+    return result;
+}
+
+} // namespace juliet
+} // namespace infat

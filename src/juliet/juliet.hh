@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Juliet-style functional test-case generator (paper §5.1).
+ *
+ * The paper evaluates detection on the NIST Juliet 1.3 buffer
+ * overflow / underwrite / overread / underread categories: each test
+ * case pairs a *good* (in-bounds) and a *bad* (out-of-bounds) code
+ * fragment, and the defense must trap every bad fragment while passing
+ * every good one. The suite is proprietary-ish in spirit but entirely
+ * mechanical, so this generator reproduces its structure: a cross
+ * product of flaw kind, object location, and access pattern, each
+ * emitted as a small IR program.
+ *
+ * Beyond Juliet's object-granularity cases, the generator also emits
+ * *intra-object* cases (overflow from one struct field into a sibling)
+ * that only a subobject-granularity defense can catch — the paper
+ * notes all such Juliet cases were optimized away by the compiler in
+ * their runs; here they execute.
+ */
+
+#ifndef INFAT_JULIET_JULIET_HH
+#define INFAT_JULIET_JULIET_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hh"
+#include "runtime/runtime.hh"
+
+namespace infat {
+namespace juliet {
+
+enum class Flaw
+{
+    Overflow,   // write past the upper bound
+    Underwrite, // write below the lower bound
+    Overread,   // read past the upper bound
+    Underread,  // read below the lower bound
+};
+
+enum class Location
+{
+    Stack,
+    Heap,
+    Global,
+};
+
+enum class Pattern
+{
+    DirectIndex,   // buf[k], constant k
+    VarIndex,      // buf[k], k via an opaque helper
+    LoopBound,     // for (i = 0; i <= n; ++i) buf[i]  (off by one)
+    PtrArith,      // q = buf + k; *q
+    CrossFunction, // helper(buf, k) dereferences
+    ReloadPromote, // store buf to a global, reload (promote), index
+    IntraField,    // struct { buf[8]; sensitive; }: buf[k] directly
+    IntraReload,   // same, with &s.buf stored and reloaded first
+};
+
+const char *toString(Flaw flaw);
+const char *toString(Location location);
+const char *toString(Pattern pattern);
+
+struct TestCase
+{
+    Flaw flaw;
+    Location location;
+    Pattern pattern;
+    /** Bad variant (must trap) vs good variant (must pass). */
+    bool bad;
+
+    std::string name() const;
+    /** Whether detection requires subobject granularity. */
+    bool intraObject() const;
+
+    /** Build the case's module (main performs the access). */
+    void build(ir::Module &module) const;
+};
+
+/** The full generated suite (good + bad variants). */
+std::vector<TestCase> generateSuite();
+
+struct CaseOutcome
+{
+    TestCase testCase;
+    bool trapped = false;
+    std::string trapDetail;
+    /** bad && trapped, or good && !trapped. */
+    bool correct = false;
+};
+
+struct SuiteResult
+{
+    std::vector<CaseOutcome> outcomes;
+    size_t total = 0;
+    size_t badDetected = 0;
+    size_t badMissed = 0;
+    size_t falsePositives = 0;
+    size_t goodPassed = 0;
+};
+
+/**
+ * Run the suite instrumented with the given allocator. When
+ * @p instrumented is false the baseline is run instead (expected to
+ * miss everything except wild accesses).
+ */
+SuiteResult runSuite(AllocatorKind allocator, bool instrumented = true);
+
+/** Run a single case; returns its outcome. */
+CaseOutcome runCase(const TestCase &test_case, AllocatorKind allocator,
+                    bool instrumented = true);
+
+} // namespace juliet
+} // namespace infat
+
+#endif // INFAT_JULIET_JULIET_HH

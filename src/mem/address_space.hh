@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Guest virtual address space layout.
+ *
+ * The simulated machine is a 64-bit architecture with a 48-bit virtual
+ * address space, leaving the upper 16 bits of every pointer available as
+ * the In-Fat Pointer tag (paper §3). User-level canonical addresses have
+ * the upper bits clear, which is why the all-zero scheme selector is
+ * reserved for legacy pointers.
+ *
+ * The layout below is the single-process world the VM runs workloads in:
+ *
+ *   [globalBase, globalLimit)   instrumented + legacy global data
+ *   [heapBase,   heapLimit)     runtime-managed heap (both allocators)
+ *   [tableBase,  tableLimit)    global metadata table + layout tables
+ *   [stackLimit, stackBase)     downward-growing call stack
+ */
+
+#ifndef INFAT_MEM_ADDRESS_SPACE_HH
+#define INFAT_MEM_ADDRESS_SPACE_HH
+
+#include <cstdint>
+
+namespace infat {
+
+/** A guest virtual address. Tag bits, if any, live above bit 47. */
+using GuestAddr = uint64_t;
+
+namespace layout {
+
+constexpr unsigned addrBits = 48;
+constexpr GuestAddr addrMask = (GuestAddr{1} << addrBits) - 1;
+
+constexpr GuestAddr globalBase = 0x0000'1000'0000ULL;
+constexpr GuestAddr globalLimit = 0x0000'2000'0000ULL;
+
+constexpr GuestAddr heapBase = 0x0000'4000'0000ULL;
+constexpr GuestAddr heapLimit = 0x0000'c000'0000ULL;
+/** First half of the heap: glibc-model free-list arena. */
+constexpr GuestAddr freelistBase = heapBase;
+constexpr GuestAddr freelistLimit = 0x0000'8000'0000ULL;
+/** Second half: buddy region for the subheap allocator (1 GiB,
+ *  naturally aligned so every buddy block is aligned to its size). */
+constexpr GuestAddr buddyBase = 0x0000'8000'0000ULL;
+constexpr unsigned buddyOrderLog2 = 30;
+
+constexpr GuestAddr tableBase = 0x0001'0000'0000ULL;
+constexpr GuestAddr tableLimit = 0x0001'1000'0000ULL;
+
+constexpr GuestAddr stackBase = 0x7fff'f000'0000ULL;
+constexpr GuestAddr stackLimit = 0x7ffe'f000'0000ULL;
+
+/** Strip tag bits, producing the canonical 48-bit address. */
+constexpr GuestAddr
+canonical(GuestAddr addr)
+{
+    return addr & addrMask;
+}
+
+} // namespace layout
+
+} // namespace infat
+
+#endif // INFAT_MEM_ADDRESS_SPACE_HH

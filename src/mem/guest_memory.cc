@@ -1,0 +1,80 @@
+#include "mem/guest_memory.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace infat {
+
+uint8_t *
+GuestMemory::pageFor(GuestAddr addr)
+{
+    uint64_t page_num = layout::canonical(addr) >> pageShift;
+    auto it = pages_.find(page_num);
+    if (it == pages_.end()) {
+        auto page = std::make_unique<uint8_t[]>(pageSize);
+        std::memset(page.get(), 0, pageSize);
+        it = pages_.emplace(page_num, std::move(page)).first;
+    }
+    return it->second.get();
+}
+
+void
+GuestMemory::read(GuestAddr addr, void *out, uint64_t len)
+{
+    uint8_t *dst = static_cast<uint8_t *>(out);
+    GuestAddr cur = layout::canonical(addr);
+    while (len > 0) {
+        uint64_t in_page = pageSize - (cur & (pageSize - 1));
+        uint64_t chunk = std::min(len, in_page);
+        std::memcpy(dst, pageFor(cur) + (cur & (pageSize - 1)), chunk);
+        dst += chunk;
+        cur += chunk;
+        len -= chunk;
+    }
+}
+
+void
+GuestMemory::write(GuestAddr addr, const void *in, uint64_t len)
+{
+    const uint8_t *src = static_cast<const uint8_t *>(in);
+    GuestAddr cur = layout::canonical(addr);
+    while (len > 0) {
+        uint64_t in_page = pageSize - (cur & (pageSize - 1));
+        uint64_t chunk = std::min(len, in_page);
+        std::memcpy(pageFor(cur) + (cur & (pageSize - 1)), src, chunk);
+        src += chunk;
+        cur += chunk;
+        len -= chunk;
+    }
+}
+
+void
+GuestMemory::fill(GuestAddr addr, uint8_t byte, uint64_t len)
+{
+    GuestAddr cur = layout::canonical(addr);
+    while (len > 0) {
+        uint64_t in_page = pageSize - (cur & (pageSize - 1));
+        uint64_t chunk = std::min(len, in_page);
+        std::memset(pageFor(cur) + (cur & (pageSize - 1)), byte, chunk);
+        cur += chunk;
+        len -= chunk;
+    }
+}
+
+void
+GuestMemory::copy(GuestAddr dst, GuestAddr src, uint64_t len)
+{
+    // Chunked through a bounce buffer so page boundaries are respected.
+    uint8_t buf[256];
+    while (len > 0) {
+        uint64_t chunk = std::min<uint64_t>(len, sizeof(buf));
+        read(src, buf, chunk);
+        write(dst, buf, chunk);
+        src += chunk;
+        dst += chunk;
+        len -= chunk;
+    }
+}
+
+} // namespace infat

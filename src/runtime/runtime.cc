@@ -1,0 +1,467 @@
+#include "runtime/runtime.hh"
+
+#include "ifp/config.hh"
+#include "ifp/metadata.hh"
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace infat {
+
+namespace {
+
+/**
+ * Guest-instruction cost constants for the allocator models. These are
+ * the knobs DESIGN.md §6 documents: flat per-call costs approximating
+ * glibc malloc/free, the subheap pool fast path, and the metadata
+ * maintenance the instrumentation adds.
+ */
+constexpr uint64_t plainMallocCost = 60;
+constexpr uint64_t plainFreeCost = 40;
+constexpr uint64_t wrappedMetaCost = 12;  // meta encode + ifpmac + ifpmd
+constexpr uint64_t wrappedFreeMetaCost = 6;
+constexpr uint64_t subheapFastCost = 22;  // pool lookup + slot pop
+constexpr uint64_t subheapFastIfpCost = 6;
+constexpr uint64_t subheapRefillCost = 150; // buddy + block meta init
+constexpr uint64_t subheapRefillIfpCost = 30;
+constexpr uint64_t subheapFreeCost = 18;
+constexpr uint64_t subheapFreeIfpCost = 4;
+constexpr uint64_t registerLocalCost = 14;
+constexpr uint64_t registerGlobalCost = 18;
+constexpr uint64_t deregisterCost = 8;
+
+} // namespace
+
+const char *
+toString(AllocatorKind kind)
+{
+    switch (kind) {
+      case AllocatorKind::Wrapped:
+        return "wrapped";
+      case AllocatorKind::Subheap:
+        return "subheap";
+      case AllocatorKind::Mixed:
+        return "mixed";
+    }
+    return "?";
+}
+
+Runtime::Runtime(GuestMemory &mem, IfpControlRegs &regs,
+                 AllocatorKind kind, bool instrumented)
+    : mem_(mem), regs_(regs), kind_(kind), instrumented_(instrumented),
+      freelist_(layout::freelistBase, layout::freelistLimit),
+      buddy_(layout::buddyBase, layout::buddyOrderLog2, 12),
+      stats_("runtime")
+{
+}
+
+void
+Runtime::init(const LayoutRegistry *layouts)
+{
+    // Per-process MAC key. A real system derives this from kernel
+    // entropy at exec time; the simulation needs determinism.
+    regs_.macKey = {0x0ddc0ffee0ddba11ULL, 0x5eedf00d5eedf00dULL};
+
+    regs_.globalTableBase = layout::tableBase;
+    regs_.globalTableRows = IfpConfig::globalTableRows;
+    globalRowUsed_.assign(IfpConfig::globalTableRows, false);
+
+    // Materialize compile-time layout tables after the global table.
+    GuestAddr cursor = layout::tableBase +
+                       uint64_t{IfpConfig::globalTableRows} *
+                           IfpConfig::globalRowBytes;
+    layoutAddrs_.clear();
+    if (layouts) {
+        for (const LayoutTable &table : layouts->tables()) {
+            table.writeTo(mem_, cursor);
+            layoutAddrs_.push_back(cursor);
+            cursor += roundUp(table.byteSize(), 16);
+        }
+    }
+}
+
+GuestAddr
+Runtime::layoutAddr(ir::LayoutId id) const
+{
+    if (id == ir::noLayout)
+        return 0;
+    return layoutAddrs_.at(id);
+}
+
+uint64_t
+Runtime::paddedSlotSize(uint64_t object_size)
+{
+    if (object_size <= IfpConfig::localMaxObjectBytes) {
+        return roundUp(object_size, IfpConfig::granuleBytes) +
+               IfpConfig::localMetadataBytes;
+    }
+    return roundUp(object_size, IfpConfig::granuleBytes);
+}
+
+// --- Baseline allocation ---
+
+GuestAddr
+Runtime::plainMalloc(uint64_t size, RuntimeCost &cost)
+{
+    GuestAddr addr = freelist_.allocate(size);
+    fatal_if(addr == 0, "guest heap exhausted (freelist, %llu bytes)",
+             static_cast<unsigned long long>(size));
+    cost.instructions += plainMallocCost;
+    cost.touch(addr - FreeListAllocator::headerBytes, 16, true);
+    stats_.counter("plain_mallocs")++;
+    return addr;
+}
+
+void
+Runtime::plainFree(GuestAddr addr, RuntimeCost &cost)
+{
+    if (addr == 0)
+        return;
+    freelist_.deallocate(addr);
+    cost.instructions += plainFreeCost;
+    cost.touch(addr - FreeListAllocator::headerBytes, 16, true);
+    stats_.counter("plain_frees")++;
+}
+
+// --- Instrumented allocation ---
+
+IfpAllocation
+Runtime::ifpMalloc(uint64_t size, ir::LayoutId layout, RuntimeCost &cost)
+{
+    stats_.counter("ifp_mallocs")++;
+    if (layout != ir::noLayout)
+        stats_.counter("ifp_mallocs_with_layout")++;
+    switch (kind_) {
+      case AllocatorKind::Subheap:
+        return subheapMalloc(size, layout, cost);
+      case AllocatorKind::Wrapped:
+        return wrappedMalloc(size, layout, cost);
+      case AllocatorKind::Mixed:
+        // Pool the small size-classed objects (where sharing one block
+        // metadata pays off); let one-off and large allocations take
+        // the wrapped path.
+        if (size <= 512)
+            return subheapMalloc(size, layout, cost);
+        return wrappedMalloc(size, layout, cost);
+    }
+    panic("bad allocator kind");
+}
+
+void
+Runtime::ifpFree(TaggedPtr ptr, RuntimeCost &cost)
+{
+    if (ptr.isNull())
+        return;
+    stats_.counter("ifp_frees")++;
+    if (ptr.scheme() == Scheme::Subheap)
+        return subheapFree(ptr, cost);
+    return wrappedFree(ptr, cost);
+}
+
+IfpAllocation
+Runtime::makeLocalOffset(GuestAddr addr, uint64_t size,
+                         GuestAddr layout_addr, RuntimeCost &cost)
+{
+    panic_if(addr & (IfpConfig::granuleBytes - 1),
+             "local-offset object base not granule aligned");
+    GuestAddr meta_addr = addr + roundUp(size, IfpConfig::granuleBytes);
+    LocalOffsetMeta::write(mem_, meta_addr, size, layout_addr,
+                           regs_.macKey);
+    cost.touch(meta_addr, IfpConfig::localMetadataBytes, true);
+
+    uint64_t offset = (meta_addr - roundDown(addr, IfpConfig::granuleBytes)) /
+                      IfpConfig::granuleBytes;
+    panic_if(offset > mask(IfpConfig::localOffsetBits),
+             "local-offset granule offset overflow");
+    TaggedPtr ptr = TaggedPtr::make(
+        addr, Scheme::LocalOffset,
+        offset << IfpConfig::localSubobjBits);
+    stats_.counter("local_offset_objects")++;
+    return {ptr, Bounds(addr, addr + size)};
+}
+
+IfpAllocation
+Runtime::makeGlobalTable(GuestAddr addr, uint64_t size, RuntimeCost &cost)
+{
+    uint32_t row = allocGlobalRow();
+    GlobalTableRow entry;
+    entry.base = addr;
+    entry.size = size;
+    entry.valid = true;
+    GlobalTableRow::write(mem_, regs_.globalTableBase, row, entry);
+    cost.touch(GlobalTableRow::rowAddr(regs_.globalTableBase, row),
+               IfpConfig::globalRowBytes, true);
+    TaggedPtr ptr = TaggedPtr::make(addr, Scheme::GlobalTable, row);
+    stats_.counter("global_table_objects")++;
+    return {ptr, Bounds(addr, addr + size)};
+}
+
+IfpAllocation
+Runtime::wrappedMalloc(uint64_t size, ir::LayoutId layout,
+                       RuntimeCost &cost)
+{
+    // The wrapped allocator transparently over-allocates so the
+    // local-offset metadata fits after the object (paper §4.2.1).
+    GuestAddr addr = plainMalloc(paddedSlotSize(size), cost);
+    cost.instructions += wrappedMetaCost;
+    cost.ifpInstructions += wrappedMetaCost;
+    if (size <= IfpConfig::localMaxObjectBytes)
+        return makeLocalOffset(addr, size, layoutAddr(layout), cost);
+    return makeGlobalTable(addr, size, cost);
+}
+
+void
+Runtime::wrappedFree(TaggedPtr ptr, RuntimeCost &cost)
+{
+    GuestAddr addr = ptr.addr();
+    cost.instructions += wrappedFreeMetaCost;
+    cost.ifpInstructions += wrappedFreeMetaCost;
+    switch (ptr.scheme()) {
+      case Scheme::LocalOffset: {
+        GuestAddr meta_addr =
+            roundDown(addr, IfpConfig::granuleBytes) +
+            ptr.localGranuleOffset() * IfpConfig::granuleBytes;
+        LocalOffsetMeta::erase(mem_, meta_addr);
+        cost.touch(meta_addr, IfpConfig::localMetadataBytes, true);
+        break;
+      }
+      case Scheme::GlobalTable: {
+        auto row = static_cast<uint32_t>(ptr.globalTableIndex());
+        freeGlobalRow(row);
+        GlobalTableRow::erase(mem_, regs_.globalTableBase, row);
+        cost.touch(GlobalTableRow::rowAddr(regs_.globalTableBase, row),
+                   IfpConfig::globalRowBytes, true);
+        break;
+      }
+      case Scheme::Legacy:
+        // Legacy pointer freed by instrumented code: no metadata.
+        break;
+      default:
+        panic("wrapped free of %s pointer", infat::toString(ptr.scheme()));
+    }
+    plainFree(addr, cost);
+}
+
+unsigned
+Runtime::ctrlRegForOrder(unsigned order)
+{
+    auto it = orderCtrlReg_.find(order);
+    if (it != orderCtrlReg_.end())
+        return it->second;
+    fatal_if(nextCtrlReg_ >= IfpConfig::numSubheapCtrlRegs,
+             "out of subheap control registers");
+    unsigned reg = nextCtrlReg_++;
+    regs_.subheap[reg].valid = true;
+    regs_.subheap[reg].blockOrderLog2 = static_cast<uint8_t>(order);
+    regs_.subheap[reg].metaOffset = 0;
+    orderCtrlReg_.emplace(order, reg);
+    return reg;
+}
+
+IfpAllocation
+Runtime::subheapMalloc(uint64_t size, ir::LayoutId layout,
+                       RuntimeCost &cost)
+{
+    GuestAddr layout_addr = layoutAddr(layout);
+    uint64_t slot_size = roundUp(std::max<uint64_t>(size, 1),
+                                 IfpConfig::granuleBytes);
+
+    // Objects too large even for the biggest blocks fall back to the
+    // wrapped path (global table; the paper's runtime could also mix
+    // allocators, §4.2.1).
+    unsigned min_order = log2Ceil(slot_size +
+                                  IfpConfig::subheapMetadataBytes);
+    unsigned order = std::max(16u, min_order); // default 64 KiB blocks
+    if (order > 24) {
+        stats_.counter("subheap_fallbacks")++;
+        return wrappedMalloc(size, layout, cost);
+    }
+
+    auto key = std::make_pair(size, layout_addr);
+    auto [pool_it, created] = pools_.try_emplace(key);
+    SubheapPool &pool = pool_it->second;
+    if (created) {
+        pool.order = order;
+        pool.ctrlReg = ctrlRegForOrder(order);
+        pool.objectSize = size;
+        pool.slotSize = slot_size;
+        pool.slotsStart = roundUp(IfpConfig::subheapMetadataBytes,
+                                  IfpConfig::granuleBytes);
+        uint64_t block_bytes = uint64_t{1} << order;
+        pool.numSlots = static_cast<uint32_t>(
+            (block_bytes - pool.slotsStart) / slot_size);
+        pool.layoutAddr = layout_addr;
+    }
+
+    cost.instructions += subheapFastCost;
+    cost.ifpInstructions += subheapFastIfpCost;
+
+    // Find a block with a free slot, dropping stale entries.
+    GuestAddr block_base = 0;
+    while (!pool.partialBlocks.empty()) {
+        GuestAddr candidate = pool.partialBlocks.back();
+        auto bit = pool.blocks.find(candidate);
+        if (bit == pool.blocks.end() || bit->second.freeSlots.empty()) {
+            pool.partialBlocks.pop_back();
+            continue;
+        }
+        block_base = candidate;
+        break;
+    }
+
+    if (block_base == 0) {
+        // Refill: carve a new block and publish its shared metadata.
+        block_base = buddy_.allocate(pool.order);
+        fatal_if(block_base == 0, "guest heap exhausted (buddy)");
+        SubheapBlock block;
+        block.freeSlots.reserve(pool.numSlots);
+        for (uint32_t i = pool.numSlots; i-- > 0;)
+            block.freeSlots.push_back(i);
+        pool.blocks.emplace(block_base, std::move(block));
+        pool.partialBlocks.push_back(block_base);
+        blockOwner_.emplace(block_base, key);
+
+        SubheapBlockMeta meta;
+        meta.slotsStart = pool.slotsStart;
+        meta.slotsEnd = static_cast<uint32_t>(
+            pool.slotsStart + uint64_t{pool.numSlots} * pool.slotSize);
+        meta.slotSize = static_cast<uint32_t>(pool.slotSize);
+        meta.objectSize = static_cast<uint32_t>(pool.objectSize);
+        meta.layoutTable = pool.layoutAddr;
+        meta.valid = true;
+        SubheapBlockMeta::write(mem_, block_base, 0, meta, regs_.macKey);
+        cost.instructions += subheapRefillCost;
+        cost.ifpInstructions += subheapRefillIfpCost;
+        cost.touch(block_base, IfpConfig::subheapMetadataBytes, true);
+        stats_.counter("subheap_blocks")++;
+    }
+
+    SubheapBlock &block = pool.blocks.at(block_base);
+    uint32_t slot = block.freeSlots.back();
+    block.freeSlots.pop_back();
+    block.liveCount++;
+    if (block.freeSlots.empty())
+        pool.partialBlocks.pop_back();
+
+    GuestAddr addr = block_base + pool.slotsStart + slot * pool.slotSize;
+    cost.touch(addr, 8, true); // free-list link update
+    TaggedPtr ptr = TaggedPtr::make(
+        addr, Scheme::Subheap,
+        static_cast<uint64_t>(pool.ctrlReg)
+            << IfpConfig::subheapSubobjBits);
+    stats_.counter("subheap_objects")++;
+    return {ptr, Bounds(addr, addr + size)};
+}
+
+void
+Runtime::subheapFree(TaggedPtr ptr, RuntimeCost &cost)
+{
+    GuestAddr addr = ptr.addr();
+    const SubheapCtrlReg &ctrl = regs_.subheap[ptr.subheapCtrlIndex()];
+    panic_if(!ctrl.valid, "subheap free with invalid control register");
+    GuestAddr block_base = roundDown(addr, uint64_t{1}
+                                               << ctrl.blockOrderLog2);
+    auto owner = blockOwner_.find(block_base);
+    panic_if(owner == blockOwner_.end(), "subheap free of unknown block");
+    SubheapPool &pool = pools_.at(owner->second);
+    SubheapBlock &block = pool.blocks.at(block_base);
+
+    auto slot = static_cast<uint32_t>(
+        (addr - block_base - pool.slotsStart) / pool.slotSize);
+    block.freeSlots.push_back(slot);
+    panic_if(block.liveCount == 0, "subheap double free");
+    block.liveCount--;
+    cost.instructions += subheapFreeCost;
+    cost.ifpInstructions += subheapFreeIfpCost;
+    cost.touch(addr, 8, true);
+
+    if (block.freeSlots.size() == 1)
+        pool.partialBlocks.push_back(block_base);
+
+    if (block.liveCount == 0 && pool.blocks.size() > 1) {
+        // Return fully-free blocks (keep one warm per pool).
+        SubheapBlockMeta::erase(mem_, block_base, 0);
+        cost.touch(block_base, IfpConfig::subheapMetadataBytes, true);
+        pool.blocks.erase(block_base);
+        blockOwner_.erase(block_base);
+        buddy_.deallocate(block_base, pool.order);
+        stats_.counter("subheap_blocks_released")++;
+    }
+}
+
+// --- Registration ---
+
+IfpAllocation
+Runtime::registerObject(GuestAddr addr, uint64_t size,
+                        ir::LayoutId layout, RuntimeCost &cost)
+{
+    stats_.counter("registered_objects")++;
+    if (layout != ir::noLayout)
+        stats_.counter("registered_objects_with_layout")++;
+    if (size <= IfpConfig::localMaxObjectBytes) {
+        cost.instructions += registerLocalCost;
+        cost.ifpInstructions += registerLocalCost;
+        return makeLocalOffset(addr, size, layoutAddr(layout), cost);
+    }
+    cost.instructions += registerGlobalCost;
+    cost.ifpInstructions += registerGlobalCost;
+    return makeGlobalTable(addr, size, cost);
+}
+
+void
+Runtime::deregisterObject(TaggedPtr ptr, RuntimeCost &cost)
+{
+    cost.instructions += deregisterCost;
+    cost.ifpInstructions += deregisterCost;
+    switch (ptr.scheme()) {
+      case Scheme::LocalOffset: {
+        GuestAddr meta_addr =
+            roundDown(ptr.addr(), IfpConfig::granuleBytes) +
+            ptr.localGranuleOffset() * IfpConfig::granuleBytes;
+        LocalOffsetMeta::erase(mem_, meta_addr);
+        cost.touch(meta_addr, IfpConfig::localMetadataBytes, true);
+        break;
+      }
+      case Scheme::GlobalTable: {
+        auto row = static_cast<uint32_t>(ptr.globalTableIndex());
+        freeGlobalRow(row);
+        GlobalTableRow::erase(mem_, regs_.globalTableBase, row);
+        cost.touch(GlobalTableRow::rowAddr(regs_.globalTableBase, row),
+                   IfpConfig::globalRowBytes, true);
+        break;
+      }
+      default:
+        // Deregistering a pointer that lost its tag: nothing to do.
+        break;
+    }
+}
+
+uint32_t
+Runtime::allocGlobalRow()
+{
+    for (uint32_t i = 0; i < globalRowUsed_.size(); ++i) {
+        uint32_t row = (globalRowHint_ + i) %
+                       static_cast<uint32_t>(globalRowUsed_.size());
+        if (!globalRowUsed_[row]) {
+            globalRowUsed_[row] = true;
+            globalRowHint_ = row + 1;
+            return row;
+        }
+    }
+    fatal("global metadata table exhausted (%u rows)",
+          IfpConfig::globalTableRows);
+}
+
+void
+Runtime::freeGlobalRow(uint32_t row)
+{
+    panic_if(!globalRowUsed_.at(row), "double free of global row %u", row);
+    globalRowUsed_[row] = false;
+}
+
+uint64_t
+Runtime::heapPeakFootprint() const
+{
+    return freelist_.peakFootprint() + buddy_.peakFootprint();
+}
+
+} // namespace infat

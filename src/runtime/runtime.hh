@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The In-Fat Pointer runtime library model (paper §4.2).
+ *
+ * The runtime owns everything the paper's libifp runtime does:
+ *  - process startup: MAC key, subheap control registers, the global
+ *    metadata table, and materialization of compile-time layout tables
+ *    into guest memory;
+ *  - the two dynamic allocators of §4.2.1: the *wrapped* allocator
+ *    (over-allocating on a glibc-model free-list malloc, using the
+ *    local-offset scheme with a global-table fallback) and the
+ *    *subheap* allocator (a pool allocator over a buddy allocator using
+ *    the subheap scheme);
+ *  - stack/global object registration and deregistration for the
+ *    compiler-instrumented RegisterObj/DeregisterObj operations.
+ *
+ * Every entry point reports a RuntimeCost: the number of guest
+ * instructions the operation would execute and the memory accesses it
+ * makes, so the VM can charge realistic dynamic-instruction counts for
+ * allocator work in both baseline and instrumented runs. The constants
+ * are documented with each operation (DESIGN.md §6).
+ */
+
+#ifndef INFAT_RUNTIME_RUNTIME_HH
+#define INFAT_RUNTIME_RUNTIME_HH
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "alloc/buddy_allocator.hh"
+#include "alloc/freelist_allocator.hh"
+#include "compiler/layout_gen.hh"
+#include "ifp/bounds.hh"
+#include "ifp/control_regs.hh"
+#include "ifp/tag.hh"
+#include "mem/guest_memory.hh"
+#include "support/stats.hh"
+
+namespace infat {
+
+enum class AllocatorKind
+{
+    /** glibc malloc wrapped with metadata (local offset / global). */
+    Wrapped,
+    /** Pool-over-buddy allocator using the subheap scheme. */
+    Subheap,
+    /**
+     * Dynamic selection (the paper's §4.2.1 future-work variant):
+     * small fixed-size allocations that benefit from metadata sharing
+     * go to the subheap pools; everything else takes the wrapped
+     * path. free() dispatches on the pointer's scheme selector.
+     */
+    Mixed,
+};
+
+const char *toString(AllocatorKind kind);
+
+/** Guest-side cost of a runtime operation, charged by the VM. */
+struct RuntimeCost
+{
+    uint64_t instructions = 0;
+    /** Memory accesses to send through the cache model, as
+     *  (address, bytes, is_write) triples. */
+    struct Access
+    {
+        GuestAddr addr;
+        uint32_t bytes;
+        bool write;
+    };
+    std::vector<Access> accesses;
+    /** The subset of `instructions` attributable to IFP metadata
+     *  maintenance (counted as IFP arithmetic in Figure 11). */
+    uint64_t ifpInstructions = 0;
+
+    void
+    touch(GuestAddr addr, uint32_t bytes, bool write)
+    {
+        accesses.push_back({addr, bytes, write});
+    }
+};
+
+/** Result of an instrumented allocation or registration. */
+struct IfpAllocation
+{
+    TaggedPtr ptr;
+    Bounds bounds;
+};
+
+class Runtime
+{
+  public:
+    Runtime(GuestMemory &mem, IfpControlRegs &regs, AllocatorKind kind,
+            bool instrumented);
+
+    /**
+     * Process startup: key material, the global table, control
+     * registers, and layout-table materialization. @p layouts may be
+     * null for baseline runs.
+     */
+    void init(const LayoutRegistry *layouts);
+
+    GuestAddr layoutAddr(ir::LayoutId id) const;
+
+    // --- Baseline (uninstrumented) allocation: the glibc model ---
+    GuestAddr plainMalloc(uint64_t size, RuntimeCost &cost);
+    void plainFree(GuestAddr addr, RuntimeCost &cost);
+
+    // --- Instrumented allocation (rewritten malloc/free, §4.2.1) ---
+    IfpAllocation ifpMalloc(uint64_t size, ir::LayoutId layout,
+                            RuntimeCost &cost);
+    void ifpFree(TaggedPtr ptr, RuntimeCost &cost);
+
+    // --- Stack / global object registration (§4.2.2) ---
+    /**
+     * Register an object at @p addr of @p size bytes. Picks the local
+     * offset scheme when the object fits (the caller must have padded
+     * the slot: granule alignment plus 16 metadata bytes), falling back
+     * to the global table.
+     */
+    IfpAllocation registerObject(GuestAddr addr, uint64_t size,
+                                 ir::LayoutId layout, RuntimeCost &cost);
+    void deregisterObject(TaggedPtr ptr, RuntimeCost &cost);
+
+    /**
+     * Stack-slot footprint for an alloca of @p object_size bytes when
+     * the object will be registered (granule padding + metadata).
+     */
+    static uint64_t paddedSlotSize(uint64_t object_size);
+
+    AllocatorKind allocatorKind() const { return kind_; }
+    bool instrumented() const { return instrumented_; }
+
+    /** Peak heap footprint in bytes (for the Figure 12 measurement). */
+    uint64_t heapPeakFootprint() const;
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    struct SubheapBlock
+    {
+        std::vector<uint32_t> freeSlots;
+        uint32_t liveCount = 0;
+    };
+
+    struct SubheapPool
+    {
+        unsigned order = 0;
+        unsigned ctrlReg = 0;
+        uint64_t objectSize = 0;
+        uint64_t slotSize = 0;
+        uint32_t slotsStart = 0;
+        uint32_t numSlots = 0;
+        GuestAddr layoutAddr = 0;
+        std::vector<GuestAddr> partialBlocks;
+        std::map<GuestAddr, SubheapBlock> blocks;
+    };
+
+    IfpAllocation wrappedMalloc(uint64_t size, ir::LayoutId layout,
+                                RuntimeCost &cost);
+    IfpAllocation subheapMalloc(uint64_t size, ir::LayoutId layout,
+                                RuntimeCost &cost);
+    void wrappedFree(TaggedPtr ptr, RuntimeCost &cost);
+    void subheapFree(TaggedPtr ptr, RuntimeCost &cost);
+
+    IfpAllocation makeLocalOffset(GuestAddr addr, uint64_t size,
+                                  GuestAddr layout_addr,
+                                  RuntimeCost &cost);
+    IfpAllocation makeGlobalTable(GuestAddr addr, uint64_t size,
+                                  RuntimeCost &cost);
+
+    /** Allocate/find the control register for a block order. */
+    unsigned ctrlRegForOrder(unsigned order);
+
+    uint32_t allocGlobalRow();
+    void freeGlobalRow(uint32_t row);
+
+    GuestMemory &mem_;
+    IfpControlRegs &regs_;
+    AllocatorKind kind_;
+    bool instrumented_;
+
+    FreeListAllocator freelist_;
+    BuddyAllocator buddy_;
+
+    std::vector<GuestAddr> layoutAddrs_;
+    std::vector<bool> globalRowUsed_;
+    uint32_t globalRowHint_ = 0;
+
+    /** Subheap pools keyed by (slot size, layout table address). */
+    std::map<std::pair<uint64_t, GuestAddr>, SubheapPool> pools_;
+    /** Block base -> owning pool key, for free(). */
+    std::map<GuestAddr, std::pair<uint64_t, GuestAddr>> blockOwner_;
+    /** Block order -> control register index. */
+    std::map<unsigned, unsigned> orderCtrlReg_;
+    unsigned nextCtrlReg_ = 0;
+
+    StatGroup stats_;
+};
+
+} // namespace infat
+
+#endif // INFAT_RUNTIME_RUNTIME_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the tag and metadata codecs.
+ */
+
+#ifndef INFAT_SUPPORT_BITOPS_HH
+#define INFAT_SUPPORT_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace infat {
+
+/** A mask of the low @p nbits bits. */
+constexpr uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~0ULL : (1ULL << nbits) - 1;
+}
+
+/** Extract bits [first, last] (inclusive, last >= first) from @p val. */
+constexpr uint64_t
+bits(uint64_t val, unsigned last, unsigned first)
+{
+    return (val >> first) & mask(last - first + 1);
+}
+
+/** Return @p val with bits [first, last] replaced by @p field. */
+constexpr uint64_t
+insertBits(uint64_t val, unsigned last, unsigned first, uint64_t field)
+{
+    uint64_t m = mask(last - first + 1) << first;
+    return (val & ~m) | ((field << first) & m);
+}
+
+/** Sign-extend the low @p nbits bits of @p val to 64 bits. */
+constexpr int64_t
+sext(uint64_t val, unsigned nbits)
+{
+    uint64_t m = 1ULL << (nbits - 1);
+    val &= mask(nbits);
+    return static_cast<int64_t>((val ^ m) - m);
+}
+
+/** True if @p val is a power of two (and nonzero). */
+constexpr bool
+isPowerOf2(uint64_t val)
+{
+    return val != 0 && (val & (val - 1)) == 0;
+}
+
+/** Round @p val up to the next multiple of @p align (a power of two). */
+constexpr uint64_t
+roundUp(uint64_t val, uint64_t align)
+{
+    return (val + align - 1) & ~(align - 1);
+}
+
+/** Round @p val down to a multiple of @p align (a power of two). */
+constexpr uint64_t
+roundDown(uint64_t val, uint64_t align)
+{
+    return val & ~(align - 1);
+}
+
+/** Ceiling of log2; log2Ceil(1) == 0. */
+constexpr unsigned
+log2Ceil(uint64_t val)
+{
+    unsigned n = 0;
+    uint64_t v = 1;
+    while (v < val) {
+        v <<= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** Floor of log2; undefined for 0. */
+constexpr unsigned
+log2Floor(uint64_t val)
+{
+    return 63 - static_cast<unsigned>(std::countl_zero(val));
+}
+
+} // namespace infat
+
+#endif // INFAT_SUPPORT_BITOPS_HH

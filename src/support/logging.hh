@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Logging and error-reporting primitives, in the gem5 spirit.
+ *
+ * panic()  — an internal invariant of the simulator itself was violated;
+ *            aborts so a debugger or core dump can inspect the state.
+ * fatal()  — the user asked for something the simulator cannot do
+ *            (bad configuration, unsupported workload parameter);
+ *            exits with an error code.
+ * warn()   — something is probably fine but worth knowing about.
+ * inform() — plain status output.
+ */
+
+#ifndef INFAT_SUPPORT_LOGGING_HH
+#define INFAT_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdlib>
+#include <string>
+
+namespace infat {
+
+/** Printf-style formatting into a std::string. */
+std::string vstrfmt(const char *fmt, va_list ap);
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Suppress inform()/warn() output (benchmarks want quiet runs). */
+void setQuiet(bool quiet);
+bool quiet();
+
+[[noreturn]] void panicFmt(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+[[noreturn]] void fatalFmt(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+void warnFmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void informFmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace infat
+
+#define panic(...) ::infat::panicFmt(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::infat::fatalFmt(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::infat::warnFmt(__VA_ARGS__)
+#define inform(...) ::infat::informFmt(__VA_ARGS__)
+
+/** Simulator-internal assertion: condition must hold or it is a bug here. */
+#define panic_if(cond, ...)                                                   \
+    do {                                                                      \
+        if (cond)                                                             \
+            panic(__VA_ARGS__);                                              \
+    } while (0)
+
+#define fatal_if(cond, ...)                                                   \
+    do {                                                                      \
+        if (cond)                                                             \
+            fatal(__VA_ARGS__);                                              \
+    } while (0)
+
+#endif // INFAT_SUPPORT_LOGGING_HH

@@ -1,0 +1,94 @@
+#include "support/siphash.hh"
+
+#include <cstring>
+
+namespace infat {
+
+namespace {
+
+constexpr uint64_t
+rotl(uint64_t x, int b)
+{
+    return (x << b) | (x >> (64 - b));
+}
+
+struct SipState
+{
+    uint64_t v0, v1, v2, v3;
+
+    void
+    round()
+    {
+        v0 += v1;
+        v1 = rotl(v1, 13);
+        v1 ^= v0;
+        v0 = rotl(v0, 32);
+        v2 += v3;
+        v3 = rotl(v3, 16);
+        v3 ^= v2;
+        v0 += v3;
+        v3 = rotl(v3, 21);
+        v3 ^= v0;
+        v2 += v1;
+        v1 = rotl(v1, 17);
+        v1 ^= v2;
+        v2 = rotl(v2, 32);
+    }
+};
+
+} // namespace
+
+uint64_t
+siphash24(const void *data, size_t len, uint64_t key0, uint64_t key1)
+{
+    SipState s;
+    s.v0 = 0x736f6d6570736575ULL ^ key0;
+    s.v1 = 0x646f72616e646f6dULL ^ key1;
+    s.v2 = 0x6c7967656e657261ULL ^ key0;
+    s.v3 = 0x7465646279746573ULL ^ key1;
+
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    const uint8_t *end = p + (len & ~size_t{7});
+    for (; p != end; p += 8) {
+        uint64_t m;
+        std::memcpy(&m, p, 8);
+        s.v3 ^= m;
+        s.round();
+        s.round();
+        s.v0 ^= m;
+    }
+
+    uint64_t b = static_cast<uint64_t>(len) << 56;
+    size_t left = len & 7;
+    for (size_t i = 0; i < left; ++i)
+        b |= static_cast<uint64_t>(p[i]) << (8 * i);
+
+    s.v3 ^= b;
+    s.round();
+    s.round();
+    s.v0 ^= b;
+
+    s.v2 ^= 0xff;
+    s.round();
+    s.round();
+    s.round();
+    s.round();
+    return s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+}
+
+uint64_t
+mac48(uint64_t word0, uint64_t word1, uint64_t key0, uint64_t key1)
+{
+    uint64_t words[2] = {word0, word1};
+    return mac48Words(words, 2, key0, key1);
+}
+
+uint64_t
+mac48Words(const uint64_t *words, size_t count, uint64_t key0,
+           uint64_t key1)
+{
+    return siphash24(words, count * sizeof(uint64_t), key0, key1) &
+           ((1ULL << 48) - 1);
+}
+
+} // namespace infat

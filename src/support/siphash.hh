@@ -1,0 +1,32 @@
+/**
+ * @file
+ * SipHash-2-4 keyed pseudo-random function.
+ *
+ * In-Fat Pointer protects in-memory object metadata with a 48-bit MAC
+ * (paper §3.3); the prototype hardware computes it with the ifpmac
+ * instruction. We model the MAC as SipHash-2-4 truncated to 48 bits with
+ * a per-process 128-bit key.
+ */
+
+#ifndef INFAT_SUPPORT_SIPHASH_HH
+#define INFAT_SUPPORT_SIPHASH_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace infat {
+
+/** Full 64-bit SipHash-2-4 of @p len bytes under a 128-bit key. */
+uint64_t siphash24(const void *data, size_t len, uint64_t key0,
+                   uint64_t key1);
+
+/** SipHash-2-4 of two 64-bit words, truncated to 48 bits. */
+uint64_t mac48(uint64_t word0, uint64_t word1, uint64_t key0, uint64_t key1);
+
+/** SipHash-2-4 of @p count 64-bit words, truncated to 48 bits. */
+uint64_t mac48Words(const uint64_t *words, size_t count, uint64_t key0,
+                    uint64_t key1);
+
+} // namespace infat
+
+#endif // INFAT_SUPPORT_SIPHASH_HH

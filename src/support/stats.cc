@@ -1,0 +1,51 @@
+#include "support/stats.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace infat {
+
+Counter &
+StatGroup::counter(const std::string &stat_name)
+{
+    return counters_[stat_name];
+}
+
+uint64_t
+StatGroup::value(const std::string &stat_name) const
+{
+    auto it = counters_.find(stat_name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::string out;
+    for (const auto &kv : counters_) {
+        out += strfmt("%s.%s %llu\n", name_.c_str(), kv.first.c_str(),
+                      static_cast<unsigned long long>(kv.second.value()));
+    }
+    return out;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 1.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace infat

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A small named-statistics package.
+ *
+ * Components own a StatGroup and register named counters in it; harnesses
+ * read them back by name or dump the whole group. This is a deliberately
+ * tiny cousin of gem5's Stats package: scalar counters and derived values
+ * only, because that is all the evaluation needs.
+ */
+
+#ifndef INFAT_SUPPORT_STATS_HH
+#define INFAT_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace infat {
+
+/** One named 64-bit counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    void operator+=(uint64_t n) { value_ += n; }
+    void reset() { value_ = 0; }
+
+    uint64_t value() const { return value_; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/**
+ * A flat registry of counters owned by one component.
+ *
+ * Counters are created on first use; reading a counter that was never
+ * touched returns zero, which keeps harness code free of existence checks.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    Counter &counter(const std::string &stat_name);
+    uint64_t value(const std::string &stat_name) const;
+
+    void resetAll();
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+
+    /** Render "group.stat value" lines for every counter. */
+    std::string dump() const;
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+};
+
+/** Geometric mean of a vector of ratios; empty input yields 1.0. */
+double geomean(const std::vector<double> &values);
+
+} // namespace infat
+
+#endif // INFAT_SUPPORT_STATS_HH

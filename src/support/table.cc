@@ -1,0 +1,83 @@
+#include "support/table.hh"
+
+#include "support/logging.hh"
+
+namespace infat {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::cell(uint64_t v)
+{
+    return strfmt("%llu", static_cast<unsigned long long>(v));
+}
+
+std::string
+TextTable::cell(int64_t v)
+{
+    return strfmt("%lld", static_cast<long long>(v));
+}
+
+std::string
+TextTable::cellF(double v, int precision)
+{
+    return strfmt("%.*f", precision, v);
+}
+
+std::string
+TextTable::cellPct(double ratio, int precision)
+{
+    return strfmt("%.*f%%", precision, ratio * 100.0);
+}
+
+std::string
+TextTable::cellSci(double v)
+{
+    return strfmt("%.2e", v);
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto &row : rows_) {
+        for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+            if (row[i].size() > widths[i])
+                widths[i] = row[i].size();
+        }
+    }
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string out;
+        for (size_t i = 0; i < widths.size(); ++i) {
+            const std::string &text = i < row.size() ? row[i] : "";
+            out += text;
+            if (i + 1 < widths.size())
+                out += std::string(widths[i] - text.size() + 2, ' ');
+        }
+        out += "\n";
+        return out;
+    };
+
+    std::string out = render_row(headers_);
+    size_t total = 0;
+    for (size_t i = 0; i < widths.size(); ++i)
+        total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+    out += std::string(total, '-') + "\n";
+    for (const auto &row : rows_)
+        out += render_row(row);
+    return out;
+}
+
+} // namespace infat

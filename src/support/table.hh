@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Plain-text table formatter used by the benchmark harnesses to print
+ * the paper's tables and figure series in aligned columns.
+ */
+
+#ifndef INFAT_SUPPORT_TABLE_HH
+#define INFAT_SUPPORT_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace infat {
+
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; it may have fewer cells than there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience cell renderers. */
+    static std::string cell(const std::string &s) { return s; }
+    static std::string cell(uint64_t v);
+    static std::string cell(int64_t v);
+    static std::string cellF(double v, int precision = 2);
+    static std::string cellPct(double ratio, int precision = 0);
+    static std::string cellSci(double v);
+
+    /** Render the table with a header rule. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace infat
+
+#endif // INFAT_SUPPORT_TABLE_HH

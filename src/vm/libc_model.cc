@@ -1,0 +1,233 @@
+#include "vm/libc_model.hh"
+
+#include <bit>
+#include <cmath>
+#include <memory>
+
+#include "vm/machine.hh"
+
+namespace infat {
+
+using namespace ir;
+
+void
+declareLibc(Module &module)
+{
+    TypeContext &tc = module.types();
+    const Type *vp = tc.opaquePtr();
+    const Type *i64 = tc.i64();
+    const Type *f64 = tc.f64();
+    const Type *voidTy = tc.voidTy();
+
+    module.declareNative("malloc", {i64}, vp);
+    module.declareNative("free", {vp}, voidTy);
+    module.declareNative("memcpy", {vp, vp, i64}, vp);
+    module.declareNative("memset", {vp, i64, i64}, vp);
+    module.declareNative("strlen", {vp}, i64);
+    module.declareNative("strcmp", {vp, vp}, i64);
+    module.declareNative("strcpy", {vp, vp}, vp);
+    module.declareNative("rand", {}, i64);
+    module.declareNative("srand", {i64}, voidTy);
+    module.declareNative("sqrt", {f64}, f64);
+    module.declareNative("log", {f64}, f64);
+    module.declareNative("exp", {f64}, f64);
+    module.declareNative("atan", {f64}, f64);
+    module.declareNative("__ctype_b_loc", {},
+                         tc.ptr(tc.ptr(tc.i16())));
+    module.declareNative("putchar", {i64}, i64);
+}
+
+namespace {
+
+double
+argF64(uint64_t raw)
+{
+    return std::bit_cast<double>(raw);
+}
+
+uint64_t
+retF64(double v)
+{
+    return std::bit_cast<uint64_t>(v);
+}
+
+/** State shared by the handlers of one machine. */
+struct LibcState
+{
+    uint64_t randState = 0x853c49e6748fea9bULL;
+    GuestAddr ctypeSlot = 0; // address of the table *pointer*
+};
+
+} // namespace
+
+void
+installLibc(Machine &machine)
+{
+    auto state = std::make_shared<LibcState>();
+
+    machine.registerNative(
+        "malloc", [](Machine &m, const std::vector<uint64_t> &args) {
+            RuntimeCost cost;
+            GuestAddr addr = m.runtime().plainMalloc(
+                args.empty() ? 0 : args[0], cost);
+            m.chargeInstructions(cost.instructions);
+            for (const auto &a : cost.accesses)
+                m.chargeMemAccess(a.addr, a.bytes, a.write);
+            return addr; // legacy pointer: no tag
+        });
+
+    machine.registerNative(
+        "free", [](Machine &m, const std::vector<uint64_t> &args) {
+            RuntimeCost cost;
+            m.runtime().plainFree(
+                layout::canonical(args.empty() ? 0 : args[0]), cost);
+            m.chargeInstructions(cost.instructions);
+            return uint64_t{0};
+        });
+
+    machine.registerNative(
+        "memcpy", [](Machine &m, const std::vector<uint64_t> &args) {
+            GuestAddr dst = layout::canonical(args[0]);
+            GuestAddr src = layout::canonical(args[1]);
+            uint64_t len = args[2];
+            m.mem().copy(dst, src, len);
+            m.chargeInstructions(10 + len / 4);
+            for (uint64_t off = 0; off < len; off += 64) {
+                m.chargeMemAccess(src + off, 16, false);
+                m.chargeMemAccess(dst + off, 16, true);
+            }
+            return args[0];
+        });
+
+    machine.registerNative(
+        "memset", [](Machine &m, const std::vector<uint64_t> &args) {
+            GuestAddr dst = layout::canonical(args[0]);
+            uint64_t len = args[2];
+            m.mem().fill(dst, static_cast<uint8_t>(args[1]), len);
+            m.chargeInstructions(8 + len / 8);
+            for (uint64_t off = 0; off < len; off += 64)
+                m.chargeMemAccess(dst + off, 16, true);
+            return args[0];
+        });
+
+    machine.registerNative(
+        "strlen", [](Machine &m, const std::vector<uint64_t> &args) {
+            GuestAddr addr = layout::canonical(args[0]);
+            uint64_t len = 0;
+            while (len < (1 << 20) &&
+                   m.mem().load<uint8_t>(addr + len) != 0)
+                ++len;
+            m.chargeInstructions(6 + len);
+            m.chargeMemAccess(addr, static_cast<uint32_t>(
+                                        std::min<uint64_t>(len + 1, 64)),
+                              false);
+            return len;
+        });
+
+    machine.registerNative(
+        "strcmp", [](Machine &m, const std::vector<uint64_t> &args) {
+            GuestAddr a = layout::canonical(args[0]);
+            GuestAddr b = layout::canonical(args[1]);
+            uint64_t i = 0;
+            uint8_t ca = 0, cb = 0;
+            for (; i < (1 << 20); ++i) {
+                ca = m.mem().load<uint8_t>(a + i);
+                cb = m.mem().load<uint8_t>(b + i);
+                if (ca != cb || ca == 0)
+                    break;
+            }
+            m.chargeInstructions(6 + 2 * i);
+            m.chargeMemAccess(a + i, 1, false);
+            m.chargeMemAccess(b + i, 1, false);
+            return static_cast<uint64_t>(
+                static_cast<int64_t>(ca) - static_cast<int64_t>(cb));
+        });
+
+    machine.registerNative(
+        "strcpy", [](Machine &m, const std::vector<uint64_t> &args) {
+            GuestAddr dst = layout::canonical(args[0]);
+            GuestAddr src = layout::canonical(args[1]);
+            uint64_t i = 0;
+            for (; i < (1 << 20); ++i) {
+                uint8_t c = m.mem().load<uint8_t>(src + i);
+                m.mem().store<uint8_t>(dst + i, c);
+                if (c == 0)
+                    break;
+            }
+            m.chargeInstructions(6 + 2 * i);
+            m.chargeMemAccess(src, 16, false);
+            m.chargeMemAccess(dst, 16, true);
+            return args[0];
+        });
+
+    machine.registerNative(
+        "rand", [state](Machine &m, const std::vector<uint64_t> &) {
+            // glibc-style LCG, truncated to 31 bits.
+            state->randState =
+                state->randState * 6364136223846793005ULL +
+                1442695040888963407ULL;
+            m.chargeInstructions(12);
+            return (state->randState >> 33) & 0x7fffffffULL;
+        });
+
+    machine.registerNative(
+        "srand", [state](Machine &m, const std::vector<uint64_t> &args) {
+            state->randState = args.empty() ? 1 : args[0] * 2654435761ULL;
+            m.chargeInstructions(4);
+            return uint64_t{0};
+        });
+
+    machine.registerNative(
+        "sqrt", [](Machine &m, const std::vector<uint64_t> &args) {
+            m.chargeInstructions(1); // hardware fsqrt
+            return retF64(std::sqrt(argF64(args[0])));
+        });
+    machine.registerNative(
+        "log", [](Machine &m, const std::vector<uint64_t> &args) {
+            m.chargeInstructions(30);
+            return retF64(std::log(argF64(args[0])));
+        });
+    machine.registerNative(
+        "exp", [](Machine &m, const std::vector<uint64_t> &args) {
+            m.chargeInstructions(30);
+            return retF64(std::exp(argF64(args[0])));
+        });
+    machine.registerNative(
+        "atan", [](Machine &m, const std::vector<uint64_t> &args) {
+            m.chargeInstructions(35);
+            return retF64(std::atan(argF64(args[0])));
+        });
+
+    machine.registerNative(
+        "__ctype_b_loc",
+        [state](Machine &m, const std::vector<uint64_t> &) {
+            if (state->ctypeSlot == 0) {
+                // 256-entry trait table plus the pointer slot the call
+                // returns; everything is legacy libc data.
+                GuestAddr table = m.legacyArenaAlloc(256 * 2);
+                for (unsigned c = 0; c < 256; ++c) {
+                    uint16_t traits = 0;
+                    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'))
+                        traits |= 0x1; // alpha
+                    if (c >= '0' && c <= '9')
+                        traits |= 0x2; // digit
+                    if (c == ' ' || c == '\t' || c == '\n')
+                        traits |= 0x4; // space
+                    m.mem().store<uint16_t>(table + c * 2, traits);
+                }
+                state->ctypeSlot = m.legacyArenaAlloc(8);
+                m.mem().store<uint64_t>(state->ctypeSlot, table);
+            }
+            m.chargeInstructions(4);
+            return state->ctypeSlot;
+        });
+
+    machine.registerNative(
+        "putchar", [](Machine &m, const std::vector<uint64_t> &args) {
+            // Output is discarded: workloads validate via checksums.
+            m.chargeInstructions(15);
+            return args.empty() ? 0 : args[0];
+        });
+}
+
+} // namespace infat

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The legacy libc model.
+ *
+ * The paper's experiments link instrumented programs against an
+ * *uninstrumented* glibc; pointers coming out of libc are legacy
+ * pointers, and a large share of promotes take legacy or NULL operands
+ * (§5.2.1, e.g. anagram's __ctype_b_loc pattern). This model provides
+ * host-implemented native functions that behave exactly that way: they
+ * operate directly on guest memory, return untagged pointers, and
+ * charge approximate guest instruction counts so baselines are not
+ * skewed.
+ */
+
+#ifndef INFAT_VM_LIBC_MODEL_HH
+#define INFAT_VM_LIBC_MODEL_HH
+
+#include "ir/module.hh"
+
+namespace infat {
+
+class Machine;
+
+/** Declare the libc natives into a module (call before building IR). */
+void declareLibc(ir::Module &module);
+
+/** Bind host handlers for the declared natives on a machine. */
+void installLibc(Machine &machine);
+
+} // namespace infat
+
+#endif // INFAT_VM_LIBC_MODEL_HH

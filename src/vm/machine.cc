@@ -1,0 +1,744 @@
+#include "vm/machine.hh"
+
+#include <bit>
+
+#include <ostream>
+
+#include "ifp/ops.hh"
+#include "ir/printer.hh"
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace infat {
+
+using namespace ir;
+
+namespace {
+
+double
+asF64(uint64_t raw)
+{
+    return std::bit_cast<double>(raw);
+}
+
+uint64_t
+fromF64(double v)
+{
+    return std::bit_cast<uint64_t>(v);
+}
+
+/** Canonicalize an integer result to sign-extended 64-bit form. */
+uint64_t
+intResult(const Type *type, uint64_t value)
+{
+    if (type && type->isInt()) {
+        unsigned bits = static_cast<const IntType *>(type)->bits();
+        if (bits < 64)
+            return static_cast<uint64_t>(sext(value, bits));
+    }
+    return value;
+}
+
+} // namespace
+
+Machine::Machine(Module &module, const LayoutRegistry *layouts,
+                 VmConfig config)
+    : module_(module), layouts_(layouts), config_(config),
+      l1d_("l1d", config.l1d), l2_("l2", config.l2), stats_("vm")
+{
+    if (config_.useL2)
+        l1d_.setNextLevel(&l2_);
+    promote_ = std::make_unique<PromoteEngine>(
+        mem_, config_.useCache ? &l1d_ : nullptr, regs_, config_.ifp);
+    runtime_ = std::make_unique<Runtime>(mem_, regs_, config_.allocator,
+                                         config_.instrumented);
+    runtime_->init(layouts);
+    placeGlobals();
+    legacyArena_ = layout::globalBase + 0x0800'0000ULL;
+}
+
+Machine::~Machine() = default;
+
+void
+Machine::registerNative(const std::string &name, NativeFn fn)
+{
+    natives_[name] = std::move(fn);
+}
+
+GuestAddr
+Machine::legacyArenaAlloc(uint64_t size, uint64_t align)
+{
+    legacyArena_ = roundUp(legacyArena_, align);
+    GuestAddr addr = legacyArena_;
+    legacyArena_ += size;
+    fatal_if(legacyArena_ > layout::globalLimit, "legacy arena exhausted");
+    return addr;
+}
+
+GuestAddr
+Machine::globalAddr(GlobalId id) const
+{
+    return globalAddrs_.at(id);
+}
+
+void
+Machine::placeGlobals()
+{
+    GuestAddr cursor = layout::globalBase;
+    globalAddrs_.clear();
+    globalPtrRaw_.clear();
+    for (Global &global : module_.globals()) {
+        uint64_t size = global.type->size();
+        cursor = roundUp(cursor, 16);
+        uint64_t slot = (global.instrumented && config_.instrumented)
+                            ? Runtime::paddedSlotSize(size)
+                            : std::max<uint64_t>(size, 1);
+        fatal_if(cursor + slot > layout::globalBase + 0x0800'0000ULL,
+                 "global region exhausted");
+        globalAddrs_.push_back(cursor);
+        globalPtrRaw_.push_back(cursor);
+        if (!global.init.empty())
+            mem_.write(cursor, global.init.data(),
+                       std::min<uint64_t>(global.init.size(), size));
+        cursor += slot;
+    }
+    registerGlobals();
+}
+
+void
+Machine::registerGlobals()
+{
+    if (!config_.instrumented)
+        return;
+    for (const Global &global : module_.globals()) {
+        if (!global.instrumented)
+            continue;
+        // The paper's lazy "getptr" registration collapses to startup
+        // registration here; the cost is charged once.
+        ir::LayoutId layout_id =
+            layouts_ ? layouts_->find(global.type) : ir::noLayout;
+        RuntimeCost cost;
+        IfpAllocation alloc = runtime_->registerObject(
+            globalAddrs_[global.id], global.type->size(), layout_id,
+            cost);
+        globalPtrRaw_[global.id] = alloc.ptr.raw();
+        applyCost(cost);
+        stats_.counter("global_objects_registered")++;
+        if (layout_id != ir::noLayout)
+            stats_.counter("global_objects_with_layout")++;
+    }
+}
+
+void
+Machine::chargeMemAccess(GuestAddr addr, uint32_t bytes, bool write)
+{
+    if (config_.useCache)
+        cycles_ += l1d_.access(addr, bytes, write).latency - 1;
+}
+
+void
+Machine::applyCost(const RuntimeCost &cost)
+{
+    instrs_ += cost.instructions;
+    cycles_ += cost.instructions;
+    if (config_.superscalar) {
+        // Metadata-maintenance arithmetic dual-issues with the
+        // allocator's own work on a wide core.
+        cycles_ -= cost.ifpInstructions / 2;
+    }
+    stats_.counter("ifp_arith") += cost.ifpInstructions;
+    for (const auto &access : cost.accesses)
+        chargeMemAccess(access.addr, access.bytes, access.write);
+}
+
+void
+Machine::countInstr()
+{
+    ++instrs_;
+    ++cycles_;
+    if (instrs_ > config_.maxInstructions)
+        throw GuestTrap(TrapKind::InstructionLimit,
+                        "dynamic instruction budget exceeded");
+}
+
+uint64_t
+Machine::run(const std::string &entry, const std::vector<uint64_t> &args)
+{
+    Function *func = module_.functionByName(entry);
+    fatal_if(func == nullptr, "entry function %s not found",
+             entry.c_str());
+    sp_ = layout::stackBase;
+    std::vector<Bounds> arg_bounds(args.size(), Bounds::cleared());
+    return callFunction(func, args, arg_bounds, nullptr, 0);
+}
+
+uint64_t
+Machine::evalOperand(const Frame &frame, const Operand &operand)
+{
+    switch (operand.kind) {
+      case Operand::Kind::Reg:
+        return frame.regs[operand.payload];
+      case Operand::Kind::ImmInt:
+      case Operand::Kind::ImmF64:
+        return operand.payload;
+      case Operand::Kind::Global:
+        return globalPtrRaw_[operand.payload];
+      case Operand::Kind::FuncAddr:
+        return operand.payload;
+      case Operand::Kind::None:
+        return 0;
+    }
+    return 0;
+}
+
+const Bounds &
+Machine::operandBounds(const Frame &frame, const Operand &operand)
+{
+    static const Bounds cleared = Bounds::cleared();
+    if (operand.isReg())
+        return frame.bounds[operand.payload];
+    return cleared;
+}
+
+void
+Machine::checkAccess(const Frame &frame, const Operand &addr_op,
+                     uint64_t raw, uint64_t size, bool write)
+{
+    TaggedPtr ptr(raw);
+    if (ptr.isPoisoned()) {
+        throw GuestTrap(TrapKind::PoisonedAccess,
+                        strfmt("%s at %s", write ? "store" : "load",
+                               ptr.toString().c_str()));
+    }
+    GuestAddr addr = ptr.addr();
+    if (addr < GuestMemory::pageSize) {
+        throw GuestTrap(TrapKind::NullDereference,
+                        strfmt("address %#llx",
+                               static_cast<unsigned long long>(addr)));
+    }
+    if (addr_op.isReg() && config_.implicitChecks) {
+        // Implicit bounds check at dereference (paper §4.1.1).
+        const Bounds &bounds = frame.bounds[addr_op.payload];
+        if (bounds.valid() && !bounds.contains(addr, size)) {
+            throw GuestTrap(
+                TrapKind::BoundsViolation,
+                strfmt("%s of %llu bytes at %#llx outside %s",
+                       write ? "store" : "load",
+                       static_cast<unsigned long long>(size),
+                       static_cast<unsigned long long>(addr),
+                       bounds.toString().c_str()));
+        }
+    }
+    if (config_.useCache)
+        cycles_ += l1d_.access(addr, size, write).latency - 1;
+}
+
+uint64_t
+Machine::callFunction(const Function *func,
+                      const std::vector<uint64_t> &args,
+                      const std::vector<Bounds> &arg_bounds,
+                      Bounds *ret_bounds, unsigned depth)
+{
+    if (depth > maxCallDepth)
+        throw GuestTrap(TrapKind::StackOverflow, "call depth");
+    if (func->isNative()) {
+        auto it = natives_.find(func->name());
+        fatal_if(it == natives_.end(), "native %s has no host handler",
+                 func->name().c_str());
+        uint64_t ret = it->second(*this, args);
+        if (ret_bounds)
+            *ret_bounds = Bounds::cleared();
+        return ret;
+    }
+
+    Frame frame;
+    frame.func = func;
+    frame.regs.assign(func->numRegs(), 0);
+    frame.bounds.assign(func->numRegs(), Bounds::cleared());
+    for (size_t i = 0; i < args.size() && i < func->numParams(); ++i) {
+        frame.regs[i] = args[i];
+        if (i < arg_bounds.size())
+            frame.bounds[i] = arg_bounds[i];
+    }
+
+    GuestAddr saved_sp = sp_;
+    uint64_t ret = execFunction(func, frame, ret_bounds, depth);
+    sp_ = saved_sp;
+    return ret;
+}
+
+uint64_t
+Machine::execFunction(const Function *func, Frame &frame,
+                      Bounds *ret_bounds, unsigned depth)
+{
+    // Callee-saved bounds registers: stbnd on entry, ldbnd at return
+    // (paper §4.1.2).
+    unsigned saved_bounds = 0;
+    if (config_.instrumented && func->isInstrumented())
+        saved_bounds = func->savedBoundsRegs();
+    if (saved_bounds) {
+        instrs_ += saved_bounds;
+        // stbnd spills dual-issue with the regular prologue stores on
+        // a superscalar core.
+        cycles_ += config_.superscalar ? (saved_bounds + 1) / 2
+                                       : saved_bounds;
+        stats_.counter("bnd_ldst") += saved_bounds;
+    }
+
+    BlockId cur = 0;
+    size_t ip = 0;
+    auto &regs = frame.regs;
+    auto &bounds = frame.bounds;
+
+    while (true) {
+        const Instr &instr = func->block(cur).instrs[ip];
+        ++ip;
+        countInstr();
+        if (trace_) {
+            *trace_ << strfmt("%12llu  %s b%u:%zu  ",
+                              static_cast<unsigned long long>(instrs_),
+                              func->name().c_str(), cur, ip - 1)
+                    << ir::print(instr, module_) << "\n";
+        }
+
+        switch (instr.op) {
+          case Opcode::Mov: {
+            regs[instr.dst] = evalOperand(frame, instr.a);
+            bounds[instr.dst] = operandBounds(frame, instr.a);
+            break;
+          }
+          case Opcode::Add:
+            regs[instr.dst] = intResult(
+                instr.type, evalOperand(frame, instr.a) +
+                                evalOperand(frame, instr.b));
+            bounds[instr.dst] = Bounds::cleared();
+            break;
+          case Opcode::Sub:
+            regs[instr.dst] = intResult(
+                instr.type, evalOperand(frame, instr.a) -
+                                evalOperand(frame, instr.b));
+            bounds[instr.dst] = Bounds::cleared();
+            break;
+          case Opcode::Mul:
+            regs[instr.dst] = intResult(
+                instr.type, evalOperand(frame, instr.a) *
+                                evalOperand(frame, instr.b));
+            bounds[instr.dst] = Bounds::cleared();
+            break;
+          case Opcode::SDiv:
+          case Opcode::SRem: {
+            auto lhs = static_cast<int64_t>(evalOperand(frame, instr.a));
+            auto rhs = static_cast<int64_t>(evalOperand(frame, instr.b));
+            if (rhs == 0)
+                throw GuestTrap(TrapKind::DivisionByZero,
+                                func->name());
+            int64_t res;
+            if (lhs == INT64_MIN && rhs == -1)
+                res = instr.op == Opcode::SDiv ? lhs : 0;
+            else
+                res = instr.op == Opcode::SDiv ? lhs / rhs : lhs % rhs;
+            regs[instr.dst] =
+                intResult(instr.type, static_cast<uint64_t>(res));
+            bounds[instr.dst] = Bounds::cleared();
+            break;
+          }
+          case Opcode::UDiv:
+          case Opcode::URem: {
+            uint64_t lhs = evalOperand(frame, instr.a);
+            uint64_t rhs = evalOperand(frame, instr.b);
+            if (rhs == 0)
+                throw GuestTrap(TrapKind::DivisionByZero,
+                                func->name());
+            regs[instr.dst] = intResult(
+                instr.type,
+                instr.op == Opcode::UDiv ? lhs / rhs : lhs % rhs);
+            bounds[instr.dst] = Bounds::cleared();
+            break;
+          }
+          case Opcode::And:
+            regs[instr.dst] = evalOperand(frame, instr.a) &
+                              evalOperand(frame, instr.b);
+            bounds[instr.dst] = Bounds::cleared();
+            break;
+          case Opcode::Or:
+            regs[instr.dst] = evalOperand(frame, instr.a) |
+                              evalOperand(frame, instr.b);
+            bounds[instr.dst] = Bounds::cleared();
+            break;
+          case Opcode::Xor:
+            regs[instr.dst] = evalOperand(frame, instr.a) ^
+                              evalOperand(frame, instr.b);
+            bounds[instr.dst] = Bounds::cleared();
+            break;
+          case Opcode::Shl:
+            regs[instr.dst] = intResult(
+                instr.type, evalOperand(frame, instr.a)
+                                << (evalOperand(frame, instr.b) & 63));
+            bounds[instr.dst] = Bounds::cleared();
+            break;
+          case Opcode::LShr: {
+            uint64_t val = evalOperand(frame, instr.a);
+            if (instr.type && instr.type->isInt()) {
+                unsigned width =
+                    static_cast<const IntType *>(instr.type)->bits();
+                val &= mask(width);
+            }
+            regs[instr.dst] = intResult(
+                instr.type, val >> (evalOperand(frame, instr.b) & 63));
+            bounds[instr.dst] = Bounds::cleared();
+            break;
+          }
+          case Opcode::AShr:
+            regs[instr.dst] = intResult(
+                instr.type,
+                static_cast<uint64_t>(
+                    static_cast<int64_t>(evalOperand(frame, instr.a)) >>
+                    (evalOperand(frame, instr.b) & 63)));
+            bounds[instr.dst] = Bounds::cleared();
+            break;
+          case Opcode::ICmp: {
+            uint64_t ua = evalOperand(frame, instr.a);
+            uint64_t ub = evalOperand(frame, instr.b);
+            auto sa = static_cast<int64_t>(ua);
+            auto sb = static_cast<int64_t>(ub);
+            bool res = false;
+            switch (instr.icmp) {
+              case ICmpPred::Eq: res = ua == ub; break;
+              case ICmpPred::Ne: res = ua != ub; break;
+              case ICmpPred::Slt: res = sa < sb; break;
+              case ICmpPred::Sle: res = sa <= sb; break;
+              case ICmpPred::Sgt: res = sa > sb; break;
+              case ICmpPred::Sge: res = sa >= sb; break;
+              case ICmpPred::Ult: res = ua < ub; break;
+              case ICmpPred::Ule: res = ua <= ub; break;
+              case ICmpPred::Ugt: res = ua > ub; break;
+              case ICmpPred::Uge: res = ua >= ub; break;
+            }
+            regs[instr.dst] = res ? 1 : 0;
+            bounds[instr.dst] = Bounds::cleared();
+            break;
+          }
+          case Opcode::FAdd:
+            regs[instr.dst] = fromF64(asF64(evalOperand(frame, instr.a)) +
+                                      asF64(evalOperand(frame, instr.b)));
+            break;
+          case Opcode::FSub:
+            regs[instr.dst] = fromF64(asF64(evalOperand(frame, instr.a)) -
+                                      asF64(evalOperand(frame, instr.b)));
+            break;
+          case Opcode::FMul:
+            regs[instr.dst] = fromF64(asF64(evalOperand(frame, instr.a)) *
+                                      asF64(evalOperand(frame, instr.b)));
+            break;
+          case Opcode::FDiv:
+            regs[instr.dst] = fromF64(asF64(evalOperand(frame, instr.a)) /
+                                      asF64(evalOperand(frame, instr.b)));
+            break;
+          case Opcode::FNeg:
+            regs[instr.dst] =
+                fromF64(-asF64(evalOperand(frame, instr.a)));
+            break;
+          case Opcode::FCmp: {
+            double fa = asF64(evalOperand(frame, instr.a));
+            double fb = asF64(evalOperand(frame, instr.b));
+            bool res = false;
+            switch (instr.fcmp) {
+              case FCmpPred::Eq: res = fa == fb; break;
+              case FCmpPred::Ne: res = fa != fb; break;
+              case FCmpPred::Lt: res = fa < fb; break;
+              case FCmpPred::Le: res = fa <= fb; break;
+              case FCmpPred::Gt: res = fa > fb; break;
+              case FCmpPred::Ge: res = fa >= fb; break;
+            }
+            regs[instr.dst] = res ? 1 : 0;
+            break;
+          }
+          case Opcode::SIToFP:
+            regs[instr.dst] = fromF64(static_cast<double>(
+                static_cast<int64_t>(evalOperand(frame, instr.a))));
+            break;
+          case Opcode::FPToSI:
+            regs[instr.dst] = static_cast<uint64_t>(static_cast<int64_t>(
+                asF64(evalOperand(frame, instr.a))));
+            break;
+          case Opcode::SExt:
+            regs[instr.dst] = static_cast<uint64_t>(sext(
+                evalOperand(frame, instr.a),
+                static_cast<unsigned>(instr.imm0)));
+            break;
+          case Opcode::ZExt:
+            regs[instr.dst] = evalOperand(frame, instr.a) &
+                              mask(static_cast<unsigned>(instr.imm0));
+            break;
+          case Opcode::Trunc:
+            regs[instr.dst] =
+                intResult(instr.type, evalOperand(frame, instr.a));
+            break;
+          case Opcode::Select: {
+            bool cond = evalOperand(frame, instr.a) != 0;
+            const Operand &pick = cond ? instr.b : instr.c;
+            regs[instr.dst] = evalOperand(frame, pick);
+            bounds[instr.dst] = operandBounds(frame, pick);
+            break;
+          }
+          case Opcode::Load: {
+            uint64_t raw = evalOperand(frame, instr.a);
+            uint64_t size = instr.type->size();
+            checkAccess(frame, instr.a, raw, size, false);
+            GuestAddr addr = layout::canonical(raw);
+            uint64_t value = 0;
+            switch (size) {
+              case 1: value = mem_.load<uint8_t>(addr); break;
+              case 2: value = mem_.load<uint16_t>(addr); break;
+              case 4: value = mem_.load<uint32_t>(addr); break;
+              default: value = mem_.load<uint64_t>(addr); break;
+            }
+            if (instr.type->isInt())
+                value = intResult(instr.type, value);
+            regs[instr.dst] = value;
+            bounds[instr.dst] = Bounds::cleared();
+            stats_.counter("loads")++;
+            break;
+          }
+          case Opcode::Store: {
+            uint64_t value = evalOperand(frame, instr.a);
+            uint64_t raw = evalOperand(frame, instr.b);
+            uint64_t size = instr.type->size();
+            checkAccess(frame, instr.b, raw, size, true);
+            GuestAddr addr = layout::canonical(raw);
+            switch (size) {
+              case 1:
+                mem_.store<uint8_t>(addr, static_cast<uint8_t>(value));
+                break;
+              case 2:
+                mem_.store<uint16_t>(addr, static_cast<uint16_t>(value));
+                break;
+              case 4:
+                mem_.store<uint32_t>(addr, static_cast<uint32_t>(value));
+                break;
+              default:
+                mem_.store<uint64_t>(addr, value);
+                break;
+            }
+            stats_.counter("stores")++;
+            break;
+          }
+          case Opcode::Alloca: {
+            uint64_t size = instr.type->size() * instr.imm0;
+            uint64_t slot =
+                (instr.imm1 && config_.instrumented)
+                    ? Runtime::paddedSlotSize(size)
+                    : std::max<uint64_t>(roundUp(size, 16), 16);
+            sp_ = roundDown(sp_ - slot, 16);
+            if (sp_ < layout::stackLimit)
+                throw GuestTrap(TrapKind::StackOverflow, func->name());
+            regs[instr.dst] = sp_;
+            bounds[instr.dst] = Bounds::cleared();
+            break;
+          }
+          case Opcode::GepField: {
+            const auto *st = static_cast<const StructType *>(instr.type);
+            regs[instr.dst] =
+                evalOperand(frame, instr.a) +
+                st->fieldOffset(static_cast<size_t>(instr.imm0));
+            bounds[instr.dst] = operandBounds(frame, instr.a);
+            break;
+          }
+          case Opcode::GepIndex: {
+            uint64_t elem_size = instr.type->size();
+            uint64_t index = evalOperand(frame, instr.b);
+            regs[instr.dst] =
+                evalOperand(frame, instr.a) + index * elem_size;
+            bounds[instr.dst] = operandBounds(frame, instr.a);
+            if (instr.b.isReg() && elem_size > 1) {
+                // Address computation is mul + add at machine level.
+                ++instrs_;
+                ++cycles_;
+            }
+            break;
+          }
+          case Opcode::Jmp:
+            cur = instr.target0;
+            ip = 0;
+            break;
+          case Opcode::Br:
+            cur = evalOperand(frame, instr.a) != 0 ? instr.target0
+                                                   : instr.target1;
+            ip = 0;
+            break;
+          case Opcode::Call:
+          case Opcode::CallPtr: {
+            const Function *callee;
+            if (instr.op == Opcode::Call) {
+                callee = module_.function(instr.callee);
+            } else {
+                uint64_t fid = evalOperand(frame, instr.a);
+                if (fid >= module_.numFunctions())
+                    throw GuestTrap(TrapKind::BadIndirectCall,
+                                    strfmt("index %llu",
+                                           static_cast<unsigned long long>(
+                                               fid)));
+                callee = module_.function(static_cast<FuncId>(fid));
+            }
+            std::vector<uint64_t> call_args;
+            std::vector<Bounds> call_bounds;
+            call_args.reserve(instr.args.size());
+            bool pass_bounds = config_.instrumented &&
+                               callee->isInstrumented() &&
+                               func->isInstrumented();
+            for (const Operand &arg : instr.args) {
+                call_args.push_back(evalOperand(frame, arg));
+                call_bounds.push_back(pass_bounds
+                                          ? operandBounds(frame, arg)
+                                          : Bounds::cleared());
+            }
+            stats_.counter("calls")++;
+            Bounds ret_b = Bounds::cleared();
+            uint64_t ret = callFunction(callee, call_args, call_bounds,
+                                        &ret_b, depth + 1);
+            if (instr.dst != noReg) {
+                regs[instr.dst] = ret;
+                // Implicit bounds clearing handles uninstrumented
+                // callees: only instrumented callees return bounds.
+                bounds[instr.dst] =
+                    pass_bounds ? ret_b : Bounds::cleared();
+            }
+            break;
+          }
+          case Opcode::Ret: {
+            if (saved_bounds) {
+                instrs_ += saved_bounds;
+                cycles_ += config_.superscalar
+                               ? (saved_bounds + 1) / 2
+                               : saved_bounds;
+                stats_.counter("bnd_ldst") += saved_bounds;
+            }
+            if (ret_bounds)
+                *ret_bounds = operandBounds(frame, instr.a);
+            return evalOperand(frame, instr.a);
+          }
+          case Opcode::Trap:
+            throw GuestTrap(TrapKind::WorkloadAssert,
+                            strfmt("%s code %llu", func->name().c_str(),
+                                   static_cast<unsigned long long>(
+                                       instr.imm0)));
+          case Opcode::MallocTyped: {
+            uint64_t count = evalOperand(frame, instr.a);
+            uint64_t size = count * instr.type->size();
+            RuntimeCost cost;
+            regs[instr.dst] = runtime_->plainMalloc(size, cost);
+            bounds[instr.dst] = Bounds::cleared();
+            applyCost(cost);
+            break;
+          }
+          case Opcode::FreePtr: {
+            RuntimeCost cost;
+            runtime_->plainFree(
+                layout::canonical(evalOperand(frame, instr.a)), cost);
+            applyCost(cost);
+            break;
+          }
+          case Opcode::Promote: {
+            Reg src = static_cast<Reg>(instr.a.payload);
+            PromoteResult result =
+                promote_->promote(TaggedPtr(regs[src]));
+            regs[instr.dst] = result.ptr.raw();
+            bounds[instr.dst] = result.bounds;
+            cycles_ += result.cycles > 0 ? result.cycles - 1 : 0;
+            stats_.counter("promote_instrs")++;
+            break;
+          }
+          case Opcode::IfpAdd: {
+            Reg src = static_cast<Reg>(instr.a.payload);
+            auto delta =
+                static_cast<int64_t>(evalOperand(frame, instr.b));
+            TaggedPtr res = ops::ifpAdd(TaggedPtr(regs[src]), delta,
+                                        frame.bounds[src]);
+            Bounds src_bounds = frame.bounds[src];
+            regs[instr.dst] = res.raw();
+            bounds[instr.dst] = src_bounds;
+            stats_.counter("ifp_arith")++;
+            // Note: ifpadd replaces the baseline's address arithmetic,
+            // so it is NOT hidden by the superscalar model (only the
+            // net-new tag/bounds updates are).
+            break;
+          }
+          case Opcode::IfpIdx: {
+            Reg src = static_cast<Reg>(instr.a.payload);
+            TaggedPtr ptr(regs[src]);
+            uint64_t new_index = ptr.subobjIndex() + instr.imm0;
+            Bounds src_bounds = frame.bounds[src];
+            regs[instr.dst] = ops::ifpIdx(ptr, new_index).raw();
+            bounds[instr.dst] = src_bounds;
+            stats_.counter("ifp_arith")++;
+            if (config_.superscalar)
+                --cycles_;
+            break;
+          }
+          case Opcode::IfpBnd: {
+            Reg src = static_cast<Reg>(instr.a.payload);
+            TaggedPtr ptr(regs[src]);
+            regs[instr.dst] = ptr.raw();
+            bounds[instr.dst] = ops::ifpBnd(ptr, instr.imm0);
+            stats_.counter("ifp_arith")++;
+            if (config_.superscalar)
+                --cycles_;
+            break;
+          }
+          case Opcode::IfpChk: {
+            Reg src = static_cast<Reg>(instr.a.payload);
+            regs[instr.dst] = ops::ifpChk(TaggedPtr(regs[src]),
+                                          frame.bounds[src], instr.imm0)
+                                  .raw();
+            stats_.counter("ifp_arith")++;
+            break;
+          }
+          case Opcode::RegisterObj: {
+            Reg src = static_cast<Reg>(instr.a.payload);
+            RuntimeCost cost;
+            IfpAllocation alloc = runtime_->registerObject(
+                layout::canonical(regs[src]), instr.imm0, instr.layout,
+                cost);
+            regs[instr.dst] = alloc.ptr.raw();
+            bounds[instr.dst] = alloc.bounds;
+            applyCost(cost);
+            stats_.counter("ifp_arith")++;
+            stats_.counter("local_objects")++;
+            if (instr.layout != noLayout)
+                stats_.counter("local_objects_with_layout")++;
+            break;
+          }
+          case Opcode::DeregisterObj: {
+            RuntimeCost cost;
+            runtime_->deregisterObject(
+                TaggedPtr(evalOperand(frame, instr.a)), cost);
+            applyCost(cost);
+            stats_.counter("ifp_arith")++;
+            break;
+          }
+          case Opcode::IfpMallocTyped: {
+            uint64_t count = evalOperand(frame, instr.a);
+            uint64_t size = count * instr.type->size();
+            RuntimeCost cost;
+            IfpAllocation alloc =
+                runtime_->ifpMalloc(size, instr.layout, cost);
+            regs[instr.dst] = alloc.ptr.raw();
+            bounds[instr.dst] = alloc.bounds;
+            applyCost(cost);
+            stats_.counter("heap_objects")++;
+            if (instr.layout != noLayout)
+                stats_.counter("heap_objects_with_layout")++;
+            break;
+          }
+          case Opcode::IfpFree: {
+            RuntimeCost cost;
+            runtime_->ifpFree(TaggedPtr(evalOperand(frame, instr.a)),
+                              cost);
+            applyCost(cost);
+            break;
+          }
+        }
+    }
+}
+
+} // namespace infat

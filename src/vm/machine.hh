@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The machine model: an in-order core executing IR with the In-Fat
+ * Pointer extension.
+ *
+ * One Machine instance is one simulated process on one core:
+ *  - guest memory, an L1 data cache, and the IFP promote engine;
+ *  - the runtime library (allocators, registration, layout tables);
+ *  - the interpreter, which executes base instructions at 1 cycle each,
+ *    sends loads/stores (and allocator/metadata traffic) through the
+ *    cache, pairs every virtual register with a bounds register (IFPR),
+ *    applies the calling-convention rules of §4.1.2 (bounds passing,
+ *    implicit clearing at uninstrumented boundaries, callee-saved
+ *    ldbnd/stbnd), and performs the implicit poison/bounds checks of
+ *    §4.1.1 on every dereference.
+ *
+ * Dynamic-instruction and cycle accounting feed Table 4 and Figures
+ * 10-12; the per-category counters (promote / IFP arithmetic / bounds
+ * load-store) feed Figure 11.
+ */
+
+#ifndef INFAT_VM_MACHINE_HH
+#define INFAT_VM_MACHINE_HH
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "compiler/layout_gen.hh"
+#include "ifp/promote_engine.hh"
+#include "ir/module.hh"
+#include "mem/guest_memory.hh"
+#include "runtime/runtime.hh"
+#include "vm/trap.hh"
+
+namespace infat {
+
+struct VmConfig
+{
+    /** Whether the module was instrumented (run instrumentModule). */
+    bool instrumented = false;
+    AllocatorKind allocator = AllocatorKind::Wrapped;
+    IfpConfig ifp;
+    /** Model the L1D (timing); functional behaviour is unaffected. */
+    bool useCache = true;
+    /**
+     * Implicit bounds checking on dereferences (paper §4.1.1). Turn
+     * off only for the explicit-ifpchk ablation (combine with
+     * InstrumentOptions::explicitChecks to keep detection).
+     */
+    bool implicitChecks = true;
+    /**
+     * Crude out-of-order/superscalar model for the §5.2.4 ASIC
+     * prediction: single-cycle IFP arithmetic issues in parallel with
+     * the surrounding code (costs no extra cycle); memory and promote
+     * latency remain.
+     */
+    bool superscalar = false;
+    CacheConfig l1d;
+    /** Chain an L2 behind the L1D (the FPGA board has none; the ASIC
+     *  model enables it, paper §5.2.4 "larger caches"). */
+    bool useL2 = false;
+    CacheConfig l2 = {256 * 1024, 8, 64, 8, 60};
+    uint64_t stackBytes = 16ULL << 20;
+    /** Runaway guard. */
+    uint64_t maxInstructions = 20'000'000'000ULL;
+};
+
+class Machine
+{
+  public:
+    using NativeFn =
+        std::function<uint64_t(Machine &, const std::vector<uint64_t> &)>;
+
+    /**
+     * @param layouts Layout registry from instrumentation; null for
+     *                baseline runs.
+     */
+    Machine(ir::Module &module, const LayoutRegistry *layouts,
+            VmConfig config = {});
+    ~Machine();
+
+    /** Bind a host implementation to a declared native function. */
+    void registerNative(const std::string &name, NativeFn fn);
+
+    /** Execute @p entry (default main) to completion. */
+    uint64_t run(const std::string &entry = "main",
+                 const std::vector<uint64_t> &args = {});
+
+    // --- Component access ---
+    GuestMemory &mem() { return mem_; }
+    Runtime &runtime() { return *runtime_; }
+    Cache &l1d() { return l1d_; }
+    Cache *l2() { return config_.useL2 ? &l2_ : nullptr; }
+
+    /**
+     * Stream one line per executed instruction to @p sink (disable
+     * with nullptr). Costly; meant for debugging small programs.
+     */
+    void setTrace(std::ostream *sink) { trace_ = sink; }
+    PromoteEngine &promoteEngine() { return *promote_; }
+    const VmConfig &config() const { return config_; }
+    ir::Module &module() { return module_; }
+
+    // --- Statistics ---
+    uint64_t instructions() const { return instrs_; }
+    uint64_t cycles() const { return cycles_; }
+    StatGroup &stats() { return stats_; }
+
+    // --- Services for native (libc model) handlers ---
+    void
+    chargeInstructions(uint64_t n)
+    {
+        instrs_ += n;
+        cycles_ += n;
+    }
+    void chargeMemAccess(GuestAddr addr, uint32_t bytes, bool write);
+    /** Bump allocation for libc-owned static data (legacy arena). */
+    GuestAddr legacyArenaAlloc(uint64_t size, uint64_t align = 16);
+
+    /** Resolved guest address of a module global. */
+    GuestAddr globalAddr(ir::GlobalId id) const;
+
+  private:
+    struct Frame
+    {
+        const ir::Function *func = nullptr;
+        std::vector<uint64_t> regs;
+        std::vector<Bounds> bounds;
+    };
+
+    void placeGlobals();
+    void registerGlobals();
+
+    uint64_t callFunction(const ir::Function *func,
+                          const std::vector<uint64_t> &args,
+                          const std::vector<Bounds> &arg_bounds,
+                          Bounds *ret_bounds, unsigned depth);
+    uint64_t execFunction(const ir::Function *func, Frame &frame,
+                          Bounds *ret_bounds, unsigned depth);
+
+    uint64_t evalOperand(const Frame &frame, const ir::Operand &operand);
+    const Bounds &operandBounds(const Frame &frame,
+                                const ir::Operand &operand);
+
+    /** Poison + implicit bounds check + timing for one dereference. */
+    void checkAccess(const Frame &frame, const ir::Operand &addr_op,
+                     uint64_t raw, uint64_t size, bool write);
+
+    void applyCost(const RuntimeCost &cost);
+    void countInstr();
+
+    ir::Module &module_;
+    const LayoutRegistry *layouts_;
+    VmConfig config_;
+    GuestMemory mem_;
+    Cache l1d_;
+    Cache l2_;
+    std::ostream *trace_ = nullptr;
+    IfpControlRegs regs_;
+    std::unique_ptr<PromoteEngine> promote_;
+    std::unique_ptr<Runtime> runtime_;
+
+    std::map<std::string, NativeFn> natives_;
+
+    std::vector<GuestAddr> globalAddrs_;
+    std::vector<uint64_t> globalPtrRaw_;
+
+    GuestAddr sp_ = 0;
+    GuestAddr legacyArena_ = 0;
+
+    uint64_t instrs_ = 0;
+    uint64_t cycles_ = 0;
+    StatGroup stats_;
+
+    static constexpr unsigned maxCallDepth = 4000;
+};
+
+} // namespace infat
+
+#endif // INFAT_VM_MACHINE_HH

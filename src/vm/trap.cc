@@ -1,0 +1,29 @@
+#include "vm/trap.hh"
+
+namespace infat {
+
+const char *
+toString(TrapKind kind)
+{
+    switch (kind) {
+      case TrapKind::PoisonedAccess:
+        return "poisoned access";
+      case TrapKind::BoundsViolation:
+        return "bounds violation";
+      case TrapKind::NullDereference:
+        return "null dereference";
+      case TrapKind::DivisionByZero:
+        return "division by zero";
+      case TrapKind::StackOverflow:
+        return "stack overflow";
+      case TrapKind::WorkloadAssert:
+        return "workload assertion";
+      case TrapKind::BadIndirectCall:
+        return "bad indirect call";
+      case TrapKind::InstructionLimit:
+        return "instruction limit";
+    }
+    return "?";
+}
+
+} // namespace infat

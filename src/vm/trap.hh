@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Guest traps.
+ *
+ * A trap models a synchronous hardware exception delivered to the
+ * process. In the FPGA prototype a spatial violation surfaces as a
+ * segmentation fault from dereferencing a poisoned pointer (paper §A.5);
+ * here it surfaces as a C++ exception the harness catches.
+ */
+
+#ifndef INFAT_VM_TRAP_HH
+#define INFAT_VM_TRAP_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace infat {
+
+enum class TrapKind
+{
+    /** Load/store through a pointer with non-valid poison bits. */
+    PoisonedAccess,
+    /** Implicit or explicit bounds check failed at dereference. */
+    BoundsViolation,
+    /** Dereference of (or near) NULL. */
+    NullDereference,
+    /** Integer division by zero. */
+    DivisionByZero,
+    /** Guest stack exhausted. */
+    StackOverflow,
+    /** Workload-level assertion failed (IR Trap instruction). */
+    WorkloadAssert,
+    /** Indirect call to a bad function index. */
+    BadIndirectCall,
+    /** Instruction budget exceeded (runaway guard). */
+    InstructionLimit,
+};
+
+const char *toString(TrapKind kind);
+
+class GuestTrap : public std::runtime_error
+{
+  public:
+    GuestTrap(TrapKind kind, std::string detail)
+        : std::runtime_error(std::string(toString(kind)) + ": " + detail),
+          kind_(kind)
+    {
+    }
+
+    TrapKind kind() const { return kind_; }
+
+    /** True for the traps a spatial-memory-safety defense raises. */
+    bool
+    isSpatialViolation() const
+    {
+        return kind_ == TrapKind::PoisonedAccess ||
+               kind_ == TrapKind::BoundsViolation;
+    }
+
+  private:
+    TrapKind kind_;
+};
+
+} // namespace infat
+
+#endif // INFAT_VM_TRAP_HH

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * PtrDist anagram: find word pairs that exactly cover a phrase's
+ * letters.
+ *
+ * Preserved behaviours: the dictionary is a flat global byte buffer
+ * parsed with isalpha() — compiled, as glibc does, to a
+ * __ctype_b_loc() call returning a double pointer into legacy libc
+ * data, so the classifying loop promotes a *legacy* pointer per
+ * character (the dominant promote-bypass source the paper reports for
+ * anagram). Word records are individually malloc'd and keep pointers
+ * into the instrumented global dictionary buffer.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hh"
+#include "vm/libc_model.hh"
+#include "workloads/dsl.hh"
+#include "workloads/workload.hh"
+
+namespace infat {
+namespace workloads {
+
+using namespace ir;
+
+namespace {
+
+/** Deterministic pseudo-dictionary, newline separated. */
+std::vector<uint8_t>
+makeDictionary(size_t words)
+{
+    Rng rng(0xd1c7);
+    std::vector<uint8_t> out;
+    for (size_t w = 0; w < words; ++w) {
+        size_t len = 3 + rng.below(7);
+        for (size_t i = 0; i < len; ++i)
+            out.push_back(static_cast<uint8_t>('a' + rng.below(26)));
+        out.push_back('\n');
+    }
+    out.push_back('\0');
+    return out;
+}
+
+} // namespace
+
+void
+buildAnagram(Module &m)
+{
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    const Type *i64 = tc.i64();
+    const Type *i8 = tc.i8();
+    const Type *i16 = tc.i16();
+
+    constexpr size_t dictWords = 560;
+    std::vector<uint8_t> dict_data = makeDictionary(dictWords);
+    GlobalId dict = m.addGlobal(
+        "dictionary", tc.array(i8, dict_data.size()), dict_data);
+
+    StructType *word = tc.createStruct("Word");
+    // letter mask, length, chars (into the dictionary), next
+    word->setBody({i64, i64, tc.ptr(i8), tc.ptr(word)});
+    const Type *wordPtr = tc.ptr(word);
+
+    // isalpha via the ctype trait table double pointer.
+    {
+        FunctionBuilder fb(m, "is_alpha", {i64}, i64);
+        Value c = fb.arg(0);
+        Value table_pp = fb.call("__ctype_b_loc");
+        Value table = fb.load(fb.ptrCast(table_pp, tc.ptr(i16)));
+        Value traits = fb.load(
+            fb.elemPtr(fb.ptrCast(table, i16), c));
+        fb.ret(fb.and_(traits, fb.iconst(1)));
+    }
+
+    // Parse the dictionary into a list of Word records.
+    {
+        FunctionBuilder fb(m, "parse", {tc.ptr(i8), i64}, wordPtr);
+        Value buf = fb.arg(0);
+        Value len = fb.arg(1);
+        Value head = fb.var(wordPtr);
+        fb.assign(head, fb.nullPtr(word));
+        Value start = fb.var(i64);
+        Value mask = fb.var(i64);
+        fb.assign(start, fb.iconst(0));
+        fb.assign(mask, fb.iconst(0));
+        ForLoop i(fb, fb.iconst(0), len);
+        Value c = fb.load(fb.elemPtr(buf, i.index()));
+        IfElse alpha(fb, fb.call("is_alpha", {c}));
+        {
+            Value bit = fb.shl(fb.iconst(1),
+                               fb.sub(c, fb.iconst('a')));
+            fb.assign(mask, fb.or_(mask, bit));
+        }
+        alpha.otherwise();
+        {
+            IfElse nonempty(fb, fb.slt(start, i.index()));
+            Value w = fb.mallocTyped(word);
+            fb.storeField(w, 0, mask);
+            fb.storeField(w, 1, fb.sub(i.index(), start));
+            fb.storeField(w, 2, fb.elemPtr(buf, start));
+            fb.storeField(w, 3, head);
+            fb.assign(head, w);
+            nonempty.finish();
+            fb.assign(mask, fb.iconst(0));
+            fb.assign(start, fb.addImm(i.index(), 1));
+        }
+        alpha.finish();
+        i.finish();
+        fb.ret(head);
+    }
+
+    // Count word pairs whose masks exactly partition the phrase mask.
+    {
+        FunctionBuilder fb(m, "solve", {wordPtr, i64}, i64);
+        Value words = fb.arg(0);
+        Value phrase = fb.arg(1);
+        Value count = fb.var(i64);
+        fb.assign(count, fb.iconst(0));
+        Value a = fb.var(wordPtr);
+        fb.assign(a, words);
+        WhileLoop outer(fb);
+        outer.test(fb.ne(a, fb.iconst(0)));
+        {
+            Value ma = fb.loadField(a, 0);
+            IfElse viable(fb,
+                          fb.eq(fb.and_(ma, fb.xor_(phrase,
+                                                    fb.iconst(-1))),
+                                fb.iconst(0)));
+            {
+                Value b = fb.var(wordPtr);
+                fb.assign(b, fb.loadField(a, 3));
+                WhileLoop inner(fb);
+                inner.test(fb.ne(b, fb.iconst(0)));
+                Value mb = fb.loadField(b, 0);
+                Value covers = fb.eq(fb.or_(ma, mb), phrase);
+                IfElse hit(fb, covers);
+                fb.assign(count, fb.addImm(count, 1));
+                // Touch the first character through the stored
+                // dictionary pointer (promote of a loaded pointer to
+                // an instrumented global).
+                Value chars = fb.loadField(b, 2);
+                fb.assign(count,
+                          fb.add(count,
+                                 fb.and_(fb.load(chars),
+                                         fb.iconst(1))));
+                hit.finish();
+                fb.assign(b, fb.loadField(b, 3));
+                inner.finish();
+            }
+            viable.finish();
+            fb.assign(a, fb.loadField(a, 3));
+        }
+        outer.finish();
+        fb.ret(count);
+    }
+
+    {
+        FunctionBuilder fb(m, "main", {}, i64);
+        Value buf = fb.ptrCast(fb.globalAddr(dict), i8);
+        Value words = fb.call(
+            "parse", {buf, fb.iconst(static_cast<int64_t>(
+                               makeDictionary(dictWords).size()))});
+        Value total = fb.var(i64);
+        fb.assign(total, fb.iconst(0));
+        // A few phrase masks of increasing size.
+        for (int64_t phrase :
+             {0x0000ffffll, 0x00ffff00ll, 0x03ffffffll, 0x000fff0fll}) {
+            fb.assign(total,
+                      fb.add(total, fb.call("solve",
+                                            {words,
+                                             fb.iconst(phrase)})));
+        }
+        fb.ret(total);
+    }
+}
+
+} // namespace workloads
+} // namespace infat

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Olden bh: Barnes-Hut N-body (2-D quadtree variant).
+ *
+ * Preserved behaviours: per timestep the quadtree is rebuilt from
+ * scratch (cell churn for the allocators), forces are computed by a
+ * recursive descent with an opening criterion, and — the signature bh
+ * behaviour in Table 4 — the inner force kernel passes *stack-allocated
+ * vector temporaries by address* into a helper, so the local-object
+ * registration count dwarfs every other workload's. The cell's child
+ * pointers are a true array subobject, exercising array-of-pointer
+ * narrowing in the layout table.
+ */
+
+#include "vm/libc_model.hh"
+#include "workloads/dsl.hh"
+#include "workloads/workload.hh"
+
+namespace infat {
+namespace workloads {
+
+using namespace ir;
+
+void
+buildBh(Module &m)
+{
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    const Type *i64 = tc.i64();
+    const Type *f64 = tc.f64();
+
+    StructType *body = tc.createStruct("Body");
+    // mass, x, y, z, vx, vy, vz
+    body->setBody({f64, f64, f64, f64, f64, f64, f64});
+    const Type *bodyPtr = tc.ptr(body);
+
+    StructType *cell = tc.createStruct("Cell");
+    const Type *cellPtr = tc.ptr(cell);
+    // mass, cx, cy, children[4], body (leaf payload)
+    cell->setBody({f64, f64, f64, tc.array(cellPtr, 4), bodyPtr});
+
+    StructType *vec = tc.createStruct("Vec");
+    vec->setBody({f64, f64, f64});
+    const Type *vecPtr = tc.ptr(vec);
+
+    constexpr int64_t nBodies = 160;
+    constexpr int64_t nSteps = 3;
+
+    // Insert a body into the quadtree rooted at *rootp covering
+    // [x0,x0+ext) x [y0,y0+ext).
+    {
+        FunctionBuilder fb(m, "insert",
+                           {tc.ptr(cellPtr), bodyPtr, f64, f64, f64},
+                           tc.voidTy());
+        Value rootp = fb.arg(0);
+        Value b = fb.arg(1);
+        Value x0 = fb.arg(2);
+        Value y0 = fb.arg(3);
+        Value ext = fb.arg(4);
+        Value node = fb.load(rootp);
+        IfElse empty(fb, fb.eq(node, fb.iconst(0)));
+        {
+            Value leaf = fb.mallocTyped(cell);
+            fb.storeField(leaf, 0, fb.loadField(b, 0));
+            fb.storeField(leaf, 1, fb.loadField(b, 1));
+            fb.storeField(leaf, 2, fb.loadField(b, 2));
+            Value kids = fb.fieldPtr(leaf, 3);
+            for (int64_t c = 0; c < 4; ++c)
+                fb.store(fb.nullPtr(cell), fb.elemPtr(kids, c));
+            fb.storeField(leaf, 4, b);
+            fb.store(leaf, rootp);
+            fb.retVoid();
+        }
+        empty.otherwise();
+        {
+            Value old_body = fb.loadField(node, 4);
+            // Update aggregate mass / centre of mass.
+            Value mass = fb.loadField(node, 0);
+            Value bm = fb.loadField(b, 0);
+            Value new_mass = fb.fadd(mass, bm);
+            Value cx = fb.fdiv(
+                fb.fadd(fb.fmul(fb.loadField(node, 1), mass),
+                        fb.fmul(fb.loadField(b, 1), bm)),
+                new_mass);
+            Value cy = fb.fdiv(
+                fb.fadd(fb.fmul(fb.loadField(node, 2), mass),
+                        fb.fmul(fb.loadField(b, 2), bm)),
+                new_mass);
+            fb.storeField(node, 0, new_mass);
+            fb.storeField(node, 1, cx);
+            fb.storeField(node, 2, cy);
+
+            Value half = fb.fmul(ext, fb.fconst(0.5));
+            Value mid_x = fb.fadd(x0, half);
+            Value mid_y = fb.fadd(y0, half);
+            auto quadrant_insert = [&](Value qb) {
+                Value right = fb.fcmp(FCmpPred::Ge,
+                                      fb.loadField(qb, 1), mid_x);
+                Value top = fb.fcmp(FCmpPred::Ge,
+                                    fb.loadField(qb, 2), mid_y);
+                Value quad = fb.add(right, fb.mulImm(top, 2));
+                Value child_slot =
+                    fb.elemPtr(fb.fieldPtr(node, 3), quad);
+                Value nx = fb.select(right, mid_x, x0);
+                Value ny = fb.select(top, mid_y, y0);
+                fb.call("insert", {child_slot, qb, nx, ny, half});
+            };
+            // If this node was a leaf, push its body down first.
+            IfElse was_leaf(fb, fb.ne(old_body, fb.iconst(0)));
+            fb.storeField(node, 4, fb.nullPtr(body));
+            quadrant_insert(old_body);
+            was_leaf.finish();
+            quadrant_insert(b);
+            fb.retVoid();
+        }
+        empty.finish();
+        fb.trap(1);
+    }
+
+    // Pairwise acceleration contribution, accumulated through a
+    // caller-provided stack vector (the escaping-local signature).
+    {
+        FunctionBuilder fb(m, "gravsub",
+                           {bodyPtr, f64, f64, f64, vecPtr},
+                           tc.voidTy());
+        Value b = fb.arg(0);
+        Value mass = fb.arg(1);
+        Value px = fb.arg(2);
+        Value py = fb.arg(3);
+        Value acc = fb.arg(4);
+        Value dx = fb.fsub(px, fb.loadField(b, 1));
+        Value dy = fb.fsub(py, fb.loadField(b, 2));
+        Value d2 = fb.fadd(fb.fadd(fb.fmul(dx, dx), fb.fmul(dy, dy)),
+                           fb.fconst(0.0025)); // softening
+        Value r = fb.call("sqrt", {d2});
+        Value inv = fb.fdiv(mass, fb.fmul(d2, r));
+        // Potential well plus a quadrupole-ish correction term, as the
+        // original's vector kernel (keeps per-interaction work close
+        // to the 3-D original's).
+        Value phi = fb.fdiv(mass, r);
+        Value corr = fb.fmul(fb.fdiv(phi, d2), fb.fconst(0.05));
+        Value gx = fb.fmul(dx, fb.fadd(inv, corr));
+        Value gy = fb.fmul(dy, fb.fadd(inv, corr));
+        fb.storeField(acc, 0, fb.fadd(fb.loadField(acc, 0), gx));
+        fb.storeField(acc, 1, fb.fadd(fb.loadField(acc, 1), gy));
+        fb.storeField(acc, 2, fb.fsub(fb.loadField(acc, 2), phi));
+        fb.retVoid();
+    }
+
+    // Recursive force walk with opening criterion ext^2 < theta * d^2.
+    {
+        FunctionBuilder fb(m, "hackgrav",
+                           {cellPtr, bodyPtr, f64, vecPtr}, tc.voidTy());
+        Value node = fb.arg(0);
+        Value b = fb.arg(1);
+        Value ext = fb.arg(2);
+        Value acc_out = fb.arg(3);
+        IfElse null_check(fb, fb.eq(node, fb.iconst(0)));
+        fb.retVoid();
+        null_check.otherwise();
+        // Per-node stack temporary, passed by address (escaping
+        // local -> RegisterObj per call).
+        Value tmp = fb.stackAlloc(vec);
+        fb.storeField(tmp, 0, fb.fconst(0.0));
+        fb.storeField(tmp, 1, fb.fconst(0.0));
+        fb.storeField(tmp, 2, fb.fconst(0.0));
+        Value dx = fb.fsub(fb.loadField(node, 1), fb.loadField(b, 1));
+        Value dy = fb.fsub(fb.loadField(node, 2), fb.loadField(b, 2));
+        Value d2 = fb.fadd(fb.fmul(dx, dx), fb.fmul(dy, dy));
+        Value is_leaf = fb.ne(fb.loadField(node, 4), fb.iconst(0));
+        Value far = fb.flt(fb.fmul(ext, ext),
+                           fb.fmul(d2, fb.fconst(0.25)));
+        IfElse approx(fb, fb.or_(is_leaf, far));
+        {
+            IfElse self(fb, fb.eq(fb.loadField(node, 4), b));
+            self.otherwise();
+            fb.call("gravsub", {b, fb.loadField(node, 0),
+                                fb.loadField(node, 1),
+                                fb.loadField(node, 2), tmp});
+            self.finish();
+        }
+        approx.otherwise();
+        {
+            Value half = fb.fmul(ext, fb.fconst(0.5));
+            Value kids = fb.fieldPtr(node, 3);
+            for (int64_t c = 0; c < 4; ++c) {
+                fb.call("hackgrav", {fb.load(fb.elemPtr(kids, c)), b,
+                                     half, tmp});
+            }
+        }
+        approx.finish();
+        fb.storeField(acc_out, 0, fb.fadd(fb.loadField(acc_out, 0),
+                                          fb.loadField(tmp, 0)));
+        fb.storeField(acc_out, 1, fb.fadd(fb.loadField(acc_out, 1),
+                                          fb.loadField(tmp, 1)));
+        fb.storeField(acc_out, 2, fb.fadd(fb.loadField(acc_out, 2),
+                                          fb.loadField(tmp, 2)));
+        fb.retVoid();
+        null_check.finish();
+        fb.trap(2);
+    }
+
+    {
+        FunctionBuilder fb(m, "main", {}, i64);
+        fb.call("srand", {fb.iconst(17)});
+        Value bodies = fb.mallocTyped(body, fb.iconst(nBodies));
+        {
+            ForLoop i(fb, fb.iconst(0), fb.iconst(nBodies));
+            Value cur = fb.elemPtr(bodies, i.index());
+            fb.storeField(cur, 0, fb.fconst(1.0));
+            auto unit_rand = [&]() {
+                return fb.fdiv(fb.sitofp(fb.and_(fb.call("rand"),
+                                                 fb.iconst(0xffff))),
+                               fb.fconst(65536.0));
+            };
+            fb.storeField(cur, 1, unit_rand());
+            fb.storeField(cur, 2, unit_rand());
+            for (unsigned f = 3; f <= 6; ++f)
+                fb.storeField(cur, f, fb.fconst(0.0));
+            i.finish();
+        }
+        Value checksum = fb.var(f64);
+        fb.assign(checksum, fb.fconst(0.0));
+        {
+            ForLoop step(fb, fb.iconst(0), fb.iconst(nSteps));
+            // Rebuild the tree each step.
+            Value rootp = fb.stackAlloc(cellPtr);
+            fb.store(fb.nullPtr(cell), rootp);
+            {
+                ForLoop i(fb, fb.iconst(0), fb.iconst(nBodies));
+                fb.call("insert",
+                        {rootp, fb.elemPtr(bodies, i.index()),
+                         fb.fconst(0.0), fb.fconst(0.0),
+                         fb.fconst(1.0)});
+                i.finish();
+            }
+            // Forces + leapfrog-ish integration.
+            {
+                ForLoop i(fb, fb.iconst(0), fb.iconst(nBodies));
+                Value cur = fb.elemPtr(bodies, i.index());
+                Value acc = fb.stackAlloc(vec);
+                fb.storeField(acc, 0, fb.fconst(0.0));
+                fb.storeField(acc, 1, fb.fconst(0.0));
+                fb.storeField(acc, 2, fb.fconst(0.0));
+                fb.call("hackgrav",
+                        {fb.load(rootp), cur, fb.fconst(1.0), acc});
+                Value dt = fb.fconst(0.001);
+                Value vx = fb.fadd(fb.loadField(cur, 3),
+                                   fb.fmul(fb.loadField(acc, 0), dt));
+                Value vy = fb.fadd(fb.loadField(cur, 4),
+                                   fb.fmul(fb.loadField(acc, 1), dt));
+                fb.storeField(cur, 3, vx);
+                fb.storeField(cur, 4, vy);
+                fb.storeField(cur, 1, fb.fadd(fb.loadField(cur, 1),
+                                              fb.fmul(vx, dt)));
+                fb.storeField(cur, 2, fb.fadd(fb.loadField(cur, 2),
+                                              fb.fmul(vy, dt)));
+                fb.assign(checksum, fb.fadd(checksum, vx));
+                i.finish();
+            }
+            step.finish();
+        }
+        fb.ret(fb.fptosi(fb.fmul(checksum, fb.fconst(1e9))));
+    }
+}
+
+} // namespace workloads
+} // namespace infat

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Olden bisort: bitonic sort of values held in a perfect binary tree.
+ *
+ * Preserved behaviours: a perfect tree of individually malloc'd nodes
+ * filled with pseudo-random values, then recursive merge passes that
+ * chase child pointers and swap values in place. About half of the
+ * executed promotes take NULL operands (leaf children), matching the
+ * paper's observation for bisort.
+ */
+
+#include "vm/libc_model.hh"
+#include "workloads/dsl.hh"
+#include "workloads/workload.hh"
+
+namespace infat {
+namespace workloads {
+
+using namespace ir;
+
+void
+buildBisort(Module &m)
+{
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    StructType *node = tc.createStruct("HANDLE");
+    node->setBody({tc.i64(), tc.ptr(node), tc.ptr(node)});
+    const Type *nodePtr = tc.ptr(node);
+    const Type *i64 = tc.i64();
+
+    constexpr int64_t depth = 13; // 8191 nodes
+
+    // Build a perfect tree of random values.
+    {
+        FunctionBuilder fb(m, "rand_tree", {i64}, nodePtr);
+        Value level = fb.arg(0);
+        IfElse leaf(fb, fb.sle(level, fb.iconst(0)));
+        fb.ret(fb.nullPtr(node));
+        leaf.otherwise();
+        Value n = fb.mallocTyped(node);
+        fb.storeField(n, 0, fb.call("rand"));
+        Value next = fb.addImm(level, -1);
+        fb.storeField(n, 1, fb.call("rand_tree", {next}));
+        fb.storeField(n, 2, fb.call("rand_tree", {next}));
+        fb.ret(n);
+        leaf.finish();
+        fb.trap(1);
+    }
+
+    // One merge pass: order each parent against its children in the
+    // requested direction, recursively (bitonic-style compare/swap
+    // sweep over the tree).
+    {
+        FunctionBuilder fb(m, "bimerge", {nodePtr, i64}, i64);
+        Value t = fb.arg(0);
+        Value dir = fb.arg(1);
+        IfElse null_check(fb, fb.eq(t, fb.iconst(0)));
+        fb.ret(fb.iconst(0));
+        null_check.otherwise();
+        Value swaps = fb.var(i64);
+        fb.assign(swaps, fb.iconst(0));
+
+        auto order_child = [&](unsigned field, Value flip_dir) {
+            Value child = fb.loadField(t, field);
+            IfElse has(fb, fb.ne(child, fb.iconst(0)));
+            {
+                Value pv = fb.loadField(t, 0);
+                Value cv = fb.loadField(child, 0);
+                Value wrong =
+                    fb.select(flip_dir, fb.slt(pv, cv), fb.sgt(pv, cv));
+                IfElse do_swap(fb, wrong);
+                fb.storeField(t, 0, cv);
+                fb.storeField(child, 0, pv);
+                fb.assign(swaps, fb.addImm(swaps, 1));
+                do_swap.finish();
+            }
+            has.finish();
+        };
+        order_child(1, dir);
+        order_child(2, fb.xor_(dir, fb.iconst(1)));
+
+        Value flipped = fb.xor_(dir, fb.iconst(1));
+        Value down = fb.call("bimerge", {fb.loadField(t, 1), dir});
+        Value up = fb.call("bimerge", {fb.loadField(t, 2), flipped});
+        fb.ret(fb.add(swaps, fb.add(down, up)));
+        null_check.finish();
+        fb.trap(2);
+    }
+
+    // Weighted in-order checksum so every configuration must agree on
+    // the final arrangement.
+    {
+        FunctionBuilder fb(m, "checksum", {nodePtr, i64}, i64);
+        Value t = fb.arg(0);
+        Value mix = fb.arg(1);
+        IfElse null_check(fb, fb.eq(t, fb.iconst(0)));
+        fb.ret(fb.iconst(0));
+        null_check.otherwise();
+        Value v = fb.loadField(t, 0);
+        Value here = fb.mul(v, mix);
+        Value l = fb.call("checksum",
+                          {fb.loadField(t, 1), fb.addImm(mix, 7)});
+        Value r = fb.call("checksum",
+                          {fb.loadField(t, 2), fb.addImm(mix, 13)});
+        fb.ret(fb.add(here, fb.add(l, r)));
+        null_check.finish();
+        fb.trap(3);
+    }
+
+    {
+        FunctionBuilder fb(m, "main", {}, i64);
+        fb.call("srand", {fb.iconst(1729)});
+        Value root = fb.call("rand_tree", {fb.iconst(depth)});
+        Value total_swaps = fb.var(i64);
+        fb.assign(total_swaps, fb.iconst(0));
+        // Merge passes until a pass makes no swaps (or a pass cap).
+        ForLoop pass(fb, fb.iconst(0), fb.iconst(24));
+        Value s = fb.call("bimerge", {root, fb.iconst(0)});
+        fb.assign(total_swaps, fb.add(total_swaps, s));
+        pass.finish();
+        Value sum = fb.call("checksum", {root, fb.iconst(3)});
+        fb.ret(fb.xor_(sum, total_swaps));
+    }
+}
+
+} // namespace workloads
+} // namespace infat

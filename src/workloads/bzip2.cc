@@ -1,0 +1,255 @@
+/**
+ * @file
+ * bzip2 (scaled): RLE -> move-to-front -> RLE2 compression pipeline.
+ *
+ * Preserved behaviours: the compressor state (EState) is one large
+ * struct allocated through a *function-pointer* allocation hook
+ * (bzalloc), so it carries no layout table; pointers to its embedded
+ * buffers are stored into the state and reloaded across phases, so
+ * roughly half of the promotes take subobject pointers whose
+ * narrowing fails and coarsens to the object bounds, matching the
+ * paper's description of bzip2. Input is a deterministic repetitive
+ * text, compressing "its own source", scaled.
+ */
+
+#include "vm/libc_model.hh"
+#include "workloads/dsl.hh"
+#include "workloads/workload.hh"
+
+namespace infat {
+namespace workloads {
+
+using namespace ir;
+
+void
+buildBzip2(Module &m)
+{
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    const Type *i64 = tc.i64();
+    const Type *i8 = tc.i8();
+    const Type *vp = tc.opaquePtr();
+
+    constexpr int64_t inputLen = 24000;
+    constexpr int64_t bufCap = inputLen + 1024;
+
+    StructType *estate = tc.createStruct("EState");
+    // in(ptr), rle(ptr), out(ptr), mtf table(ptr), lens, crc
+    estate->setBody({tc.ptr(i8), tc.ptr(i8), tc.ptr(i8), tc.ptr(i64),
+                     i64 /*in_len*/, i64 /*rle_len*/, i64 /*out_len*/,
+                     i64 /*crc*/});
+    const Type *statePtr = tc.ptr(estate);
+
+    GlobalId alloc_hook = m.addGlobal("bzalloc", i64);
+    GlobalId state_g = m.addGlobal("g_state", statePtr);
+    // Pointer to the state's crc *field*: reloading it yields promotes
+    // of subobject-indexed pointers whose narrowing fails (no layout
+    // table on the wrapper-allocated state).
+    GlobalId crc_ptr_g = m.addGlobal("g_crc_ptr", tc.ptr(i64));
+
+    {
+        FunctionBuilder fb(m, "default_bzalloc", {i64}, vp);
+        fb.ret(fb.call("malloc", {fb.arg(0)}));
+    }
+    {
+        FunctionBuilder fb(m, "bz_malloc", {i64}, vp);
+        Value fn = fb.load(fb.globalAddr(alloc_hook));
+        fb.ret(fb.callPtr(fn, vp, {fb.arg(0)}));
+    }
+
+    // Phase 1: run-length encode in -> rle (byte, count pairs).
+    {
+        FunctionBuilder fb(m, "do_rle", {statePtr}, tc.voidTy());
+        Value st = fb.arg(0);
+        Value in = fb.loadField(st, 0);
+        Value rle = fb.loadField(st, 1);
+        Value n = fb.loadField(st, 4);
+        Value out = fb.var(i64);
+        Value i = fb.var(i64);
+        fb.assign(out, fb.iconst(0));
+        fb.assign(i, fb.iconst(0));
+        WhileLoop scan(fb);
+        scan.test(fb.slt(i, n));
+        {
+            Value c = fb.load(fb.elemPtr(in, i));
+            Value run = fb.var(i64);
+            fb.assign(run, fb.iconst(1));
+            WhileLoop ext(fb);
+            ext.test(fb.and_(
+                fb.slt(fb.add(i, run), n),
+                fb.and_(fb.eq(fb.load(fb.elemPtr(in, fb.add(i, run))),
+                              c),
+                        fb.slt(run, fb.iconst(255)))));
+            fb.assign(run, fb.addImm(run, 1));
+            ext.finish();
+            fb.store(c, fb.elemPtr(rle, out));
+            fb.store(fb.trunc(run, tc.i8()),
+                     fb.elemPtr(rle, fb.addImm(out, 1)));
+            fb.assign(out, fb.addImm(out, 2));
+            // bzip2 keeps its cursors in the state struct and updates
+            // them per run (per-access field GEPs).
+            fb.storeField(st, 5, out);
+            fb.assign(i, fb.add(i, run));
+        }
+        scan.finish();
+        fb.storeField(st, 5, out);
+        fb.retVoid();
+    }
+
+    // Phase 2: move-to-front transform of the RLE bytes, then a
+    // zero-run second RLE into out.
+    {
+        FunctionBuilder fb(m, "do_mtf", {statePtr}, tc.voidTy());
+        Value st = fb.arg(0);
+        Value rle = fb.loadField(st, 1);
+        Value out = fb.loadField(st, 2);
+        Value table = fb.loadField(st, 3);
+        Value n = fb.loadField(st, 5);
+        // Initialize the MTF table.
+        {
+            ForLoop i(fb, fb.iconst(0), fb.iconst(256));
+            fb.store(i.index(), fb.elemPtr(table, i.index()));
+            i.finish();
+        }
+        Value out_len = fb.var(i64);
+        Value zero_run = fb.var(i64);
+        fb.assign(out_len, fb.iconst(0));
+        fb.assign(zero_run, fb.iconst(0));
+        ForLoop i(fb, fb.iconst(0), n);
+        {
+            Value c = fb.and_(fb.load(fb.elemPtr(rle, i.index())),
+                              fb.iconst(0xff));
+            // Find c's rank and move it to front.
+            Value rank = fb.var(i64);
+            fb.assign(rank, fb.iconst(0));
+            WhileLoop find(fb);
+            find.test(fb.ne(fb.load(fb.elemPtr(table, rank)), c));
+            fb.assign(rank, fb.addImm(rank, 1));
+            find.finish();
+            Value j = fb.var(i64);
+            fb.assign(j, rank);
+            WhileLoop shift(fb);
+            shift.test(fb.sgt(j, fb.iconst(0)));
+            fb.store(fb.load(fb.elemPtr(table, fb.addImm(j, -1))),
+                     fb.elemPtr(table, j));
+            fb.assign(j, fb.addImm(j, -1));
+            shift.finish();
+            fb.store(c, fb.elemPtr(table, fb.iconst(0)));
+            // Zero-run encoding of ranks.
+            IfElse zero(fb, fb.eq(rank, fb.iconst(0)));
+            fb.assign(zero_run, fb.addImm(zero_run, 1));
+            zero.otherwise();
+            {
+                IfElse flush(fb, fb.sgt(zero_run, fb.iconst(0)));
+                fb.store(fb.iconst(0), fb.elemPtr(out, out_len));
+                fb.store(fb.trunc(fb.and_(zero_run, fb.iconst(0xff)),
+                                  tc.i8()),
+                         fb.elemPtr(out, fb.addImm(out_len, 1)));
+                fb.assign(out_len, fb.addImm(out_len, 2));
+                fb.assign(zero_run, fb.iconst(0));
+                flush.finish();
+                fb.store(fb.trunc(rank, tc.i8()),
+                         fb.elemPtr(out, out_len));
+                fb.assign(out_len, fb.addImm(out_len, 1));
+            }
+            zero.finish();
+            fb.storeField(st, 6, out_len);
+        }
+        i.finish();
+        fb.storeField(st, 6, out_len);
+        fb.retVoid();
+    }
+
+    // CRC of the output buffer.
+    {
+        FunctionBuilder fb(m, "do_crc", {statePtr}, i64);
+        Value st = fb.arg(0);
+        Value out = fb.loadField(st, 2);
+        Value n = fb.loadField(st, 6);
+        Value crc = fb.var(i64);
+        fb.assign(crc, fb.iconst(0xffffffff));
+        ForLoop i(fb, fb.iconst(0), n);
+        Value c = fb.and_(fb.load(fb.elemPtr(out, i.index())),
+                          fb.iconst(0xff));
+        fb.assign(crc, fb.xor_(crc, c));
+        ForLoop bit(fb, fb.iconst(0), fb.iconst(8));
+        Value lsb = fb.and_(crc, fb.iconst(1));
+        fb.assign(crc, fb.lshr(crc, fb.iconst(1)));
+        IfElse tap(fb, lsb);
+        fb.assign(crc, fb.xor_(crc, fb.iconst(0xedb88320)));
+        tap.finish();
+        bit.finish();
+        fb.storeField(st, 7, crc);
+        i.finish();
+        fb.storeField(st, 7, crc);
+        fb.ret(crc);
+    }
+
+    {
+        FunctionBuilder fb(m, "main", {}, i64);
+        fb.store(fb.funcAddr("default_bzalloc"),
+                 fb.globalAddr(alloc_hook));
+        // Allocate the state and its buffers through the hook: none of
+        // them get layout tables.
+        Value st = fb.ptrCast(
+            fb.call("bz_malloc", {fb.iconst(estate->size())}), estate);
+        fb.storeField(st, 0,
+                      fb.ptrCast(fb.call("bz_malloc",
+                                         {fb.iconst(bufCap)}),
+                                 i8));
+        fb.storeField(st, 1,
+                      fb.ptrCast(fb.call("bz_malloc",
+                                         {fb.iconst(bufCap * 2)}),
+                                 i8));
+        fb.storeField(st, 2,
+                      fb.ptrCast(fb.call("bz_malloc",
+                                         {fb.iconst(bufCap * 2)}),
+                                 i8));
+        fb.storeField(st, 3,
+                      fb.ptrCast(fb.call("bz_malloc",
+                                         {fb.iconst(256 * 8)}),
+                                 i64));
+        fb.store(st, fb.globalAddr(state_g));
+        fb.store(fb.fieldPtr(st, 7), fb.globalAddr(crc_ptr_g));
+
+        // Deterministic repetitive "source code" input.
+        Value in = fb.loadField(st, 0);
+        Value seed = fb.var(i64);
+        fb.assign(seed, fb.iconst(0x1234567));
+        {
+            ForLoop i(fb, fb.iconst(0), fb.iconst(inputLen));
+            fb.assign(seed,
+                      fb.and_(fb.addImm(fb.mulImm(seed, 1103515245),
+                                        12345),
+                              fb.iconst(0x7fffffff)));
+            // Mostly runs with occasional noise: RLE-friendly.
+            Value noise = fb.srem(seed, fb.iconst(17));
+            Value c = fb.select(fb.slt(noise, fb.iconst(13)),
+                                fb.iconst(' '),
+                                fb.add(fb.iconst('a'),
+                                       fb.and_(seed, fb.iconst(15))));
+            fb.store(fb.trunc(c, tc.i8()),
+                     fb.elemPtr(in, i.index()));
+            i.finish();
+        }
+        fb.storeField(st, 4, fb.iconst(inputLen));
+
+        // The pipeline reloads the global state pointer per phase
+        // (promote of the untyped, tagged pointer each time).
+        Value s1 = fb.load(fb.globalAddr(state_g));
+        fb.call("do_rle", {s1});
+        Value s2 = fb.load(fb.globalAddr(state_g));
+        fb.call("do_mtf", {s2});
+        Value s3 = fb.load(fb.globalAddr(state_g));
+        Value crc = fb.call("do_crc", {s3});
+        Value ratio = fb.sdiv(fb.mulImm(fb.loadField(s3, 6), 100),
+                              fb.iconst(inputLen));
+        // Re-read the crc through the stored field pointer.
+        Value cp = fb.load(fb.globalAddr(crc_ptr_g));
+        Value crc2 = fb.and_(fb.load(cp), fb.iconst(0xff));
+        fb.ret(fb.add(crc, fb.add(ratio, crc2)));
+    }
+}
+
+} // namespace workloads
+} // namespace infat

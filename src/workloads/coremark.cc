@@ -1,0 +1,203 @@
+/**
+ * @file
+ * CoreMark (scaled): list processing, matrix work and a CRC state
+ * machine, all inside ONE dynamically-allocated arena.
+ *
+ * Preserved behaviours (Table 4 / §5.2.1): CoreMark performs a single
+ * dynamic allocation through a portable wrapper, so the object has no
+ * layout table; data structures are carved out of the arena by
+ * pointer arithmetic, and pointers to interior structs acquire
+ * subobject indices whose promote-time narrowing *fails* (coarsened to
+ * object bounds), exactly the behaviour the paper reports (29% of
+ * CoreMark promotes take subobject pointers, all narrowing fails).
+ */
+
+#include "vm/libc_model.hh"
+#include "workloads/dsl.hh"
+#include "workloads/workload.hh"
+
+namespace infat {
+namespace workloads {
+
+using namespace ir;
+
+void
+buildCoremark(Module &m)
+{
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    const Type *i64 = tc.i64();
+    const Type *i8 = tc.i8();
+    const Type *vp = tc.opaquePtr();
+
+    constexpr int64_t listLen = 96;
+    constexpr int64_t matDim = 10;
+    constexpr int64_t iterations = 40;
+
+    StructType *item = tc.createStruct("list_data");
+    // value, index, next
+    item->setBody({i64, i64, tc.ptr(item)});
+    const Type *itemPtr = tc.ptr(item);
+
+    StructType *crcState = tc.createStruct("core_state");
+    // crc, fsm state, byte counter
+    crcState->setBody({i64, i64, i64});
+    const Type *crcPtr = tc.ptr(crcState);
+
+    // Arena slot for the list head pointer (stored & reloaded, so it
+    // is promoted with a subobject-ish tag into the untyped arena).
+    GlobalId list_head_g = m.addGlobal("list_head", tc.ptr(item));
+    GlobalId crc_state_g = m.addGlobal("crc_state", crcPtr);
+    // A pointer to a *field* of the in-arena state: reloading it gives
+    // a promote with a non-zero subobject index whose narrowing fails
+    // (the arena has no layout table), as the paper reports.
+    GlobalId crc_field_g = m.addGlobal("crc_field", tc.ptr(i64));
+
+    // CoreMark's portable allocation wrapper.
+    {
+        FunctionBuilder fb(m, "portable_malloc", {i64}, vp);
+        fb.ret(fb.call("malloc", {fb.arg(0)}));
+    }
+
+    // crc16 step over a value, updating the in-arena state struct.
+    {
+        FunctionBuilder fb(m, "crc_step", {crcPtr, i64}, i64);
+        Value st = fb.arg(0);
+        Value data = fb.arg(1);
+        Value crc = fb.var(i64);
+        fb.assign(crc, fb.loadField(st, 0));
+        ForLoop bit(fb, fb.iconst(0), fb.iconst(16));
+        Value mix = fb.and_(fb.xor_(crc, fb.lshr(data, bit.index())),
+                            fb.iconst(1));
+        fb.assign(crc, fb.lshr(crc, fb.iconst(1)));
+        IfElse tap(fb, mix);
+        fb.assign(crc, fb.xor_(crc, fb.iconst(0xa001)));
+        tap.finish();
+        bit.finish();
+        fb.storeField(st, 0, crc);
+        fb.storeField(st, 2, fb.addImm(fb.loadField(st, 2), 1));
+        fb.ret(crc);
+    }
+
+    // One benchmark iteration over the pre-carved arena structures.
+    {
+        FunctionBuilder fb(m, "bench_iter", {tc.ptr(i64), i64}, i64);
+        Value matrix = fb.arg(0);
+        Value seed = fb.arg(1);
+        // List phase: reverse the list in place, then scan for a key.
+        Value head = fb.var(itemPtr);
+        fb.assign(head, fb.load(fb.globalAddr(list_head_g)));
+        Value prev = fb.var(itemPtr);
+        fb.assign(prev, fb.nullPtr(item));
+        {
+            WhileLoop rev(fb);
+            rev.test(fb.ne(head, fb.iconst(0)));
+            Value next = fb.loadField(head, 2);
+            fb.storeField(head, 2, prev);
+            fb.assign(prev, head);
+            fb.assign(head, next);
+            rev.finish();
+        }
+        fb.store(prev, fb.globalAddr(list_head_g));
+        Value found = fb.var(i64);
+        fb.assign(found, fb.iconst(0));
+        {
+            Value cur = fb.var(itemPtr);
+            fb.assign(cur, prev);
+            WhileLoop scan(fb);
+            scan.test(fb.ne(cur, fb.iconst(0)));
+            IfElse hit(fb, fb.eq(fb.loadField(cur, 0),
+                                 fb.and_(seed, fb.iconst(63))));
+            fb.assign(found, fb.add(found, fb.loadField(cur, 1)));
+            hit.finish();
+            fb.assign(cur, fb.loadField(cur, 2));
+            scan.finish();
+        }
+        // Matrix phase: one multiply-accumulate sweep.
+        Value mat_sum = fb.var(i64);
+        fb.assign(mat_sum, fb.iconst(0));
+        {
+            ForLoop i(fb, fb.iconst(0), fb.iconst(matDim));
+            ForLoop j(fb, fb.iconst(0), fb.iconst(matDim));
+            Value acc = fb.var(i64);
+            fb.assign(acc, fb.iconst(0));
+            ForLoop k(fb, fb.iconst(0), fb.iconst(matDim));
+            Value a = fb.load(fb.elemPtr(
+                matrix, fb.add(fb.mulImm(i.index(), matDim),
+                               k.index())));
+            Value b = fb.load(fb.elemPtr(
+                matrix, fb.add(fb.mulImm(k.index(), matDim),
+                               j.index())));
+            fb.assign(acc, fb.add(acc, fb.mul(a, b)));
+            k.finish();
+            fb.assign(mat_sum,
+                      fb.xor_(mat_sum, fb.and_(acc, fb.iconst(0xffff))));
+            j.finish();
+            i.finish();
+        }
+        // State-machine phase: CRC over the derived values via the
+        // reloaded in-arena state pointer (subobject promote).
+        Value st = fb.load(fb.globalAddr(crc_state_g));
+        Value crc = fb.call("crc_step", {st, fb.add(found, mat_sum)});
+        // Reload the stored field pointer: subobject-indexed promote.
+        Value field = fb.load(fb.globalAddr(crc_field_g));
+        fb.ret(fb.xor_(crc, fb.and_(fb.load(field), fb.iconst(0xff))));
+    }
+
+    {
+        FunctionBuilder fb(m, "main", {}, i64);
+        // The single arena allocation. Everything lives inside.
+        constexpr int64_t list_bytes = listLen * 24;
+        constexpr int64_t mat_bytes = matDim * matDim * 8;
+        constexpr int64_t crc_bytes = 24;
+        Value arena = fb.call("portable_malloc",
+                              {fb.iconst(list_bytes + mat_bytes +
+                                         crc_bytes)});
+        Value bytes = fb.ptrCast(arena, i8);
+        // Carve: list items, matrix, crc state.
+        Value first = fb.ptrCast(bytes, item);
+        {
+            ForLoop i(fb, fb.iconst(0), fb.iconst(listLen));
+            Value it = fb.elemPtr(first, i.index());
+            fb.storeField(it, 0, fb.and_(fb.mulImm(i.index(), 7),
+                                         fb.iconst(63)));
+            fb.storeField(it, 1, i.index());
+            IfElse last(fb, fb.eq(i.index(), fb.iconst(listLen - 1)));
+            fb.storeField(it, 2, fb.nullPtr(item));
+            last.otherwise();
+            fb.storeField(it, 2, fb.elemPtr(first,
+                                            fb.addImm(i.index(), 1)));
+            last.finish();
+            i.finish();
+        }
+        fb.store(first, fb.globalAddr(list_head_g));
+        Value matrix =
+            fb.ptrCast(fb.elemPtr(bytes, fb.iconst(list_bytes)), i64);
+        {
+            ForLoop i(fb, fb.iconst(0), fb.iconst(matDim * matDim));
+            fb.store(fb.and_(fb.mulImm(i.index(), 13),
+                             fb.iconst(255)),
+                     fb.elemPtr(matrix, i.index()));
+            i.finish();
+        }
+        Value st = fb.ptrCast(
+            fb.elemPtr(bytes, fb.iconst(list_bytes + mat_bytes)),
+            crcState);
+        fb.storeField(st, 0, fb.iconst(0xffff));
+        fb.storeField(st, 1, fb.iconst(0));
+        fb.storeField(st, 2, fb.iconst(0));
+        fb.store(st, fb.globalAddr(crc_state_g));
+        fb.store(fb.fieldPtr(st, 0), fb.globalAddr(crc_field_g));
+
+        Value check = fb.var(i64);
+        fb.assign(check, fb.iconst(0));
+        ForLoop it(fb, fb.iconst(0), fb.iconst(iterations));
+        Value crc = fb.call("bench_iter", {matrix, it.index()});
+        fb.assign(check, fb.xor_(fb.mulImm(check, 5), crc));
+        it.finish();
+        fb.ret(check);
+    }
+}
+
+} // namespace workloads
+} // namespace infat

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Structured control-flow helpers over the IR builder.
+ *
+ * The builder exposes raw blocks and branches; these RAII-ish helpers
+ * provide for/while/if so the 18 workloads (and the Juliet generator)
+ * read like the C they transliterate.
+ *
+ * Usage:
+ *   ForLoop loop(fb, fb.iconst(0), n);        // for (i = 0; i < n; ++i)
+ *   ... loop.index() ...
+ *   loop.finish();
+ *
+ *   IfElse branch(fb, cond);                   // if (cond) { ... }
+ *   ... then-side code ...
+ *   branch.otherwise();                        // optional else
+ *   ... else-side code ...
+ *   branch.finish();
+ */
+
+#ifndef INFAT_WORKLOADS_DSL_HH
+#define INFAT_WORKLOADS_DSL_HH
+
+#include "ir/builder.hh"
+
+namespace infat {
+namespace workloads {
+
+/** Counted loop: for (i = from; i < to; i += step). */
+class ForLoop
+{
+  public:
+    ForLoop(ir::FunctionBuilder &fb, ir::Value from, ir::Value to,
+            int64_t step = 1)
+        : fb_(fb), step_(step)
+    {
+        index_ = fb_.var(from.type);
+        limit_ = fb_.var(to.type);
+        fb_.assign(index_, from);
+        fb_.assign(limit_, to);
+        cond_ = fb_.newBlock("for.cond");
+        body_ = fb_.newBlock("for.body");
+        done_ = fb_.newBlock("for.done");
+        fb_.jmp(cond_);
+        fb_.setBlock(cond_);
+        fb_.br(step_ > 0 ? fb_.slt(index_, limit_)
+                         : fb_.sgt(index_, limit_),
+               body_, done_);
+        fb_.setBlock(body_);
+    }
+
+    ir::Value index() const { return index_; }
+
+    /** Jump to the increment/condition (a `continue`). */
+    void
+    continueLoop()
+    {
+        fb_.assign(index_, fb_.addImm(index_, step_));
+        fb_.jmp(cond_);
+    }
+
+    /** Branch target that exits the loop (a `break`). */
+    ir::BlockId breakTarget() const { return done_; }
+
+    void
+    finish()
+    {
+        fb_.assign(index_, fb_.addImm(index_, step_));
+        fb_.jmp(cond_);
+        fb_.setBlock(done_);
+    }
+
+  private:
+    ir::FunctionBuilder &fb_;
+    int64_t step_;
+    ir::Value index_, limit_;
+    ir::BlockId cond_, body_, done_;
+};
+
+/** while (<cond computed each iteration>). */
+class WhileLoop
+{
+  public:
+    explicit WhileLoop(ir::FunctionBuilder &fb) : fb_(fb)
+    {
+        cond_ = fb_.newBlock("while.cond");
+        body_ = fb_.newBlock("while.body");
+        done_ = fb_.newBlock("while.done");
+        fb_.jmp(cond_);
+        fb_.setBlock(cond_);
+    }
+
+    /** Call once, after emitting the condition computation. */
+    void
+    test(ir::Value cond)
+    {
+        fb_.br(cond, body_, done_);
+        fb_.setBlock(body_);
+    }
+
+    ir::BlockId breakTarget() const { return done_; }
+    ir::BlockId continueTarget() const { return cond_; }
+
+    void
+    finish()
+    {
+        fb_.jmp(cond_);
+        fb_.setBlock(done_);
+    }
+
+  private:
+    ir::FunctionBuilder &fb_;
+    ir::BlockId cond_, body_, done_;
+};
+
+/** if (cond) { ... } [ else { ... } ]. */
+class IfElse
+{
+  public:
+    IfElse(ir::FunctionBuilder &fb, ir::Value cond) : fb_(fb)
+    {
+        then_ = fb_.newBlock("if.then");
+        else_ = fb_.newBlock("if.else");
+        done_ = fb_.newBlock("if.done");
+        fb_.br(cond, then_, else_);
+        fb_.setBlock(then_);
+    }
+
+    /** Switch to emitting the else side. */
+    void
+    otherwise()
+    {
+        if (!fb_.function()->block(fb_.currentBlock()).terminated())
+            fb_.jmp(done_);
+        fb_.setBlock(else_);
+        hasElse_ = true;
+    }
+
+    void
+    finish()
+    {
+        if (!fb_.function()->block(fb_.currentBlock()).terminated())
+            fb_.jmp(done_);
+        if (!hasElse_) {
+            fb_.setBlock(else_);
+            fb_.jmp(done_);
+        }
+        fb_.setBlock(done_);
+    }
+
+  private:
+    ir::FunctionBuilder &fb_;
+    ir::BlockId then_, else_, done_;
+    bool hasElse_ = false;
+};
+
+} // namespace workloads
+} // namespace infat
+
+#endif // INFAT_WORKLOADS_DSL_HH

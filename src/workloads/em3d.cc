@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Olden em3d: electromagnetic wave propagation on a bipartite graph.
+ *
+ * Preserved behaviours: E and H nodes live on linked lists of
+ * individually-allocated structs; each node owns malloc'd neighbour
+ * and coefficient arrays (the paper's em3d input uses a fixed
+ * out-degree, so the per-node arrays form a handful of size classes);
+ * and the builder allocates two large whole-graph node tables. Under
+ * the subheap allocator the large one-off arrays each claim a
+ * power-of-2 block far bigger than needed, giving em3d the worst
+ * subheap memory overhead (paper Fig. 12).
+ */
+
+#include "vm/libc_model.hh"
+#include "workloads/dsl.hh"
+#include "workloads/workload.hh"
+
+namespace infat {
+namespace workloads {
+
+using namespace ir;
+
+void
+buildEm3d(Module &m)
+{
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    const Type *i64 = tc.i64();
+    const Type *f64 = tc.f64();
+
+    StructType *node = tc.createStruct("node_t");
+    // value, from_count, to_nodes(ptr array), coeffs(f64 array), next
+    node->setBody({f64, i64, tc.ptr(tc.ptr(node)), tc.ptr(f64),
+                   tc.ptr(node)});
+    const Type *nodePtr = tc.ptr(node);
+
+    constexpr int64_t nNodes = 600; // per side
+    constexpr int64_t degree = 8;   // fixed out-degree (paper input)
+    constexpr int64_t iterations = 18;
+
+    // Build one side: a linked list plus a node table for wiring.
+    // The table is a single large malloc (its own oversized subheap
+    // block), as in the original's make_table().
+    {
+        FunctionBuilder fb(m, "make_list", {i64, tc.ptr(tc.ptr(node))},
+                           nodePtr);
+        Value count = fb.arg(0);
+        Value table = fb.arg(1);
+        Value head = fb.var(nodePtr);
+        fb.assign(head, fb.nullPtr(node));
+        ForLoop i(fb, fb.iconst(0), count);
+        Value n = fb.mallocTyped(node);
+        Value seed = fb.call("rand");
+        fb.storeField(n, 0,
+                      fb.fdiv(fb.sitofp(fb.and_(seed, fb.iconst(1023))),
+                              fb.fconst(1024.0)));
+        fb.storeField(n, 1, fb.iconst(degree));
+        fb.storeField(n, 2, fb.mallocTyped(tc.ptr(node),
+                                           fb.iconst(degree)));
+        fb.storeField(n, 3, fb.mallocTyped(f64, fb.iconst(degree)));
+        fb.storeField(n, 4, head);
+        fb.assign(head, n);
+        fb.store(n, fb.elemPtr(table, i.index()));
+        i.finish();
+        fb.ret(head);
+    }
+
+    // Wire each node of `from` to pseudo-random nodes of `to_table`.
+    {
+        FunctionBuilder fb(m, "wire",
+                           {nodePtr, tc.ptr(tc.ptr(node)), i64},
+                           tc.voidTy());
+        Value from = fb.arg(0);
+        Value to_table = fb.arg(1);
+        Value to_count = fb.arg(2);
+        Value cur = fb.var(nodePtr);
+        fb.assign(cur, from);
+        WhileLoop walk(fb);
+        walk.test(fb.ne(cur, fb.iconst(0)));
+        {
+            Value neighbors = fb.loadField(cur, 2);
+            Value coeffs = fb.loadField(cur, 3);
+            ForLoop j(fb, fb.iconst(0), fb.iconst(degree));
+            Value k = fb.srem(fb.call("rand"), to_count);
+            Value target = fb.load(fb.elemPtr(to_table, k));
+            fb.store(target, fb.elemPtr(neighbors, j.index()));
+            fb.store(fb.fconst(0.0078125),
+                     fb.elemPtr(coeffs, j.index()));
+            j.finish();
+        }
+        fb.assign(cur, fb.loadField(cur, 4));
+        walk.finish();
+        fb.retVoid();
+    }
+
+    // One relaxation sweep over a list.
+    {
+        FunctionBuilder fb(m, "relax", {nodePtr}, tc.voidTy());
+        Value cur = fb.var(nodePtr);
+        fb.assign(cur, fb.arg(0));
+        WhileLoop walk(fb);
+        walk.test(fb.ne(cur, fb.iconst(0)));
+        {
+            Value count = fb.loadField(cur, 1);
+            Value neighbors = fb.loadField(cur, 2);
+            Value coeffs = fb.loadField(cur, 3);
+            Value acc = fb.var(f64);
+            fb.assign(acc, fb.loadField(cur, 0));
+            ForLoop j(fb, fb.iconst(0), count);
+            Value other = fb.load(fb.elemPtr(neighbors, j.index()));
+            Value c = fb.load(fb.elemPtr(coeffs, j.index()));
+            fb.assign(acc,
+                      fb.fsub(acc, fb.fmul(c, fb.loadField(other, 0))));
+            j.finish();
+            fb.storeField(cur, 0, acc);
+        }
+        fb.assign(cur, fb.loadField(cur, 4));
+        walk.finish();
+        fb.retVoid();
+    }
+
+    {
+        FunctionBuilder fb(m, "main", {}, i64);
+        fb.call("srand", {fb.iconst(99)});
+        Value e_table = fb.mallocTyped(tc.ptr(node), fb.iconst(nNodes));
+        Value h_table = fb.mallocTyped(tc.ptr(node), fb.iconst(nNodes));
+        Value e_list = fb.call("make_list", {fb.iconst(nNodes),
+                                             e_table});
+        Value h_list = fb.call("make_list", {fb.iconst(nNodes),
+                                             h_table});
+        fb.call("wire", {e_list, h_table, fb.iconst(nNodes)});
+        fb.call("wire", {h_list, e_table, fb.iconst(nNodes)});
+        {
+            ForLoop it(fb, fb.iconst(0), fb.iconst(iterations));
+            fb.call("relax", {e_list});
+            fb.call("relax", {h_list});
+            it.finish();
+        }
+        // Checksum: scaled sum of E values.
+        Value acc = fb.var(f64);
+        fb.assign(acc, fb.fconst(0.0));
+        Value cur = fb.var(nodePtr);
+        fb.assign(cur, e_list);
+        WhileLoop walk(fb);
+        walk.test(fb.ne(cur, fb.iconst(0)));
+        fb.assign(acc, fb.fadd(acc, fb.loadField(cur, 0)));
+        fb.assign(cur, fb.loadField(cur, 4));
+        walk.finish();
+        fb.ret(fb.fptosi(fb.fmul(acc, fb.fconst(4096.0))));
+    }
+}
+
+} // namespace workloads
+} // namespace infat

@@ -1,0 +1,143 @@
+#include "workloads/harness.hh"
+
+#include "compiler/instrument.hh"
+#include "ir/verifier.hh"
+#include "support/logging.hh"
+#include "vm/libc_model.hh"
+#include "vm/machine.hh"
+
+namespace infat {
+namespace workloads {
+
+const char *
+toString(Config config)
+{
+    switch (config) {
+      case Config::Baseline:
+        return "baseline";
+      case Config::Subheap:
+        return "subheap";
+      case Config::Wrapped:
+        return "wrapped";
+      case Config::SubheapNoPromote:
+        return "subheap-np";
+      case Config::WrappedNoPromote:
+        return "wrapped-np";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Execute a built (and possibly instrumented) module; collect stats. */
+RunResult
+execute(const Workload &workload, ir::Module &module,
+        const InstrumentResult *inst, const VmConfig &vm_config)
+{
+    Machine machine(module, inst ? &inst->layouts : nullptr, vm_config);
+    installLibc(machine);
+
+    RunResult result;
+    result.workload = workload.name;
+    result.checksum = machine.run();
+
+    result.instructions = machine.instructions();
+    result.cycles = machine.cycles();
+
+    StatGroup &vm = machine.stats();
+    result.promoteInstrs = vm.value("promote_instrs");
+    result.ifpArith = vm.value("ifp_arith");
+    result.bndLdSt = vm.value("bnd_ldst");
+    result.localObjects = vm.value("local_objects");
+    result.localObjectsWithLayout = vm.value("local_objects_with_layout");
+    result.heapObjects = vm.value("heap_objects");
+    result.heapObjectsWithLayout = vm.value("heap_objects_with_layout");
+    result.globalObjects = vm.value("global_objects_registered");
+    result.globalObjectsWithLayout =
+        vm.value("global_objects_with_layout");
+
+    StatGroup &promote = machine.promoteEngine().stats();
+    result.promotes = promote.value("promotes");
+    result.validPromotes = promote.value("valid_promotes");
+    result.bypassNull = promote.value("bypass_null");
+    result.bypassLegacy = promote.value("bypass_legacy");
+    result.narrowAttempts = promote.value("narrow_attempts");
+    result.narrowSuccess = promote.value("narrow_success");
+    result.narrowFail = promote.value("narrow_fail");
+
+    result.l1dHits = machine.l1d().hits();
+    result.l1dMisses = machine.l1d().misses();
+
+    result.residentBytes = machine.mem().residentBytes();
+    result.heapPeak = machine.runtime().heapPeakFootprint();
+    return result;
+}
+
+} // namespace
+
+RunResult
+runWorkload(const Workload &workload, Config config)
+{
+    ir::Module module;
+    workload.build(module);
+
+    bool instrumented = config != Config::Baseline;
+    InstrumentResult inst;
+    if (instrumented) {
+        inst = instrumentModule(module);
+        ir::verifyOrDie(module);
+    }
+
+    VmConfig vm_config;
+    vm_config.instrumented = instrumented;
+    vm_config.allocator = (config == Config::Subheap ||
+                           config == Config::SubheapNoPromote)
+                              ? AllocatorKind::Subheap
+                              : AllocatorKind::Wrapped;
+    vm_config.ifp.noPromote = config == Config::SubheapNoPromote ||
+                              config == Config::WrappedNoPromote;
+
+    RunResult result = execute(workload, module,
+                               instrumented ? &inst : nullptr,
+                               vm_config);
+    result.config = config;
+    return result;
+}
+
+RunResult
+runWorkloadCustom(const Workload &workload, const CustomRun &custom)
+{
+    ir::Module module;
+    workload.build(module);
+
+    InstrumentResult inst;
+    if (custom.instrumented) {
+        InstrumentOptions options;
+        options.explicitChecks = custom.explicitChecks;
+        inst = instrumentModule(module, options);
+        ir::verifyOrDie(module);
+    }
+
+    VmConfig vm_config;
+    vm_config.instrumented = custom.instrumented;
+    vm_config.allocator = custom.allocator;
+    vm_config.ifp = custom.ifp;
+    vm_config.implicitChecks = custom.implicitChecks;
+    vm_config.superscalar = custom.superscalar;
+    vm_config.useL2 = custom.useL2;
+
+    return execute(workload, module,
+                   custom.instrumented ? &inst : nullptr, vm_config);
+}
+
+RunResult
+runWorkload(std::string_view name, Config config)
+{
+    const Workload *workload = byName(name);
+    fatal_if(workload == nullptr, "unknown workload %.*s",
+             static_cast<int>(name.size()), name.data());
+    return runWorkload(*workload, config);
+}
+
+} // namespace workloads
+} // namespace infat

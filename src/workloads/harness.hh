@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The experiment harness: runs a workload under one of the paper's
+ * five configurations and collects everything Table 4 and Figures
+ * 10-12 report.
+ */
+
+#ifndef INFAT_WORKLOADS_HARNESS_HH
+#define INFAT_WORKLOADS_HARNESS_HH
+
+#include <string>
+
+#include "ifp/config.hh"
+#include "runtime/runtime.hh"
+#include "workloads/workload.hh"
+
+namespace infat {
+namespace workloads {
+
+/** The configurations of §5.2. */
+enum class Config
+{
+    /** Uninstrumented program, glibc-model allocator. */
+    Baseline,
+    /** Instrumented, subheap allocator. */
+    Subheap,
+    /** Instrumented, wrapped allocator. */
+    Wrapped,
+    /** Instrumented, subheap, promote behaves as a nop. */
+    SubheapNoPromote,
+    /** Instrumented, wrapped, promote behaves as a nop. */
+    WrappedNoPromote,
+};
+
+const char *toString(Config config);
+
+struct RunResult
+{
+    std::string workload;
+    Config config = Config::Baseline;
+
+    uint64_t checksum = 0;
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+
+    // Figure 11 categories.
+    uint64_t promoteInstrs = 0;
+    uint64_t ifpArith = 0;
+    uint64_t bndLdSt = 0;
+
+    // Table 4: promote behaviour.
+    uint64_t promotes = 0;
+    uint64_t validPromotes = 0;
+    uint64_t bypassNull = 0;
+    uint64_t bypassLegacy = 0;
+    uint64_t narrowAttempts = 0;
+    uint64_t narrowSuccess = 0;
+    uint64_t narrowFail = 0;
+
+    // Table 4: object instrumentation.
+    uint64_t localObjects = 0;
+    uint64_t localObjectsWithLayout = 0;
+    uint64_t heapObjects = 0;
+    uint64_t heapObjectsWithLayout = 0;
+    uint64_t globalObjects = 0;
+    uint64_t globalObjectsWithLayout = 0;
+
+    // Cache behaviour (§5.2.2 discussion).
+    uint64_t l1dHits = 0;
+    uint64_t l1dMisses = 0;
+
+    // Figure 12.
+    uint64_t residentBytes = 0;
+    uint64_t heapPeak = 0;
+};
+
+/** Build, (optionally) instrument, and execute one workload. */
+RunResult runWorkload(const Workload &workload, Config config);
+
+/** Convenience: run by name (fatal on unknown workload). */
+RunResult runWorkload(std::string_view name, Config config);
+
+/**
+ * Fully parameterized run for ablation studies: any combination of
+ * allocator, IFP feature toggles, check placement, and the §5.2.4
+ * superscalar timing model.
+ */
+struct CustomRun
+{
+    bool instrumented = true;
+    AllocatorKind allocator = AllocatorKind::Subheap;
+    IfpConfig ifp;
+    bool implicitChecks = true;
+    bool explicitChecks = false;
+    bool superscalar = false;
+    bool useL2 = false;
+};
+
+RunResult runWorkloadCustom(const Workload &workload,
+                            const CustomRun &custom);
+
+} // namespace workloads
+} // namespace infat
+
+#endif // INFAT_WORKLOADS_HARNESS_HH

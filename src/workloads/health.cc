@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Olden health: Colombian health-care simulation.
+ *
+ * Preserved behaviours: a 4-ary village tree whose nodes *embed* the
+ * patient queues as struct-typed fields. Taking the address of an
+ * embedded list head produces a pointer with a non-zero subobject
+ * index; when such a pointer is stored and reloaded, the promote must
+ * narrow through the village's layout table. health is the paper's
+ * only workload whose subobject-pointer promotes all narrow
+ * *successfully* (<1% of promotes, Table 4) — this rewrite keeps that
+ * property. Patients are allocated and freed continuously.
+ */
+
+#include "vm/libc_model.hh"
+#include "workloads/dsl.hh"
+#include "workloads/workload.hh"
+
+namespace infat {
+namespace workloads {
+
+using namespace ir;
+
+void
+buildHealth(Module &m)
+{
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    const Type *i64 = tc.i64();
+
+    StructType *patient = tc.createStruct("Patient");
+    // hosps_visited, time, time_left, next
+    patient->setBody({i64, i64, i64, tc.ptr(patient)});
+    const Type *patPtr = tc.ptr(patient);
+
+    StructType *list = tc.createStruct("List");
+    // head, tail, length  (embedded twice in Village)
+    list->setBody({patPtr, patPtr, i64});
+
+    StructType *village = tc.createStruct("Village");
+    // children[4], waiting(List), assess(List), id, seed,
+    // hosp (cached pointer to the embedded assess list)
+    village->setBody({tc.ptr(village), tc.ptr(village), tc.ptr(village),
+                      tc.ptr(village), list, list, i64, i64,
+                      tc.ptr(list)});
+    const Type *vilPtr = tc.ptr(village);
+    const Type *listPtr = tc.ptr(list);
+
+    constexpr int64_t levels = 5;  // 341 villages
+    constexpr int64_t timesteps = 110;
+
+    // --- queue ops on an embedded list (subobject pointers!) ---
+    {
+        FunctionBuilder fb(m, "list_put", {listPtr, patPtr},
+                           tc.voidTy());
+        Value l = fb.arg(0);
+        Value p = fb.arg(1);
+        fb.storeField(p, 3, fb.nullPtr(patient));
+        Value tail = fb.loadField(l, 1);
+        IfElse empty(fb, fb.eq(tail, fb.iconst(0)));
+        fb.storeField(l, 0, p);
+        empty.otherwise();
+        fb.storeField(tail, 3, p);
+        empty.finish();
+        fb.storeField(l, 1, p);
+        fb.storeField(l, 2, fb.addImm(fb.loadField(l, 2), 1));
+        fb.retVoid();
+    }
+    {
+        FunctionBuilder fb(m, "list_get", {listPtr}, patPtr);
+        Value l = fb.arg(0);
+        Value head = fb.loadField(l, 0);
+        IfElse empty(fb, fb.eq(head, fb.iconst(0)));
+        fb.ret(fb.nullPtr(patient));
+        empty.otherwise();
+        Value next = fb.loadField(head, 3);
+        fb.storeField(l, 0, next);
+        IfElse was_last(fb, fb.eq(next, fb.iconst(0)));
+        fb.storeField(l, 1, fb.nullPtr(patient));
+        was_last.finish();
+        fb.storeField(l, 2, fb.addImm(fb.loadField(l, 2), -1));
+        fb.ret(head);
+        empty.finish();
+        fb.trap(1);
+    }
+
+    // --- build the village tree ---
+    {
+        FunctionBuilder fb(m, "make_village", {i64, i64}, vilPtr);
+        Value level = fb.arg(0);
+        Value id = fb.arg(1);
+        IfElse base(fb, fb.sle(level, fb.iconst(0)));
+        fb.ret(fb.nullPtr(village));
+        base.otherwise();
+        Value v = fb.mallocTyped(village);
+        Value next_level = fb.addImm(level, -1);
+        for (unsigned c = 0; c < 4; ++c) {
+            Value cid = fb.addImm(fb.mulImm(id, 4), c + 1);
+            fb.storeField(v, c,
+                          fb.call("make_village", {next_level, cid}));
+        }
+        // Zero the embedded lists.
+        for (unsigned f = 4; f <= 5; ++f) {
+            Value l = fb.fieldPtr(v, f);
+            fb.storeField(l, 0, fb.nullPtr(patient));
+            fb.storeField(l, 1, fb.nullPtr(patient));
+            fb.storeField(l, 2, fb.iconst(0));
+        }
+        fb.storeField(v, 6, id);
+        fb.storeField(v, 7, fb.add(id, fb.iconst(42)));
+        // Cache a pointer to the embedded assess list: reloading it
+        // later forces a promote of a subobject pointer that must
+        // narrow through the village layout table.
+        fb.storeField(v, 8, fb.fieldPtr(v, 5));
+        fb.ret(v);
+        base.finish();
+        fb.trap(2);
+    }
+
+    // --- one simulation step (post-order over the tree) ---
+    // Returns number of patients still in the system below v.
+    {
+        FunctionBuilder fb(m, "sim", {vilPtr}, i64);
+        Value v = fb.arg(0);
+        IfElse null_check(fb, fb.eq(v, fb.iconst(0)));
+        fb.ret(fb.iconst(0));
+        null_check.otherwise();
+        Value load_total = fb.var(i64);
+        fb.assign(load_total, fb.iconst(0));
+        for (unsigned c = 0; c < 4; ++c) {
+            fb.assign(load_total,
+                      fb.add(load_total,
+                             fb.call("sim", {fb.loadField(v, c)})));
+        }
+        // Local PRNG step.
+        Value seed = fb.loadField(v, 7);
+        Value new_seed = fb.and_(
+            fb.addImm(fb.mulImm(seed, 1103515245), 12345),
+            fb.iconst(0x7fffffff));
+        fb.storeField(v, 7, new_seed);
+
+        // Leaf villages generate patients with ~1/3 probability.
+        Value is_leaf = fb.eq(fb.loadField(v, 0), fb.iconst(0));
+        IfElse gen(fb, fb.and_(is_leaf,
+                               fb.eq(fb.srem(new_seed, fb.iconst(3)),
+                                     fb.iconst(0))));
+        {
+            Value p = fb.mallocTyped(patient);
+            fb.storeField(p, 0, fb.iconst(0));
+            fb.storeField(p, 1, fb.iconst(0));
+            fb.storeField(p, 2,
+                          fb.addImm(fb.srem(new_seed, fb.iconst(4)), 1));
+            // &v->waiting escapes into the queue helper: a subobject
+            // pointer that is also stored into the struct by list ops.
+            fb.call("list_put", {fb.fieldPtr(v, 4), p});
+        }
+        gen.finish();
+
+        // Move one waiting patient into assessment, going through
+        // the *stored* subobject pointer (promote + narrowing).
+        Value assess = fb.loadField(v, 8);
+        Value w = fb.call("list_get", {fb.fieldPtr(v, 4)});
+        IfElse has_w(fb, fb.ne(w, fb.iconst(0)));
+        fb.call("list_put", {assess, w});
+        has_w.finish();
+
+        // Treat the head of assessment; done patients either leave or
+        // are referred up (freed here, re-created at the parent by the
+        // caller's count: simplified referral).
+        Value a = fb.call("list_get", {fb.fieldPtr(v, 5)});
+        IfElse has_a(fb, fb.ne(a, fb.iconst(0)));
+        {
+            Value left = fb.addImm(fb.loadField(a, 2), -1);
+            IfElse done(fb, fb.sle(left, fb.iconst(0)));
+            fb.freePtr(a);
+            done.otherwise();
+            fb.storeField(a, 2, left);
+            fb.storeField(a, 1, fb.addImm(fb.loadField(a, 1), 1));
+            fb.call("list_put", {fb.fieldPtr(v, 5), a});
+            fb.assign(load_total, fb.addImm(load_total, 1));
+            done.finish();
+        }
+        has_a.finish();
+
+        Value waiting_len = fb.load(fb.fieldPtr(fb.fieldPtr(v, 4), 2));
+        fb.ret(fb.add(load_total, waiting_len));
+        null_check.finish();
+        fb.trap(3);
+    }
+
+    {
+        FunctionBuilder fb(m, "main", {}, i64);
+        Value top = fb.call("make_village",
+                            {fb.iconst(levels), fb.iconst(0)});
+        Value check = fb.var(i64);
+        fb.assign(check, fb.iconst(0));
+        ForLoop t(fb, fb.iconst(0), fb.iconst(timesteps));
+        Value in_system = fb.call("sim", {top});
+        fb.assign(check, fb.add(fb.mulImm(check, 3), in_system));
+        t.finish();
+        fb.ret(check);
+    }
+}
+
+} // namespace workloads
+} // namespace infat

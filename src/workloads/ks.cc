@@ -1,0 +1,135 @@
+/**
+ * @file
+ * PtrDist ks: Kernighan-Lin netlist bipartitioning.
+ *
+ * Preserved behaviours: modules and nets are connected through
+ * individually-allocated adjacency cells (about 2e3 heap objects, as
+ * in the paper), and each KL pass repeatedly walks those cells to
+ * compute swap gains. Checksum is the final cut cost.
+ */
+
+#include "vm/libc_model.hh"
+#include "workloads/dsl.hh"
+#include "workloads/workload.hh"
+
+namespace infat {
+namespace workloads {
+
+using namespace ir;
+
+void
+buildKs(Module &m)
+{
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    const Type *i64 = tc.i64();
+
+    constexpr int64_t nModules = 96;
+    constexpr int64_t nNets = 240;
+    constexpr int64_t pinsPerNet = 4;
+    constexpr int64_t klPasses = 6;
+
+    StructType *cell = tc.createStruct("NetCell");
+    // module index, next
+    cell->setBody({i64, tc.ptr(cell)});
+    const Type *cellPtr = tc.ptr(cell);
+
+    StructType *net = tc.createStruct("Net");
+    // pin list, pin count
+    net->setBody({cellPtr, i64});
+    const Type *netPtr = tc.ptr(net);
+
+    // Cut cost: a net is cut if it has pins on both sides.
+    {
+        FunctionBuilder fb(m, "cut_cost", {netPtr, i64, tc.ptr(i64)},
+                           i64);
+        Value nets = fb.arg(0);
+        Value count = fb.arg(1);
+        Value side = fb.arg(2);
+        Value cost = fb.var(i64);
+        fb.assign(cost, fb.iconst(0));
+        ForLoop n(fb, fb.iconst(0), count);
+        Value cur_net = fb.elemPtr(nets, n.index());
+        Value left = fb.var(i64);
+        Value right = fb.var(i64);
+        fb.assign(left, fb.iconst(0));
+        fb.assign(right, fb.iconst(0));
+        Value pin = fb.var(cellPtr);
+        fb.assign(pin, fb.loadField(cur_net, 0));
+        WhileLoop pins(fb);
+        pins.test(fb.ne(pin, fb.iconst(0)));
+        Value s = fb.load(fb.elemPtr(side, fb.loadField(pin, 0)));
+        fb.assign(left, fb.add(left, fb.eq(s, fb.iconst(0))));
+        fb.assign(right, fb.add(right, fb.ne(s, fb.iconst(0))));
+        fb.assign(pin, fb.loadField(pin, 1));
+        pins.finish();
+        IfElse cut(fb, fb.and_(fb.sgt(left, fb.iconst(0)),
+                               fb.sgt(right, fb.iconst(0))));
+        fb.assign(cost, fb.addImm(cost, 1));
+        cut.finish();
+        n.finish();
+        fb.ret(cost);
+    }
+
+    {
+        FunctionBuilder fb(m, "main", {}, i64);
+        fb.call("srand", {fb.iconst(808)});
+        Value nets = fb.mallocTyped(net, fb.iconst(nNets));
+        {
+            ForLoop n(fb, fb.iconst(0), fb.iconst(nNets));
+            Value cur = fb.elemPtr(nets, n.index());
+            fb.storeField(cur, 0, fb.nullPtr(cell));
+            fb.storeField(cur, 1, fb.iconst(0));
+            ForLoop p(fb, fb.iconst(0), fb.iconst(pinsPerNet));
+            Value c = fb.mallocTyped(cell);
+            fb.storeField(c, 0, fb.srem(fb.call("rand"),
+                                        fb.iconst(nModules)));
+            fb.storeField(c, 1, fb.loadField(cur, 0));
+            fb.storeField(cur, 0, c);
+            fb.storeField(cur, 1, fb.addImm(fb.loadField(cur, 1), 1));
+            p.finish();
+            n.finish();
+        }
+        // side[i]: 0 = A, 1 = B; initial half/half split.
+        Value side = fb.mallocTyped(i64, fb.iconst(nModules));
+        {
+            ForLoop i(fb, fb.iconst(0), fb.iconst(nModules));
+            fb.store(fb.sge(i.index(), fb.iconst(nModules / 2)),
+                     fb.elemPtr(side, i.index()));
+            i.finish();
+        }
+
+        // KL passes: greedily try swapping (a, b) module pairs and
+        // keep any swap that reduces the cut.
+        Value cost = fb.var(i64);
+        fb.assign(cost, fb.call("cut_cost", {nets, fb.iconst(nNets),
+                                             side}));
+        {
+            ForLoop pass(fb, fb.iconst(0), fb.iconst(klPasses));
+            ForLoop a(fb, fb.iconst(0), fb.iconst(nModules / 2));
+            Value b = fb.add(a.index(), fb.iconst(nModules / 2));
+            // Tentatively swap.
+            Value sa = fb.load(fb.elemPtr(side, a.index()));
+            Value sb = fb.load(fb.elemPtr(side, b));
+            fb.store(sb, fb.elemPtr(side, a.index()));
+            fb.store(sa, fb.elemPtr(side, b));
+            Value new_cost = fb.call(
+                "cut_cost", {nets, fb.iconst(nNets), side});
+            IfElse worse(fb, fb.sge(new_cost, cost));
+            {
+                // Revert.
+                fb.store(sa, fb.elemPtr(side, a.index()));
+                fb.store(sb, fb.elemPtr(side, b));
+            }
+            worse.otherwise();
+            fb.assign(cost, new_cost);
+            worse.finish();
+            a.finish();
+            pass.finish();
+        }
+        fb.ret(cost);
+    }
+}
+
+} // namespace workloads
+} // namespace infat

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Olden mst: minimum spanning tree over per-vertex hash tables.
+ *
+ * Preserved behaviours: the vertex list is a chain of malloc'd structs
+ * and every edge weight lives in a separately-allocated hash-table
+ * entry reached by two pointer hops (vertex -> bucket array -> entry
+ * chain), so the BlueRule scan is dominated by dependent loads. The
+ * promote mix is mostly heap pointers with a sizeable NULL/legacy
+ * bypass share, as the paper reports for mst.
+ */
+
+#include "vm/libc_model.hh"
+#include "workloads/dsl.hh"
+#include "workloads/workload.hh"
+
+namespace infat {
+namespace workloads {
+
+using namespace ir;
+
+void
+buildMst(Module &m)
+{
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    const Type *i64 = tc.i64();
+
+    constexpr int64_t nVertices = 192;
+    constexpr int64_t nBuckets = 8;
+
+    StructType *hashEntry = tc.createStruct("HashEntry");
+    // key (vertex id), weight, next
+    hashEntry->setBody({i64, i64, tc.ptr(hashEntry)});
+    const Type *entryPtr = tc.ptr(hashEntry);
+
+    StructType *vertex = tc.createStruct("Vertex");
+    // id, mindist, buckets(ptr array), next
+    vertex->setBody({i64, i64, tc.ptr(entryPtr), tc.ptr(vertex)});
+    const Type *vtxPtr = tc.ptr(vertex);
+
+    // Insert (key, weight) into a vertex's hash table.
+    {
+        FunctionBuilder fb(m, "hash_insert", {vtxPtr, i64, i64},
+                           tc.voidTy());
+        Value v = fb.arg(0);
+        Value key = fb.arg(1);
+        Value weight = fb.arg(2);
+        Value buckets = fb.loadField(v, 2);
+        Value slot = fb.elemPtr(buckets, fb.srem(key,
+                                                 fb.iconst(nBuckets)));
+        Value e = fb.mallocTyped(hashEntry);
+        fb.storeField(e, 0, key);
+        fb.storeField(e, 1, weight);
+        fb.storeField(e, 2, fb.load(slot));
+        fb.store(e, slot);
+        fb.retVoid();
+    }
+    // Lookup weight of edge to `key`; -1 when absent.
+    {
+        FunctionBuilder fb(m, "hash_find", {vtxPtr, i64}, i64);
+        Value v = fb.arg(0);
+        Value key = fb.arg(1);
+        Value buckets = fb.loadField(v, 2);
+        Value cur = fb.var(entryPtr);
+        fb.assign(cur,
+                  fb.load(fb.elemPtr(buckets,
+                                     fb.srem(key, fb.iconst(nBuckets)))));
+        WhileLoop walk(fb);
+        walk.test(fb.ne(cur, fb.iconst(0)));
+        IfElse hit(fb, fb.eq(fb.loadField(cur, 0), key));
+        fb.ret(fb.loadField(cur, 1));
+        hit.finish();
+        fb.assign(cur, fb.loadField(cur, 2));
+        walk.finish();
+        fb.ret(fb.iconst(-1));
+    }
+
+    // Deterministic symmetric edge weight.
+    {
+        FunctionBuilder fb(m, "edge_weight", {i64, i64}, i64);
+        Value a = fb.arg(0);
+        Value b = fb.arg(1);
+        Value mixed = fb.xor_(fb.mulImm(fb.add(a, b), 2654435761),
+                              fb.mul(a, b));
+        fb.ret(fb.addImm(fb.and_(mixed, fb.iconst(1023)), 1));
+    }
+
+    {
+        FunctionBuilder fb(m, "make_graph", {}, vtxPtr);
+        Value head = fb.var(vtxPtr);
+        fb.assign(head, fb.nullPtr(vertex));
+        Value vertices = fb.mallocTyped(tc.ptr(vertex),
+                                        fb.iconst(nVertices));
+        {
+            ForLoop i(fb, fb.iconst(0), fb.iconst(nVertices));
+            Value v = fb.mallocTyped(vertex);
+            fb.storeField(v, 0, i.index());
+            fb.storeField(v, 1, fb.iconst(1 << 30));
+            Value buckets = fb.mallocTyped(entryPtr,
+                                           fb.iconst(nBuckets));
+            {
+                ForLoop b(fb, fb.iconst(0), fb.iconst(nBuckets));
+                fb.store(fb.nullPtr(hashEntry),
+                         fb.elemPtr(buckets, b.index()));
+                b.finish();
+            }
+            fb.storeField(v, 2, buckets);
+            fb.storeField(v, 3, head);
+            fb.assign(head, v);
+            fb.store(v, fb.elemPtr(vertices, i.index()));
+            i.finish();
+        }
+        // Sparse edges: each vertex connects to ~12 pseudo-random
+        // others (weights symmetric by construction).
+        {
+            ForLoop i(fb, fb.iconst(0), fb.iconst(nVertices));
+            ForLoop k(fb, fb.iconst(1), fb.iconst(13));
+            Value j = fb.srem(
+                fb.xor_(fb.mulImm(i.index(), 31),
+                        fb.mulImm(k.index(), 2246822519)),
+                fb.iconst(nVertices));
+            IfElse self(fb, fb.eq(j, i.index()));
+            self.otherwise();
+            Value w = fb.call("edge_weight", {i.index(), j});
+            fb.call("hash_insert",
+                    {fb.load(fb.elemPtr(vertices, i.index())), j, w});
+            fb.call("hash_insert",
+                    {fb.load(fb.elemPtr(vertices, j)), i.index(), w});
+            self.finish();
+            k.finish();
+            i.finish();
+        }
+        fb.freePtr(vertices);
+        fb.ret(head);
+    }
+
+    // Prim's algorithm over the vertex list (BlueRule scans).
+    {
+        FunctionBuilder fb(m, "compute_mst", {vtxPtr}, i64);
+        Value graph = fb.arg(0);
+        Value total = fb.var(i64);
+        fb.assign(total, fb.iconst(0));
+        // Take the first vertex into the tree.
+        Value in_tree_id = fb.var(i64);
+        fb.assign(in_tree_id, fb.loadField(graph, 0));
+        fb.storeField(graph, 1, fb.iconst(-1)); // mark in tree
+        ForLoop round(fb, fb.iconst(1), fb.iconst(nVertices));
+        {
+            // Relax distances against the vertex added last round.
+            Value cur = fb.var(vtxPtr);
+            fb.assign(cur, graph);
+            WhileLoop scan(fb);
+            scan.test(fb.ne(cur, fb.iconst(0)));
+            {
+                Value dist = fb.loadField(cur, 1);
+                IfElse not_in_tree(fb, fb.sge(dist, fb.iconst(0)));
+                Value w = fb.call("hash_find", {cur, in_tree_id});
+                IfElse better(fb,
+                              fb.and_(fb.sge(w, fb.iconst(0)),
+                                      fb.slt(w, dist)));
+                fb.storeField(cur, 1, w);
+                better.finish();
+                not_in_tree.finish();
+            }
+            fb.assign(cur, fb.loadField(cur, 3));
+            scan.finish();
+
+            // Pick the closest fringe vertex.
+            Value best = fb.var(vtxPtr);
+            Value best_d = fb.var(i64);
+            fb.assign(best, fb.nullPtr(vertex));
+            fb.assign(best_d, fb.iconst(1 << 30));
+            fb.assign(cur, graph);
+            WhileLoop pick(fb);
+            pick.test(fb.ne(cur, fb.iconst(0)));
+            {
+                Value dist = fb.loadField(cur, 1);
+                IfElse cand(fb, fb.and_(fb.sge(dist, fb.iconst(0)),
+                                        fb.slt(dist, best_d)));
+                fb.assign(best, cur);
+                fb.assign(best_d, dist);
+                cand.finish();
+            }
+            fb.assign(cur, fb.loadField(cur, 3));
+            pick.finish();
+
+            IfElse found(fb, fb.ne(best, fb.iconst(0)));
+            fb.assign(total, fb.add(total, best_d));
+            fb.assign(in_tree_id, fb.loadField(best, 0));
+            fb.storeField(best, 1, fb.iconst(-1));
+            found.otherwise();
+            fb.jmp(round.breakTarget());
+            found.finish();
+        }
+        round.finish();
+        fb.ret(total);
+    }
+
+    {
+        FunctionBuilder fb(m, "main", {}, i64);
+        Value graph = fb.call("make_graph");
+        fb.ret(fb.call("compute_mst", {graph}));
+    }
+}
+
+} // namespace workloads
+} // namespace infat

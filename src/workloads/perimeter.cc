@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Olden perimeter: quadtree over a raster image, perimeter estimate.
+ *
+ * Preserved behaviours: the program is dominated by allocating quadtree
+ * nodes (1.4e6 heap objects in the paper) of one fixed type, which is
+ * the best case for the subheap allocator's size-class pooling — the
+ * subheap configuration outruns the baseline, as the paper reports.
+ * The neighbour-finding perimeter algorithm is simplified to a
+ * recursive contribution count at colour boundaries (DESIGN.md §4).
+ */
+
+#include "vm/libc_model.hh"
+#include "workloads/dsl.hh"
+#include "workloads/workload.hh"
+
+namespace infat {
+namespace workloads {
+
+using namespace ir;
+
+void
+buildPerimeter(Module &m)
+{
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    const Type *i64 = tc.i64();
+    // color: 0 white, 1 black, 2 grey (has children)
+    StructType *quad = tc.createStruct("QuadTree");
+    quad->setBody({i64 /*color*/, tc.ptr(quad), tc.ptr(quad),
+                   tc.ptr(quad), tc.ptr(quad)});
+    const Type *quadPtr = tc.ptr(quad);
+
+    constexpr int64_t levels = 8; // up to 4^8 leaves
+    constexpr int64_t size = 1 << levels;
+
+    // Inside-circle test on the implicit raster.
+    {
+        FunctionBuilder fb(m, "pixel", {i64, i64}, i64);
+        Value x = fb.arg(0);
+        Value y = fb.arg(1);
+        Value cx = fb.addImm(x, -size / 2);
+        Value cy = fb.addImm(y, -size / 2);
+        Value d2 = fb.add(fb.mul(cx, cx), fb.mul(cy, cy));
+        fb.ret(fb.slt(d2, fb.iconst((size / 2 - 2) * (size / 2 - 2))));
+    }
+
+    // Recursive build: uniform regions become leaves.
+    {
+        FunctionBuilder fb(m, "build", {i64, i64, i64}, quadPtr);
+        Value x = fb.arg(0);
+        Value y = fb.arg(1);
+        Value extent = fb.arg(2);
+        Value n = fb.mallocTyped(quad);
+
+        IfElse base(fb, fb.eq(extent, fb.iconst(1)));
+        {
+            fb.storeField(n, 0, fb.call("pixel", {x, y}));
+            fb.storeField(n, 1, fb.nullPtr(quad));
+            fb.storeField(n, 2, fb.nullPtr(quad));
+            fb.storeField(n, 3, fb.nullPtr(quad));
+            fb.storeField(n, 4, fb.nullPtr(quad));
+            fb.ret(n);
+        }
+        base.otherwise();
+        {
+            // Quick uniformity probe at the four corners and centre.
+            Value half = fb.ashr(extent, fb.iconst(1));
+            Value e1 = fb.addImm(extent, -1);
+            Value c0 = fb.call("pixel", {x, y});
+            Value c1 = fb.call("pixel", {fb.add(x, e1), y});
+            Value c2 = fb.call("pixel", {x, fb.add(y, e1)});
+            Value c3 = fb.call("pixel", {fb.add(x, e1), fb.add(y, e1)});
+            Value c4 =
+                fb.call("pixel", {fb.add(x, half), fb.add(y, half)});
+            Value all = fb.and_(fb.and_(c0, c1),
+                                fb.and_(c2, fb.and_(c3, c4)));
+            Value none = fb.eq(fb.or_(fb.or_(c0, c1),
+                                      fb.or_(c2, fb.or_(c3, c4))),
+                               fb.iconst(0));
+            // Uniform probes below a cutoff extent: make a leaf.
+            Value small = fb.sle(extent, fb.iconst(8));
+            IfElse uniform(fb,
+                           fb.and_(small, fb.or_(all, none)));
+            {
+                fb.storeField(n, 0, c4);
+                fb.storeField(n, 1, fb.nullPtr(quad));
+                fb.storeField(n, 2, fb.nullPtr(quad));
+                fb.storeField(n, 3, fb.nullPtr(quad));
+                fb.storeField(n, 4, fb.nullPtr(quad));
+                fb.ret(n);
+            }
+            uniform.otherwise();
+            {
+                fb.storeField(n, 0, fb.iconst(2)); // grey
+                Value xh = fb.add(x, half);
+                Value yh = fb.add(y, half);
+                fb.storeField(n, 1, fb.call("build", {x, y, half}));
+                fb.storeField(n, 2, fb.call("build", {xh, y, half}));
+                fb.storeField(n, 3, fb.call("build", {x, yh, half}));
+                fb.storeField(n, 4, fb.call("build", {xh, yh, half}));
+                fb.ret(n);
+            }
+            uniform.finish();
+        }
+        base.finish();
+        fb.trap(1);
+    }
+
+    // Simplified perimeter: count black/white sibling boundaries,
+    // weighted by region extent.
+    {
+        FunctionBuilder fb(m, "perim", {quadPtr, i64}, i64);
+        Value t = fb.arg(0);
+        Value extent = fb.arg(1);
+        IfElse null_check(fb, fb.eq(t, fb.iconst(0)));
+        fb.ret(fb.iconst(0));
+        null_check.otherwise();
+        Value color = fb.loadField(t, 0);
+        IfElse leaf(fb, fb.ne(color, fb.iconst(2)));
+        fb.ret(fb.iconst(0));
+        leaf.otherwise();
+        Value half = fb.ashr(extent, fb.iconst(1));
+        Value total = fb.var(i64);
+        fb.assign(total, fb.iconst(0));
+        // Horizontal and vertical sibling boundary contributions.
+        auto boundary = [&](unsigned a, unsigned b) {
+            Value ca = fb.loadField(fb.loadField(t, a), 0);
+            Value cb = fb.loadField(fb.loadField(t, b), 0);
+            Value differs = fb.and_(
+                fb.and_(fb.ne(ca, fb.iconst(2)), fb.ne(cb, fb.iconst(2))),
+                fb.ne(ca, cb));
+            fb.assign(total,
+                      fb.add(total, fb.select(differs, half,
+                                              fb.iconst(0))));
+        };
+        boundary(1, 2);
+        boundary(3, 4);
+        boundary(1, 3);
+        boundary(2, 4);
+        for (unsigned child = 1; child <= 4; ++child) {
+            fb.assign(total,
+                      fb.add(total, fb.call("perim",
+                                            {fb.loadField(t, child),
+                                             half})));
+        }
+        fb.ret(total);
+        leaf.finish();
+        null_check.finish();
+        fb.trap(2);
+    }
+
+    {
+        FunctionBuilder fb(m, "main", {}, i64);
+        Value root = fb.call("build", {fb.iconst(0), fb.iconst(0),
+                                       fb.iconst(size)});
+        Value p = fb.call("perim", {root, fb.iconst(size)});
+        fb.ret(p);
+    }
+}
+
+} // namespace workloads
+} // namespace infat

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Olden power: power-system pricing over a fixed three-level tree.
+ *
+ * Preserved behaviours: a root -> lateral -> branch -> leaf structure
+ * built once (moderate allocation count) and then repeatedly swept by
+ * floating-point optimization passes; almost no promote traffic in the
+ * steady state (bounds travel through call arguments), matching the
+ * paper's "100% valid promotes, tiny count" row.
+ */
+
+#include "vm/libc_model.hh"
+#include "workloads/dsl.hh"
+#include "workloads/workload.hh"
+
+namespace infat {
+namespace workloads {
+
+using namespace ir;
+
+void
+buildPower(Module &m)
+{
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    const Type *i64 = tc.i64();
+    const Type *f64 = tc.f64();
+
+    StructType *leaf = tc.createStruct("Leaf");
+    leaf->setBody({f64 /*pi_R*/, f64 /*pi_I*/});
+    StructType *branch = tc.createStruct("Branch");
+    branch->setBody({f64 /*R*/, f64 /*X*/, tc.ptr(leaf), i64 /*nleaf*/,
+                     tc.ptr(branch) /*next*/});
+    StructType *lateral = tc.createStruct("Lateral");
+    lateral->setBody({f64 /*R*/, f64 /*X*/, tc.ptr(branch),
+                      tc.ptr(lateral) /*next*/});
+    StructType *root = tc.createStruct("Root");
+    root->setBody({f64 /*theta_R*/, f64 /*theta_I*/, tc.ptr(lateral)});
+
+    constexpr int64_t numLaterals = 24;
+    constexpr int64_t numBranches = 10;
+    constexpr int64_t numLeaves = 24;
+    constexpr int64_t iterations = 10;
+
+    {
+        FunctionBuilder fb(m, "build_branch", {}, tc.ptr(branch));
+        Value b = fb.mallocTyped(branch);
+        fb.storeField(b, 0, fb.fconst(0.0001));
+        fb.storeField(b, 1, fb.fconst(0.00002));
+        Value leaves = fb.mallocTyped(leaf, fb.iconst(numLeaves));
+        ForLoop i(fb, fb.iconst(0), fb.iconst(numLeaves));
+        Value cell = fb.elemPtr(leaves, i.index());
+        fb.storeField(cell, 0, fb.fconst(1.0));
+        fb.storeField(cell, 1, fb.fconst(1.0));
+        i.finish();
+        fb.storeField(b, 2, leaves);
+        fb.storeField(b, 3, fb.iconst(numLeaves));
+        fb.storeField(b, 4, fb.nullPtr(branch));
+        fb.ret(b);
+    }
+    {
+        FunctionBuilder fb(m, "build_lateral", {}, tc.ptr(lateral));
+        Value l = fb.mallocTyped(lateral);
+        fb.storeField(l, 0, fb.fconst(0.0003));
+        fb.storeField(l, 1, fb.fconst(0.00006));
+        Value head = fb.var(tc.ptr(branch));
+        fb.assign(head, fb.nullPtr(branch));
+        ForLoop i(fb, fb.iconst(0), fb.iconst(numBranches));
+        Value b = fb.call("build_branch");
+        fb.storeField(b, 4, head);
+        fb.assign(head, b);
+        i.finish();
+        fb.storeField(l, 2, head);
+        fb.storeField(l, 3, fb.nullPtr(lateral));
+        fb.ret(l);
+    }
+
+    // One optimization sweep over a branch: returns complex demand.
+    // Demand is accumulated into caller-provided out-params, which
+    // keeps pointer arguments (and their bounds) flowing through calls.
+    {
+        FunctionBuilder fb(m, "compute_branch",
+                           {tc.ptr(branch), f64, tc.ptr(f64), tc.ptr(f64)},
+                           tc.voidTy());
+        Value b = fb.arg(0);
+        Value price = fb.arg(1);
+        Value out_r = fb.arg(2);
+        Value out_i = fb.arg(3);
+        Value dr = fb.var(f64);
+        Value di = fb.var(f64);
+        fb.assign(dr, fb.fconst(0.0));
+        fb.assign(di, fb.fconst(0.0));
+        Value leaves = fb.loadField(b, 2);
+        Value n = fb.loadField(b, 3);
+        ForLoop i(fb, fb.iconst(0), n);
+        Value cell = fb.elemPtr(leaves, i.index());
+        Value pr = fb.loadField(cell, 0);
+        Value pi = fb.loadField(cell, 1);
+        // Optimal leaf demand given the price signal.
+        Value demand = fb.fdiv(fb.fconst(1.0),
+                               fb.fadd(price, fb.fadd(pr, pi)));
+        fb.storeField(cell, 0, fb.fmul(pr, fb.fconst(0.999)));
+        fb.storeField(cell, 1, fb.fmul(pi, fb.fconst(1.001)));
+        fb.assign(dr, fb.fadd(dr, demand));
+        fb.assign(di, fb.fadd(di, fb.fmul(demand, fb.fconst(0.2))));
+        i.finish();
+        // Line losses.
+        Value r = fb.loadField(b, 0);
+        Value x = fb.loadField(b, 1);
+        Value mag = fb.fadd(fb.fmul(dr, dr), fb.fmul(di, di));
+        fb.store(fb.fadd(fb.load(out_r), fb.fadd(dr, fb.fmul(mag, r))),
+                 out_r);
+        fb.store(fb.fadd(fb.load(out_i), fb.fadd(di, fb.fmul(mag, x))),
+                 out_i);
+        fb.retVoid();
+    }
+    {
+        FunctionBuilder fb(m, "compute_lateral",
+                           {tc.ptr(lateral), f64, tc.ptr(f64),
+                            tc.ptr(f64)},
+                           tc.voidTy());
+        Value l = fb.arg(0);
+        Value price = fb.arg(1);
+        Value cur = fb.var(tc.ptr(branch));
+        fb.assign(cur, fb.loadField(l, 2));
+        WhileLoop walk(fb);
+        walk.test(fb.ne(cur, fb.iconst(0)));
+        fb.call("compute_branch", {cur, price, fb.arg(2), fb.arg(3)});
+        fb.assign(cur, fb.loadField(cur, 4));
+        walk.finish();
+        fb.retVoid();
+    }
+
+    {
+        FunctionBuilder fb(m, "main", {}, i64);
+        Value r = fb.mallocTyped(root);
+        fb.storeField(r, 0, fb.fconst(0.7));
+        fb.storeField(r, 1, fb.fconst(0.2));
+        Value head = fb.var(tc.ptr(lateral));
+        fb.assign(head, fb.nullPtr(lateral));
+        {
+            ForLoop i(fb, fb.iconst(0), fb.iconst(numLaterals));
+            Value l = fb.call("build_lateral");
+            fb.storeField(l, 3, head);
+            fb.assign(head, l);
+            i.finish();
+        }
+        fb.storeField(r, 2, head);
+
+        Value acc_r = fb.stackAlloc(f64);
+        Value acc_i = fb.stackAlloc(f64);
+        Value price = fb.var(f64);
+        fb.assign(price, fb.fconst(0.5));
+        {
+            ForLoop it(fb, fb.iconst(0), fb.iconst(iterations));
+            fb.store(fb.fconst(0.0), acc_r);
+            fb.store(fb.fconst(0.0), acc_i);
+            Value cur = fb.var(tc.ptr(lateral));
+            fb.assign(cur, fb.loadField(r, 2));
+            WhileLoop walk(fb);
+            walk.test(fb.ne(cur, fb.iconst(0)));
+            fb.call("compute_lateral", {cur, price, acc_r, acc_i});
+            fb.assign(cur, fb.loadField(cur, 3));
+            walk.finish();
+            // Gradient step on the price from total demand.
+            Value total = fb.load(acc_r);
+            fb.assign(price,
+                      fb.fadd(price,
+                              fb.fmul(fb.fsub(total, fb.fconst(900.0)),
+                                      fb.fconst(0.000001))));
+            it.finish();
+        }
+        // Fixed-point checksum of the converged state.
+        Value scaled = fb.fmul(fb.load(acc_r), fb.fconst(1e6));
+        fb.ret(fb.fptosi(scaled));
+    }
+}
+
+} // namespace workloads
+} // namespace infat

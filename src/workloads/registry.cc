@@ -1,0 +1,99 @@
+#include "workloads/workload.hh"
+
+namespace infat {
+namespace workloads {
+
+const std::vector<Workload> &
+all()
+{
+    static const std::vector<Workload> workloads = {
+        {"bh", "olden",
+         "2-D Barnes-Hut with per-call stack vector temporaries "
+         "(dominant local-object count, as in the paper)",
+         buildBh},
+        {"bisort", "olden",
+         "bitonic sort over a perfect binary tree of heap nodes",
+         buildBisort},
+        {"em3d", "olden",
+         "bipartite E/H graph relaxation; neighbour arrays are "
+         "malloc(n*sizeof(T)) allocations (drives subheap memory "
+         "overhead)",
+         buildEm3d},
+        {"health", "olden",
+         "hospital queue simulation; list heads embedded in the "
+         "village struct give promotes of subobject pointers that "
+         "narrow successfully",
+         buildHealth},
+        {"mst", "olden",
+         "Prim's MST over per-vertex hash tables of heap nodes",
+         buildMst},
+        {"perimeter", "olden",
+         "quadtree build + perimeter estimate; allocation-heavy "
+         "(subheap allocator outruns the baseline, as in the paper)",
+         buildPerimeter},
+        {"power", "olden",
+         "fixed 3-level pricing tree with floating-point optimization "
+         "passes",
+         buildPower},
+        {"treeadd", "olden",
+         "binary tree build + recursive sum; allocation-dominated",
+         buildTreeadd},
+        {"tsp", "olden",
+         "divide-and-conquer tour construction over a point tree with "
+         "circular doubly-linked tours",
+         buildTsp},
+        {"voronoi", "olden",
+         "SUBSTITUTION: full Delaunay D&C replaced by kd-tree "
+         "nearest-neighbour edge construction with linked edge records",
+         buildVoronoi},
+        {"anagram", "ptrdist",
+         "dictionary anagram search; isalpha via the __ctype_b_loc "
+         "double-pointer pattern (legacy-pointer promotes)",
+         buildAnagram},
+        {"ft", "ptrdist",
+         "minimum spanning tree via a pointer-based heap of malloc'd "
+         "nodes (cache-thrashing, metadata sharing matters)",
+         buildFt},
+        {"ks", "ptrdist",
+         "Kernighan-Lin graph partitioning with malloc'd adjacency "
+         "nodes",
+         buildKs},
+        {"yacr2", "ptrdist",
+         "channel routing simplified to VCG-constrained track "
+         "assignment; few, mostly-array allocations",
+         buildYacr2},
+        {"wolfcrypt-dh", "other",
+         "Diffie-Hellman modexp over schoolbook bignums; allocation "
+         "goes through a wrapper invoked by function pointer, so no "
+         "layout tables (as the paper reports)",
+         buildWolfcryptDh},
+        {"sjeng", "other",
+         "small negamax chess search; per-node move lists are "
+         "escaping stack arrays (dominant local-object count)",
+         buildSjeng},
+        {"coremark", "other",
+         "list/matrix/state-machine kernels inside one arena "
+         "allocation via a wrapper; subobject promotes whose "
+         "narrowing fails (no layout table), as the paper reports",
+         buildCoremark},
+        {"bzip2", "other",
+         "RLE+MTF compressor; state allocated via function-pointer "
+         "alloc wrapper, field pointers stored/reloaded (subobject "
+         "promotes, failed narrowing)",
+         buildBzip2},
+    };
+    return workloads;
+}
+
+const Workload *
+byName(std::string_view name)
+{
+    for (const Workload &w : all()) {
+        if (name == w.name)
+            return &w;
+    }
+    return nullptr;
+}
+
+} // namespace workloads
+} // namespace infat

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * 458.sjeng (scaled): alpha-beta game-tree search on a small board.
+ *
+ * Preserved behaviours: the board and history tables are globals whose
+ * addresses escape into helper functions (sjeng instruments a handful
+ * of globals, one via the global-table scheme because it is large),
+ * and every search node fills a *stack-allocated move list* whose
+ * address is passed to the move generator — the source of sjeng's
+ * 4.7e6 local-object registrations in Table 4. The game is a 5x5
+ * capture variant searched to fixed depth.
+ */
+
+#include "vm/libc_model.hh"
+#include "workloads/dsl.hh"
+#include "workloads/workload.hh"
+
+namespace infat {
+namespace workloads {
+
+using namespace ir;
+
+void
+buildSjeng(Module &m)
+{
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    const Type *i64 = tc.i64();
+
+    constexpr int64_t boardSize = 25; // 5x5
+    constexpr int64_t maxMoves = 32;
+    constexpr int64_t searchDepth = 5;
+
+    // Globals: the board, and a large history table that exceeds the
+    // local-offset size limit (forced into the global-table scheme).
+    GlobalId board_g = m.addGlobal("board", tc.array(i64, boardSize));
+    GlobalId history_g =
+        m.addGlobal("history", tc.array(i64, boardSize * boardSize));
+    // sjeng accesses its tables through pointer globals; reloading
+    // them inside the search is what generates its promote traffic.
+    GlobalId hist_ptr_g = m.addGlobal("hist_ptr", tc.ptr(i64));
+
+    // Generate pseudo-moves for `side` into the caller's move array;
+    // returns the count. Moves are encoded as from*32 + to.
+    {
+        FunctionBuilder fb(m, "gen_moves",
+                           {tc.ptr(i64), tc.ptr(i64), i64}, i64);
+        Value board = fb.arg(0);
+        Value moves = fb.arg(1);
+        Value side = fb.arg(2);
+        Value count = fb.var(i64);
+        fb.assign(count, fb.iconst(0));
+        ForLoop sq(fb, fb.iconst(0), fb.iconst(boardSize));
+        {
+            Value piece = fb.load(fb.elemPtr(board, sq.index()));
+            IfElse mine(fb, fb.eq(piece, side));
+            {
+                // Orthogonal steps; stay on the 5x5 grid.
+                struct Step { int64_t d, colGuard; };
+                const Step steps[4] = {{1, 4}, {-1, 0}, {5, -1},
+                                       {-5, -1}};
+                for (const Step &s : steps) {
+                    Value to = fb.addImm(sq.index(), s.d);
+                    Value on_board =
+                        fb.and_(fb.sge(to, fb.iconst(0)),
+                                fb.slt(to, fb.iconst(boardSize)));
+                    Value col_ok = fb.iconst(1);
+                    if (s.colGuard >= 0) {
+                        col_ok = fb.ne(fb.srem(sq.index(),
+                                               fb.iconst(5)),
+                                       fb.iconst(s.colGuard));
+                    }
+                    IfElse legal(fb, fb.and_(on_board, col_ok));
+                    {
+                        Value target = fb.load(fb.elemPtr(board, to));
+                        IfElse open(fb, fb.ne(target, side));
+                        {
+                            Value code =
+                                fb.add(fb.mulImm(sq.index(), 32), to);
+                            IfElse room(fb, fb.slt(count,
+                                                   fb.iconst(maxMoves)));
+                            fb.store(code, fb.elemPtr(moves, count));
+                            fb.assign(count, fb.addImm(count, 1));
+                            room.finish();
+                        }
+                        open.finish();
+                    }
+                    legal.finish();
+                }
+            }
+            mine.finish();
+        }
+        sq.finish();
+        fb.ret(count);
+    }
+
+    // Material + history evaluation.
+    {
+        FunctionBuilder fb(m, "evaluate", {tc.ptr(i64), i64}, i64);
+        Value board = fb.arg(0);
+        Value side = fb.arg(1);
+        Value score = fb.var(i64);
+        fb.assign(score, fb.iconst(0));
+        ForLoop sq(fb, fb.iconst(0), fb.iconst(boardSize));
+        Value piece = fb.load(fb.elemPtr(board, sq.index()));
+        fb.assign(score,
+                  fb.add(score,
+                         fb.sub(fb.eq(piece, side),
+                                fb.eq(piece, fb.sub(fb.iconst(3),
+                                                    side)))));
+        sq.finish();
+        fb.ret(fb.mulImm(score, 100));
+    }
+
+    // Negamax with a per-node stack move list.
+    {
+        FunctionBuilder fb(m, "search", {tc.ptr(i64), i64, i64, i64,
+                                         i64},
+                           i64);
+        Value board = fb.arg(0);
+        Value depth = fb.arg(1);
+        Value alpha = fb.var(i64);
+        fb.assign(alpha, fb.arg(2));
+        Value beta = fb.arg(3);
+        Value side = fb.arg(4);
+        IfElse leaf(fb, fb.sle(depth, fb.iconst(0)));
+        fb.ret(fb.call("evaluate", {board, side}));
+        leaf.otherwise();
+        // Escaping stack array: one registration per search node.
+        Value moves = fb.stackAlloc(i64, maxMoves);
+        Value count = fb.call("gen_moves", {board, moves, side});
+        IfElse none(fb, fb.eq(count, fb.iconst(0)));
+        fb.ret(fb.iconst(-9999));
+        none.otherwise();
+        Value best = fb.var(i64);
+        fb.assign(best, fb.iconst(-100000));
+        // Reload the history pointer from its global slot: a promote
+        // of a pointer to the large (global-table scheme) history.
+        Value hist = fb.load(fb.globalAddr(hist_ptr_g));
+        ForLoop i(fb, fb.iconst(0), count);
+        {
+            Value code = fb.load(fb.elemPtr(moves, i.index()));
+            Value from = fb.sdiv(code, fb.iconst(32));
+            Value to = fb.srem(code, fb.iconst(32));
+            // Make the move.
+            Value from_slot = fb.elemPtr(board, from);
+            Value to_slot = fb.elemPtr(board, to);
+            Value captured = fb.load(to_slot);
+            Value mover = fb.load(from_slot);
+            fb.store(fb.iconst(0), from_slot);
+            fb.store(mover, to_slot);
+            Value score = fb.sub(
+                fb.iconst(0),
+                fb.call("search",
+                        {board, fb.addImm(depth, -1),
+                         fb.sub(fb.iconst(0), beta),
+                         fb.sub(fb.iconst(0), alpha),
+                         fb.sub(fb.iconst(3), side)}));
+            // Unmake.
+            fb.store(mover, from_slot);
+            fb.store(captured, to_slot);
+            IfElse improve(fb, fb.sgt(score, best));
+            fb.assign(best, score);
+            // History heuristic update (large global array).
+            Value h = fb.elemPtr(
+                fb.ptrCast(hist, i64),
+                fb.add(fb.mulImm(from, boardSize), to));
+            fb.store(fb.add(fb.load(h), depth), h);
+            improve.finish();
+            IfElse raise(fb, fb.sgt(score, alpha));
+            fb.assign(alpha, score);
+            raise.finish();
+            IfElse cut(fb, fb.sge(alpha, beta));
+            fb.jmp(i.breakTarget());
+            cut.finish();
+        }
+        i.finish();
+        fb.ret(best);
+        none.finish();
+        leaf.finish();
+        fb.trap(1);
+    }
+
+    {
+        FunctionBuilder fb(m, "main", {}, i64);
+        Value board = fb.ptrCast(fb.globalAddr(board_g), i64);
+        fb.store(fb.ptrCast(fb.globalAddr(history_g), i64),
+                 fb.globalAddr(hist_ptr_g));
+        // Initial position: side 1 on the top two rows, side 2 on the
+        // bottom two.
+        ForLoop sq(fb, fb.iconst(0), fb.iconst(boardSize));
+        Value row = fb.sdiv(sq.index(), fb.iconst(5));
+        Value piece = fb.select(
+            fb.sle(row, fb.iconst(1)), fb.iconst(1),
+            fb.select(fb.sge(row, fb.iconst(3)), fb.iconst(2),
+                      fb.iconst(0)));
+        fb.store(piece, fb.elemPtr(board, sq.index()));
+        sq.finish();
+        Value score = fb.call("search",
+                              {board, fb.iconst(searchDepth),
+                               fb.iconst(-100000), fb.iconst(100000),
+                               fb.iconst(1)});
+        // Mix in a history-table digest.
+        Value hist = fb.ptrCast(fb.globalAddr(history_g), i64);
+        Value digest = fb.var(i64);
+        fb.assign(digest, fb.iconst(0));
+        ForLoop h(fb, fb.iconst(0), fb.iconst(boardSize * boardSize));
+        fb.assign(digest, fb.add(fb.mulImm(digest, 3),
+                                 fb.load(fb.elemPtr(hist, h.index()))));
+        h.finish();
+        fb.ret(fb.add(score, digest));
+    }
+}
+
+} // namespace workloads
+} // namespace infat

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Olden treeadd: build a binary tree, sum it recursively.
+ *
+ * Preserved behaviours: every node is an individual
+ * malloc(sizeof(tree_t)) (2.1e6 in the paper, scaled down here), the
+ * hot loop is pure pointer chasing, and the instruction mix is
+ * dominated by the allocator during the build phase — which is why the
+ * subheap allocator beats the glibc baseline on this program.
+ */
+
+#include "vm/libc_model.hh"
+#include "workloads/dsl.hh"
+#include "workloads/workload.hh"
+
+namespace infat {
+namespace workloads {
+
+using namespace ir;
+
+void
+buildTreeadd(Module &m)
+{
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    StructType *node = tc.createStruct("tree_t");
+    node->setBody({tc.i64(), tc.ptr(node), tc.ptr(node)});
+    const Type *nodePtr = tc.ptr(node);
+
+    constexpr int64_t depth = 16;
+    constexpr int64_t passes = 4;
+
+    {
+        FunctionBuilder fb(m, "tree_alloc", {tc.i64()}, nodePtr);
+        Value level = fb.arg(0);
+        IfElse leaf(fb, fb.sle(level, fb.iconst(0)));
+        fb.ret(fb.nullPtr(node));
+        leaf.otherwise();
+        Value n = fb.mallocTyped(node);
+        fb.storeField(n, 0, fb.iconst(1));
+        Value next = fb.addImm(level, -1);
+        fb.storeField(n, 1, fb.call("tree_alloc", {next}));
+        fb.storeField(n, 2, fb.call("tree_alloc", {next}));
+        fb.ret(n);
+        leaf.finish();
+        fb.trap(1); // unreachable
+    }
+    {
+        FunctionBuilder fb(m, "tree_add", {nodePtr}, tc.i64());
+        Value t = fb.arg(0);
+        IfElse null_check(fb, fb.eq(t, fb.iconst(0)));
+        fb.ret(fb.iconst(0));
+        null_check.otherwise();
+        Value left = fb.call("tree_add", {fb.loadField(t, 1)});
+        Value right = fb.call("tree_add", {fb.loadField(t, 2)});
+        fb.ret(fb.add(fb.loadField(t, 0), fb.add(left, right)));
+        null_check.finish();
+        fb.trap(2);
+    }
+    {
+        FunctionBuilder fb(m, "main", {}, tc.i64());
+        Value root = fb.call("tree_alloc", {fb.iconst(depth)});
+        Value total = fb.var(tc.i64());
+        fb.assign(total, fb.iconst(0));
+        ForLoop pass(fb, fb.iconst(0), fb.iconst(passes));
+        fb.assign(total, fb.add(total, fb.call("tree_add", {root})));
+        pass.finish();
+        fb.ret(total);
+    }
+}
+
+} // namespace workloads
+} // namespace infat

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Olden tsp: closest-point divide-and-conquer tour construction.
+ *
+ * Preserved behaviours: cities are individually-allocated tree nodes
+ * holding coordinates, split recursively by coordinate (the "build"
+ * phase), and the conquer phase stitches circular doubly-linked tours
+ * through the same nodes (next/prev fields), so the hot phase is
+ * pointer-surgery on heap objects. The merge heuristic is simplified
+ * to nearest-endpoint concatenation (DESIGN.md §4).
+ */
+
+#include "vm/libc_model.hh"
+#include "workloads/dsl.hh"
+#include "workloads/workload.hh"
+
+namespace infat {
+namespace workloads {
+
+using namespace ir;
+
+void
+buildTsp(Module &m)
+{
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    const Type *i64 = tc.i64();
+    const Type *f64 = tc.f64();
+
+    StructType *tree = tc.createStruct("Tree");
+    // x, y, left, right, next, prev
+    tree->setBody({f64, f64, tc.ptr(tree), tc.ptr(tree), tc.ptr(tree),
+                   tc.ptr(tree)});
+    const Type *treePtr = tc.ptr(tree);
+
+    constexpr int64_t nCities = 2048;
+
+    {
+        FunctionBuilder fb(m, "distance", {treePtr, treePtr}, f64);
+        Value a = fb.arg(0);
+        Value b = fb.arg(1);
+        Value dx = fb.fsub(fb.loadField(a, 0), fb.loadField(b, 0));
+        Value dy = fb.fsub(fb.loadField(a, 1), fb.loadField(b, 1));
+        fb.ret(fb.call("sqrt",
+                       {fb.fadd(fb.fmul(dx, dx), fb.fmul(dy, dy))}));
+    }
+
+    // Build a balanced tree of n cities in [lo,hi]x[lo,hi], splitting
+    // the range by the given axis (0 = x, 1 = y).
+    {
+        FunctionBuilder fb(m, "build_tree",
+                           {i64, i64, f64, f64, f64, f64}, treePtr);
+        Value n = fb.arg(0);
+        Value axis = fb.arg(1);
+        Value x_lo = fb.arg(2);
+        Value x_hi = fb.arg(3);
+        Value y_lo = fb.arg(4);
+        Value y_hi = fb.arg(5);
+        IfElse base(fb, fb.sle(n, fb.iconst(0)));
+        fb.ret(fb.nullPtr(tree));
+        base.otherwise();
+        Value node = fb.mallocTyped(tree);
+        Value mid_x = fb.fmul(fb.fadd(x_lo, x_hi), fb.fconst(0.5));
+        Value mid_y = fb.fmul(fb.fadd(y_lo, y_hi), fb.fconst(0.5));
+        // Jitter the midpoint pseudo-randomly for irregularity.
+        Value r = fb.call("rand");
+        Value jitter = fb.fmul(
+            fb.sitofp(fb.addImm(fb.and_(r, fb.iconst(255)), -128)),
+            fb.fconst(1.0 / 4096.0));
+        fb.storeField(node, 0, fb.fadd(mid_x, jitter));
+        fb.storeField(node, 1, fb.fsub(mid_y, jitter));
+        fb.storeField(node, 4, fb.nullPtr(tree));
+        fb.storeField(node, 5, fb.nullPtr(tree));
+        Value half = fb.ashr(fb.addImm(n, -1), fb.iconst(1));
+        Value rest = fb.sub(fb.addImm(n, -1), half);
+        Value next_axis = fb.xor_(axis, fb.iconst(1));
+        IfElse split_x(fb, fb.eq(axis, fb.iconst(0)));
+        {
+            fb.storeField(node, 2,
+                          fb.call("build_tree", {half, next_axis, x_lo,
+                                                 mid_x, y_lo, y_hi}));
+            fb.storeField(node, 3,
+                          fb.call("build_tree", {rest, next_axis, mid_x,
+                                                 x_hi, y_lo, y_hi}));
+        }
+        split_x.otherwise();
+        {
+            fb.storeField(node, 2,
+                          fb.call("build_tree", {half, next_axis, x_lo,
+                                                 x_hi, y_lo, mid_y}));
+            fb.storeField(node, 3,
+                          fb.call("build_tree", {rest, next_axis, x_lo,
+                                                 x_hi, mid_y, y_hi}));
+        }
+        split_x.finish();
+        fb.ret(node);
+        base.finish();
+        fb.trap(1);
+    }
+
+    // Conquer: produce a circular doubly-linked tour through the
+    // subtree, returning any node on it. Tours are merged by linking
+    // the child tours after the root.
+    {
+        FunctionBuilder fb(m, "make_tour", {treePtr}, treePtr);
+        Value t = fb.arg(0);
+        IfElse null_check(fb, fb.eq(t, fb.iconst(0)));
+        fb.ret(fb.nullPtr(tree));
+        null_check.otherwise();
+        // Self-loop for the root city.
+        fb.storeField(t, 4, t);
+        fb.storeField(t, 5, t);
+        auto splice = [&](unsigned field) {
+            Value sub = fb.call("make_tour", {fb.loadField(t, field)});
+            IfElse has(fb, fb.ne(sub, fb.iconst(0)));
+            {
+                // Insert sub's tour after t: t .. t_next becomes
+                // t sub..sub_prev t_next.
+                Value t_next = fb.loadField(t, 4);
+                Value sub_prev = fb.loadField(sub, 5);
+                fb.storeField(t, 4, sub);
+                fb.storeField(sub, 5, t);
+                fb.storeField(sub_prev, 4, t_next);
+                fb.storeField(t_next, 5, sub_prev);
+            }
+            has.finish();
+        };
+        splice(2);
+        splice(3);
+        fb.ret(t);
+        null_check.finish();
+        fb.trap(2);
+    }
+
+    // 2-opt-ish improvement pass: for each city, if swapping with the
+    // node after next shortens the tour, swap coordinates.
+    {
+        FunctionBuilder fb(m, "improve", {treePtr, i64}, f64);
+        Value start = fb.arg(0);
+        Value laps = fb.arg(1);
+        Value total = fb.var(f64);
+        fb.assign(total, fb.fconst(0.0));
+        ForLoop lap(fb, fb.iconst(0), laps);
+        {
+            Value cur = fb.var(treePtr);
+            fb.assign(cur, start);
+            Value steps = fb.var(i64);
+            fb.assign(steps, fb.iconst(0));
+            WhileLoop walk(fb);
+            walk.test(fb.slt(steps, fb.iconst(nCities)));
+            {
+                Value a = cur;
+                Value b = fb.loadField(a, 4);
+                Value c = fb.loadField(b, 4);
+                Value d = fb.loadField(c, 4);
+                Value now = fb.fadd(fb.call("distance", {a, b}),
+                                    fb.call("distance", {c, d}));
+                Value swapped = fb.fadd(fb.call("distance", {a, c}),
+                                        fb.call("distance", {b, d}));
+                IfElse better(fb, fb.flt(swapped, now));
+                {
+                    // Swap b and c by exchanging coordinates.
+                    Value bx = fb.loadField(b, 0);
+                    Value by = fb.loadField(b, 1);
+                    fb.storeField(b, 0, fb.loadField(c, 0));
+                    fb.storeField(b, 1, fb.loadField(c, 1));
+                    fb.storeField(c, 0, bx);
+                    fb.storeField(c, 1, by);
+                }
+                better.finish();
+                fb.assign(cur, fb.loadField(cur, 4));
+                fb.assign(steps, fb.addImm(steps, 1));
+            }
+            walk.finish();
+        }
+        lap.finish();
+        // Final tour length.
+        Value cur = fb.var(treePtr);
+        fb.assign(cur, start);
+        Value steps = fb.var(i64);
+        fb.assign(steps, fb.iconst(0));
+        WhileLoop len(fb);
+        len.test(fb.slt(steps, fb.iconst(nCities)));
+        Value next = fb.loadField(cur, 4);
+        fb.assign(total, fb.fadd(total, fb.call("distance",
+                                                {cur, next})));
+        fb.assign(cur, next);
+        fb.assign(steps, fb.addImm(steps, 1));
+        len.finish();
+        fb.ret(total);
+    }
+
+    {
+        FunctionBuilder fb(m, "main", {}, i64);
+        fb.call("srand", {fb.iconst(7)});
+        Value root = fb.call("build_tree",
+                             {fb.iconst(nCities), fb.iconst(0),
+                              fb.fconst(0.0), fb.fconst(1.0),
+                              fb.fconst(0.0), fb.fconst(1.0)});
+        Value tour = fb.call("make_tour", {root});
+        Value length = fb.call("improve", {tour, fb.iconst(3)});
+        fb.ret(fb.fptosi(fb.fmul(length, fb.fconst(1024.0))));
+    }
+}
+
+} // namespace workloads
+} // namespace infat

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Olden voronoi — documented substitution (DESIGN.md §4).
+ *
+ * The original builds a Voronoi diagram with a divide-and-conquer
+ * Delaunay triangulation over quad-edge records. What the evaluation
+ * measures, though, is pointer behaviour: a point set in a balanced
+ * tree, heavy edge-record allocation, and a large share of promotes
+ * taking legacy pointers. This substitute keeps those: a kd-tree of
+ * individually-allocated points, nearest-neighbour searches that walk
+ * the tree, and malloc'd edge records linking each point to its
+ * neighbour; point coordinates come from the legacy rand() in libc.
+ */
+
+#include "vm/libc_model.hh"
+#include "workloads/dsl.hh"
+#include "workloads/workload.hh"
+
+namespace infat {
+namespace workloads {
+
+using namespace ir;
+
+void
+buildVoronoi(Module &m)
+{
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    const Type *i64 = tc.i64();
+    const Type *f64 = tc.f64();
+
+    StructType *point = tc.createStruct("Vertex");
+    // x, y, left, right (kd-tree links)
+    point->setBody({f64, f64, tc.ptr(point), tc.ptr(point)});
+    const Type *pointPtr = tc.ptr(point);
+
+    StructType *edge = tc.createStruct("Edge");
+    // from, to, length, next (global edge list)
+    edge->setBody({pointPtr, pointPtr, f64, tc.ptr(edge)});
+    const Type *edgePtr = tc.ptr(edge);
+
+    constexpr int64_t nPoints = 900;
+
+    // kd-tree insert (axis alternates by depth parity).
+    {
+        FunctionBuilder fb(m, "kd_insert",
+                           {tc.ptr(pointPtr), pointPtr, i64},
+                           tc.voidTy());
+        Value slot = fb.arg(0);
+        Value p = fb.arg(1);
+        Value depth = fb.arg(2);
+        Value cur = fb.load(slot);
+        IfElse empty(fb, fb.eq(cur, fb.iconst(0)));
+        fb.store(p, slot);
+        fb.retVoid();
+        empty.otherwise();
+        Value axis = fb.and_(depth, fb.iconst(1));
+        Value key_p = fb.select(fb.eq(axis, fb.iconst(0)),
+                                fb.loadField(p, 0), fb.loadField(p, 1));
+        Value key_c = fb.select(fb.eq(axis, fb.iconst(0)),
+                                fb.loadField(cur, 0),
+                                fb.loadField(cur, 1));
+        Value go_left = fb.fcmp(FCmpPred::Lt, key_p, key_c);
+        IfElse left(fb, go_left);
+        fb.call("kd_insert",
+                {fb.fieldPtr(cur, 2), p, fb.addImm(depth, 1)});
+        left.otherwise();
+        fb.call("kd_insert",
+                {fb.fieldPtr(cur, 3), p, fb.addImm(depth, 1)});
+        left.finish();
+        fb.retVoid();
+        empty.finish();
+        fb.trap(1);
+    }
+
+    {
+        FunctionBuilder fb(m, "dist2", {pointPtr, pointPtr}, f64);
+        Value a = fb.arg(0);
+        Value b = fb.arg(1);
+        Value dx = fb.fsub(fb.loadField(a, 0), fb.loadField(b, 0));
+        Value dy = fb.fsub(fb.loadField(a, 1), fb.loadField(b, 1));
+        fb.ret(fb.fadd(fb.fmul(dx, dx), fb.fmul(dy, dy)));
+    }
+
+    // Nearest neighbour to q in the subtree, excluding q itself.
+    // Returns the best point; best-so-far squared distance threaded
+    // through memory (out-params keep bounds flowing).
+    {
+        FunctionBuilder fb(m, "kd_nn",
+                           {pointPtr, pointPtr, i64, tc.ptr(pointPtr),
+                            tc.ptr(f64)},
+                           tc.voidTy());
+        Value node = fb.arg(0);
+        Value q = fb.arg(1);
+        Value depth = fb.arg(2);
+        Value best_out = fb.arg(3);
+        Value best_d2 = fb.arg(4);
+        IfElse null_check(fb, fb.eq(node, fb.iconst(0)));
+        fb.retVoid();
+        null_check.otherwise();
+        {
+            IfElse not_self(fb, fb.ne(node, q));
+            Value d2 = fb.call("dist2", {node, q});
+            IfElse closer(fb,
+                          fb.fcmp(FCmpPred::Lt, d2, fb.load(best_d2)));
+            fb.store(d2, best_d2);
+            fb.store(node, best_out);
+            closer.finish();
+            not_self.finish();
+        }
+        Value axis = fb.and_(depth, fb.iconst(1));
+        Value key_q = fb.select(fb.eq(axis, fb.iconst(0)),
+                                fb.loadField(q, 0), fb.loadField(q, 1));
+        Value key_n = fb.select(fb.eq(axis, fb.iconst(0)),
+                                fb.loadField(node, 0),
+                                fb.loadField(node, 1));
+        Value diff = fb.fsub(key_q, key_n);
+        Value d1 = fb.addImm(depth, 1);
+        IfElse side(fb, fb.fcmp(FCmpPred::Lt, diff, fb.fconst(0.0)));
+        fb.call("kd_nn", {fb.loadField(node, 2), q, d1, best_out,
+                          best_d2});
+        // Cross the split when the slab could contain a closer point.
+        {
+            IfElse cross(fb, fb.fcmp(FCmpPred::Lt,
+                                     fb.fmul(diff, diff),
+                                     fb.load(best_d2)));
+            fb.call("kd_nn", {fb.loadField(node, 3), q, d1, best_out,
+                              best_d2});
+            cross.finish();
+        }
+        side.otherwise();
+        fb.call("kd_nn", {fb.loadField(node, 3), q, d1, best_out,
+                          best_d2});
+        {
+            IfElse cross(fb, fb.fcmp(FCmpPred::Lt,
+                                     fb.fmul(diff, diff),
+                                     fb.load(best_d2)));
+            fb.call("kd_nn", {fb.loadField(node, 2), q, d1, best_out,
+                              best_d2});
+            cross.finish();
+        }
+        side.finish();
+        fb.retVoid();
+        null_check.finish();
+        fb.trap(2);
+    }
+
+    {
+        FunctionBuilder fb(m, "main", {}, i64);
+        fb.call("srand", {fb.iconst(4242)});
+        Value points = fb.mallocTyped(pointPtr, fb.iconst(nPoints));
+        Value rootp = fb.stackAlloc(pointPtr);
+        fb.store(fb.nullPtr(point), rootp);
+        {
+            ForLoop i(fb, fb.iconst(0), fb.iconst(nPoints));
+            Value p = fb.mallocTyped(point);
+            auto unit_rand = [&]() {
+                return fb.fdiv(fb.sitofp(fb.and_(fb.call("rand"),
+                                                 fb.iconst(0xfffff))),
+                               fb.fconst(1048576.0));
+            };
+            fb.storeField(p, 0, unit_rand());
+            fb.storeField(p, 1, unit_rand());
+            fb.storeField(p, 2, fb.nullPtr(point));
+            fb.storeField(p, 3, fb.nullPtr(point));
+            fb.store(p, fb.elemPtr(points, i.index()));
+            fb.call("kd_insert", {rootp, p, fb.iconst(0)});
+            i.finish();
+        }
+        // Build nearest-neighbour edge records.
+        Value edges = fb.var(edgePtr);
+        fb.assign(edges, fb.nullPtr(edge));
+        Value total = fb.var(f64);
+        fb.assign(total, fb.fconst(0.0));
+        {
+            ForLoop i(fb, fb.iconst(0), fb.iconst(nPoints));
+            Value q = fb.load(fb.elemPtr(points, i.index()));
+            Value best = fb.stackAlloc(pointPtr);
+            Value best_d2 = fb.stackAlloc(f64);
+            fb.store(fb.nullPtr(point), best);
+            fb.store(fb.fconst(1e18), best_d2);
+            fb.call("kd_nn", {fb.load(rootp), q, fb.iconst(0), best,
+                              best_d2});
+            Value e = fb.mallocTyped(edge);
+            fb.storeField(e, 0, q);
+            fb.storeField(e, 1, fb.load(best));
+            Value len = fb.call("sqrt", {fb.load(best_d2)});
+            fb.storeField(e, 2, len);
+            fb.storeField(e, 3, edges);
+            fb.assign(edges, e);
+            fb.assign(total, fb.fadd(total, len));
+            i.finish();
+        }
+        fb.ret(fb.fptosi(fb.fmul(total, fb.fconst(1024.0))));
+    }
+}
+
+} // namespace workloads
+} // namespace infat

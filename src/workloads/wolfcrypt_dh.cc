@@ -1,0 +1,295 @@
+/**
+ * @file
+ * WolfCrypt Diffie-Hellman: modular exponentiation over big integers.
+ *
+ * Preserved behaviours: wolfSSL allocates through XMALLOC, a wrapper
+ * reached via a *function pointer* — so the instrumentation cannot see
+ * the allocated type and the mp_int objects carry no layout table
+ * (Table 4 reports no layout-table coverage for wolfcrypt). Limbs are
+ * accessed as `n->dp[i]`, a per-access struct-field GEP exactly like
+ * wolfSSL's fp_int code, which is where the IFP-arithmetic overhead
+ * comes from. The temporaries live inside an xmalloc'd context and are
+ * reloaded per iteration (promote traffic). The computation validates
+ * the DH property (g^a)^b == (g^b)^a mod p.
+ *
+ * Arithmetic: 32 limbs of 28 bits (stored in 64-bit slots) modulo the
+ * pseudo-Mersenne p = 2^896 - 569. The 28-bit radix leaves enough
+ * 64-bit headroom that limbs may stay slightly unnormalized between
+ * multiplications; a final canonical reduction precedes the equality
+ * check.
+ */
+
+#include "vm/libc_model.hh"
+#include "workloads/dsl.hh"
+#include "workloads/workload.hh"
+
+namespace infat {
+namespace workloads {
+
+using namespace ir;
+
+void
+buildWolfcryptDh(Module &m)
+{
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    const Type *i64 = tc.i64();
+    const Type *vp = tc.opaquePtr();
+
+    constexpr int64_t limbs = 32;
+    constexpr int64_t limbBits = 28;
+    constexpr int64_t limbMask = (1 << limbBits) - 1;
+    constexpr int64_t foldC = 569; // p = 2^(28*32) - foldC
+    constexpr int64_t expBits = 84;
+
+    // wolfSSL's fp_int: used-count plus the digit array.
+    StructType *mpInt = tc.createStruct("mp_int");
+    mpInt->setBody({i64, tc.array(i64, limbs)});
+    const Type *numPtr = tc.ptr(mpInt);
+
+    GlobalId alloc_fn = m.addGlobal("xmalloc_fn", i64);
+
+    {
+        FunctionBuilder fb(m, "wc_malloc_impl", {i64}, vp);
+        fb.ret(fb.call("malloc", {fb.arg(0)}));
+    }
+    {
+        FunctionBuilder fb(m, "xmalloc", {i64}, vp);
+        Value fn = fb.load(fb.globalAddr(alloc_fn));
+        fb.ret(fb.callPtr(fn, vp, {fb.arg(0)}));
+    }
+
+    // n->dp[i], as a per-access GEP (no hoisting, like the source).
+    auto dp = [&](FunctionBuilder &fb, Value n, Value idx) {
+        return fb.elemPtr(fb.fieldPtr(n, 1), idx);
+    };
+
+    {
+        FunctionBuilder fb(m, "bn_new", {}, numPtr);
+        Value p = fb.call("xmalloc",
+                          {fb.iconst(static_cast<int64_t>(
+                              mpInt->size()))});
+        Value n = fb.ptrCast(p, mpInt);
+        fb.storeField(n, 0, fb.iconst(limbs));
+        ForLoop i(fb, fb.iconst(0), fb.iconst(limbs));
+        fb.store(fb.iconst(0), dp(fb, n, i.index()));
+        i.finish();
+        fb.ret(n);
+    }
+    {
+        FunctionBuilder fb(m, "bn_copy", {numPtr, numPtr}, tc.voidTy());
+        ForLoop i(fb, fb.iconst(0), fb.iconst(limbs));
+        fb.store(fb.load(dp(fb, fb.arg(1), i.index())),
+                 dp(fb, fb.arg(0), i.index()));
+        i.finish();
+        fb.retVoid();
+    }
+    // One carry-propagation + fold pass: leaves limbs <= limbMask
+    // except possibly r->dp[0], which stays well under 2^29.
+    {
+        FunctionBuilder fb(m, "bn_normalize", {numPtr}, tc.voidTy());
+        Value r = fb.arg(0);
+        Value carry = fb.var(i64);
+        fb.assign(carry, fb.iconst(0));
+        {
+            ForLoop i(fb, fb.iconst(0), fb.iconst(limbs));
+            Value v = fb.add(fb.load(dp(fb, r, i.index())), carry);
+            fb.store(fb.and_(v, fb.iconst(limbMask)),
+                     dp(fb, r, i.index()));
+            fb.assign(carry, fb.lshr(v, fb.iconst(limbBits)));
+            i.finish();
+        }
+        Value r0 = dp(fb, r, fb.iconst(0));
+        fb.store(fb.add(fb.load(r0), fb.mulImm(carry, foldC)), r0);
+        fb.retVoid();
+    }
+    // r = (a * b) mod p. r must not alias a or b.
+    {
+        FunctionBuilder fb(m, "bn_mulmod", {numPtr, numPtr, numPtr},
+                           tc.voidTy());
+        Value r = fb.arg(0);
+        Value a = fb.arg(1);
+        Value b = fb.arg(2);
+        Value acc = fb.call("xmalloc", {fb.iconst(limbs * 16)});
+        Value t = fb.ptrCast(acc, i64);
+        {
+            ForLoop i(fb, fb.iconst(0), fb.iconst(limbs * 2));
+            fb.store(fb.iconst(0), fb.elemPtr(t, i.index()));
+            i.finish();
+        }
+        {
+            ForLoop i(fb, fb.iconst(0), fb.iconst(limbs));
+            Value ai = fb.load(dp(fb, a, i.index()));
+            ForLoop j(fb, fb.iconst(0), fb.iconst(limbs));
+            Value bj = fb.load(dp(fb, b, j.index()));
+            Value k = fb.add(i.index(), j.index());
+            Value slot = fb.elemPtr(t, k);
+            // 2^30 * 2^30 * 32 accumulations < 2^63: no overflow.
+            fb.store(fb.add(fb.load(slot), fb.mul(ai, bj)), slot);
+            j.finish();
+            i.finish();
+        }
+        // Carry-propagate the double-width accumulator.
+        Value carry = fb.var(i64);
+        fb.assign(carry, fb.iconst(0));
+        {
+            ForLoop i(fb, fb.iconst(0), fb.iconst(limbs * 2));
+            Value v = fb.add(fb.load(fb.elemPtr(t, i.index())), carry);
+            fb.store(fb.and_(v, fb.iconst(limbMask)),
+                     fb.elemPtr(t, i.index()));
+            fb.assign(carry, fb.lshr(v, fb.iconst(limbBits)));
+            i.finish();
+        }
+        // Fold: 2^896 == foldC (mod p); the final carry folds twice.
+        {
+            ForLoop i(fb, fb.iconst(0), fb.iconst(limbs));
+            Value hi = fb.load(
+                fb.elemPtr(t, fb.add(i.index(), fb.iconst(limbs))));
+            fb.store(fb.add(fb.load(fb.elemPtr(t, i.index())),
+                            fb.mulImm(hi, foldC)),
+                     fb.elemPtr(t, i.index()));
+            i.finish();
+        }
+        Value t0 = fb.elemPtr(t, fb.iconst(0));
+        fb.store(fb.add(fb.load(t0),
+                        fb.mul(carry, fb.iconst(foldC * foldC))),
+                 t0);
+        {
+            ForLoop i(fb, fb.iconst(0), fb.iconst(limbs));
+            fb.store(fb.load(fb.elemPtr(t, i.index())),
+                     dp(fb, r, i.index()));
+            i.finish();
+        }
+        fb.call("bn_normalize", {r});
+        fb.call("free", {fb.opaqueCast(t)});
+        fb.retVoid();
+    }
+    // Canonical reduction into [0, p): full normalization followed by
+    // conditional subtractions of p.
+    {
+        FunctionBuilder fb(m, "bn_reduce", {numPtr}, tc.voidTy());
+        Value r = fb.arg(0);
+        for (int pass = 0; pass < 3; ++pass)
+            fb.call("bn_normalize", {r});
+        // p's limbs: p[0] = 2^28 - foldC, p[1..31] = limbMask.
+        ForLoop round(fb, fb.iconst(0), fb.iconst(2));
+        {
+            Value borrow = fb.var(i64);
+            fb.assign(borrow, fb.iconst(0));
+            Value tmp = fb.call("xmalloc", {fb.iconst(limbs * 8)});
+            Value t = fb.ptrCast(tmp, i64);
+            {
+                ForLoop i(fb, fb.iconst(0), fb.iconst(limbs));
+                Value pi = fb.select(fb.eq(i.index(), fb.iconst(0)),
+                                     fb.iconst((1 << limbBits) - foldC),
+                                     fb.iconst(limbMask));
+                Value d = fb.sub(
+                    fb.sub(fb.load(dp(fb, r, i.index())), pi), borrow);
+                fb.assign(borrow,
+                          fb.and_(fb.lshr(d, fb.iconst(63)),
+                                  fb.iconst(1)));
+                fb.store(fb.and_(d, fb.iconst(limbMask)),
+                         fb.elemPtr(t, i.index()));
+                i.finish();
+            }
+            IfElse fits(fb, fb.eq(borrow, fb.iconst(0)));
+            {
+                ForLoop i(fb, fb.iconst(0), fb.iconst(limbs));
+                fb.store(fb.load(fb.elemPtr(t, i.index())),
+                         dp(fb, r, i.index()));
+                i.finish();
+            }
+            fits.finish();
+            fb.call("free", {fb.opaqueCast(t)});
+        }
+        round.finish();
+        fb.retVoid();
+    }
+    // r = base ^ exp mod p (square and multiply, LSB first), with the
+    // working mp_ints parked in an xmalloc'd context and reloaded
+    // every iteration, as wolfSSL keeps them in the key structure.
+    {
+        FunctionBuilder fb(m, "bn_modexp", {numPtr, numPtr, numPtr},
+                           tc.voidTy());
+        Value r = fb.arg(0);
+        Value base = fb.arg(1);
+        Value exp = fb.arg(2);
+        Value ctx = fb.ptrCast(fb.call("xmalloc", {fb.iconst(24)}),
+                               numPtr);
+        {
+            Value acc0 = fb.call("bn_new");
+            fb.store(fb.iconst(1), dp(fb, acc0, fb.iconst(0)));
+            fb.store(acc0, fb.elemPtr(ctx, fb.iconst(0)));
+            Value sq0 = fb.call("bn_new");
+            fb.call("bn_copy", {sq0, base});
+            fb.store(sq0, fb.elemPtr(ctx, fb.iconst(1)));
+            fb.store(fb.call("bn_new"), fb.elemPtr(ctx, fb.iconst(2)));
+        }
+        ForLoop bit(fb, fb.iconst(0), fb.iconst(expBits));
+        {
+            Value acc = fb.load(fb.elemPtr(ctx, fb.iconst(0)));
+            Value sq = fb.load(fb.elemPtr(ctx, fb.iconst(1)));
+            Value tmp = fb.load(fb.elemPtr(ctx, fb.iconst(2)));
+            Value limb = fb.sdiv(bit.index(), fb.iconst(limbBits));
+            Value off = fb.srem(bit.index(), fb.iconst(limbBits));
+            Value word = fb.load(dp(fb, exp, limb));
+            Value set = fb.and_(fb.lshr(word, off), fb.iconst(1));
+            IfElse on(fb, set);
+            fb.call("bn_mulmod", {tmp, acc, sq});
+            fb.call("bn_copy", {acc, tmp});
+            on.finish();
+            fb.call("bn_mulmod", {tmp, sq, sq});
+            fb.call("bn_copy", {sq, tmp});
+        }
+        bit.finish();
+        Value acc_final = fb.load(fb.elemPtr(ctx, fb.iconst(0)));
+        fb.call("bn_copy", {r, acc_final});
+        fb.retVoid();
+    }
+
+    {
+        FunctionBuilder fb(m, "main", {}, i64);
+        // Install the allocation callback through the function-pointer
+        // slot (hiding the allocation type from the compiler).
+        fb.store(fb.funcAddr("wc_malloc_impl"),
+                 fb.globalAddr(alloc_fn));
+        fb.call("srand", {fb.iconst(20210419)});
+        Value g = fb.call("bn_new");
+        Value a = fb.call("bn_new");
+        Value b = fb.call("bn_new");
+        fb.store(fb.iconst(5), dp(fb, g, fb.iconst(0)));
+        {
+            ForLoop i(fb, fb.iconst(0),
+                      fb.iconst((expBits + limbBits - 1) / limbBits));
+            fb.store(fb.and_(fb.call("rand"), fb.iconst(limbMask)),
+                     dp(fb, a, i.index()));
+            fb.store(fb.and_(fb.call("rand"), fb.iconst(limbMask)),
+                     dp(fb, b, i.index()));
+            i.finish();
+        }
+        Value ya = fb.call("bn_new");
+        Value yb = fb.call("bn_new");
+        Value s1 = fb.call("bn_new");
+        Value s2 = fb.call("bn_new");
+        fb.call("bn_modexp", {ya, g, a});
+        fb.call("bn_modexp", {yb, g, b});
+        fb.call("bn_modexp", {s1, yb, a});
+        fb.call("bn_modexp", {s2, ya, b});
+        fb.call("bn_reduce", {s1});
+        fb.call("bn_reduce", {s2});
+        Value check = fb.var(i64);
+        fb.assign(check, fb.iconst(0));
+        ForLoop i(fb, fb.iconst(0), fb.iconst(limbs));
+        Value l1 = fb.load(dp(fb, s1, i.index()));
+        Value l2 = fb.load(dp(fb, s2, i.index()));
+        IfElse mismatch(fb, fb.ne(l1, l2));
+        fb.trap(9); // DH agreement failure
+        mismatch.finish();
+        fb.assign(check, fb.xor_(fb.mulImm(check, 31), l1));
+        i.finish();
+        fb.ret(check);
+    }
+}
+
+} // namespace workloads
+} // namespace infat

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Registry of the 18 evaluation workloads (paper §5.2).
+ *
+ * Each workload is a behavioural rewrite of the corresponding benchmark
+ * as an IR-builder program: the Olden suite (bh, bisort, em3d, health,
+ * mst, perimeter, power, treeadd, tsp, voronoi), four PtrDist programs
+ * (anagram, ft, ks, yacr2), and wolfcrypt-dh, sjeng, coremark, bzip2.
+ * DESIGN.md §4 documents, per workload, which behaviours of the
+ * original are preserved (allocation pattern, pointer traffic, layout
+ * table availability) and which are simplified.
+ *
+ * Every workload's main() returns a checksum; a workload must produce
+ * the same checksum in every configuration, which the test suite
+ * enforces.
+ */
+
+#ifndef INFAT_WORKLOADS_WORKLOAD_HH
+#define INFAT_WORKLOADS_WORKLOAD_HH
+
+#include <string_view>
+#include <vector>
+
+#include "ir/module.hh"
+
+namespace infat {
+namespace workloads {
+
+struct Workload
+{
+    const char *name;
+    const char *suite; // "olden" | "ptrdist" | "other"
+    /** What the rewrite preserves / simplifies. */
+    const char *notes;
+    void (*build)(ir::Module &module);
+};
+
+/** All workloads, in the paper's Table 4 order. */
+const std::vector<Workload> &all();
+
+/** Lookup by name; null when unknown. */
+const Workload *byName(std::string_view name);
+
+// One builder per workload (each in its own translation unit).
+void buildBh(ir::Module &);
+void buildBisort(ir::Module &);
+void buildEm3d(ir::Module &);
+void buildHealth(ir::Module &);
+void buildMst(ir::Module &);
+void buildPerimeter(ir::Module &);
+void buildPower(ir::Module &);
+void buildTreeadd(ir::Module &);
+void buildTsp(ir::Module &);
+void buildVoronoi(ir::Module &);
+void buildAnagram(ir::Module &);
+void buildFt(ir::Module &);
+void buildKs(ir::Module &);
+void buildYacr2(ir::Module &);
+void buildWolfcryptDh(ir::Module &);
+void buildSjeng(ir::Module &);
+void buildCoremark(ir::Module &);
+void buildBzip2(ir::Module &);
+
+} // namespace workloads
+} // namespace infat
+
+#endif // INFAT_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * PtrDist yacr2: VLSI channel routing, simplified to left-edge track
+ * assignment under vertical constraints.
+ *
+ * Preserved behaviours: few heap allocations, almost all of them
+ * whole arrays (terminal rows, per-net interval records, the vertical
+ * constraint lists), with array-scanning inner loops — the same shape
+ * that makes yacr2's promote traffic almost entirely valid heap
+ * pointers in Table 4. The input channel is embedded (the paper also
+ * embeds yacr2's input to work around a parsing bug).
+ */
+
+#include "vm/libc_model.hh"
+#include "workloads/dsl.hh"
+#include "workloads/workload.hh"
+
+namespace infat {
+namespace workloads {
+
+using namespace ir;
+
+void
+buildYacr2(Module &m)
+{
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    const Type *i64 = tc.i64();
+
+    constexpr int64_t nCols = 160;
+    constexpr int64_t nNets = 48;
+    constexpr int64_t maxTracks = 64;
+    constexpr int64_t rounds = 12;
+
+    StructType *interval = tc.createStruct("NetInterval");
+    // net id, left, right, assigned track
+    interval->setBody({i64, i64, i64, i64});
+    const Type *ivPtr = tc.ptr(interval);
+
+    // yacr2 keeps the channel description in globals; the router
+    // reloads these pointers every pass (its promote traffic).
+    GlobalId ivs_g = m.addGlobal("g_intervals", ivPtr);
+    GlobalId tracks_g = m.addGlobal("g_track_right", tc.ptr(i64));
+    GlobalId above_g = m.addGlobal("g_above", tc.ptr(i64));
+
+    // Greedy left-edge assignment with a vertical-constraint check:
+    // net A must be above net B if A is on top of B in some column.
+    {
+        FunctionBuilder fb(m, "assign_tracks",
+                           {ivPtr, i64, tc.ptr(i64), tc.ptr(i64)}, i64);
+        Value ivs = fb.arg(0);
+        Value count = fb.arg(1);
+        Value track_right = fb.arg(2); // per-track rightmost end
+        Value above = fb.arg(3);       // above[a*nNets+b] != 0
+        Value used = fb.var(i64);
+        fb.assign(used, fb.iconst(0));
+        ForLoop n(fb, fb.iconst(0), count);
+        {
+            Value iv = fb.elemPtr(ivs, n.index());
+            Value left = fb.loadField(iv, 1);
+            Value id = fb.loadField(iv, 0);
+            Value placed = fb.var(i64);
+            fb.assign(placed, fb.iconst(0));
+            ForLoop t(fb, fb.iconst(0), fb.iconst(maxTracks));
+            {
+                IfElse done(fb, placed);
+                done.otherwise();
+                Value fits = fb.slt(
+                    fb.load(fb.elemPtr(track_right, t.index())), left);
+                // Constraint: every net already on a lower track must
+                // not be required to be above this net.
+                Value ok = fb.var(i64);
+                fb.assign(ok, fb.iconst(1));
+                ForLoop prev(fb, fb.iconst(0), n.index());
+                Value p_iv = fb.elemPtr(ivs, prev.index());
+                Value p_track = fb.loadField(p_iv, 3);
+                IfElse lower(fb, fb.and_(fb.sge(p_track, fb.iconst(0)),
+                                         fb.slt(p_track, t.index())));
+                Value p_id = fb.loadField(p_iv, 0);
+                Value key = fb.add(fb.mulImm(p_id, nNets), id);
+                Value must_above = fb.load(fb.elemPtr(above, key));
+                IfElse conflict(fb, must_above);
+                fb.assign(ok, fb.iconst(0));
+                conflict.finish();
+                lower.finish();
+                prev.finish();
+
+                IfElse take(fb, fb.and_(fits, ok));
+                fb.storeField(iv, 3, t.index());
+                fb.store(fb.loadField(iv, 2),
+                         fb.elemPtr(track_right, t.index()));
+                fb.assign(placed, fb.iconst(1));
+                Value t1 = fb.addImm(t.index(), 1);
+                IfElse grows(fb, fb.sgt(t1, used));
+                fb.assign(used, t1);
+                grows.finish();
+                take.finish();
+                done.finish();
+            }
+            t.finish();
+        }
+        n.finish();
+        fb.ret(used);
+    }
+
+    {
+        FunctionBuilder fb(m, "main", {}, i64);
+        fb.call("srand", {fb.iconst(77)});
+        // Terminal rows (top/bottom net id per column, 0 = empty).
+        Value top = fb.mallocTyped(i64, fb.iconst(nCols));
+        Value bot = fb.mallocTyped(i64, fb.iconst(nCols));
+        {
+            ForLoop c(fb, fb.iconst(0), fb.iconst(nCols));
+            fb.store(fb.srem(fb.call("rand"), fb.iconst(nNets)),
+                     fb.elemPtr(top, c.index()));
+            fb.store(fb.srem(fb.call("rand"), fb.iconst(nNets)),
+                     fb.elemPtr(bot, c.index()));
+            c.finish();
+        }
+        // Net intervals from terminal extents.
+        Value ivs = fb.mallocTyped(interval, fb.iconst(nNets));
+        {
+            ForLoop n(fb, fb.iconst(0), fb.iconst(nNets));
+            Value iv = fb.elemPtr(ivs, n.index());
+            fb.storeField(iv, 0, n.index());
+            fb.storeField(iv, 1, fb.iconst(nCols));
+            fb.storeField(iv, 2, fb.iconst(-1));
+            fb.storeField(iv, 3, fb.iconst(-1));
+            n.finish();
+        }
+        {
+            ForLoop c(fb, fb.iconst(0), fb.iconst(nCols));
+            auto extend = [&](Value row) {
+                Value id = fb.load(fb.elemPtr(row, c.index()));
+                Value iv = fb.elemPtr(ivs, id);
+                IfElse new_left(fb, fb.slt(c.index(),
+                                           fb.loadField(iv, 1)));
+                fb.storeField(iv, 1, c.index());
+                new_left.finish();
+                IfElse new_right(fb, fb.sgt(c.index(),
+                                            fb.loadField(iv, 2)));
+                fb.storeField(iv, 2, c.index());
+                new_right.finish();
+            };
+            extend(top);
+            extend(bot);
+            c.finish();
+        }
+        // Vertical constraint matrix: top net above bottom net.
+        Value above = fb.mallocTyped(i64, fb.iconst(nNets * nNets));
+        fb.call("memset", {fb.opaqueCast(above), fb.iconst(0),
+                           fb.iconst(nNets * nNets * 8)});
+        {
+            ForLoop c(fb, fb.iconst(0), fb.iconst(nCols));
+            Value t_id = fb.load(fb.elemPtr(top, c.index()));
+            Value b_id = fb.load(fb.elemPtr(bot, c.index()));
+            IfElse differ(fb, fb.ne(t_id, b_id));
+            fb.store(fb.iconst(1),
+                     fb.elemPtr(above,
+                                fb.add(fb.mulImm(t_id, nNets), b_id)));
+            differ.finish();
+            c.finish();
+        }
+
+        Value track_right = fb.mallocTyped(i64, fb.iconst(maxTracks));
+        fb.store(ivs, fb.globalAddr(ivs_g));
+        fb.store(track_right, fb.globalAddr(tracks_g));
+        fb.store(above, fb.globalAddr(above_g));
+        Value check = fb.var(i64);
+        fb.assign(check, fb.iconst(0));
+        ForLoop r(fb, fb.iconst(0), fb.iconst(rounds));
+        {
+            // Reload the channel description from the globals, as the
+            // original does per routed channel.
+            Value ivs_l = fb.load(fb.globalAddr(ivs_g));
+            Value tracks_l = fb.load(fb.globalAddr(tracks_g));
+            Value above_l = fb.load(fb.globalAddr(above_g));
+            // Reset and re-route (the original routes many channels).
+            ForLoop t(fb, fb.iconst(0), fb.iconst(maxTracks));
+            fb.store(fb.iconst(-1), fb.elemPtr(tracks_l, t.index()));
+            t.finish();
+            ForLoop n2(fb, fb.iconst(0), fb.iconst(nNets));
+            fb.storeField(fb.elemPtr(ivs_l, n2.index()), 3,
+                          fb.iconst(-1));
+            n2.finish();
+            Value tracks = fb.call("assign_tracks",
+                                   {ivs_l, fb.iconst(nNets), tracks_l,
+                                    above_l});
+            fb.assign(check, fb.add(fb.mulImm(check, 7), tracks));
+        }
+        r.finish();
+        fb.ret(check);
+    }
+}
+
+} // namespace workloads
+} // namespace infat

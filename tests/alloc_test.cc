@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the raw allocators (glibc-model free list and buddy).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "alloc/buddy_allocator.hh"
+#include "alloc/freelist_allocator.hh"
+#include "support/rng.hh"
+
+namespace infat {
+namespace {
+
+constexpr GuestAddr arenaBase = 0x4000'0000;
+constexpr GuestAddr arenaLimit = 0x4100'0000;
+
+TEST(FreeList, UserPointersAre16Aligned)
+{
+    FreeListAllocator alloc(arenaBase, arenaLimit);
+    for (uint64_t size : {1, 7, 8, 24, 100, 4096}) {
+        GuestAddr p = alloc.allocate(size);
+        ASSERT_NE(p, 0u);
+        EXPECT_EQ(p % 16, 0u) << size;
+    }
+}
+
+TEST(FreeList, MinimumChunkAndUsableSize)
+{
+    FreeListAllocator alloc(arenaBase, arenaLimit);
+    GuestAddr a = alloc.allocate(1);
+    GuestAddr b = alloc.allocate(1);
+    EXPECT_EQ(b - a, FreeListAllocator::minChunkBytes);
+    EXPECT_GE(alloc.usableSize(a), 1u);
+}
+
+TEST(FreeList, ReuseAfterFree)
+{
+    FreeListAllocator alloc(arenaBase, arenaLimit);
+    GuestAddr a = alloc.allocate(64);
+    alloc.allocate(64); // keep the brk up
+    alloc.deallocate(a);
+    GuestAddr c = alloc.allocate(48); // fits in a's chunk
+    EXPECT_EQ(c, a);
+}
+
+TEST(FreeList, CoalescesNeighbours)
+{
+    FreeListAllocator alloc(arenaBase, arenaLimit);
+    GuestAddr a = alloc.allocate(64);
+    GuestAddr b = alloc.allocate(64);
+    GuestAddr c = alloc.allocate(64);
+    alloc.allocate(16); // guard so the brk does not retreat
+    alloc.deallocate(a);
+    alloc.deallocate(c);
+    alloc.deallocate(b); // merges a+b+c
+    GuestAddr big = alloc.allocate(200); // only fits if coalesced
+    EXPECT_EQ(big, a);
+}
+
+TEST(FreeList, BrkRetreatsOnTrailingFree)
+{
+    FreeListAllocator alloc(arenaBase, arenaLimit);
+    GuestAddr a = alloc.allocate(1 << 20);
+    uint64_t peak = alloc.peakFootprint();
+    alloc.deallocate(a);
+    GuestAddr b = alloc.allocate(16);
+    EXPECT_EQ(b, a); // reused from the retreated brk
+    EXPECT_EQ(alloc.peakFootprint(), peak); // peak is sticky
+}
+
+TEST(FreeList, ExhaustionReturnsNull)
+{
+    FreeListAllocator alloc(arenaBase, arenaBase + 4096);
+    EXPECT_EQ(alloc.allocate(1 << 20), 0u);
+}
+
+TEST(FreeList, RandomizedLiveSetStaysConsistent)
+{
+    FreeListAllocator alloc(arenaBase, arenaLimit);
+    Rng rng(3);
+    std::vector<std::pair<GuestAddr, uint64_t>> live;
+    for (int step = 0; step < 2000; ++step) {
+        if (live.empty() || rng.below(3) != 0) {
+            uint64_t size = 1 + rng.below(512);
+            GuestAddr p = alloc.allocate(size);
+            ASSERT_NE(p, 0u);
+            // No overlap with any live allocation.
+            for (const auto &[q, qsize] : live) {
+                EXPECT_TRUE(p + size <= q || q + qsize <= p)
+                    << "overlap at step " << step;
+            }
+            live.emplace_back(p, size);
+        } else {
+            size_t victim = rng.below(live.size());
+            alloc.deallocate(live[victim].first);
+            live.erase(live.begin() + victim);
+        }
+    }
+    EXPECT_EQ(alloc.liveAllocations(), live.size());
+}
+
+TEST(Buddy, BlocksAreNaturallyAligned)
+{
+    BuddyAllocator buddy(0x8000'0000, 26, 12);
+    for (unsigned order : {12u, 14u, 16u, 20u}) {
+        GuestAddr block = buddy.allocate(order);
+        ASSERT_NE(block, 0u);
+        EXPECT_EQ(block & ((1ULL << order) - 1), 0u) << order;
+    }
+}
+
+TEST(Buddy, SplitAndMergeRoundTrip)
+{
+    BuddyAllocator buddy(0x8000'0000, 20, 12);
+    std::vector<GuestAddr> blocks;
+    // Exhaust the region with the minimum order.
+    for (int i = 0; i < (1 << 8); ++i) {
+        GuestAddr b = buddy.allocate(12);
+        ASSERT_NE(b, 0u);
+        blocks.push_back(b);
+    }
+    EXPECT_EQ(buddy.allocate(12), 0u); // full
+    for (GuestAddr b : blocks)
+        buddy.deallocate(b, 12);
+    // After all merges, a region-sized block is available again.
+    EXPECT_NE(buddy.allocate(20), 0u);
+}
+
+TEST(Buddy, DistinctBlocks)
+{
+    BuddyAllocator buddy(0x8000'0000, 24, 12);
+    std::set<GuestAddr> seen;
+    for (int i = 0; i < 512; ++i) {
+        GuestAddr b = buddy.allocate(12);
+        ASSERT_NE(b, 0u);
+        EXPECT_TRUE(seen.insert(b).second);
+    }
+}
+
+TEST(Buddy, PeakFootprintGrowsMonotonically)
+{
+    BuddyAllocator buddy(0x8000'0000, 24, 12);
+    GuestAddr a = buddy.allocate(16);
+    uint64_t peak = buddy.peakFootprint();
+    buddy.deallocate(a, 16);
+    EXPECT_EQ(buddy.peakFootprint(), peak);
+    buddy.allocate(12);
+    EXPECT_LE(buddy.peakFootprint(), peak);
+}
+
+} // namespace
+} // namespace infat

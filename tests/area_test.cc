@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Sanity tests for the structural area model (Figure 13 substrate).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ifp/area_model.hh"
+
+namespace infat {
+namespace {
+
+TEST(AreaModel, TotalsNearPaper)
+{
+    AreaModel model;
+    EXPECT_DOUBLE_EQ(model.vanillaTotal(), 37088.0);
+    // The paper reports +22,173 LUTs (~60%); the structural model must
+    // land in the same regime.
+    double growth = model.growthTotal();
+    EXPECT_GT(growth, 0.45 * model.vanillaTotal());
+    EXPECT_LT(growth, 0.75 * model.vanillaTotal());
+}
+
+TEST(AreaModel, ExecuteStageDominatesGrowth)
+{
+    AreaModel model;
+    double execute = 0, total = model.growthTotal();
+    for (const StageArea &stage : model.stages()) {
+        if (stage.stage.rfind("Execute", 0) == 0)
+            execute += stage.growthLuts;
+    }
+    // Paper: ~62% of the increase is in the execute stage.
+    EXPECT_GT(execute / total, 0.5);
+}
+
+TEST(AreaModel, WalkerIsLargestIfpComponent)
+{
+    AreaModel model;
+    auto breakdown = model.ifpUnitBreakdown();
+    ASSERT_EQ(breakdown.size(), 3u);
+    double walker = breakdown[0].luts;
+    double schemes = breakdown[1].luts;
+    double unit_total = 0;
+    for (const AreaItem &item : breakdown)
+        unit_total += item.luts;
+    // Paper: walker 36%, schemes 30% of the IFP unit.
+    EXPECT_GT(walker / unit_total, 0.30);
+    EXPECT_LT(walker / unit_total, 0.45);
+    EXPECT_GT(schemes / unit_total, 0.22);
+    EXPECT_LT(schemes / unit_total, 0.40);
+}
+
+TEST(AreaModel, DroppingWalkerSavesItsArea)
+{
+    AreaModel model;
+    EXPECT_LT(model.growthWithoutWalker(), model.growthTotal());
+    auto breakdown = model.ifpUnitBreakdown();
+    EXPECT_DOUBLE_EQ(model.growthTotal() - model.growthWithoutWalker(),
+                     breakdown[0].luts);
+}
+
+TEST(AreaModel, StageVanillaSumsToTotal)
+{
+    AreaModel model;
+    double vanilla = 0;
+    for (const StageArea &stage : model.stages())
+        vanilla += stage.vanillaLuts;
+    EXPECT_NEAR(vanilla, model.vanillaTotal(), 1.0);
+}
+
+} // namespace
+} // namespace infat

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Unit tests for the compiler: escape analysis and the instrumentation
+ * pass (GEP lowering, promote insertion, allocator rewriting, dead
+ * tag-update elision, callee-saved bounds accounting).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/escape.hh"
+#include "compiler/instrument.hh"
+#include "ir/builder.hh"
+#include "vm/libc_model.hh"
+
+namespace infat {
+namespace {
+
+using namespace ir;
+
+/** Count instructions of one opcode across a function. */
+size_t
+countOps(const Function &func, Opcode op)
+{
+    size_t n = 0;
+    for (const BasicBlock &block : func.blocks()) {
+        for (const Instr &instr : block.instrs)
+            n += instr.op == op;
+    }
+    return n;
+}
+
+TEST(Escape, AllocaEscapesWhenStored)
+{
+    Module m;
+    TypeContext &tc = m.types();
+    GlobalId g = m.addGlobal("slot", tc.ptr(tc.i64()));
+    FunctionBuilder fb(m, "f", {}, tc.voidTy());
+    Value buf = fb.stackAlloc(tc.i64(), 4);
+    fb.store(buf, fb.globalAddr(g));
+    fb.retVoid();
+
+    ModuleEscapes escapes = analyzeEscapes(m);
+    EXPECT_EQ(escapes.functions[0].escapingAllocas.size(), 1u);
+    EXPECT_TRUE(escapes.functions[0].escapingAllocas.count(buf.reg));
+    // Storing *into* the global is a use of its address, not an
+    // escape: the global itself needs no metadata (paper §4.2.2).
+    EXPECT_FALSE(escapes.escapingGlobals.count(g));
+}
+
+TEST(Escape, AllocaEscapesWhenPassedOrReturned)
+{
+    Module m;
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    {
+        FunctionBuilder fb(m, "takes", {tc.ptr(tc.i64())}, tc.voidTy());
+        fb.retVoid();
+    }
+    {
+        FunctionBuilder fb(m, "passes", {}, tc.voidTy());
+        Value buf = fb.stackAlloc(tc.i64(), 4);
+        fb.call("takes", {buf});
+        fb.retVoid();
+    }
+    {
+        FunctionBuilder fb(m, "returns", {}, tc.ptr(tc.i64()));
+        Value buf = fb.stackAlloc(tc.i64(), 4);
+        fb.ret(buf);
+    }
+    ModuleEscapes escapes = analyzeEscapes(m);
+    const Function *passes = m.functionByName("passes");
+    const Function *returns = m.functionByName("returns");
+    EXPECT_EQ(escapes.functions[passes->id()].escapingAllocas.size(),
+              1u);
+    EXPECT_EQ(escapes.functions[returns->id()].escapingAllocas.size(),
+              1u);
+}
+
+TEST(Escape, DynamicIndexForcesInstrumentation)
+{
+    Module m;
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    FunctionBuilder fb(m, "f", {tc.i64()}, tc.i64());
+    Value buf = fb.stackAlloc(tc.i64(), 4);
+    Value v = fb.load(fb.elemPtr(buf, fb.arg(0))); // runtime index
+    fb.ret(v);
+    ModuleEscapes escapes = analyzeEscapes(m);
+    EXPECT_EQ(escapes.functions[m.functionByName("f")->id()]
+                  .escapingAllocas.size(),
+              1u);
+}
+
+TEST(Escape, PrivateAllocaStaysUninstrumented)
+{
+    Module m;
+    TypeContext &tc = m.types();
+    FunctionBuilder fb(m, "f", {}, tc.i64());
+    Value buf = fb.stackAlloc(tc.i64(), 4);
+    fb.store(fb.iconst(1), fb.elemPtr(buf, int64_t{0}));
+    fb.ret(fb.load(fb.elemPtr(buf, int64_t{3})));
+    ModuleEscapes escapes = analyzeEscapes(m);
+    EXPECT_TRUE(escapes.functions[0].escapingAllocas.empty());
+}
+
+TEST(Escape, DerivedPointersCarryTheTaint)
+{
+    Module m;
+    TypeContext &tc = m.types();
+    StructType *s = tc.createStruct("S", {tc.i64(), tc.i64()});
+    GlobalId g = m.addGlobal("slot", tc.ptr(tc.i64()));
+    FunctionBuilder fb(m, "f", {}, tc.voidTy());
+    Value obj = fb.stackAlloc(s);
+    fb.store(fb.fieldPtr(obj, 1), fb.globalAddr(g)); // field escapes
+    fb.retVoid();
+    ModuleEscapes escapes = analyzeEscapes(m);
+    EXPECT_TRUE(escapes.functions[0].escapingAllocas.count(obj.reg));
+}
+
+TEST(Instrument, MallocRewritingTypedAndUntyped)
+{
+    Module m;
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    StructType *s = tc.createStruct("S", {tc.i64(), tc.i64()});
+    FunctionBuilder fb(m, "main", {}, tc.i64());
+    Value typed = fb.mallocTyped(s);
+    Value untyped = fb.call("malloc", {fb.iconst(64)});
+    fb.freePtr(typed);
+    fb.call("free", {untyped});
+    fb.ret(fb.iconst(0));
+
+    InstrumentResult result = instrumentModule(m);
+    const Function *main_fn = m.functionByName("main");
+    EXPECT_EQ(countOps(*main_fn, Opcode::IfpMallocTyped), 2u);
+    EXPECT_EQ(countOps(*main_fn, Opcode::IfpFree), 2u);
+    EXPECT_EQ(countOps(*main_fn, Opcode::MallocTyped), 0u);
+    EXPECT_EQ(result.stats.mallocSitesTyped, 1u);
+    EXPECT_EQ(result.stats.mallocSitesUntyped, 1u);
+
+    // The typed site carries a layout id, the untyped one does not.
+    std::vector<LayoutId> layouts;
+    for (const BasicBlock &block : main_fn->blocks()) {
+        for (const Instr &instr : block.instrs) {
+            if (instr.op == Opcode::IfpMallocTyped)
+                layouts.push_back(instr.layout);
+        }
+    }
+    ASSERT_EQ(layouts.size(), 2u);
+    EXPECT_NE(layouts[0], noLayout);
+    EXPECT_EQ(layouts[1], noLayout);
+}
+
+TEST(Instrument, PromoteFollowsPointerLoadsOnly)
+{
+    Module m;
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    GlobalId g = m.addGlobal("slot", tc.ptr(tc.i64()));
+    GlobalId h = m.addGlobal("num", tc.i64());
+    FunctionBuilder fb(m, "main", {}, tc.i64());
+    Value p = fb.load(fb.globalAddr(g)); // pointer load -> promote
+    Value n = fb.load(fb.globalAddr(h)); // integer load -> no promote
+    (void)p;
+    fb.ret(n);
+    instrumentModule(m);
+    EXPECT_EQ(countOps(*m.functionByName("main"), Opcode::Promote), 1u);
+}
+
+TEST(Instrument, DeadTagUpdatesElided)
+{
+    Module m;
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    StructType *s = tc.createStruct("S", {tc.i64(), tc.i64()});
+    GlobalId g = m.addGlobal("slot", tc.ptr(tc.i64()));
+    FunctionBuilder fb(m, "main", {}, tc.i64());
+    Value obj = fb.mallocTyped(s);
+    // Immediately-dereferenced field pointer: ifpadd only.
+    fb.storeField(obj, 0, fb.iconst(1));
+    // Escaping field pointer: full ifpadd + ifpidx + ifpbnd.
+    fb.store(fb.fieldPtr(obj, 1), fb.globalAddr(g));
+    fb.ret(fb.iconst(0));
+    instrumentModule(m);
+    const Function *main_fn = m.functionByName("main");
+    EXPECT_EQ(countOps(*main_fn, Opcode::IfpAdd), 2u);
+    EXPECT_EQ(countOps(*main_fn, Opcode::IfpIdx), 1u);
+}
+
+TEST(Instrument, DeregisterEmittedOnEveryReturnPath)
+{
+    Module m;
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    {
+        FunctionBuilder fb(m, "sink", {tc.ptr(tc.i64())}, tc.voidTy());
+        fb.retVoid();
+    }
+    FunctionBuilder fb(m, "f", {tc.i64()}, tc.i64());
+    Value buf = fb.stackAlloc(tc.i64(), 4);
+    fb.call("sink", {buf});
+    BlockId a = fb.newBlock("a");
+    BlockId b = fb.newBlock("b");
+    fb.br(fb.arg(0), a, b);
+    fb.setBlock(a);
+    fb.ret(fb.iconst(1));
+    fb.setBlock(b);
+    fb.ret(fb.iconst(2));
+    instrumentModule(m);
+    const Function *f = m.functionByName("f");
+    EXPECT_EQ(countOps(*f, Opcode::RegisterObj), 1u);
+    EXPECT_EQ(countOps(*f, Opcode::DeregisterObj), 2u);
+}
+
+TEST(Instrument, SavedBoundsRegsComputed)
+{
+    Module m;
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    {
+        FunctionBuilder fb(m, "helper", {}, tc.voidTy());
+        fb.retVoid();
+    }
+    FunctionBuilder fb(m, "f", {tc.ptr(tc.i64())}, tc.i64());
+    Value p = fb.arg(0); // pointer live across the call
+    fb.call("helper");
+    fb.ret(fb.load(fb.elemPtr(p, int64_t{0})));
+    instrumentModule(m);
+    EXPECT_GE(m.functionByName("f")->savedBoundsRegs(), 1u);
+    // A leaf function saves nothing.
+    EXPECT_EQ(m.functionByName("helper")->savedBoundsRegs(), 0u);
+}
+
+TEST(Instrument, UninstrumentedFunctionsLeftAlone)
+{
+    Module m;
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    StructType *s = tc.createStruct("S", {tc.i64(), tc.i64()});
+    FunctionBuilder fb(m, "legacy", {}, tc.i64());
+    fb.function()->setInstrumented(false);
+    Value obj = fb.mallocTyped(s);
+    Value v = fb.loadField(obj, 0);
+    fb.ret(v);
+    instrumentModule(m);
+    const Function *legacy = m.functionByName("legacy");
+    EXPECT_EQ(countOps(*legacy, Opcode::MallocTyped), 1u);
+    EXPECT_EQ(countOps(*legacy, Opcode::GepField), 1u);
+    EXPECT_EQ(countOps(*legacy, Opcode::Promote), 0u);
+}
+
+} // namespace
+} // namespace infat

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the IR: type layout (C ABI), builder, verifier,
+ * printer, and the structured control-flow DSL.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/instrument.hh"
+#include "ir/builder.hh"
+#include "ir/printer.hh"
+#include "ir/verifier.hh"
+#include "vm/libc_model.hh"
+#include "vm/machine.hh"
+#include "workloads/dsl.hh"
+
+namespace infat {
+namespace {
+
+using namespace ir;
+using workloads::ForLoop;
+using workloads::IfElse;
+using workloads::WhileLoop;
+
+TEST(Types, StructLayoutFollowsCAbi)
+{
+    Module m;
+    TypeContext &tc = m.types();
+    // { i8; i64; i32; i8 } -> offsets 0, 8, 16, 20; size 24 (padded).
+    StructType *s = tc.createStruct(
+        "S", {tc.i8(), tc.i64(), tc.i32(), tc.i8()});
+    EXPECT_EQ(s->fieldOffset(0), 0u);
+    EXPECT_EQ(s->fieldOffset(1), 8u);
+    EXPECT_EQ(s->fieldOffset(2), 16u);
+    EXPECT_EQ(s->fieldOffset(3), 20u);
+    EXPECT_EQ(s->size(), 24u);
+    EXPECT_EQ(s->align(), 8u);
+}
+
+TEST(Types, ArraysAndPointers)
+{
+    Module m;
+    TypeContext &tc = m.types();
+    const Type *arr = tc.array(tc.i32(), 5);
+    EXPECT_EQ(arr->size(), 20u);
+    EXPECT_EQ(arr->align(), 4u);
+    EXPECT_EQ(tc.ptr(arr)->size(), 8u);
+    // Pointer types are interned.
+    EXPECT_EQ(tc.ptr(arr), tc.ptr(arr));
+    EXPECT_EQ(tc.array(tc.i32(), 5), arr);
+}
+
+TEST(Types, RecursiveStructViaOpaqueBody)
+{
+    Module m;
+    TypeContext &tc = m.types();
+    StructType *node = tc.createStruct("Node");
+    EXPECT_TRUE(node->isOpaqueStruct());
+    node->setBody({tc.i64(), tc.ptr(node)});
+    EXPECT_EQ(node->size(), 16u);
+}
+
+TEST(Verifier, CatchesUnterminatedBlock)
+{
+    Module m;
+    FunctionBuilder fb(m, "f", {}, m.types().i64());
+    fb.iconst(1); // no terminator
+    auto problems = verify(m);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("not terminated"), std::string::npos);
+}
+
+TEST(Verifier, CatchesBadBranchTarget)
+{
+    Module m;
+    FunctionBuilder fb(m, "f", {}, m.types().voidTy());
+    Instr jmp;
+    jmp.op = Opcode::Jmp;
+    jmp.target0 = 99;
+    fb.function()->block(0).instrs.push_back(jmp);
+    auto problems = verify(m);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("out of range"), std::string::npos);
+}
+
+TEST(Verifier, CatchesArityMismatch)
+{
+    Module m;
+    TypeContext &tc = m.types();
+    {
+        FunctionBuilder fb(m, "callee", {tc.i64(), tc.i64()}, tc.i64());
+        fb.ret(fb.arg(0));
+    }
+    {
+        FunctionBuilder fb(m, "caller", {}, tc.i64());
+        Instr call;
+        call.op = Opcode::Call;
+        call.callee = m.functionByName("callee")->id();
+        call.dst = fb.function()->newReg();
+        fb.function()->block(0).instrs.push_back(call);
+        Instr ret;
+        ret.op = Opcode::Ret;
+        ret.a = Operand::reg(call.dst);
+        fb.function()->block(0).instrs.push_back(ret);
+    }
+    auto problems = verify(m);
+    ASSERT_FALSE(problems.empty());
+    EXPECT_NE(problems[0].find("arity"), std::string::npos);
+}
+
+TEST(Verifier, AcceptsWellFormedAndInstrumentedModules)
+{
+    Module m;
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    StructType *s = tc.createStruct("S", {tc.i64(), tc.i64()});
+    FunctionBuilder fb(m, "main", {}, tc.i64());
+    Value obj = fb.mallocTyped(s);
+    fb.storeField(obj, 0, fb.iconst(1));
+    Value v = fb.loadField(obj, 0);
+    fb.freePtr(obj);
+    fb.ret(v);
+    EXPECT_TRUE(verify(m).empty());
+    instrumentModule(m);
+    EXPECT_TRUE(verify(m).empty());
+}
+
+TEST(Printer, RendersInstrumentedOps)
+{
+    Module m;
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    StructType *s = tc.createStruct("S", {tc.i64(), tc.i64()});
+    GlobalId g = m.addGlobal("slot", tc.ptr(s));
+    FunctionBuilder fb(m, "main", {}, tc.i64());
+    Value obj = fb.mallocTyped(s);
+    fb.store(obj, fb.globalAddr(g));
+    Value back = fb.load(fb.globalAddr(g));
+    fb.ret(fb.loadField(back, 1));
+    instrumentModule(m);
+    std::string text = print(m);
+    EXPECT_NE(text.find("ifp.malloc"), std::string::npos);
+    EXPECT_NE(text.find("ifp.promote"), std::string::npos);
+    EXPECT_NE(text.find("ifp.add"), std::string::npos);
+    EXPECT_NE(text.find("@slot"), std::string::npos);
+}
+
+/** The DSL helpers must produce correct control flow end-to-end. */
+TEST(Dsl, ForWhileIfSemantics)
+{
+    Module m;
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    FunctionBuilder fb(m, "main", {}, tc.i64());
+    // sum of odd numbers below 100, computed awkwardly.
+    Value total = fb.var(tc.i64());
+    fb.assign(total, fb.iconst(0));
+    ForLoop i(fb, fb.iconst(0), fb.iconst(100));
+    IfElse odd(fb, fb.and_(i.index(), fb.iconst(1)));
+    fb.assign(total, fb.add(total, i.index()));
+    odd.otherwise();
+    // even: subtract one then re-add it (exercises the else side).
+    fb.assign(total, fb.addImm(total, -1));
+    fb.assign(total, fb.addImm(total, 1));
+    odd.finish();
+    i.finish();
+    // while loop: count down.
+    Value n = fb.var(tc.i64());
+    fb.assign(n, fb.iconst(10));
+    WhileLoop w(fb);
+    w.test(fb.sgt(n, fb.iconst(0)));
+    fb.assign(n, fb.addImm(n, -1));
+    fb.assign(total, fb.addImm(total, 1));
+    w.finish();
+    fb.ret(total);
+
+    verifyOrDie(m);
+    Machine machine(m, nullptr, {});
+    installLibc(machine);
+    EXPECT_EQ(machine.run(), 2500u + 10u);
+}
+
+TEST(Dsl, ForLoopBreak)
+{
+    Module m;
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    FunctionBuilder fb(m, "main", {}, tc.i64());
+    Value total = fb.var(tc.i64());
+    fb.assign(total, fb.iconst(0));
+    ForLoop i(fb, fb.iconst(0), fb.iconst(1000));
+    IfElse stop(fb, fb.eq(i.index(), fb.iconst(5)));
+    fb.jmp(i.breakTarget());
+    stop.finish();
+    fb.assign(total, fb.add(total, i.index()));
+    i.finish();
+    fb.ret(total); // 0+1+2+3+4
+    Machine machine(m, nullptr, {});
+    installLibc(machine);
+    EXPECT_EQ(machine.run(), 10u);
+}
+
+} // namespace
+} // namespace infat

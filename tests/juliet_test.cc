@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Functional evaluation (paper §5.1): every bad case must trap, every
+ * good case must pass, under both allocators — including the
+ * intra-object cases that need subobject granularity. The baseline
+ * must miss (almost) everything, confirming the defense is what does
+ * the catching.
+ */
+
+#include <gtest/gtest.h>
+
+#include "juliet/juliet.hh"
+
+namespace infat {
+namespace juliet {
+namespace {
+
+class JulietSuite : public ::testing::TestWithParam<AllocatorKind>
+{
+};
+
+TEST_P(JulietSuite, AllBadDetectedNoFalsePositives)
+{
+    SuiteResult result = runSuite(GetParam());
+    EXPECT_EQ(result.badMissed, 0u) << [&] {
+        std::string missed;
+        for (const CaseOutcome &o : result.outcomes) {
+            if (o.testCase.bad && !o.trapped)
+                missed += o.testCase.name() + " ";
+        }
+        return missed;
+    }();
+    EXPECT_EQ(result.falsePositives, 0u) << [&] {
+        std::string fp;
+        for (const CaseOutcome &o : result.outcomes) {
+            if (!o.testCase.bad && o.trapped)
+                fp += o.testCase.name() + ": " + o.trapDetail + "\n";
+        }
+        return fp;
+    }();
+    EXPECT_EQ(result.total, generateSuite().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Allocators, JulietSuite,
+                         ::testing::Values(AllocatorKind::Wrapped,
+                                           AllocatorKind::Subheap),
+                         [](const auto &info) {
+                             return std::string(toString(info.param));
+                         });
+
+TEST(JulietBaseline, MissesIntraObjectCases)
+{
+    // Without the defense, intra-object overflows never trap: the
+    // corrupted byte is still inside the allocation.
+    for (const TestCase &tc : generateSuite()) {
+        if (!tc.bad || !tc.intraObject())
+            continue;
+        CaseOutcome outcome =
+            runCase(tc, AllocatorKind::Wrapped, /*instrumented=*/false);
+        EXPECT_FALSE(outcome.trapped) << tc.name();
+    }
+}
+
+TEST(JulietSuiteShape, HasAllDimensions)
+{
+    auto suite = generateSuite();
+    EXPECT_EQ(suite.size(), 4u * 3u * 8u * 2u);
+    size_t intra = 0;
+    for (const TestCase &tc : suite)
+        intra += tc.intraObject();
+    EXPECT_EQ(intra, 4u * 3u * 2u * 2u);
+}
+
+} // namespace
+} // namespace juliet
+} // namespace infat

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Property tests for layout-table generation: for randomly generated
+ * nested types, the generated table must verify structurally, its
+ * entry count must match layoutSubtreeEntries(), field deltas must
+ * point at the right entries, encode/decode must round-trip, and the
+ * promote engine must narrow every leaf field of every element to
+ * exactly the right bounds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/layout_gen.hh"
+#include "ifp/metadata.hh"
+#include "ifp/ops.hh"
+#include "ifp/promote_engine.hh"
+#include "ir/module.hh"
+#include "support/rng.hh"
+
+namespace infat {
+namespace {
+
+using ir::StructType;
+using ir::Type;
+using ir::TypeContext;
+
+/** Random nested struct generator (bounded depth and size). */
+class TypeGen
+{
+  public:
+    TypeGen(TypeContext &tc, Rng &rng) : tc_(tc), rng_(rng) {}
+
+    StructType *
+    randomStruct(unsigned depth)
+    {
+        StructType *s = tc_.createStruct(
+            strfmt("T%u", counter_++));
+        std::vector<const Type *> fields;
+        unsigned num_fields = 1 + rng_.below(4);
+        for (unsigned i = 0; i < num_fields; ++i)
+            fields.push_back(randomField(depth));
+        s->setBody(std::move(fields));
+        return s;
+    }
+
+  private:
+    const Type *
+    randomField(unsigned depth)
+    {
+        unsigned pick = static_cast<unsigned>(rng_.below(
+            depth == 0 ? 3 : 5));
+        switch (pick) {
+          case 0:
+            return tc_.i32();
+          case 1:
+            return tc_.i64();
+          case 2:
+            return tc_.array(tc_.i64(), 1 + rng_.below(4));
+          case 3:
+            return randomStruct(depth - 1);
+          default:
+            return tc_.array(randomStruct(depth - 1),
+                             1 + rng_.below(3));
+        }
+    }
+
+    TypeContext &tc_;
+    Rng &rng_;
+    unsigned counter_ = 0;
+};
+
+class LayoutProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LayoutProperty, GeneratedTablesAreWellFormed)
+{
+    ir::Module m;
+    Rng rng(static_cast<uint64_t>(GetParam()) * 977 + 5);
+    TypeGen gen(m.types(), rng);
+    StructType *root = gen.randomStruct(3);
+
+    LayoutTable table = buildLayoutTable(root);
+    std::string error;
+    EXPECT_TRUE(table.verify(&error)) << error;
+    EXPECT_EQ(table.numEntries(), layoutSubtreeEntries(root));
+    EXPECT_EQ(table.entry(0).bound, root->size());
+
+    // Field deltas point at entries whose offsets match the ABI.
+    for (size_t f = 0; f < root->numFields(); ++f) {
+        uint64_t delta = layoutFieldDelta(root, static_cast<unsigned>(f));
+        ASSERT_LT(delta, table.numEntries());
+        const LayoutEntry &entry = table.entry(delta);
+        EXPECT_EQ(entry.parent, 0u);
+        EXPECT_EQ(entry.base, root->fieldOffset(f));
+        EXPECT_EQ(entry.bound,
+                  root->fieldOffset(f) + root->field(f)->size());
+    }
+
+    // Encode/decode round-trips every entry.
+    for (size_t i = 0; i < table.numEntries(); ++i) {
+        uint64_t w0, w1;
+        table.entry(i).encode(w0, w1);
+        EXPECT_EQ(LayoutEntry::decode(w0, w1), table.entry(i));
+    }
+}
+
+TEST_P(LayoutProperty, PromoteNarrowsEveryTopLevelField)
+{
+    ir::Module m;
+    Rng rng(static_cast<uint64_t>(GetParam()) * 131 + 7);
+    TypeGen gen(m.types(), rng);
+    StructType *root = gen.randomStruct(2);
+    if (root->size() > IfpConfig::localMaxObjectBytes ||
+        layoutSubtreeEntries(root) > 64) {
+        GTEST_SKIP() << "type too large for the local-offset scheme";
+    }
+
+    GuestMemory mem;
+    IfpControlRegs regs;
+    regs.macKey = {11, 22};
+    PromoteEngine engine(mem, nullptr, regs);
+
+    LayoutTable table = buildLayoutTable(root);
+    GuestAddr lt = 0x9000;
+    table.writeTo(mem, lt);
+
+    GuestAddr base = 0x4000;
+    GuestAddr meta = base + roundUp(root->size(), 16);
+    LocalOffsetMeta::write(mem, meta, root->size(), lt, regs.macKey);
+    TaggedPtr obj = TaggedPtr::make(base, Scheme::LocalOffset,
+                                    ((meta - base) / 16) << 6);
+
+    for (size_t f = 0; f < root->numFields(); ++f) {
+        uint64_t idx = layoutFieldDelta(root, static_cast<unsigned>(f));
+        uint64_t off = root->fieldOffset(f);
+        TaggedPtr p = ops::ifpAdd(obj.withSubobjIndex(idx),
+                                  static_cast<int64_t>(off),
+                                  Bounds::cleared());
+        PromoteResult r = engine.promote(p);
+        ASSERT_EQ(r.outcome, PromoteResult::Outcome::Retrieved)
+            << root->toString() << " field " << f;
+        EXPECT_TRUE(r.narrowSucceeded);
+        EXPECT_EQ(r.bounds,
+                  Bounds(base + off, base + off + root->field(f)->size()))
+            << "field " << f << " of " << root->toString();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LayoutProperty,
+                         ::testing::Range(0, 24));
+
+TEST(Layout, ArrayOfArrays)
+{
+    ir::Module m;
+    TypeContext &tc = m.types();
+    // [2 x [3 x i64]] as a root allocation.
+    const Type *inner = tc.array(tc.i64(), 3);
+    const Type *outer = tc.array(inner, 2);
+    LayoutTable table = buildLayoutTable(outer);
+    ASSERT_EQ(table.numEntries(), 2u);
+    EXPECT_EQ(table.entry(0), (LayoutEntry{0, 0, 48, 24}));
+    EXPECT_EQ(table.entry(1), (LayoutEntry{0, 0, 24, 8}));
+}
+
+TEST(Layout, ScalarTypesGetNoTable)
+{
+    ir::Module m;
+    TypeContext &tc = m.types();
+    LayoutRegistry registry;
+    EXPECT_EQ(registry.tableFor(tc.i64()), ir::noLayout);
+    EXPECT_EQ(registry.tableFor(tc.array(tc.i64(), 100)), ir::noLayout);
+    EXPECT_EQ(registry.tableFor(tc.ptr(tc.i64())), ir::noLayout);
+}
+
+TEST(Layout, RegistryDeduplicatesByType)
+{
+    ir::Module m;
+    TypeContext &tc = m.types();
+    StructType *s = tc.createStruct("S", {tc.i64(), tc.i64()});
+    LayoutRegistry registry;
+    ir::LayoutId a = registry.tableFor(s);
+    ir::LayoutId b = registry.tableFor(s);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(registry.numTables(), 1u);
+    EXPECT_EQ(registry.find(s), a);
+    EXPECT_EQ(registry.find(tc.i64()), ir::noLayout);
+}
+
+} // namespace
+} // namespace infat

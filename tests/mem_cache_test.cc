@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for the guest memory and cache models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "mem/guest_memory.hh"
+
+namespace infat {
+namespace {
+
+TEST(GuestMemory, ZeroFilledOnFirstTouch)
+{
+    GuestMemory mem;
+    EXPECT_EQ(mem.load<uint64_t>(0x12345678), 0u);
+}
+
+TEST(GuestMemory, RoundTripAcrossPageBoundary)
+{
+    GuestMemory mem;
+    GuestAddr addr = GuestMemory::pageSize - 3;
+    mem.store<uint64_t>(addr, 0x1122334455667788ULL);
+    EXPECT_EQ(mem.load<uint64_t>(addr), 0x1122334455667788ULL);
+    // The bytes landed on both pages.
+    EXPECT_EQ(mem.load<uint8_t>(GuestMemory::pageSize - 3), 0x88);
+    EXPECT_EQ(mem.load<uint8_t>(GuestMemory::pageSize), 0x55);
+}
+
+TEST(GuestMemory, TagBitsIgnored)
+{
+    GuestMemory mem;
+    mem.store<uint32_t>(0x1000, 0xdeadbeef);
+    GuestAddr tagged = 0x1000 | (0xabcdULL << 48);
+    EXPECT_EQ(mem.load<uint32_t>(tagged), 0xdeadbeefu);
+}
+
+TEST(GuestMemory, FillAndCopy)
+{
+    GuestMemory mem;
+    mem.fill(0x2000, 0x5a, 100);
+    EXPECT_EQ(mem.load<uint8_t>(0x2000), 0x5a);
+    EXPECT_EQ(mem.load<uint8_t>(0x2063), 0x5a);
+    EXPECT_EQ(mem.load<uint8_t>(0x2064), 0u);
+    mem.copy(0x9000, 0x2000, 100);
+    EXPECT_EQ(mem.load<uint8_t>(0x9063), 0x5a);
+}
+
+TEST(GuestMemory, ResidentTracksTouchedPages)
+{
+    GuestMemory mem;
+    EXPECT_EQ(mem.pagesTouched(), 0u);
+    mem.store<uint8_t>(0x0, 1);
+    mem.store<uint8_t>(0x10, 1); // same page
+    EXPECT_EQ(mem.pagesTouched(), 1u);
+    mem.store<uint8_t>(1 << 20, 1);
+    EXPECT_EQ(mem.pagesTouched(), 2u);
+    EXPECT_EQ(mem.residentBytes(), 2 * GuestMemory::pageSize);
+}
+
+TEST(Cache, HitAfterMiss)
+{
+    Cache cache("t");
+    auto first = cache.access(0x1000, 8, false);
+    EXPECT_FALSE(first.hit);
+    auto second = cache.access(0x1008, 8, false); // same 16 B line
+    EXPECT_TRUE(second.hit);
+    EXPECT_LT(second.latency, first.latency);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(Cache, LineSpanningAccessTouchesBothLines)
+{
+    Cache cache("t");
+    cache.access(0x1008, 16, false); // spans lines 0x1000 and 0x1010
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_TRUE(cache.access(0x1000, 8, false).hit);
+    EXPECT_TRUE(cache.access(0x1010, 8, false).hit);
+}
+
+TEST(Cache, LruEvictionWithinSet)
+{
+    CacheConfig config;
+    config.sizeBytes = 256; // 2 sets x 8 ways x 16 B
+    config.assoc = 8;
+    Cache cache("t", config);
+    // Fill one set (stride = 32 bytes keeps us in set 0).
+    for (unsigned i = 0; i < 8; ++i)
+        cache.access(i * 32, 1, false);
+    EXPECT_TRUE(cache.access(0, 1, false).hit);   // refresh way 0
+    cache.access(8 * 32, 1, false);               // evicts LRU (way 1)
+    EXPECT_TRUE(cache.access(0, 1, false).hit);   // still cached
+    EXPECT_FALSE(cache.access(32, 1, false).hit); // evicted
+}
+
+TEST(Cache, WritebackCountsDirtyEvictions)
+{
+    CacheConfig config;
+    config.sizeBytes = 128; // 1 set x 8 ways
+    config.assoc = 8;
+    Cache cache("t", config);
+    cache.access(0, 8, true); // dirty
+    for (unsigned i = 1; i <= 8; ++i)
+        cache.access(i * 16, 1, false);
+    EXPECT_EQ(cache.stats().value("writebacks"), 1u);
+}
+
+TEST(Cache, L2ReducesMissLatency)
+{
+    CacheConfig l1_cfg;
+    l1_cfg.missPenalty = 20;
+    CacheConfig l2_cfg{256 * 1024, 8, 64, 8, 60};
+    Cache flat("flat", l1_cfg);
+    Cache l1("l1", l1_cfg);
+    Cache l2("l2", l2_cfg);
+    l1.setNextLevel(&l2);
+
+    // Cold miss through the hierarchy pays L2's memory penalty.
+    auto cold = l1.access(0x1000, 8, false);
+    EXPECT_FALSE(cold.hit);
+    EXPECT_EQ(cold.latency, 1u + 8u + 60u);
+    EXPECT_EQ(l2.misses(), 1u);
+
+    // Evict the line from L1 (fill its set), then re-access: L2 hit.
+    for (unsigned i = 1; i <= 8; ++i)
+        l1.access(0x1000 + i * 4096, 8, false);
+    auto warm = l1.access(0x1000, 8, false);
+    EXPECT_FALSE(warm.hit);
+    EXPECT_EQ(warm.latency, 1u + 8u); // refilled from L2, no memory trip
+    EXPECT_GT(l2.hits(), 0u);
+
+    // And the flat cache would have paid the full penalty.
+    EXPECT_EQ(flat.access(0x1000, 8, false).latency, 21u);
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    Cache cache("t");
+    cache.access(0x1000, 8, false);
+    cache.flush();
+    EXPECT_FALSE(cache.access(0x1000, 8, false).hit);
+}
+
+} // namespace
+} // namespace infat

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the three in-memory metadata encodings and their MAC
+ * binding (paper §3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ifp/metadata.hh"
+#include "mem/guest_memory.hh"
+
+namespace infat {
+namespace {
+
+class MetadataTest : public ::testing::Test
+{
+  protected:
+    GuestMemory mem;
+    MacKey key{0x1234, 0x5678};
+};
+
+TEST_F(MetadataTest, LocalOffsetRoundTrip)
+{
+    LocalOffsetMeta::write(mem, 0x2000, 456, 0x9000, key);
+    LocalOffsetMeta meta = LocalOffsetMeta::read(mem, 0x2000);
+    EXPECT_EQ(meta.objectSize, 456u);
+    EXPECT_EQ(meta.layoutTable, 0x9000u);
+    EXPECT_EQ(meta.magic, LocalOffsetMeta::magicValue);
+    EXPECT_TRUE(meta.verify(0x2000, key));
+}
+
+TEST_F(MetadataTest, LocalOffsetMacBindsLocation)
+{
+    LocalOffsetMeta::write(mem, 0x2000, 64, 0, key);
+    // Replay the same bytes at a different address.
+    uint64_t w0 = mem.load<uint64_t>(0x2000);
+    uint64_t w1 = mem.load<uint64_t>(0x2008);
+    mem.store<uint64_t>(0x3000, w0);
+    mem.store<uint64_t>(0x3008, w1);
+    LocalOffsetMeta moved = LocalOffsetMeta::read(mem, 0x3000);
+    EXPECT_FALSE(moved.verify(0x3000, key));
+}
+
+TEST_F(MetadataTest, LocalOffsetMacBindsKey)
+{
+    LocalOffsetMeta::write(mem, 0x2000, 64, 0, key);
+    LocalOffsetMeta meta = LocalOffsetMeta::read(mem, 0x2000);
+    MacKey other{0x1234, 0x5679};
+    EXPECT_FALSE(meta.verify(0x2000, other));
+}
+
+TEST_F(MetadataTest, LocalOffsetEraseInvalidates)
+{
+    LocalOffsetMeta::write(mem, 0x2000, 64, 0, key);
+    LocalOffsetMeta::erase(mem, 0x2000);
+    LocalOffsetMeta meta = LocalOffsetMeta::read(mem, 0x2000);
+    EXPECT_FALSE(meta.verify(0x2000, key));
+    EXPECT_NE(meta.magic, LocalOffsetMeta::magicValue);
+}
+
+TEST_F(MetadataTest, SubheapRoundTrip)
+{
+    SubheapBlockMeta meta;
+    meta.slotsStart = 32;
+    meta.slotsEnd = 65504;
+    meta.slotSize = 96;
+    meta.objectSize = 88;
+    meta.layoutTable = 0xa000;
+    meta.valid = true;
+    SubheapBlockMeta::write(mem, 0x10000, 0, meta, key);
+
+    SubheapBlockMeta got = SubheapBlockMeta::read(mem, 0x10000, 0);
+    EXPECT_EQ(got.slotsStart, 32u);
+    EXPECT_EQ(got.slotsEnd, 65504u);
+    EXPECT_EQ(got.slotSize, 96u);
+    EXPECT_EQ(got.objectSize, 88u);
+    EXPECT_EQ(got.layoutTable, 0xa000u);
+    EXPECT_TRUE(got.valid);
+    EXPECT_TRUE(got.verify(0x10000, key));
+}
+
+TEST_F(MetadataTest, SubheapMacBindsBlockBase)
+{
+    SubheapBlockMeta meta;
+    meta.slotsStart = 32;
+    meta.slotsEnd = 1024;
+    meta.slotSize = 64;
+    meta.objectSize = 64;
+    meta.valid = true;
+    SubheapBlockMeta::write(mem, 0x10000, 0, meta, key);
+    // Copy the 32 metadata bytes to another block base.
+    for (unsigned i = 0; i < 4; ++i) {
+        mem.store<uint64_t>(0x20000 + i * 8,
+                            mem.load<uint64_t>(0x10000 + i * 8));
+    }
+    SubheapBlockMeta moved = SubheapBlockMeta::read(mem, 0x20000, 0);
+    EXPECT_FALSE(moved.verify(0x20000, key));
+}
+
+TEST_F(MetadataTest, SubheapTamperDetected)
+{
+    SubheapBlockMeta meta;
+    meta.slotsStart = 32;
+    meta.slotsEnd = 1024;
+    meta.slotSize = 64;
+    meta.objectSize = 64;
+    meta.valid = true;
+    SubheapBlockMeta::write(mem, 0x10000, 0, meta, key);
+    // Enlarge objectSize in memory: an attacker widening the bounds.
+    uint64_t w1 = mem.load<uint64_t>(0x10008);
+    mem.store<uint64_t>(0x10008, w1 | (0xffffULL << 32));
+    EXPECT_FALSE(
+        SubheapBlockMeta::read(mem, 0x10000, 0).verify(0x10000, key));
+}
+
+TEST_F(MetadataTest, GlobalRowRoundTripAndErase)
+{
+    GlobalTableRow row;
+    row.base = 0x123456789a;
+    row.size = 1 << 20;
+    row.valid = true;
+    GlobalTableRow::write(mem, layout::tableBase, 77, row);
+
+    GlobalTableRow got = GlobalTableRow::read(mem, layout::tableBase,
+                                              77);
+    EXPECT_EQ(got.base, 0x123456789aULL);
+    EXPECT_EQ(got.size, 1ULL << 20);
+    EXPECT_TRUE(got.valid);
+
+    GlobalTableRow::erase(mem, layout::tableBase, 77);
+    EXPECT_FALSE(
+        GlobalTableRow::read(mem, layout::tableBase, 77).valid);
+}
+
+TEST_F(MetadataTest, GlobalRowsDoNotOverlap)
+{
+    GlobalTableRow a{0x1000, 10, true};
+    GlobalTableRow b{0x2000, 20, true};
+    GlobalTableRow::write(mem, layout::tableBase, 0, a);
+    GlobalTableRow::write(mem, layout::tableBase, 1, b);
+    EXPECT_EQ(GlobalTableRow::read(mem, layout::tableBase, 0).base,
+              0x1000u);
+    EXPECT_EQ(GlobalTableRow::read(mem, layout::tableBase, 1).base,
+              0x2000u);
+}
+
+} // namespace
+} // namespace infat

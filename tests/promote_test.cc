@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Unit tests for the promote engine: all three metadata schemes, MAC
+ * verification, and the subobject narrowing walker, exercised directly
+ * against guest memory (no IR or VM involved).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/layout_gen.hh"
+#include "ifp/metadata.hh"
+#include "ifp/ops.hh"
+#include "ifp/promote_engine.hh"
+#include "ir/module.hh"
+
+namespace infat {
+namespace {
+
+class PromoteTest : public ::testing::Test
+{
+  protected:
+    PromoteTest() : engine(mem, nullptr, regs)
+    {
+        regs.macKey = {0x1111, 0x2222};
+        regs.globalTableBase = layout::tableBase;
+        regs.globalTableRows = IfpConfig::globalTableRows;
+    }
+
+    /** Set up a local-offset object at @p base of @p size bytes. */
+    TaggedPtr
+    makeLocalObject(GuestAddr base, uint64_t size, GuestAddr lt = 0)
+    {
+        GuestAddr meta = base + roundUp(size, 16);
+        LocalOffsetMeta::write(mem, meta, size, lt, regs.macKey);
+        uint64_t offset = (meta - base) / 16;
+        return TaggedPtr::make(base, Scheme::LocalOffset, offset << 6);
+    }
+
+    GuestMemory mem;
+    IfpControlRegs regs;
+    PromoteEngine engine;
+};
+
+TEST_F(PromoteTest, NullAndLegacyBypass)
+{
+    PromoteResult null_result = engine.promote(TaggedPtr::legacy(0));
+    EXPECT_EQ(null_result.outcome, PromoteResult::Outcome::BypassNull);
+    EXPECT_FALSE(null_result.bounds.valid());
+
+    PromoteResult legacy = engine.promote(TaggedPtr::legacy(0x5000));
+    EXPECT_EQ(legacy.outcome, PromoteResult::Outcome::BypassLegacy);
+    EXPECT_FALSE(legacy.bounds.valid());
+    EXPECT_FALSE(legacy.ptr.isPoisoned());
+}
+
+TEST_F(PromoteTest, InvalidPointerBypassesLookup)
+{
+    TaggedPtr p = TaggedPtr::make(0x1000, Scheme::LocalOffset, 4 << 6,
+                                  Poison::Invalid);
+    PromoteResult result = engine.promote(p);
+    EXPECT_EQ(result.outcome, PromoteResult::Outcome::BypassPoisoned);
+    EXPECT_EQ(engine.stats().value("meta_fetches"), 0u);
+}
+
+TEST_F(PromoteTest, LocalOffsetRetrieval)
+{
+    TaggedPtr p = makeLocalObject(0x2000, 48);
+    PromoteResult result = engine.promote(p);
+    ASSERT_EQ(result.outcome, PromoteResult::Outcome::Retrieved);
+    EXPECT_EQ(result.bounds, Bounds(0x2000, 0x2030));
+    EXPECT_EQ(result.ptr.poison(), Poison::Valid);
+}
+
+TEST_F(PromoteTest, LocalOffsetInteriorPointer)
+{
+    TaggedPtr base = makeLocalObject(0x2000, 48);
+    // Interior pointer 32 bytes in: granule offset shrinks by 2.
+    TaggedPtr interior = TaggedPtr::make(
+        0x2020, Scheme::LocalOffset,
+        (base.localGranuleOffset() - 2) << 6);
+    PromoteResult result = engine.promote(interior);
+    ASSERT_EQ(result.outcome, PromoteResult::Outcome::Retrieved);
+    EXPECT_EQ(result.bounds, Bounds(0x2000, 0x2030));
+}
+
+TEST_F(PromoteTest, LocalOffsetMacTamperDetected)
+{
+    TaggedPtr p = makeLocalObject(0x2000, 48);
+    // Corrupt the size field of the metadata.
+    GuestAddr meta = 0x2000 + 48;
+    mem.store<uint16_t>(meta, 1000);
+    PromoteResult result = engine.promote(p);
+    EXPECT_EQ(result.outcome, PromoteResult::Outcome::MetaInvalid);
+    EXPECT_EQ(result.ptr.poison(), Poison::Invalid);
+    EXPECT_EQ(engine.stats().value("mac_fail"), 1u);
+}
+
+TEST_F(PromoteTest, MacDisabledStillChecksMagic)
+{
+    IfpConfig config;
+    config.macEnabled = false;
+    engine.setConfig(config);
+    TaggedPtr p = makeLocalObject(0x2000, 48);
+    EXPECT_EQ(engine.promote(p).outcome,
+              PromoteResult::Outcome::Retrieved);
+
+    // Zeroed metadata (erased object) must not yield bounds.
+    LocalOffsetMeta::erase(mem, 0x2000 + 48);
+    EXPECT_EQ(engine.promote(p).outcome,
+              PromoteResult::Outcome::MetaInvalid);
+}
+
+TEST_F(PromoteTest, SubheapRetrieval)
+{
+    regs.subheap[3].valid = true;
+    regs.subheap[3].blockOrderLog2 = 16; // 64 KiB block
+    regs.subheap[3].metaOffset = 0;
+
+    GuestAddr block = 0x10000; // 64 KiB aligned
+    SubheapBlockMeta meta;
+    meta.slotsStart = 32;
+    meta.slotsEnd = 32 + 10 * 64;
+    meta.slotSize = 64;
+    meta.objectSize = 48;
+    meta.layoutTable = 0;
+    meta.valid = true;
+    SubheapBlockMeta::write(mem, block, 0, meta, regs.macKey);
+
+    // Pointer into slot 4, 8 bytes in.
+    GuestAddr addr = block + 32 + 4 * 64 + 8;
+    TaggedPtr p = TaggedPtr::make(addr, Scheme::Subheap, 3ULL << 8);
+    PromoteResult result = engine.promote(p);
+    ASSERT_EQ(result.outcome, PromoteResult::Outcome::Retrieved);
+    EXPECT_EQ(result.bounds,
+              Bounds(block + 32 + 4 * 64, block + 32 + 4 * 64 + 48));
+    EXPECT_EQ(result.ptr.poison(), Poison::Valid);
+
+    // A pointer in the slot's tail padding is out of the object.
+    TaggedPtr pad = TaggedPtr::make(block + 32 + 4 * 64 + 50,
+                                    Scheme::Subheap, 3ULL << 8);
+    PromoteResult pad_result = engine.promote(pad);
+    ASSERT_EQ(pad_result.outcome, PromoteResult::Outcome::Retrieved);
+    EXPECT_EQ(pad_result.ptr.poison(), Poison::OutOfBounds);
+}
+
+TEST_F(PromoteTest, SubheapInvalidControlRegisterPoisons)
+{
+    TaggedPtr p = TaggedPtr::make(0x20000, Scheme::Subheap, 9ULL << 8);
+    EXPECT_EQ(engine.promote(p).outcome,
+              PromoteResult::Outcome::MetaInvalid);
+}
+
+TEST_F(PromoteTest, GlobalTableRetrieval)
+{
+    GlobalTableRow row;
+    row.base = 0x7000;
+    row.size = 4096;
+    row.valid = true;
+    GlobalTableRow::write(mem, regs.globalTableBase, 17, row);
+
+    TaggedPtr p = TaggedPtr::make(0x7800, Scheme::GlobalTable, 17);
+    PromoteResult result = engine.promote(p);
+    ASSERT_EQ(result.outcome, PromoteResult::Outcome::Retrieved);
+    EXPECT_EQ(result.bounds, Bounds(0x7000, 0x8000));
+
+    // Erased row: poisoned.
+    GlobalTableRow::erase(mem, regs.globalTableBase, 17);
+    EXPECT_EQ(engine.promote(p).outcome,
+              PromoteResult::Outcome::MetaInvalid);
+}
+
+/** The paper's Figure 9 example type, narrowed through every entry. */
+class NarrowingTest : public PromoteTest
+{
+  protected:
+    NarrowingTest()
+    {
+        // struct S { int v1; struct { int v3; int v4; } array[2];
+        //            int v5; };
+        ir::TypeContext &tc = module.types();
+        nested = tc.createStruct(
+            "NestedTy", {tc.i32(), tc.i32()});
+        s = tc.createStruct(
+            "S", {tc.i32(),
+                  tc.array(nested, 2),
+                  tc.i32()});
+        table = buildLayoutTable(s);
+        table.writeTo(mem, ltAddr);
+    }
+
+    ir::Module module;
+    ir::StructType *nested = nullptr;
+    ir::StructType *s = nullptr;
+    LayoutTable table;
+    GuestAddr ltAddr = 0x9000;
+};
+
+TEST_F(NarrowingTest, TableMatchesPaperExample)
+{
+    // Offsets: v1 at 0, array at [4, 20) elem 8, v5 at [20, 24).
+    ASSERT_EQ(table.numEntries(), 6u);
+    EXPECT_EQ(table.entry(0), (LayoutEntry{0, 0, 24, 24}));
+    EXPECT_EQ(table.entry(1), (LayoutEntry{0, 0, 4, 4}));   // v1
+    EXPECT_EQ(table.entry(2), (LayoutEntry{0, 4, 20, 8}));  // array
+    EXPECT_EQ(table.entry(3), (LayoutEntry{2, 0, 4, 4}));   // .v3
+    EXPECT_EQ(table.entry(4), (LayoutEntry{2, 4, 8, 4}));   // .v4
+    EXPECT_EQ(table.entry(5), (LayoutEntry{0, 20, 24, 4})); // v5
+    EXPECT_TRUE(table.entry(2).isArray());
+}
+
+TEST_F(NarrowingTest, FieldDeltasMatchTable)
+{
+    EXPECT_EQ(layoutFieldDelta(s, 0), 1u); // v1
+    EXPECT_EQ(layoutFieldDelta(s, 1), 2u); // array
+    EXPECT_EQ(layoutFieldDelta(s, 2), 5u); // v5
+    EXPECT_EQ(layoutFieldDelta(nested, 0), 1u);
+    EXPECT_EQ(layoutFieldDelta(nested, 1), 2u);
+}
+
+TEST_F(NarrowingTest, NarrowsScalarField)
+{
+    GuestAddr obj = 0x3000;
+    TaggedPtr base = makeLocalObject(obj, 24, ltAddr);
+
+    // &s->v5 : subobject index 5, address obj + 20. ifpadd keeps the
+    // granule-offset field consistent across the move.
+    TaggedPtr p = ops::ifpAdd(base.withSubobjIndex(5), 20,
+                              Bounds::cleared());
+    PromoteResult result = engine.promote(p);
+    ASSERT_EQ(result.outcome, PromoteResult::Outcome::Retrieved);
+    EXPECT_TRUE(result.narrowSucceeded);
+    EXPECT_EQ(result.bounds, Bounds(obj + 20, obj + 24));
+}
+
+TEST_F(NarrowingTest, NarrowsArrayOfStructElement)
+{
+    GuestAddr obj = 0x3000;
+    TaggedPtr base = makeLocalObject(obj, 24, ltAddr);
+
+    // &s->array[1].v3 : index 3, address obj + 4 + 8.
+    TaggedPtr p = base.withSubobjIndex(3).withAddr(obj + 12);
+    PromoteResult result = engine.promote(p);
+    ASSERT_EQ(result.outcome, PromoteResult::Outcome::Retrieved);
+    EXPECT_TRUE(result.narrowSucceeded);
+    EXPECT_EQ(result.bounds, Bounds(obj + 12, obj + 16));
+
+    // &s->array[0].v4 : index 4, address obj + 4 + 4.
+    TaggedPtr q = base.withSubobjIndex(4).withAddr(obj + 8);
+    PromoteResult result_q = engine.promote(q);
+    EXPECT_EQ(result_q.bounds, Bounds(obj + 8, obj + 12));
+
+    // &s->array (the whole array): index 2.
+    TaggedPtr arr = base.withSubobjIndex(2).withAddr(obj + 4);
+    PromoteResult result_arr = engine.promote(arr);
+    EXPECT_EQ(result_arr.bounds, Bounds(obj + 4, obj + 20));
+}
+
+TEST_F(NarrowingTest, MallocedArrayOfStructUsesRootElementSize)
+{
+    // malloc(3 * sizeof(S)): object of 72 bytes sharing S's table.
+    GuestAddr obj = 0x4000;
+    GuestAddr meta = obj + 72 + 8; // round up to granule
+    LocalOffsetMeta::write(mem, meta, 72, ltAddr, regs.macKey);
+    TaggedPtr base = TaggedPtr::make(obj, Scheme::LocalOffset,
+                                     ((meta - obj) / 16) << 6);
+
+    // &objs[2].v5 : index 5, address obj + 48 + 20.
+    TaggedPtr p = ops::ifpAdd(base.withSubobjIndex(5), 68,
+                              Bounds::cleared());
+    PromoteResult result = engine.promote(p);
+    ASSERT_EQ(result.outcome, PromoteResult::Outcome::Retrieved);
+    EXPECT_TRUE(result.narrowSucceeded);
+    EXPECT_EQ(result.bounds, Bounds(obj + 68, obj + 72));
+}
+
+TEST_F(NarrowingTest, NoLayoutTableCoarsensToObjectBounds)
+{
+    GuestAddr obj = 0x3000;
+    TaggedPtr base = makeLocalObject(obj, 24, /*lt=*/0);
+    TaggedPtr p = ops::ifpAdd(base.withSubobjIndex(5), 20,
+                              Bounds::cleared());
+    PromoteResult result = engine.promote(p);
+    ASSERT_EQ(result.outcome, PromoteResult::Outcome::Retrieved);
+    EXPECT_TRUE(result.narrowAttempted);
+    EXPECT_FALSE(result.narrowSucceeded);
+    EXPECT_EQ(result.bounds, Bounds(obj, obj + 24));
+}
+
+TEST_F(NarrowingTest, CorruptEntryPoisons)
+{
+    GuestAddr obj = 0x3000;
+    TaggedPtr base = makeLocalObject(obj, 24, ltAddr);
+    // Corrupt entry 5: parent points forward (cycle-ish).
+    LayoutEntry bad{5, 0, 4, 4};
+    uint64_t w0, w1;
+    bad.encode(w0, w1);
+    mem.store<uint64_t>(ltAddr + 5 * 16, w0);
+    mem.store<uint64_t>(ltAddr + 5 * 16 + 8, w1);
+
+    TaggedPtr p = ops::ifpAdd(base.withSubobjIndex(5), 20,
+                              Bounds::cleared());
+    PromoteResult result = engine.promote(p);
+    EXPECT_EQ(result.outcome, PromoteResult::Outcome::MetaInvalid);
+    EXPECT_EQ(result.ptr.poison(), Poison::Invalid);
+}
+
+} // namespace
+} // namespace infat

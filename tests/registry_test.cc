@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Registry invariants: all 18 paper workloads present, metadata
+ * complete, every builder produces a verifiable module.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ir/verifier.hh"
+#include "workloads/workload.hh"
+
+namespace infat {
+namespace workloads {
+namespace {
+
+TEST(Registry, PaperWorkloadSetComplete)
+{
+    const char *expected[] = {
+        "bh",      "bisort",  "em3d",  "health",       "mst",
+        "perimeter", "power", "treeadd", "tsp",        "voronoi",
+        "anagram", "ft",      "ks",    "yacr2",        "wolfcrypt-dh",
+        "sjeng",   "coremark", "bzip2"};
+    EXPECT_EQ(all().size(), 18u);
+    for (const char *name : expected)
+        EXPECT_NE(byName(name), nullptr) << name;
+    EXPECT_EQ(byName("doom"), nullptr);
+}
+
+TEST(Registry, MetadataComplete)
+{
+    std::set<std::string> names;
+    for (const Workload &w : all()) {
+        EXPECT_TRUE(names.insert(w.name).second) << "duplicate name";
+        EXPECT_TRUE(std::string(w.suite) == "olden" ||
+                    std::string(w.suite) == "ptrdist" ||
+                    std::string(w.suite) == "other")
+            << w.name;
+        EXPECT_GT(std::string(w.notes).size(), 10u) << w.name;
+        EXPECT_NE(w.build, nullptr) << w.name;
+    }
+}
+
+TEST(Registry, EveryBuilderProducesVerifiableModule)
+{
+    for (const Workload &w : all()) {
+        ir::Module m;
+        w.build(m);
+        auto problems = ir::verify(m);
+        EXPECT_TRUE(problems.empty())
+            << w.name << ": " << problems.front();
+        EXPECT_NE(m.functionByName("main"), nullptr) << w.name;
+    }
+}
+
+} // namespace
+} // namespace workloads
+} // namespace infat

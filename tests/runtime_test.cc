@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Unit tests for the runtime library model: both allocators, object
+ * registration, the global table, and the subheap pool mechanics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ifp/promote_engine.hh"
+#include "runtime/runtime.hh"
+#include "support/bitops.hh"
+
+namespace infat {
+namespace {
+
+class RuntimeTest : public ::testing::TestWithParam<AllocatorKind>
+{
+  protected:
+    RuntimeTest()
+        : runtime(mem, regs, GetParam(), true),
+          engine(mem, nullptr, regs)
+    {
+        runtime.init(nullptr);
+    }
+
+    GuestMemory mem;
+    IfpControlRegs regs;
+    Runtime runtime;
+    PromoteEngine engine;
+};
+
+TEST_P(RuntimeTest, AllocatePromoteRoundTrip)
+{
+    for (uint64_t size : {8u, 24u, 100u, 1000u, 5000u}) {
+        RuntimeCost cost;
+        IfpAllocation alloc = runtime.ifpMalloc(size, ir::noLayout,
+                                                cost);
+        EXPECT_FALSE(alloc.ptr.isLegacy());
+        EXPECT_EQ(alloc.bounds, Bounds(alloc.ptr.addr(),
+                                       alloc.ptr.addr() + size));
+        // The hardware must recover exactly these bounds from memory.
+        PromoteResult r = engine.promote(alloc.ptr);
+        ASSERT_EQ(r.outcome, PromoteResult::Outcome::Retrieved)
+            << "size " << size;
+        EXPECT_EQ(r.bounds, alloc.bounds) << "size " << size;
+        runtime.ifpFree(alloc.ptr, cost);
+    }
+}
+
+TEST_P(RuntimeTest, FreedObjectNoLongerPromotes)
+{
+    RuntimeCost cost;
+    IfpAllocation alloc = runtime.ifpMalloc(64, ir::noLayout, cost);
+    runtime.ifpFree(alloc.ptr, cost);
+    PromoteResult r = engine.promote(alloc.ptr);
+    // Metadata was erased (or the block released): the stale pointer
+    // must not yield valid bounds for the old object.
+    if (r.outcome == PromoteResult::Outcome::Retrieved) {
+        // Subheap: the warm block may host a new object; bounds must
+        // at least not exceed the slot.
+        EXPECT_LE(r.bounds.size(), 64u);
+    } else {
+        EXPECT_EQ(r.outcome, PromoteResult::Outcome::MetaInvalid);
+    }
+}
+
+TEST_P(RuntimeTest, ManyObjectsAreDisjoint)
+{
+    std::vector<IfpAllocation> allocs;
+    RuntimeCost cost;
+    for (int i = 0; i < 500; ++i)
+        allocs.push_back(runtime.ifpMalloc(48, ir::noLayout, cost));
+    for (size_t i = 0; i < allocs.size(); ++i) {
+        for (size_t j = i + 1; j < allocs.size(); ++j) {
+            EXPECT_TRUE(allocs[i].bounds.upper() <=
+                            allocs[j].bounds.lower() ||
+                        allocs[j].bounds.upper() <=
+                            allocs[i].bounds.lower());
+        }
+        if (allocs.size() > 50 && GetParam() == AllocatorKind::Subheap)
+            break; // O(n^2) check on a sample is enough for subheap
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Allocators, RuntimeTest,
+                         ::testing::Values(AllocatorKind::Wrapped,
+                                           AllocatorKind::Subheap),
+                         [](const auto &info) {
+                             return std::string(toString(info.param));
+                         });
+
+TEST(RuntimeSchemes, WrappedPicksSchemeBySize)
+{
+    GuestMemory mem;
+    IfpControlRegs regs;
+    Runtime runtime(mem, regs, AllocatorKind::Wrapped, true);
+    runtime.init(nullptr);
+    RuntimeCost cost;
+    EXPECT_EQ(runtime.ifpMalloc(1008, ir::noLayout, cost).ptr.scheme(),
+              Scheme::LocalOffset);
+    EXPECT_EQ(runtime.ifpMalloc(1009, ir::noLayout, cost).ptr.scheme(),
+              Scheme::GlobalTable);
+}
+
+TEST(RuntimeSchemes, SubheapSharesBlocksPerSizeClass)
+{
+    GuestMemory mem;
+    IfpControlRegs regs;
+    Runtime runtime(mem, regs, AllocatorKind::Subheap, true);
+    runtime.init(nullptr);
+    RuntimeCost cost;
+    IfpAllocation a = runtime.ifpMalloc(40, ir::noLayout, cost);
+    IfpAllocation b = runtime.ifpMalloc(40, ir::noLayout, cost);
+    IfpAllocation c = runtime.ifpMalloc(48, ir::noLayout, cost);
+    ASSERT_EQ(a.ptr.scheme(), Scheme::Subheap);
+    unsigned order =
+        regs.subheap[a.ptr.subheapCtrlIndex()].blockOrderLog2;
+    GuestAddr block_a = roundDown(a.ptr.addr(), 1ULL << order);
+    GuestAddr block_b = roundDown(b.ptr.addr(), 1ULL << order);
+    GuestAddr block_c = roundDown(c.ptr.addr(), 1ULL << order);
+    EXPECT_EQ(block_a, block_b);  // same size class
+    EXPECT_NE(block_a, block_c);  // different object size
+    EXPECT_EQ(runtime.stats().value("subheap_blocks"), 2u);
+}
+
+TEST(RuntimeSchemes, SubheapReleasesEmptyBlocks)
+{
+    GuestMemory mem;
+    IfpControlRegs regs;
+    Runtime runtime(mem, regs, AllocatorKind::Subheap, true);
+    runtime.init(nullptr);
+    RuntimeCost cost;
+    // Fill more than one block, then free everything.
+    std::vector<TaggedPtr> ptrs;
+    for (int i = 0; i < 3000; ++i)
+        ptrs.push_back(runtime.ifpMalloc(64, ir::noLayout, cost).ptr);
+    uint64_t blocks = runtime.stats().value("subheap_blocks");
+    EXPECT_GT(blocks, 1u);
+    for (TaggedPtr p : ptrs)
+        runtime.ifpFree(p, cost);
+    // All but the warm block returned to the buddy allocator.
+    EXPECT_EQ(runtime.stats().value("subheap_blocks_released"),
+              blocks - 1);
+}
+
+TEST(RuntimeSchemes, SubheapSlotReuse)
+{
+    GuestMemory mem;
+    IfpControlRegs regs;
+    Runtime runtime(mem, regs, AllocatorKind::Subheap, true);
+    runtime.init(nullptr);
+    RuntimeCost cost;
+    IfpAllocation a = runtime.ifpMalloc(64, ir::noLayout, cost);
+    GuestAddr addr = a.ptr.addr();
+    runtime.ifpFree(a.ptr, cost);
+    IfpAllocation b = runtime.ifpMalloc(64, ir::noLayout, cost);
+    EXPECT_EQ(b.ptr.addr(), addr); // LIFO slot reuse
+}
+
+TEST(RuntimeSchemes, GlobalRowsRecycled)
+{
+    GuestMemory mem;
+    IfpControlRegs regs;
+    Runtime runtime(mem, regs, AllocatorKind::Wrapped, true);
+    runtime.init(nullptr);
+    RuntimeCost cost;
+    // Large objects take global-table rows; freeing returns them.
+    std::set<uint64_t> rows;
+    for (int round = 0; round < 3; ++round) {
+        std::vector<TaggedPtr> ptrs;
+        for (int i = 0; i < 2000; ++i) {
+            TaggedPtr p =
+                runtime.ifpMalloc(2000, ir::noLayout, cost).ptr;
+            EXPECT_EQ(p.scheme(), Scheme::GlobalTable);
+            rows.insert(p.globalTableIndex());
+            ptrs.push_back(p);
+        }
+        for (TaggedPtr p : ptrs)
+            runtime.ifpFree(p, cost);
+    }
+    // 6000 allocations fit in 4096 rows only if rows are recycled.
+    EXPECT_LE(rows.size(), IfpConfig::globalTableRows);
+}
+
+TEST(RuntimeSchemes, RegisterObjectBothSchemes)
+{
+    GuestMemory mem;
+    IfpControlRegs regs;
+    Runtime runtime(mem, regs, AllocatorKind::Wrapped, true);
+    runtime.init(nullptr);
+    PromoteEngine engine(mem, nullptr, regs);
+    RuntimeCost cost;
+
+    IfpAllocation small = runtime.registerObject(0x7000, 100,
+                                                 ir::noLayout, cost);
+    EXPECT_EQ(small.ptr.scheme(), Scheme::LocalOffset);
+    EXPECT_EQ(engine.promote(small.ptr).bounds,
+              Bounds(0x7000, 0x7064));
+    runtime.deregisterObject(small.ptr, cost);
+    EXPECT_EQ(engine.promote(small.ptr).outcome,
+              PromoteResult::Outcome::MetaInvalid);
+
+    IfpAllocation big = runtime.registerObject(0x10000, 5000,
+                                               ir::noLayout, cost);
+    EXPECT_EQ(big.ptr.scheme(), Scheme::GlobalTable);
+    EXPECT_EQ(engine.promote(big.ptr).bounds,
+              Bounds(0x10000, 0x10000 + 5000));
+    runtime.deregisterObject(big.ptr, cost);
+    EXPECT_EQ(engine.promote(big.ptr).outcome,
+              PromoteResult::Outcome::MetaInvalid);
+}
+
+TEST(RuntimeSchemes, MixedAllocatorSelectsDynamically)
+{
+    // The paper's future-work variant: both allocators live in one
+    // process and the runtime picks per allocation (§4.2.1).
+    GuestMemory mem;
+    IfpControlRegs regs;
+    Runtime runtime(mem, regs, AllocatorKind::Mixed, true);
+    runtime.init(nullptr);
+    PromoteEngine engine(mem, nullptr, regs);
+    RuntimeCost cost;
+
+    IfpAllocation small = runtime.ifpMalloc(64, ir::noLayout, cost);
+    EXPECT_EQ(small.ptr.scheme(), Scheme::Subheap);
+    IfpAllocation big = runtime.ifpMalloc(4096, ir::noLayout, cost);
+    EXPECT_EQ(big.ptr.scheme(), Scheme::GlobalTable);
+    IfpAllocation medium = runtime.ifpMalloc(600, ir::noLayout, cost);
+    EXPECT_EQ(medium.ptr.scheme(), Scheme::LocalOffset);
+
+    // Promotion and free dispatch correctly for all three.
+    for (const IfpAllocation &alloc : {small, big, medium}) {
+        EXPECT_EQ(engine.promote(alloc.ptr).bounds, alloc.bounds);
+        runtime.ifpFree(alloc.ptr, cost);
+    }
+}
+
+TEST(RuntimeSchemes, PaddedSlotSize)
+{
+    EXPECT_EQ(Runtime::paddedSlotSize(1), 32u);   // 16 + metadata
+    EXPECT_EQ(Runtime::paddedSlotSize(16), 32u);
+    EXPECT_EQ(Runtime::paddedSlotSize(17), 48u);
+    EXPECT_EQ(Runtime::paddedSlotSize(1008), 1024u);
+    // Above the local-offset limit: no metadata tail needed.
+    EXPECT_EQ(Runtime::paddedSlotSize(1009), 1024u);
+}
+
+} // namespace
+} // namespace infat

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests for the support substrate: bit ops, SipHash, RNG, stats,
+ * and the table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/bitops.hh"
+#include "support/rng.hh"
+#include "support/siphash.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+namespace infat {
+namespace {
+
+TEST(BitOps, MaskAndBits)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(16), 0xffffu);
+    EXPECT_EQ(mask(64), ~0ULL);
+    EXPECT_EQ(bits(0xabcd1234u, 15, 8), 0x12u);
+    EXPECT_EQ(bits(~0ULL, 63, 62), 3u);
+}
+
+TEST(BitOps, InsertBitsRoundTrip)
+{
+    uint64_t v = 0;
+    v = insertBits(v, 63, 62, 2);
+    v = insertBits(v, 61, 60, 1);
+    v = insertBits(v, 59, 48, 0xabc);
+    EXPECT_EQ(bits(v, 63, 62), 2u);
+    EXPECT_EQ(bits(v, 61, 60), 1u);
+    EXPECT_EQ(bits(v, 59, 48), 0xabcu);
+    // Inserting must not disturb neighbours.
+    v = insertBits(v, 61, 60, 3);
+    EXPECT_EQ(bits(v, 63, 62), 2u);
+    EXPECT_EQ(bits(v, 59, 48), 0xabcu);
+}
+
+TEST(BitOps, SignExtend)
+{
+    EXPECT_EQ(sext(0x80, 8), -128);
+    EXPECT_EQ(sext(0x7f, 8), 127);
+    EXPECT_EQ(sext(0xffffffff, 32), -1);
+    EXPECT_EQ(sext(0x1ffffffff, 32), -1); // high garbage ignored
+}
+
+TEST(BitOps, Rounding)
+{
+    EXPECT_EQ(roundUp(0, 16), 0u);
+    EXPECT_EQ(roundUp(1, 16), 16u);
+    EXPECT_EQ(roundUp(16, 16), 16u);
+    EXPECT_EQ(roundDown(31, 16), 16u);
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(1025), 11u);
+    EXPECT_EQ(log2Floor(1024), 10u);
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(48));
+}
+
+TEST(SipHash, KnownVector)
+{
+    // Reference test vector from the SipHash paper: key =
+    // 000102...0f, input = 000102...0e.
+    uint8_t data[15];
+    for (unsigned i = 0; i < 15; ++i)
+        data[i] = static_cast<uint8_t>(i);
+    uint64_t k0 = 0x0706050403020100ULL;
+    uint64_t k1 = 0x0f0e0d0c0b0a0908ULL;
+    EXPECT_EQ(siphash24(data, sizeof(data), k0, k1),
+              0xa129ca6149be45e5ULL);
+}
+
+TEST(SipHash, Mac48Properties)
+{
+    uint64_t m = mac48(1, 2, 3, 4);
+    EXPECT_EQ(m >> 48, 0u); // truncated
+    EXPECT_EQ(m, mac48(1, 2, 3, 4)); // deterministic
+    EXPECT_NE(m, mac48(1, 2, 3, 5)); // key sensitive
+    EXPECT_NE(m, mac48(2, 1, 3, 4)); // order sensitive
+    uint64_t words[2] = {1, 2};
+    EXPECT_EQ(m, mac48Words(words, 2, 3, 4));
+}
+
+TEST(Rng, DeterministicAndSeedSensitive)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    bool differs = false;
+    Rng a2(42);
+    for (int i = 0; i < 10; ++i)
+        differs |= a2.next() != c.next();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, RangesRespectBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.below(17), 17u);
+        int64_t v = rng.range(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Stats, CountersAndDump)
+{
+    StatGroup group("test");
+    group.counter("a")++;
+    group.counter("a") += 4;
+    EXPECT_EQ(group.value("a"), 5u);
+    EXPECT_EQ(group.value("missing"), 0u);
+    EXPECT_NE(group.dump().find("test.a 5"), std::string::npos);
+    group.resetAll();
+    EXPECT_EQ(group.value("a"), 0u);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 1.0);
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+}
+
+TEST(Table, AlignsColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"x", TextTable::cell(uint64_t{42})});
+    table.addRow({"longer-name", TextTable::cellPct(0.5, 1)});
+    std::string out = table.render();
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    EXPECT_NE(out.find("50.0%"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+} // namespace
+} // namespace infat

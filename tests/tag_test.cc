@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the pointer tag codec and single-cycle IFP ops.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ifp/ops.hh"
+#include "ifp/tag.hh"
+
+namespace infat {
+namespace {
+
+TEST(Tag, LegacyPointerIsCanonical)
+{
+    TaggedPtr p = TaggedPtr::legacy(0x1234'5678'9abcULL);
+    EXPECT_EQ(p.raw(), 0x1234'5678'9abcULL);
+    EXPECT_TRUE(p.isLegacy());
+    EXPECT_FALSE(p.isPoisoned());
+    EXPECT_EQ(p.addr(), 0x1234'5678'9abcULL);
+}
+
+TEST(Tag, FieldRoundTrip)
+{
+    TaggedPtr p = TaggedPtr::make(0xdeadbeef, Scheme::LocalOffset,
+                                  (13ULL << 6) | 7);
+    EXPECT_EQ(p.scheme(), Scheme::LocalOffset);
+    EXPECT_EQ(p.localGranuleOffset(), 13u);
+    EXPECT_EQ(p.localSubobjIndex(), 7u);
+    EXPECT_EQ(p.addr(), 0xdeadbeefULL);
+    EXPECT_EQ(p.poison(), Poison::Valid);
+
+    TaggedPtr q = p.withPoison(Poison::OutOfBounds);
+    EXPECT_EQ(q.poison(), Poison::OutOfBounds);
+    EXPECT_EQ(q.scheme(), Scheme::LocalOffset);
+    EXPECT_EQ(q.addr(), p.addr());
+}
+
+TEST(Tag, SubheapFields)
+{
+    TaggedPtr p = TaggedPtr::make(0x4000'0000, Scheme::Subheap,
+                                  (5ULL << 8) | 200);
+    EXPECT_EQ(p.subheapCtrlIndex(), 5u);
+    EXPECT_EQ(p.subheapSubobjIndex(), 200u);
+    EXPECT_EQ(p.subobjIndex(), 200u);
+    EXPECT_EQ(p.maxSubobjIndex(), 255u);
+}
+
+TEST(Tag, GlobalTableFields)
+{
+    TaggedPtr p = TaggedPtr::make(0x1000, Scheme::GlobalTable, 0xabc);
+    EXPECT_EQ(p.globalTableIndex(), 0xabcu);
+    EXPECT_EQ(p.subobjIndex(), 0u); // no subobject index in this scheme
+    EXPECT_EQ(p.maxSubobjIndex(), 0u);
+}
+
+TEST(Tag, WithSubobjIndexRespectsScheme)
+{
+    TaggedPtr local = TaggedPtr::make(0x1000, Scheme::LocalOffset,
+                                      13ULL << 6);
+    EXPECT_EQ(local.withSubobjIndex(9).localSubobjIndex(), 9u);
+    EXPECT_EQ(local.withSubobjIndex(9).localGranuleOffset(), 13u);
+
+    TaggedPtr global = TaggedPtr::make(0x1000, Scheme::GlobalTable, 42);
+    EXPECT_EQ(global.withSubobjIndex(9).globalTableIndex(), 42u);
+}
+
+TEST(Bounds, AccessSizeCheck)
+{
+    Bounds b(0x1000, 0x1010);
+    EXPECT_TRUE(b.contains(0x1000, 16));
+    EXPECT_TRUE(b.contains(0x100f, 1));
+    EXPECT_FALSE(b.contains(0x100f, 2));
+    EXPECT_FALSE(b.contains(0xfff, 1));
+    EXPECT_FALSE(b.contains(0x1010, 1));
+    EXPECT_TRUE(b.recoverable(0x1010)); // one past the end
+    EXPECT_FALSE(b.recoverable(0x1011));
+}
+
+TEST(Bounds, ClearedPassesEverything)
+{
+    Bounds b = Bounds::cleared();
+    EXPECT_FALSE(b.valid());
+    EXPECT_TRUE(b.contains(0xdeadbeef, 1 << 20));
+}
+
+TEST(Ops, IfpAddUpdatesGranuleOffset)
+{
+    // Object at 0x1000, 64 bytes, metadata at 0x1040: a pointer at the
+    // base has granule offset 4.
+    TaggedPtr p = TaggedPtr::make(0x1000, Scheme::LocalOffset, 4ULL << 6);
+    Bounds b(0x1000, 0x1040);
+
+    TaggedPtr q = ops::ifpAdd(p, 16, b);
+    EXPECT_EQ(q.addr(), 0x1010ULL);
+    EXPECT_EQ(q.localGranuleOffset(), 3u);
+    EXPECT_EQ(q.poison(), Poison::Valid);
+
+    // Back to base.
+    TaggedPtr r = ops::ifpAdd(q, -16, b);
+    EXPECT_EQ(r.localGranuleOffset(), 4u);
+
+    // Sub-granule movement does not change the offset.
+    TaggedPtr s = ops::ifpAdd(p, 8, b);
+    EXPECT_EQ(s.localGranuleOffset(), 4u);
+    EXPECT_EQ(s.addr(), 0x1008ULL);
+}
+
+TEST(Ops, IfpAddPoisonsOutOfBounds)
+{
+    TaggedPtr p = TaggedPtr::make(0x1000, Scheme::LocalOffset, 4ULL << 6);
+    Bounds b(0x1000, 0x1040);
+
+    TaggedPtr q = ops::ifpAdd(p, 0x40, b);
+    EXPECT_EQ(q.poison(), Poison::OutOfBounds);
+
+    // ...and recovers when arithmetic moves it back inside.
+    TaggedPtr r = ops::ifpAdd(q, -0x40, b);
+    EXPECT_EQ(r.poison(), Poison::Valid);
+}
+
+TEST(Ops, IfpAddInvalidatesWhenMetadataUnreachable)
+{
+    TaggedPtr p = TaggedPtr::make(0x1000, Scheme::LocalOffset, 4ULL << 6);
+    // Moving far below the object underflows the 6-bit granule offset.
+    TaggedPtr q = ops::ifpAdd(p, 0x10000, Bounds::cleared());
+    EXPECT_EQ(q.poison(), Poison::Invalid);
+
+    // Invalid is sticky.
+    TaggedPtr r = ops::ifpAdd(q, -0x10000, Bounds::cleared());
+    EXPECT_EQ(r.poison(), Poison::Invalid);
+}
+
+TEST(Ops, IfpIdxClampsUnrepresentableIndex)
+{
+    TaggedPtr p = TaggedPtr::make(0x1000, Scheme::LocalOffset, 0);
+    EXPECT_EQ(ops::ifpIdx(p, 63).localSubobjIndex(), 63u);
+    EXPECT_EQ(ops::ifpIdx(p, 64).localSubobjIndex(), 0u);
+}
+
+TEST(Ops, IfpChkPoisonsOnFailure)
+{
+    TaggedPtr p = TaggedPtr::legacy(0x2000);
+    Bounds b(0x1000, 0x1040);
+    EXPECT_EQ(ops::ifpChk(p, b, 8).poison(), Poison::OutOfBounds);
+    EXPECT_EQ(ops::ifpChk(TaggedPtr::legacy(0x1000), b, 8).poison(),
+              Poison::Valid);
+    // Cleared bounds: unchecked.
+    EXPECT_EQ(ops::ifpChk(p, Bounds::cleared(), 8).poison(),
+              Poison::Valid);
+}
+
+} // namespace
+} // namespace infat

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Integration tests over the 18 evaluation workloads.
+ *
+ * Every workload must produce the *same checksum* in all five
+ * configurations — the instrumentation may change cost, never
+ * behaviour — and the per-workload signature behaviours the harness
+ * relies on (promote traffic, layout-table coverage, narrowing
+ * success/failure) are asserted where the paper calls them out.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/harness.hh"
+
+namespace infat {
+namespace workloads {
+namespace {
+
+class WorkloadConsistency : public ::testing::TestWithParam<Workload>
+{
+};
+
+TEST_P(WorkloadConsistency, SameChecksumInAllConfigs)
+{
+    const Workload &w = GetParam();
+    RunResult base = runWorkload(w, Config::Baseline);
+    for (Config config :
+         {Config::Subheap, Config::Wrapped, Config::SubheapNoPromote,
+          Config::WrappedNoPromote}) {
+        RunResult run = runWorkload(w, config);
+        EXPECT_EQ(run.checksum, base.checksum)
+            << w.name << " under " << toString(config);
+        EXPECT_GE(run.instructions, base.instructions / 2)
+            << "instrumented run suspiciously short";
+    }
+}
+
+TEST_P(WorkloadConsistency, InstrumentedRunsHavePromotes)
+{
+    const Workload &w = GetParam();
+    RunResult run = runWorkload(w, Config::Subheap);
+    EXPECT_GT(run.promotes, 0u) << w.name;
+    EXPECT_GT(run.heapObjects + run.localObjects + run.globalObjects,
+              0u)
+        << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadConsistency, ::testing::ValuesIn(all()),
+    [](const ::testing::TestParamInfo<Workload> &info) {
+        std::string name = info.param.name;
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(WorkloadBehaviours, HealthSubobjectNarrowingSucceeds)
+{
+    RunResult run = runWorkload("health", Config::Subheap);
+    EXPECT_GT(run.narrowAttempts, 0u);
+    EXPECT_GT(run.narrowSuccess, 0u);
+    EXPECT_EQ(run.narrowFail, 0u);
+}
+
+TEST(WorkloadBehaviours, CoremarkNarrowingFails)
+{
+    RunResult run = runWorkload("coremark", Config::Subheap);
+    EXPECT_GT(run.narrowAttempts, 0u);
+    EXPECT_EQ(run.narrowSuccess, 0u);
+    EXPECT_GT(run.narrowFail, 0u);
+}
+
+TEST(WorkloadBehaviours, Bzip2NarrowingFails)
+{
+    RunResult run = runWorkload("bzip2", Config::Subheap);
+    EXPECT_GT(run.narrowAttempts, 0u);
+    EXPECT_EQ(run.narrowSuccess, 0u);
+}
+
+TEST(WorkloadBehaviours, WolfcryptHasNoLayoutTables)
+{
+    RunResult run = runWorkload("wolfcrypt-dh", Config::Subheap);
+    EXPECT_GT(run.heapObjects, 0u);
+    EXPECT_EQ(run.heapObjectsWithLayout, 0u);
+}
+
+TEST(WorkloadBehaviours, TreeaddHeapObjectsHaveLayouts)
+{
+    RunResult run = runWorkload("treeadd", Config::Subheap);
+    EXPECT_GT(run.heapObjects, 0u);
+    EXPECT_GT(run.heapObjectsWithLayout, 0u);
+}
+
+TEST(WorkloadBehaviours, AnagramPromotesLegacyPointers)
+{
+    RunResult run = runWorkload("anagram", Config::Subheap);
+    EXPECT_GT(run.bypassLegacy, 0u);
+}
+
+TEST(WorkloadBehaviours, TreeaddBypassesNullPointers)
+{
+    RunResult run = runWorkload("treeadd", Config::Subheap);
+    EXPECT_GT(run.bypassNull, 0u);
+}
+
+TEST(WorkloadBehaviours, BhIsLocalObjectDominated)
+{
+    RunResult run = runWorkload("bh", Config::Subheap);
+    EXPECT_GT(run.localObjects, run.heapObjects);
+}
+
+TEST(WorkloadBehaviours, SjengUsesGlobalTableForLargeGlobal)
+{
+    RunResult run = runWorkload("sjeng", Config::Subheap);
+    EXPECT_GE(run.globalObjects, 2u); // board + history
+    EXPECT_GT(run.localObjects, 100u); // per-node move lists
+}
+
+} // namespace
+} // namespace workloads
+} // namespace infat
