@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_design.cc" "bench-build/CMakeFiles/bench_ablation_design.dir/bench_ablation_design.cc.o" "gcc" "bench-build/CMakeFiles/bench_ablation_design.dir/bench_ablation_design.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/infat_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/juliet/CMakeFiles/infat_juliet.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/infat_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/infat_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/infat_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/infat_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/infat_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/ifp/CMakeFiles/infat_ifp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/infat_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/infat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/infat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

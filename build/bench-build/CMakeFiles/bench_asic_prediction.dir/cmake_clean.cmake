@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_asic_prediction"
+  "../bench/bench_asic_prediction.pdb"
+  "CMakeFiles/bench_asic_prediction.dir/bench_asic_prediction.cc.o"
+  "CMakeFiles/bench_asic_prediction.dir/bench_asic_prediction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_asic_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

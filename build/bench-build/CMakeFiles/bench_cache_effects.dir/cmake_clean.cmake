@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cache_effects"
+  "../bench/bench_cache_effects.pdb"
+  "CMakeFiles/bench_cache_effects.dir/bench_cache_effects.cc.o"
+  "CMakeFiles/bench_cache_effects.dir/bench_cache_effects.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_instrmix"
+  "../bench/bench_fig11_instrmix.pdb"
+  "CMakeFiles/bench_fig11_instrmix.dir/bench_fig11_instrmix.cc.o"
+  "CMakeFiles/bench_fig11_instrmix.dir/bench_fig11_instrmix.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_instrmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

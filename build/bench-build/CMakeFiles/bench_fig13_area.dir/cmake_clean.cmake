@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_area"
+  "../bench/bench_fig13_area.pdb"
+  "CMakeFiles/bench_fig13_area.dir/bench_fig13_area.cc.o"
+  "CMakeFiles/bench_fig13_area.dir/bench_fig13_area.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_juliet"
+  "../bench/bench_juliet.pdb"
+  "CMakeFiles/bench_juliet.dir/bench_juliet.cc.o"
+  "CMakeFiles/bench_juliet.dir/bench_juliet.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_juliet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_schemes"
+  "../bench/bench_table2_schemes.pdb"
+  "CMakeFiles/bench_table2_schemes.dir/bench_table2_schemes.cc.o"
+  "CMakeFiles/bench_table2_schemes.dir/bench_table2_schemes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocator_tour.dir/allocator_tour.cpp.o"
+  "CMakeFiles/allocator_tour.dir/allocator_tour.cpp.o.d"
+  "allocator_tour"
+  "allocator_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocator_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifpsim.dir/ifpsim.cpp.o"
+  "CMakeFiles/ifpsim.dir/ifpsim.cpp.o.d"
+  "ifpsim"
+  "ifpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

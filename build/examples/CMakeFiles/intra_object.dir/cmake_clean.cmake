@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intra_object.dir/intra_object.cpp.o"
+  "CMakeFiles/intra_object.dir/intra_object.cpp.o.d"
+  "intra_object"
+  "intra_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intra_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for intra_object.
+# This may be replaced when dependencies are built.

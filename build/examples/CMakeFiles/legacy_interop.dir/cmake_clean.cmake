@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_interop.dir/legacy_interop.cpp.o"
+  "CMakeFiles/legacy_interop.dir/legacy_interop.cpp.o.d"
+  "legacy_interop"
+  "legacy_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infat_alloc.dir/buddy_allocator.cc.o"
+  "CMakeFiles/infat_alloc.dir/buddy_allocator.cc.o.d"
+  "CMakeFiles/infat_alloc.dir/freelist_allocator.cc.o"
+  "CMakeFiles/infat_alloc.dir/freelist_allocator.cc.o.d"
+  "libinfat_alloc.a"
+  "libinfat_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infat_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

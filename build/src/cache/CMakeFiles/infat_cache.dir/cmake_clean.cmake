@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infat_cache.dir/cache.cc.o"
+  "CMakeFiles/infat_cache.dir/cache.cc.o.d"
+  "libinfat_cache.a"
+  "libinfat_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infat_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

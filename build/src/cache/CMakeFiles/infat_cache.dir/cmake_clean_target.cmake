@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libinfat_cache.a"
+)

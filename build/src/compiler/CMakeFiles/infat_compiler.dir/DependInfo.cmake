@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/escape.cc" "src/compiler/CMakeFiles/infat_compiler.dir/escape.cc.o" "gcc" "src/compiler/CMakeFiles/infat_compiler.dir/escape.cc.o.d"
+  "/root/repo/src/compiler/instrument.cc" "src/compiler/CMakeFiles/infat_compiler.dir/instrument.cc.o" "gcc" "src/compiler/CMakeFiles/infat_compiler.dir/instrument.cc.o.d"
+  "/root/repo/src/compiler/layout_gen.cc" "src/compiler/CMakeFiles/infat_compiler.dir/layout_gen.cc.o" "gcc" "src/compiler/CMakeFiles/infat_compiler.dir/layout_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/infat_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/ifp/CMakeFiles/infat_ifp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/infat_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/infat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/infat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

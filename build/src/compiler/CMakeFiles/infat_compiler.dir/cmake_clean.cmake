@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infat_compiler.dir/escape.cc.o"
+  "CMakeFiles/infat_compiler.dir/escape.cc.o.d"
+  "CMakeFiles/infat_compiler.dir/instrument.cc.o"
+  "CMakeFiles/infat_compiler.dir/instrument.cc.o.d"
+  "CMakeFiles/infat_compiler.dir/layout_gen.cc.o"
+  "CMakeFiles/infat_compiler.dir/layout_gen.cc.o.d"
+  "libinfat_compiler.a"
+  "libinfat_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infat_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ifp/area_model.cc" "src/ifp/CMakeFiles/infat_ifp.dir/area_model.cc.o" "gcc" "src/ifp/CMakeFiles/infat_ifp.dir/area_model.cc.o.d"
+  "/root/repo/src/ifp/layout_table.cc" "src/ifp/CMakeFiles/infat_ifp.dir/layout_table.cc.o" "gcc" "src/ifp/CMakeFiles/infat_ifp.dir/layout_table.cc.o.d"
+  "/root/repo/src/ifp/metadata.cc" "src/ifp/CMakeFiles/infat_ifp.dir/metadata.cc.o" "gcc" "src/ifp/CMakeFiles/infat_ifp.dir/metadata.cc.o.d"
+  "/root/repo/src/ifp/ops.cc" "src/ifp/CMakeFiles/infat_ifp.dir/ops.cc.o" "gcc" "src/ifp/CMakeFiles/infat_ifp.dir/ops.cc.o.d"
+  "/root/repo/src/ifp/promote_engine.cc" "src/ifp/CMakeFiles/infat_ifp.dir/promote_engine.cc.o" "gcc" "src/ifp/CMakeFiles/infat_ifp.dir/promote_engine.cc.o.d"
+  "/root/repo/src/ifp/tag.cc" "src/ifp/CMakeFiles/infat_ifp.dir/tag.cc.o" "gcc" "src/ifp/CMakeFiles/infat_ifp.dir/tag.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/infat_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/infat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/infat_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

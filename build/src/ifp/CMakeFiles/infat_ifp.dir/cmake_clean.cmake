@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infat_ifp.dir/area_model.cc.o"
+  "CMakeFiles/infat_ifp.dir/area_model.cc.o.d"
+  "CMakeFiles/infat_ifp.dir/layout_table.cc.o"
+  "CMakeFiles/infat_ifp.dir/layout_table.cc.o.d"
+  "CMakeFiles/infat_ifp.dir/metadata.cc.o"
+  "CMakeFiles/infat_ifp.dir/metadata.cc.o.d"
+  "CMakeFiles/infat_ifp.dir/ops.cc.o"
+  "CMakeFiles/infat_ifp.dir/ops.cc.o.d"
+  "CMakeFiles/infat_ifp.dir/promote_engine.cc.o"
+  "CMakeFiles/infat_ifp.dir/promote_engine.cc.o.d"
+  "CMakeFiles/infat_ifp.dir/tag.cc.o"
+  "CMakeFiles/infat_ifp.dir/tag.cc.o.d"
+  "libinfat_ifp.a"
+  "libinfat_ifp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infat_ifp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

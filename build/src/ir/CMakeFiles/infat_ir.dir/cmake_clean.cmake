@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infat_ir.dir/builder.cc.o"
+  "CMakeFiles/infat_ir.dir/builder.cc.o.d"
+  "CMakeFiles/infat_ir.dir/instr.cc.o"
+  "CMakeFiles/infat_ir.dir/instr.cc.o.d"
+  "CMakeFiles/infat_ir.dir/module.cc.o"
+  "CMakeFiles/infat_ir.dir/module.cc.o.d"
+  "CMakeFiles/infat_ir.dir/printer.cc.o"
+  "CMakeFiles/infat_ir.dir/printer.cc.o.d"
+  "CMakeFiles/infat_ir.dir/type.cc.o"
+  "CMakeFiles/infat_ir.dir/type.cc.o.d"
+  "CMakeFiles/infat_ir.dir/verifier.cc.o"
+  "CMakeFiles/infat_ir.dir/verifier.cc.o.d"
+  "libinfat_ir.a"
+  "libinfat_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infat_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infat_juliet.dir/juliet.cc.o"
+  "CMakeFiles/infat_juliet.dir/juliet.cc.o.d"
+  "libinfat_juliet.a"
+  "libinfat_juliet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infat_juliet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infat_mem.dir/guest_memory.cc.o"
+  "CMakeFiles/infat_mem.dir/guest_memory.cc.o.d"
+  "libinfat_mem.a"
+  "libinfat_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infat_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

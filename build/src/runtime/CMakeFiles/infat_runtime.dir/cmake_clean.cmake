@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infat_runtime.dir/runtime.cc.o"
+  "CMakeFiles/infat_runtime.dir/runtime.cc.o.d"
+  "libinfat_runtime.a"
+  "libinfat_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infat_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infat_support.dir/logging.cc.o"
+  "CMakeFiles/infat_support.dir/logging.cc.o.d"
+  "CMakeFiles/infat_support.dir/siphash.cc.o"
+  "CMakeFiles/infat_support.dir/siphash.cc.o.d"
+  "CMakeFiles/infat_support.dir/stats.cc.o"
+  "CMakeFiles/infat_support.dir/stats.cc.o.d"
+  "CMakeFiles/infat_support.dir/table.cc.o"
+  "CMakeFiles/infat_support.dir/table.cc.o.d"
+  "libinfat_support.a"
+  "libinfat_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infat_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infat_vm.dir/libc_model.cc.o"
+  "CMakeFiles/infat_vm.dir/libc_model.cc.o.d"
+  "CMakeFiles/infat_vm.dir/machine.cc.o"
+  "CMakeFiles/infat_vm.dir/machine.cc.o.d"
+  "CMakeFiles/infat_vm.dir/trap.cc.o"
+  "CMakeFiles/infat_vm.dir/trap.cc.o.d"
+  "libinfat_vm.a"
+  "libinfat_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infat_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/anagram.cc" "src/workloads/CMakeFiles/infat_workloads.dir/anagram.cc.o" "gcc" "src/workloads/CMakeFiles/infat_workloads.dir/anagram.cc.o.d"
+  "/root/repo/src/workloads/bh.cc" "src/workloads/CMakeFiles/infat_workloads.dir/bh.cc.o" "gcc" "src/workloads/CMakeFiles/infat_workloads.dir/bh.cc.o.d"
+  "/root/repo/src/workloads/bisort.cc" "src/workloads/CMakeFiles/infat_workloads.dir/bisort.cc.o" "gcc" "src/workloads/CMakeFiles/infat_workloads.dir/bisort.cc.o.d"
+  "/root/repo/src/workloads/bzip2.cc" "src/workloads/CMakeFiles/infat_workloads.dir/bzip2.cc.o" "gcc" "src/workloads/CMakeFiles/infat_workloads.dir/bzip2.cc.o.d"
+  "/root/repo/src/workloads/coremark.cc" "src/workloads/CMakeFiles/infat_workloads.dir/coremark.cc.o" "gcc" "src/workloads/CMakeFiles/infat_workloads.dir/coremark.cc.o.d"
+  "/root/repo/src/workloads/em3d.cc" "src/workloads/CMakeFiles/infat_workloads.dir/em3d.cc.o" "gcc" "src/workloads/CMakeFiles/infat_workloads.dir/em3d.cc.o.d"
+  "/root/repo/src/workloads/ft.cc" "src/workloads/CMakeFiles/infat_workloads.dir/ft.cc.o" "gcc" "src/workloads/CMakeFiles/infat_workloads.dir/ft.cc.o.d"
+  "/root/repo/src/workloads/harness.cc" "src/workloads/CMakeFiles/infat_workloads.dir/harness.cc.o" "gcc" "src/workloads/CMakeFiles/infat_workloads.dir/harness.cc.o.d"
+  "/root/repo/src/workloads/health.cc" "src/workloads/CMakeFiles/infat_workloads.dir/health.cc.o" "gcc" "src/workloads/CMakeFiles/infat_workloads.dir/health.cc.o.d"
+  "/root/repo/src/workloads/ks.cc" "src/workloads/CMakeFiles/infat_workloads.dir/ks.cc.o" "gcc" "src/workloads/CMakeFiles/infat_workloads.dir/ks.cc.o.d"
+  "/root/repo/src/workloads/mst.cc" "src/workloads/CMakeFiles/infat_workloads.dir/mst.cc.o" "gcc" "src/workloads/CMakeFiles/infat_workloads.dir/mst.cc.o.d"
+  "/root/repo/src/workloads/perimeter.cc" "src/workloads/CMakeFiles/infat_workloads.dir/perimeter.cc.o" "gcc" "src/workloads/CMakeFiles/infat_workloads.dir/perimeter.cc.o.d"
+  "/root/repo/src/workloads/power.cc" "src/workloads/CMakeFiles/infat_workloads.dir/power.cc.o" "gcc" "src/workloads/CMakeFiles/infat_workloads.dir/power.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/infat_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/infat_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/sjeng.cc" "src/workloads/CMakeFiles/infat_workloads.dir/sjeng.cc.o" "gcc" "src/workloads/CMakeFiles/infat_workloads.dir/sjeng.cc.o.d"
+  "/root/repo/src/workloads/treeadd.cc" "src/workloads/CMakeFiles/infat_workloads.dir/treeadd.cc.o" "gcc" "src/workloads/CMakeFiles/infat_workloads.dir/treeadd.cc.o.d"
+  "/root/repo/src/workloads/tsp.cc" "src/workloads/CMakeFiles/infat_workloads.dir/tsp.cc.o" "gcc" "src/workloads/CMakeFiles/infat_workloads.dir/tsp.cc.o.d"
+  "/root/repo/src/workloads/voronoi.cc" "src/workloads/CMakeFiles/infat_workloads.dir/voronoi.cc.o" "gcc" "src/workloads/CMakeFiles/infat_workloads.dir/voronoi.cc.o.d"
+  "/root/repo/src/workloads/wolfcrypt_dh.cc" "src/workloads/CMakeFiles/infat_workloads.dir/wolfcrypt_dh.cc.o" "gcc" "src/workloads/CMakeFiles/infat_workloads.dir/wolfcrypt_dh.cc.o.d"
+  "/root/repo/src/workloads/yacr2.cc" "src/workloads/CMakeFiles/infat_workloads.dir/yacr2.cc.o" "gcc" "src/workloads/CMakeFiles/infat_workloads.dir/yacr2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/infat_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/infat_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/infat_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/infat_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/ifp/CMakeFiles/infat_ifp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/infat_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/infat_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/infat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/infat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alloc_test.cc" "tests/CMakeFiles/infat_tests.dir/alloc_test.cc.o" "gcc" "tests/CMakeFiles/infat_tests.dir/alloc_test.cc.o.d"
+  "/root/repo/tests/area_test.cc" "tests/CMakeFiles/infat_tests.dir/area_test.cc.o" "gcc" "tests/CMakeFiles/infat_tests.dir/area_test.cc.o.d"
+  "/root/repo/tests/compiler_test.cc" "tests/CMakeFiles/infat_tests.dir/compiler_test.cc.o" "gcc" "tests/CMakeFiles/infat_tests.dir/compiler_test.cc.o.d"
+  "/root/repo/tests/fuzz_test.cc" "tests/CMakeFiles/infat_tests.dir/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/infat_tests.dir/fuzz_test.cc.o.d"
+  "/root/repo/tests/ir_test.cc" "tests/CMakeFiles/infat_tests.dir/ir_test.cc.o" "gcc" "tests/CMakeFiles/infat_tests.dir/ir_test.cc.o.d"
+  "/root/repo/tests/juliet_test.cc" "tests/CMakeFiles/infat_tests.dir/juliet_test.cc.o" "gcc" "tests/CMakeFiles/infat_tests.dir/juliet_test.cc.o.d"
+  "/root/repo/tests/layout_test.cc" "tests/CMakeFiles/infat_tests.dir/layout_test.cc.o" "gcc" "tests/CMakeFiles/infat_tests.dir/layout_test.cc.o.d"
+  "/root/repo/tests/machine_test.cc" "tests/CMakeFiles/infat_tests.dir/machine_test.cc.o" "gcc" "tests/CMakeFiles/infat_tests.dir/machine_test.cc.o.d"
+  "/root/repo/tests/mem_cache_test.cc" "tests/CMakeFiles/infat_tests.dir/mem_cache_test.cc.o" "gcc" "tests/CMakeFiles/infat_tests.dir/mem_cache_test.cc.o.d"
+  "/root/repo/tests/metadata_test.cc" "tests/CMakeFiles/infat_tests.dir/metadata_test.cc.o" "gcc" "tests/CMakeFiles/infat_tests.dir/metadata_test.cc.o.d"
+  "/root/repo/tests/promote_test.cc" "tests/CMakeFiles/infat_tests.dir/promote_test.cc.o" "gcc" "tests/CMakeFiles/infat_tests.dir/promote_test.cc.o.d"
+  "/root/repo/tests/registry_test.cc" "tests/CMakeFiles/infat_tests.dir/registry_test.cc.o" "gcc" "tests/CMakeFiles/infat_tests.dir/registry_test.cc.o.d"
+  "/root/repo/tests/runtime_test.cc" "tests/CMakeFiles/infat_tests.dir/runtime_test.cc.o" "gcc" "tests/CMakeFiles/infat_tests.dir/runtime_test.cc.o.d"
+  "/root/repo/tests/support_test.cc" "tests/CMakeFiles/infat_tests.dir/support_test.cc.o" "gcc" "tests/CMakeFiles/infat_tests.dir/support_test.cc.o.d"
+  "/root/repo/tests/tag_test.cc" "tests/CMakeFiles/infat_tests.dir/tag_test.cc.o" "gcc" "tests/CMakeFiles/infat_tests.dir/tag_test.cc.o.d"
+  "/root/repo/tests/temporal_test.cc" "tests/CMakeFiles/infat_tests.dir/temporal_test.cc.o" "gcc" "tests/CMakeFiles/infat_tests.dir/temporal_test.cc.o.d"
+  "/root/repo/tests/vm_property_test.cc" "tests/CMakeFiles/infat_tests.dir/vm_property_test.cc.o" "gcc" "tests/CMakeFiles/infat_tests.dir/vm_property_test.cc.o.d"
+  "/root/repo/tests/vm_smoke_test.cc" "tests/CMakeFiles/infat_tests.dir/vm_smoke_test.cc.o" "gcc" "tests/CMakeFiles/infat_tests.dir/vm_smoke_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/infat_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/infat_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/infat_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/infat_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/juliet/CMakeFiles/infat_juliet.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/infat_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/infat_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/infat_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/infat_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/ifp/CMakeFiles/infat_ifp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/infat_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/infat_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/infat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
