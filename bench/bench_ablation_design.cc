@@ -23,8 +23,9 @@ using workloads::CustomRun;
 using workloads::runWorkloadCustom;
 
 int
-main()
+main(int argc, char **argv)
 {
+    infat::bench::StatsExport stats_export("ablation_design", argc, argv);
     setQuiet(true);
     printHeader("Design ablation (cycle overhead vs. baseline)",
                 "DESIGN.md ablation index / paper Secs. 4.1.1, 5.3");

@@ -19,8 +19,9 @@ using workloads::CustomRun;
 using workloads::runWorkloadCustom;
 
 int
-main()
+main(int argc, char **argv)
 {
+    infat::bench::StatsExport stats_export("asic_prediction", argc, argv);
     setQuiet(true);
     printHeader("Section 5.2.4: ASIC (superscalar) prediction",
                 "paper Sec. 5.2.4");

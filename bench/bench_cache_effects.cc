@@ -16,8 +16,9 @@ using namespace infat;
 using namespace infat::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    infat::bench::StatsExport stats_export("cache_effects", argc, argv);
     setQuiet(true);
     printHeader("Section 5.2.2: L1D Cache Effects",
                 "paper Sec. 5.2.2 (health/ft: wrapped +93%/+96% "

@@ -16,8 +16,9 @@ using namespace infat;
 using namespace infat::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    infat::bench::StatsExport stats_export("fig10_perf", argc, argv);
     setQuiet(true);
     printHeader("Figure 10: Performance Overhead of All Benchmarks",
                 "paper Fig. 10 (subheap 12%, wrapped 24% geo-mean)");

@@ -14,8 +14,9 @@ using namespace infat;
 using namespace infat::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    infat::bench::StatsExport stats_export("fig11_instrmix", argc, argv);
     setQuiet(true);
     printHeader("Figure 11: IFP Instruction Mix (% of baseline instrs)",
                 "paper Fig. 11");

@@ -17,8 +17,9 @@ using namespace infat;
 using namespace infat::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    infat::bench::StatsExport stats_export("fig12_memory", argc, argv);
     setQuiet(true);
     printHeader("Figure 12: Memory Overhead",
                 "paper Fig. 12 (subheap -6%, wrapped +21% geo-mean)");

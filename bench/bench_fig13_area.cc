@@ -14,11 +14,14 @@
 #include "ifp/area_model.hh"
 #include "support/table.hh"
 
+#include "bench_util.hh"
+
 using namespace infat;
 
 int
-main()
+main(int argc, char **argv)
 {
+    infat::bench::StatsExport stats_export("fig13_area", argc, argv);
     AreaModel model;
 
     std::printf("====================================================\n");

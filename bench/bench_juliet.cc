@@ -12,6 +12,8 @@
 #include "support/logging.hh"
 #include "support/table.hh"
 
+#include "bench_util.hh"
+
 using namespace infat;
 using namespace infat::juliet;
 
@@ -50,8 +52,9 @@ report(const char *label, const SuiteResult &result)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    infat::bench::StatsExport stats_export("juliet", argc, argv);
     setQuiet(true);
     std::printf("====================================================\n");
     std::printf("Section 5.1: Functional Evaluation (Juliet-style)\n");

@@ -18,11 +18,14 @@
 #include "support/logging.hh"
 #include "support/table.hh"
 
+#include "bench_util.hh"
+
 using namespace infat;
 
 int
-main()
+main(int argc, char **argv)
 {
+    infat::bench::StatsExport stats_export("table2_schemes", argc, argv);
     setQuiet(true);
     std::printf("====================================================\n");
     std::printf("Table 2: Object Metadata Schemes Comparison\n");

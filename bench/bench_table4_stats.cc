@@ -32,8 +32,9 @@ objCell(uint64_t count, uint64_t with_layout)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    infat::bench::StatsExport stats_export("table4_stats", argc, argv);
     setQuiet(true);
     printHeader("Table 4: Dynamic Event Counts",
                 "paper Table 4 (subheap geo-mean instr 1.05x, "

@@ -12,10 +12,12 @@
 #define INFAT_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "support/json.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
@@ -91,6 +93,80 @@ printHeader(const char *what, const char *paper_ref)
     std::printf("==============================================="
                 "=========================\n");
 }
+
+/**
+ * Per-run stat export for the bench binaries (docs/OBSERVABILITY.md).
+ *
+ * Instantiate at the top of main(argc, argv); when the process was
+ * invoked with `--stats-json=<path>`, harness run recording is turned
+ * on and, at scope exit, every run the binary performed is written to
+ * <path> as one JSON document:
+ *
+ *   {"bench": "<name>", "runs": [
+ *     {"workload": ..., "config": ..., "stats": {"groups": {...}}}, ...]}
+ *
+ * With no flag this is a no-op, so every bench target gets the export
+ * path from the same two lines of code.
+ */
+class StatsExport
+{
+  public:
+    StatsExport(const char *bench_name, int argc, char **argv)
+        : bench_(bench_name)
+    {
+        const std::string prefix = "--stats-json=";
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind(prefix, 0) == 0)
+                path_ = arg.substr(prefix.size());
+        }
+        if (!path_.empty()) {
+            workloads::clearRecordedRuns();
+            workloads::setRunRecording(true);
+        }
+    }
+
+    ~StatsExport() { write(); }
+
+    StatsExport(const StatsExport &) = delete;
+    StatsExport &operator=(const StatsExport &) = delete;
+
+    /** Write the recorded runs now (idempotent). */
+    void
+    write()
+    {
+        if (path_.empty() || written_)
+            return;
+        written_ = true;
+        std::ofstream f(path_);
+        fatal_if(!f, "cannot write %s", path_.c_str());
+        JsonWriter json(f, /*pretty=*/true);
+        json.beginObject();
+        json.field("bench", std::string_view(bench_));
+        json.key("runs");
+        json.beginArray();
+        for (const workloads::RecordedRun &run :
+             workloads::recordedRuns()) {
+            json.beginObject();
+            json.field("workload", std::string_view(run.workload));
+            json.field("config", std::string_view(run.label));
+            json.key("stats");
+            run.stats.writeJson(json);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+        f << "\n";
+        std::fprintf(stderr, "  stats written to %s (%zu runs)\n",
+                     path_.c_str(), workloads::recordedRuns().size());
+        workloads::setRunRecording(false);
+    }
+
+  private:
+    std::string bench_;
+    std::string path_;
+    bool written_ = false;
+};
 
 } // namespace bench
 } // namespace infat

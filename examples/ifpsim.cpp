@@ -8,13 +8,21 @@
  *   ifpsim <workload> [baseline|subheap|wrapped|mixed]
  *          [--no-promote] [--no-mac] [--no-narrow]
  *          [--explicit-checks] [--superscalar] [--list]
+ *          [--stats-json=<path>] [--trace=<path>]
+ *          [--trace-categories=<csv>]
+ *
+ * --stats-json writes the machine's full stat registry as JSON;
+ * --trace writes a Chrome trace-event file loadable in Perfetto
+ * (docs/OBSERVABILITY.md).
  */
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "support/logging.hh"
+#include "support/trace.hh"
 #include "workloads/harness.hh"
 
 using namespace infat;
@@ -31,6 +39,9 @@ usage()
                  "              [--no-promote] [--no-mac] "
                  "[--no-narrow]\n"
                  "              [--explicit-checks] [--superscalar]\n"
+                 "              [--stats-json=<path>] "
+                 "[--trace=<path>]\n"
+                 "              [--trace-categories=<csv>]\n"
                  "       ifpsim --list\n");
     return 2;
 }
@@ -121,6 +132,8 @@ main(int argc, char **argv)
         return usage();
     }
 
+    Observability obs;
+    std::string trace_path;
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg[0] != '-')
@@ -136,17 +149,37 @@ main(int argc, char **argv)
             custom.implicitChecks = false;
         } else if (arg == "--superscalar")
             custom.superscalar = true;
+        else if (arg.rfind("--stats-json=", 0) == 0)
+            obs.statsJsonPath = arg.substr(13);
+        else if (arg.rfind("--trace=", 0) == 0)
+            trace_path = arg.substr(8);
+        else if (arg.rfind("--trace-categories=", 0) == 0)
+            obs.traceCategories = parseTraceCategories(arg.substr(19));
         else
             return usage();
+    }
+
+    std::unique_ptr<ChromeTraceSink> trace_sink;
+    if (!trace_path.empty()) {
+        trace_sink = std::make_unique<ChromeTraceSink>(trace_path);
+        obs.traceSink = trace_sink.get();
     }
 
     setQuiet(true);
     RunResult result;
     if (baseline) {
-        result = runWorkload(*workload, Config::Baseline);
+        result = runWorkload(*workload, Config::Baseline, obs);
     } else {
-        result = runWorkloadCustom(*workload, custom);
+        result = runWorkloadCustom(*workload, custom, obs);
     }
+    if (trace_sink) {
+        trace_sink->close();
+        std::fprintf(stderr, "trace written to %s\n",
+                     trace_path.c_str());
+    }
+    if (!obs.statsJsonPath.empty())
+        std::fprintf(stderr, "stats written to %s\n",
+                     obs.statsJsonPath.c_str());
     printResult(result, config_name.c_str());
     return 0;
 }

@@ -6,7 +6,11 @@
 namespace infat {
 
 Cache::Cache(std::string name, CacheConfig config)
-    : config_(config), stats_(std::move(name))
+    : config_(config), stats_(std::move(name)),
+      hits_(stats_.counter("hits")), misses_(stats_.counter("misses")),
+      evictions_(stats_.counter("evictions")),
+      writebacks_(stats_.counter("writebacks")),
+      missLatency_(stats_.histogram("miss_latency", Histogram::log2(12)))
 {
     fatal_if(!isPowerOf2(config_.lineBytes), "cache line size not pow2");
     fatal_if(config_.sizeBytes % (config_.lineBytes * config_.assoc) != 0,
@@ -15,6 +19,7 @@ Cache::Cache(std::string name, CacheConfig config)
         config_.sizeBytes / (config_.lineBytes * config_.assoc));
     fatal_if(!isPowerOf2(numSets_), "cache set count not pow2");
     lines_.resize(static_cast<size_t>(numSets_) * config_.assoc);
+    stats_.formula("miss_rate", [this] { return missRate(); });
 }
 
 unsigned
@@ -29,11 +34,11 @@ Cache::accessLine(uint64_t line_addr, bool is_write)
         if (line.valid && line.tag == tag) {
             line.lruStamp = ++lruClock_;
             line.dirty |= is_write;
-            stats_.counter("hits")++;
+            hits_++;
             return config_.hitLatency;
         }
     }
-    stats_.counter("misses")++;
+    misses_++;
 
     // Miss: pick a victim, preferring an invalid way, else true LRU.
     Line *victim = set_base;
@@ -42,8 +47,11 @@ Cache::accessLine(uint64_t line_addr, bool is_write)
         if (!line.valid || line.lruStamp < victim->lruStamp)
             victim = &line;
     }
-    if (victim->valid && victim->dirty)
-        stats_.counter("writebacks")++;
+    if (victim->valid) {
+        evictions_++;
+        if (victim->dirty)
+            writebacks_++;
+    }
     victim->valid = true;
     victim->dirty = is_write;
     victim->tag = tag;
@@ -60,7 +68,15 @@ Cache::accessLine(uint64_t line_addr, bool is_write)
     } else {
         fill = config_.missPenalty;
     }
-    return config_.hitLatency + fill;
+    unsigned latency = config_.hitLatency + fill;
+    missLatency_.sample(latency);
+    if (tracer_ && tracer_->enabled(TraceCategory::Cache)) {
+        tracer_->instant(TraceCategory::Cache,
+                         stats_.name() + (is_write ? ".wmiss" : ".rmiss"),
+                         {{"addr", line_addr * config_.lineBytes},
+                          {"latency", uint64_t{latency}}});
+    }
+    return latency;
 }
 
 CacheAccessResult

@@ -20,6 +20,7 @@
 
 #include "mem/address_space.hh"
 #include "support/stats.hh"
+#include "support/trace.hh"
 
 namespace infat {
 
@@ -44,6 +45,11 @@ class Cache
   public:
     explicit Cache(std::string name, CacheConfig config = {});
 
+    // The stats members below hold references into stats_, so copying
+    // would silently alias another instance's counters.
+    Cache(const Cache &) = delete;
+    Cache &operator=(const Cache &) = delete;
+
     /**
      * Access @p len bytes at @p addr. Accesses that span lines touch each
      * line; the returned latency is the worst line's latency (the CVA6
@@ -63,8 +69,14 @@ class Cache
     /** Invalidate everything (used between benchmark configurations). */
     void flush();
 
-    uint64_t hits() const { return stats_.value("hits"); }
-    uint64_t misses() const { return stats_.value("misses"); }
+    /**
+     * Attach a tracer: misses emit `cache`-category events. The tracer
+     * (and its clock) must outlive the cache or be detached first.
+     */
+    void setTracer(Tracer *tracer) { tracer_ = tracer; }
+
+    uint64_t hits() const { return hits_.value(); }
+    uint64_t misses() const { return misses_.value(); }
     uint64_t accesses() const { return hits() + misses(); }
 
     double
@@ -95,8 +107,16 @@ class Cache
     unsigned numSets_;
     std::vector<Line> lines_;
     Cache *nextLevel_ = nullptr;
+    Tracer *tracer_ = nullptr;
     uint64_t lruClock_ = 0;
     StatGroup stats_;
+    // Hot-path stats, resolved once (see stats.hh on reference
+    // stability) so per-access cost is a plain increment.
+    Counter &hits_;
+    Counter &misses_;
+    Counter &evictions_;
+    Counter &writebacks_;
+    Histogram &missLatency_;
 };
 
 } // namespace infat

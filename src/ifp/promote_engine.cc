@@ -8,17 +8,50 @@
 
 namespace infat {
 
+const char *
+toString(PromoteResult::Outcome outcome)
+{
+    switch (outcome) {
+      case PromoteResult::Outcome::BypassPoisoned:
+        return "bypass_poisoned";
+      case PromoteResult::Outcome::BypassNull:
+        return "bypass_null";
+      case PromoteResult::Outcome::BypassLegacy:
+        return "bypass_legacy";
+      case PromoteResult::Outcome::Retrieved:
+        return "retrieved";
+      case PromoteResult::Outcome::MetaInvalid:
+        return "meta_invalid";
+    }
+    return "unknown";
+}
+
 PromoteEngine::PromoteEngine(GuestMemory &mem, Cache *l1d,
                              const IfpControlRegs &regs,
                              const IfpConfig &config)
-    : mem_(mem), l1d_(l1d), regs_(regs), config_(config), stats_("promote")
+    : mem_(mem), l1d_(l1d), regs_(regs), config_(config),
+      stats_("promote"), promotes_(stats_.counter("promotes")),
+      metaFetches_(stats_.counter("meta_fetches")),
+      promoteCycles_(
+          stats_.histogram("promote_cycles", Histogram::log2(12))),
+      retrieveCycles_(
+          stats_.histogram("retrieve_cycles", Histogram::log2(12))),
+      walkDepth_(stats_.histogram(
+          "walk_depth", Histogram::linear(0, 1, IfpConfig::maxLayoutWalkDepth)))
 {
+    stats_.formula("narrow_success_rate", [this] {
+        uint64_t attempts = stats_.value("narrow_attempts");
+        return attempts == 0
+                   ? 0.0
+                   : static_cast<double>(stats_.value("narrow_success")) /
+                         static_cast<double>(attempts);
+    });
 }
 
 void
 PromoteEngine::fetch(GuestAddr addr, uint64_t len, unsigned &cycles)
 {
-    stats_.counter("meta_fetches")++;
+    metaFetches_++;
     if (l1d_) {
         // The IFP unit's metadata loads are not pipelined with the rest
         // of the promote (paper §5.2.2), so the full latency is charged.
@@ -43,7 +76,19 @@ PromoteEngine::poisonResult(TaggedPtr ptr, unsigned cycles)
 PromoteResult
 PromoteEngine::promote(TaggedPtr ptr)
 {
-    stats_.counter("promotes")++;
+    PromoteResult result = promoteImpl(ptr);
+    promoteCycles_.sample(result.cycles);
+    if (result.retrieved() ||
+        result.outcome == PromoteResult::Outcome::MetaInvalid) {
+        retrieveCycles_.sample(result.cycles);
+    }
+    return result;
+}
+
+PromoteResult
+PromoteEngine::promoteImpl(TaggedPtr ptr)
+{
+    promotes_++;
     unsigned cycles = config_.promoteBaseCycles;
 
     if (config_.noPromote) {
@@ -240,6 +285,7 @@ PromoteEngine::narrow(const Bounds &object_bounds, GuestAddr table_base,
         chain.push_back({entry});
         cur = entry.parent;
     }
+    walkDepth_.sample(chain.size());
     if (chain.empty())
         return result; // index 0: object bounds, nothing to do
 

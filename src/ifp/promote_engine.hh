@@ -57,6 +57,8 @@ struct PromoteResult
     }
 };
 
+const char *toString(PromoteResult::Outcome outcome);
+
 class PromoteEngine
 {
   public:
@@ -70,6 +72,11 @@ class PromoteEngine
     PromoteEngine(GuestMemory &mem, Cache *l1d, const IfpControlRegs &regs,
                   const IfpConfig &config = {});
 
+    // Holds references into stats_ (see stats.hh on reference
+    // stability); copying would alias another instance's stats.
+    PromoteEngine(const PromoteEngine &) = delete;
+    PromoteEngine &operator=(const PromoteEngine &) = delete;
+
     PromoteResult promote(TaggedPtr ptr);
 
     StatGroup &stats() { return stats_; }
@@ -77,6 +84,8 @@ class PromoteEngine
     void setConfig(const IfpConfig &config) { config_ = config; }
 
   private:
+    PromoteResult promoteImpl(TaggedPtr ptr);
+
     /** Charge a metadata fetch of @p len bytes through the cache. */
     void fetch(GuestAddr addr, uint64_t len, unsigned &cycles);
 
@@ -111,6 +120,15 @@ class PromoteEngine
     const IfpControlRegs &regs_;
     IfpConfig config_;
     StatGroup stats_;
+    // Hot-path stats, resolved once at construction.
+    Counter &promotes_;
+    Counter &metaFetches_;
+    /** Cycle cost of each completed promote (bypasses included). */
+    Histogram &promoteCycles_;
+    /** Cycle cost of retrieval promotes only (metadata actually read). */
+    Histogram &retrieveCycles_;
+    /** Layout-walk chain depth per narrowing attempt. */
+    Histogram &walkDepth_;
 };
 
 } // namespace infat

@@ -15,6 +15,7 @@ GuestMemory::pageFor(GuestAddr addr)
         auto page = std::make_unique<uint8_t[]>(pageSize);
         std::memset(page.get(), 0, pageSize);
         it = pages_.emplace(page_num, std::move(page)).first;
+        stats_.counter("pages_mapped")++;
     }
     return it->second.get();
 }

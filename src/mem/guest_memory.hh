@@ -28,7 +28,15 @@ class GuestMemory
     static constexpr unsigned pageShift = 12;
     static constexpr uint64_t pageSize = 1ULL << pageShift;
 
-    GuestMemory() : stats_("mem") {}
+    GuestMemory() : stats_("mem")
+    {
+        stats_.formula("resident_bytes",
+                       [this] { return double(residentBytes()); });
+    }
+
+    // stats_ holds a self-referential formula; copying would alias it.
+    GuestMemory(const GuestMemory &) = delete;
+    GuestMemory &operator=(const GuestMemory &) = delete;
 
     void read(GuestAddr addr, void *out, uint64_t len);
     void write(GuestAddr addr, const void *in, uint64_t len);

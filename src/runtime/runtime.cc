@@ -50,7 +50,17 @@ Runtime::Runtime(GuestMemory &mem, IfpControlRegs &regs,
     : mem_(mem), regs_(regs), kind_(kind), instrumented_(instrumented),
       freelist_(layout::freelistBase, layout::freelistLimit),
       buddy_(layout::buddyBase, layout::buddyOrderLog2, 12),
-      stats_("runtime")
+      stats_("runtime"),
+      allocBytes_(stats_.histogram("alloc_bytes", Histogram::log2(28))),
+      plainAllocBytes_(
+          stats_.histogram("plain_alloc_bytes", Histogram::log2(28))),
+      localOffsetBytes_(
+          stats_.histogram("local_offset_bytes", Histogram::log2(28))),
+      globalTableBytes_(
+          stats_.histogram("global_table_bytes", Histogram::log2(28))),
+      subheapBytes_(
+          stats_.histogram("subheap_bytes", Histogram::log2(28))),
+      ifpMallocCost_(stats_.distribution("ifp_malloc_cost"))
 {
 }
 
@@ -108,6 +118,7 @@ Runtime::plainMalloc(uint64_t size, RuntimeCost &cost)
     cost.instructions += plainMallocCost;
     cost.touch(addr - FreeListAllocator::headerBytes, 16, true);
     stats_.counter("plain_mallocs")++;
+    plainAllocBytes_.sample(size);
     return addr;
 }
 
@@ -130,20 +141,26 @@ Runtime::ifpMalloc(uint64_t size, ir::LayoutId layout, RuntimeCost &cost)
     stats_.counter("ifp_mallocs")++;
     if (layout != ir::noLayout)
         stats_.counter("ifp_mallocs_with_layout")++;
+    allocBytes_.sample(size);
+    uint64_t cost_before = cost.instructions;
+    IfpAllocation alloc;
     switch (kind_) {
       case AllocatorKind::Subheap:
-        return subheapMalloc(size, layout, cost);
+        alloc = subheapMalloc(size, layout, cost);
+        break;
       case AllocatorKind::Wrapped:
-        return wrappedMalloc(size, layout, cost);
+        alloc = wrappedMalloc(size, layout, cost);
+        break;
       case AllocatorKind::Mixed:
         // Pool the small size-classed objects (where sharing one block
         // metadata pays off); let one-off and large allocations take
         // the wrapped path.
-        if (size <= 512)
-            return subheapMalloc(size, layout, cost);
-        return wrappedMalloc(size, layout, cost);
+        alloc = size <= 512 ? subheapMalloc(size, layout, cost)
+                            : wrappedMalloc(size, layout, cost);
+        break;
     }
-    panic("bad allocator kind");
+    ifpMallocCost_.sample(cost.instructions - cost_before);
+    return alloc;
 }
 
 void
@@ -176,6 +193,7 @@ Runtime::makeLocalOffset(GuestAddr addr, uint64_t size,
         addr, Scheme::LocalOffset,
         offset << IfpConfig::localSubobjBits);
     stats_.counter("local_offset_objects")++;
+    localOffsetBytes_.sample(size);
     return {ptr, Bounds(addr, addr + size)};
 }
 
@@ -192,6 +210,7 @@ Runtime::makeGlobalTable(GuestAddr addr, uint64_t size, RuntimeCost &cost)
                IfpConfig::globalRowBytes, true);
     TaggedPtr ptr = TaggedPtr::make(addr, Scheme::GlobalTable, row);
     stats_.counter("global_table_objects")++;
+    globalTableBytes_.sample(size);
     return {ptr, Bounds(addr, addr + size)};
 }
 
@@ -349,6 +368,7 @@ Runtime::subheapMalloc(uint64_t size, ir::LayoutId layout,
         static_cast<uint64_t>(pool.ctrlReg)
             << IfpConfig::subheapSubobjBits);
     stats_.counter("subheap_objects")++;
+    subheapBytes_.sample(size);
     return {ptr, Bounds(addr, addr + size)};
 }
 

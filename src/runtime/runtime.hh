@@ -93,6 +93,11 @@ class Runtime
     Runtime(GuestMemory &mem, IfpControlRegs &regs, AllocatorKind kind,
             bool instrumented);
 
+    // Holds references into stats_ (see stats.hh on reference
+    // stability); copying would alias another instance's stats.
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
     /**
      * Process startup: key material, the global table, control
      * registers, and layout-table materialization. @p layouts may be
@@ -196,6 +201,18 @@ class Runtime
     unsigned nextCtrlReg_ = 0;
 
     StatGroup stats_;
+    /** Requested size of every instrumented (ifpMalloc) allocation. */
+    Histogram &allocBytes_;
+    /** Requested size of every glibc-model (plainMalloc) allocation;
+     *  includes the padded requests the wrapped allocator makes. */
+    Histogram &plainAllocBytes_;
+    // Object sizes per metadata scheme, filled at metadata-creation
+    // time (heap allocations and stack/global registrations alike).
+    Histogram &localOffsetBytes_;
+    Histogram &globalTableBytes_;
+    Histogram &subheapBytes_;
+    /** Modeled guest-instruction cost of each ifpMalloc call. */
+    Distribution &ifpMallocCost_;
 };
 
 } // namespace infat

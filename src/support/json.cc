@@ -1,0 +1,473 @@
+#include "support/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace infat {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+// --- JsonWriter ---
+
+void
+JsonWriter::newline()
+{
+    if (!pretty_)
+        return;
+    os_ << '\n';
+    for (size_t i = 1; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::preValue()
+{
+    if (afterKey_) {
+        afterKey_ = false;
+        return;
+    }
+    auto &[ctx, emitted] = stack_.back();
+    panic_if(ctx == Ctx::Object, "JsonWriter: value without key in object");
+    if (emitted)
+        os_ << ',';
+    emitted = true;
+    if (ctx == Ctx::Array)
+        newline();
+}
+
+void
+JsonWriter::beginObject()
+{
+    preValue();
+    os_ << '{';
+    stack_.emplace_back(Ctx::Object, false);
+}
+
+void
+JsonWriter::endObject()
+{
+    panic_if(stack_.back().first != Ctx::Object,
+             "JsonWriter: endObject outside object");
+    stack_.pop_back();
+    newline();
+    os_ << '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    preValue();
+    os_ << '[';
+    stack_.emplace_back(Ctx::Array, false);
+}
+
+void
+JsonWriter::endArray()
+{
+    panic_if(stack_.back().first != Ctx::Array,
+             "JsonWriter: endArray outside array");
+    stack_.pop_back();
+    newline();
+    os_ << ']';
+}
+
+void
+JsonWriter::key(std::string_view name)
+{
+    auto &[ctx, emitted] = stack_.back();
+    panic_if(ctx != Ctx::Object, "JsonWriter: key outside object");
+    if (emitted)
+        os_ << ',';
+    emitted = true;
+    newline();
+    os_ << '"' << jsonEscape(name) << "\":";
+    if (pretty_)
+        os_ << ' ';
+    afterKey_ = true;
+}
+
+void
+JsonWriter::value(std::nullptr_t)
+{
+    preValue();
+    os_ << "null";
+}
+
+void
+JsonWriter::value(bool v)
+{
+    preValue();
+    os_ << (v ? "true" : "false");
+}
+
+void
+JsonWriter::value(uint64_t v)
+{
+    preValue();
+    os_ << v;
+}
+
+void
+JsonWriter::value(int64_t v)
+{
+    preValue();
+    os_ << v;
+}
+
+void
+JsonWriter::value(double v)
+{
+    if (!std::isfinite(v)) {
+        value(nullptr);
+        return;
+    }
+    preValue();
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os_ << buf;
+}
+
+void
+JsonWriter::value(std::string_view v)
+{
+    preValue();
+    os_ << '"' << jsonEscape(v) << '"';
+}
+
+// --- Parser ---
+
+const JsonValue *
+JsonValue::find(const std::string &name) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    auto it = obj.find(name);
+    return it == obj.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    std::optional<JsonValue>
+    run()
+    {
+        JsonValue v;
+        if (!parseValue(v))
+            return std::nullopt;
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing characters");
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    void
+    fail(const char *what)
+    {
+        if (error_ && error_->empty())
+            *error_ = std::string(what) + " at offset " +
+                      std::to_string(pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word, size_t len)
+    {
+        if (text_.substr(pos_, len) != std::string_view(word, len)) {
+            fail("bad literal");
+            return false;
+        }
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"')) {
+            fail("expected string");
+            return false;
+        }
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    break;
+                char e = text_[pos_++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos_ + 4 > text_.size()) {
+                        fail("bad \\u escape");
+                        return false;
+                    }
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else {
+                            fail("bad \\u escape");
+                            return false;
+                        }
+                    }
+                    // UTF-8 encode the BMP code point (surrogate pairs
+                    // are passed through as-is; stats output is ASCII).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xc0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    } else {
+                        out += static_cast<char>(0xe0 | (code >> 12));
+                        out += static_cast<char>(0x80 |
+                                                 ((code >> 6) & 0x3f));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    }
+                    break;
+                  }
+                  default:
+                    fail("bad escape");
+                    return false;
+                }
+            } else {
+                out += c;
+            }
+        }
+        fail("unterminated string");
+        return false;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        size_t start = pos_;
+        if (consume('-')) {
+        }
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start) {
+            fail("expected number");
+            return false;
+        }
+        std::string num(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        out.number = std::strtod(num.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+            fail("malformed number");
+            return false;
+        }
+        out.kind = JsonValue::Kind::Number;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (++depth_ > maxDepth) {
+            fail("nesting too deep");
+            return false;
+        }
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return false;
+        }
+        bool ok = false;
+        char c = text_[pos_];
+        switch (c) {
+          case '{': {
+            ++pos_;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (consume('}')) {
+                ok = true;
+                break;
+            }
+            while (true) {
+                skipWs();
+                std::string name;
+                if (!parseString(name))
+                    break;
+                skipWs();
+                if (!consume(':')) {
+                    fail("expected ':'");
+                    break;
+                }
+                JsonValue member;
+                if (!parseValue(member))
+                    break;
+                out.obj.emplace(std::move(name), std::move(member));
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume('}')) {
+                    ok = true;
+                    break;
+                }
+                fail("expected ',' or '}'");
+                break;
+            }
+            break;
+          }
+          case '[': {
+            ++pos_;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (consume(']')) {
+                ok = true;
+                break;
+            }
+            while (true) {
+                JsonValue element;
+                if (!parseValue(element))
+                    break;
+                out.arr.push_back(std::move(element));
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume(']')) {
+                    ok = true;
+                    break;
+                }
+                fail("expected ',' or ']'");
+                break;
+            }
+            break;
+          }
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            ok = parseString(out.str);
+            break;
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            ok = literal("true", 4);
+            break;
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            ok = literal("false", 5);
+            break;
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            ok = literal("null", 4);
+            break;
+          default:
+            ok = parseNumber(out);
+            break;
+        }
+        --depth_;
+        return ok;
+    }
+
+    static constexpr unsigned maxDepth = 128;
+
+    std::string_view text_;
+    std::string *error_;
+    size_t pos_ = 0;
+    unsigned depth_ = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+jsonParse(std::string_view text, std::string *error)
+{
+    if (error)
+        error->clear();
+    return Parser(text, error).run();
+}
+
+std::optional<JsonValue>
+jsonParseFile(const std::string &path, std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot open " + path;
+        return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    return jsonParse(text, error);
+}
+
+} // namespace infat

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Minimal JSON support: a streaming writer and a small recursive-descent
+ * parser.
+ *
+ * The writer backs every machine-readable artifact the simulator emits
+ * (the --stats-json registry export, the Chrome trace-event sink, the
+ * bench_* JSON trajectories) so they all share one escaping/formatting
+ * code path. The parser exists for round-trip validation in tests and
+ * the stats smoke check; it accepts strict JSON only and is not meant
+ * to be fast.
+ */
+
+#ifndef INFAT_SUPPORT_JSON_HH
+#define INFAT_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace infat {
+
+/** Escape @p s for inclusion inside a JSON string literal (no quotes). */
+std::string jsonEscape(std::string_view s);
+
+/**
+ * Streaming JSON writer with automatic comma placement.
+ *
+ * Usage:
+ *   JsonWriter w(os);
+ *   w.beginObject();
+ *   w.key("answer"); w.value(42);
+ *   w.endObject();
+ *
+ * Nesting is tracked internally; misuse (e.g. a key at array level)
+ * trips an assertion in debug builds and produces malformed output
+ * otherwise.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, bool pretty = false)
+        : os_(os), pretty_(pretty)
+    {
+    }
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    void key(std::string_view name);
+
+    void value(std::nullptr_t);
+    void value(bool v);
+    void value(uint64_t v);
+    void value(int64_t v);
+    void value(int v) { value(static_cast<int64_t>(v)); }
+    void value(unsigned v) { value(static_cast<uint64_t>(v)); }
+    /** Non-finite doubles are emitted as null (JSON has no NaN/Inf). */
+    void value(double v);
+    void value(std::string_view v);
+    void value(const char *v) { value(std::string_view(v)); }
+
+    /** key + value in one call. */
+    template <typename T>
+    void
+    field(std::string_view name, T v)
+    {
+        key(name);
+        value(v);
+    }
+
+  private:
+    enum class Ctx : uint8_t { Top, Object, Array };
+
+    void preValue();
+    void newline();
+
+    std::ostream &os_;
+    bool pretty_;
+    /** (context, element-emitted-yet) stack. */
+    std::vector<std::pair<Ctx, bool>> stack_{{Ctx::Top, false}};
+    bool afterKey_ = false;
+};
+
+/** Parsed JSON document node. */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::map<std::string, JsonValue> obj;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member lookup; null when absent or not an object. */
+    const JsonValue *find(const std::string &name) const;
+
+    uint64_t
+    asUint() const
+    {
+        return number < 0 ? 0 : static_cast<uint64_t>(number);
+    }
+};
+
+/**
+ * Parse strict JSON. Returns nullopt on any syntax error; when @p error
+ * is non-null it receives a short description with a byte offset.
+ */
+std::optional<JsonValue> jsonParse(std::string_view text,
+                                   std::string *error = nullptr);
+
+/** Parse the contents of a file (nullopt if unreadable or invalid). */
+std::optional<JsonValue> jsonParseFile(const std::string &path,
+                                       std::string *error = nullptr);
+
+} // namespace infat
+
+#endif // INFAT_SUPPORT_JSON_HH

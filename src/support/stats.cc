@@ -1,15 +1,164 @@
 #include "support/stats.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <sstream>
 
+#include "support/bitops.hh"
+#include "support/json.hh"
 #include "support/logging.hh"
 
 namespace infat {
+
+// --- Histogram ---
+
+Histogram::Histogram(Scale scale, uint64_t lo, uint64_t width,
+                     unsigned num_buckets)
+    : scale_(scale), lo_(lo), width_(width)
+{
+    panic_if(num_buckets == 0, "histogram needs at least one bucket");
+    panic_if(scale == Scale::Linear && width == 0,
+             "linear histogram needs a non-zero bucket width");
+    panic_if(scale == Scale::Log2 && num_buckets > 65,
+             "log2 histogram limited to 65 buckets (full uint64 range)");
+    buckets_.assign(num_buckets, 0);
+}
+
+void
+Histogram::sample(uint64_t value, uint64_t count)
+{
+    if (count == 0)
+        return;
+    count_ += count;
+    sum_ += value * count;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+
+    if (scale_ == Scale::Linear) {
+        if (value < lo_) {
+            underflow_ += count;
+            return;
+        }
+        uint64_t index = (value - lo_) / width_;
+        if (index >= buckets_.size()) {
+            overflow_ += count;
+            return;
+        }
+        buckets_[index] += count;
+        return;
+    }
+
+    // Log2: bucket 0 holds the value 0; bucket i holds [2^(i-1), 2^i).
+    unsigned index = value == 0 ? 0 : log2Floor(value) + 1;
+    if (index >= buckets_.size()) {
+        overflow_ += count;
+        return;
+    }
+    buckets_[index] += count;
+}
+
+uint64_t
+Histogram::bucketLo(unsigned i) const
+{
+    panic_if(i >= buckets_.size(), "histogram bucket out of range");
+    if (scale_ == Scale::Linear)
+        return lo_ + i * width_;
+    return i == 0 ? 0 : uint64_t{1} << (i - 1);
+}
+
+uint64_t
+Histogram::bucketHi(unsigned i) const
+{
+    panic_if(i >= buckets_.size(), "histogram bucket out of range");
+    if (scale_ == Scale::Linear)
+        return lo_ + (uint64_t{i} + 1) * width_;
+    return i >= 64 ? ~0ULL : uint64_t{1} << i;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    underflow_ = overflow_ = count_ = sum_ = 0;
+    min_ = ~0ULL;
+    max_ = 0;
+}
+
+// --- Distribution ---
+
+void
+Distribution::sample(uint64_t value, uint64_t count)
+{
+    if (count == 0)
+        return;
+    count_ += count;
+    sum_ += value * count;
+    double v = static_cast<double>(value);
+    sumSq_ += v * v * static_cast<double>(count);
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+double
+Distribution::mean() const
+{
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+}
+
+double
+Distribution::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    double n = static_cast<double>(count_);
+    double m = mean();
+    double var = sumSq_ / n - m * m;
+    return var <= 0.0 ? 0.0 : std::sqrt(var);
+}
+
+void
+Distribution::reset()
+{
+    count_ = sum_ = 0;
+    sumSq_ = 0.0;
+    min_ = ~0ULL;
+    max_ = 0;
+}
+
+// --- StatGroup ---
 
 Counter &
 StatGroup::counter(const std::string &stat_name)
 {
     return counters_[stat_name];
+}
+
+Histogram &
+StatGroup::histogram(const std::string &stat_name)
+{
+    return histograms_[stat_name];
+}
+
+Histogram &
+StatGroup::histogram(const std::string &stat_name, const Histogram &shape)
+{
+    return histograms_.try_emplace(stat_name, shape).first->second;
+}
+
+Distribution &
+StatGroup::distribution(const std::string &stat_name)
+{
+    return distributions_[stat_name];
+}
+
+void
+StatGroup::formula(const std::string &stat_name,
+                   std::function<double()> fn)
+{
+    formulas_[stat_name] = std::move(fn);
 }
 
 uint64_t
@@ -19,22 +168,293 @@ StatGroup::value(const std::string &stat_name) const
     return it == counters_.end() ? 0 : it->second.value();
 }
 
+double
+StatGroup::formulaValue(const std::string &stat_name) const
+{
+    auto it = formulas_.find(stat_name);
+    if (it == formulas_.end() || !it->second)
+        return 0.0;
+    double v = it->second();
+    return std::isfinite(v) ? v : 0.0;
+}
+
 void
 StatGroup::resetAll()
 {
     for (auto &kv : counters_)
         kv.second.reset();
+    for (auto &kv : histograms_)
+        kv.second.reset();
+    for (auto &kv : distributions_)
+        kv.second.reset();
 }
 
 std::string
-StatGroup::dump() const
+StatGroup::dump(const DumpOptions &opts) const
 {
     std::string out;
     for (const auto &kv : counters_) {
+        if (opts.suppressZero && kv.second.value() == 0)
+            continue;
         out += strfmt("%s.%s %llu\n", name_.c_str(), kv.first.c_str(),
                       static_cast<unsigned long long>(kv.second.value()));
     }
+    for (const auto &kv : histograms_) {
+        const Histogram &h = kv.second;
+        if (opts.suppressZero && h.count() == 0)
+            continue;
+        out += strfmt("%s.%s count=%llu sum=%llu min=%llu max=%llu "
+                      "mean=%.2f\n",
+                      name_.c_str(), kv.first.c_str(),
+                      static_cast<unsigned long long>(h.count()),
+                      static_cast<unsigned long long>(h.sum()),
+                      static_cast<unsigned long long>(h.minValue()),
+                      static_cast<unsigned long long>(h.maxValue()),
+                      h.mean());
+        if (h.underflow()) {
+            out += strfmt("%s.%s.underflow %llu\n", name_.c_str(),
+                          kv.first.c_str(),
+                          static_cast<unsigned long long>(h.underflow()));
+        }
+        for (unsigned i = 0; i < h.numBuckets(); ++i) {
+            if (h.bucketCount(i) == 0)
+                continue;
+            out += strfmt(
+                "%s.%s[%llu,%llu) %llu\n", name_.c_str(),
+                kv.first.c_str(),
+                static_cast<unsigned long long>(h.bucketLo(i)),
+                static_cast<unsigned long long>(h.bucketHi(i)),
+                static_cast<unsigned long long>(h.bucketCount(i)));
+        }
+        if (h.overflow()) {
+            out += strfmt("%s.%s.overflow %llu\n", name_.c_str(),
+                          kv.first.c_str(),
+                          static_cast<unsigned long long>(h.overflow()));
+        }
+    }
+    for (const auto &kv : distributions_) {
+        const Distribution &d = kv.second;
+        if (opts.suppressZero && d.count() == 0)
+            continue;
+        out += strfmt("%s.%s count=%llu mean=%.2f stddev=%.2f min=%llu "
+                      "max=%llu\n",
+                      name_.c_str(), kv.first.c_str(),
+                      static_cast<unsigned long long>(d.count()),
+                      d.mean(), d.stddev(),
+                      static_cast<unsigned long long>(d.minValue()),
+                      static_cast<unsigned long long>(d.maxValue()));
+    }
+    for (const auto &kv : formulas_) {
+        out += strfmt("%s.%s %.6g\n", name_.c_str(), kv.first.c_str(),
+                      formulaValue(kv.first));
+    }
     return out;
+}
+
+// --- StatSnapshot ---
+
+const StatSnapshot::Group *
+StatSnapshot::findGroup(const std::string &name) const
+{
+    for (const Group &g : groups) {
+        if (g.name == name)
+            return &g;
+    }
+    return nullptr;
+}
+
+uint64_t
+StatSnapshot::scalar(const std::string &group,
+                     const std::string &stat) const
+{
+    const Group *g = findGroup(group);
+    if (!g)
+        return 0;
+    auto it = g->scalars.find(stat);
+    return it == g->scalars.end() ? 0 : it->second;
+}
+
+void
+StatSnapshot::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("groups");
+    w.beginObject();
+    for (const Group &g : groups) {
+        w.key(g.name);
+        w.beginObject();
+        w.key("scalars");
+        w.beginObject();
+        for (const auto &kv : g.scalars)
+            w.field(kv.first, kv.second);
+        w.endObject();
+        if (!g.histograms.empty()) {
+            w.key("histograms");
+            w.beginObject();
+            for (const auto &kv : g.histograms) {
+                const HistogramData &h = kv.second;
+                w.key(kv.first);
+                w.beginObject();
+                w.field("scale", h.scale);
+                w.field("count", h.count);
+                w.field("sum", h.sum);
+                w.field("min", h.min);
+                w.field("max", h.max);
+                w.field("underflow", h.underflow);
+                w.field("overflow", h.overflow);
+                w.key("buckets");
+                w.beginArray();
+                for (const auto &b : h.buckets) {
+                    w.beginObject();
+                    w.field("lo", b.lo);
+                    w.field("hi", b.hi);
+                    w.field("count", b.count);
+                    w.endObject();
+                }
+                w.endArray();
+                w.endObject();
+            }
+            w.endObject();
+        }
+        if (!g.distributions.empty()) {
+            w.key("distributions");
+            w.beginObject();
+            for (const auto &kv : g.distributions) {
+                const DistributionData &d = kv.second;
+                w.key(kv.first);
+                w.beginObject();
+                w.field("count", d.count);
+                w.field("sum", d.sum);
+                w.field("mean", d.mean);
+                w.field("stddev", d.stddev);
+                w.field("min", d.min);
+                w.field("max", d.max);
+                w.endObject();
+            }
+            w.endObject();
+        }
+        if (!g.formulas.empty()) {
+            w.key("formulas");
+            w.beginObject();
+            for (const auto &kv : g.formulas)
+                w.field(kv.first, kv.second);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+std::string
+StatSnapshot::toJson(bool pretty) const
+{
+    std::ostringstream os;
+    JsonWriter w(os, pretty);
+    writeJson(w);
+    return os.str();
+}
+
+void
+StatSnapshot::writeFile(const std::string &path, bool pretty) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    fatal_if(!out, "cannot open %s for writing", path.c_str());
+    out << toJson(pretty) << "\n";
+    fatal_if(!out.good(), "error writing %s", path.c_str());
+}
+
+// --- StatRegistry ---
+
+std::string
+StatRegistry::add(StatGroup *group)
+{
+    return add(group->name(), group);
+}
+
+std::string
+StatRegistry::add(std::string name, StatGroup *group)
+{
+    panic_if(group == nullptr, "registering null stat group");
+    std::string candidate = name;
+    unsigned suffix = 2;
+    while (find(candidate) != nullptr)
+        candidate = strfmt("%s#%u", name.c_str(), suffix++);
+    groups_.emplace_back(candidate, group);
+    return candidate;
+}
+
+StatGroup *
+StatRegistry::find(const std::string &name) const
+{
+    for (const auto &kv : groups_) {
+        if (kv.first == name)
+            return kv.second;
+    }
+    return nullptr;
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &kv : groups_)
+        kv.second->resetAll();
+}
+
+std::string
+StatRegistry::dump(const DumpOptions &opts) const
+{
+    std::string out;
+    for (const auto &kv : groups_)
+        out += kv.second->dump(opts);
+    return out;
+}
+
+StatSnapshot
+StatRegistry::snapshot() const
+{
+    StatSnapshot snap;
+    snap.groups.reserve(groups_.size());
+    for (const auto &[name, group] : groups_) {
+        StatSnapshot::Group g;
+        g.name = name;
+        for (const auto &kv : group->counters())
+            g.scalars.emplace(kv.first, kv.second.value());
+        for (const auto &kv : group->histograms()) {
+            const Histogram &h = kv.second;
+            StatSnapshot::HistogramData data;
+            data.scale =
+                h.scale() == Histogram::Scale::Linear ? "linear" : "log2";
+            data.count = h.count();
+            data.sum = h.sum();
+            data.min = h.minValue();
+            data.max = h.maxValue();
+            data.underflow = h.underflow();
+            data.overflow = h.overflow();
+            for (unsigned i = 0; i < h.numBuckets(); ++i) {
+                if (h.bucketCount(i) == 0)
+                    continue;
+                data.buckets.push_back(
+                    {h.bucketLo(i), h.bucketHi(i), h.bucketCount(i)});
+            }
+            g.histograms.emplace(kv.first, std::move(data));
+        }
+        for (const auto &kv : group->distributions()) {
+            const Distribution &d = kv.second;
+            StatSnapshot::DistributionData data;
+            data.count = d.count();
+            data.sum = d.sum();
+            data.mean = d.mean();
+            data.stddev = d.stddev();
+            data.min = d.minValue();
+            data.max = d.maxValue();
+            g.distributions.emplace(kv.first, data);
+        }
+        for (const auto &kv : group->formulas())
+            g.formulas.emplace(kv.first, group->formulaValue(kv.first));
+        snap.groups.push_back(std::move(g));
+    }
+    return snap;
 }
 
 double
@@ -43,8 +463,11 @@ geomean(const std::vector<double> &values)
     if (values.empty())
         return 1.0;
     double log_sum = 0.0;
-    for (double v : values)
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0;
         log_sum += std::log(v);
+    }
     return std::exp(log_sum / static_cast<double>(values.size()));
 }
 

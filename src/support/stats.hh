@@ -1,22 +1,42 @@
 /**
  * @file
- * A small named-statistics package.
+ * The named-statistics package.
  *
- * Components own a StatGroup and register named counters in it; harnesses
- * read them back by name or dump the whole group. This is a deliberately
- * tiny cousin of gem5's Stats package: scalar counters and derived values
- * only, because that is all the evaluation needs.
+ * Components own a StatGroup and register named stats in it; harnesses
+ * read them back by name, dump the whole group, or export everything as
+ * JSON. This is a cousin of gem5's Stats package sized for this
+ * simulator: alongside scalar Counters there are bucketed Histograms
+ * (latency and size distributions), moment-tracking Distributions, and
+ * Formulas (derived ratios evaluated at read time, e.g. CPI or an L1D
+ * miss rate).
+ *
+ * A StatRegistry aggregates the groups of one simulated machine (or of
+ * the whole process) under hierarchical names ("vm", "l1d", "promote",
+ * ...) and can snapshot them into a StatSnapshot — a plain-data copy
+ * that survives the machine's destruction and serializes to JSON
+ * through support/json.hh (the --stats-json code path).
+ *
+ * Reference stability: counters/histograms/distributions live in
+ * node-based maps, so the reference returned by counter()/histogram()
+ * stays valid for the group's lifetime. Hot paths should fetch the
+ * reference once (typically in a constructor) instead of looking the
+ * name up per event.
  */
 
 #ifndef INFAT_SUPPORT_STATS_HH
 #define INFAT_SUPPORT_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "support/logging.hh"
+
 namespace infat {
+
+class JsonWriter;
 
 /** One named 64-bit counter. */
 class Counter
@@ -24,11 +44,20 @@ class Counter
   public:
     Counter() = default;
 
-    void operator++() { ++value_; }
-    void operator++(int) { ++value_; }
-    void operator+=(uint64_t n) { value_ += n; }
+    /** Pre-increment: returns the new value. */
+    uint64_t operator++() { return ++value_; }
+    /** Post-increment: returns the value before the increment. */
+    uint64_t operator++(int) { return value_++; }
+    Counter &
+    operator+=(uint64_t n)
+    {
+        value_ += n;
+        return *this;
+    }
+    void set(uint64_t v) { value_ = v; }
     void reset() { value_ = 0; }
 
+    /** Explicit accessor; there is deliberately no operator uint64_t. */
     uint64_t value() const { return value_; }
 
   private:
@@ -36,10 +65,125 @@ class Counter
 };
 
 /**
- * A flat registry of counters owned by one component.
+ * A bucketed histogram over uint64 samples.
  *
- * Counters are created on first use; reading a counter that was never
- * touched returns zero, which keeps harness code free of existence checks.
+ * Two bucketing shapes:
+ *  - linear(lo, width, n): bucket i covers [lo + i*width, lo + (i+1)*width)
+ *  - log2(n): bucket 0 counts the value 0; bucket i (i >= 1) covers
+ *    [2^(i-1), 2^i)
+ *
+ * Samples below the first bucket land in the underflow count, samples
+ * at or above the last bucket's upper edge in the overflow count; both
+ * still contribute to count/sum/min/max.
+ */
+class Histogram
+{
+  public:
+    enum class Scale { Linear, Log2 };
+
+    /** Default shape: 32 log2 buckets (covers values up to 2^31 - 1). */
+    Histogram() : Histogram(Scale::Log2, 0, 1, 32) {}
+
+    static Histogram
+    linear(uint64_t lo, uint64_t bucket_width, unsigned num_buckets)
+    {
+        return Histogram(Scale::Linear, lo, bucket_width, num_buckets);
+    }
+
+    static Histogram
+    log2(unsigned num_buckets)
+    {
+        return Histogram(Scale::Log2, 0, 1, num_buckets);
+    }
+
+    void sample(uint64_t value, uint64_t count = 1);
+    void reset();
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    /** Smallest/largest sampled value; 0 when no samples yet. */
+    uint64_t minValue() const { return count_ == 0 ? 0 : min_; }
+    uint64_t maxValue() const { return max_; }
+    uint64_t underflow() const { return underflow_; }
+    uint64_t overflow() const { return overflow_; }
+    double
+    mean() const
+    {
+        return count_ == 0 ? 0.0
+                           : static_cast<double>(sum_) /
+                                 static_cast<double>(count_);
+    }
+
+    Scale scale() const { return scale_; }
+    unsigned numBuckets() const
+    {
+        return static_cast<unsigned>(buckets_.size());
+    }
+    uint64_t bucketCount(unsigned i) const { return buckets_.at(i); }
+    /** Inclusive lower edge of bucket @p i. */
+    uint64_t bucketLo(unsigned i) const;
+    /** Exclusive upper edge of bucket @p i. */
+    uint64_t bucketHi(unsigned i) const;
+
+  private:
+    Histogram(Scale scale, uint64_t lo, uint64_t width,
+              unsigned num_buckets);
+
+    Scale scale_;
+    uint64_t lo_;
+    uint64_t width_;
+    std::vector<uint64_t> buckets_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = ~0ULL;
+    uint64_t max_ = 0;
+};
+
+/** Bucket-free moment tracker: count, mean, stddev, min, max. */
+class Distribution
+{
+  public:
+    void sample(uint64_t value, uint64_t count = 1);
+    void reset();
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t minValue() const { return count_ == 0 ? 0 : min_; }
+    uint64_t maxValue() const { return max_; }
+    double mean() const;
+    /** Population standard deviation (0 for fewer than 2 samples). */
+    double stddev() const;
+
+  private:
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    double sumSq_ = 0.0;
+    uint64_t min_ = ~0ULL;
+    uint64_t max_ = 0;
+};
+
+/** Options for textual stat dumps. */
+struct DumpOptions
+{
+    /**
+     * Skip zero-valued counters and empty histograms/distributions.
+     * Defaults to the global quiet() flag, so quiet benchmark runs get
+     * terse dumps without threading options through every call site;
+     * pass an explicit DumpOptions to override either way.
+     */
+    bool suppressZero = quiet();
+};
+
+/**
+ * The named stats owned by one component.
+ *
+ * Stats are created on first use; reading a counter that was never
+ * touched returns zero, which keeps harness code free of existence
+ * checks. All dump/export orderings are deterministic: stats appear in
+ * lexicographic name order, counters before histograms before
+ * distributions before formulas.
  */
 class StatGroup
 {
@@ -47,7 +191,23 @@ class StatGroup
     explicit StatGroup(std::string name) : name_(std::move(name)) {}
 
     Counter &counter(const std::string &stat_name);
+    /** Histogram with the default shape (32 log2 buckets). */
+    Histogram &histogram(const std::string &stat_name);
+    /** Histogram created with @p shape on first use (shape is ignored
+     *  when the histogram already exists). */
+    Histogram &histogram(const std::string &stat_name,
+                         const Histogram &shape);
+    Distribution &distribution(const std::string &stat_name);
+    /**
+     * Register a derived value evaluated lazily at dump/snapshot time.
+     * The callable must stay valid for the group's lifetime; non-finite
+     * results are reported as 0.
+     */
+    void formula(const std::string &stat_name,
+                 std::function<double()> fn);
+
     uint64_t value(const std::string &stat_name) const;
+    double formulaValue(const std::string &stat_name) const;
 
     void resetAll();
 
@@ -56,16 +216,127 @@ class StatGroup
     {
         return counters_;
     }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+    const std::map<std::string, Distribution> &distributions() const
+    {
+        return distributions_;
+    }
+    const std::map<std::string, std::function<double()>> &formulas() const
+    {
+        return formulas_;
+    }
 
-    /** Render "group.stat value" lines for every counter. */
-    std::string dump() const;
+    /**
+     * Render "group.stat value" lines for every stat, in deterministic
+     * (lexicographic) order. Histograms render one summary line plus
+     * one line per non-empty bucket.
+     */
+    std::string dump(const DumpOptions &opts = {}) const;
 
   private:
     std::string name_;
     std::map<std::string, Counter> counters_;
+    std::map<std::string, Histogram> histograms_;
+    std::map<std::string, Distribution> distributions_;
+    std::map<std::string, std::function<double()>> formulas_;
 };
 
-/** Geometric mean of a vector of ratios; empty input yields 1.0. */
+/** Plain-data copy of a registry, detached from the live components. */
+struct StatSnapshot
+{
+    struct HistogramData
+    {
+        struct Bucket
+        {
+            uint64_t lo = 0;
+            uint64_t hi = 0;
+            uint64_t count = 0;
+        };
+        std::string scale;
+        uint64_t count = 0;
+        uint64_t sum = 0;
+        uint64_t min = 0;
+        uint64_t max = 0;
+        uint64_t underflow = 0;
+        uint64_t overflow = 0;
+        /** Non-empty buckets only, in ascending edge order. */
+        std::vector<Bucket> buckets;
+    };
+
+    struct DistributionData
+    {
+        uint64_t count = 0;
+        uint64_t sum = 0;
+        double mean = 0.0;
+        double stddev = 0.0;
+        uint64_t min = 0;
+        uint64_t max = 0;
+    };
+
+    struct Group
+    {
+        std::string name;
+        std::map<std::string, uint64_t> scalars;
+        std::map<std::string, HistogramData> histograms;
+        std::map<std::string, DistributionData> distributions;
+        std::map<std::string, double> formulas;
+    };
+
+    std::vector<Group> groups;
+
+    const Group *findGroup(const std::string &name) const;
+    uint64_t scalar(const std::string &group,
+                    const std::string &stat) const;
+
+    /** Emit {"groups": {...}} through @p w. */
+    void writeJson(JsonWriter &w) const;
+    std::string toJson(bool pretty = false) const;
+    /** Write toJson() to @p path (fatal on I/O error). */
+    void writeFile(const std::string &path, bool pretty = true) const;
+};
+
+/**
+ * An ordered collection of StatGroups under hierarchical names.
+ *
+ * The registry does not own the groups; components register the groups
+ * they own (typically once, at machine construction) and must outlive
+ * the registry or deregister before dying. Name collisions are resolved
+ * by suffixing "#2", "#3", ... so every registered group stays
+ * addressable; add() returns the name actually used.
+ */
+class StatRegistry
+{
+  public:
+    /** Register under the group's own name. */
+    std::string add(StatGroup *group);
+    /** Register under an explicit (hierarchical) name. */
+    std::string add(std::string name, StatGroup *group);
+
+    StatGroup *find(const std::string &name) const;
+    const std::vector<std::pair<std::string, StatGroup *>> &groups() const
+    {
+        return groups_;
+    }
+
+    void resetAll();
+
+    /** Concatenated dumps of all groups in registration order. */
+    std::string dump(const DumpOptions &opts = {}) const;
+
+    StatSnapshot snapshot() const;
+
+  private:
+    std::vector<std::pair<std::string, StatGroup *>> groups_;
+};
+
+/**
+ * Geometric mean of a vector of ratios. Empty input yields 1.0 (the
+ * identity for a product of ratios); any non-positive input yields 0.0
+ * since the log-domain mean is undefined there.
+ */
 double geomean(const std::vector<double> &values);
 
 } // namespace infat

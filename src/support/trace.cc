@@ -1,0 +1,206 @@
+#include "support/trace.hh"
+
+#include <sstream>
+
+#include "support/json.hh"
+#include "support/logging.hh"
+
+namespace infat {
+
+const char *
+toString(TraceCategory c)
+{
+    switch (c) {
+      case TraceCategory::Exec:
+        return "exec";
+      case TraceCategory::Check:
+        return "check";
+      case TraceCategory::Promote:
+        return "promote";
+      case TraceCategory::Cache:
+        return "cache";
+      case TraceCategory::Alloc:
+        return "alloc";
+      case TraceCategory::NumCategories:
+        break;
+    }
+    return "?";
+}
+
+uint32_t
+parseTraceCategories(const std::string &list)
+{
+    if (list.empty() || list == "all")
+        return traceMaskAll;
+    if (list == "none")
+        return 0;
+    uint32_t mask = 0;
+    size_t pos = 0;
+    while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        std::string name = list.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        bool found = false;
+        for (unsigned i = 0;
+             i < static_cast<unsigned>(TraceCategory::NumCategories);
+             ++i) {
+            auto c = static_cast<TraceCategory>(i);
+            if (name == toString(c)) {
+                mask |= traceBit(c);
+                found = true;
+                break;
+            }
+        }
+        fatal_if(!found, "unknown trace category '%s' (valid: exec, "
+                         "check, promote, cache, alloc, all, none)",
+                 name.c_str());
+    }
+    return mask;
+}
+
+// --- ChromeTraceSink ---
+
+ChromeTraceSink::ChromeTraceSink(std::ostream &os) : os_(&os)
+{
+    *os_ << "{\"traceEvents\":[";
+}
+
+ChromeTraceSink::ChromeTraceSink(const std::string &path)
+    : owned_(std::make_unique<std::ofstream>(
+          path, std::ios::binary | std::ios::trunc)),
+      os_(owned_.get())
+{
+    fatal_if(!*owned_, "cannot open trace file %s", path.c_str());
+    *os_ << "{\"traceEvents\":[";
+}
+
+ChromeTraceSink::~ChromeTraceSink()
+{
+    close();
+}
+
+void
+ChromeTraceSink::event(const TraceEvent &ev)
+{
+    if (closed_)
+        return;
+    if (!first_)
+        *os_ << ',';
+    first_ = false;
+    *os_ << "\n";
+    JsonWriter w(*os_);
+    w.beginObject();
+    w.field("name", ev.name);
+    w.field("cat", toString(ev.category));
+    w.field("ph", std::string_view(&ev.phase, 1));
+    w.field("ts", ev.ts);
+    if (ev.phase == 'X')
+        w.field("dur", ev.dur);
+    // Perfetto requires pid/tid; the simulator is one process, one
+    // hart, so use the category as the "thread" for separate rows.
+    w.field("pid", uint64_t{1});
+    w.field("tid",
+            static_cast<uint64_t>(static_cast<unsigned>(ev.category)) + 1);
+    if (!ev.args.empty()) {
+        w.key("args");
+        w.beginObject();
+        for (const TraceArg &arg : ev.args) {
+            if (arg.isString)
+                w.field(arg.key, arg.str);
+            else
+                w.field(arg.key, arg.num);
+        }
+        w.endObject();
+    }
+    w.endObject();
+}
+
+void
+ChromeTraceSink::flush()
+{
+    os_->flush();
+}
+
+void
+ChromeTraceSink::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    *os_ << "\n]}\n";
+    os_->flush();
+}
+
+// --- StreamTraceSink ---
+
+void
+StreamTraceSink::event(const TraceEvent &ev)
+{
+    os_ << strfmt("%12llu  [%s] %s",
+                  static_cast<unsigned long long>(ev.ts),
+                  toString(ev.category), ev.name.c_str());
+    if (ev.phase == 'X')
+        os_ << strfmt(" dur=%llu",
+                      static_cast<unsigned long long>(ev.dur));
+    for (const TraceArg &arg : ev.args) {
+        if (arg.isString)
+            os_ << ' ' << arg.key << '=' << arg.str;
+        else
+            os_ << strfmt(" %s=%llu", arg.key,
+                          static_cast<unsigned long long>(arg.num));
+    }
+    os_ << '\n';
+}
+
+// --- Tracer ---
+
+void
+Tracer::instant(TraceCategory c, std::string name,
+                std::initializer_list<TraceArg> args)
+{
+    if (!enabled(c))
+        return;
+    TraceEvent ev;
+    ev.category = c;
+    ev.phase = 'i';
+    ev.ts = now();
+    ev.name = std::move(name);
+    ev.args.assign(args.begin(), args.end());
+    sink_->event(ev);
+}
+
+void
+Tracer::complete(TraceCategory c, std::string name, uint64_t start,
+                 uint64_t dur, std::initializer_list<TraceArg> args)
+{
+    if (!enabled(c))
+        return;
+    TraceEvent ev;
+    ev.category = c;
+    ev.phase = 'X';
+    ev.ts = start;
+    ev.dur = dur;
+    ev.name = std::move(name);
+    ev.args.assign(args.begin(), args.end());
+    sink_->event(ev);
+}
+
+void
+Tracer::counter(TraceCategory c, std::string name, uint64_t value)
+{
+    if (!enabled(c))
+        return;
+    TraceEvent ev;
+    ev.category = c;
+    ev.phase = 'C';
+    ev.ts = now();
+    ev.name = std::move(name);
+    ev.args.emplace_back("value", value);
+    sink_->event(ev);
+}
+
+} // namespace infat

@@ -2,8 +2,6 @@
 
 #include <bit>
 
-#include <ostream>
-
 #include "ifp/ops.hh"
 #include "ir/printer.hh"
 #include "support/bitops.hh"
@@ -39,22 +37,95 @@ intResult(const Type *type, uint64_t value)
     return value;
 }
 
+/** Cycle-attribution class of an opcode's 1-cycle base cost. */
+Machine::CycleClass
+classOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Load:
+      case Opcode::Store:
+        return Machine::CycleClass::Mem;
+      case Opcode::Promote:
+        return Machine::CycleClass::Promote;
+      case Opcode::IfpAdd:
+      case Opcode::IfpIdx:
+      case Opcode::IfpBnd:
+      case Opcode::IfpChk:
+        return Machine::CycleClass::IfpArith;
+      case Opcode::MallocTyped:
+      case Opcode::FreePtr:
+      case Opcode::IfpMallocTyped:
+      case Opcode::IfpFree:
+      case Opcode::RegisterObj:
+      case Opcode::DeregisterObj:
+        return Machine::CycleClass::Runtime;
+      default:
+        return Machine::CycleClass::Base;
+    }
+}
+
 } // namespace
 
 Machine::Machine(Module &module, const LayoutRegistry *layouts,
                  VmConfig config)
     : module_(module), layouts_(layouts), config_(config),
-      l1d_("l1d", config.l1d), l2_("l2", config.l2), stats_("vm")
+      l1d_("l1d", config.l1d), l2_("l2", config.l2), stats_("vm"),
+      cLoads_(stats_.counter("loads")),
+      cStores_(stats_.counter("stores")),
+      cCalls_(stats_.counter("calls")),
+      cImplicitChecks_(stats_.counter("implicit_checks")),
+      cIfpArith_(stats_.counter("ifp_arith")),
+      cBndLdSt_(stats_.counter("bnd_ldst")),
+      cPromoteInstrs_(stats_.counter("promote_instrs"))
 {
+    stats_.formula("cpi", [this] {
+        return instrs_ == 0 ? 0.0
+                            : static_cast<double>(cycles_) /
+                                  static_cast<double>(instrs_);
+    });
+    stats_.formula("checks_per_kiloinstr", [this] {
+        return instrs_ == 0
+                   ? 0.0
+                   : 1000.0 *
+                         static_cast<double>(cImplicitChecks_.value()) /
+                         static_cast<double>(instrs_);
+    });
+    tracer_.setClock(&cycles_);
+    l1d_.setTracer(&tracer_);
+    l2_.setTracer(&tracer_);
     if (config_.useL2)
         l1d_.setNextLevel(&l2_);
     promote_ = std::make_unique<PromoteEngine>(
         mem_, config_.useCache ? &l1d_ : nullptr, regs_, config_.ifp);
     runtime_ = std::make_unique<Runtime>(mem_, regs_, config_.allocator,
                                          config_.instrumented);
+    registry_.add(&stats_);
+    registry_.add(&promote_->stats());
+    registry_.add(&l1d_.stats());
+    registry_.add(&l2_.stats());
+    registry_.add(&runtime_->stats());
+    registry_.add(&mem_.stats());
     runtime_->init(layouts);
     placeGlobals();
     legacyArena_ = layout::globalBase + 0x0800'0000ULL;
+}
+
+void
+Machine::syncStats()
+{
+    stats_.counter("instructions").set(instrs_);
+    stats_.counter("cycles").set(cycles_);
+    stats_.counter("cycles_base").set(classCycles(CycleClass::Base));
+    stats_.counter("cycles_mem").set(classCycles(CycleClass::Mem));
+    stats_.counter("cycles_bnd_ldst")
+        .set(classCycles(CycleClass::BndLdSt));
+    stats_.counter("cycles_promote")
+        .set(classCycles(CycleClass::Promote));
+    stats_.counter("cycles_ifp_arith")
+        .set(classCycles(CycleClass::IfpArith));
+    stats_.counter("cycles_runtime")
+        .set(classCycles(CycleClass::Runtime));
+    stats_.counter("heap_peak_bytes").set(runtime_->heapPeakFootprint());
 }
 
 Machine::~Machine() = default;
@@ -132,8 +203,11 @@ Machine::registerGlobals()
 void
 Machine::chargeMemAccess(GuestAddr addr, uint32_t bytes, bool write)
 {
-    if (config_.useCache)
-        cycles_ += l1d_.access(addr, bytes, write).latency - 1;
+    if (config_.useCache) {
+        uint64_t extra = l1d_.access(addr, bytes, write).latency - 1;
+        cycles_ += extra;
+        chargeClass(CycleClass::Mem, extra);
+    }
 }
 
 void
@@ -141,21 +215,25 @@ Machine::applyCost(const RuntimeCost &cost)
 {
     instrs_ += cost.instructions;
     cycles_ += cost.instructions;
+    chargeClass(CycleClass::Runtime, cost.instructions);
     if (config_.superscalar) {
         // Metadata-maintenance arithmetic dual-issues with the
         // allocator's own work on a wide core.
         cycles_ -= cost.ifpInstructions / 2;
+        classCycles_[static_cast<size_t>(CycleClass::Runtime)] -=
+            cost.ifpInstructions / 2;
     }
-    stats_.counter("ifp_arith") += cost.ifpInstructions;
+    cIfpArith_ += cost.ifpInstructions;
     for (const auto &access : cost.accesses)
         chargeMemAccess(access.addr, access.bytes, access.write);
 }
 
 void
-Machine::countInstr()
+Machine::countInstr(ir::Opcode op)
 {
     ++instrs_;
     ++cycles_;
+    chargeClass(classOf(op), 1);
     if (instrs_ > config_.maxInstructions)
         throw GuestTrap(TrapKind::InstructionLimit,
                         "dynamic instruction budget exceeded");
@@ -206,12 +284,22 @@ Machine::checkAccess(const Frame &frame, const Operand &addr_op,
 {
     TaggedPtr ptr(raw);
     if (ptr.isPoisoned()) {
+        if (tracer_.enabled(TraceCategory::Check)) {
+            tracer_.instant(TraceCategory::Check, "poisoned_access",
+                            {{"raw", raw},
+                             {"write", uint64_t{write}}});
+        }
         throw GuestTrap(TrapKind::PoisonedAccess,
                         strfmt("%s at %s", write ? "store" : "load",
                                ptr.toString().c_str()));
     }
     GuestAddr addr = ptr.addr();
     if (addr < GuestMemory::pageSize) {
+        if (tracer_.enabled(TraceCategory::Check)) {
+            tracer_.instant(TraceCategory::Check, "null_deref",
+                            {{"addr", addr},
+                             {"write", uint64_t{write}}});
+        }
         throw GuestTrap(TrapKind::NullDereference,
                         strfmt("address %#llx",
                                static_cast<unsigned long long>(addr)));
@@ -219,18 +307,33 @@ Machine::checkAccess(const Frame &frame, const Operand &addr_op,
     if (addr_op.isReg() && config_.implicitChecks) {
         // Implicit bounds check at dereference (paper §4.1.1).
         const Bounds &bounds = frame.bounds[addr_op.payload];
-        if (bounds.valid() && !bounds.contains(addr, size)) {
-            throw GuestTrap(
-                TrapKind::BoundsViolation,
-                strfmt("%s of %llu bytes at %#llx outside %s",
-                       write ? "store" : "load",
-                       static_cast<unsigned long long>(size),
-                       static_cast<unsigned long long>(addr),
-                       bounds.toString().c_str()));
+        if (bounds.valid()) {
+            cImplicitChecks_++;
+            bool ok = bounds.contains(addr, size);
+            if (tracer_.enabled(TraceCategory::Check)) {
+                tracer_.instant(TraceCategory::Check,
+                                ok ? "bounds_check"
+                                   : "bounds_violation",
+                                {{"addr", addr},
+                                 {"bytes", size},
+                                 {"write", uint64_t{write}}});
+            }
+            if (!ok) {
+                throw GuestTrap(
+                    TrapKind::BoundsViolation,
+                    strfmt("%s of %llu bytes at %#llx outside %s",
+                           write ? "store" : "load",
+                           static_cast<unsigned long long>(size),
+                           static_cast<unsigned long long>(addr),
+                           bounds.toString().c_str()));
+            }
         }
     }
-    if (config_.useCache)
-        cycles_ += l1d_.access(addr, size, write).latency - 1;
+    if (config_.useCache) {
+        uint64_t extra = l1d_.access(addr, size, write).latency - 1;
+        cycles_ += extra;
+        chargeClass(CycleClass::Mem, extra);
+    }
 }
 
 uint64_t
@@ -280,9 +383,12 @@ Machine::execFunction(const Function *func, Frame &frame,
         instrs_ += saved_bounds;
         // stbnd spills dual-issue with the regular prologue stores on
         // a superscalar core.
-        cycles_ += config_.superscalar ? (saved_bounds + 1) / 2
-                                       : saved_bounds;
-        stats_.counter("bnd_ldst") += saved_bounds;
+        uint64_t spill_cycles = config_.superscalar
+                                    ? (saved_bounds + 1) / 2
+                                    : saved_bounds;
+        cycles_ += spill_cycles;
+        chargeClass(CycleClass::BndLdSt, spill_cycles);
+        cBndLdSt_ += saved_bounds;
     }
 
     BlockId cur = 0;
@@ -293,12 +399,14 @@ Machine::execFunction(const Function *func, Frame &frame,
     while (true) {
         const Instr &instr = func->block(cur).instrs[ip];
         ++ip;
-        countInstr();
-        if (trace_) {
-            *trace_ << strfmt("%12llu  %s b%u:%zu  ",
-                              static_cast<unsigned long long>(instrs_),
-                              func->name().c_str(), cur, ip - 1)
-                    << ir::print(instr, module_) << "\n";
+        countInstr(instr.op);
+        if (tracer_.enabled(TraceCategory::Exec)) {
+            tracer_.instant(TraceCategory::Exec,
+                            ir::toString(instr.op),
+                            {{"fn", func->name()},
+                             {"block", static_cast<uint64_t>(cur)},
+                             {"ip", static_cast<uint64_t>(ip - 1)},
+                             {"text", ir::print(instr, module_)}});
         }
 
         switch (instr.op) {
@@ -497,7 +605,7 @@ Machine::execFunction(const Function *func, Frame &frame,
                 value = intResult(instr.type, value);
             regs[instr.dst] = value;
             bounds[instr.dst] = Bounds::cleared();
-            stats_.counter("loads")++;
+            cLoads_++;
             break;
           }
           case Opcode::Store: {
@@ -520,7 +628,7 @@ Machine::execFunction(const Function *func, Frame &frame,
                 mem_.store<uint64_t>(addr, value);
                 break;
             }
-            stats_.counter("stores")++;
+            cStores_++;
             break;
           }
           case Opcode::Alloca: {
@@ -554,6 +662,7 @@ Machine::execFunction(const Function *func, Frame &frame,
                 // Address computation is mul + add at machine level.
                 ++instrs_;
                 ++cycles_;
+                chargeClass(CycleClass::Base, 1);
             }
             break;
           }
@@ -592,7 +701,7 @@ Machine::execFunction(const Function *func, Frame &frame,
                                           ? operandBounds(frame, arg)
                                           : Bounds::cleared());
             }
-            stats_.counter("calls")++;
+            cCalls_++;
             Bounds ret_b = Bounds::cleared();
             uint64_t ret = callFunction(callee, call_args, call_bounds,
                                         &ret_b, depth + 1);
@@ -608,10 +717,12 @@ Machine::execFunction(const Function *func, Frame &frame,
           case Opcode::Ret: {
             if (saved_bounds) {
                 instrs_ += saved_bounds;
-                cycles_ += config_.superscalar
-                               ? (saved_bounds + 1) / 2
-                               : saved_bounds;
-                stats_.counter("bnd_ldst") += saved_bounds;
+                uint64_t reload_cycles = config_.superscalar
+                                             ? (saved_bounds + 1) / 2
+                                             : saved_bounds;
+                cycles_ += reload_cycles;
+                chargeClass(CycleClass::BndLdSt, reload_cycles);
+                cBndLdSt_ += saved_bounds;
             }
             if (ret_bounds)
                 *ret_bounds = operandBounds(frame, instr.a);
@@ -625,17 +736,29 @@ Machine::execFunction(const Function *func, Frame &frame,
           case Opcode::MallocTyped: {
             uint64_t count = evalOperand(frame, instr.a);
             uint64_t size = count * instr.type->size();
+            uint64_t start = cycles_;
             RuntimeCost cost;
             regs[instr.dst] = runtime_->plainMalloc(size, cost);
             bounds[instr.dst] = Bounds::cleared();
             applyCost(cost);
+            if (tracer_.enabled(TraceCategory::Alloc)) {
+                tracer_.complete(TraceCategory::Alloc, "malloc",
+                                 start, cycles_ - start,
+                                 {{"bytes", size},
+                                  {"addr", regs[instr.dst]}});
+            }
             break;
           }
           case Opcode::FreePtr: {
+            GuestAddr addr =
+                layout::canonical(evalOperand(frame, instr.a));
             RuntimeCost cost;
-            runtime_->plainFree(
-                layout::canonical(evalOperand(frame, instr.a)), cost);
+            runtime_->plainFree(addr, cost);
             applyCost(cost);
+            if (tracer_.enabled(TraceCategory::Alloc)) {
+                tracer_.instant(TraceCategory::Alloc, "free",
+                                {{"addr", addr}});
+            }
             break;
           }
           case Opcode::Promote: {
@@ -644,8 +767,20 @@ Machine::execFunction(const Function *func, Frame &frame,
                 promote_->promote(TaggedPtr(regs[src]));
             regs[instr.dst] = result.ptr.raw();
             bounds[instr.dst] = result.bounds;
-            cycles_ += result.cycles > 0 ? result.cycles - 1 : 0;
-            stats_.counter("promote_instrs")++;
+            uint64_t extra = result.cycles > 0 ? result.cycles - 1 : 0;
+            cycles_ += extra;
+            chargeClass(CycleClass::Promote, extra);
+            cPromoteInstrs_++;
+            if (tracer_.enabled(TraceCategory::Promote)) {
+                uint64_t dur = extra + 1;
+                tracer_.complete(TraceCategory::Promote, "promote",
+                                 cycles_ - dur, dur,
+                                 {{"outcome",
+                                   toString(result.outcome)},
+                                  {"cycles", uint64_t{result.cycles}},
+                                  {"narrowed",
+                                   uint64_t{result.narrowSucceeded}}});
+            }
             break;
           }
           case Opcode::IfpAdd: {
@@ -657,7 +792,7 @@ Machine::execFunction(const Function *func, Frame &frame,
             Bounds src_bounds = frame.bounds[src];
             regs[instr.dst] = res.raw();
             bounds[instr.dst] = src_bounds;
-            stats_.counter("ifp_arith")++;
+            cIfpArith_++;
             // Note: ifpadd replaces the baseline's address arithmetic,
             // so it is NOT hidden by the superscalar model (only the
             // net-new tag/bounds updates are).
@@ -670,7 +805,7 @@ Machine::execFunction(const Function *func, Frame &frame,
             Bounds src_bounds = frame.bounds[src];
             regs[instr.dst] = ops::ifpIdx(ptr, new_index).raw();
             bounds[instr.dst] = src_bounds;
-            stats_.counter("ifp_arith")++;
+            cIfpArith_++;
             if (config_.superscalar)
                 --cycles_;
             break;
@@ -680,7 +815,7 @@ Machine::execFunction(const Function *func, Frame &frame,
             TaggedPtr ptr(regs[src]);
             regs[instr.dst] = ptr.raw();
             bounds[instr.dst] = ops::ifpBnd(ptr, instr.imm0);
-            stats_.counter("ifp_arith")++;
+            cIfpArith_++;
             if (config_.superscalar)
                 --cycles_;
             break;
@@ -690,7 +825,7 @@ Machine::execFunction(const Function *func, Frame &frame,
             regs[instr.dst] = ops::ifpChk(TaggedPtr(regs[src]),
                                           frame.bounds[src], instr.imm0)
                                   .raw();
-            stats_.counter("ifp_arith")++;
+            cIfpArith_++;
             break;
           }
           case Opcode::RegisterObj: {
@@ -702,10 +837,15 @@ Machine::execFunction(const Function *func, Frame &frame,
             regs[instr.dst] = alloc.ptr.raw();
             bounds[instr.dst] = alloc.bounds;
             applyCost(cost);
-            stats_.counter("ifp_arith")++;
+            cIfpArith_++;
             stats_.counter("local_objects")++;
             if (instr.layout != noLayout)
                 stats_.counter("local_objects_with_layout")++;
+            if (tracer_.enabled(TraceCategory::Alloc)) {
+                tracer_.instant(TraceCategory::Alloc, "register_obj",
+                                {{"bytes", instr.imm0},
+                                 {"ptr", alloc.ptr.raw()}});
+            }
             break;
           }
           case Opcode::DeregisterObj: {
@@ -713,12 +853,13 @@ Machine::execFunction(const Function *func, Frame &frame,
             runtime_->deregisterObject(
                 TaggedPtr(evalOperand(frame, instr.a)), cost);
             applyCost(cost);
-            stats_.counter("ifp_arith")++;
+            cIfpArith_++;
             break;
           }
           case Opcode::IfpMallocTyped: {
             uint64_t count = evalOperand(frame, instr.a);
             uint64_t size = count * instr.type->size();
+            uint64_t start = cycles_;
             RuntimeCost cost;
             IfpAllocation alloc =
                 runtime_->ifpMalloc(size, instr.layout, cost);
@@ -728,13 +869,23 @@ Machine::execFunction(const Function *func, Frame &frame,
             stats_.counter("heap_objects")++;
             if (instr.layout != noLayout)
                 stats_.counter("heap_objects_with_layout")++;
+            if (tracer_.enabled(TraceCategory::Alloc)) {
+                tracer_.complete(TraceCategory::Alloc, "ifp_malloc",
+                                 start, cycles_ - start,
+                                 {{"bytes", size},
+                                  {"ptr", alloc.ptr.raw()}});
+            }
             break;
           }
           case Opcode::IfpFree: {
+            TaggedPtr ptr(evalOperand(frame, instr.a));
             RuntimeCost cost;
-            runtime_->ifpFree(TaggedPtr(evalOperand(frame, instr.a)),
-                              cost);
+            runtime_->ifpFree(ptr, cost);
             applyCost(cost);
+            if (tracer_.enabled(TraceCategory::Alloc)) {
+                tracer_.instant(TraceCategory::Alloc, "ifp_free",
+                                {{"ptr", ptr.raw()}});
+            }
             break;
           }
         }

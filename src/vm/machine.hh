@@ -22,8 +22,8 @@
 #ifndef INFAT_VM_MACHINE_HH
 #define INFAT_VM_MACHINE_HH
 
+#include <array>
 #include <functional>
-#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -35,6 +35,8 @@
 #include "ir/module.hh"
 #include "mem/guest_memory.hh"
 #include "runtime/runtime.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
 #include "vm/trap.hh"
 
 namespace infat {
@@ -98,10 +100,19 @@ class Machine
     Cache *l2() { return config_.useL2 ? &l2_ : nullptr; }
 
     /**
-     * Stream one line per executed instruction to @p sink (disable
-     * with nullptr). Costly; meant for debugging small programs.
+     * Attach a structured trace sink (support/trace.hh). Events in the
+     * categories of @p category_mask flow to @p sink; pass nullptr to
+     * disable. The `exec` category emits one event per executed guest
+     * instruction — costly, meant for debugging small programs; with
+     * no sink attached every trace site is a two-load check and the
+     * simulated instruction/cycle counts are identical either way.
      */
-    void setTrace(std::ostream *sink) { trace_ = sink; }
+    void
+    setTraceSink(TraceSink *sink, uint32_t category_mask = traceMaskAll)
+    {
+        tracer_.setSink(sink, category_mask);
+    }
+    Tracer &tracer() { return tracer_; }
     PromoteEngine &promoteEngine() { return *promote_; }
     const VmConfig &config() const { return config_; }
     ir::Module &module() { return module_; }
@@ -110,6 +121,37 @@ class Machine
     uint64_t instructions() const { return instrs_; }
     uint64_t cycles() const { return cycles_; }
     StatGroup &stats() { return stats_; }
+
+    /**
+     * Cycle attribution classes (vm.cycles_* counters). Every cycle
+     * charged to cycles() lands in exactly one class, so the class
+     * counters sum to cycles() after syncStats().
+     */
+    enum class CycleClass : unsigned
+    {
+        Base,     ///< 1-cycle base cost of ordinary instructions
+        Mem,      ///< data-cache latency beyond the first cycle
+        BndLdSt,  ///< callee-saved bounds spill/reload (stbnd/ldbnd)
+        Promote,  ///< promote instructions incl. metadata fetch latency
+        IfpArith, ///< single-cycle IFP arithmetic instructions
+        Runtime,  ///< allocator / registration runtime work
+        NumClasses,
+    };
+
+    uint64_t
+    classCycles(CycleClass c) const
+    {
+        return classCycles_[static_cast<unsigned>(c)];
+    }
+
+    /**
+     * The registry aggregating this machine's stat groups ("vm",
+     * "promote", "l1d", "l2", "runtime", "mem"). Call syncStats()
+     * first so derived scalars (instructions, cycles_* attribution,
+     * memory footprint) are current.
+     */
+    StatRegistry &statRegistry() { return registry_; }
+    void syncStats();
 
     // --- Services for native (libc model) handlers ---
     void
@@ -152,7 +194,13 @@ class Machine
                      uint64_t raw, uint64_t size, bool write);
 
     void applyCost(const RuntimeCost &cost);
-    void countInstr();
+    void countInstr(ir::Opcode op);
+
+    void
+    chargeClass(CycleClass c, uint64_t cycles)
+    {
+        classCycles_[static_cast<unsigned>(c)] += cycles;
+    }
 
     ir::Module &module_;
     const LayoutRegistry *layouts_;
@@ -160,7 +208,7 @@ class Machine
     GuestMemory mem_;
     Cache l1d_;
     Cache l2_;
-    std::ostream *trace_ = nullptr;
+    Tracer tracer_;
     IfpControlRegs regs_;
     std::unique_ptr<PromoteEngine> promote_;
     std::unique_ptr<Runtime> runtime_;
@@ -175,7 +223,19 @@ class Machine
 
     uint64_t instrs_ = 0;
     uint64_t cycles_ = 0;
+    std::array<uint64_t,
+               static_cast<size_t>(CycleClass::NumClasses)>
+        classCycles_{};
     StatGroup stats_;
+    // Hot-path stats, resolved once (stats.hh reference stability).
+    Counter &cLoads_;
+    Counter &cStores_;
+    Counter &cCalls_;
+    Counter &cImplicitChecks_;
+    Counter &cIfpArith_;
+    Counter &cBndLdSt_;
+    Counter &cPromoteInstrs_;
+    StatRegistry registry_;
 
     static constexpr unsigned maxCallDepth = 4000;
 };

@@ -27,15 +27,40 @@ toString(Config config)
     return "?";
 }
 
+std::string
+describe(const CustomRun &custom)
+{
+    if (!custom.instrumented)
+        return "custom-baseline";
+    std::string label = strfmt("custom-%s", toString(custom.allocator));
+    if (custom.ifp.noPromote)
+        label += "+np";
+    if (custom.explicitChecks)
+        label += "+explicit";
+    if (!custom.implicitChecks)
+        label += "-nochecks";
+    if (custom.superscalar)
+        label += "+ss";
+    if (custom.useL2)
+        label += "+l2";
+    return label;
+}
+
 namespace {
+
+bool recordRuns = false;
+std::vector<RecordedRun> recorded;
 
 /** Execute a built (and possibly instrumented) module; collect stats. */
 RunResult
 execute(const Workload &workload, ir::Module &module,
-        const InstrumentResult *inst, const VmConfig &vm_config)
+        const InstrumentResult *inst, const VmConfig &vm_config,
+        const Observability *obs, const std::string &label)
 {
     Machine machine(module, inst ? &inst->layouts : nullptr, vm_config);
     installLibc(machine);
+    if (obs && obs->traceSink)
+        machine.setTraceSink(obs->traceSink, obs->traceCategories);
 
     RunResult result;
     result.workload = workload.name;
@@ -70,13 +95,21 @@ execute(const Workload &workload, ir::Module &module,
 
     result.residentBytes = machine.mem().residentBytes();
     result.heapPeak = machine.runtime().heapPeakFootprint();
+
+    machine.syncStats();
+    result.stats = machine.statRegistry().snapshot();
+    if (obs && !obs->statsJsonPath.empty())
+        result.stats.writeFile(obs->statsJsonPath);
+    if (obs && obs->traceSink)
+        obs->traceSink->flush();
+    if (recordRuns)
+        recorded.push_back({workload.name, label, result.stats});
     return result;
 }
 
-} // namespace
-
 RunResult
-runWorkload(const Workload &workload, Config config)
+runWorkloadConfig(const Workload &workload, Config config,
+                  const Observability *obs)
 {
     ir::Module module;
     workload.build(module);
@@ -97,15 +130,16 @@ runWorkload(const Workload &workload, Config config)
     vm_config.ifp.noPromote = config == Config::SubheapNoPromote ||
                               config == Config::WrappedNoPromote;
 
-    RunResult result = execute(workload, module,
-                               instrumented ? &inst : nullptr,
-                               vm_config);
+    RunResult result =
+        execute(workload, module, instrumented ? &inst : nullptr,
+                vm_config, obs, toString(config));
     result.config = config;
     return result;
 }
 
 RunResult
-runWorkloadCustom(const Workload &workload, const CustomRun &custom)
+runWorkloadCustomImpl(const Workload &workload, const CustomRun &custom,
+                      const Observability *obs)
 {
     ir::Module module;
     workload.build(module);
@@ -127,7 +161,60 @@ runWorkloadCustom(const Workload &workload, const CustomRun &custom)
     vm_config.useL2 = custom.useL2;
 
     return execute(workload, module,
-                   custom.instrumented ? &inst : nullptr, vm_config);
+                   custom.instrumented ? &inst : nullptr, vm_config,
+                   obs, describe(custom));
+}
+
+} // namespace
+
+void
+setRunRecording(bool enabled)
+{
+    recordRuns = enabled;
+}
+
+bool
+runRecordingEnabled()
+{
+    return recordRuns;
+}
+
+const std::vector<RecordedRun> &
+recordedRuns()
+{
+    return recorded;
+}
+
+void
+clearRecordedRuns()
+{
+    recorded.clear();
+}
+
+RunResult
+runWorkload(const Workload &workload, Config config)
+{
+    return runWorkloadConfig(workload, config, nullptr);
+}
+
+RunResult
+runWorkload(const Workload &workload, Config config,
+            const Observability &obs)
+{
+    return runWorkloadConfig(workload, config, &obs);
+}
+
+RunResult
+runWorkloadCustom(const Workload &workload, const CustomRun &custom)
+{
+    return runWorkloadCustomImpl(workload, custom, nullptr);
+}
+
+RunResult
+runWorkloadCustom(const Workload &workload, const CustomRun &custom,
+                  const Observability &obs)
+{
+    return runWorkloadCustomImpl(workload, custom, &obs);
 }
 
 RunResult
@@ -137,6 +224,16 @@ runWorkload(std::string_view name, Config config)
     fatal_if(workload == nullptr, "unknown workload %.*s",
              static_cast<int>(name.size()), name.data());
     return runWorkload(*workload, config);
+}
+
+RunResult
+runWorkload(std::string_view name, Config config,
+            const Observability &obs)
+{
+    const Workload *workload = byName(name);
+    fatal_if(workload == nullptr, "unknown workload %.*s",
+             static_cast<int>(name.size()), name.data());
+    return runWorkload(*workload, config, obs);
 }
 
 } // namespace workloads

@@ -9,9 +9,12 @@
 #define INFAT_WORKLOADS_HARNESS_HH
 
 #include <string>
+#include <vector>
 
 #include "ifp/config.hh"
 #include "runtime/runtime.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
 #include "workloads/workload.hh"
 
 namespace infat {
@@ -72,13 +75,39 @@ struct RunResult
     // Figure 12.
     uint64_t residentBytes = 0;
     uint64_t heapPeak = 0;
+
+    /**
+     * Detached copy of the machine's full stat registry (vm, promote,
+     * l1d, l2, runtime, mem groups), taken after syncStats(); outlives
+     * the Machine that produced it.
+     */
+    StatSnapshot stats;
+};
+
+/**
+ * Optional observability attachments for a run: a structured trace
+ * sink (support/trace.hh) and/or a path to write the full stat
+ * registry as JSON.
+ */
+struct Observability
+{
+    /** When non-empty, the stat snapshot is written here as JSON. */
+    std::string statsJsonPath;
+    /** When non-null, installed on the machine for the whole run. */
+    TraceSink *traceSink = nullptr;
+    /** Category mask for traceSink (default: all categories). */
+    uint32_t traceCategories = traceMaskAll;
 };
 
 /** Build, (optionally) instrument, and execute one workload. */
 RunResult runWorkload(const Workload &workload, Config config);
+RunResult runWorkload(const Workload &workload, Config config,
+                      const Observability &obs);
 
 /** Convenience: run by name (fatal on unknown workload). */
 RunResult runWorkload(std::string_view name, Config config);
+RunResult runWorkload(std::string_view name, Config config,
+                      const Observability &obs);
 
 /**
  * Fully parameterized run for ablation studies: any combination of
@@ -96,8 +125,32 @@ struct CustomRun
     bool useL2 = false;
 };
 
+/** Human-readable label for a CustomRun ("custom-subheap+ss+l2"…). */
+std::string describe(const CustomRun &custom);
+
 RunResult runWorkloadCustom(const Workload &workload,
                             const CustomRun &custom);
+RunResult runWorkloadCustom(const Workload &workload,
+                            const CustomRun &custom,
+                            const Observability &obs);
+
+/**
+ * Process-wide run recording: when enabled, every harness run appends
+ * its (workload, config label, stat snapshot) triple to a global list.
+ * The bench binaries use this to export full stat trajectories as JSON
+ * without threading state through every table-printing loop.
+ */
+struct RecordedRun
+{
+    std::string workload;
+    std::string label;
+    StatSnapshot stats;
+};
+
+void setRunRecording(bool enabled);
+bool runRecordingEnabled();
+const std::vector<RecordedRun> &recordedRuns();
+void clearRecordedRuns();
 
 } // namespace workloads
 } // namespace infat

@@ -123,7 +123,8 @@ TEST(Trace, StreamsExecutedInstructions)
     Machine machine(m, nullptr, {});
     installLibc(machine);
     std::ostringstream trace;
-    machine.setTrace(&trace);
+    StreamTraceSink sink(trace);
+    machine.setTraceSink(&sink, traceBit(TraceCategory::Exec));
     EXPECT_EQ(machine.run(), 5u);
     std::string text = trace.str();
     EXPECT_NE(text.find("main"), std::string::npos);

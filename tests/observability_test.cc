@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Unit tests for the observability layer: histogram bucketing edge
+ * cases, registry collision handling, JSON export round-trips, dump
+ * ordering/suppression, geomean corner cases, and the trace-event
+ * subsystem (category gating + Chrome trace-event output shape).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <sstream>
+
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/stats.hh"
+#include "support/trace.hh"
+
+namespace infat {
+namespace {
+
+TEST(Counter, IncrementReturnValues)
+{
+    Counter c;
+    EXPECT_EQ(++c, 1u);       // pre-increment: new value
+    EXPECT_EQ(c++, 1u);       // post-increment: old value
+    EXPECT_EQ(c.value(), 2u); // no implicit conversion; explicit read
+    c += 40;
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, Log2Bucketing)
+{
+    Histogram h = Histogram::log2(8);
+    // Bucket 0 holds exactly the value 0; bucket i >= 1 holds
+    // [2^(i-1), 2^i).
+    h.sample(0);
+    h.sample(1);
+    h.sample(2);
+    h.sample(3);
+    h.sample(127); // bucket 7: [64, 128)
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 2u);
+    EXPECT_EQ(h.bucketCount(7), 1u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.bucketLo(0), 0u);
+    EXPECT_EQ(h.bucketHi(0), 1u);
+    EXPECT_EQ(h.bucketLo(2), 2u);
+    EXPECT_EQ(h.bucketHi(2), 4u);
+}
+
+TEST(Histogram, OverflowAndUnderflow)
+{
+    Histogram h = Histogram::log2(4); // covers [0, 8)
+    h.sample(8);
+    h.sample(~0ULL);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.maxValue(), ~0ULL);
+
+    Histogram lin = Histogram::linear(10, 5, 4); // covers [10, 30)
+    lin.sample(9);  // below lo -> underflow
+    lin.sample(10); // bucket 0
+    lin.sample(29); // bucket 3
+    lin.sample(30); // overflow
+    EXPECT_EQ(lin.underflow(), 1u);
+    EXPECT_EQ(lin.overflow(), 1u);
+    EXPECT_EQ(lin.bucketCount(0), 1u);
+    EXPECT_EQ(lin.bucketCount(3), 1u);
+    EXPECT_EQ(lin.bucketLo(3), 25u);
+    EXPECT_EQ(lin.bucketHi(3), 30u);
+    // Underflow/overflow samples still feed the moments.
+    EXPECT_EQ(lin.count(), 4u);
+    EXPECT_EQ(lin.minValue(), 9u);
+    EXPECT_EQ(lin.maxValue(), 30u);
+}
+
+TEST(Histogram, SingleSample)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.minValue(), 0u); // no samples: min reads as 0
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    h.sample(7);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.minValue(), 7u);
+    EXPECT_EQ(h.maxValue(), 7u);
+    EXPECT_DOUBLE_EQ(h.mean(), 7.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.maxValue(), 0u);
+}
+
+TEST(Distribution, Moments)
+{
+    Distribution d;
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    d.sample(2);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0); // < 2 samples
+    d.sample(4);
+    d.sample(4);
+    d.sample(6);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+    EXPECT_NEAR(d.stddev(), std::sqrt(2.0), 1e-12);
+    EXPECT_EQ(d.minValue(), 2u);
+    EXPECT_EQ(d.maxValue(), 6u);
+}
+
+TEST(StatGroup, DumpDeterministicOrder)
+{
+    StatGroup g("g");
+    // Insert in non-lexicographic order; dump must sort by name with
+    // counters before histograms before distributions before formulas.
+    g.counter("zeta") += 1;
+    g.counter("alpha") += 2;
+    g.histogram("lat").sample(3);
+    g.distribution("cost").sample(4);
+    g.formula("ratio", [] { return 0.5; });
+
+    DumpOptions opts;
+    opts.suppressZero = false;
+    std::string first = g.dump(opts);
+    std::string second = g.dump(opts);
+    EXPECT_EQ(first, second);
+    size_t alpha = first.find("g.alpha");
+    size_t zeta = first.find("g.zeta");
+    size_t lat = first.find("g.lat");
+    size_t cost = first.find("g.cost");
+    size_t ratio = first.find("g.ratio");
+    ASSERT_NE(alpha, std::string::npos);
+    ASSERT_NE(zeta, std::string::npos);
+    ASSERT_NE(lat, std::string::npos);
+    ASSERT_NE(cost, std::string::npos);
+    ASSERT_NE(ratio, std::string::npos);
+    EXPECT_LT(alpha, zeta); // lexicographic within counters
+    EXPECT_LT(zeta, lat);   // counters before histograms
+    EXPECT_LT(lat, cost);   // histograms before distributions
+    EXPECT_LT(cost, ratio); // distributions before formulas
+}
+
+TEST(StatGroup, DumpSuppressesZeroStats)
+{
+    StatGroup g("g");
+    g.counter("hot") += 3;
+    g.counter("cold");
+    g.histogram("empty");
+
+    DumpOptions all;
+    all.suppressZero = false;
+    EXPECT_NE(g.dump(all).find("g.cold"), std::string::npos);
+
+    DumpOptions quiet_opts;
+    quiet_opts.suppressZero = true;
+    std::string dumped = g.dump(quiet_opts);
+    EXPECT_NE(dumped.find("g.hot 3"), std::string::npos);
+    EXPECT_EQ(dumped.find("g.cold"), std::string::npos);
+    EXPECT_EQ(dumped.find("g.empty"), std::string::npos);
+}
+
+TEST(StatGroup, DumpDefaultRespectsSetQuiet)
+{
+    StatGroup g("g");
+    g.counter("zero");
+    setQuiet(true);
+    std::string quiet_dump = g.dump();
+    setQuiet(false);
+    std::string loud_dump = g.dump();
+    EXPECT_EQ(quiet_dump.find("g.zero"), std::string::npos);
+    EXPECT_NE(loud_dump.find("g.zero"), std::string::npos);
+}
+
+TEST(StatRegistry, NameCollisionSuffixes)
+{
+    StatGroup a("l1d"), b("l1d"), c("l1d");
+    StatRegistry reg;
+    EXPECT_EQ(reg.add(&a), "l1d");
+    EXPECT_EQ(reg.add(&b), "l1d#2");
+    EXPECT_EQ(reg.add(&c), "l1d#3");
+    EXPECT_EQ(reg.find("l1d"), &a);
+    EXPECT_EQ(reg.find("l1d#2"), &b);
+    EXPECT_EQ(reg.find("l1d#3"), &c);
+    EXPECT_EQ(reg.find("l2"), nullptr);
+    EXPECT_EQ(reg.groups().size(), 3u);
+}
+
+TEST(StatRegistry, JsonExportRoundTrip)
+{
+    StatGroup vm("vm");
+    vm.counter("instructions") += 1000;
+    vm.counter("cycles") += 2500;
+    vm.formula("cpi", [] { return 2.5; });
+    vm.histogram("lat", Histogram::log2(8)).sample(5, 3);
+    vm.distribution("cost").sample(10);
+    vm.distribution("cost").sample(20);
+
+    StatRegistry reg;
+    reg.add(&vm);
+    StatSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.scalar("vm", "instructions"), 1000u);
+
+    std::string err;
+    std::optional<JsonValue> doc = jsonParse(snap.toJson(true), &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+
+    const JsonValue *groups = doc->find("groups");
+    ASSERT_NE(groups, nullptr);
+    const JsonValue *g = groups->find("vm");
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g->find("scalars")->find("cycles")->asUint(), 2500u);
+    EXPECT_DOUBLE_EQ(g->find("formulas")->find("cpi")->number, 2.5);
+
+    const JsonValue *lat = g->find("histograms")->find("lat");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->find("count")->asUint(), 3u);
+    EXPECT_EQ(lat->find("sum")->asUint(), 15u);
+    const JsonValue *buckets = lat->find("buckets");
+    ASSERT_TRUE(buckets && buckets->isArray());
+    ASSERT_EQ(buckets->arr.size(), 1u); // only non-empty buckets
+    EXPECT_EQ(buckets->arr[0].find("lo")->asUint(), 4u);
+    EXPECT_EQ(buckets->arr[0].find("hi")->asUint(), 8u);
+    EXPECT_EQ(buckets->arr[0].find("count")->asUint(), 3u);
+
+    const JsonValue *cost = g->find("distributions")->find("cost");
+    ASSERT_NE(cost, nullptr);
+    EXPECT_EQ(cost->find("count")->asUint(), 2u);
+    EXPECT_DOUBLE_EQ(cost->find("mean")->number, 15.0);
+}
+
+TEST(Stats, GeomeanEdgeCases)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 1.0);
+    EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    // Non-positive inputs have no log-domain mean; defined as 0.
+    EXPECT_DOUBLE_EQ(geomean({0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 0.0, 8.0}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({-1.0, 4.0}), 0.0);
+}
+
+TEST(Trace, CategoryParsing)
+{
+    EXPECT_EQ(parseTraceCategories("all"), traceMaskAll);
+    EXPECT_EQ(parseTraceCategories(""), traceMaskAll);
+    EXPECT_EQ(parseTraceCategories("none"), 0u);
+    EXPECT_EQ(parseTraceCategories("promote"),
+              traceBit(TraceCategory::Promote));
+    EXPECT_EQ(parseTraceCategories("exec,cache"),
+              traceBit(TraceCategory::Exec) |
+                  traceBit(TraceCategory::Cache));
+}
+
+TEST(Trace, MaskGatesEmission)
+{
+    CollectTraceSink sink;
+    Tracer tracer;
+    uint64_t clock = 100;
+    tracer.setClock(&clock);
+
+    // No sink: everything disabled.
+    EXPECT_FALSE(tracer.enabled(TraceCategory::Exec));
+    tracer.instant(TraceCategory::Exec, "dropped");
+
+    tracer.setSink(&sink, traceBit(TraceCategory::Promote));
+    EXPECT_TRUE(tracer.enabled(TraceCategory::Promote));
+    EXPECT_FALSE(tracer.enabled(TraceCategory::Cache));
+    tracer.instant(TraceCategory::Cache, "filtered");
+    tracer.instant(TraceCategory::Promote, "kept", {{"cycles", 7ull}});
+    clock = 250;
+    tracer.complete(TraceCategory::Promote, "span", 200, 50);
+
+    ASSERT_EQ(sink.events.size(), 2u);
+    EXPECT_EQ(sink.events[0].name, "kept");
+    EXPECT_EQ(sink.events[0].phase, 'i');
+    EXPECT_EQ(sink.events[0].ts, 100u);
+    ASSERT_EQ(sink.events[0].args.size(), 1u);
+    EXPECT_STREQ(sink.events[0].args[0].key, "cycles");
+    EXPECT_EQ(sink.events[0].args[0].num, 7u);
+    EXPECT_EQ(sink.events[1].phase, 'X');
+    EXPECT_EQ(sink.events[1].ts, 200u);
+    EXPECT_EQ(sink.events[1].dur, 50u);
+}
+
+TEST(Trace, ChromeSinkEmitsValidTraceEventJson)
+{
+    std::ostringstream out;
+    {
+        ChromeTraceSink sink(out);
+        TraceEvent ev;
+        ev.category = TraceCategory::Cache;
+        ev.phase = 'i';
+        ev.ts = 42;
+        ev.name = "l1d.rmiss";
+        ev.args.push_back({"addr", uint64_t{0x1000}});
+        ev.args.push_back({"level", "l1d"});
+        sink.event(ev);
+
+        TraceEvent span;
+        span.category = TraceCategory::Promote;
+        span.phase = 'X';
+        span.ts = 50;
+        span.dur = 9;
+        span.name = "promote \"quoted\"";
+        sink.event(span);
+        sink.close();
+        // Events after close are ignored, not appended.
+        sink.event(ev);
+    }
+
+    std::string err;
+    std::optional<JsonValue> doc = jsonParse(out.str(), &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+    const JsonValue *events = doc->find("traceEvents");
+    ASSERT_TRUE(events && events->isArray());
+    ASSERT_EQ(events->arr.size(), 2u);
+
+    const JsonValue &first = events->arr[0];
+    EXPECT_EQ(first.find("ph")->str, "i");
+    EXPECT_EQ(first.find("ts")->asUint(), 42u);
+    EXPECT_EQ(first.find("name")->str, "l1d.rmiss");
+    EXPECT_EQ(first.find("cat")->str, "cache");
+    ASSERT_NE(first.find("pid"), nullptr);
+    ASSERT_NE(first.find("tid"), nullptr);
+    EXPECT_EQ(first.find("args")->find("addr")->asUint(), 0x1000u);
+    EXPECT_EQ(first.find("args")->find("level")->str, "l1d");
+
+    const JsonValue &second = events->arr[1];
+    EXPECT_EQ(second.find("ph")->str, "X");
+    EXPECT_EQ(second.find("dur")->asUint(), 9u);
+    EXPECT_EQ(second.find("name")->str, "promote \"quoted\"");
+}
+
+} // namespace
+} // namespace infat

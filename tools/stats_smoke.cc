@@ -1,0 +1,152 @@
+/**
+ * @file
+ * End-to-end smoke test for the observability layer, run as the
+ * `infat_stats_smoke` ctest.
+ *
+ * Runs one small workload with both a --stats-json-style export and a
+ * Chrome trace sink attached, then re-parses the two JSON documents
+ * with the support/json.hh parser and checks the shape the tooling
+ * relies on: hierarchical stat groups for vm/promote/l1d/l2, at least
+ * one histogram with non-empty buckets, and a traceEvents array whose
+ * entries carry ph/ts/name. Exits non-zero (with a message) on any
+ * violation, so the failure mode is self-describing in ctest output.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/trace.hh"
+#include "workloads/harness.hh"
+
+using namespace infat;
+using namespace infat::workloads;
+
+namespace {
+
+int failures = 0;
+
+void
+check(bool ok, const char *what)
+{
+    if (!ok) {
+        std::fprintf(stderr, "FAIL: %s\n", what);
+        ++failures;
+    } else {
+        std::fprintf(stderr, "ok:   %s\n", what);
+    }
+}
+
+const JsonValue *
+findGroup(const JsonValue &root, const char *name)
+{
+    const JsonValue *groups = root.find("groups");
+    return groups ? groups->find(name) : nullptr;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::string dir = std::getenv("TMPDIR") ? std::getenv("TMPDIR") : ".";
+    std::string stats_path = dir + "/infat_stats_smoke.json";
+    std::string trace_path = dir + "/infat_stats_smoke.trace.json";
+
+    Observability obs;
+    obs.statsJsonPath = stats_path;
+    ChromeTraceSink sink(trace_path);
+    obs.traceSink = &sink;
+    // Every category except the per-instruction exec firehose, which
+    // would make this smoke test write (and re-parse) an exec event
+    // for each of the workload's ~500k instructions.
+    obs.traceCategories = traceMaskAll & ~traceBit(TraceCategory::Exec);
+
+    RunResult result = runWorkload("perimeter", Config::Subheap, obs);
+    sink.close();
+    check(result.checksum != 0, "workload produced a checksum");
+    check(result.instructions > 0, "workload executed instructions");
+
+    // --- stats JSON ---
+    std::string err;
+    std::optional<JsonValue> stats_doc = jsonParseFile(stats_path, &err);
+    check(stats_doc.has_value(), "stats JSON parses");
+    if (!stats_doc) {
+        std::fprintf(stderr, "  parse error: %s\n", err.c_str());
+        return 1;
+    }
+    const JsonValue &stats = *stats_doc;
+
+    for (const char *group : {"vm", "promote", "l1d", "l2", "runtime",
+                              "mem"}) {
+        check(findGroup(stats, group) != nullptr,
+              (std::string("stats has group ") + group).c_str());
+    }
+
+    const JsonValue *vm = findGroup(stats, "vm");
+    if (vm) {
+        const JsonValue *scalars = vm->find("scalars");
+        const JsonValue *instrs =
+            scalars ? scalars->find("instructions") : nullptr;
+        check(instrs && instrs->asUint() == result.instructions,
+              "vm.instructions matches RunResult");
+        const JsonValue *cycles =
+            scalars ? scalars->find("cycles") : nullptr;
+        check(cycles && cycles->asUint() == result.cycles,
+              "vm.cycles matches RunResult");
+    }
+
+    // At least one histogram anywhere must have non-empty buckets.
+    const JsonValue *promote = findGroup(stats, "promote");
+    const JsonValue *hist = nullptr;
+    if (promote) {
+        const JsonValue *hists = promote->find("histograms");
+        hist = hists ? hists->find("promote_cycles") : nullptr;
+    }
+    check(hist != nullptr, "promote.promote_cycles histogram present");
+    if (hist) {
+        const JsonValue *buckets = hist->find("buckets");
+        check(buckets && buckets->isArray() && !buckets->arr.empty(),
+              "promote_cycles has non-empty buckets");
+        const JsonValue *count = hist->find("count");
+        check(count && count->asUint() > 0,
+              "promote_cycles sampled at least once");
+    }
+
+    // --- Chrome trace JSON ---
+    std::optional<JsonValue> trace_doc = jsonParseFile(trace_path, &err);
+    check(trace_doc.has_value(), "trace JSON parses");
+    if (!trace_doc) {
+        std::fprintf(stderr, "  parse error: %s\n", err.c_str());
+        return 1;
+    }
+
+    const JsonValue *events = trace_doc->find("traceEvents");
+    check(events && events->isArray(), "trace has traceEvents array");
+    if (events) {
+        check(!events->arr.empty(), "traceEvents is non-empty");
+        bool shape_ok = !events->arr.empty();
+        for (const JsonValue &ev : events->arr) {
+            if (!ev.find("ph") || !ev.find("ts") || !ev.find("name") ||
+                !ev.find("pid") || !ev.find("tid")) {
+                shape_ok = false;
+                break;
+            }
+        }
+        check(shape_ok, "every event has ph/ts/name/pid/tid");
+    }
+
+    std::remove(stats_path.c_str());
+    std::remove(trace_path.c_str());
+
+    if (failures) {
+        std::fprintf(stderr, "%d check(s) failed\n", failures);
+        return 1;
+    }
+    std::fprintf(stderr, "all checks passed\n");
+    return 0;
+}
