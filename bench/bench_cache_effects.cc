@@ -42,15 +42,17 @@ main(int argc, char **argv)
     };
 
     // The paper's two call-outs first, then the rest.
-    for (const char *name : {"health", "ft"}) {
-        add_row(runMatrix(*workloads::byName(name)));
-    }
+    std::vector<const Workload *> ws = {workloads::byName("health"),
+                                        workloads::byName("ft")};
     for (const Workload &w : workloads::all()) {
         if (std::string(w.name) == "health" ||
             std::string(w.name) == "ft")
             continue;
-        add_row(runMatrix(w));
+        ws.push_back(&w);
     }
+    ThreadPool pool(poolThreadsForJobs(parseJobs(argc, argv)));
+    for (const WorkloadMatrix &m : runMatrices(ws, pool))
+        add_row(m);
     std::printf("%s", table.render().c_str());
     std::printf("\npaper reference: metadata sharing in the subheap "
                 "scheme reduces the metadata footprint and therefore "

@@ -23,11 +23,12 @@ main(int argc, char **argv)
     printHeader("Figure 10: Performance Overhead of All Benchmarks",
                 "paper Fig. 10 (subheap 12%, wrapped 24% geo-mean)");
 
+    ThreadPool pool(poolThreadsForJobs(parseJobs(argc, argv)));
     TextTable table({"benchmark", "subheap", "wrapped", "subheap-np",
                      "wrapped-np"});
     std::vector<double> sub_ratios, wrap_ratios, sub_np_ratios,
         wrap_np_ratios;
-    for (const WorkloadMatrix &m : runAllMatrices()) {
+    for (const WorkloadMatrix &m : runAllMatrices(pool)) {
         double sub = overhead(m.subheap.cycles, m.baseline.cycles);
         double wrap = overhead(m.wrapped.cycles, m.baseline.cycles);
         double sub_np = overhead(m.subheapNp.cycles, m.baseline.cycles);

@@ -24,7 +24,8 @@ main(int argc, char **argv)
     TextTable table({"benchmark", "sub:promote", "sub:arith",
                      "sub:bndldst", "wrap:promote", "wrap:arith",
                      "wrap:bndldst"});
-    for (const WorkloadMatrix &m : runAllMatrices()) {
+    ThreadPool pool(poolThreadsForJobs(parseJobs(argc, argv)));
+    for (const WorkloadMatrix &m : runAllMatrices(pool)) {
         double base = static_cast<double>(m.baseline.instructions);
         auto pct = [&](uint64_t v) {
             return TextTable::cellPct(static_cast<double>(v) / base, 2);

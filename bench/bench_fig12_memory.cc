@@ -36,7 +36,8 @@ main(int argc, char **argv)
     TextTable table({"benchmark", "baseline KiB", "subheap", "wrapped",
                      "note"});
     std::vector<double> sub_ratios, wrap_ratios;
-    for (const WorkloadMatrix &m : runAllMatrices()) {
+    ThreadPool pool(poolThreadsForJobs(parseJobs(argc, argv)));
+    for (const WorkloadMatrix &m : runAllMatrices(pool)) {
         double sub = overhead(m.subheap.residentBytes + process_fixed,
                               m.baseline.residentBytes + process_fixed);
         double wrap = overhead(m.wrapped.residentBytes + process_fixed,

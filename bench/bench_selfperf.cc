@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Self-performance of the simulator itself: suite wall-clock, serial
+ * vs. parallel, and interpreter throughput.
+ *
+ * Unlike every other bench target (which reproduces a figure from the
+ * paper), this one measures the *reproduction's* speed so the repo can
+ * hold itself to a number across PRs. It runs the workload matrix
+ * twice — once serially, once across a ThreadPool — verifies the two
+ * passes produced bit-identical simulated results (checksums,
+ * instruction and cycle counts, full stat-snapshot JSON), and writes
+ * the measurements to BENCH_selfperf.json (see docs/PERFORMANCE.md).
+ *
+ * Flags:
+ *   --jobs=N    concurrent runs in the parallel pass (default: cores)
+ *   --smoke     small 4-workload subset; used by the
+ *               infat_parallel_smoke ctest
+ *   --out=PATH  output JSON path (default BENCH_selfperf.json)
+ */
+
+#include <chrono>
+#include <thread>
+
+#include "bench/bench_util.hh"
+
+using namespace infat;
+using namespace infat::bench;
+
+namespace {
+
+struct SuitePass
+{
+    std::vector<WorkloadMatrix> matrices;
+    double millis = 0.0;
+};
+
+SuitePass
+runSuite(const std::vector<const Workload *> &ws, unsigned jobs)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    SuitePass pass;
+    if (jobs <= 1) {
+        for (const Workload *w : ws)
+            pass.matrices.push_back(runMatrix(*w));
+    } else {
+        ThreadPool pool(poolThreadsForJobs(jobs));
+        pass.matrices = runMatrices(ws, pool);
+    }
+    pass.millis = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    return pass;
+}
+
+/**
+ * The determinism guarantee, enforced: every simulated observable of
+ * the parallel pass must equal the serial pass bit for bit.
+ */
+void
+verifyIdentical(const SuitePass &serial, const SuitePass &parallel)
+{
+    fatal_if(serial.matrices.size() != parallel.matrices.size(),
+             "pass size mismatch");
+    for (size_t i = 0; i < serial.matrices.size(); ++i) {
+        const WorkloadMatrix &s = serial.matrices[i];
+        // Safe: runMatrices never reorders results.
+        const WorkloadMatrix &p = parallel.matrices[i];
+        for (Config config : kMatrixConfigs) {
+            const RunResult &sr = matrixSlot(s, config);
+            const RunResult &pr = matrixSlot(p, config);
+            fatal_if(sr.checksum != pr.checksum ||
+                         sr.instructions != pr.instructions ||
+                         sr.cycles != pr.cycles,
+                     "%s/%s: parallel run diverged from serial "
+                     "(checksum %016llx vs %016llx, instrs %llu vs "
+                     "%llu, cycles %llu vs %llu)",
+                     s.workload->name, toString(config),
+                     (unsigned long long)sr.checksum,
+                     (unsigned long long)pr.checksum,
+                     (unsigned long long)sr.instructions,
+                     (unsigned long long)pr.instructions,
+                     (unsigned long long)sr.cycles,
+                     (unsigned long long)pr.cycles);
+            fatal_if(sr.stats.toJson() != pr.stats.toJson(),
+                     "%s/%s: stat snapshot JSON diverged between "
+                     "serial and parallel runs",
+                     s.workload->name, toString(config));
+        }
+    }
+}
+
+uint64_t
+totalInstructions(const SuitePass &pass)
+{
+    uint64_t total = 0;
+    for (const WorkloadMatrix &m : pass.matrices)
+        for (Config config : kMatrixConfigs)
+            total += matrixSlot(m, config).instructions;
+    return total;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    unsigned jobs = parseJobs(argc, argv);
+    bool smoke = false;
+    std::string out = "BENCH_selfperf.json";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--smoke")
+            smoke = true;
+        else if (arg.rfind("--out=", 0) == 0)
+            out = arg.substr(6);
+    }
+
+    printHeader("Self-performance: suite wall-clock and parallel "
+                "speedup",
+                "repo perf trajectory (BENCH_selfperf.json), not a "
+                "paper figure");
+
+    std::vector<const Workload *> ws;
+    if (smoke) {
+        for (const char *name :
+             {"treeadd", "power", "anagram", "ks"}) {
+            const Workload *w = workloads::byName(name);
+            fatal_if(!w, "unknown smoke workload %s", name);
+            ws.push_back(w);
+        }
+    } else {
+        for (const Workload &w : workloads::all())
+            ws.push_back(&w);
+    }
+    size_t runs = ws.size() * kNumMatrixConfigs;
+
+    std::fprintf(stderr, "  serial pass (%zu runs)...\n", runs);
+    SuitePass serial = runSuite(ws, 1);
+    std::fprintf(stderr, "  parallel pass (--jobs=%u)...\n", jobs);
+    SuitePass parallel = runSuite(ws, jobs);
+    verifyIdentical(serial, parallel);
+
+    double speedup =
+        parallel.millis > 0.0 ? serial.millis / parallel.millis : 0.0;
+    uint64_t instrs = totalInstructions(serial);
+    double serial_sec = serial.millis / 1000.0;
+    double guest_mips =
+        serial_sec > 0.0 ? instrs / serial_sec / 1e6 : 0.0;
+
+    TextTable table({"metric", "value"});
+    table.addRow({"workloads", TextTable::cell(uint64_t(ws.size()))});
+    table.addRow({"runs", TextTable::cell(uint64_t(runs))});
+    table.addRow({"host cores",
+                  TextTable::cell(uint64_t(
+                      std::thread::hardware_concurrency()))});
+    table.addRow({"jobs", TextTable::cell(uint64_t(jobs))});
+    table.addRow({"serial wall-clock (ms)",
+                  TextTable::cell(uint64_t(serial.millis))});
+    table.addRow({"parallel wall-clock (ms)",
+                  TextTable::cell(uint64_t(parallel.millis))});
+    table.addRow({"speedup", strfmt("%.2fx", speedup)});
+    table.addRow({"guest instrs (serial pass)",
+                  TextTable::cell(instrs)});
+    table.addRow({"interpreter MIPS (serial)",
+                  strfmt("%.1f", guest_mips)});
+    std::printf("%s", table.render().c_str());
+    std::printf("\nserial and parallel passes produced bit-identical "
+                "simulated results (%zu runs compared)\n", runs);
+
+    std::ofstream f(out);
+    fatal_if(!f, "cannot write %s", out.c_str());
+    JsonWriter json(f, /*pretty=*/true);
+    json.beginObject();
+    json.field("bench", std::string_view("selfperf"));
+    json.field("smoke", smoke);
+    json.field("host_cores",
+               uint64_t(std::thread::hardware_concurrency()));
+    json.field("jobs", uint64_t(jobs));
+    json.field("workloads", uint64_t(ws.size()));
+    json.field("runs", uint64_t(runs));
+    json.field("serial_ms", serial.millis);
+    json.field("parallel_ms", parallel.millis);
+    json.field("speedup", speedup);
+    json.field("runs_per_sec_serial",
+               serial_sec > 0.0 ? runs / serial_sec : 0.0);
+    json.field("runs_per_sec_parallel",
+               parallel.millis > 0.0
+                   ? runs / (parallel.millis / 1000.0)
+                   : 0.0);
+    json.field("guest_instructions", instrs);
+    json.field("interpreter_mips_serial", guest_mips);
+    json.field("identical_results", true);
+    json.key("per_workload");
+    json.beginArray();
+    for (const WorkloadMatrix &m : serial.matrices) {
+        double workload_ms = 0.0;
+        uint64_t workload_instrs = 0;
+        for (Config config : kMatrixConfigs) {
+            const RunResult &r = matrixSlot(m, config);
+            workload_ms += r.hostMillis;
+            workload_instrs += r.instructions;
+        }
+        json.beginObject();
+        json.field("workload", std::string_view(m.workload->name));
+        json.field("serial_ms", workload_ms);
+        json.field("guest_instructions", workload_instrs);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    f << "\n";
+    std::fprintf(stderr, "  wrote %s\n", out.c_str());
+    return 0;
+}

@@ -45,7 +45,8 @@ main(int argc, char **argv)
                      "baseline instrs", "subheap", "wrapped"});
     std::vector<double> sub_ratios, wrap_ratios;
     uint64_t total_promotes = 0, total_valid = 0;
-    for (const WorkloadMatrix &m : runAllMatrices()) {
+    ThreadPool pool(poolThreadsForJobs(parseJobs(argc, argv)));
+    for (const WorkloadMatrix &m : runAllMatrices(pool)) {
         const RunResult &s = m.subheap;
         double sub = ratio(m.subheap.instructions,
                            m.baseline.instructions);

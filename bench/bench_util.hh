@@ -11,6 +11,8 @@
 #ifndef INFAT_BENCH_BENCH_UTIL_HH
 #define INFAT_BENCH_BENCH_UTIL_HH
 
+#include <atomic>
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -21,6 +23,7 @@
 #include "support/logging.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
+#include "support/thread_pool.hh"
 #include "workloads/harness.hh"
 
 namespace infat {
@@ -29,6 +32,15 @@ namespace bench {
 using workloads::Config;
 using workloads::RunResult;
 using workloads::Workload;
+
+/** The five §5.2 configurations, in the paper's reporting order. */
+constexpr Config kMatrixConfigs[] = {
+    Config::Baseline,        Config::Subheap,
+    Config::Wrapped,         Config::SubheapNoPromote,
+    Config::WrappedNoPromote,
+};
+constexpr size_t kNumMatrixConfigs =
+    sizeof(kMatrixConfigs) / sizeof(kMatrixConfigs[0]);
 
 /** Results for one workload across all five configurations. */
 struct WorkloadMatrix
@@ -41,24 +53,94 @@ struct WorkloadMatrix
     RunResult wrappedNp;
 };
 
-/** Run one workload under every configuration. */
+inline RunResult &
+matrixSlot(WorkloadMatrix &matrix, Config config)
+{
+    switch (config) {
+      case Config::Baseline:
+        return matrix.baseline;
+      case Config::Subheap:
+        return matrix.subheap;
+      case Config::Wrapped:
+        return matrix.wrapped;
+      case Config::SubheapNoPromote:
+        return matrix.subheapNp;
+      case Config::WrappedNoPromote:
+        return matrix.wrappedNp;
+    }
+    panic("bad config %d", static_cast<int>(config));
+}
+
+inline const RunResult &
+matrixSlot(const WorkloadMatrix &matrix, Config config)
+{
+    return matrixSlot(const_cast<WorkloadMatrix &>(matrix), config);
+}
+
+/**
+ * Every configuration of a workload must reproduce the baseline
+ * checksum (the workloads are written to be config-invariant); a
+ * mismatch is a simulator bug, reported with the configuration that
+ * diverged so it can be re-run in isolation.
+ */
+inline void
+checkMatrix(WorkloadMatrix &matrix)
+{
+    const Workload &w = *matrix.workload;
+    for (Config config : kMatrixConfigs) {
+        const RunResult &run = matrixSlot(matrix, config);
+        fatal_if(run.checksum != matrix.baseline.checksum,
+                 "%s: configuration %s checksum %016llx diverged from "
+                 "baseline checksum %016llx",
+                 w.name, toString(config),
+                 static_cast<unsigned long long>(run.checksum),
+                 static_cast<unsigned long long>(
+                     matrix.baseline.checksum));
+    }
+}
+
+/** Run one workload under every configuration (serially). */
 inline WorkloadMatrix
 runMatrix(const Workload &w)
 {
     WorkloadMatrix matrix;
     matrix.workload = &w;
-    matrix.baseline = runWorkload(w, Config::Baseline);
-    matrix.subheap = runWorkload(w, Config::Subheap);
-    matrix.wrapped = runWorkload(w, Config::Wrapped);
-    matrix.subheapNp = runWorkload(w, Config::SubheapNoPromote);
-    matrix.wrappedNp = runWorkload(w, Config::WrappedNoPromote);
-    fatal_if(matrix.subheap.checksum != matrix.baseline.checksum ||
-                 matrix.wrapped.checksum != matrix.baseline.checksum,
-             "%s: checksum mismatch between configurations", w.name);
+    for (Config config : kMatrixConfigs)
+        matrixSlot(matrix, config) = runWorkload(w, config);
+    checkMatrix(matrix);
     return matrix;
 }
 
-/** Run the full 18-workload matrix, printing progress to stderr. */
+/**
+ * Run a set of workloads under every configuration, spreading the
+ * independent (workload, config) runs across @p pool. Each run is one
+ * self-contained Machine, so results are bit-identical to the serial
+ * loop; results land in fixed slots, so the returned order is the
+ * input order regardless of which run finishes first.
+ */
+inline std::vector<WorkloadMatrix>
+runMatrices(const std::vector<const Workload *> &ws, ThreadPool &pool)
+{
+    std::vector<WorkloadMatrix> matrices(ws.size());
+    for (size_t i = 0; i < ws.size(); ++i)
+        matrices[i].workload = ws[i];
+    std::atomic<size_t> finished{0};
+    size_t jobs = ws.size() * kNumMatrixConfigs;
+    pool.forEach(jobs, [&](size_t job) {
+        size_t wi = job / kNumMatrixConfigs;
+        Config config = kMatrixConfigs[job % kNumMatrixConfigs];
+        matrixSlot(matrices[wi], config) =
+            runWorkload(*ws[wi], config);
+        size_t done = finished.fetch_add(1) + 1;
+        if (done % kNumMatrixConfigs == 0)
+            std::fprintf(stderr, "  %zu/%zu runs done\n", done, jobs);
+    });
+    for (WorkloadMatrix &matrix : matrices)
+        checkMatrix(matrix);
+    return matrices;
+}
+
+/** Run the full 18-workload matrix serially, with progress lines. */
 inline std::vector<WorkloadMatrix>
 runAllMatrices()
 {
@@ -68,6 +150,52 @@ runAllMatrices()
         matrices.push_back(runMatrix(w));
     }
     return matrices;
+}
+
+/** Run the full matrix on @p pool (serial when the pool is inline). */
+inline std::vector<WorkloadMatrix>
+runAllMatrices(ThreadPool &pool)
+{
+    if (pool.threadCount() == 0)
+        return runAllMatrices();
+    std::vector<const Workload *> ws;
+    for (const Workload &w : workloads::all())
+        ws.push_back(&w);
+    return runMatrices(ws, pool);
+}
+
+/**
+ * Worker-thread count for a pool that should run @p jobs harness runs
+ * concurrently: the forEach caller participates, so N jobs need N-1
+ * workers (and jobs=1 needs none — the pure serial path).
+ */
+inline unsigned
+poolThreadsForJobs(unsigned jobs)
+{
+    return jobs > 0 ? jobs - 1 : 0;
+}
+
+/**
+ * The `--jobs=N` flag shared by the bench binaries: how many runs to
+ * execute concurrently. Defaults to INFAT_JOBS or the host's core
+ * count; 1 means the classic serial loop.
+ */
+inline unsigned
+parseJobs(int argc, char **argv)
+{
+    const std::string prefix = "--jobs=";
+    unsigned jobs = ThreadPool::defaultJobs();
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind(prefix, 0) == 0) {
+            long n = std::strtol(arg.c_str() + prefix.size(),
+                                 nullptr, 10);
+            fatal_if(n <= 0, "--jobs needs a positive integer, got %s",
+                     arg.c_str());
+            jobs = static_cast<unsigned>(n);
+        }
+    }
+    return jobs;
 }
 
 inline double
@@ -138,6 +266,21 @@ class StatsExport
         if (path_.empty() || written_)
             return;
         written_ = true;
+        // Concurrent harness runs append in completion order; sort by
+        // (workload, label) so the exported JSON is identical no
+        // matter how many jobs produced it. stable_sort keeps repeated
+        // (workload, label) pairs — some ablation binaries re-run a
+        // configuration — in recording order.
+        std::vector<workloads::RecordedRun> runs =
+            workloads::recordedRuns();
+        std::stable_sort(
+            runs.begin(), runs.end(),
+            [](const workloads::RecordedRun &a,
+               const workloads::RecordedRun &b) {
+                if (a.workload != b.workload)
+                    return a.workload < b.workload;
+                return a.label < b.label;
+            });
         std::ofstream f(path_);
         fatal_if(!f, "cannot write %s", path_.c_str());
         JsonWriter json(f, /*pretty=*/true);
@@ -145,8 +288,7 @@ class StatsExport
         json.field("bench", std::string_view(bench_));
         json.key("runs");
         json.beginArray();
-        for (const workloads::RecordedRun &run :
-             workloads::recordedRuns()) {
+        for (const workloads::RecordedRun &run : runs) {
             json.beginObject();
             json.field("workload", std::string_view(run.workload));
             json.field("config", std::string_view(run.label));
@@ -158,7 +300,7 @@ class StatsExport
         json.endObject();
         f << "\n";
         std::fprintf(stderr, "  stats written to %s (%zu runs)\n",
-                     path_.c_str(), workloads::recordedRuns().size());
+                     path_.c_str(), runs.size());
         workloads::setRunRecording(false);
     }
 

@@ -17,7 +17,12 @@ GuestMemory::pageFor(GuestAddr addr)
         it = pages_.emplace(page_num, std::move(page)).first;
         stats_.counter("pages_mapped")++;
     }
-    return it->second.get();
+    // Refill the micro-TLB so the next access to this page takes the
+    // inline fast path.
+    ++utlbMisses_;
+    utlbPage_ = page_num;
+    utlbData_ = it->second.get();
+    return utlbData_;
 }
 
 void

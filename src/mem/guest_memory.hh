@@ -32,6 +32,11 @@ class GuestMemory
     {
         stats_.formula("resident_bytes",
                        [this] { return double(residentBytes()); });
+        stats_.formula("utlb_hit_rate", [this] {
+            uint64_t total = utlbHits_ + utlbMisses_;
+            return total == 0 ? 0.0
+                              : double(utlbHits_) / double(total);
+        });
     }
 
     // stats_ holds a self-referential formula; copying would alias it.
@@ -46,8 +51,17 @@ class GuestMemory
     T
     load(GuestAddr addr)
     {
+        GuestAddr canon = layout::canonical(addr);
+        uint64_t off = canon & (pageSize - 1);
+        if ((canon >> pageShift) == utlbPage_ &&
+            off + sizeof(T) <= pageSize) {
+            ++utlbHits_;
+            T value;
+            std::memcpy(&value, utlbData_ + off, sizeof(T));
+            return value;
+        }
         T value;
-        read(addr, &value, sizeof(T));
+        read(canon, &value, sizeof(T));
         return value;
     }
 
@@ -55,7 +69,15 @@ class GuestMemory
     void
     store(GuestAddr addr, T value)
     {
-        write(addr, &value, sizeof(T));
+        GuestAddr canon = layout::canonical(addr);
+        uint64_t off = canon & (pageSize - 1);
+        if ((canon >> pageShift) == utlbPage_ &&
+            off + sizeof(T) <= pageSize) {
+            ++utlbHits_;
+            std::memcpy(utlbData_ + off, &value, sizeof(T));
+            return;
+        }
+        write(canon, &value, sizeof(T));
     }
 
     /** Zero @p len bytes starting at @p addr. */
@@ -76,6 +98,22 @@ class GuestMemory
     uint8_t *pageFor(GuestAddr addr);
 
     std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
+
+    /**
+     * One-entry page-translation cache ("micro-TLB"): the page the
+     * last access touched. Sequential loads/stores — the overwhelmingly
+     * common pattern in the workloads — skip the unordered_map lookup
+     * entirely. Page storage is heap-allocated and never freed for the
+     * lifetime of the GuestMemory, so the cached data pointer stays
+     * valid across rehashes. Purely a host-side speedup: no simulated
+     * stat or timing changes (the simulated TLB/cache model is the
+     * Cache class, not this).
+     */
+    uint64_t utlbPage_ = ~0ULL;
+    uint8_t *utlbData_ = nullptr;
+    uint64_t utlbHits_ = 0;
+    uint64_t utlbMisses_ = 0;
+
     StatGroup stats_;
 };
 

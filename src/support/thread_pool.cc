@@ -1,0 +1,123 @@
+#include "support/thread_pool.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace infat {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ and nothing left to do
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+/**
+ * Shared state of one forEach loop. Owns a copy of the body, so helper
+ * tasks left in the queue after the loop completes (because the live
+ * participants claimed every index first) reference nothing on the
+ * caller's stack: they wake, see no index left, and return.
+ */
+struct ThreadPool::ForEachState
+{
+    std::function<void(size_t)> fn;
+    size_t n = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr error;
+};
+
+void
+ThreadPool::drainForEach(const std::shared_ptr<ForEachState> &state)
+{
+    for (;;) {
+        size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= state->n)
+            return;
+        try {
+            state->fn(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(state->mutex);
+            if (!state->error)
+                state->error = std::current_exception();
+        }
+        if (state->done.fetch_add(1) + 1 == state->n) {
+            std::lock_guard<std::mutex> lock(state->mutex);
+            state->cv.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::forEach(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    auto state = std::make_shared<ForEachState>();
+    state->fn = fn;
+    state->n = n;
+
+    // One helper task per worker that could usefully join in; the
+    // calling thread is the (n == 1 or zero-thread pool) fast path.
+    size_t helpers = std::min<size_t>(n - 1, workers_.size());
+    if (helpers > 0) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            for (size_t i = 0; i < helpers; ++i)
+                queue_.emplace_back([state] { drainForEach(state); });
+        }
+        cv_.notify_all();
+    }
+
+    drainForEach(state);
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait(lock,
+                   [&] { return state->done.load() >= state->n; });
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("INFAT_JOBS")) {
+        long jobs = std::strtol(env, nullptr, 10);
+        if (jobs > 0)
+            return static_cast<unsigned>(jobs);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace infat

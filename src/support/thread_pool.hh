@@ -1,0 +1,111 @@
+/**
+ * @file
+ * A small work-sharing thread pool for run-level parallelism.
+ *
+ * The experiment harness's unit of work is one self-contained Machine
+ * run, so the pool only needs to spread independent jobs across cores;
+ * it does not try to parallelize inside a run. Two usage shapes:
+ *
+ *  - submit(fn): enqueue one task, get a std::future back.
+ *  - forEach(n, fn): run fn(0..n-1) across the pool. The calling
+ *    thread participates in the loop (it claims indices like any
+ *    worker), which makes nested use safe: a pool task may itself call
+ *    forEach and will at worst execute every inner index itself rather
+ *    than deadlock waiting for occupied workers.
+ *
+ * Exceptions thrown by tasks are captured; forEach rethrows the first
+ * one after the loop drains, and submit's future rethrows on get().
+ *
+ * A pool constructed with 0 threads degenerates to inline execution on
+ * the calling thread (submit runs the task immediately), so callers can
+ * treat "--jobs=1" and "no pool" uniformly.
+ */
+
+#ifndef INFAT_SUPPORT_THREAD_POOL_HH
+#define INFAT_SUPPORT_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace infat {
+
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers; 0 means execute inline. */
+    explicit ThreadPool(unsigned threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned
+    threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Enqueue one task. Do not block on the returned future from inside
+     * a pool task (the pool may have no free worker to run it); use
+     * forEach for nested parallelism instead.
+     */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<Fn>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<Fn>(fn));
+        std::future<R> future = task->get_future();
+        if (workers_.empty()) {
+            (*task)();
+            return future;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            queue_.emplace_back([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return future;
+    }
+
+    /**
+     * Run fn(i) for every i in [0, n); returns when all indices have
+     * finished. Indices are claimed dynamically (work sharing), so
+     * completion order is arbitrary — callers that need ordered output
+     * write into slot i of a preallocated result vector. Rethrows the
+     * first exception any index threw; the remaining indices still run.
+     */
+    void forEach(size_t n, const std::function<void(size_t)> &fn);
+
+    /**
+     * Job count for `--jobs=N` defaults: the INFAT_JOBS environment
+     * variable when set, else std::thread::hardware_concurrency(),
+     * never less than 1.
+     */
+    static unsigned defaultJobs();
+
+  private:
+    struct ForEachState;
+
+    static void drainForEach(const std::shared_ptr<ForEachState> &state);
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace infat
+
+#endif // INFAT_SUPPORT_THREAD_POOL_HH

@@ -264,9 +264,22 @@ Machine::evalOperand(const Frame &frame, const Operand &operand)
       case Operand::Kind::FuncAddr:
         return operand.payload;
       case Operand::Kind::None:
+        // Legitimate None operands (a void return's value) are handled
+        // before evaluation; reaching here means a decoder/builder bug
+        // that would otherwise silently read as a zero operand.
+#ifndef NDEBUG
+        panic("evalOperand: None operand in %s",
+              frame.func ? frame.func->name().c_str() : "?");
+#else
         return 0;
+#endif
     }
+#ifndef NDEBUG
+    panic("evalOperand: invalid operand kind %u",
+          static_cast<unsigned>(operand.kind));
+#else
     return 0;
+#endif
 }
 
 const Bounds &
@@ -342,7 +355,7 @@ Machine::callFunction(const Function *func,
                       const std::vector<Bounds> &arg_bounds,
                       Bounds *ret_bounds, unsigned depth)
 {
-    if (depth > maxCallDepth)
+    if (depth > config_.maxCallDepth)
         throw GuestTrap(TrapKind::StackOverflow, "call depth");
     if (func->isNative()) {
         auto it = natives_.find(func->name());
@@ -354,7 +367,14 @@ Machine::callFunction(const Function *func,
         return ret;
     }
 
-    Frame frame;
+    // Frames come from a depth-indexed pool: calls nest strictly, so
+    // slot `depth` is free here, and assign() below reuses the
+    // capacity its vectors grew on earlier calls at this depth.
+    if (framePool_.size() <= depth)
+        framePool_.resize(depth + 1);
+    if (!framePool_[depth])
+        framePool_[depth] = std::make_unique<Frame>();
+    Frame &frame = *framePool_[depth];
     frame.func = func;
     frame.regs.assign(func->numRegs(), 0);
     frame.bounds.assign(func->numRegs(), Bounds::cleared());
@@ -368,6 +388,113 @@ Machine::callFunction(const Function *func,
     uint64_t ret = execFunction(func, frame, ret_bounds, depth);
     sp_ = saved_sp;
     return ret;
+}
+
+namespace {
+
+/** Sign-extension width for a fast-path integer result; 0 = none. */
+uint8_t
+fastSextBits(const Type *type)
+{
+    if (type && type->isInt()) {
+        unsigned bits = static_cast<const IntType *>(type)->bits();
+        if (bits < 64)
+            return static_cast<uint8_t>(bits);
+    }
+    return 0;
+}
+
+/** Width class of a memory access: the general path's 1/2/4/8 switch. */
+uint8_t
+fastLdClass(uint64_t size)
+{
+    return (size == 1 || size == 2 || size == 4)
+               ? static_cast<uint8_t>(size)
+               : 8;
+}
+
+} // namespace
+
+const Machine::FastFunction &
+Machine::fastCode(const ir::Function *func)
+{
+    if (fastCode_.size() <= func->id())
+        fastCode_.resize(module_.numFunctions());
+    std::unique_ptr<FastFunction> &slot = fastCode_[func->id()];
+    if (slot)
+        return *slot;
+
+    slot = std::make_unique<FastFunction>();
+    slot->blocks.resize(func->numBlocks());
+    for (BlockId b = 0; b < func->numBlocks(); ++b) {
+        const std::vector<Instr> &instrs = func->block(b).instrs;
+        std::vector<FastInstr> &fast = slot->blocks[b];
+        fast.resize(instrs.size());
+        for (size_t i = 0; i < instrs.size(); ++i) {
+            const Instr &instr = instrs[i];
+            FastInstr &fi = fast[i];
+            fi.dst = instr.dst;
+            auto is_imm = [](const Operand &op) {
+                return op.kind == Operand::Kind::ImmInt ||
+                       op.kind == Operand::Kind::ImmF64;
+            };
+            switch (instr.op) {
+              case Opcode::Mov:
+                if (instr.a.isReg()) {
+                    fi.op = FastOp::MovRR;
+                    fi.a = static_cast<uint32_t>(instr.a.payload);
+                } else if (is_imm(instr.a)) {
+                    fi.op = FastOp::MovImm;
+                    fi.imm = instr.a.payload;
+                }
+                break;
+              case Opcode::Add:
+                fi.sextBits = fastSextBits(instr.type);
+                if (instr.a.isReg() && instr.b.isReg()) {
+                    fi.op = FastOp::AddRR;
+                    fi.a = static_cast<uint32_t>(instr.a.payload);
+                    fi.b = static_cast<uint32_t>(instr.b.payload);
+                } else if (instr.a.isReg() && is_imm(instr.b)) {
+                    fi.op = FastOp::AddRI;
+                    fi.a = static_cast<uint32_t>(instr.a.payload);
+                    fi.imm = instr.b.payload;
+                } else if (is_imm(instr.a) && instr.b.isReg()) {
+                    // Addition commutes; canonicalize to reg + imm.
+                    fi.op = FastOp::AddRI;
+                    fi.a = static_cast<uint32_t>(instr.b.payload);
+                    fi.imm = instr.a.payload;
+                }
+                break;
+              case Opcode::Load:
+                if (instr.a.isReg()) {
+                    fi.op = FastOp::LoadR;
+                    fi.a = static_cast<uint32_t>(instr.a.payload);
+                    fi.accessSize = instr.type->size();
+                    fi.ldClass = fastLdClass(fi.accessSize);
+                    fi.sextBits = fastSextBits(instr.type);
+                }
+                break;
+              case Opcode::Store:
+                if (instr.b.isReg()) {
+                    fi.b = static_cast<uint32_t>(instr.b.payload);
+                    fi.accessSize = instr.type->size();
+                    fi.ldClass = fastLdClass(fi.accessSize);
+                    if (instr.a.isReg()) {
+                        fi.op = FastOp::StoreRR;
+                        fi.a =
+                            static_cast<uint32_t>(instr.a.payload);
+                    } else if (is_imm(instr.a)) {
+                        fi.op = FastOp::StoreIR;
+                        fi.imm = instr.a.payload;
+                    }
+                }
+                break;
+              default:
+                break;
+            }
+        }
+    }
+    return *slot;
 }
 
 uint64_t
@@ -396,8 +523,110 @@ Machine::execFunction(const Function *func, Frame &frame,
     auto &regs = frame.regs;
     auto &bounds = frame.bounds;
 
+    // Hot-path hoisting: the per-block instruction arrays are cached in
+    // locals (refreshed only when control transfers), and the exec-trace
+    // check runs once per activation — a sink cannot appear mid-run —
+    // instead of once per instruction. When exec tracing is off, the
+    // predecoded table dispatches the common opcodes without touching
+    // the operand-kind or cycle-class switches.
+    const FastFunction &fast = fastCode(func);
+    const bool fast_ok = !tracer_.enabled(TraceCategory::Exec);
+    const Instr *code = func->block(cur).instrs.data();
+    const FastInstr *fcode = fast.blocks[cur].data();
+
     while (true) {
-        const Instr &instr = func->block(cur).instrs[ip];
+        const Instr &instr = code[ip];
+        if (fast_ok) {
+            const FastInstr &fi = fcode[ip];
+            if (fi.op != FastOp::General) {
+                ++ip;
+                ++instrs_;
+                ++cycles_;
+                if (instrs_ > config_.maxInstructions)
+                    throw GuestTrap(
+                        TrapKind::InstructionLimit,
+                        "dynamic instruction budget exceeded");
+                switch (fi.op) {
+                  case FastOp::MovRR:
+                    chargeClass(CycleClass::Base, 1);
+                    regs[fi.dst] = regs[fi.a];
+                    bounds[fi.dst] = bounds[fi.a];
+                    continue;
+                  case FastOp::MovImm:
+                    chargeClass(CycleClass::Base, 1);
+                    regs[fi.dst] = fi.imm;
+                    bounds[fi.dst] = Bounds::cleared();
+                    continue;
+                  case FastOp::AddRR:
+                  case FastOp::AddRI: {
+                    chargeClass(CycleClass::Base, 1);
+                    uint64_t sum =
+                        regs[fi.a] + (fi.op == FastOp::AddRR
+                                          ? regs[fi.b]
+                                          : fi.imm);
+                    if (fi.sextBits)
+                        sum = static_cast<uint64_t>(
+                            sext(sum, fi.sextBits));
+                    regs[fi.dst] = sum;
+                    bounds[fi.dst] = Bounds::cleared();
+                    continue;
+                  }
+                  case FastOp::LoadR: {
+                    chargeClass(CycleClass::Mem, 1);
+                    uint64_t raw = regs[fi.a];
+                    checkAccess(frame, instr.a, raw, fi.accessSize,
+                                false);
+                    GuestAddr addr = layout::canonical(raw);
+                    uint64_t value;
+                    switch (fi.ldClass) {
+                      case 1: value = mem_.load<uint8_t>(addr); break;
+                      case 2: value = mem_.load<uint16_t>(addr); break;
+                      case 4: value = mem_.load<uint32_t>(addr); break;
+                      default: value = mem_.load<uint64_t>(addr); break;
+                    }
+                    if (fi.sextBits)
+                        value = static_cast<uint64_t>(
+                            sext(value, fi.sextBits));
+                    regs[fi.dst] = value;
+                    bounds[fi.dst] = Bounds::cleared();
+                    cLoads_++;
+                    continue;
+                  }
+                  case FastOp::StoreRR:
+                  case FastOp::StoreIR: {
+                    chargeClass(CycleClass::Mem, 1);
+                    uint64_t value = fi.op == FastOp::StoreRR
+                                         ? regs[fi.a]
+                                         : fi.imm;
+                    uint64_t raw = regs[fi.b];
+                    checkAccess(frame, instr.b, raw, fi.accessSize,
+                                true);
+                    GuestAddr addr = layout::canonical(raw);
+                    switch (fi.ldClass) {
+                      case 1:
+                        mem_.store<uint8_t>(
+                            addr, static_cast<uint8_t>(value));
+                        break;
+                      case 2:
+                        mem_.store<uint16_t>(
+                            addr, static_cast<uint16_t>(value));
+                        break;
+                      case 4:
+                        mem_.store<uint32_t>(
+                            addr, static_cast<uint32_t>(value));
+                        break;
+                      default:
+                        mem_.store<uint64_t>(addr, value);
+                        break;
+                    }
+                    cStores_++;
+                    continue;
+                  }
+                  case FastOp::General:
+                    break; // unreachable; guarded above
+                }
+            }
+        }
         ++ip;
         countInstr(instr.op);
         if (tracer_.enabled(TraceCategory::Exec)) {
@@ -669,11 +898,15 @@ Machine::execFunction(const Function *func, Frame &frame,
           case Opcode::Jmp:
             cur = instr.target0;
             ip = 0;
+            code = func->block(cur).instrs.data();
+            fcode = fast.blocks[cur].data();
             break;
           case Opcode::Br:
             cur = evalOperand(frame, instr.a) != 0 ? instr.target0
                                                    : instr.target1;
             ip = 0;
+            code = func->block(cur).instrs.data();
+            fcode = fast.blocks[cur].data();
             break;
           case Opcode::Call:
           case Opcode::CallPtr: {
@@ -726,7 +959,9 @@ Machine::execFunction(const Function *func, Frame &frame,
             }
             if (ret_bounds)
                 *ret_bounds = operandBounds(frame, instr.a);
-            return evalOperand(frame, instr.a);
+            // Void returns carry a None operand; return 0 without
+            // hitting the evalOperand decoder-bug assertion.
+            return instr.a.isNone() ? 0 : evalOperand(frame, instr.a);
           }
           case Opcode::Trap:
             throw GuestTrap(TrapKind::WorkloadAssert,

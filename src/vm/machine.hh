@@ -70,6 +70,12 @@ struct VmConfig
     uint64_t stackBytes = 16ULL << 20;
     /** Runaway guard. */
     uint64_t maxInstructions = 20'000'000'000ULL;
+    /**
+     * Simulated call-depth guard. The interpreter recurses one host
+     * frame per simulated call, so this also bounds host stack use
+     * (relevant under sanitizers, whose frames are much larger).
+     */
+    unsigned maxCallDepth = 4000;
 };
 
 class Machine
@@ -175,6 +181,48 @@ class Machine
         std::vector<Bounds> bounds;
     };
 
+    /**
+     * Predecoded form of the hot opcodes (Mov/Add/Load/Store with
+     * register/immediate operands). The interpreter consults this
+     * table first when exec tracing is off: a fast case dispatches on
+     * one byte and reads pre-resolved register indices/immediates,
+     * skipping the operand-kind switches, the cycle-class lookup, and
+     * the tracer checks of the general path. `General` falls back to
+     * the full switch. Simulated instruction/cycle/stat accounting is
+     * identical on both paths.
+     */
+    enum class FastOp : uint8_t
+    {
+        General,
+        MovRR,   ///< dst = reg a (bounds propagate)
+        MovImm,  ///< dst = imm (bounds cleared)
+        AddRR,   ///< dst = reg a + reg b
+        AddRI,   ///< dst = reg a + imm
+        LoadR,   ///< dst = *(reg a)
+        StoreRR, ///< *(reg b) = reg a
+        StoreIR, ///< *(reg b) = imm
+    };
+
+    struct FastInstr
+    {
+        FastOp op = FastOp::General;
+        uint8_t sextBits = 0; ///< sign-extend result from this width
+        uint8_t ldClass = 8;  ///< load/store width class (1/2/4/8)
+        ir::Reg dst = 0;
+        uint32_t a = 0;       ///< first source register
+        uint32_t b = 0;       ///< second source register (or addr reg)
+        uint64_t imm = 0;     ///< immediate operand value
+        uint64_t accessSize = 0; ///< bytes checked on a load/store
+    };
+
+    /** Per-function predecode, parallel to the function's blocks. */
+    struct FastFunction
+    {
+        std::vector<std::vector<FastInstr>> blocks;
+    };
+
+    const FastFunction &fastCode(const ir::Function *func);
+
     void placeGlobals();
     void registerGlobals();
 
@@ -218,6 +266,17 @@ class Machine
     std::vector<GuestAddr> globalAddrs_;
     std::vector<uint64_t> globalPtrRaw_;
 
+    /**
+     * Call-frame pool, indexed by call depth. Calls nest strictly, so
+     * depth identifies a unique active frame; reusing the slot lets
+     * regs/bounds keep their vector capacity across the millions of
+     * calls a run makes instead of reallocating per call.
+     */
+    std::vector<std::unique_ptr<Frame>> framePool_;
+
+    /** Predecoded fast-path code, indexed by function id. */
+    std::vector<std::unique_ptr<FastFunction>> fastCode_;
+
     GuestAddr sp_ = 0;
     GuestAddr legacyArena_ = 0;
 
@@ -236,8 +295,6 @@ class Machine
     Counter &cBndLdSt_;
     Counter &cPromoteInstrs_;
     StatRegistry registry_;
-
-    static constexpr unsigned maxCallDepth = 4000;
 };
 
 } // namespace infat

@@ -1,5 +1,9 @@
 #include "workloads/harness.hh"
 
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
 #include "compiler/instrument.hh"
 #include "ir/verifier.hh"
 #include "support/logging.hh"
@@ -48,14 +52,19 @@ describe(const CustomRun &custom)
 
 namespace {
 
-bool recordRuns = false;
+// Run recording is process-wide mutable state; runs may finish on
+// ThreadPool workers concurrently, so the list lives behind a mutex
+// and the enable flag is atomic (checked on every run's hot exit).
+std::atomic<bool> recordRuns{false};
+std::mutex recordedMutex;
 std::vector<RecordedRun> recorded;
 
 /** Execute a built (and possibly instrumented) module; collect stats. */
 RunResult
 execute(const Workload &workload, ir::Module &module,
         const InstrumentResult *inst, const VmConfig &vm_config,
-        const Observability *obs, const std::string &label)
+        const Observability *obs, const std::string &label,
+        std::chrono::steady_clock::time_point run_start)
 {
     Machine machine(module, inst ? &inst->layouts : nullptr, vm_config);
     installLibc(machine);
@@ -102,8 +111,14 @@ execute(const Workload &workload, ir::Module &module,
         result.stats.writeFile(obs->statsJsonPath);
     if (obs && obs->traceSink)
         obs->traceSink->flush();
-    if (recordRuns)
+    result.hostMillis =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - run_start)
+            .count();
+    if (recordRuns.load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> lock(recordedMutex);
         recorded.push_back({workload.name, label, result.stats});
+    }
     return result;
 }
 
@@ -111,6 +126,7 @@ RunResult
 runWorkloadConfig(const Workload &workload, Config config,
                   const Observability *obs)
 {
+    auto run_start = std::chrono::steady_clock::now();
     ir::Module module;
     workload.build(module);
 
@@ -132,7 +148,7 @@ runWorkloadConfig(const Workload &workload, Config config,
 
     RunResult result =
         execute(workload, module, instrumented ? &inst : nullptr,
-                vm_config, obs, toString(config));
+                vm_config, obs, toString(config), run_start);
     result.config = config;
     return result;
 }
@@ -141,6 +157,7 @@ RunResult
 runWorkloadCustomImpl(const Workload &workload, const CustomRun &custom,
                       const Observability *obs)
 {
+    auto run_start = std::chrono::steady_clock::now();
     ir::Module module;
     workload.build(module);
 
@@ -162,7 +179,7 @@ runWorkloadCustomImpl(const Workload &workload, const CustomRun &custom,
 
     return execute(workload, module,
                    custom.instrumented ? &inst : nullptr, vm_config,
-                   obs, describe(custom));
+                   obs, describe(custom), run_start);
 }
 
 } // namespace
@@ -170,24 +187,26 @@ runWorkloadCustomImpl(const Workload &workload, const CustomRun &custom,
 void
 setRunRecording(bool enabled)
 {
-    recordRuns = enabled;
+    recordRuns.store(enabled);
 }
 
 bool
 runRecordingEnabled()
 {
-    return recordRuns;
+    return recordRuns.load();
 }
 
-const std::vector<RecordedRun> &
+std::vector<RecordedRun>
 recordedRuns()
 {
+    std::lock_guard<std::mutex> lock(recordedMutex);
     return recorded;
 }
 
 void
 clearRecordedRuns()
 {
+    std::lock_guard<std::mutex> lock(recordedMutex);
     recorded.clear();
 }
 

@@ -77,6 +77,16 @@ struct RunResult
     uint64_t heapPeak = 0;
 
     /**
+     * Host wall-clock spent executing this run (build + instrument +
+     * simulate + stat collection), for the BENCH_selfperf.json
+     * trajectory. Measured per run with a steady clock, so it is valid
+     * when runs execute concurrently on a ThreadPool — but beware that
+     * concurrent runs time-share the host's cores, so per-run times
+     * rise with the job count even as suite wall-clock falls.
+     */
+    double hostMillis = 0.0;
+
+    /**
      * Detached copy of the machine's full stat registry (vm, promote,
      * l1d, l2, runtime, mem groups), taken after syncStats(); outlives
      * the Machine that produced it.
@@ -139,6 +149,12 @@ RunResult runWorkloadCustom(const Workload &workload,
  * its (workload, config label, stat snapshot) triple to a global list.
  * The bench binaries use this to export full stat trajectories as JSON
  * without threading state through every table-printing loop.
+ *
+ * Recording is guarded by a mutex, so runs may execute on ThreadPool
+ * workers; recordedRuns() returns a snapshot taken under the lock.
+ * With concurrent runs the append order is nondeterministic — readers
+ * that need stable output (bench_util's StatsExport) sort by
+ * (workload, label) before writing.
  */
 struct RecordedRun
 {
@@ -149,7 +165,7 @@ struct RecordedRun
 
 void setRunRecording(bool enabled);
 bool runRecordingEnabled();
-const std::vector<RecordedRun> &recordedRuns();
+std::vector<RecordedRun> recordedRuns();
 void clearRecordedRuns();
 
 } // namespace workloads

@@ -190,7 +190,11 @@ TEST(MachineTraps, StackOverflowDetected)
     fb.ret(fb.call("recurse", {fb.addImm(fb.arg(0), 1)}));
     FunctionBuilder mb(m, "main", {}, tc.i64());
     mb.ret(mb.call("recurse", {mb.iconst(0)}));
-    Machine machine(m, nullptr, {});
+    VmConfig config;
+    // Keep the host-stack recursion shallow so the test also runs
+    // under sanitizers, whose frames are several times larger.
+    config.maxCallDepth = 256;
+    Machine machine(m, nullptr, config);
     installLibc(machine);
     try {
         machine.run();

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Determinism of the parallel experiment harness: running the same
+ * workload matrix serially and across a ThreadPool must produce
+ * bit-identical simulated results — checksums, dynamic instruction and
+ * cycle counts, and the full stat-snapshot JSON. Each harness run owns
+ * a self-contained Machine, so any divergence means shared mutable
+ * state leaked into the simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "workloads/harness.hh"
+
+namespace infat {
+namespace {
+
+using bench::kMatrixConfigs;
+using bench::matrixSlot;
+using bench::poolThreadsForJobs;
+using bench::runMatrices;
+using bench::runMatrix;
+using bench::WorkloadMatrix;
+using workloads::Config;
+using workloads::RunResult;
+using workloads::Workload;
+
+std::vector<const Workload *>
+smokeSet()
+{
+    std::vector<const Workload *> ws;
+    for (const char *name : {"treeadd", "power", "anagram"}) {
+        const Workload *w = workloads::byName(name);
+        EXPECT_NE(w, nullptr) << name;
+        ws.push_back(w);
+    }
+    return ws;
+}
+
+TEST(ParallelDeterminism, PoolMatchesSerialBitForBit)
+{
+    std::vector<const Workload *> ws = smokeSet();
+
+    std::vector<WorkloadMatrix> serial;
+    for (const Workload *w : ws)
+        serial.push_back(runMatrix(*w));
+
+    ThreadPool pool(poolThreadsForJobs(3));
+    std::vector<WorkloadMatrix> parallel = runMatrices(ws, pool);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(serial[i].workload, parallel[i].workload)
+            << "runMatrices reordered its results";
+        for (Config config : kMatrixConfigs) {
+            const RunResult &s = matrixSlot(serial[i], config);
+            const RunResult &p = matrixSlot(parallel[i], config);
+            SCOPED_TRACE(std::string(serial[i].workload->name) + "/" +
+                         toString(config));
+            EXPECT_EQ(s.checksum, p.checksum);
+            EXPECT_EQ(s.instructions, p.instructions);
+            EXPECT_EQ(s.cycles, p.cycles);
+            EXPECT_EQ(s.promoteInstrs, p.promoteInstrs);
+            EXPECT_EQ(s.l1dHits, p.l1dHits);
+            EXPECT_EQ(s.l1dMisses, p.l1dMisses);
+            EXPECT_EQ(s.residentBytes, p.residentBytes);
+            // The full registry snapshot: every counter, histogram,
+            // and formula in every group must agree.
+            EXPECT_EQ(s.stats.toJson(), p.stats.toJson());
+        }
+    }
+}
+
+TEST(ParallelDeterminism, RepeatedParallelRunsAgree)
+{
+    // Two pooled executions of the same matrix must also agree with
+    // each other (no run-to-run nondeterminism from scheduling).
+    std::vector<const Workload *> ws = smokeSet();
+    ThreadPool pool(poolThreadsForJobs(3));
+    std::vector<WorkloadMatrix> a = runMatrices(ws, pool);
+    std::vector<WorkloadMatrix> b = runMatrices(ws, pool);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        for (Config config : kMatrixConfigs) {
+            EXPECT_EQ(matrixSlot(a[i], config).checksum,
+                      matrixSlot(b[i], config).checksum);
+            EXPECT_EQ(matrixSlot(a[i], config).stats.toJson(),
+                      matrixSlot(b[i], config).stats.toJson());
+        }
+    }
+}
+
+TEST(ParallelDeterminism, RecordedRunsAreThreadSafe)
+{
+    // Harness run recording (the --stats-json export path) must accept
+    // appends from pool workers without losing or tearing entries.
+    workloads::clearRecordedRuns();
+    workloads::setRunRecording(true);
+    std::vector<const Workload *> ws = smokeSet();
+    ThreadPool pool(poolThreadsForJobs(3));
+    runMatrices(ws, pool);
+    workloads::setRunRecording(false);
+    std::vector<workloads::RecordedRun> runs =
+        workloads::recordedRuns();
+    EXPECT_EQ(runs.size(), ws.size() * bench::kNumMatrixConfigs);
+    for (const workloads::RecordedRun &run : runs) {
+        EXPECT_FALSE(run.workload.empty());
+        EXPECT_FALSE(run.label.empty());
+        EXPECT_FALSE(run.stats.toJson().empty());
+    }
+    workloads::clearRecordedRuns();
+}
+
+} // namespace
+} // namespace infat

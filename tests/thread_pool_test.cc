@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the work-sharing ThreadPool that backs the parallel
+ * experiment harness: result ordering, exception propagation, inline
+ * (zero-worker) execution, and nested forEach submission.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/thread_pool.hh"
+
+namespace infat {
+namespace {
+
+TEST(ThreadPool, ForEachVisitsEveryIndexOnce)
+{
+    ThreadPool pool(3);
+    constexpr size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.forEach(n, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ResultsLandInFixedSlots)
+{
+    // The harness's determinism contract: each job writes only its own
+    // slot, so the output order equals the input order no matter which
+    // worker ran which job.
+    ThreadPool pool(4);
+    constexpr size_t n = 257;
+    std::vector<size_t> out(n, ~size_t(0));
+    pool.forEach(n, [&](size_t i) { out[i] = i * i; });
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 0u);
+    std::vector<size_t> order;
+    pool.forEach(5, [&](size_t i) { order.push_back(i); });
+    // Inline execution is the serial loop: strictly ascending.
+    EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ForEachPropagatesException)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.forEach(100,
+                              [&](size_t i) {
+                                  ran.fetch_add(1);
+                                  if (i == 13)
+                                      throw std::runtime_error("boom");
+                              }),
+                 std::runtime_error);
+    // Every claimed index either ran or was abandoned after the error;
+    // the pool itself must remain usable.
+    EXPECT_GE(ran.load(), 1);
+    std::atomic<int> after{0};
+    pool.forEach(10, [&](size_t) { after.fetch_add(1); });
+    EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ThreadPool, SubmitReturnsFutureValue)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit(
+        []() -> int { throw std::logic_error("bad"); });
+    EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST(ThreadPool, NestedForEachDoesNotDeadlock)
+{
+    // A forEach body may itself fan out on the same pool (the caller
+    // participates in draining, so inner loops make progress even when
+    // every worker is parked inside an outer iteration).
+    ThreadPool pool(2);
+    std::atomic<int> total{0};
+    pool.forEach(4, [&](size_t) {
+        pool.forEach(8, [&](size_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ThreadPool, DefaultJobsIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+}
+
+} // namespace
+} // namespace infat
