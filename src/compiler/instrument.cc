@@ -243,18 +243,25 @@ class FunctionInstrumenter
         uint64_t offset = st->fieldOffset(field);
         const Type *field_type = st->field(field);
 
+        // A temporary that is only ever dereferenced exposes neither
+        // its subobject index nor its bounds register: the updates are
+        // dead and DCE'd (the implicit check still covers the access).
+        bool maintain = needsTagMaintenance(instr.dst);
+
         Instr add;
         add.op = Opcode::IfpAdd;
         add.type = module_.types().ptr(field_type);
         add.dst = instr.dst;
         add.a = instr.a;
         add.b = Operand::immInt(offset);
+        // imm1 is unused by ifpadd; when the field pointer gets tag
+        // maintenance (ifpidx/ifpbnd below) it carries the field size
+        // so the differential oracle knows the claimed sub-extent.
+        if (maintain)
+            add.imm1 = field_type->size();
         out.push_back(add);
 
-        // A temporary that is only ever dereferenced exposes neither
-        // its subobject index nor its bounds register: the updates are
-        // dead and DCE'd (the implicit check still covers the access).
-        if (!needsTagMaintenance(instr.dst))
+        if (!maintain)
             return;
 
         Instr idx;

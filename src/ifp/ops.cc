@@ -50,22 +50,43 @@ ifpIdx(TaggedPtr ptr, uint64_t subobj_index)
 {
     if (ptr.poison() == Poison::Invalid)
         return ptr;
+    // Legacy and global-table pointers carry no subobject-index field;
+    // the instruction is a no-op for them (narrowing happens through
+    // the table row's own layout pointer instead).
+    if (ptr.maxSubobjIndex() == 0)
+        return ptr;
+    // An unrepresentable index means the subobject identity is lost.
+    // Like ifpadd's granule-offset overflow, that is irrecoverable:
+    // poison instead of silently widening to whole-object bounds
+    // (DESIGN.md "ifpidx overflow semantics").
     if (subobj_index > ptr.maxSubobjIndex())
-        return ptr.withSubobjIndex(0);
+        return ptr.withPoison(Poison::Invalid);
     return ptr.withSubobjIndex(subobj_index);
 }
 
 Bounds
 ifpBnd(TaggedPtr ptr, uint64_t size)
 {
-    GuestAddr addr = ptr.addr();
-    return Bounds(addr, addr + size);
+    GuestAddr lower = ptr.addr();
+    // Saturate at the top of the canonical space: lower is canonical
+    // (< 2^48) but lower + size can pass 2^48 -- or wrap the full
+    // 64-bit range -- and an upper below lower would turn contains()
+    // into a pass-nothing or pass-everything predicate.
+    GuestAddr upper = lower + size;
+    if (upper < lower || upper > layout::addrMask + 1)
+        upper = layout::addrMask + 1;
+    return Bounds(lower, upper);
 }
 
 Bounds
 ifpBndRange(GuestAddr lower, GuestAddr upper)
 {
-    return Bounds(layout::canonical(lower), layout::canonical(upper));
+    // The range form takes explicit integers, not tagged pointers:
+    // saturate the upper limit rather than canonicalizing it, which
+    // would wrap 2^48 (one past the last canonical byte) to 0.
+    if (upper > layout::addrMask + 1)
+        upper = layout::addrMask + 1;
+    return Bounds(layout::canonical(lower), upper);
 }
 
 TaggedPtr
@@ -84,7 +105,7 @@ ifpChk(TaggedPtr ptr, const Bounds &bounds, uint64_t access_size)
 TaggedPtr
 demote(TaggedPtr ptr)
 {
-    return ptr;
+    return TaggedPtr(layout::canonical(ptr.raw()));
 }
 
 } // namespace ops

@@ -30,13 +30,24 @@ namespace ops {
  */
 TaggedPtr ifpAdd(TaggedPtr ptr, int64_t delta, const Bounds &bounds);
 
-/** ifpidx: set the subobject index field (no-op for schemes without). */
+/**
+ * ifpidx: set the subobject index field. A no-op for schemes without
+ * an index field (legacy, global table). An index the field cannot
+ * represent poisons the pointer Invalid — the subobject identity is
+ * unrecoverable, same as ifpadd's granule-offset overflow (see
+ * DESIGN.md "ifpidx overflow semantics").
+ */
 TaggedPtr ifpIdx(TaggedPtr ptr, uint64_t subobj_index);
 
-/** ifpbnd: create bounds of @p size bytes starting at the pointer. */
+/**
+ * ifpbnd: create bounds of @p size bytes starting at the pointer.
+ * The upper bound saturates at the top of the canonical address space
+ * instead of wrapping.
+ */
 Bounds ifpBnd(TaggedPtr ptr, uint64_t size);
 
-/** ifpbnd (range form): narrow to an explicit [lower, upper). */
+/** ifpbnd (range form): narrow to an explicit [lower, upper). The
+ *  upper limit saturates at the top of the canonical space. */
 Bounds ifpBndRange(GuestAddr lower, GuestAddr upper);
 
 /**
@@ -49,9 +60,10 @@ TaggedPtr ifpChk(TaggedPtr ptr, const Bounds &bounds,
                  uint64_t access_size);
 
 /**
- * ifpextract (demote): produce the plain 64-bit pointer for storage to
- * memory. The tag travels with the value; only the IFPR bounds are
- * dropped, which is the caller's doing. Poison bits are preserved.
+ * ifpextract (demote): strip the tag (bits 63:48), producing the plain
+ * canonical pointer for handoff to uninstrumented code. The result is
+ * a Legacy pointer: scheme, subobject index, and poison bits are all
+ * dropped, and the paired IFPR bounds no longer apply.
  */
 TaggedPtr demote(TaggedPtr ptr);
 

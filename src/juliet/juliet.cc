@@ -2,6 +2,7 @@
 
 #include "compiler/instrument.hh"
 #include "ir/builder.hh"
+#include "oracle/oracle.hh"
 #include "support/logging.hh"
 #include "vm/libc_model.hh"
 #include "vm/machine.hh"
@@ -353,6 +354,114 @@ runSuite(AllocatorKind allocator, bool instrumented)
         result.outcomes.push_back(std::move(outcome));
     }
     return result;
+}
+
+OracleCaseOutcome
+runCaseWithOracle(const TestCase &test_case, AllocatorKind allocator)
+{
+    Module module;
+    test_case.build(module);
+    InstrumentResult inst = instrumentModule(module);
+
+    VmConfig config;
+    config.instrumented = true;
+    config.allocator = allocator;
+    config.useCache = false; // functional runs
+
+    // The oracle must outlive the machine (the machine holds a raw
+    // pointer to it until destruction).
+    oracle::ShadowOracle shadow;
+    Machine machine(module, &inst.layouts, config);
+    installLibc(machine);
+    machine.setOracle(&shadow);
+
+    OracleCaseOutcome result;
+    result.outcome.testCase = test_case;
+    try {
+        machine.run();
+    } catch (const GuestTrap &trap) {
+        result.outcome.trapped = trap.isSpatialViolation();
+        result.outcome.trapDetail = trap.what();
+        if (!trap.isSpatialViolation())
+            throw; // unexpected trap kind: a harness bug
+    }
+    result.outcome.correct =
+        test_case.bad == result.outcome.trapped;
+    result.checks = shadow.checks();
+    result.abstained = shadow.abstained();
+    result.falseNegatives = shadow.falseNegatives();
+    result.falsePositives = shadow.falsePositives();
+    if (result.falseNegatives + result.falsePositives > 0) {
+        for (const oracle::Discrepancy &d : shadow.discrepancies()) {
+            warn("juliet-oracle %s: %s oracle=%s addr=0x%llx "
+                 "size=%llu obj=[0x%llx,+%llu)",
+                 test_case.name().c_str(),
+                 d.falseNegative ? "FALSE-NEGATIVE" : "FALSE-POSITIVE",
+                 oracle::toString(d.verdict),
+                 static_cast<unsigned long long>(d.addr),
+                 static_cast<unsigned long long>(d.size),
+                 static_cast<unsigned long long>(d.objBase),
+                 static_cast<unsigned long long>(d.objSize));
+        }
+    }
+    return result;
+}
+
+OracleSuiteResult
+runSuiteWithOracle(AllocatorKind allocator)
+{
+    OracleSuiteResult result;
+    for (const TestCase &test_case : generateSuite()) {
+        OracleCaseOutcome c = runCaseWithOracle(test_case, allocator);
+        result.total++;
+        if (test_case.bad) {
+            if (c.outcome.trapped)
+                result.badDetected++;
+            else
+                result.badMissed++;
+        } else {
+            if (c.outcome.trapped)
+                result.suiteFalsePositives++;
+            else
+                result.goodPassed++;
+        }
+        std::string cell = std::string(toString(test_case.flaw)) + "_" +
+                           toString(test_case.location) + "_" +
+                           toString(test_case.pattern);
+        result.cells[cell].falseNegatives += c.falseNegatives;
+        result.cells[cell].falsePositives += c.falsePositives;
+        result.checks += c.checks;
+        result.abstained += c.abstained;
+        result.falseNegatives += c.falseNegatives;
+        result.falsePositives += c.falsePositives;
+        result.outcomes.push_back(std::move(c));
+    }
+    return result;
+}
+
+bool
+OracleSuiteResult::clean() const
+{
+    return falseNegatives == 0 && falsePositives == 0 &&
+           badMissed == 0 && suiteFalsePositives == 0 && checks > 0;
+}
+
+void
+OracleSuiteResult::addToStats(StatGroup &group) const
+{
+    group.counter("cases").set(total);
+    group.counter("bad_detected").set(badDetected);
+    group.counter("bad_missed").set(badMissed);
+    group.counter("good_passed").set(goodPassed);
+    group.counter("suite_false_positives").set(suiteFalsePositives);
+    group.counter("checks").set(checks);
+    group.counter("abstained").set(abstained);
+    group.counter("false_negatives").set(falseNegatives);
+    group.counter("false_positives").set(falsePositives);
+    for (const auto &[name, cell] : cells) {
+        group.counter("fn_" + name).set(cell.falseNegatives);
+        group.counter("fp_" + name).set(cell.falsePositives);
+    }
 }
 
 } // namespace juliet

@@ -21,11 +21,13 @@
 #ifndef INFAT_JULIET_JULIET_HH
 #define INFAT_JULIET_JULIET_HH
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "ir/module.hh"
 #include "runtime/runtime.hh"
+#include "support/stats.hh"
 
 namespace infat {
 namespace juliet {
@@ -109,6 +111,60 @@ SuiteResult runSuite(AllocatorKind allocator, bool instrumented = true);
 /** Run a single case; returns its outcome. */
 CaseOutcome runCase(const TestCase &test_case, AllocatorKind allocator,
                     bool instrumented = true);
+
+/**
+ * One case run with the differential bounds oracle attached
+ * (oracle/oracle.hh): beyond the pass/trap outcome, the oracle's
+ * verdict diff for every checked access in the run.
+ */
+struct OracleCaseOutcome
+{
+    CaseOutcome outcome;
+    uint64_t checks = 0;
+    uint64_t abstained = 0;
+    uint64_t falseNegatives = 0;
+    uint64_t falsePositives = 0;
+};
+
+/**
+ * Differential results for the whole suite, broken down per
+ * (flaw, location, pattern) cell so a hole in one corner of the
+ * defense shows up as that cell's counter instead of vanishing into
+ * a total.
+ */
+struct OracleSuiteResult
+{
+    struct Cell
+    {
+        uint64_t falseNegatives = 0;
+        uint64_t falsePositives = 0;
+    };
+
+    std::vector<OracleCaseOutcome> outcomes;
+    /** Keyed "<flaw>_<location>_<pattern>". */
+    std::map<std::string, Cell> cells;
+    size_t total = 0;
+    size_t badDetected = 0;
+    size_t badMissed = 0;
+    size_t goodPassed = 0;
+    size_t suiteFalsePositives = 0;
+    uint64_t checks = 0;
+    uint64_t abstained = 0;
+    uint64_t falseNegatives = 0;
+    uint64_t falsePositives = 0;
+
+    /** Zero oracle FN/FP and full good/bad suite correctness. */
+    bool clean() const;
+    /** Export totals plus per-cell fn_/fp_ counters into @p group. */
+    void addToStats(StatGroup &group) const;
+};
+
+/** Run one case with an oracle attached (always instrumented). */
+OracleCaseOutcome runCaseWithOracle(const TestCase &test_case,
+                                    AllocatorKind allocator);
+
+/** Run the full suite with the oracle attached. */
+OracleSuiteResult runSuiteWithOracle(AllocatorKind allocator);
 
 } // namespace juliet
 } // namespace infat

@@ -1,0 +1,444 @@
+#include "oracle/fault.hh"
+
+#include <cstdio>
+#include <memory>
+
+#include "compiler/layout_gen.hh"
+#include "ifp/config.hh"
+#include "ifp/control_regs.hh"
+#include "ifp/ops.hh"
+#include "ifp/promote_engine.hh"
+#include "ifp/tag.hh"
+#include "ir/module.hh"
+#include "mem/guest_memory.hh"
+#include "runtime/runtime.hh"
+#include "support/bitops.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/thread_pool.hh"
+
+namespace infat {
+namespace oracle {
+
+const char *
+toString(FaultTarget target)
+{
+    switch (target) {
+      case FaultTarget::PointerBits:
+        return "pointer_bits";
+      case FaultTarget::LocalMeta:
+        return "local_meta";
+      case FaultTarget::SubheapMeta:
+        return "subheap_meta";
+      case FaultTarget::GlobalRow:
+        return "global_row";
+      case FaultTarget::LayoutEntry:
+        return "layout_entry";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * One trial's isolated world: its own guest memory, control registers,
+ * runtime, and promote engine, plus a single allocated object. Trials
+ * share nothing, which is what makes the campaign pool-parallel.
+ */
+struct World
+{
+    GuestMemory mem;
+    IfpControlRegs regs;
+    ir::Module module;
+    LayoutRegistry layouts;
+    std::unique_ptr<Runtime> runtime;
+    std::unique_ptr<PromoteEngine> engine;
+
+    IfpAllocation alloc;
+    uint64_t objSize = 0;
+    ir::LayoutId layoutId = ir::noLayout;
+    const ir::StructType *structType = nullptr;
+    /** Subobject probe: the [8 x i64] field of the test struct. */
+    uint64_t fieldLayoutIndex = 0;
+    uint64_t fieldOffset = 8;
+    uint64_t fieldSize = 64;
+};
+
+/**
+ * Observable behaviour of one pointer at one probe: whether a
+ * dereference traps, whether metadata verification failed, and what
+ * bounds the promote produced. Two signatures comparing equal means
+ * the corruption is invisible to this probe.
+ */
+struct Signature
+{
+    GuestAddr addr = 0;
+    bool trapped = false;
+    bool metaInvalid = false;
+    bool boundsValid = false;
+    GuestAddr lower = 0;
+    GuestAddr upper = 0;
+
+    bool operator==(const Signature &) const = default;
+};
+
+Signature
+probePtr(PromoteEngine &engine, TaggedPtr ptr, uint64_t probe_size)
+{
+    Signature s;
+    s.addr = ptr.addr();
+    if (ptr.isPoisoned()) {
+        s.trapped = true;
+        return s;
+    }
+    // Mirrors Machine::checkAccess: the guard page traps null-ish
+    // pointers even without bounds.
+    if (s.addr < GuestMemory::pageSize) {
+        s.trapped = true;
+        return s;
+    }
+    PromoteResult res = engine.promote(ptr);
+    s.metaInvalid =
+        res.outcome == PromoteResult::Outcome::MetaInvalid;
+    if (res.ptr.isPoisoned()) {
+        s.trapped = true;
+        return s;
+    }
+    s.boundsValid = res.bounds.valid();
+    if (s.boundsValid) {
+        s.lower = res.bounds.lower();
+        s.upper = res.bounds.upper();
+        if (!res.bounds.contains(s.addr, probe_size))
+            s.trapped = true;
+    }
+    return s;
+}
+
+/** Base-extent probe plus (when a layout is attached) a probe of a
+ *  subobject pointer narrowed into the array field. */
+struct ProbeSet
+{
+    Signature base;
+    Signature sub;
+    bool hasSub = false;
+
+    bool
+    operator==(const ProbeSet &o) const
+    {
+        return base == o.base && hasSub == o.hasSub &&
+               (!hasSub || sub == o.sub);
+    }
+
+    bool
+    detectedVersus(const ProbeSet &clean) const
+    {
+        return (base.trapped && !clean.base.trapped) ||
+               (hasSub && sub.trapped && !clean.sub.trapped);
+    }
+};
+
+TaggedPtr
+subobjectPtr(const World &world, TaggedPtr ptr)
+{
+    TaggedPtr p = ops::ifpIdx(ptr, world.fieldLayoutIndex);
+    return ops::ifpAdd(p, static_cast<int64_t>(world.fieldOffset),
+                       Bounds());
+}
+
+ProbeSet
+probeWorld(World &world, TaggedPtr ptr, uint64_t base_probe_size)
+{
+    ProbeSet set;
+    set.base = probePtr(*world.engine, ptr, base_probe_size);
+    set.hasSub = world.layoutId != ir::noLayout &&
+                 ptr.scheme() != Scheme::GlobalTable &&
+                 ptr.scheme() != Scheme::Legacy;
+    if (set.hasSub) {
+        set.sub = probePtr(*world.engine, subobjectPtr(world, ptr),
+                           world.fieldSize);
+    }
+    return set;
+}
+
+std::unique_ptr<World>
+makeWorld(FaultTarget target, Rng &rng)
+{
+    auto world = std::make_unique<World>();
+    ir::TypeContext &types = world->module.types();
+    const ir::StructType *st = types.createStruct(
+        "fault_s",
+        {types.i64(), types.array(types.i64(), 8), types.i64()});
+    world->structType = st;
+    world->fieldLayoutIndex = layoutFieldDelta(st, 1);
+
+    AllocatorKind kind = AllocatorKind::Wrapped;
+    bool with_layout = true;
+    world->objSize = st->size();
+    switch (target) {
+      case FaultTarget::PointerBits:
+        // Cover all three metadata schemes.
+        switch (rng.below(3)) {
+          case 0:
+            break; // wrapped small: local offset
+          case 1:
+            world->objSize = 2048; // wrapped big: global table
+            with_layout = false;
+            break;
+          default:
+            kind = AllocatorKind::Subheap;
+            break;
+        }
+        break;
+      case FaultTarget::LocalMeta:
+        break;
+      case FaultTarget::SubheapMeta:
+        kind = AllocatorKind::Subheap;
+        break;
+      case FaultTarget::GlobalRow:
+        world->objSize = 2048;
+        with_layout = false;
+        break;
+      case FaultTarget::LayoutEntry:
+        break;
+    }
+
+    if (with_layout)
+        world->layoutId = world->layouts.tableFor(st);
+    world->runtime = std::make_unique<Runtime>(world->mem, world->regs,
+                                               kind, true);
+    world->runtime->init(&world->layouts);
+    world->engine =
+        std::make_unique<PromoteEngine>(world->mem, nullptr, world->regs);
+
+    RuntimeCost cost;
+    world->alloc =
+        world->runtime->ifpMalloc(world->objSize, world->layoutId, cost);
+    return world;
+}
+
+void
+flipBit(GuestMemory &mem, GuestAddr base, uint64_t bit)
+{
+    GuestAddr byte_addr = base + bit / 8;
+    uint8_t value = mem.load<uint8_t>(byte_addr);
+    mem.store<uint8_t>(byte_addr, value ^ (1u << (bit % 8)));
+}
+
+/** Guest address of the record the trial corrupts. */
+GuestAddr
+recordAddr(const World &world, FaultTarget target)
+{
+    TaggedPtr ptr = world.alloc.ptr;
+    switch (target) {
+      case FaultTarget::LocalMeta:
+        return roundDown(ptr.addr(), IfpConfig::granuleBytes) +
+               ptr.localGranuleOffset() * IfpConfig::granuleBytes;
+      case FaultTarget::SubheapMeta: {
+        const SubheapCtrlReg &ctrl =
+            world.regs.subheap[ptr.subheapCtrlIndex()];
+        GuestAddr block =
+            roundDown(ptr.addr(), 1ULL << ctrl.blockOrderLog2);
+        return block + ctrl.metaOffset;
+      }
+      case FaultTarget::GlobalRow:
+        return world.regs.globalTableBase +
+               ptr.globalTableIndex() * IfpConfig::globalRowBytes;
+      default:
+        return 0;
+    }
+}
+
+struct TrialResult
+{
+    FaultTarget target = FaultTarget::PointerBits;
+    FaultOutcome outcome = FaultOutcome::Unexplained;
+    std::string bucket;
+    std::string detail;
+};
+
+TrialResult
+runTrial(const FaultCampaignConfig &config, uint64_t trial)
+{
+    Rng rng(config.seed ^ (trial * 0x9e3779b97f4a7c15ULL + 1));
+    FaultTarget target =
+        static_cast<FaultTarget>(trial % kNumFaultTargets);
+
+    TrialResult result;
+    result.target = target;
+
+    auto world = makeWorld(target, rng);
+    TaggedPtr clean_ptr = world->alloc.ptr;
+
+    // Pointer flips model a stray write through the pointer value, so
+    // the probe is a one-byte dereference at wherever the corrupted
+    // pointer lands; metadata flips leave the pointer alone, so the
+    // probe covers the object's full ground-truth extent.
+    uint64_t base_probe_size =
+        target == FaultTarget::PointerBits ? 1 : world->objSize;
+
+    ProbeSet clean = probeWorld(*world, clean_ptr, base_probe_size);
+    fatal_if(clean.base.trapped || (clean.hasSub && clean.sub.trapped),
+             "fault campaign: clean probe trapped (trial %llu)",
+             static_cast<unsigned long long>(trial));
+
+    uint64_t bit = 0;
+    TaggedPtr probe_target = clean_ptr;
+    switch (target) {
+      case FaultTarget::PointerBits:
+        bit = rng.below(64);
+        probe_target = TaggedPtr(clean_ptr.raw() ^ (1ULL << bit));
+        break;
+      case FaultTarget::LocalMeta:
+        bit = rng.below(8 * IfpConfig::localMetadataBytes);
+        flipBit(world->mem, recordAddr(*world, target), bit);
+        break;
+      case FaultTarget::SubheapMeta:
+        bit = rng.below(8 * IfpConfig::subheapMetadataBytes);
+        flipBit(world->mem, recordAddr(*world, target), bit);
+        break;
+      case FaultTarget::GlobalRow:
+        bit = rng.below(8 * IfpConfig::globalRowBytes);
+        flipBit(world->mem, recordAddr(*world, target), bit);
+        break;
+      case FaultTarget::LayoutEntry: {
+        uint64_t entries = layoutSubtreeEntries(world->structType);
+        uint64_t entry = rng.below(entries);
+        bit = rng.below(8 * IfpConfig::layoutEntryBytes);
+        flipBit(world->mem,
+                world->runtime->layoutAddr(world->layoutId) +
+                    entry * IfpConfig::layoutEntryBytes,
+                bit);
+        break;
+      }
+    }
+
+    ProbeSet corrupt = probeWorld(*world, probe_target, base_probe_size);
+
+    if (corrupt == clean) {
+        result.outcome = FaultOutcome::Benign;
+        return result;
+    }
+    if (corrupt.detectedVersus(clean)) {
+        result.outcome = FaultOutcome::Detected;
+        return result;
+    }
+
+    // Undetected and semantically visible: explain it or fail.
+    switch (target) {
+      case FaultTarget::PointerBits:
+        if (bit >= 48 && bit <= 61) {
+            // Scheme / meta12 bits carry no MAC; integrity relies on
+            // the flipped value failing the *metadata* checks, and a
+            // flip that reaches other valid metadata (or turns the
+            // pointer legacy) is by-design undetectable (§4.1).
+            result.outcome = FaultOutcome::ExplainedUndetected;
+            result.bucket = "tag_bits_unmaced";
+            return result;
+        }
+        if (bit < 48 && corrupt.base.boundsValid &&
+            corrupt.base.lower <= corrupt.base.addr &&
+            corrupt.base.addr < corrupt.base.upper) {
+            // The flipped address still lands inside a valid extent;
+            // a spatial defense cannot distinguish it from a legal
+            // pointer to that location.
+            result.outcome = FaultOutcome::ExplainedUndetected;
+            result.bucket = "addr_flip_aliases_extent";
+            return result;
+        }
+        break;
+      case FaultTarget::GlobalRow:
+        // Global-table rows are the integrity *root* (trusted like
+        // page tables) and carry no MAC; §4.1 protects them by memory
+        // isolation, which the campaign deliberately bypasses.
+        result.outcome = FaultOutcome::ExplainedUndetected;
+        result.bucket = "global_row_unmaced";
+        return result;
+      case FaultTarget::LayoutEntry:
+        // Layout tables are compiler-emitted read-only data without a
+        // MAC (§3.4): corruption shifts narrowing, it cannot forge
+        // object bounds.
+        result.outcome = FaultOutcome::ExplainedUndetected;
+        result.bucket = "layout_table_unmaced";
+        return result;
+      case FaultTarget::LocalMeta:
+      case FaultTarget::SubheapMeta:
+        // Every semantically visible metadata flip must trip the
+        // magic/MAC check; fall through to unexplained.
+        break;
+    }
+
+    result.outcome = FaultOutcome::Unexplained;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "trial %llu target=%s bit=%llu clean_addr=%llx "
+                  "corrupt_addr=%llx corrupt_trap=%d",
+                  static_cast<unsigned long long>(trial),
+                  toString(target),
+                  static_cast<unsigned long long>(bit),
+                  static_cast<unsigned long long>(clean.base.addr),
+                  static_cast<unsigned long long>(corrupt.base.addr),
+                  corrupt.base.trapped ? 1 : 0);
+    result.detail = buf;
+    return result;
+}
+
+} // namespace
+
+void
+FaultCampaignResult::addToStats(StatGroup &group) const
+{
+    group.counter("trials").set(trials);
+    group.counter("detected").set(detected);
+    group.counter("benign").set(benign);
+    group.counter("explained_undetected").set(explainedUndetected);
+    group.counter("unexplained").set(unexplained);
+    for (const auto &[name, count] : buckets)
+        group.counter("bucket_" + name).set(count);
+    for (const auto &[name, counts] : perTarget) {
+        group.counter("target_" + name + "_detected").set(counts[0]);
+        group.counter("target_" + name + "_benign").set(counts[1]);
+        group.counter("target_" + name + "_explained").set(counts[2]);
+        group.counter("target_" + name + "_unexplained").set(counts[3]);
+    }
+}
+
+FaultCampaignResult
+runFaultCampaign(const FaultCampaignConfig &config)
+{
+    std::vector<TrialResult> results(config.trials);
+    ThreadPool pool(config.jobs);
+    pool.forEach(config.trials, [&](size_t trial) {
+        results[trial] = runTrial(config, trial);
+    });
+
+    FaultCampaignResult campaign;
+    campaign.trials = config.trials;
+    for (const TrialResult &r : results) {
+        auto &per = campaign.perTarget[toString(r.target)];
+        switch (r.outcome) {
+          case FaultOutcome::Detected:
+            campaign.detected++;
+            per[0]++;
+            break;
+          case FaultOutcome::Benign:
+            campaign.benign++;
+            per[1]++;
+            break;
+          case FaultOutcome::ExplainedUndetected:
+            campaign.explainedUndetected++;
+            campaign.buckets[r.bucket]++;
+            per[2]++;
+            break;
+          case FaultOutcome::Unexplained:
+            campaign.unexplained++;
+            per[3]++;
+            if (campaign.unexplainedDetails.size() < 16)
+                campaign.unexplainedDetails.push_back(r.detail);
+            break;
+        }
+    }
+    return campaign;
+}
+
+} // namespace oracle
+} // namespace infat

@@ -1,0 +1,223 @@
+#include "oracle/oracle.hh"
+
+#include <algorithm>
+
+namespace infat {
+namespace oracle {
+
+const char *
+toString(Verdict verdict)
+{
+    switch (verdict) {
+      case Verdict::Unknown:
+        return "unknown";
+      case Verdict::InBounds:
+        return "in-bounds";
+      case Verdict::OutOfBounds:
+        return "out-of-bounds";
+      case Verdict::IntraObject:
+        return "intra-object";
+    }
+    return "?";
+}
+
+namespace {
+constexpr size_t kMaxDiscrepancies = 32;
+} // namespace
+
+ShadowOracle::ShadowOracle()
+    : stats_("oracle"),
+      cChecks_(stats_.counter("checks")),
+      cAbstained_(stats_.counter("abstained")),
+      cTruePositives_(stats_.counter("true_positives")),
+      cTrueNegatives_(stats_.counter("true_negatives")),
+      cFalseNegatives_(stats_.counter("false_negatives")),
+      cFalsePositives_(stats_.counter("false_positives")),
+      cOobVerdicts_(stats_.counter("oob_verdicts")),
+      cIntraVerdicts_(stats_.counter("intra_verdicts")),
+      cObjects_(stats_.counter("objects_tracked")),
+      cShadowStores_(stats_.counter("shadow_stores"))
+{
+}
+
+Prov
+ShadowOracle::registerObject(GuestAddr base, uint64_t size,
+                             ObjectKind kind)
+{
+    auto stale = liveByBase_.find(base);
+    if (stale != liveByBase_.end())
+        objects_[stale->second - 1].live = false;
+
+    objects_.push_back(Object{base, size, kind, true});
+    uint32_t id = static_cast<uint32_t>(objects_.size());
+    liveByBase_[base] = id;
+    if (kind == ObjectKind::Stack)
+        stackLifo_.push_back(id);
+    ++cObjects_;
+    return Prov{id, 0, 0};
+}
+
+void
+ShadowOracle::freeObjectAt(GuestAddr base)
+{
+    auto it = liveByBase_.find(base);
+    if (it == liveByBase_.end())
+        return;
+    objects_[it->second - 1].live = false;
+    liveByBase_.erase(it);
+}
+
+void
+ShadowOracle::unwindStack(GuestAddr sp)
+{
+    while (!stackLifo_.empty()) {
+        Object &obj = objects_[stackLifo_.back() - 1];
+        if (obj.live && obj.base >= sp)
+            break; // caller's objects (and above) stay live
+        if (obj.live) {
+            obj.live = false;
+            liveByBase_.erase(obj.base);
+        }
+        stackLifo_.pop_back();
+    }
+}
+
+void
+ShadowOracle::enterFrame(unsigned depth, size_t num_regs)
+{
+    if (frames_.size() <= depth)
+        frames_.resize(depth + 1);
+    std::vector<Prov> &regs = frames_[depth];
+    regs.assign(num_regs, Prov{});
+    size_t n = std::min(stagedArgs_.size(), num_regs);
+    for (size_t i = 0; i < n; i++)
+        regs[i] = stagedArgs_[i];
+    stagedArgs_.clear();
+}
+
+void
+ShadowOracle::stageCallArgs(std::vector<Prov> args)
+{
+    stagedArgs_ = std::move(args);
+}
+
+void
+ShadowOracle::noteGlobal(uint32_t global_id, const Prov &prov)
+{
+    if (globals_.size() <= global_id)
+        globals_.resize(global_id + 1);
+    globals_[global_id] = prov;
+}
+
+Prov
+ShadowOracle::globalProv(uint32_t global_id) const
+{
+    if (global_id >= globals_.size())
+        return Prov{};
+    return globals_[global_id];
+}
+
+void
+ShadowOracle::recordStore(GuestAddr addr, uint64_t raw, const Prov &prov)
+{
+    if (!prov.valid()) {
+        // A plain data value overwrote whatever pointer (if any) lived
+        // here; dropping the slot keeps the map proportional to live
+        // pointer stores.
+        shadowMem_.erase(addr);
+        return;
+    }
+    shadowMem_[addr] = Slot{raw, prov};
+    ++cShadowStores_;
+}
+
+void
+ShadowOracle::clobberStore(GuestAddr addr)
+{
+    // Narrow stores at other offsets of an existing slot are caught by
+    // loadProv's raw-value comparison instead of eager invalidation.
+    shadowMem_.erase(addr);
+}
+
+Prov
+ShadowOracle::loadProv(GuestAddr addr, uint64_t raw) const
+{
+    auto it = shadowMem_.find(addr);
+    if (it == shadowMem_.end() || it->second.raw != raw)
+        return Prov{};
+    return it->second.prov;
+}
+
+Verdict
+ShadowOracle::classify(const Prov &prov, GuestAddr addr,
+                       uint64_t size) const
+{
+    if (!prov.valid())
+        return Verdict::Unknown;
+    const Object &obj = objects_[prov.objId - 1];
+    if (!obj.live)
+        return Verdict::Unknown; // temporal staleness: not our beat
+    if (addr < obj.base || addr + size > obj.base + obj.size)
+        return Verdict::OutOfBounds;
+    if (prov.hasSub() &&
+        (addr < prov.subLower || addr + size > prov.subUpper)) {
+        return Verdict::IntraObject;
+    }
+    return Verdict::InBounds;
+}
+
+void
+ShadowOracle::check(const Prov &prov, GuestAddr addr, uint64_t size,
+                    bool write, bool ifp_traps)
+{
+    ++cChecks_;
+    Verdict verdict = classify(prov, addr, size);
+    switch (verdict) {
+      case Verdict::Unknown:
+        ++cAbstained_;
+        return;
+      case Verdict::InBounds:
+        if (ifp_traps) {
+            ++cFalsePositives_;
+            record(false, verdict, prov, addr, size, write);
+        } else {
+            ++cTrueNegatives_;
+        }
+        return;
+      case Verdict::OutOfBounds:
+      case Verdict::IntraObject:
+        ++(verdict == Verdict::OutOfBounds ? cOobVerdicts_
+                                           : cIntraVerdicts_);
+        if (ifp_traps) {
+            ++cTruePositives_;
+        } else {
+            ++cFalseNegatives_;
+            record(true, verdict, prov, addr, size, write);
+        }
+        return;
+    }
+}
+
+void
+ShadowOracle::record(bool false_negative, Verdict verdict,
+                     const Prov &prov, GuestAddr addr, uint64_t size,
+                     bool write)
+{
+    if (discrepancies_.size() >= kMaxDiscrepancies)
+        return;
+    Discrepancy d;
+    d.falseNegative = false_negative;
+    d.verdict = verdict;
+    d.addr = addr;
+    d.size = size;
+    d.write = write;
+    const Object &obj = objects_[prov.objId - 1];
+    d.objBase = obj.base;
+    d.objSize = obj.size;
+    d.subLower = prov.subLower;
+    d.subUpper = prov.subUpper;
+    discrepancies_.push_back(d);
+}
+
+} // namespace oracle
+} // namespace infat

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Shadow-memory differential bounds oracle.
+ *
+ * The IFP machinery's verdict on every checked load/store is derived
+ * from tagged-pointer poison bits, MAC-verified metadata, and layout
+ * tables — lots of moving parts, each of which can fail silently. The
+ * oracle is an independent second opinion: it tracks ground-truth
+ * object extents (registered when the runtime allocates and when
+ * instrumentation registers stack objects and globals) plus the
+ * subobject extent each instrumented field-entry claims, propagates
+ * that provenance alongside the interpreter's registers and through
+ * memory via a shadow map, and classifies each access itself as
+ * in-bounds / out-of-bounds / intra-object-violation. Diffing the two
+ * verdicts surfaces:
+ *
+ *  - false negatives: the oracle says violation, the IFP machinery
+ *    let the access pass (a hole in the defense);
+ *  - false positives: the oracle says in-bounds, the IFP machinery
+ *    trapped (over-blocking that would break real programs).
+ *
+ * The oracle deliberately mirrors what the defense *claims* to protect:
+ * only instrumented objects get provenance, and a subobject extent is
+ * recorded exactly where instrumentation narrows bounds (the IfpAdd
+ * field-size annotation, see instrument.cc::lowerGepField). Accesses
+ * with no provenance — legacy arena, uninstrumented locals, pointers
+ * laundered through byte-wise memory — are counted as *abstained*, not
+ * guessed at: an oracle that guesses produces discrepancy noise instead
+ * of bugs.
+ *
+ * Verdict diffs are recorded in a StatGroup ("oracle") so suites can
+ * export per-cell false-negative/false-positive counts through the
+ * stat registry (--stats-json).
+ */
+
+#ifndef INFAT_ORACLE_ORACLE_HH
+#define INFAT_ORACLE_ORACLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/address_space.hh"
+#include "support/stats.hh"
+
+namespace infat {
+namespace oracle {
+
+enum class ObjectKind
+{
+    Stack,
+    Heap,
+    Global,
+};
+
+/** The oracle's independent classification of one access. */
+enum class Verdict
+{
+    /** No provenance (or stale provenance): the oracle abstains. */
+    Unknown,
+    /** Within the object and, if narrowed, within the subobject. */
+    InBounds,
+    /** Outside the ground-truth object extent. */
+    OutOfBounds,
+    /** Inside the object but outside the claimed subobject extent. */
+    IntraObject,
+};
+
+const char *toString(Verdict verdict);
+
+/**
+ * Ground-truth provenance carried alongside one interpreter register
+ * (or one pointer-sized shadow-memory slot): which tracked object the
+ * pointer derives from, and — when instrumentation entered a subobject
+ * — the byte extent of that subobject.
+ */
+struct Prov
+{
+    /** 1-based id into the oracle's object log; 0 = no provenance. */
+    uint32_t objId = 0;
+    /** Subobject extent [subLower, subUpper); subUpper 0 = none. */
+    GuestAddr subLower = 0;
+    GuestAddr subUpper = 0;
+
+    bool valid() const { return objId != 0; }
+    bool hasSub() const { return subUpper != 0; }
+};
+
+/** One recorded verdict disagreement, for diagnostics. */
+struct Discrepancy
+{
+    bool falseNegative = false; ///< else false positive
+    Verdict verdict = Verdict::Unknown;
+    GuestAddr addr = 0;
+    uint64_t size = 0;
+    bool write = false;
+    GuestAddr objBase = 0;
+    uint64_t objSize = 0;
+    GuestAddr subLower = 0;
+    GuestAddr subUpper = 0;
+};
+
+class ShadowOracle
+{
+  public:
+    ShadowOracle();
+
+    // --- Object lifecycle -------------------------------------------
+    /**
+     * Track a new object extent [base, base + size) and return the
+     * provenance to seed into the defining register. A still-live
+     * object at the same base is superseded (its provenance goes
+     * stale, so accesses through old pointers abstain rather than
+     * mis-classify).
+     */
+    Prov registerObject(GuestAddr base, uint64_t size, ObjectKind kind);
+    /** Kill the live object at @p base; idempotent. */
+    void freeObjectAt(GuestAddr base);
+    /**
+     * Kill live stack objects below the restored stack pointer.
+     * The stack grows down, so after a call returns every object the
+     * callee allocated sits below the caller's saved sp.
+     */
+    void unwindStack(GuestAddr sp);
+
+    // --- Per-frame register provenance ------------------------------
+    /**
+     * (Re)initialize the provenance array for the frame at @p depth
+     * with @p num_regs cleared slots, then seed staged call-argument
+     * provenance into the leading parameter registers.
+     */
+    void enterFrame(unsigned depth, size_t num_regs);
+    /** Provenance array for the frame at @p depth (valid after
+     *  enterFrame; element pointers stay valid across nested calls). */
+    Prov *frameRegs(unsigned depth) { return frames_[depth].data(); }
+    /** Stage callee-argument provenance for the next enterFrame. */
+    void stageCallArgs(std::vector<Prov> args);
+    void setRetProv(const Prov &prov) { retProv_ = prov; }
+    Prov
+    takeRetProv()
+    {
+        Prov p = retProv_;
+        retProv_ = Prov{};
+        return p;
+    }
+    /** Native callees neither consume staged args nor set a return
+     *  provenance; clear both at the boundary. */
+    void
+    clearCallState()
+    {
+        stagedArgs_.clear();
+        retProv_ = Prov{};
+    }
+
+    // --- Global provenance ------------------------------------------
+    void noteGlobal(uint32_t global_id, const Prov &prov);
+    Prov globalProv(uint32_t global_id) const;
+
+    // --- Shadow memory for pointer-sized stores ---------------------
+    /**
+     * Record the provenance flowing through an 8-byte store. The raw
+     * stored value is remembered too: a later load only inherits the
+     * provenance if memory still holds the same bits, so partial
+     * overwrites and native (libc-model) writes make the slot stale
+     * instead of wrong.
+     */
+    void recordStore(GuestAddr addr, uint64_t raw, const Prov &prov);
+    /** A narrower store landed at @p addr: drop any slot there. */
+    void clobberStore(GuestAddr addr);
+    /** Provenance for an 8-byte load of @p raw from @p addr. */
+    Prov loadProv(GuestAddr addr, uint64_t raw) const;
+
+    // --- Classification ---------------------------------------------
+    Verdict classify(const Prov &prov, GuestAddr addr,
+                     uint64_t size) const;
+    /**
+     * Diff the oracle's verdict against the IFP machinery's:
+     * @p ifp_traps is whether the checked access is about to trap
+     * (poison, null, or implicit bounds-check failure).
+     */
+    void check(const Prov &prov, GuestAddr addr, uint64_t size,
+               bool write, bool ifp_traps);
+
+    // --- Results ----------------------------------------------------
+    StatGroup &stats() { return stats_; }
+    uint64_t checks() const { return cChecks_.value(); }
+    uint64_t abstained() const { return cAbstained_.value(); }
+    uint64_t truePositives() const { return cTruePositives_.value(); }
+    uint64_t trueNegatives() const { return cTrueNegatives_.value(); }
+    uint64_t falseNegatives() const { return cFalseNegatives_.value(); }
+    uint64_t falsePositives() const { return cFalsePositives_.value(); }
+    /** First few disagreements, capped, for error messages. */
+    const std::vector<Discrepancy> &discrepancies() const
+    {
+        return discrepancies_;
+    }
+
+  private:
+    struct Object
+    {
+        GuestAddr base = 0;
+        uint64_t size = 0;
+        ObjectKind kind = ObjectKind::Heap;
+        bool live = false;
+    };
+
+    struct Slot
+    {
+        uint64_t raw = 0;
+        Prov prov;
+    };
+
+    void record(bool false_negative, Verdict verdict, const Prov &prov,
+                GuestAddr addr, uint64_t size, bool write);
+
+    /** Append-only object log; Prov::objId is 1 + index, so stale
+     *  provenance never aliases a reused id. */
+    std::vector<Object> objects_;
+    std::unordered_map<GuestAddr, uint32_t> liveByBase_;
+    /** Allocation-ordered live-ish stack object ids for unwindStack. */
+    std::vector<uint32_t> stackLifo_;
+
+    std::vector<std::vector<Prov>> frames_;
+    std::vector<Prov> stagedArgs_;
+    Prov retProv_;
+    std::vector<Prov> globals_;
+
+    std::unordered_map<GuestAddr, Slot> shadowMem_;
+
+    StatGroup stats_;
+    Counter &cChecks_;
+    Counter &cAbstained_;
+    Counter &cTruePositives_;
+    Counter &cTrueNegatives_;
+    Counter &cFalseNegatives_;
+    Counter &cFalsePositives_;
+    Counter &cOobVerdicts_;
+    Counter &cIntraVerdicts_;
+    Counter &cObjects_;
+    Counter &cShadowStores_;
+
+    std::vector<Discrepancy> discrepancies_;
+};
+
+} // namespace oracle
+} // namespace infat
+
+#endif // INFAT_ORACLE_ORACLE_HH

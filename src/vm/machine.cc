@@ -4,6 +4,7 @@
 
 #include "ifp/ops.hh"
 #include "ir/printer.hh"
+#include "oracle/oracle.hh"
 #include "support/bitops.hh"
 #include "support/logging.hh"
 
@@ -201,6 +202,29 @@ Machine::registerGlobals()
 }
 
 void
+Machine::setOracle(oracle::ShadowOracle *oracle)
+{
+    oracle_ = oracle;
+    if (!oracle_)
+        return;
+    registry_.add(&oracle_->stats());
+    if (!config_.instrumented)
+        return;
+    // Globals were registered with the runtime in the constructor;
+    // give the oracle the same ground truth. Uninstrumented globals
+    // carry no IFP bounds, so the oracle abstains on them too.
+    for (const Global &global : module_.globals()) {
+        if (!global.instrumented)
+            continue;
+        oracle_->noteGlobal(
+            static_cast<uint32_t>(global.id),
+            oracle_->registerObject(globalAddrs_[global.id],
+                                    global.type->size(),
+                                    oracle::ObjectKind::Global));
+    }
+}
+
+void
 Machine::chargeMemAccess(GuestAddr addr, uint32_t bytes, bool write)
 {
     if (config_.useCache) {
@@ -291,11 +315,37 @@ Machine::operandBounds(const Frame &frame, const Operand &operand)
     return cleared;
 }
 
+oracle::Prov
+Machine::operandProv(const Frame &frame, const Operand &operand)
+{
+    if (!oracle_)
+        return {};
+    if (operand.isReg())
+        return oracle_->frameRegs(frame.depth)[operand.payload];
+    if (operand.kind == Operand::Kind::Global)
+        return oracle_->globalProv(
+            static_cast<uint32_t>(operand.payload));
+    return {};
+}
+
 void
 Machine::checkAccess(const Frame &frame, const Operand &addr_op,
                      uint64_t raw, uint64_t size, bool write)
 {
     TaggedPtr ptr(raw);
+    if (oracle_) {
+        // Predict the verdict of the checks below (same predicates,
+        // same order) and diff it against the oracle's ground truth
+        // before any of them can throw.
+        bool traps =
+            ptr.isPoisoned() || ptr.addr() < GuestMemory::pageSize;
+        if (!traps && addr_op.isReg() && config_.implicitChecks) {
+            const Bounds &b = frame.bounds[addr_op.payload];
+            traps = b.valid() && !b.contains(ptr.addr(), size);
+        }
+        oracle_->check(operandProv(frame, addr_op), ptr.addr(), size,
+                       write, traps);
+    }
     if (ptr.isPoisoned()) {
         if (tracer_.enabled(TraceCategory::Check)) {
             tracer_.instant(TraceCategory::Check, "poisoned_access",
@@ -361,6 +411,8 @@ Machine::callFunction(const Function *func,
         auto it = natives_.find(func->name());
         fatal_if(it == natives_.end(), "native %s has no host handler",
                  func->name().c_str());
+        if (oracle_)
+            oracle_->clearCallState();
         uint64_t ret = it->second(*this, args);
         if (ret_bounds)
             *ret_bounds = Bounds::cleared();
@@ -376,8 +428,11 @@ Machine::callFunction(const Function *func,
         framePool_[depth] = std::make_unique<Frame>();
     Frame &frame = *framePool_[depth];
     frame.func = func;
+    frame.depth = depth;
     frame.regs.assign(func->numRegs(), 0);
     frame.bounds.assign(func->numRegs(), Bounds::cleared());
+    if (oracle_)
+        oracle_->enterFrame(depth, func->numRegs());
     for (size_t i = 0; i < args.size() && i < func->numParams(); ++i) {
         frame.regs[i] = args[i];
         if (i < arg_bounds.size())
@@ -387,6 +442,8 @@ Machine::callFunction(const Function *func,
     GuestAddr saved_sp = sp_;
     uint64_t ret = execFunction(func, frame, ret_bounds, depth);
     sp_ = saved_sp;
+    if (oracle_)
+        oracle_->unwindStack(saved_sp);
     return ret;
 }
 
@@ -530,7 +587,16 @@ Machine::execFunction(const Function *func, Frame &frame,
     // predecoded table dispatches the common opcodes without touching
     // the operand-kind or cycle-class switches.
     const FastFunction &fast = fastCode(func);
-    const bool fast_ok = !tracer_.enabled(TraceCategory::Exec);
+    // The oracle needs the general path's provenance hooks on every
+    // instruction, so its presence disables the predecoded dispatch.
+    const bool fast_ok =
+        !tracer_.enabled(TraceCategory::Exec) && oracle_ == nullptr;
+    // Per-register provenance for this frame, mirroring the bounds
+    // registers case by case (null when no oracle is attached). The
+    // pointer stays valid across nested calls: frames_ reallocation
+    // moves the inner vectors without touching their heap buffers.
+    oracle::Prov *prov =
+        oracle_ ? oracle_->frameRegs(depth) : nullptr;
     const Instr *code = func->block(cur).instrs.data();
     const FastInstr *fcode = fast.blocks[cur].data();
 
@@ -642,6 +708,8 @@ Machine::execFunction(const Function *func, Frame &frame,
           case Opcode::Mov: {
             regs[instr.dst] = evalOperand(frame, instr.a);
             bounds[instr.dst] = operandBounds(frame, instr.a);
+            if (prov)
+                prov[instr.dst] = operandProv(frame, instr.a);
             break;
           }
           case Opcode::Add:
@@ -649,18 +717,24 @@ Machine::execFunction(const Function *func, Frame &frame,
                 instr.type, evalOperand(frame, instr.a) +
                                 evalOperand(frame, instr.b));
             bounds[instr.dst] = Bounds::cleared();
+            if (prov)
+                prov[instr.dst] = oracle::Prov{};
             break;
           case Opcode::Sub:
             regs[instr.dst] = intResult(
                 instr.type, evalOperand(frame, instr.a) -
                                 evalOperand(frame, instr.b));
             bounds[instr.dst] = Bounds::cleared();
+            if (prov)
+                prov[instr.dst] = oracle::Prov{};
             break;
           case Opcode::Mul:
             regs[instr.dst] = intResult(
                 instr.type, evalOperand(frame, instr.a) *
                                 evalOperand(frame, instr.b));
             bounds[instr.dst] = Bounds::cleared();
+            if (prov)
+                prov[instr.dst] = oracle::Prov{};
             break;
           case Opcode::SDiv:
           case Opcode::SRem: {
@@ -677,6 +751,8 @@ Machine::execFunction(const Function *func, Frame &frame,
             regs[instr.dst] =
                 intResult(instr.type, static_cast<uint64_t>(res));
             bounds[instr.dst] = Bounds::cleared();
+            if (prov)
+                prov[instr.dst] = oracle::Prov{};
             break;
           }
           case Opcode::UDiv:
@@ -690,28 +766,38 @@ Machine::execFunction(const Function *func, Frame &frame,
                 instr.type,
                 instr.op == Opcode::UDiv ? lhs / rhs : lhs % rhs);
             bounds[instr.dst] = Bounds::cleared();
+            if (prov)
+                prov[instr.dst] = oracle::Prov{};
             break;
           }
           case Opcode::And:
             regs[instr.dst] = evalOperand(frame, instr.a) &
                               evalOperand(frame, instr.b);
             bounds[instr.dst] = Bounds::cleared();
+            if (prov)
+                prov[instr.dst] = oracle::Prov{};
             break;
           case Opcode::Or:
             regs[instr.dst] = evalOperand(frame, instr.a) |
                               evalOperand(frame, instr.b);
             bounds[instr.dst] = Bounds::cleared();
+            if (prov)
+                prov[instr.dst] = oracle::Prov{};
             break;
           case Opcode::Xor:
             regs[instr.dst] = evalOperand(frame, instr.a) ^
                               evalOperand(frame, instr.b);
             bounds[instr.dst] = Bounds::cleared();
+            if (prov)
+                prov[instr.dst] = oracle::Prov{};
             break;
           case Opcode::Shl:
             regs[instr.dst] = intResult(
                 instr.type, evalOperand(frame, instr.a)
                                 << (evalOperand(frame, instr.b) & 63));
             bounds[instr.dst] = Bounds::cleared();
+            if (prov)
+                prov[instr.dst] = oracle::Prov{};
             break;
           case Opcode::LShr: {
             uint64_t val = evalOperand(frame, instr.a);
@@ -723,6 +809,8 @@ Machine::execFunction(const Function *func, Frame &frame,
             regs[instr.dst] = intResult(
                 instr.type, val >> (evalOperand(frame, instr.b) & 63));
             bounds[instr.dst] = Bounds::cleared();
+            if (prov)
+                prov[instr.dst] = oracle::Prov{};
             break;
           }
           case Opcode::AShr:
@@ -732,6 +820,8 @@ Machine::execFunction(const Function *func, Frame &frame,
                     static_cast<int64_t>(evalOperand(frame, instr.a)) >>
                     (evalOperand(frame, instr.b) & 63)));
             bounds[instr.dst] = Bounds::cleared();
+            if (prov)
+                prov[instr.dst] = oracle::Prov{};
             break;
           case Opcode::ICmp: {
             uint64_t ua = evalOperand(frame, instr.a);
@@ -753,6 +843,8 @@ Machine::execFunction(const Function *func, Frame &frame,
             }
             regs[instr.dst] = res ? 1 : 0;
             bounds[instr.dst] = Bounds::cleared();
+            if (prov)
+                prov[instr.dst] = oracle::Prov{};
             break;
           }
           case Opcode::FAdd:
@@ -816,6 +908,8 @@ Machine::execFunction(const Function *func, Frame &frame,
             const Operand &pick = cond ? instr.b : instr.c;
             regs[instr.dst] = evalOperand(frame, pick);
             bounds[instr.dst] = operandBounds(frame, pick);
+            if (prov)
+                prov[instr.dst] = operandProv(frame, pick);
             break;
           }
           case Opcode::Load: {
@@ -834,6 +928,11 @@ Machine::execFunction(const Function *func, Frame &frame,
                 value = intResult(instr.type, value);
             regs[instr.dst] = value;
             bounds[instr.dst] = Bounds::cleared();
+            if (prov) {
+                prov[instr.dst] =
+                    size == 8 ? oracle_->loadProv(addr, value)
+                              : oracle::Prov{};
+            }
             cLoads_++;
             break;
           }
@@ -858,6 +957,13 @@ Machine::execFunction(const Function *func, Frame &frame,
                 break;
             }
             cStores_++;
+            if (oracle_) {
+                if (size == 8)
+                    oracle_->recordStore(addr, value,
+                                         operandProv(frame, instr.a));
+                else
+                    oracle_->clobberStore(addr);
+            }
             break;
           }
           case Opcode::Alloca: {
@@ -871,6 +977,17 @@ Machine::execFunction(const Function *func, Frame &frame,
                 throw GuestTrap(TrapKind::StackOverflow, func->name());
             regs[instr.dst] = sp_;
             bounds[instr.dst] = Bounds::cleared();
+            if (prov) {
+                // Only registered (escaping) allocas carry IFP bounds;
+                // the oracle mirrors that claim and abstains on the
+                // rest rather than flagging accesses the defense never
+                // promised to check.
+                prov[instr.dst] =
+                    (instr.imm1 && config_.instrumented)
+                        ? oracle_->registerObject(
+                              sp_, size, oracle::ObjectKind::Stack)
+                        : oracle::Prov{};
+            }
             break;
           }
           case Opcode::GepField: {
@@ -879,6 +996,8 @@ Machine::execFunction(const Function *func, Frame &frame,
                 evalOperand(frame, instr.a) +
                 st->fieldOffset(static_cast<size_t>(instr.imm0));
             bounds[instr.dst] = operandBounds(frame, instr.a);
+            if (prov)
+                prov[instr.dst] = operandProv(frame, instr.a);
             break;
           }
           case Opcode::GepIndex: {
@@ -887,6 +1006,8 @@ Machine::execFunction(const Function *func, Frame &frame,
             regs[instr.dst] =
                 evalOperand(frame, instr.a) + index * elem_size;
             bounds[instr.dst] = operandBounds(frame, instr.a);
+            if (prov)
+                prov[instr.dst] = operandProv(frame, instr.a);
             if (instr.b.isReg() && elem_size > 1) {
                 // Address computation is mul + add at machine level.
                 ++instrs_;
@@ -934,10 +1055,28 @@ Machine::execFunction(const Function *func, Frame &frame,
                                           ? operandBounds(frame, arg)
                                           : Bounds::cleared());
             }
+            if (oracle_) {
+                // Provenance follows the bounds-passing convention:
+                // uninstrumented boundaries pass neither.
+                std::vector<oracle::Prov> arg_prov;
+                if (pass_bounds) {
+                    arg_prov.reserve(instr.args.size());
+                    for (const Operand &arg : instr.args)
+                        arg_prov.push_back(operandProv(frame, arg));
+                }
+                oracle_->stageCallArgs(std::move(arg_prov));
+            }
             cCalls_++;
             Bounds ret_b = Bounds::cleared();
             uint64_t ret = callFunction(callee, call_args, call_bounds,
                                         &ret_b, depth + 1);
+            if (oracle_) {
+                oracle::Prov ret_prov = oracle_->takeRetProv();
+                if (prov && instr.dst != noReg) {
+                    prov[instr.dst] =
+                        pass_bounds ? ret_prov : oracle::Prov{};
+                }
+            }
             if (instr.dst != noReg) {
                 regs[instr.dst] = ret;
                 // Implicit bounds clearing handles uninstrumented
@@ -959,6 +1098,8 @@ Machine::execFunction(const Function *func, Frame &frame,
             }
             if (ret_bounds)
                 *ret_bounds = operandBounds(frame, instr.a);
+            if (oracle_)
+                oracle_->setRetProv(operandProv(frame, instr.a));
             // Void returns carry a None operand; return 0 without
             // hitting the evalOperand decoder-bug assertion.
             return instr.a.isNone() ? 0 : evalOperand(frame, instr.a);
@@ -975,6 +1116,8 @@ Machine::execFunction(const Function *func, Frame &frame,
             RuntimeCost cost;
             regs[instr.dst] = runtime_->plainMalloc(size, cost);
             bounds[instr.dst] = Bounds::cleared();
+            if (prov)
+                prov[instr.dst] = oracle::Prov{};
             applyCost(cost);
             if (tracer_.enabled(TraceCategory::Alloc)) {
                 tracer_.complete(TraceCategory::Alloc, "malloc",
@@ -1002,6 +1145,8 @@ Machine::execFunction(const Function *func, Frame &frame,
                 promote_->promote(TaggedPtr(regs[src]));
             regs[instr.dst] = result.ptr.raw();
             bounds[instr.dst] = result.bounds;
+            if (prov)
+                prov[instr.dst] = prov[src];
             uint64_t extra = result.cycles > 0 ? result.cycles - 1 : 0;
             cycles_ += extra;
             chargeClass(CycleClass::Promote, extra);
@@ -1025,6 +1170,19 @@ Machine::execFunction(const Function *func, Frame &frame,
             TaggedPtr res = ops::ifpAdd(TaggedPtr(regs[src]), delta,
                                         frame.bounds[src]);
             Bounds src_bounds = frame.bounds[src];
+            if (prov) {
+                // Instrumentation annotates the field entries it
+                // narrows with the field's byte size (imm1, unused by
+                // the ifpadd semantics themselves); that is the
+                // ground-truth subobject extent the narrowing below
+                // (ifpbnd / promote) claims to enforce.
+                oracle::Prov p = prov[src];
+                if (instr.imm1 != 0 && p.valid()) {
+                    p.subLower = res.addr();
+                    p.subUpper = res.addr() + instr.imm1;
+                }
+                prov[instr.dst] = p;
+            }
             regs[instr.dst] = res.raw();
             bounds[instr.dst] = src_bounds;
             cIfpArith_++;
@@ -1038,6 +1196,8 @@ Machine::execFunction(const Function *func, Frame &frame,
             TaggedPtr ptr(regs[src]);
             uint64_t new_index = ptr.subobjIndex() + instr.imm0;
             Bounds src_bounds = frame.bounds[src];
+            if (prov)
+                prov[instr.dst] = prov[src];
             regs[instr.dst] = ops::ifpIdx(ptr, new_index).raw();
             bounds[instr.dst] = src_bounds;
             cIfpArith_++;
@@ -1050,6 +1210,8 @@ Machine::execFunction(const Function *func, Frame &frame,
             TaggedPtr ptr(regs[src]);
             regs[instr.dst] = ptr.raw();
             bounds[instr.dst] = ops::ifpBnd(ptr, instr.imm0);
+            if (prov)
+                prov[instr.dst] = prov[src];
             cIfpArith_++;
             if (config_.superscalar)
                 --cycles_;
@@ -1060,6 +1222,8 @@ Machine::execFunction(const Function *func, Frame &frame,
             regs[instr.dst] = ops::ifpChk(TaggedPtr(regs[src]),
                                           frame.bounds[src], instr.imm0)
                                   .raw();
+            if (prov)
+                prov[instr.dst] = prov[src];
             cIfpArith_++;
             break;
           }
@@ -1071,6 +1235,8 @@ Machine::execFunction(const Function *func, Frame &frame,
                 cost);
             regs[instr.dst] = alloc.ptr.raw();
             bounds[instr.dst] = alloc.bounds;
+            if (prov)
+                prov[instr.dst] = prov[src];
             applyCost(cost);
             cIfpArith_++;
             stats_.counter("local_objects")++;
@@ -1084,11 +1250,13 @@ Machine::execFunction(const Function *func, Frame &frame,
             break;
           }
           case Opcode::DeregisterObj: {
+            TaggedPtr dereg_ptr(evalOperand(frame, instr.a));
             RuntimeCost cost;
-            runtime_->deregisterObject(
-                TaggedPtr(evalOperand(frame, instr.a)), cost);
+            runtime_->deregisterObject(dereg_ptr, cost);
             applyCost(cost);
             cIfpArith_++;
+            if (oracle_)
+                oracle_->freeObjectAt(dereg_ptr.addr());
             break;
           }
           case Opcode::IfpMallocTyped: {
@@ -1100,6 +1268,10 @@ Machine::execFunction(const Function *func, Frame &frame,
                 runtime_->ifpMalloc(size, instr.layout, cost);
             regs[instr.dst] = alloc.ptr.raw();
             bounds[instr.dst] = alloc.bounds;
+            if (prov) {
+                prov[instr.dst] = oracle_->registerObject(
+                    alloc.ptr.addr(), size, oracle::ObjectKind::Heap);
+            }
             applyCost(cost);
             stats_.counter("heap_objects")++;
             if (instr.layout != noLayout)
@@ -1117,6 +1289,8 @@ Machine::execFunction(const Function *func, Frame &frame,
             RuntimeCost cost;
             runtime_->ifpFree(ptr, cost);
             applyCost(cost);
+            if (oracle_ && !ptr.isNull())
+                oracle_->freeObjectAt(ptr.addr());
             if (tracer_.enabled(TraceCategory::Alloc)) {
                 tracer_.instant(TraceCategory::Alloc, "ifp_free",
                                 {{"ptr", ptr.raw()}});

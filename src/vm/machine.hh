@@ -41,6 +41,11 @@
 
 namespace infat {
 
+namespace oracle {
+class ShadowOracle;
+struct Prov;
+} // namespace oracle
+
 struct VmConfig
 {
     /** Whether the module was instrumented (run instrumentModule). */
@@ -120,6 +125,17 @@ class Machine
     }
     Tracer &tracer() { return tracer_; }
     PromoteEngine &promoteEngine() { return *promote_; }
+
+    /**
+     * Attach a differential bounds oracle (oracle/oracle.hh). Call
+     * before run(): instrumented globals are registered with the
+     * oracle immediately, its stat group joins statRegistry(), and the
+     * interpreter's predecoded fast path is disabled so every
+     * dereference flows through the full checkAccess diff. Attachment
+     * is host-side only — simulated instruction/cycle counts and
+     * checksums are unchanged. Pass nullptr to detach.
+     */
+    void setOracle(oracle::ShadowOracle *oracle);
     const VmConfig &config() const { return config_; }
     ir::Module &module() { return module_; }
 
@@ -179,6 +195,8 @@ class Machine
         const ir::Function *func = nullptr;
         std::vector<uint64_t> regs;
         std::vector<Bounds> bounds;
+        /** Call depth; keys the oracle's per-frame provenance. */
+        unsigned depth = 0;
     };
 
     /**
@@ -236,6 +254,9 @@ class Machine
     uint64_t evalOperand(const Frame &frame, const ir::Operand &operand);
     const Bounds &operandBounds(const Frame &frame,
                                 const ir::Operand &operand);
+    /** Oracle provenance of a pointer operand ({} when untracked). */
+    oracle::Prov operandProv(const Frame &frame,
+                             const ir::Operand &operand);
 
     /** Poison + implicit bounds check + timing for one dereference. */
     void checkAccess(const Frame &frame, const ir::Operand &addr_op,
@@ -279,6 +300,9 @@ class Machine
 
     GuestAddr sp_ = 0;
     GuestAddr legacyArena_ = 0;
+
+    /** Differential bounds oracle; null = detached (the default). */
+    oracle::ShadowOracle *oracle_ = nullptr;
 
     uint64_t instrs_ = 0;
     uint64_t cycles_ = 0;

@@ -70,6 +70,8 @@ execute(const Workload &workload, ir::Module &module,
     installLibc(machine);
     if (obs && obs->traceSink)
         machine.setTraceSink(obs->traceSink, obs->traceCategories);
+    if (obs && obs->oracle)
+        machine.setOracle(obs->oracle);
 
     RunResult result;
     result.workload = workload.name;

@@ -18,6 +18,11 @@
 #include "workloads/workload.hh"
 
 namespace infat {
+
+namespace oracle {
+class ShadowOracle;
+} // namespace oracle
+
 namespace workloads {
 
 /** The configurations of §5.2. */
@@ -107,6 +112,14 @@ struct Observability
     TraceSink *traceSink = nullptr;
     /** Category mask for traceSink (default: all categories). */
     uint32_t traceCategories = traceMaskAll;
+    /**
+     * When non-null, attached to the machine before run() — every
+     * checked access is diffed against the oracle's independent
+     * verdict, and its "oracle" stat group joins the run's snapshot.
+     * Must outlive the run. Attaching disables the interpreter's fast
+     * path, so only use on functional (correctness) runs.
+     */
+    oracle::ShadowOracle *oracle = nullptr;
 };
 
 /** Build, (optionally) instrument, and execute one workload. */

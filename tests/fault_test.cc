@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the metadata fault-injection campaign (oracle/fault.hh):
+ * determinism, target coverage, and the core integrity claim — every
+ * undetected single-bit corruption lands in a named explanation
+ * bucket (unMACed tag bits, extent-aliasing address flips, the
+ * unMACed global-table root, unMACed layout tables) or is benign.
+ */
+
+#include <gtest/gtest.h>
+
+#include "oracle/fault.hh"
+#include "support/stats.hh"
+
+namespace infat {
+namespace oracle {
+namespace {
+
+TEST(FaultCampaign, SmallCampaignAllCorruptionsAccounted)
+{
+    FaultCampaignConfig config;
+    config.trials = 150;
+    FaultCampaignResult result = runFaultCampaign(config);
+
+    EXPECT_EQ(result.trials, config.trials);
+    EXPECT_EQ(result.detected + result.benign +
+                  result.explainedUndetected + result.unexplained,
+              result.trials);
+    EXPECT_GT(result.detected, 0u);
+    EXPECT_EQ(result.perTarget.size(), kNumFaultTargets);
+    EXPECT_EQ(result.unexplained, 0u) << [&] {
+        std::string detail;
+        for (const std::string &d : result.unexplainedDetails)
+            detail += d + "\n";
+        return detail;
+    }();
+    EXPECT_TRUE(result.pass());
+
+    // MAC-covered metadata must never fail open: every non-benign
+    // local/subheap metadata flip is detected (no explained bucket
+    // exists for those targets by design).
+    for (const char *target : {"local_meta", "subheap_meta"}) {
+        const auto &counts =
+            result.perTarget.at(target); // [det, ben, expl, unexpl]
+        EXPECT_EQ(counts[2], 0u) << target;
+        EXPECT_EQ(counts[3], 0u) << target;
+        EXPECT_GT(counts[0], 0u) << target;
+    }
+}
+
+TEST(FaultCampaign, DeterministicForSeed)
+{
+    FaultCampaignConfig config;
+    config.trials = 100;
+    config.seed = 0xDEADBEEF;
+
+    FaultCampaignResult a = runFaultCampaign(config);
+    config.jobs = 3; // parallel run must not change the outcome
+    FaultCampaignResult b = runFaultCampaign(config);
+
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.benign, b.benign);
+    EXPECT_EQ(a.explainedUndetected, b.explainedUndetected);
+    EXPECT_EQ(a.unexplained, b.unexplained);
+    EXPECT_EQ(a.buckets, b.buckets);
+
+    // A different seed flips different bits.
+    config.seed = 0xFEEDFACE;
+    FaultCampaignResult c = runFaultCampaign(config);
+    EXPECT_EQ(c.trials, config.trials);
+    EXPECT_EQ(c.unexplained, 0u);
+}
+
+TEST(FaultCampaign, StatsExportShape)
+{
+    FaultCampaignConfig config;
+    config.trials = 60;
+    FaultCampaignResult result = runFaultCampaign(config);
+
+    StatGroup group("fault_campaign");
+    result.addToStats(group);
+    EXPECT_EQ(group.value("trials"), result.trials);
+    EXPECT_EQ(group.value("detected"), result.detected);
+    EXPECT_EQ(group.value("unexplained"), 0u);
+    // Per-target counters exist for every target.
+    for (const auto &[name, counts] : result.perTarget) {
+        EXPECT_EQ(group.value("target_" + name + "_detected"),
+                  counts[0]);
+        EXPECT_EQ(group.value("target_" + name + "_unexplained"),
+                  counts[3]);
+    }
+}
+
+} // namespace
+} // namespace oracle
+} // namespace infat

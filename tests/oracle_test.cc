@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit and integration tests for the differential bounds oracle
+ * (oracle/oracle.hh): classification against ground-truth extents,
+ * stale-provenance abstention, stack unwinding, the diff machinery's
+ * ability to actually flag disagreements (so the suite-level zeros are
+ * meaningful), and zero FN/FP across the generated Juliet suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "juliet/juliet.hh"
+#include "oracle/oracle.hh"
+#include "workloads/harness.hh"
+
+namespace infat {
+namespace oracle {
+namespace {
+
+TEST(ShadowOracle, ClassifiesObjectExtent)
+{
+    ShadowOracle oracle;
+    Prov p = oracle.registerObject(0x1000, 64, ObjectKind::Heap);
+    ASSERT_TRUE(p.valid());
+    EXPECT_FALSE(p.hasSub());
+
+    EXPECT_EQ(oracle.classify(p, 0x1000, 8), Verdict::InBounds);
+    EXPECT_EQ(oracle.classify(p, 0x1038, 8), Verdict::InBounds);
+    EXPECT_EQ(oracle.classify(p, 0x1039, 8), Verdict::OutOfBounds);
+    EXPECT_EQ(oracle.classify(p, 0x1040, 1), Verdict::OutOfBounds);
+    EXPECT_EQ(oracle.classify(p, 0xfff, 1), Verdict::OutOfBounds);
+    // An access straddling the upper bound is out, even though it
+    // starts inside.
+    EXPECT_EQ(oracle.classify(p, 0x103c, 8), Verdict::OutOfBounds);
+}
+
+TEST(ShadowOracle, ClassifiesSubobjectExtent)
+{
+    ShadowOracle oracle;
+    Prov p = oracle.registerObject(0x2000, 128, ObjectKind::Stack);
+    // Instrumentation entered the field at [0x2010, 0x2030).
+    p.subLower = 0x2010;
+    p.subUpper = 0x2030;
+    ASSERT_TRUE(p.hasSub());
+
+    EXPECT_EQ(oracle.classify(p, 0x2010, 8), Verdict::InBounds);
+    EXPECT_EQ(oracle.classify(p, 0x2028, 8), Verdict::InBounds);
+    // Inside the object, outside the subobject: the intra-object case.
+    EXPECT_EQ(oracle.classify(p, 0x2030, 8), Verdict::IntraObject);
+    EXPECT_EQ(oracle.classify(p, 0x2008, 8), Verdict::IntraObject);
+    // Outside the whole object wins over the subobject verdict.
+    EXPECT_EQ(oracle.classify(p, 0x2080, 8), Verdict::OutOfBounds);
+}
+
+TEST(ShadowOracle, AbstainsOnInvalidAndStaleProvenance)
+{
+    ShadowOracle oracle;
+    EXPECT_EQ(oracle.classify(Prov{}, 0x1000, 8), Verdict::Unknown);
+
+    Prov p = oracle.registerObject(0x3000, 32, ObjectKind::Heap);
+    oracle.freeObjectAt(0x3000);
+    EXPECT_EQ(oracle.classify(p, 0x3000, 8), Verdict::Unknown);
+
+    // Re-registering the same base supersedes: the old provenance
+    // stays stale instead of adopting the new object's extent.
+    Prov p2 = oracle.registerObject(0x3000, 16, ObjectKind::Heap);
+    EXPECT_EQ(oracle.classify(p, 0x3000, 8), Verdict::Unknown);
+    EXPECT_EQ(oracle.classify(p2, 0x3000, 8), Verdict::InBounds);
+}
+
+TEST(ShadowOracle, UnwindKillsCalleeStackObjects)
+{
+    ShadowOracle oracle;
+    // Stack grows down: caller object above, callee objects below.
+    Prov caller = oracle.registerObject(0x9000, 64, ObjectKind::Stack);
+    Prov callee1 = oracle.registerObject(0x8f00, 32, ObjectKind::Stack);
+    Prov callee2 = oracle.registerObject(0x8e00, 32, ObjectKind::Stack);
+
+    oracle.unwindStack(0x9000); // return: sp restored above callees
+    EXPECT_EQ(oracle.classify(callee1, 0x8f00, 8), Verdict::Unknown);
+    EXPECT_EQ(oracle.classify(callee2, 0x8e00, 8), Verdict::Unknown);
+    EXPECT_EQ(oracle.classify(caller, 0x9000, 8), Verdict::InBounds);
+}
+
+TEST(ShadowOracle, ShadowMemoryGuardsOnRawValue)
+{
+    ShadowOracle oracle;
+    Prov p = oracle.registerObject(0x4000, 64, ObjectKind::Heap);
+
+    oracle.recordStore(0x5000, 0x4000, p);
+    EXPECT_TRUE(oracle.loadProv(0x5000, 0x4000).valid());
+    // Memory changed under the slot (e.g. a native memcpy): the raw
+    // value no longer matches, so the load abstains.
+    EXPECT_FALSE(oracle.loadProv(0x5000, 0x4008).valid());
+    // A narrower store clobbers the slot entirely.
+    oracle.clobberStore(0x5000);
+    EXPECT_FALSE(oracle.loadProv(0x5000, 0x4000).valid());
+}
+
+TEST(ShadowOracle, DiffFlagsDisagreements)
+{
+    // The zero-FN/FP suite results are only meaningful if the diff
+    // machinery actually fires on a disagreement; feed it both kinds.
+    ShadowOracle oracle;
+    Prov p = oracle.registerObject(0x6000, 32, ObjectKind::Heap);
+
+    // Oracle says out-of-bounds, defense did not trap: false negative.
+    oracle.check(p, 0x6040, 8, /*write=*/true, /*ifp_traps=*/false);
+    EXPECT_EQ(oracle.falseNegatives(), 1u);
+
+    // Oracle says in-bounds, defense trapped: false positive.
+    oracle.check(p, 0x6000, 8, /*write=*/false, /*ifp_traps=*/true);
+    EXPECT_EQ(oracle.falsePositives(), 1u);
+
+    // Agreements on both sides.
+    oracle.check(p, 0x6000, 8, false, false);
+    oracle.check(p, 0x6040, 8, true, true);
+    EXPECT_EQ(oracle.trueNegatives(), 1u);
+    EXPECT_EQ(oracle.truePositives(), 1u);
+
+    // No provenance: abstain regardless of the defense's verdict.
+    oracle.check(Prov{}, 0x7000, 8, false, true);
+    EXPECT_EQ(oracle.abstained(), 1u);
+    EXPECT_EQ(oracle.checks(), 5u);
+    ASSERT_EQ(oracle.discrepancies().size(), 2u);
+    EXPECT_TRUE(oracle.discrepancies()[0].falseNegative);
+    EXPECT_FALSE(oracle.discrepancies()[1].falseNegative);
+}
+
+TEST(OracleJuliet, SingleCaseDiffsAccesses)
+{
+    juliet::TestCase tc;
+    tc.flaw = juliet::Flaw::Overflow;
+    tc.location = juliet::Location::Heap;
+    tc.pattern = juliet::Pattern::DirectIndex;
+    tc.bad = true;
+
+    juliet::OracleCaseOutcome result =
+        juliet::runCaseWithOracle(tc, AllocatorKind::Wrapped);
+    EXPECT_TRUE(result.outcome.trapped);
+    EXPECT_TRUE(result.outcome.correct);
+    EXPECT_GT(result.checks, 0u);
+    EXPECT_EQ(result.falseNegatives, 0u);
+    EXPECT_EQ(result.falsePositives, 0u);
+}
+
+TEST(OracleWorkload, AttachmentIsHostSideOnly)
+{
+    // The oracle disables the interpreter's fast path and shadows
+    // every access, but it must never perturb the simulation itself:
+    // checksum, instruction count, and cycle count are bit-identical
+    // with and without it.
+    using namespace workloads;
+    RunResult plain = runWorkload("perimeter", Config::Wrapped);
+
+    ShadowOracle shadow;
+    Observability obs;
+    obs.oracle = &shadow;
+    RunResult diffed = runWorkload("perimeter", Config::Wrapped, obs);
+
+    EXPECT_EQ(plain.checksum, diffed.checksum);
+    EXPECT_EQ(plain.instructions, diffed.instructions);
+    EXPECT_EQ(plain.cycles, diffed.cycles);
+    EXPECT_GT(shadow.checks(), 0u);
+}
+
+TEST(OracleJuliet, FullSuiteZeroFalseNegativesZeroFalsePositives)
+{
+    juliet::OracleSuiteResult suite =
+        juliet::runSuiteWithOracle(AllocatorKind::Wrapped);
+    EXPECT_TRUE(suite.clean()) << [&] {
+        std::string detail;
+        for (const auto &[cell, counts] : suite.cells) {
+            if (counts.falseNegatives + counts.falsePositives == 0)
+                continue;
+            detail += cell + ": fn=" +
+                      std::to_string(counts.falseNegatives) + " fp=" +
+                      std::to_string(counts.falsePositives) + "\n";
+        }
+        return detail.empty() ? std::string("suite-level miss") : detail;
+    }();
+    EXPECT_EQ(suite.total, juliet::generateSuite().size());
+    EXPECT_GT(suite.checks, 0u);
+}
+
+} // namespace
+} // namespace oracle
+} // namespace infat

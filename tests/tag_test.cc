@@ -131,11 +131,165 @@ TEST(Ops, IfpAddInvalidatesWhenMetadataUnreachable)
     EXPECT_EQ(r.poison(), Poison::Invalid);
 }
 
-TEST(Ops, IfpIdxClampsUnrepresentableIndex)
+TEST(Ops, IfpIdxSetsRepresentableIndex)
 {
     TaggedPtr p = TaggedPtr::make(0x1000, Scheme::LocalOffset, 0);
     EXPECT_EQ(ops::ifpIdx(p, 63).localSubobjIndex(), 63u);
-    EXPECT_EQ(ops::ifpIdx(p, 64).localSubobjIndex(), 0u);
+    EXPECT_EQ(ops::ifpIdx(p, 63).poison(), Poison::Valid);
+
+    TaggedPtr s = TaggedPtr::make(0x4000'0000, Scheme::Subheap, 0);
+    EXPECT_EQ(ops::ifpIdx(s, 255).subheapSubobjIndex(), 255u);
+}
+
+TEST(Ops, IfpIdxPoisonsUnrepresentableIndex)
+{
+    // An index the scheme's field cannot hold loses the subobject
+    // identity; silently re-zeroing it would widen later narrowing to
+    // the whole object (a false-negative source), so it poisons.
+    TaggedPtr p = TaggedPtr::make(0x1000, Scheme::LocalOffset, 0);
+    EXPECT_EQ(ops::ifpIdx(p, 64).poison(), Poison::Invalid);
+
+    TaggedPtr s = TaggedPtr::make(0x4000'0000, Scheme::Subheap, 0);
+    EXPECT_EQ(ops::ifpIdx(s, 256).poison(), Poison::Invalid);
+
+    // Invalid is sticky: a later in-range ifpidx does not revive it.
+    TaggedPtr q = ops::ifpIdx(p, 64);
+    EXPECT_EQ(ops::ifpIdx(q, 1).poison(), Poison::Invalid);
+}
+
+TEST(Ops, IfpIdxNoOpForSchemesWithoutIndexField)
+{
+    // Legacy and global-table pointers have no subobject-index field;
+    // any index, however large, leaves the pointer untouched.
+    TaggedPtr legacy = TaggedPtr::legacy(0x1000);
+    EXPECT_EQ(ops::ifpIdx(legacy, 7).raw(), legacy.raw());
+    EXPECT_EQ(ops::ifpIdx(legacy, 1000).raw(), legacy.raw());
+
+    TaggedPtr global = TaggedPtr::make(0x1000, Scheme::GlobalTable, 42);
+    EXPECT_EQ(ops::ifpIdx(global, 7).raw(), global.raw());
+    EXPECT_EQ(ops::ifpIdx(global, 1000).raw(), global.raw());
+    EXPECT_EQ(ops::ifpIdx(global, 1000).globalTableIndex(), 42u);
+}
+
+TEST(Ops, IfpBndSaturatesAtTopOfCanonicalSpace)
+{
+    // An object at the very top of the 48-bit canonical space: the
+    // upper bound must saturate at 2^48, not wrap below the lower.
+    constexpr GuestAddr top = layout::addrMask + 1; // 2^48
+    TaggedPtr p = TaggedPtr::legacy(top - 0x100);
+    Bounds b = ops::ifpBnd(p, 0x100);
+    EXPECT_EQ(b.lower(), top - 0x100);
+    EXPECT_EQ(b.upper(), top);
+    EXPECT_TRUE(b.contains(top - 0x100, 0x100));
+    EXPECT_TRUE(b.contains(top - 8, 8));
+    EXPECT_FALSE(b.contains(top - 8, 9));
+    EXPECT_FALSE(b.contains(top - 0x101, 1));
+
+    // Size overshooting the canonical space saturates instead of
+    // producing upper < lower.
+    Bounds c = ops::ifpBnd(p, 0x1000);
+    EXPECT_EQ(c.upper(), top);
+    EXPECT_TRUE(c.contains(top - 1, 1));
+
+    // Full 64-bit wraparound (huge size) saturates too.
+    Bounds d = ops::ifpBnd(p, ~0ULL);
+    EXPECT_EQ(d.upper(), top);
+
+    // Range form: 2^48 as an explicit upper limit must survive, not
+    // canonicalize to 0.
+    Bounds e = ops::ifpBndRange(top - 0x40, top);
+    EXPECT_TRUE(e.contains(top - 0x40, 0x40));
+    EXPECT_FALSE(e.contains(top - 0x40, 0x41));
+    Bounds f = ops::ifpBndRange(top - 0x40, ~0ULL);
+    EXPECT_EQ(f.upper(), top);
+}
+
+TEST(Ops, DemoteStripsTagToLegacy)
+{
+    TaggedPtr p = TaggedPtr::make(0xdead'beef, Scheme::LocalOffset,
+                                  (13ULL << 6) | 7, Poison::OutOfBounds);
+    TaggedPtr d = ops::demote(p);
+    EXPECT_TRUE(d.isLegacy());
+    EXPECT_EQ(d.raw(), 0xdead'beefULL);   // bits 63:48 all stripped
+    EXPECT_EQ(d.addr(), p.addr());
+    EXPECT_EQ(d.poison(), Poison::Valid);
+    EXPECT_EQ(d.meta12(), 0u);
+
+    // Round trip: demote of a legacy pointer is the identity, and
+    // re-tagging a demoted pointer reproduces the original fields.
+    EXPECT_EQ(ops::demote(d).raw(), d.raw());
+    TaggedPtr re = TaggedPtr::make(d.addr(), Scheme::LocalOffset,
+                                   (13ULL << 6) | 7);
+    EXPECT_EQ(re.localGranuleOffset(), 13u);
+    EXPECT_EQ(re.localSubobjIndex(), 7u);
+    EXPECT_EQ(re.addr(), p.addr());
+}
+
+TEST(Ops, IfpAddNegativeDeltaAcrossGranules)
+{
+    // Object at 0x1000, metadata granule offset 4 at the base.
+    TaggedPtr p = TaggedPtr::make(0x1040, Scheme::LocalOffset, 0);
+    Bounds b(0x1000, 0x1040);
+
+    // Negative delta moving down: granule offset grows by the number
+    // of granule boundaries crossed.
+    TaggedPtr q = ops::ifpAdd(p, -0x40, b);
+    EXPECT_EQ(q.addr(), 0x1000ULL);
+    EXPECT_EQ(q.localGranuleOffset(), 4u);
+    EXPECT_EQ(q.poison(), Poison::Valid);
+
+    // Negative sub-granule movement that does not cross a boundary
+    // leaves the offset alone.
+    TaggedPtr r = ops::ifpAdd(q, 0x18, b);
+    EXPECT_EQ(r.localGranuleOffset(), 3u);
+    TaggedPtr s = ops::ifpAdd(r, -0x8, b);
+    EXPECT_EQ(s.addr(), 0x1010ULL);
+    EXPECT_EQ(s.localGranuleOffset(), 3u);
+
+    // Negative movement that crosses into the granule below.
+    TaggedPtr t = ops::ifpAdd(s, -0x1, b);
+    EXPECT_EQ(t.addr(), 0x100fULL);
+    EXPECT_EQ(t.localGranuleOffset(), 4u);
+}
+
+TEST(Ops, IfpAddMultiGranuleCrossings)
+{
+    // 4-granule jumps in one instruction, both directions.
+    TaggedPtr p = TaggedPtr::make(0x1000, Scheme::LocalOffset, 8ULL << 6);
+    Bounds b(0x1000, 0x1080);
+
+    TaggedPtr q = ops::ifpAdd(p, 0x40, b);
+    EXPECT_EQ(q.localGranuleOffset(), 4u);
+    TaggedPtr r = ops::ifpAdd(q, -0x40, b);
+    EXPECT_EQ(r.localGranuleOffset(), 8u);
+    EXPECT_EQ(r.raw(), p.withPoison(Poison::Valid).raw());
+}
+
+TEST(Ops, IfpAddOutOfBoundsRecoversWithBounds)
+{
+    TaggedPtr p = TaggedPtr::make(0x1000, Scheme::LocalOffset, 8ULL << 6);
+    Bounds b(0x1000, 0x1040);
+
+    // Walk out below the object, then back in: OutOfBounds -> Valid.
+    TaggedPtr below = ops::ifpAdd(p, -0x10, b);
+    EXPECT_EQ(below.poison(), Poison::OutOfBounds);
+    EXPECT_EQ(below.localGranuleOffset(), 9u);
+    TaggedPtr back = ops::ifpAdd(below, 0x10, b);
+    EXPECT_EQ(back.poison(), Poison::Valid);
+    EXPECT_EQ(back.localGranuleOffset(), 8u);
+
+    // Without bounds in the IFPR, poison cannot recover: it is only
+    // re-evaluated when bounds are present.
+    TaggedPtr above = ops::ifpAdd(p, 0x40, b);
+    EXPECT_EQ(above.poison(), Poison::OutOfBounds);
+    EXPECT_EQ(above.localGranuleOffset(), 4u);
+    TaggedPtr still = ops::ifpAdd(above, 0x10, Bounds::cleared());
+    EXPECT_EQ(still.poison(), Poison::OutOfBounds);
+    EXPECT_EQ(still.localGranuleOffset(), 3u);
+    TaggedPtr healed = ops::ifpAdd(still, -0x50, b);
+    EXPECT_EQ(healed.poison(), Poison::Valid);
+    EXPECT_EQ(healed.addr(), 0x1000ULL);
+    EXPECT_EQ(healed.localGranuleOffset(), 8u);
 }
 
 TEST(Ops, IfpChkPoisonsOnFailure)

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * End-to-end smoke test for the differential bounds oracle and the
+ * metadata fault-injection campaign, run as the `infat_oracle_smoke`
+ * ctest.
+ *
+ * Three layers, mirroring docs/TESTING.md:
+ *
+ *  1. The generated Juliet-style suite runs with the oracle attached
+ *     under both allocators; the oracle must agree with the IFP
+ *     machinery on every checked access (zero false negatives, zero
+ *     false positives) while the suite itself stays fully correct.
+ *  2. Two Olden-style workloads run with the oracle attached; real
+ *     pointer-heavy programs must produce zero disagreements too.
+ *  3. The fault campaign flips >=1000 seeded bits across pointers,
+ *     metadata records, global-table rows, and layout entries; every
+ *     undetected corruption must land in a named explanation bucket.
+ *
+ * All results are exported through the stat registry as JSON
+ * (--stats-json=PATH, default under TMPDIR), re-parsed, and the groups
+ * the tooling relies on are asserted present. Exits non-zero with a
+ * self-describing message on any violation.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "juliet/juliet.hh"
+#include "oracle/fault.hh"
+#include "oracle/oracle.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/stats.hh"
+#include "workloads/harness.hh"
+
+using namespace infat;
+using namespace infat::workloads;
+
+namespace {
+
+int failures = 0;
+
+void
+check(bool ok, const std::string &what)
+{
+    if (!ok) {
+        std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+        ++failures;
+    } else {
+        std::fprintf(stderr, "ok:   %s\n", what.c_str());
+    }
+}
+
+void
+checkSuite(const juliet::OracleSuiteResult &suite, const char *label)
+{
+    check(suite.total > 0 && suite.badMissed == 0,
+          std::string(label) + ": every bad case trapped");
+    check(suite.suiteFalsePositives == 0,
+          std::string(label) + ": every good case passed");
+    check(suite.checks > 0,
+          std::string(label) + ": oracle diffed at least one access");
+    check(suite.falseNegatives == 0,
+          std::string(label) + ": zero oracle false negatives");
+    check(suite.falsePositives == 0,
+          std::string(label) + ": zero oracle false positives");
+    if (suite.falseNegatives + suite.falsePositives > 0) {
+        for (const auto &[cell, counts] : suite.cells) {
+            if (counts.falseNegatives + counts.falsePositives == 0)
+                continue;
+            std::fprintf(stderr, "  cell %s: fn=%llu fp=%llu\n",
+                         cell.c_str(),
+                         static_cast<unsigned long long>(
+                             counts.falseNegatives),
+                         static_cast<unsigned long long>(
+                             counts.falsePositives));
+        }
+    }
+}
+
+void
+runWorkloadWithOracle(const char *name, Config config,
+                      StatGroup &group)
+{
+    oracle::ShadowOracle shadow;
+    Observability obs;
+    obs.oracle = &shadow;
+    RunResult result = runWorkload(name, config, obs);
+
+    std::string label = std::string("workload ") + name;
+    check(result.checksum != 0, label + ": produced a checksum");
+    check(shadow.checks() > 0, label + ": oracle diffed accesses");
+    check(shadow.falseNegatives() == 0,
+          label + ": zero oracle false negatives");
+    check(shadow.falsePositives() == 0,
+          label + ": zero oracle false positives");
+    // The verdict taxonomy is exhaustive: every check is abstained,
+    // agreement, or disagreement.
+    check(shadow.abstained() + shadow.truePositives() +
+                  shadow.trueNegatives() + shadow.falseNegatives() +
+                  shadow.falsePositives() ==
+              shadow.checks(),
+          label + ": verdict classes sum to checks");
+
+    std::string prefix = std::string(name) + "_";
+    group.counter(prefix + "checks").set(shadow.checks());
+    group.counter(prefix + "abstained").set(shadow.abstained());
+    group.counter(prefix + "true_positives")
+        .set(shadow.truePositives());
+    group.counter(prefix + "true_negatives")
+        .set(shadow.trueNegatives());
+    group.counter(prefix + "false_negatives")
+        .set(shadow.falseNegatives());
+    group.counter(prefix + "false_positives")
+        .set(shadow.falsePositives());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+
+    std::string dir =
+        std::getenv("TMPDIR") ? std::getenv("TMPDIR") : ".";
+    std::string stats_path = dir + "/infat_oracle_smoke.json";
+    bool keep_stats = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--stats-json=", 13) == 0) {
+            stats_path = argv[i] + 13;
+            keep_stats = true;
+        }
+    }
+
+    StatGroup wrapped_group("juliet_oracle_wrapped");
+    StatGroup subheap_group("juliet_oracle_subheap");
+    StatGroup workload_group("workload_oracle");
+    StatGroup fault_group("fault_campaign");
+
+    // --- 1. Juliet suite, both allocators ---
+    juliet::OracleSuiteResult wrapped =
+        juliet::runSuiteWithOracle(AllocatorKind::Wrapped);
+    wrapped.addToStats(wrapped_group);
+    checkSuite(wrapped, "juliet/wrapped");
+
+    juliet::OracleSuiteResult subheap =
+        juliet::runSuiteWithOracle(AllocatorKind::Subheap);
+    subheap.addToStats(subheap_group);
+    checkSuite(subheap, "juliet/subheap");
+
+    // --- 2. Olden-style workloads ---
+    runWorkloadWithOracle("treeadd", Config::Subheap, workload_group);
+    runWorkloadWithOracle("perimeter", Config::Wrapped, workload_group);
+
+    // --- 3. Fault-injection campaign ---
+    oracle::FaultCampaignConfig fault_config;
+    fault_config.trials = 1200;
+    fault_config.jobs = 2;
+    oracle::FaultCampaignResult fault =
+        oracle::runFaultCampaign(fault_config);
+    fault.addToStats(fault_group);
+    check(fault.trials == fault_config.trials,
+          "fault campaign ran every trial");
+    check(fault.detected > 0, "fault campaign detected corruptions");
+    check(fault.perTarget.size() == oracle::kNumFaultTargets,
+          "fault campaign covered every target");
+    check(fault.unexplained == 0,
+          "every undetected corruption is explained");
+    for (const std::string &detail : fault.unexplainedDetails)
+        std::fprintf(stderr, "  unexplained: %s\n", detail.c_str());
+
+    // --- stats-json export and re-parse ---
+    StatRegistry registry;
+    registry.add(&wrapped_group);
+    registry.add(&subheap_group);
+    registry.add(&workload_group);
+    registry.add(&fault_group);
+    registry.snapshot().writeFile(stats_path);
+
+    std::string err;
+    std::optional<JsonValue> doc = jsonParseFile(stats_path, &err);
+    check(doc.has_value(), "stats JSON parses");
+    if (doc) {
+        const JsonValue *groups = doc->find("groups");
+        for (const char *name :
+             {"juliet_oracle_wrapped", "juliet_oracle_subheap",
+              "workload_oracle", "fault_campaign"}) {
+            check(groups && groups->find(name) != nullptr,
+                  std::string("stats has group ") + name);
+        }
+        const JsonValue *fc =
+            groups ? groups->find("fault_campaign") : nullptr;
+        const JsonValue *scalars = fc ? fc->find("scalars") : nullptr;
+        const JsonValue *trials =
+            scalars ? scalars->find("trials") : nullptr;
+        check(trials && trials->asUint() == fault_config.trials,
+              "fault_campaign.trials exported correctly");
+    } else {
+        std::fprintf(stderr, "  parse error: %s\n", err.c_str());
+    }
+
+    if (!keep_stats)
+        std::remove(stats_path.c_str());
+
+    if (failures) {
+        std::fprintf(stderr, "%d check(s) failed\n", failures);
+        return 1;
+    }
+    std::fprintf(stderr, "all checks passed\n");
+    return 0;
+}
