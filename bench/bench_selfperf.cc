@@ -12,11 +12,18 @@
  * the measurements to BENCH_selfperf.json (see docs/PERFORMANCE.md).
  *
  * Flags:
- *   --jobs=N    concurrent runs in the parallel pass (default: cores)
- *   --smoke     small 4-workload subset; used by the
- *               infat_parallel_smoke ctest
- *   --out=PATH  output JSON path (default BENCH_selfperf.json)
+ *   --jobs=N      concurrent runs in the parallel pass (default: cores)
+ *   --smoke       small 4-workload subset; used by the
+ *                 infat_parallel_smoke ctest and the CI smoke job
+ *   --out=PATH    output JSON path (default BENCH_selfperf.json)
+ *   --engine=E    pin the host interpreter engine for every run:
+ *                 general | superblock-base | superblock-nofuse |
+ *                 superblock-noelim | superblock (default). Used for
+ *                 the ablation table in docs/PERFORMANCE.md; simulated
+ *                 results are identical under every engine.
  */
+
+#include <sys/utsname.h>
 
 #include <chrono>
 #include <thread>
@@ -99,6 +106,27 @@ totalInstructions(const SuitePass &pass)
     return total;
 }
 
+/** Map an --engine= label onto the process-global engine tuning. */
+workloads::EngineTuning
+tuningForEngine(const std::string &engine)
+{
+    workloads::EngineTuning tuning;
+    if (engine == "general") {
+        tuning.superblocks = false;
+    } else if (engine == "superblock-base") {
+        tuning.superblockFusion = false;
+        tuning.superblockCheckElim = false;
+    } else if (engine == "superblock-nofuse") {
+        tuning.superblockFusion = false;
+    } else if (engine == "superblock-noelim") {
+        tuning.superblockCheckElim = false;
+    } else {
+        fatal_if(engine != "superblock", "unknown --engine=%s",
+                 engine.c_str());
+    }
+    return tuning;
+}
+
 } // namespace
 
 int
@@ -108,13 +136,17 @@ main(int argc, char **argv)
     unsigned jobs = parseJobs(argc, argv);
     bool smoke = false;
     std::string out = "BENCH_selfperf.json";
+    std::string engine = "superblock";
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--smoke")
             smoke = true;
         else if (arg.rfind("--out=", 0) == 0)
             out = arg.substr(6);
+        else if (arg.rfind("--engine=", 0) == 0)
+            engine = arg.substr(9);
     }
+    workloads::setEngineTuning(tuningForEngine(engine));
 
     printHeader("Self-performance: suite wall-clock and parallel "
                 "speedup",
@@ -148,7 +180,11 @@ main(int argc, char **argv)
     double guest_mips =
         serial_sec > 0.0 ? instrs / serial_sec / 1e6 : 0.0;
 
+    utsname host{};
+    uname(&host);
+
     TextTable table({"metric", "value"});
+    table.addRow({"engine", engine});
     table.addRow({"workloads", TextTable::cell(uint64_t(ws.size()))});
     table.addRow({"runs", TextTable::cell(uint64_t(runs))});
     table.addRow({"host cores",
@@ -174,8 +210,15 @@ main(int argc, char **argv)
     json.beginObject();
     json.field("bench", std::string_view("selfperf"));
     json.field("smoke", smoke);
+    json.field("engine", std::string_view(engine));
     json.field("host_cores",
                uint64_t(std::thread::hardware_concurrency()));
+    json.key("host");
+    json.beginObject();
+    json.field("sysname", std::string_view(host.sysname));
+    json.field("release", std::string_view(host.release));
+    json.field("machine", std::string_view(host.machine));
+    json.endObject();
     json.field("jobs", uint64_t(jobs));
     json.field("workloads", uint64_t(ws.size()));
     json.field("runs", uint64_t(runs));

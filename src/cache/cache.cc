@@ -18,6 +18,8 @@ Cache::Cache(std::string name, CacheConfig config)
     numSets_ = static_cast<unsigned>(
         config_.sizeBytes / (config_.lineBytes * config_.assoc));
     fatal_if(!isPowerOf2(numSets_), "cache set count not pow2");
+    lineShift_ = static_cast<unsigned>(log2Floor(config_.lineBytes));
+    setShift_ = static_cast<unsigned>(log2Floor(numSets_));
     lines_.resize(static_cast<size_t>(numSets_) * config_.assoc);
     stats_.formula("miss_rate", [this] { return missRate(); });
 }
@@ -26,7 +28,7 @@ unsigned
 Cache::accessLine(uint64_t line_addr, bool is_write)
 {
     uint64_t set = line_addr & (numSets_ - 1);
-    uint64_t tag = line_addr / numSets_;
+    uint64_t tag = line_addr >> setShift_;
     Line *set_base = &lines_[set * config_.assoc];
 
     for (unsigned way = 0; way < config_.assoc; ++way) {
@@ -83,10 +85,16 @@ CacheAccessResult
 Cache::access(GuestAddr addr, uint64_t len, bool is_write)
 {
     GuestAddr canon = layout::canonical(addr);
-    uint64_t first_line = canon / config_.lineBytes;
-    uint64_t last_line = len == 0 ? first_line
-                                  : (canon + len - 1) / config_.lineBytes;
+    uint64_t first_line = canon >> lineShift_;
+    uint64_t last_line = len == 0
+                             ? first_line
+                             : (canon + len - 1) >> lineShift_;
 
+    // Nearly every access fits one line; keep that path branch-light.
+    if (first_line == last_line) {
+        unsigned latency = accessLine(first_line, is_write);
+        return {latency <= config_.hitLatency, latency};
+    }
     unsigned worst = config_.hitLatency;
     bool all_hit = true;
     for (uint64_t line = first_line; line <= last_line; ++line) {

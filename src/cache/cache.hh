@@ -105,6 +105,10 @@ class Cache
 
     CacheConfig config_;
     unsigned numSets_;
+    // lineBytes and numSets_ are enforced powers of two; the per-access
+    // address math uses these shifts instead of runtime divisions.
+    unsigned lineShift_ = 0;
+    unsigned setShift_ = 0;
     std::vector<Line> lines_;
     Cache *nextLevel_ = nullptr;
     Tracer *tracer_ = nullptr;

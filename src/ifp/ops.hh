@@ -67,6 +67,43 @@ TaggedPtr ifpChk(TaggedPtr ptr, const Bounds &bounds,
  */
 TaggedPtr demote(TaggedPtr ptr);
 
+/**
+ * Verdict of the hardware's implicit dereference check (paper §4.1.1):
+ * poison trap, null guard, then the IFPR bounds comparison. The
+ * predicates and their order are exactly the interpreter's
+ * checkAccess; this entry point exists so fused superblock records
+ * (and any other caller that must match trap verdicts bit for bit)
+ * evaluate the same sequence without duplicating it.
+ */
+enum class CheckVerdict : uint8_t
+{
+    Ok,
+    Poisoned,
+    Null,
+    OutOfBounds,
+};
+
+/**
+ * Evaluate the implicit-check predicates for one access of
+ * @p access_size bytes. @p bounds may be null (address operand is not
+ * a register, or implicit checking is configured off), in which case
+ * only the poison and null predicates apply. Addresses below
+ * @p null_guard (the guest's unmapped first page) are null derefs.
+ */
+inline CheckVerdict
+checkAccessVerdict(TaggedPtr ptr, const Bounds *bounds,
+                   uint64_t access_size, GuestAddr null_guard)
+{
+    if (ptr.isPoisoned())
+        return CheckVerdict::Poisoned;
+    GuestAddr addr = ptr.addr();
+    if (addr < null_guard)
+        return CheckVerdict::Null;
+    if (bounds && bounds->valid() && !bounds->contains(addr, access_size))
+        return CheckVerdict::OutOfBounds;
+    return CheckVerdict::Ok;
+}
+
 } // namespace ops
 } // namespace infat
 

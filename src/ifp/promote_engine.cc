@@ -32,6 +32,20 @@ PromoteEngine::PromoteEngine(GuestMemory &mem, Cache *l1d,
     : mem_(mem), l1d_(l1d), regs_(regs), config_(config),
       stats_("promote"), promotes_(stats_.counter("promotes")),
       metaFetches_(stats_.counter("meta_fetches")),
+      metaInvalid_(stats_.counter("meta_invalid")),
+      bypassInvalid_(stats_.counter("bypass_invalid")),
+      bypassNull_(stats_.counter("bypass_null")),
+      bypassLegacy_(stats_.counter("bypass_legacy")),
+      validPromotes_(stats_.counter("valid_promotes")),
+      schemeLocal_(stats_.counter("scheme_local")),
+      schemeSubheap_(stats_.counter("scheme_subheap")),
+      schemeGlobal_(stats_.counter("scheme_global")),
+      macFail_(stats_.counter("mac_fail")),
+      slotDivisions_(stats_.counter("slot_divisions")),
+      walkDivisions_(stats_.counter("walk_divisions")),
+      narrowAttempts_(stats_.counter("narrow_attempts")),
+      narrowSuccess_(stats_.counter("narrow_success")),
+      narrowFail_(stats_.counter("narrow_fail")),
       promoteCycles_(
           stats_.histogram("promote_cycles", Histogram::log2(12))),
       retrieveCycles_(
@@ -69,7 +83,7 @@ PromoteEngine::poisonResult(TaggedPtr ptr, unsigned cycles)
     result.ptr = ptr.withPoison(Poison::Invalid);
     result.bounds = Bounds::cleared();
     result.cycles = cycles;
-    stats_.counter("meta_invalid")++;
+    metaInvalid_++;
     return result;
 }
 
@@ -110,7 +124,7 @@ PromoteEngine::promoteImpl(TaggedPtr ptr)
         result.ptr = ptr;
         result.bounds = Bounds::cleared();
         result.cycles = cycles;
-        stats_.counter("bypass_invalid")++;
+        bypassInvalid_++;
         return result;
     }
 
@@ -120,7 +134,7 @@ PromoteEngine::promoteImpl(TaggedPtr ptr)
         result.ptr = ptr;
         result.bounds = Bounds::cleared();
         result.cycles = cycles;
-        stats_.counter("bypass_null")++;
+        bypassNull_++;
         return result;
     }
 
@@ -131,23 +145,23 @@ PromoteEngine::promoteImpl(TaggedPtr ptr)
         result.ptr = ptr;
         result.bounds = Bounds::cleared();
         result.cycles = cycles;
-        stats_.counter("bypass_legacy")++;
+        bypassLegacy_++;
         return result;
     }
 
-    stats_.counter("valid_promotes")++;
+    validPromotes_++;
     PromoteResult result;
     switch (ptr.scheme()) {
       case Scheme::LocalOffset:
-        stats_.counter("scheme_local")++;
+        schemeLocal_++;
         result = retrieveLocalOffset(ptr);
         break;
       case Scheme::Subheap:
-        stats_.counter("scheme_subheap")++;
+        schemeSubheap_++;
         result = retrieveSubheap(ptr);
         break;
       case Scheme::GlobalTable:
-        stats_.counter("scheme_global")++;
+        schemeGlobal_++;
         result = retrieveGlobalTable(ptr);
         break;
       default:
@@ -170,7 +184,7 @@ PromoteEngine::retrieveLocalOffset(TaggedPtr ptr)
     if (config_.macEnabled) {
         cycles += config_.macCheckCycles;
         if (!meta.verify(meta_addr, regs_.macKey)) {
-            stats_.counter("mac_fail")++;
+            macFail_++;
             return poisonResult(ptr, cycles);
         }
     } else if (meta.magic != LocalOffsetMeta::magicValue) {
@@ -207,7 +221,7 @@ PromoteEngine::retrieveSubheap(TaggedPtr ptr)
     if (config_.macEnabled) {
         cycles += config_.macCheckCycles;
         if (!meta.verify(block_base, regs_.macKey)) {
-            stats_.counter("mac_fail")++;
+            macFail_++;
             return poisonResult(ptr, cycles);
         }
     }
@@ -225,7 +239,7 @@ PromoteEngine::retrieveSubheap(TaggedPtr ptr)
     // Slot sizes are constrained so hardware division is cheap; model a
     // fast path for powers of two (paper §3.3.2).
     cycles += isPowerOf2(meta.slotSize) ? 1 : config_.divisionCycles;
-    stats_.counter("slot_divisions")++;
+    slotDivisions_++;
     uint64_t slot = (rel - meta.slotsStart) / meta.slotSize;
     GuestAddr base = block_base + meta.slotsStart + slot * meta.slotSize;
     Bounds object_bounds(base, base + meta.objectSize);
@@ -314,7 +328,7 @@ PromoteEngine::narrow(const Bounds &object_bounds, GuestAddr table_base,
                 return result;
             }
             cycles += config_.divisionCycles;
-            stats_.counter("walk_divisions")++;
+            walkDivisions_++;
             uint64_t elem = (addr - bounds.lower()) / elem_size;
             elem_base = bounds.lower() + elem * elem_size;
         }
@@ -342,7 +356,7 @@ PromoteEngine::finish(TaggedPtr ptr, Bounds object_bounds,
     uint64_t subobj_index = ptr.subobjIndex();
     if (subobj_index != 0) {
         result.narrowAttempted = true;
-        stats_.counter("narrow_attempts")++;
+        narrowAttempts_++;
         if (layout_table != 0 && config_.narrowingEnabled) {
             NarrowResult nr = narrow(object_bounds, layout_table,
                                      subobj_index, ptr.addr(), cycles);
@@ -355,9 +369,9 @@ PromoteEngine::finish(TaggedPtr ptr, Bounds object_bounds,
             result.bounds = nr.bounds;
         }
         if (result.narrowSucceeded)
-            stats_.counter("narrow_success")++;
+            narrowSuccess_++;
         else
-            stats_.counter("narrow_fail")++;
+            narrowFail_++;
     }
 
     // Fused access check (paper §3.2): update the poison bits so that a

@@ -120,9 +120,25 @@ class PromoteEngine
     const IfpControlRegs &regs_;
     IfpConfig config_;
     StatGroup stats_;
-    // Hot-path stats, resolved once at construction.
+    // Hot-path stats, resolved once at construction. Every promote
+    // outcome bumps one of these, so none may go through the
+    // string-keyed StatGroup::counter() lookup per call.
     Counter &promotes_;
     Counter &metaFetches_;
+    Counter &metaInvalid_;
+    Counter &bypassInvalid_;
+    Counter &bypassNull_;
+    Counter &bypassLegacy_;
+    Counter &validPromotes_;
+    Counter &schemeLocal_;
+    Counter &schemeSubheap_;
+    Counter &schemeGlobal_;
+    Counter &macFail_;
+    Counter &slotDivisions_;
+    Counter &walkDivisions_;
+    Counter &narrowAttempts_;
+    Counter &narrowSuccess_;
+    Counter &narrowFail_;
     /** Cycle cost of each completed promote (bypasses included). */
     Histogram &promoteCycles_;
     /** Cycle cost of retrieval promotes only (metadata actually read). */

@@ -24,6 +24,9 @@ struct BasicBlock
     {
         return !instrs.empty() && instrs.back().isTerminator();
     }
+
+    /** The block's terminator; only valid on terminated blocks. */
+    const Instr &terminator() const { return instrs.back(); }
 };
 
 class Function

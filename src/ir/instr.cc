@@ -83,6 +83,27 @@ Instr::isTerminator() const
 }
 
 bool
+Instr::writesDst() const
+{
+    switch (op) {
+      case Opcode::Store:
+      case Opcode::Jmp:
+      case Opcode::Br:
+      case Opcode::Ret:
+      case Opcode::Trap:
+      case Opcode::FreePtr:
+      case Opcode::DeregisterObj:
+      case Opcode::IfpFree:
+        return false;
+      case Opcode::Call:
+      case Opcode::CallPtr:
+        return dst != noReg;
+      default:
+        return true;
+    }
+}
+
+bool
 Instr::isIfpOp() const
 {
     switch (op) {

@@ -159,6 +159,13 @@ struct Instr
 
     bool isTerminator() const;
     bool isIfpOp() const;
+    /**
+     * Whether executing this instruction writes `dst` (and its paired
+     * bounds register, where the opcode touches bounds at all). Calls
+     * with dst == noReg discard their result and write nothing. The
+     * predecoder uses this to invalidate cached check facts.
+     */
+    bool writesDst() const;
 };
 
 } // namespace ir

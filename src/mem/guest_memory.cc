@@ -10,6 +10,13 @@ uint8_t *
 GuestMemory::pageFor(GuestAddr addr)
 {
     uint64_t page_num = layout::canonical(addr) >> pageShift;
+    // Probe the micro-TLB first so the chunked read/write/fill paths
+    // skip the unordered_map lookup too, not just the typed accessors.
+    UtlbEntry &hot = utlb_[page_num & (utlbEntries - 1)];
+    if (hot.page == page_num) {
+        ++utlbHits_;
+        return hot.data;
+    }
     auto it = pages_.find(page_num);
     if (it == pages_.end()) {
         auto page = std::make_unique<uint8_t[]>(pageSize);
@@ -17,12 +24,37 @@ GuestMemory::pageFor(GuestAddr addr)
         it = pages_.emplace(page_num, std::move(page)).first;
         stats_.counter("pages_mapped")++;
     }
+    pagesPeak_ = std::max<uint64_t>(pagesPeak_, pages_.size());
     // Refill the micro-TLB so the next access to this page takes the
     // inline fast path.
     ++utlbMisses_;
-    utlbPage_ = page_num;
-    utlbData_ = it->second.get();
-    return utlbData_;
+    UtlbEntry &e = utlb_[page_num & (utlbEntries - 1)];
+    e.page = page_num;
+    e.data = it->second.get();
+    return e.data;
+}
+
+void
+GuestMemory::unmap(GuestAddr addr, uint64_t len)
+{
+    if (len == 0)
+        return;
+    GuestAddr start = layout::canonical(addr);
+    GuestAddr end = start + len;
+    uint64_t first = (start + pageSize - 1) >> pageShift; // round up
+    uint64_t last = end >> pageShift;                     // round down
+    if (first >= last)
+        return;
+    // Cached translations may point into pages released below, and a
+    // re-materialized page lands at a fresh host address — a stale hit
+    // would read freed memory. Invalidate the whole uTLB; the next
+    // accesses repopulate it.
+    for (UtlbEntry &e : utlb_) {
+        e.page = ~0ULL;
+        e.data = nullptr;
+    }
+    for (uint64_t page = first; page < last; ++page)
+        pages_.erase(page);
 }
 
 void

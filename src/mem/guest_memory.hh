@@ -12,6 +12,7 @@
 #ifndef INFAT_MEM_GUEST_MEMORY_HH
 #define INFAT_MEM_GUEST_MEMORY_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -53,11 +54,12 @@ class GuestMemory
     {
         GuestAddr canon = layout::canonical(addr);
         uint64_t off = canon & (pageSize - 1);
-        if ((canon >> pageShift) == utlbPage_ &&
-            off + sizeof(T) <= pageSize) {
+        uint64_t page = canon >> pageShift;
+        const UtlbEntry &e = utlb_[page & (utlbEntries - 1)];
+        if (e.page == page && off + sizeof(T) <= pageSize) {
             ++utlbHits_;
             T value;
-            std::memcpy(&value, utlbData_ + off, sizeof(T));
+            std::memcpy(&value, e.data + off, sizeof(T));
             return value;
         }
         T value;
@@ -71,10 +73,11 @@ class GuestMemory
     {
         GuestAddr canon = layout::canonical(addr);
         uint64_t off = canon & (pageSize - 1);
-        if ((canon >> pageShift) == utlbPage_ &&
-            off + sizeof(T) <= pageSize) {
+        uint64_t page = canon >> pageShift;
+        const UtlbEntry &e = utlb_[page & (utlbEntries - 1)];
+        if (e.page == page && off + sizeof(T) <= pageSize) {
             ++utlbHits_;
-            std::memcpy(utlbData_ + off, &value, sizeof(T));
+            std::memcpy(e.data + off, &value, sizeof(T));
             return;
         }
         write(canon, &value, sizeof(T));
@@ -86,11 +89,33 @@ class GuestMemory
     /** memcpy within guest memory. Ranges must not overlap. */
     void copy(GuestAddr dst, GuestAddr src, uint64_t len);
 
-    /** Number of distinct pages ever touched. */
-    uint64_t pagesTouched() const { return pages_.size(); }
+    /**
+     * Release the pages fully covered by [addr, addr + len) back to
+     * the host, as munmap would. Subsequent touches re-materialize
+     * them zero-filled. Invalidates the micro-TLB: the cached data
+     * pointer may refer to a page being released, and a later
+     * re-materialization of the same guest page lands at a different
+     * host address — serving a stale hit there would read freed host
+     * memory, not the (zeroed) guest page.
+     */
+    void unmap(GuestAddr addr, uint64_t len);
 
-    /** Bytes of guest memory ever touched (resident-set model). */
-    uint64_t residentBytes() const { return pages_.size() * pageSize; }
+    /** Currently mapped pages. */
+    uint64_t pagesMapped() const { return pages_.size(); }
+
+    /** High-water mark of simultaneously mapped pages. */
+    uint64_t
+    pagesTouched() const
+    {
+        return std::max<uint64_t>(pagesPeak_, pages_.size());
+    }
+
+    /**
+     * Peak bytes of guest memory simultaneously mapped — the
+     * "maximum resident size" model Figure 12 reads. Unaffected by
+     * unmap(), exactly as an RSS high-water mark would be.
+     */
+    uint64_t residentBytes() const { return pagesTouched() * pageSize; }
 
     StatGroup &stats() { return stats_; }
 
@@ -100,19 +125,28 @@ class GuestMemory
     std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
 
     /**
-     * One-entry page-translation cache ("micro-TLB"): the page the
-     * last access touched. Sequential loads/stores — the overwhelmingly
-     * common pattern in the workloads — skip the unordered_map lookup
-     * entirely. Page storage is heap-allocated and never freed for the
-     * lifetime of the GuestMemory, so the cached data pointer stays
-     * valid across rehashes. Purely a host-side speedup: no simulated
-     * stat or timing changes (the simulated TLB/cache model is the
-     * Cache class, not this).
+     * Direct-mapped page-translation cache ("micro-TLB"), indexed by
+     * the low page-number bits. Loads/stores that hit skip the
+     * unordered_map lookup entirely; multiple entries keep alternating
+     * access streams (object data on one page, allocator or IFP
+     * metadata on another) from thrashing the way a single entry did.
+     * Page storage is heap-allocated and only freed by unmap() — which
+     * invalidates the whole uTLB — so cached data pointers stay valid
+     * across rehashes. Purely a host-side speedup: no simulated stat
+     * or timing changes (the simulated TLB/cache model is the Cache
+     * class, not this).
      */
-    uint64_t utlbPage_ = ~0ULL;
-    uint8_t *utlbData_ = nullptr;
+    static constexpr unsigned utlbEntries = 64; // power of two
+    struct UtlbEntry
+    {
+        uint64_t page = ~0ULL;
+        uint8_t *data = nullptr;
+    };
+    UtlbEntry utlb_[utlbEntries];
     uint64_t utlbHits_ = 0;
     uint64_t utlbMisses_ = 0;
+    /** High-water mark of pages_.size(), maintained across unmap(). */
+    uint64_t pagesPeak_ = 0;
 
     StatGroup stats_;
 };

@@ -170,6 +170,13 @@ class Tracer
     {
         return sink_ != nullptr && (mask_ & traceBit(c)) != 0;
     }
+
+    /**
+     * Whether any sink is attached at all (regardless of category
+     * mask). The interpreter's superblock engine skips every trace
+     * site, so it only engages while this is false.
+     */
+    bool active() const { return sink_ != nullptr; }
     uint64_t now() const { return clock_ ? *clock_ : 0; }
 
     /** Emit an instant event at the current clock. */

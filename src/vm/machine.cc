@@ -77,7 +77,8 @@ Machine::Machine(Module &module, const LayoutRegistry *layouts,
       cImplicitChecks_(stats_.counter("implicit_checks")),
       cIfpArith_(stats_.counter("ifp_arith")),
       cBndLdSt_(stats_.counter("bnd_ldst")),
-      cPromoteInstrs_(stats_.counter("promote_instrs"))
+      cPromoteInstrs_(stats_.counter("promote_instrs")),
+      sbStats_("vm.superblock"), sbCounters_(sbStats_)
 {
     stats_.formula("cpi", [this] {
         return instrs_ == 0 ? 0.0
@@ -106,6 +107,7 @@ Machine::Machine(Module &module, const LayoutRegistry *layouts,
     registry_.add(&l2_.stats());
     registry_.add(&runtime_->stats());
     registry_.add(&mem_.stats());
+    registry_.add(&sbStats_);
     runtime_->init(layouts);
     placeGlobals();
     legacyArena_ = layout::globalBase + 0x0800'0000ULL;
@@ -353,8 +355,7 @@ Machine::checkAccess(const Frame &frame, const Operand &addr_op,
                              {"write", uint64_t{write}}});
         }
         throw GuestTrap(TrapKind::PoisonedAccess,
-                        strfmt("%s at %s", write ? "store" : "load",
-                               ptr.toString().c_str()));
+                        poisonedAccessDetail(ptr, write));
     }
     GuestAddr addr = ptr.addr();
     if (addr < GuestMemory::pageSize) {
@@ -364,8 +365,7 @@ Machine::checkAccess(const Frame &frame, const Operand &addr_op,
                              {"write", uint64_t{write}}});
         }
         throw GuestTrap(TrapKind::NullDereference,
-                        strfmt("address %#llx",
-                               static_cast<unsigned long long>(addr)));
+                        nullDerefDetail(addr));
     }
     if (addr_op.isReg() && config_.implicitChecks) {
         // Implicit bounds check at dereference (paper §4.1.1).
@@ -384,11 +384,7 @@ Machine::checkAccess(const Frame &frame, const Operand &addr_op,
             if (!ok) {
                 throw GuestTrap(
                     TrapKind::BoundsViolation,
-                    strfmt("%s of %llu bytes at %#llx outside %s",
-                           write ? "store" : "load",
-                           static_cast<unsigned long long>(size),
-                           static_cast<unsigned long long>(addr),
-                           bounds.toString().c_str()));
+                    boundsViolationDetail(addr, size, bounds, write));
             }
         }
     }
@@ -447,109 +443,24 @@ Machine::callFunction(const Function *func,
     return ret;
 }
 
-namespace {
-
-/** Sign-extension width for a fast-path integer result; 0 = none. */
-uint8_t
-fastSextBits(const Type *type)
+const sb::FunctionCode &
+Machine::sbCode(const ir::Function *func)
 {
-    if (type && type->isInt()) {
-        unsigned bits = static_cast<const IntType *>(type)->bits();
-        if (bits < 64)
-            return static_cast<uint8_t>(bits);
-    }
-    return 0;
-}
-
-/** Width class of a memory access: the general path's 1/2/4/8 switch. */
-uint8_t
-fastLdClass(uint64_t size)
-{
-    return (size == 1 || size == 2 || size == 4)
-               ? static_cast<uint8_t>(size)
-               : 8;
-}
-
-} // namespace
-
-const Machine::FastFunction &
-Machine::fastCode(const ir::Function *func)
-{
-    if (fastCode_.size() <= func->id())
-        fastCode_.resize(module_.numFunctions());
-    std::unique_ptr<FastFunction> &slot = fastCode_[func->id()];
-    if (slot)
-        return *slot;
-
-    slot = std::make_unique<FastFunction>();
-    slot->blocks.resize(func->numBlocks());
-    for (BlockId b = 0; b < func->numBlocks(); ++b) {
-        const std::vector<Instr> &instrs = func->block(b).instrs;
-        std::vector<FastInstr> &fast = slot->blocks[b];
-        fast.resize(instrs.size());
-        for (size_t i = 0; i < instrs.size(); ++i) {
-            const Instr &instr = instrs[i];
-            FastInstr &fi = fast[i];
-            fi.dst = instr.dst;
-            auto is_imm = [](const Operand &op) {
-                return op.kind == Operand::Kind::ImmInt ||
-                       op.kind == Operand::Kind::ImmF64;
-            };
-            switch (instr.op) {
-              case Opcode::Mov:
-                if (instr.a.isReg()) {
-                    fi.op = FastOp::MovRR;
-                    fi.a = static_cast<uint32_t>(instr.a.payload);
-                } else if (is_imm(instr.a)) {
-                    fi.op = FastOp::MovImm;
-                    fi.imm = instr.a.payload;
-                }
-                break;
-              case Opcode::Add:
-                fi.sextBits = fastSextBits(instr.type);
-                if (instr.a.isReg() && instr.b.isReg()) {
-                    fi.op = FastOp::AddRR;
-                    fi.a = static_cast<uint32_t>(instr.a.payload);
-                    fi.b = static_cast<uint32_t>(instr.b.payload);
-                } else if (instr.a.isReg() && is_imm(instr.b)) {
-                    fi.op = FastOp::AddRI;
-                    fi.a = static_cast<uint32_t>(instr.a.payload);
-                    fi.imm = instr.b.payload;
-                } else if (is_imm(instr.a) && instr.b.isReg()) {
-                    // Addition commutes; canonicalize to reg + imm.
-                    fi.op = FastOp::AddRI;
-                    fi.a = static_cast<uint32_t>(instr.b.payload);
-                    fi.imm = instr.a.payload;
-                }
-                break;
-              case Opcode::Load:
-                if (instr.a.isReg()) {
-                    fi.op = FastOp::LoadR;
-                    fi.a = static_cast<uint32_t>(instr.a.payload);
-                    fi.accessSize = instr.type->size();
-                    fi.ldClass = fastLdClass(fi.accessSize);
-                    fi.sextBits = fastSextBits(instr.type);
-                }
-                break;
-              case Opcode::Store:
-                if (instr.b.isReg()) {
-                    fi.b = static_cast<uint32_t>(instr.b.payload);
-                    fi.accessSize = instr.type->size();
-                    fi.ldClass = fastLdClass(fi.accessSize);
-                    if (instr.a.isReg()) {
-                        fi.op = FastOp::StoreRR;
-                        fi.a =
-                            static_cast<uint32_t>(instr.a.payload);
-                    } else if (is_imm(instr.a)) {
-                        fi.op = FastOp::StoreIR;
-                        fi.imm = instr.a.payload;
-                    }
-                }
-                break;
-              default:
-                break;
-            }
-        }
+    if (sbCode_.size() <= func->id())
+        sbCode_.resize(module_.numFunctions());
+    std::unique_ptr<sb::FunctionCode> &slot = sbCode_[func->id()];
+    if (!slot) {
+        sb::PredecodeOptions opts;
+        opts.fuse = config_.superblockFusion;
+        opts.checkElim = config_.superblockCheckElim;
+        opts.implicitChecks = config_.implicitChecks;
+        opts.superscalar = config_.superscalar;
+        opts.instrumented = config_.instrumented;
+        opts.nullGuard = GuestMemory::pageSize;
+        opts.globalPtrRaw = &globalPtrRaw_;
+        opts.module = &module_;
+        slot = std::make_unique<sb::FunctionCode>(
+            sb::predecode(*func, opts, sbCounters_));
     }
     return *slot;
 }
@@ -575,22 +486,28 @@ Machine::execFunction(const Function *func, Frame &frame,
         cBndLdSt_ += saved_bounds;
     }
 
-    BlockId cur = 0;
-    size_t ip = 0;
+    // Engine selection, once per activation — a sink cannot appear
+    // mid-run. The superblock engine skips every trace site and has no
+    // oracle hooks, so any attached sink or oracle routes the whole
+    // activation through the general path.
+    if (config_.superblocks && !tracer_.active() && oracle_ == nullptr)
+        return execSuperblock(func, frame, ret_bounds, depth,
+                              saved_bounds);
+    return execGeneral(func, frame, ret_bounds, depth, 0, 0,
+                       saved_bounds);
+}
+
+uint64_t
+Machine::execGeneral(const Function *func, Frame &frame,
+                     Bounds *ret_bounds, unsigned depth,
+                     BlockId start_block, size_t start_ip,
+                     unsigned saved_bounds)
+{
+    BlockId cur = start_block;
+    size_t ip = start_ip;
     auto &regs = frame.regs;
     auto &bounds = frame.bounds;
 
-    // Hot-path hoisting: the per-block instruction arrays are cached in
-    // locals (refreshed only when control transfers), and the exec-trace
-    // check runs once per activation — a sink cannot appear mid-run —
-    // instead of once per instruction. When exec tracing is off, the
-    // predecoded table dispatches the common opcodes without touching
-    // the operand-kind or cycle-class switches.
-    const FastFunction &fast = fastCode(func);
-    // The oracle needs the general path's provenance hooks on every
-    // instruction, so its presence disables the predecoded dispatch.
-    const bool fast_ok =
-        !tracer_.enabled(TraceCategory::Exec) && oracle_ == nullptr;
     // Per-register provenance for this frame, mirroring the bounds
     // registers case by case (null when no oracle is attached). The
     // pointer stays valid across nested calls: frames_ reallocation
@@ -598,101 +515,9 @@ Machine::execFunction(const Function *func, Frame &frame,
     oracle::Prov *prov =
         oracle_ ? oracle_->frameRegs(depth) : nullptr;
     const Instr *code = func->block(cur).instrs.data();
-    const FastInstr *fcode = fast.blocks[cur].data();
 
     while (true) {
         const Instr &instr = code[ip];
-        if (fast_ok) {
-            const FastInstr &fi = fcode[ip];
-            if (fi.op != FastOp::General) {
-                ++ip;
-                ++instrs_;
-                ++cycles_;
-                if (instrs_ > config_.maxInstructions)
-                    throw GuestTrap(
-                        TrapKind::InstructionLimit,
-                        "dynamic instruction budget exceeded");
-                switch (fi.op) {
-                  case FastOp::MovRR:
-                    chargeClass(CycleClass::Base, 1);
-                    regs[fi.dst] = regs[fi.a];
-                    bounds[fi.dst] = bounds[fi.a];
-                    continue;
-                  case FastOp::MovImm:
-                    chargeClass(CycleClass::Base, 1);
-                    regs[fi.dst] = fi.imm;
-                    bounds[fi.dst] = Bounds::cleared();
-                    continue;
-                  case FastOp::AddRR:
-                  case FastOp::AddRI: {
-                    chargeClass(CycleClass::Base, 1);
-                    uint64_t sum =
-                        regs[fi.a] + (fi.op == FastOp::AddRR
-                                          ? regs[fi.b]
-                                          : fi.imm);
-                    if (fi.sextBits)
-                        sum = static_cast<uint64_t>(
-                            sext(sum, fi.sextBits));
-                    regs[fi.dst] = sum;
-                    bounds[fi.dst] = Bounds::cleared();
-                    continue;
-                  }
-                  case FastOp::LoadR: {
-                    chargeClass(CycleClass::Mem, 1);
-                    uint64_t raw = regs[fi.a];
-                    checkAccess(frame, instr.a, raw, fi.accessSize,
-                                false);
-                    GuestAddr addr = layout::canonical(raw);
-                    uint64_t value;
-                    switch (fi.ldClass) {
-                      case 1: value = mem_.load<uint8_t>(addr); break;
-                      case 2: value = mem_.load<uint16_t>(addr); break;
-                      case 4: value = mem_.load<uint32_t>(addr); break;
-                      default: value = mem_.load<uint64_t>(addr); break;
-                    }
-                    if (fi.sextBits)
-                        value = static_cast<uint64_t>(
-                            sext(value, fi.sextBits));
-                    regs[fi.dst] = value;
-                    bounds[fi.dst] = Bounds::cleared();
-                    cLoads_++;
-                    continue;
-                  }
-                  case FastOp::StoreRR:
-                  case FastOp::StoreIR: {
-                    chargeClass(CycleClass::Mem, 1);
-                    uint64_t value = fi.op == FastOp::StoreRR
-                                         ? regs[fi.a]
-                                         : fi.imm;
-                    uint64_t raw = regs[fi.b];
-                    checkAccess(frame, instr.b, raw, fi.accessSize,
-                                true);
-                    GuestAddr addr = layout::canonical(raw);
-                    switch (fi.ldClass) {
-                      case 1:
-                        mem_.store<uint8_t>(
-                            addr, static_cast<uint8_t>(value));
-                        break;
-                      case 2:
-                        mem_.store<uint16_t>(
-                            addr, static_cast<uint16_t>(value));
-                        break;
-                      case 4:
-                        mem_.store<uint32_t>(
-                            addr, static_cast<uint32_t>(value));
-                        break;
-                      default:
-                        mem_.store<uint64_t>(addr, value);
-                        break;
-                    }
-                    cStores_++;
-                    continue;
-                  }
-                  case FastOp::General:
-                    break; // unreachable; guarded above
-                }
-            }
-        }
         ++ip;
         countInstr(instr.op);
         if (tracer_.enabled(TraceCategory::Exec)) {
@@ -1020,14 +845,12 @@ Machine::execFunction(const Function *func, Frame &frame,
             cur = instr.target0;
             ip = 0;
             code = func->block(cur).instrs.data();
-            fcode = fast.blocks[cur].data();
             break;
           case Opcode::Br:
             cur = evalOperand(frame, instr.a) != 0 ? instr.target0
                                                    : instr.target1;
             ip = 0;
             code = func->block(cur).instrs.data();
-            fcode = fast.blocks[cur].data();
             break;
           case Opcode::Call:
           case Opcode::CallPtr: {
@@ -1043,9 +866,11 @@ Machine::execFunction(const Function *func, Frame &frame,
                                                fid)));
                 callee = module_.function(static_cast<FuncId>(fid));
             }
-            std::vector<uint64_t> call_args;
-            std::vector<Bounds> call_bounds;
-            call_args.reserve(instr.args.size());
+            ArgScratch &scratch = argScratch(depth);
+            std::vector<uint64_t> &call_args = scratch.args;
+            std::vector<Bounds> &call_bounds = scratch.bounds;
+            call_args.clear();
+            call_bounds.clear();
             bool pass_bounds = config_.instrumented &&
                                callee->isInstrumented() &&
                                func->isInstrumented();

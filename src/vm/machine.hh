@@ -37,6 +37,7 @@
 #include "runtime/runtime.hh"
 #include "support/stats.hh"
 #include "support/trace.hh"
+#include "vm/superblock.hh"
 #include "vm/trap.hh"
 
 namespace infat {
@@ -73,6 +74,19 @@ struct VmConfig
     bool useL2 = false;
     CacheConfig l2 = {256 * 1024, 8, 64, 8, 60};
     uint64_t stackBytes = 16ULL << 20;
+    /**
+     * Superblock interpreter engine (vm/superblock.hh): predecoded
+     * per-block records, fused instruction pairs, batched charging,
+     * redundant-check elimination. Host-side only — simulated
+     * instructions, cycles, checksums, traps, and stats are
+     * bit-identical to the general path. Automatically bypassed while
+     * a trace sink or the differential oracle is attached.
+     */
+    bool superblocks = true;
+    /** Fused records (cmp+br, gep/ifpadd/ifpchk + load/store, ...). */
+    bool superblockFusion = true;
+    /** In-block redundant-check elimination. */
+    bool superblockCheckElim = true;
     /** Runaway guard. */
     uint64_t maxInstructions = 20'000'000'000ULL;
     /**
@@ -200,46 +214,10 @@ class Machine
     };
 
     /**
-     * Predecoded form of the hot opcodes (Mov/Add/Load/Store with
-     * register/immediate operands). The interpreter consults this
-     * table first when exec tracing is off: a fast case dispatches on
-     * one byte and reads pre-resolved register indices/immediates,
-     * skipping the operand-kind switches, the cycle-class lookup, and
-     * the tracer checks of the general path. `General` falls back to
-     * the full switch. Simulated instruction/cycle/stat accounting is
-     * identical on both paths.
+     * Lazily predecode @p func into superblock records (cached by
+     * function id; vm/superblock.hh).
      */
-    enum class FastOp : uint8_t
-    {
-        General,
-        MovRR,   ///< dst = reg a (bounds propagate)
-        MovImm,  ///< dst = imm (bounds cleared)
-        AddRR,   ///< dst = reg a + reg b
-        AddRI,   ///< dst = reg a + imm
-        LoadR,   ///< dst = *(reg a)
-        StoreRR, ///< *(reg b) = reg a
-        StoreIR, ///< *(reg b) = imm
-    };
-
-    struct FastInstr
-    {
-        FastOp op = FastOp::General;
-        uint8_t sextBits = 0; ///< sign-extend result from this width
-        uint8_t ldClass = 8;  ///< load/store width class (1/2/4/8)
-        ir::Reg dst = 0;
-        uint32_t a = 0;       ///< first source register
-        uint32_t b = 0;       ///< second source register (or addr reg)
-        uint64_t imm = 0;     ///< immediate operand value
-        uint64_t accessSize = 0; ///< bytes checked on a load/store
-    };
-
-    /** Per-function predecode, parallel to the function's blocks. */
-    struct FastFunction
-    {
-        std::vector<std::vector<FastInstr>> blocks;
-    };
-
-    const FastFunction &fastCode(const ir::Function *func);
+    const sb::FunctionCode &sbCode(const ir::Function *func);
 
     void placeGlobals();
     void registerGlobals();
@@ -248,8 +226,22 @@ class Machine
                           const std::vector<uint64_t> &args,
                           const std::vector<Bounds> &arg_bounds,
                           Bounds *ret_bounds, unsigned depth);
+    /** Engine selection: prologue charges, then superblock or general. */
     uint64_t execFunction(const ir::Function *func, Frame &frame,
                           Bounds *ret_bounds, unsigned depth);
+    /**
+     * The reference interpreter: the full per-instruction switch,
+     * resumable from any (block, ip) boundary so the superblock engine
+     * can bail out to it mid-block with exact semantics.
+     */
+    uint64_t execGeneral(const ir::Function *func, Frame &frame,
+                         Bounds *ret_bounds, unsigned depth,
+                         ir::BlockId start_block, size_t start_ip,
+                         unsigned saved_bounds);
+    /** The superblock engine (vm/superblock.cc). */
+    uint64_t execSuperblock(const ir::Function *func, Frame &frame,
+                            Bounds *ret_bounds, unsigned depth,
+                            unsigned saved_bounds);
 
     uint64_t evalOperand(const Frame &frame, const ir::Operand &operand);
     const Bounds &operandBounds(const Frame &frame,
@@ -295,8 +287,31 @@ class Machine
      */
     std::vector<std::unique_ptr<Frame>> framePool_;
 
-    /** Predecoded fast-path code, indexed by function id. */
-    std::vector<std::unique_ptr<FastFunction>> fastCode_;
+    /**
+     * Depth-indexed scratch for call-argument marshalling, pooled for
+     * the same reason as framePool_: a call site at depth d fills slot
+     * d, the callee's own call sites use slot d+1, and the next call
+     * at depth d only starts after this one returned — so the vectors
+     * keep their capacity instead of being allocated per call.
+     */
+    struct ArgScratch
+    {
+        std::vector<uint64_t> args;
+        std::vector<Bounds> bounds;
+    };
+    ArgScratch &
+    argScratch(unsigned depth)
+    {
+        if (argScratchPool_.size() <= depth)
+            argScratchPool_.resize(depth + 1);
+        if (!argScratchPool_[depth])
+            argScratchPool_[depth] = std::make_unique<ArgScratch>();
+        return *argScratchPool_[depth];
+    }
+    std::vector<std::unique_ptr<ArgScratch>> argScratchPool_;
+
+    /** Predecoded superblock code, indexed by function id. */
+    std::vector<std::unique_ptr<sb::FunctionCode>> sbCode_;
 
     GuestAddr sp_ = 0;
     GuestAddr legacyArena_ = 0;
@@ -318,6 +333,14 @@ class Machine
     Counter &cIfpArith_;
     Counter &cBndLdSt_;
     Counter &cPromoteInstrs_;
+    /**
+     * Host-engine stats ("vm.superblock" group): predecode shape,
+     * fusion counts, check-elimination rate. Describes how the host
+     * executed the simulation, never what was simulated — excluded
+     * from engine-differential stat comparisons.
+     */
+    StatGroup sbStats_;
+    sb::Stats sbCounters_;
     StatRegistry registry_;
 };
 

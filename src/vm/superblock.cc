@@ -1,0 +1,1705 @@
+/**
+ * @file
+ * Superblock predecoder and execution engine (see superblock.hh).
+ *
+ * Layout of this file:
+ *  - sb::predecode(): instruction -> record translation, pair fusion,
+ *    batched-charge (pre*) accumulation, the backward `rest` pass, and
+ *    the in-block redundant-check analysis;
+ *  - Machine::execSuperblock(): the record dispatch loop.
+ *
+ * Invariant both halves are built around: at every point where the
+ * simulation can throw a GuestTrap or touch the timing model (cache,
+ * promote engine, runtime), instrs_ / cycles_ / class attribution /
+ * stat counters equal the general interpreter's at the same point.
+ */
+
+#include "vm/machine.hh"
+
+#include <bit>
+
+#include "ifp/ops.hh"
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace infat {
+namespace sb {
+
+using namespace ir;
+
+namespace {
+
+/** Sign-extension width for an integer result; 0 = none. */
+uint8_t
+sextBitsOf(const Type *type)
+{
+    if (type && type->isInt()) {
+        unsigned bits = static_cast<const IntType *>(type)->bits();
+        if (bits < 64)
+            return static_cast<uint8_t>(bits);
+    }
+    return 0;
+}
+
+/** Memory access width class: the general path's 1/2/4/8 switch. */
+uint8_t
+ldClassOf(uint64_t size)
+{
+    return (size == 1 || size == 2 || size == 4)
+               ? static_cast<uint8_t>(size)
+               : 8;
+}
+
+/** Fold a non-register operand to its constant value. Globals resolve
+ *  through the machine's registered (tagged) pointer table, which is
+ *  final before the first predecode. */
+uint64_t
+foldOperand(const Operand &op, const PredecodeOptions &opts)
+{
+    if (op.kind == Operand::Kind::Global)
+        return (*opts.globalPtrRaw)[op.payload];
+    return op.payload; // ImmInt / ImmF64 / FuncAddr (and None as 0)
+}
+
+/** Batched charges of a run of pure records. */
+struct Pend
+{
+    uint32_t instr = 0;
+    uint32_t cycles = 0;
+    uint32_t base = 0;
+    uint32_t ifp = 0;
+    uint32_t ifpCnt = 0;
+
+    void
+    add(uint32_t n_instr, uint32_t n_cycles, uint32_t n_base,
+        uint32_t n_ifp, uint32_t n_ifp_cnt)
+    {
+        instr += n_instr;
+        cycles += n_cycles;
+        base += n_base;
+        ifp += n_ifp;
+        ifpCnt += n_ifp_cnt;
+    }
+};
+
+/** Static instruction charge a sync record applies for itself (its
+ *  preceding pure run is carried separately in preInstr). */
+uint32_t
+ownStaticInstr(const Record &r)
+{
+    switch (r.op) {
+      case Op::FusedGepLoad:
+      case Op::FusedGepStore:
+        return r.sub + 1u;
+      case Op::FusedIfpAddLoad:
+      case Op::FusedIfpAddStore:
+      case Op::FusedChkLoad:
+      case Op::FusedChkStore:
+      case Op::FusedCmpBr:
+        return 2;
+      case Op::Load:
+      case Op::Store:
+      case Op::Div:
+      case Op::Alloca:
+      case Op::Call:
+      case Op::CallPtr:
+      case Op::MallocTyped:
+      case Op::FreePtr:
+      case Op::Promote:
+      case Op::RegisterObj:
+      case Op::DeregisterObj:
+      case Op::IfpMallocTyped:
+      case Op::IfpFree:
+      case Op::Jmp:
+      case Op::Br:
+      case Op::Ret:
+      case Op::Trap:
+        return 1;
+      default:
+        return 0; // pure: charged via a later record's pre fields
+    }
+}
+
+bool
+isPure(Op op)
+{
+    return ownStaticInstr(Record{.op = op, .sub = 0}) == 0;
+}
+
+// ---------------------------------------------------------------------
+// Redundant-check analysis
+// ---------------------------------------------------------------------
+
+/**
+ * A cached check fact: "a full dereference check over this address
+ * expression, with this access size, passed earlier in the block, and
+ * no register the expression (or its bounds) depends on has been
+ * written since". The verdict of a later check with the same key and a
+ * size it covers is therefore Ok, and its implicit-check counting
+ * condition evaluates identically — so the host may skip the predicate
+ * evaluation entirely. Cache timing and the data access itself are
+ * never skipped.
+ */
+struct CkEntry
+{
+    enum Kind : uint8_t
+    {
+        Direct,  ///< address = regs[r0]
+        GepImm,  ///< address = regs[r0] + k0
+        GepReg,  ///< address = regs[r0] + regs[r1] * k0
+        IfpImm,  ///< address = ifpadd(regs[r0], (int64_t)k0)
+        IfpReg,  ///< address = ifpadd(regs[r0], regs[r1])
+    };
+    Kind kind = Direct;
+    uint32_t r0 = 0;
+    uint32_t r1 = 0;
+    uint64_t k0 = 0;
+    uint64_t size = 0;
+
+    bool
+    sameKey(const CkEntry &o) const
+    {
+        return kind == o.kind && r0 == o.r0 && r1 == o.r1 && k0 == o.k0;
+    }
+
+    bool
+    uses(uint32_t reg) const
+    {
+        if (r0 == reg)
+            return true;
+        return (kind == GepReg || kind == IfpReg) && r1 == reg;
+    }
+};
+
+class CkTable
+{
+  public:
+    void
+    kill(uint32_t reg)
+    {
+        for (size_t i = 0; i < entries_.size();) {
+            if (entries_[i].uses(reg)) {
+                entries_[i] = entries_.back();
+                entries_.pop_back();
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    /** Whether an existing fact subsumes a check of @p size. */
+    bool
+    covers(const CkEntry &key, uint64_t size) const
+    {
+        for (const CkEntry &e : entries_) {
+            if (e.sameKey(key))
+                return e.size >= size;
+        }
+        return false;
+    }
+
+    /**
+     * Record that a full check with @p size passed (or would pass) at
+     * this point. A narrower existing fact widens: both checks hold,
+     * so the wider one subsumes.
+     */
+    void
+    insert(const CkEntry &key, uint64_t size)
+    {
+        for (CkEntry &e : entries_) {
+            if (e.sameKey(key)) {
+                e.size = std::max(e.size, size);
+                return;
+            }
+        }
+        if (entries_.size() < kMaxEntries)
+            entries_.push_back(CkEntry{key.kind, key.r0, key.r1, key.k0,
+                                       size});
+    }
+
+  private:
+    static constexpr size_t kMaxEntries = 16;
+    std::vector<CkEntry> entries_;
+};
+
+/** Registers a record writes (register file and/or bounds file). */
+void
+recordWrites(const Record &r, uint32_t out[2], int &n)
+{
+    n = 0;
+    switch (r.op) {
+      case Op::Store:
+      case Op::FreePtr:
+      case Op::DeregisterObj:
+      case Op::IfpFree:
+      case Op::Jmp:
+      case Op::Br:
+      case Op::Ret:
+      case Op::Trap:
+        return;
+      case Op::FusedGepStore:
+      case Op::FusedIfpAddStore:
+      case Op::FusedChkStore:
+        out[n++] = r.b; // intermediate address register
+        return;
+      case Op::FusedGepLoad:
+      case Op::FusedIfpAddLoad:
+      case Op::FusedChkLoad:
+        out[n++] = r.b;
+        out[n++] = r.dst;
+        return;
+      case Op::Call:
+      case Op::CallPtr:
+        if (r.dst != noReg)
+            out[n++] = r.dst;
+        return;
+      default:
+        out[n++] = r.dst;
+        return;
+    }
+}
+
+/**
+ * Run the redundant-check analysis over one block's records, setting
+ * kElide on checks an earlier same-block check subsumes.
+ *
+ * Per-record order is load-bearing: (1) look up the record's key
+ * against the PRE-state (the table describes register values before
+ * this record executes); (2) kill every register the record writes;
+ * (3) re-insert facts the record itself establishes, guarded so that a
+ * fact is never keyed on a register the record overwrote (e.g.
+ * `b = gep b, 8; load [b]` must not leave a fact keyed on the old b).
+ *
+ * Facts derived from fused ifpchk records are deliberately never
+ * created or consumed: ifpchk writes the address register without its
+ * paired bounds register, so the bounds the subsequent dereference
+ * check sees are not a function of the record's key.
+ */
+void
+analyzeBlock(std::vector<Record> &records, const PredecodeOptions &opts,
+             Stats &stats)
+{
+    CkTable table;
+    uint32_t writes[2];
+    int nwrites = 0;
+    for (Record &r : records) {
+        recordWrites(r, writes, nwrites);
+        auto written = [&](uint32_t reg) {
+            for (int i = 0; i < nwrites; ++i) {
+                if (writes[i] == reg)
+                    return true;
+            }
+            return false;
+        };
+        auto killWrites = [&] {
+            for (int i = 0; i < nwrites; ++i)
+                table.kill(writes[i]);
+        };
+
+        switch (r.op) {
+          case Op::Load:
+          case Op::Store: {
+            bool addr_reg = r.op == Op::Load ? (r.flags & kAReg) != 0
+                                             : (r.flags & kBReg) != 0;
+            uint32_t reg = r.op == Op::Load ? r.a : r.b;
+            if (addr_reg) {
+                CkEntry key{CkEntry::Direct, reg, 0, 0, 0};
+                if (table.covers(key, r.size)) {
+                    r.flags |= kElide;
+                    stats.elideSites++;
+                }
+                killWrites();
+                if (!written(reg))
+                    table.insert(key, r.size);
+            } else {
+                // Constant address: the verdict is decidable now. No
+                // bounds register is consulted (kCheckBounds is only
+                // set for register addresses), so Ok means the whole
+                // predicate evaluation can be skipped.
+                uint64_t raw = r.op == Op::Load ? r.immA : r.immB;
+                if (ops::checkAccessVerdict(TaggedPtr(raw), nullptr,
+                                            r.size, opts.nullGuard) ==
+                    ops::CheckVerdict::Ok) {
+                    r.flags |= kElide;
+                    stats.elideConstSites++;
+                }
+                killWrites();
+            }
+            break;
+          }
+          case Op::FusedGepLoad:
+          case Op::FusedGepStore: {
+            if (r.flags & kAReg) {
+                CkEntry key = (r.flags & kCReg)
+                                  ? CkEntry{CkEntry::GepReg, r.a, r.c,
+                                            r.immB, 0}
+                                  : CkEntry{CkEntry::GepImm, r.a, 0,
+                                            r.immB, 0};
+                if (table.covers(key, r.size)) {
+                    r.flags |= kElide;
+                    stats.elideSites++;
+                }
+                killWrites();
+                bool key_stable = !written(r.a) &&
+                                  (!(r.flags & kCReg) || !written(r.c));
+                if (key_stable)
+                    table.insert(key, r.size);
+            } else {
+                if (!(r.flags & kCReg)) {
+                    // Constant base and offset: the intermediate
+                    // register is freshly written with cleared bounds,
+                    // so the bounds predicate statically cannot fire
+                    // and the poison/null verdict is a constant.
+                    uint64_t raw = r.immA + r.immB;
+                    if (ops::checkAccessVerdict(TaggedPtr(raw), nullptr,
+                                                r.size,
+                                                opts.nullGuard) ==
+                        ops::CheckVerdict::Ok) {
+                        r.flags |= kElide;
+                        stats.elideConstSites++;
+                    }
+                }
+                killWrites();
+            }
+            // The intermediate register now holds the checked address
+            // with the checked bounds — unless the load overwrote it.
+            if (r.op == Op::FusedGepStore || r.dst != r.b)
+                table.insert(CkEntry{CkEntry::Direct, r.b, 0, 0, 0},
+                             r.size);
+            break;
+          }
+          case Op::FusedIfpAddLoad:
+          case Op::FusedIfpAddStore: {
+            CkEntry key = (r.flags & kCReg)
+                              ? CkEntry{CkEntry::IfpReg, r.a, r.c, 0, 0}
+                              : CkEntry{CkEntry::IfpImm, r.a, 0, r.immB,
+                                        0};
+            if (table.covers(key, r.size)) {
+                r.flags |= kElide;
+                stats.elideSites++;
+            }
+            killWrites();
+            bool key_stable = !written(r.a) &&
+                              (!(r.flags & kCReg) || !written(r.c));
+            if (key_stable)
+                table.insert(key, r.size);
+            if (r.op == Op::FusedIfpAddStore || r.dst != r.b)
+                table.insert(CkEntry{CkEntry::Direct, r.b, 0, 0, 0},
+                             r.size);
+            break;
+          }
+          default:
+            killWrites();
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Predecoder
+// ---------------------------------------------------------------------
+
+class BlockBuilder
+{
+  public:
+    BlockBuilder(const Function &func, const PredecodeOptions &opts,
+                 Stats &stats)
+        : func_(func), opts_(opts), stats_(stats)
+    {
+    }
+
+    Block
+    build(BlockId bid)
+    {
+        const std::vector<Instr> &instrs = func_.block(bid).instrs;
+        Block blk;
+        pend_ = Pend{};
+        size_t i = 0;
+        while (i < instrs.size()) {
+            size_t consumed = 1;
+            Record r = decodeOne(instrs, i, consumed);
+            r.nextIp = static_cast<uint32_t>(i + consumed);
+            if (isPure(r.op)) {
+                addPurePend(r);
+            } else {
+                r.preInstr = pend_.instr;
+                r.preCycles = pend_.cycles;
+                r.preBase = pend_.base;
+                r.preIfp = pend_.ifp;
+                r.preIfpCnt = pend_.ifpCnt;
+                pend_ = Pend{};
+            }
+            blk.records.push_back(r);
+            i += consumed;
+        }
+
+        if (opts_.checkElim)
+            analyzeBlock(blk.records, opts_, stats_);
+
+        // Backward pass: static charges remaining after each record,
+        // and the block's total static charge (the block-entry
+        // instruction-budget guard).
+        uint64_t rest = 0;
+        for (size_t j = blk.records.size(); j-- > 0;) {
+            Record &r = blk.records[j];
+            r.rest = static_cast<uint32_t>(rest);
+            rest += r.preInstr + ownStaticInstr(r);
+        }
+        blk.totalInstr = rest;
+
+        stats_.blocks++;
+        stats_.records += blk.records.size();
+        return blk;
+    }
+
+  private:
+    /** Operand helper: set reg flag + index, or fold to an immediate. */
+    void
+    setOperand(Record &r, const Operand &op, uint8_t reg_flag,
+               uint32_t Record::*reg_field, uint64_t Record::*imm_field)
+    {
+        if (op.isReg()) {
+            r.flags |= reg_flag;
+            r.*reg_field = static_cast<uint32_t>(op.payload);
+        } else {
+            r.*imm_field = foldOperand(op, opts_);
+        }
+    }
+
+    void
+    addPurePend(const Record &r)
+    {
+        switch (r.op) {
+          case Op::GepReg:
+            // Address computation is mul + add at machine level when
+            // the index is a register and the element is wider than a
+            // byte (the general path's GepIndex extra charge).
+            pend_.add(r.sub, r.sub, r.sub, 0, 0);
+            break;
+          case Op::IfpAdd:
+          case Op::IfpChk:
+            pend_.add(1, 1, 0, 1, 1);
+            break;
+          case Op::IfpIdx:
+          case Op::IfpBnd:
+            // countInstr charges IfpArith, then the superscalar model
+            // refunds the cycle without touching the class counter —
+            // replicated exactly: class +1, net cycles +0.
+            pend_.add(1, opts_.superscalar ? 0 : 1, 0, 1, 1);
+            break;
+          case Op::MovGlobalBnd:
+            pend_.add(2, opts_.superscalar ? 1 : 2, 1, 1, 1);
+            break;
+          default:
+            pend_.add(1, 1, 1, 0, 0);
+            break;
+        }
+    }
+
+    /** Whether @p op names a gep the fuser/predecoder understands. */
+    static bool
+    isGep(Opcode op)
+    {
+        return op == Opcode::GepField || op == Opcode::GepIndex;
+    }
+
+    /** Fill the gep part of a record (GepConst/GepReg or a fused gep):
+     *  base operand, constant offset or reg index + scale, and the
+     *  gep's own static charge in `sub`. */
+    void
+    fillGep(Record &r, const Instr &gep)
+    {
+        setOperand(r, gep.a, kAReg, &Record::a, &Record::immA);
+        if (gep.op == Opcode::GepField) {
+            const auto *st = static_cast<const StructType *>(gep.type);
+            r.immB = st->fieldOffset(static_cast<size_t>(gep.imm0));
+            r.sub = 1;
+        } else {
+            uint64_t elem = gep.type->size();
+            if (gep.b.isReg()) {
+                r.flags |= kCReg;
+                r.c = static_cast<uint32_t>(gep.b.payload);
+                r.immB = elem;
+                r.sub = elem > 1 ? 2 : 1;
+            } else {
+                r.immB = gep.b.payload * elem;
+                r.sub = 1;
+            }
+        }
+    }
+
+    /** Fill the load part of a fused record / plain load. */
+    void
+    fillLoad(Record &r, const Instr &load)
+    {
+        r.dst = load.dst;
+        r.size = load.type->size();
+        r.ldClass = ldClassOf(r.size);
+        r.sextBits = load.type->isInt() ? sextBitsOf(load.type) : 0;
+    }
+
+    /** Fill the store part of a fused record (value in d / immC). */
+    void
+    fillStoreValue(Record &r, const Instr &store)
+    {
+        r.size = store.type->size();
+        r.ldClass = ldClassOf(r.size);
+        if (store.a.isReg()) {
+            r.flags |= kDReg;
+            r.d = static_cast<uint32_t>(store.a.payload);
+        } else {
+            r.immC = foldOperand(store.a, opts_);
+        }
+    }
+
+    /** Try to fuse instrs[i] with instrs[i + 1]; Op::Jmp-default record
+     *  plus consumed == 1 means no fusion applied. */
+    bool
+    tryFuse(const std::vector<Instr> &instrs, size_t i, Record &r)
+    {
+        if (!opts_.fuse || i + 1 >= instrs.size())
+            return false;
+        const Instr &a = instrs[i];
+        const Instr &b = instrs[i + 1];
+
+        if (a.op == Opcode::ICmp && b.op == Opcode::Br &&
+            b.a.isReg() && b.a.payload == a.dst) {
+            r.op = Op::FusedCmpBr;
+            r.sub = static_cast<uint8_t>(a.icmp);
+            r.dst = a.dst;
+            setOperand(r, a.a, kAReg, &Record::a, &Record::immA);
+            setOperand(r, a.b, kBReg, &Record::b, &Record::immB);
+            r.target0 = b.target0;
+            r.target1 = b.target1;
+            stats_.fusedCmpBr++;
+            return true;
+        }
+
+        if (isGep(a.op) && b.op == Opcode::Load && b.a.isReg() &&
+            b.a.payload == a.dst) {
+            r.op = Op::FusedGepLoad;
+            fillGep(r, a);
+            r.b = a.dst;
+            fillLoad(r, b);
+            if (opts_.implicitChecks)
+                r.flags |= kCheckBounds;
+            stats_.fusedGepLoad++;
+            return true;
+        }
+        if (isGep(a.op) && b.op == Opcode::Store && b.b.isReg() &&
+            b.b.payload == a.dst) {
+            r.op = Op::FusedGepStore;
+            fillGep(r, a);
+            r.b = a.dst;
+            fillStoreValue(r, b);
+            if (opts_.implicitChecks)
+                r.flags |= kCheckBounds;
+            stats_.fusedGepStore++;
+            return true;
+        }
+
+        if (a.op == Opcode::IfpAdd && b.op == Opcode::Load &&
+            b.a.isReg() && b.a.payload == a.dst && a.a.isReg()) {
+            r.op = Op::FusedIfpAddLoad;
+            r.a = static_cast<uint32_t>(a.a.payload);
+            r.flags |= kAReg;
+            setOperand(r, a.b, kCReg, &Record::c, &Record::immB);
+            r.b = a.dst;
+            fillLoad(r, b);
+            if (opts_.implicitChecks)
+                r.flags |= kCheckBounds;
+            stats_.fusedIfpAddLoad++;
+            return true;
+        }
+        if (a.op == Opcode::IfpAdd && b.op == Opcode::Store &&
+            b.b.isReg() && b.b.payload == a.dst && a.a.isReg()) {
+            r.op = Op::FusedIfpAddStore;
+            r.a = static_cast<uint32_t>(a.a.payload);
+            r.flags |= kAReg;
+            setOperand(r, a.b, kCReg, &Record::c, &Record::immB);
+            r.b = a.dst;
+            fillStoreValue(r, b);
+            if (opts_.implicitChecks)
+                r.flags |= kCheckBounds;
+            stats_.fusedIfpAddStore++;
+            return true;
+        }
+
+        if (a.op == Opcode::IfpChk && b.op == Opcode::Load &&
+            b.a.isReg() && b.a.payload == a.dst && a.a.isReg()) {
+            r.op = Op::FusedChkLoad;
+            r.a = static_cast<uint32_t>(a.a.payload);
+            r.flags |= kAReg;
+            r.immB = a.imm0;
+            r.b = a.dst;
+            fillLoad(r, b);
+            if (opts_.implicitChecks)
+                r.flags |= kCheckBounds;
+            stats_.fusedChkLoad++;
+            return true;
+        }
+        if (a.op == Opcode::IfpChk && b.op == Opcode::Store &&
+            b.b.isReg() && b.b.payload == a.dst && a.a.isReg()) {
+            r.op = Op::FusedChkStore;
+            r.a = static_cast<uint32_t>(a.a.payload);
+            r.flags |= kAReg;
+            r.immB = a.imm0;
+            r.b = a.dst;
+            fillStoreValue(r, b);
+            if (opts_.implicitChecks)
+                r.flags |= kCheckBounds;
+            stats_.fusedChkStore++;
+            return true;
+        }
+
+        if (a.op == Opcode::Mov && !a.a.isReg() &&
+            a.a.kind != Operand::Kind::None && b.op == Opcode::IfpBnd &&
+            b.a.isReg() && b.a.payload == a.dst && b.dst == a.dst) {
+            r.op = Op::MovGlobalBnd;
+            r.dst = a.dst;
+            r.immA = foldOperand(a.a, opts_);
+            r.immB = b.imm0;
+            stats_.fusedMovBnd++;
+            return true;
+        }
+        return false;
+    }
+
+    Record
+    decodeOne(const std::vector<Instr> &instrs, size_t i,
+              size_t &consumed)
+    {
+        Record r;
+        if (tryFuse(instrs, i, r)) {
+            consumed = 2;
+            stats_.fusedRecords++;
+            r.orig = &instrs[i];
+            return r;
+        }
+        consumed = 1;
+        const Instr &in = instrs[i];
+        r.orig = &in;
+        r.dst = in.dst;
+        switch (in.op) {
+          case Opcode::Mov:
+            if (in.a.isReg()) {
+                r.op = Op::MovRR;
+                r.a = static_cast<uint32_t>(in.a.payload);
+            } else {
+                r.op = Op::MovImm;
+                r.immA = foldOperand(in.a, opts_);
+            }
+            break;
+          case Opcode::Add:
+            r.sextBits = sextBitsOf(in.type);
+            if (in.a.isReg() && in.b.isReg()) {
+                r.op = Op::AddRR;
+                r.a = static_cast<uint32_t>(in.a.payload);
+                r.b = static_cast<uint32_t>(in.b.payload);
+            } else if (in.a.isReg()) {
+                r.op = Op::AddRI;
+                r.a = static_cast<uint32_t>(in.a.payload);
+                r.immB = foldOperand(in.b, opts_);
+            } else if (in.b.isReg()) {
+                // Addition commutes; canonicalize to reg + imm.
+                r.op = Op::AddRI;
+                r.a = static_cast<uint32_t>(in.b.payload);
+                r.immB = foldOperand(in.a, opts_);
+            } else {
+                r.op = Op::AddRI;
+                r.a = 0;
+                r.flags = 0;
+                r.op = Op::MovImm;
+                r.immA = static_cast<uint64_t>(
+                    r.sextBits
+                        ? static_cast<uint64_t>(
+                              sext(foldOperand(in.a, opts_) +
+                                       foldOperand(in.b, opts_),
+                                   r.sextBits))
+                        : foldOperand(in.a, opts_) +
+                              foldOperand(in.b, opts_));
+                r.sextBits = 0;
+            }
+            break;
+          case Opcode::Sub:
+          case Opcode::Mul:
+          case Opcode::Shl:
+          case Opcode::AShr:
+            r.op = Op::IntBin;
+            r.sub = static_cast<uint8_t>(in.op);
+            r.sextBits = sextBitsOf(in.type);
+            setOperand(r, in.a, kAReg, &Record::a, &Record::immA);
+            setOperand(r, in.b, kBReg, &Record::b, &Record::immB);
+            break;
+          case Opcode::And:
+          case Opcode::Or:
+          case Opcode::Xor:
+            // The general path applies no result canonicalization to
+            // the bitwise ops; keep sextBits 0.
+            r.op = Op::IntBin;
+            r.sub = static_cast<uint8_t>(in.op);
+            setOperand(r, in.a, kAReg, &Record::a, &Record::immA);
+            setOperand(r, in.b, kBReg, &Record::b, &Record::immB);
+            break;
+          case Opcode::LShr:
+            r.op = Op::IntBin;
+            r.sub = static_cast<uint8_t>(in.op);
+            r.sextBits = sextBitsOf(in.type);
+            if (in.type && in.type->isInt())
+                r.width = static_cast<uint8_t>(
+                    static_cast<const IntType *>(in.type)->bits());
+            setOperand(r, in.a, kAReg, &Record::a, &Record::immA);
+            setOperand(r, in.b, kBReg, &Record::b, &Record::immB);
+            break;
+          case Opcode::ICmp:
+            r.op = Op::ICmp;
+            r.sub = static_cast<uint8_t>(in.icmp);
+            setOperand(r, in.a, kAReg, &Record::a, &Record::immA);
+            setOperand(r, in.b, kBReg, &Record::b, &Record::immB);
+            break;
+          case Opcode::FAdd:
+          case Opcode::FSub:
+          case Opcode::FMul:
+          case Opcode::FDiv:
+            r.op = Op::FBin;
+            r.sub = static_cast<uint8_t>(in.op);
+            setOperand(r, in.a, kAReg, &Record::a, &Record::immA);
+            setOperand(r, in.b, kBReg, &Record::b, &Record::immB);
+            break;
+          case Opcode::FNeg:
+            r.op = Op::FNeg;
+            setOperand(r, in.a, kAReg, &Record::a, &Record::immA);
+            break;
+          case Opcode::FCmp:
+            r.op = Op::FCmp;
+            r.sub = static_cast<uint8_t>(in.fcmp);
+            setOperand(r, in.a, kAReg, &Record::a, &Record::immA);
+            setOperand(r, in.b, kBReg, &Record::b, &Record::immB);
+            break;
+          case Opcode::SIToFP:
+          case Opcode::FPToSI:
+          case Opcode::SExt:
+          case Opcode::ZExt:
+          case Opcode::Trunc:
+            r.op = Op::Cast;
+            r.sub = static_cast<uint8_t>(in.op);
+            setOperand(r, in.a, kAReg, &Record::a, &Record::immA);
+            if (in.op == Opcode::SExt || in.op == Opcode::ZExt)
+                r.immB = in.imm0;
+            else if (in.op == Opcode::Trunc)
+                r.sextBits = sextBitsOf(in.type);
+            break;
+          case Opcode::Select:
+            r.op = Op::Select;
+            setOperand(r, in.a, kAReg, &Record::a, &Record::immA);
+            setOperand(r, in.b, kBReg, &Record::b, &Record::immB);
+            setOperand(r, in.c, kCReg, &Record::c, &Record::immC);
+            break;
+          case Opcode::GepField:
+          case Opcode::GepIndex:
+            fillGep(r, in);
+            r.op = (r.flags & kCReg) ? Op::GepReg : Op::GepConst;
+            break;
+          case Opcode::IfpAdd:
+            r.op = Op::IfpAdd;
+            r.a = static_cast<uint32_t>(in.a.payload);
+            r.flags |= kAReg;
+            setOperand(r, in.b, kCReg, &Record::c, &Record::immB);
+            break;
+          case Opcode::IfpIdx:
+            r.op = Op::IfpIdx;
+            r.a = static_cast<uint32_t>(in.a.payload);
+            r.flags |= kAReg;
+            r.immB = in.imm0;
+            break;
+          case Opcode::IfpBnd:
+            r.op = Op::IfpBnd;
+            r.a = static_cast<uint32_t>(in.a.payload);
+            r.flags |= kAReg;
+            r.immB = in.imm0;
+            break;
+          case Opcode::IfpChk:
+            r.op = Op::IfpChk;
+            r.a = static_cast<uint32_t>(in.a.payload);
+            r.flags |= kAReg;
+            r.immB = in.imm0;
+            break;
+          case Opcode::Load:
+            r.op = Op::Load;
+            setOperand(r, in.a, kAReg, &Record::a, &Record::immA);
+            fillLoad(r, in);
+            if (in.a.isReg() && opts_.implicitChecks)
+                r.flags |= kCheckBounds;
+            break;
+          case Opcode::Store:
+            r.op = Op::Store;
+            setOperand(r, in.a, kAReg, &Record::a, &Record::immA);
+            setOperand(r, in.b, kBReg, &Record::b, &Record::immB);
+            r.size = in.type->size();
+            r.ldClass = ldClassOf(r.size);
+            if (in.b.isReg() && opts_.implicitChecks)
+                r.flags |= kCheckBounds;
+            break;
+          case Opcode::Alloca: {
+            r.op = Op::Alloca;
+            uint64_t size = in.type->size() * in.imm0;
+            r.size = (in.imm1 && opts_.instrumented)
+                         ? Runtime::paddedSlotSize(size)
+                         : std::max<uint64_t>(roundUp(size, 16), 16);
+            break;
+          }
+          case Opcode::SDiv:
+          case Opcode::UDiv:
+          case Opcode::SRem:
+          case Opcode::URem:
+            r.op = Op::Div;
+            r.sub = static_cast<uint8_t>(in.op);
+            r.sextBits = sextBitsOf(in.type);
+            setOperand(r, in.a, kAReg, &Record::a, &Record::immA);
+            setOperand(r, in.b, kBReg, &Record::b, &Record::immB);
+            break;
+          case Opcode::Jmp:
+            r.op = Op::Jmp;
+            r.target0 = in.target0;
+            break;
+          case Opcode::Br:
+            r.op = Op::Br;
+            setOperand(r, in.a, kAReg, &Record::a, &Record::immA);
+            r.target0 = in.target0;
+            r.target1 = in.target1;
+            break;
+          case Opcode::Call: {
+            r.op = Op::Call;
+            r.callee = opts_.module->function(in.callee);
+            if (opts_.instrumented && func_.isInstrumented() &&
+                r.callee->isInstrumented())
+                r.flags |= kPassBounds;
+            break;
+          }
+          case Opcode::CallPtr:
+            r.op = Op::CallPtr;
+            setOperand(r, in.a, kAReg, &Record::a, &Record::immA);
+            // Caller half of the bounds-passing predicate; the callee
+            // half resolves at dispatch.
+            if (opts_.instrumented && func_.isInstrumented())
+                r.flags |= kPassBounds;
+            break;
+          case Opcode::Ret:
+            r.op = Op::Ret;
+            if (in.a.isNone())
+                r.flags |= kMisc;
+            else
+                setOperand(r, in.a, kAReg, &Record::a, &Record::immA);
+            break;
+          case Opcode::Trap:
+            r.op = Op::Trap;
+            r.immA = in.imm0;
+            break;
+          case Opcode::MallocTyped:
+            r.op = Op::MallocTyped;
+            setOperand(r, in.a, kAReg, &Record::a, &Record::immA);
+            r.size = in.type->size();
+            break;
+          case Opcode::FreePtr:
+            r.op = Op::FreePtr;
+            setOperand(r, in.a, kAReg, &Record::a, &Record::immA);
+            break;
+          case Opcode::Promote:
+            r.op = Op::Promote;
+            r.a = static_cast<uint32_t>(in.a.payload);
+            r.flags |= kAReg;
+            break;
+          case Opcode::RegisterObj:
+            r.op = Op::RegisterObj;
+            r.a = static_cast<uint32_t>(in.a.payload);
+            r.flags |= kAReg;
+            r.immB = in.imm0;
+            r.c = in.layout;
+            break;
+          case Opcode::DeregisterObj:
+            r.op = Op::DeregisterObj;
+            setOperand(r, in.a, kAReg, &Record::a, &Record::immA);
+            break;
+          case Opcode::IfpMallocTyped:
+            r.op = Op::IfpMallocTyped;
+            setOperand(r, in.a, kAReg, &Record::a, &Record::immA);
+            r.size = in.type->size();
+            r.c = in.layout;
+            break;
+          case Opcode::IfpFree:
+            r.op = Op::IfpFree;
+            setOperand(r, in.a, kAReg, &Record::a, &Record::immA);
+            break;
+        }
+        return r;
+    }
+
+    const Function &func_;
+    const PredecodeOptions &opts_;
+    Stats &stats_;
+    Pend pend_;
+};
+
+} // namespace
+
+FunctionCode
+predecode(const Function &func, const PredecodeOptions &opts,
+          Stats &stats)
+{
+    FunctionCode fc;
+    fc.blocks.resize(func.numBlocks());
+    BlockBuilder builder(func, opts, stats);
+    for (BlockId b = 0; b < func.numBlocks(); ++b)
+        fc.blocks[b] = builder.build(b);
+    stats.functions++;
+    return fc;
+}
+
+} // namespace sb
+
+// ---------------------------------------------------------------------
+// Execution engine
+// ---------------------------------------------------------------------
+
+using namespace ir;
+
+namespace {
+
+double
+asF64(uint64_t raw)
+{
+    return std::bit_cast<double>(raw);
+}
+
+uint64_t
+fromF64(double v)
+{
+    return std::bit_cast<uint64_t>(v);
+}
+
+bool
+evalICmp(uint8_t pred, uint64_t ua, uint64_t ub)
+{
+    auto sa = static_cast<int64_t>(ua);
+    auto sb_ = static_cast<int64_t>(ub);
+    switch (static_cast<ICmpPred>(pred)) {
+      case ICmpPred::Eq: return ua == ub;
+      case ICmpPred::Ne: return ua != ub;
+      case ICmpPred::Slt: return sa < sb_;
+      case ICmpPred::Sle: return sa <= sb_;
+      case ICmpPred::Sgt: return sa > sb_;
+      case ICmpPred::Sge: return sa >= sb_;
+      case ICmpPred::Ult: return ua < ub;
+      case ICmpPred::Ule: return ua <= ub;
+      case ICmpPred::Ugt: return ua > ub;
+      case ICmpPred::Uge: return ua >= ub;
+    }
+    return false;
+}
+
+} // namespace
+
+uint64_t
+Machine::execSuperblock(const Function *func, Frame &frame,
+                        Bounds *ret_bounds, unsigned depth,
+                        unsigned saved_bounds)
+{
+    const sb::FunctionCode &fc = sbCode(func);
+    auto &regs = frame.regs;
+    auto &bounds = frame.bounds;
+    BlockId cur = 0;
+
+    // Batched charges of the pure run preceding a sync record.
+    auto pre = [&](const sb::Record &fi) {
+        instrs_ += fi.preInstr;
+        cycles_ += fi.preCycles;
+        classCycles_[static_cast<size_t>(CycleClass::Base)] +=
+            fi.preBase;
+        classCycles_[static_cast<size_t>(CycleClass::IfpArith)] +=
+            fi.preIfp;
+        cIfpArith_ += fi.preIfpCnt;
+    };
+    auto charge = [&](uint32_t n, CycleClass c) {
+        instrs_ += n;
+        cycles_ += n;
+        classCycles_[static_cast<size_t>(c)] += n;
+    };
+    // The general path's checkAccess, driven off the record: verdict
+    // first (shared predicates, shared order), then the counter bump
+    // and trap the general path interleaves, then cache timing.
+    auto access = [&](const sb::Record &fi, uint64_t raw,
+                      uint32_t ck_reg, bool write) {
+        TaggedPtr ptr(raw);
+        if (fi.flags & sb::kElide) {
+            // An earlier same-block check over the same (unchanged)
+            // address expression passed, or the address is a constant
+            // with a statically Ok verdict: skip the predicates, keep
+            // the simulated accounting identical.
+            if ((fi.flags & sb::kCheckBounds) && bounds[ck_reg].valid())
+                cImplicitChecks_++;
+            sbCounters_.checksElided++;
+        } else {
+            const Bounds *bp = (fi.flags & sb::kCheckBounds)
+                                   ? &bounds[ck_reg]
+                                   : nullptr;
+            ops::CheckVerdict v = ops::checkAccessVerdict(
+                ptr, bp, fi.size, GuestMemory::pageSize);
+            if (v == ops::CheckVerdict::Poisoned)
+                throw GuestTrap(TrapKind::PoisonedAccess,
+                                poisonedAccessDetail(ptr, write));
+            if (v == ops::CheckVerdict::Null)
+                throw GuestTrap(TrapKind::NullDereference,
+                                nullDerefDetail(ptr.addr()));
+            if (bp && bp->valid())
+                cImplicitChecks_++;
+            if (v == ops::CheckVerdict::OutOfBounds)
+                throw GuestTrap(TrapKind::BoundsViolation,
+                                boundsViolationDetail(ptr.addr(),
+                                                      fi.size, *bp,
+                                                      write));
+            sbCounters_.checksFull++;
+        }
+        if (config_.useCache) {
+            uint64_t extra =
+                l1d_.access(ptr.addr(), fi.size, write).latency - 1;
+            cycles_ += extra;
+            chargeClass(CycleClass::Mem, extra);
+        }
+    };
+    auto doLoad = [&](const sb::Record &fi, uint64_t raw) {
+        access(fi, raw, fi.flags & sb::kCheckBounds
+                            ? (fi.op == sb::Op::Load ? fi.a : fi.b)
+                            : 0,
+               false);
+        GuestAddr addr = layout::canonical(raw);
+        uint64_t value;
+        switch (fi.ldClass) {
+          case 1: value = mem_.load<uint8_t>(addr); break;
+          case 2: value = mem_.load<uint16_t>(addr); break;
+          case 4: value = mem_.load<uint32_t>(addr); break;
+          default: value = mem_.load<uint64_t>(addr); break;
+        }
+        if (fi.sextBits)
+            value = static_cast<uint64_t>(sext(value, fi.sextBits));
+        regs[fi.dst] = value;
+        bounds[fi.dst] = Bounds::cleared();
+        cLoads_++;
+    };
+    auto doStore = [&](const sb::Record &fi, uint64_t raw,
+                       uint64_t value) {
+        access(fi, raw, fi.flags & sb::kCheckBounds
+                            ? (fi.op == sb::Op::Store ? fi.b : fi.b)
+                            : 0,
+               true);
+        GuestAddr addr = layout::canonical(raw);
+        switch (fi.ldClass) {
+          case 1:
+            mem_.store<uint8_t>(addr, static_cast<uint8_t>(value));
+            break;
+          case 2:
+            mem_.store<uint16_t>(addr, static_cast<uint16_t>(value));
+            break;
+          case 4:
+            mem_.store<uint32_t>(addr, static_cast<uint32_t>(value));
+            break;
+          default:
+            mem_.store<uint64_t>(addr, value);
+            break;
+        }
+        cStores_++;
+    };
+    // Run a call (direct or resolved indirect) from a record.
+    auto doCall = [&](const sb::Record &fi, const Function *callee,
+                      bool pass_bounds) {
+        const Instr &instr = *fi.orig;
+        ArgScratch &scratch = argScratch(depth);
+        std::vector<uint64_t> &call_args = scratch.args;
+        std::vector<Bounds> &call_bounds = scratch.bounds;
+        call_args.clear();
+        call_bounds.clear();
+        for (const Operand &arg : instr.args) {
+            call_args.push_back(evalOperand(frame, arg));
+            call_bounds.push_back(pass_bounds
+                                      ? operandBounds(frame, arg)
+                                      : Bounds::cleared());
+        }
+        cCalls_++;
+        Bounds ret_b = Bounds::cleared();
+        uint64_t ret = callFunction(callee, call_args, call_bounds,
+                                    &ret_b, depth + 1);
+        if (fi.dst != noReg) {
+            regs[fi.dst] = ret;
+            bounds[fi.dst] =
+                pass_bounds ? ret_b : Bounds::cleared();
+        }
+    };
+
+    for (;;) {
+        const sb::Block &blk = fc.blocks[cur];
+        // Block-entry budget guard: if the block's static charges
+        // could cross the instruction limit, replay it on the general
+        // interpreter, which traps at the exact instruction.
+        if (instrs_ + blk.totalInstr > config_.maxInstructions)
+            return execGeneral(func, frame, ret_bounds, depth, cur, 0,
+                               saved_bounds);
+        const sb::Record *rec = blk.records.data();
+        for (;; ++rec) {
+            const sb::Record &fi = *rec;
+            switch (fi.op) {
+              // --- pure ---
+              case sb::Op::MovRR:
+                regs[fi.dst] = regs[fi.a];
+                bounds[fi.dst] = bounds[fi.a];
+                continue;
+              case sb::Op::MovImm:
+                regs[fi.dst] = fi.immA;
+                bounds[fi.dst] = Bounds::cleared();
+                continue;
+              case sb::Op::AddRR: {
+                uint64_t sum = regs[fi.a] + regs[fi.b];
+                if (fi.sextBits)
+                    sum = static_cast<uint64_t>(
+                        sext(sum, fi.sextBits));
+                regs[fi.dst] = sum;
+                bounds[fi.dst] = Bounds::cleared();
+                continue;
+              }
+              case sb::Op::AddRI: {
+                uint64_t sum = regs[fi.a] + fi.immB;
+                if (fi.sextBits)
+                    sum = static_cast<uint64_t>(
+                        sext(sum, fi.sextBits));
+                regs[fi.dst] = sum;
+                bounds[fi.dst] = Bounds::cleared();
+                continue;
+              }
+              case sb::Op::IntBin: {
+                uint64_t va =
+                    (fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA;
+                uint64_t vb =
+                    (fi.flags & sb::kBReg) ? regs[fi.b] : fi.immB;
+                uint64_t res = 0;
+                switch (static_cast<Opcode>(fi.sub)) {
+                  case Opcode::Sub: res = va - vb; break;
+                  case Opcode::Mul: res = va * vb; break;
+                  case Opcode::And: res = va & vb; break;
+                  case Opcode::Or: res = va | vb; break;
+                  case Opcode::Xor: res = va ^ vb; break;
+                  case Opcode::Shl: res = va << (vb & 63); break;
+                  case Opcode::LShr:
+                    if (fi.width)
+                        va &= mask(fi.width);
+                    res = va >> (vb & 63);
+                    break;
+                  case Opcode::AShr:
+                    res = static_cast<uint64_t>(
+                        static_cast<int64_t>(va) >> (vb & 63));
+                    break;
+                  default: break;
+                }
+                if (fi.sextBits)
+                    res = static_cast<uint64_t>(
+                        sext(res, fi.sextBits));
+                regs[fi.dst] = res;
+                bounds[fi.dst] = Bounds::cleared();
+                continue;
+              }
+              case sb::Op::ICmp: {
+                uint64_t va =
+                    (fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA;
+                uint64_t vb =
+                    (fi.flags & sb::kBReg) ? regs[fi.b] : fi.immB;
+                regs[fi.dst] = evalICmp(fi.sub, va, vb) ? 1 : 0;
+                bounds[fi.dst] = Bounds::cleared();
+                continue;
+              }
+              case sb::Op::FBin: {
+                double fa = asF64(
+                    (fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA);
+                double fb = asF64(
+                    (fi.flags & sb::kBReg) ? regs[fi.b] : fi.immB);
+                double res = 0;
+                switch (static_cast<Opcode>(fi.sub)) {
+                  case Opcode::FAdd: res = fa + fb; break;
+                  case Opcode::FSub: res = fa - fb; break;
+                  case Opcode::FMul: res = fa * fb; break;
+                  case Opcode::FDiv: res = fa / fb; break;
+                  default: break;
+                }
+                regs[fi.dst] = fromF64(res);
+                continue; // float ops leave the bounds register alone
+              }
+              case sb::Op::FNeg:
+                regs[fi.dst] = fromF64(-asF64(
+                    (fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA));
+                continue;
+              case sb::Op::FCmp: {
+                double fa = asF64(
+                    (fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA);
+                double fb = asF64(
+                    (fi.flags & sb::kBReg) ? regs[fi.b] : fi.immB);
+                bool res = false;
+                switch (static_cast<FCmpPred>(fi.sub)) {
+                  case FCmpPred::Eq: res = fa == fb; break;
+                  case FCmpPred::Ne: res = fa != fb; break;
+                  case FCmpPred::Lt: res = fa < fb; break;
+                  case FCmpPred::Le: res = fa <= fb; break;
+                  case FCmpPred::Gt: res = fa > fb; break;
+                  case FCmpPred::Ge: res = fa >= fb; break;
+                }
+                regs[fi.dst] = res ? 1 : 0;
+                continue;
+              }
+              case sb::Op::Cast: {
+                uint64_t va =
+                    (fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA;
+                switch (static_cast<Opcode>(fi.sub)) {
+                  case Opcode::SIToFP:
+                    regs[fi.dst] = fromF64(static_cast<double>(
+                        static_cast<int64_t>(va)));
+                    break;
+                  case Opcode::FPToSI:
+                    regs[fi.dst] = static_cast<uint64_t>(
+                        static_cast<int64_t>(asF64(va)));
+                    break;
+                  case Opcode::SExt:
+                    regs[fi.dst] = static_cast<uint64_t>(
+                        sext(va, static_cast<unsigned>(fi.immB)));
+                    break;
+                  case Opcode::ZExt:
+                    regs[fi.dst] =
+                        va & mask(static_cast<unsigned>(fi.immB));
+                    break;
+                  case Opcode::Trunc:
+                    regs[fi.dst] =
+                        fi.sextBits
+                            ? static_cast<uint64_t>(
+                                  sext(va, fi.sextBits))
+                            : va;
+                    break;
+                  default: break;
+                }
+                continue; // casts leave the bounds register alone
+              }
+              case sb::Op::Select: {
+                bool cond =
+                    ((fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA) !=
+                    0;
+                if (cond) {
+                    bool breg = (fi.flags & sb::kBReg) != 0;
+                    uint64_t v = breg ? regs[fi.b] : fi.immB;
+                    Bounds nb =
+                        breg ? bounds[fi.b] : Bounds::cleared();
+                    regs[fi.dst] = v;
+                    bounds[fi.dst] = nb;
+                } else {
+                    bool creg = (fi.flags & sb::kCReg) != 0;
+                    uint64_t v = creg ? regs[fi.c] : fi.immC;
+                    Bounds nb =
+                        creg ? bounds[fi.c] : Bounds::cleared();
+                    regs[fi.dst] = v;
+                    bounds[fi.dst] = nb;
+                }
+                continue;
+              }
+              case sb::Op::GepConst: {
+                bool areg = (fi.flags & sb::kAReg) != 0;
+                uint64_t base = areg ? regs[fi.a] : fi.immA;
+                Bounds nb = areg ? bounds[fi.a] : Bounds::cleared();
+                regs[fi.dst] = base + fi.immB;
+                bounds[fi.dst] = nb;
+                continue;
+              }
+              case sb::Op::GepReg: {
+                bool areg = (fi.flags & sb::kAReg) != 0;
+                uint64_t base = areg ? regs[fi.a] : fi.immA;
+                Bounds nb = areg ? bounds[fi.a] : Bounds::cleared();
+                regs[fi.dst] = base + regs[fi.c] * fi.immB;
+                bounds[fi.dst] = nb;
+                continue;
+              }
+              case sb::Op::IfpAdd: {
+                auto delta = static_cast<int64_t>(
+                    (fi.flags & sb::kCReg) ? regs[fi.c] : fi.immB);
+                Bounds src_bounds = bounds[fi.a];
+                TaggedPtr res = ops::ifpAdd(TaggedPtr(regs[fi.a]),
+                                            delta, src_bounds);
+                regs[fi.dst] = res.raw();
+                bounds[fi.dst] = src_bounds;
+                continue;
+              }
+              case sb::Op::IfpIdx: {
+                TaggedPtr ptr(regs[fi.a]);
+                uint64_t new_index = ptr.subobjIndex() + fi.immB;
+                Bounds src_bounds = bounds[fi.a];
+                regs[fi.dst] = ops::ifpIdx(ptr, new_index).raw();
+                bounds[fi.dst] = src_bounds;
+                continue;
+              }
+              case sb::Op::IfpBnd: {
+                TaggedPtr ptr(regs[fi.a]);
+                regs[fi.dst] = ptr.raw();
+                bounds[fi.dst] = ops::ifpBnd(ptr, fi.immB);
+                continue;
+              }
+              case sb::Op::IfpChk:
+                // Writes the register only; the paired bounds register
+                // is untouched (matches the general path).
+                regs[fi.dst] = ops::ifpChk(TaggedPtr(regs[fi.a]),
+                                           bounds[fi.a], fi.immB)
+                                   .raw();
+                continue;
+              case sb::Op::MovGlobalBnd: {
+                TaggedPtr ptr(fi.immA);
+                regs[fi.dst] = fi.immA;
+                bounds[fi.dst] = ops::ifpBnd(ptr, fi.immB);
+                continue;
+              }
+
+              // --- sync: memory ---
+              case sb::Op::Load: {
+                pre(fi);
+                charge(1, CycleClass::Mem);
+                uint64_t raw =
+                    (fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA;
+                doLoad(fi, raw);
+                continue;
+              }
+              case sb::Op::Store: {
+                pre(fi);
+                charge(1, CycleClass::Mem);
+                uint64_t value =
+                    (fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA;
+                uint64_t raw =
+                    (fi.flags & sb::kBReg) ? regs[fi.b] : fi.immB;
+                doStore(fi, raw, value);
+                continue;
+              }
+              case sb::Op::FusedGepLoad:
+              case sb::Op::FusedGepStore: {
+                pre(fi);
+                instrs_ += fi.sub + 1u;
+                cycles_ += fi.sub + 1u;
+                classCycles_[static_cast<size_t>(
+                    CycleClass::Base)] += fi.sub;
+                classCycles_[static_cast<size_t>(CycleClass::Mem)] +=
+                    1;
+                bool areg = (fi.flags & sb::kAReg) != 0;
+                uint64_t base = areg ? regs[fi.a] : fi.immA;
+                uint64_t raw = (fi.flags & sb::kCReg)
+                                   ? base + regs[fi.c] * fi.immB
+                                   : base + fi.immB;
+                Bounds nb = areg ? bounds[fi.a] : Bounds::cleared();
+                regs[fi.b] = raw;
+                bounds[fi.b] = nb;
+                sbCounters_.fusedExec++;
+                if (fi.op == sb::Op::FusedGepLoad) {
+                    doLoad(fi, raw);
+                } else {
+                    uint64_t value = (fi.flags & sb::kDReg)
+                                         ? regs[fi.d]
+                                         : fi.immC;
+                    doStore(fi, raw, value);
+                }
+                continue;
+              }
+              case sb::Op::FusedIfpAddLoad:
+              case sb::Op::FusedIfpAddStore: {
+                pre(fi);
+                instrs_ += 2;
+                cycles_ += 2;
+                classCycles_[static_cast<size_t>(
+                    CycleClass::IfpArith)] += 1;
+                classCycles_[static_cast<size_t>(CycleClass::Mem)] +=
+                    1;
+                cIfpArith_++;
+                auto delta = static_cast<int64_t>(
+                    (fi.flags & sb::kCReg) ? regs[fi.c] : fi.immB);
+                Bounds src_bounds = bounds[fi.a];
+                TaggedPtr res = ops::ifpAdd(TaggedPtr(regs[fi.a]),
+                                            delta, src_bounds);
+                regs[fi.b] = res.raw();
+                bounds[fi.b] = src_bounds;
+                sbCounters_.fusedExec++;
+                if (fi.op == sb::Op::FusedIfpAddLoad) {
+                    doLoad(fi, res.raw());
+                } else {
+                    uint64_t value = (fi.flags & sb::kDReg)
+                                         ? regs[fi.d]
+                                         : fi.immC;
+                    doStore(fi, res.raw(), value);
+                }
+                continue;
+              }
+              case sb::Op::FusedChkLoad:
+              case sb::Op::FusedChkStore: {
+                pre(fi);
+                instrs_ += 2;
+                cycles_ += 2;
+                classCycles_[static_cast<size_t>(
+                    CycleClass::IfpArith)] += 1;
+                classCycles_[static_cast<size_t>(CycleClass::Mem)] +=
+                    1;
+                cIfpArith_++;
+                // ifpchk writes the register but not the bounds
+                // register; the dereference check then consults
+                // bounds[b] as the general path would.
+                uint64_t raw = ops::ifpChk(TaggedPtr(regs[fi.a]),
+                                           bounds[fi.a], fi.immB)
+                                   .raw();
+                regs[fi.b] = raw;
+                sbCounters_.fusedExec++;
+                if (fi.op == sb::Op::FusedChkLoad) {
+                    doLoad(fi, raw);
+                } else {
+                    uint64_t value = (fi.flags & sb::kDReg)
+                                         ? regs[fi.d]
+                                         : fi.immC;
+                    doStore(fi, raw, value);
+                }
+                continue;
+              }
+
+              // --- sync: other ---
+              case sb::Op::Div: {
+                pre(fi);
+                charge(1, CycleClass::Base);
+                uint64_t va =
+                    (fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA;
+                uint64_t vb =
+                    (fi.flags & sb::kBReg) ? regs[fi.b] : fi.immB;
+                if (vb == 0)
+                    throw GuestTrap(TrapKind::DivisionByZero,
+                                    func->name());
+                uint64_t res;
+                Opcode op = static_cast<Opcode>(fi.sub);
+                if (op == Opcode::SDiv || op == Opcode::SRem) {
+                    auto lhs = static_cast<int64_t>(va);
+                    auto rhs = static_cast<int64_t>(vb);
+                    int64_t sres;
+                    if (lhs == INT64_MIN && rhs == -1)
+                        sres = op == Opcode::SDiv ? lhs : 0;
+                    else
+                        sres = op == Opcode::SDiv ? lhs / rhs
+                                                  : lhs % rhs;
+                    res = static_cast<uint64_t>(sres);
+                } else {
+                    res = op == Opcode::UDiv ? va / vb : va % vb;
+                }
+                if (fi.sextBits)
+                    res = static_cast<uint64_t>(
+                        sext(res, fi.sextBits));
+                regs[fi.dst] = res;
+                bounds[fi.dst] = Bounds::cleared();
+                continue;
+              }
+              case sb::Op::Alloca:
+                pre(fi);
+                charge(1, CycleClass::Base);
+                sp_ = roundDown(sp_ - fi.size, 16);
+                if (sp_ < layout::stackLimit)
+                    throw GuestTrap(TrapKind::StackOverflow,
+                                    func->name());
+                regs[fi.dst] = sp_;
+                bounds[fi.dst] = Bounds::cleared();
+                continue;
+              case sb::Op::Call:
+                pre(fi);
+                charge(1, CycleClass::Base);
+                doCall(fi, fi.callee,
+                       (fi.flags & sb::kPassBounds) != 0);
+                if (instrs_ + fi.rest > config_.maxInstructions)
+                    return execGeneral(func, frame, ret_bounds, depth,
+                                       cur, fi.nextIp, saved_bounds);
+                continue;
+              case sb::Op::CallPtr: {
+                pre(fi);
+                charge(1, CycleClass::Base);
+                uint64_t fid =
+                    (fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA;
+                if (fid >= module_.numFunctions())
+                    throw GuestTrap(
+                        TrapKind::BadIndirectCall,
+                        strfmt("index %llu",
+                               static_cast<unsigned long long>(fid)));
+                const Function *callee =
+                    module_.function(static_cast<FuncId>(fid));
+                doCall(fi, callee,
+                       (fi.flags & sb::kPassBounds) &&
+                           callee->isInstrumented());
+                if (instrs_ + fi.rest > config_.maxInstructions)
+                    return execGeneral(func, frame, ret_bounds, depth,
+                                       cur, fi.nextIp, saved_bounds);
+                continue;
+              }
+              case sb::Op::MallocTyped: {
+                pre(fi);
+                charge(1, CycleClass::Runtime);
+                uint64_t count =
+                    (fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA;
+                uint64_t size = count * fi.size;
+                RuntimeCost cost;
+                regs[fi.dst] = runtime_->plainMalloc(size, cost);
+                bounds[fi.dst] = Bounds::cleared();
+                applyCost(cost);
+                if (instrs_ + fi.rest > config_.maxInstructions)
+                    return execGeneral(func, frame, ret_bounds, depth,
+                                       cur, fi.nextIp, saved_bounds);
+                continue;
+              }
+              case sb::Op::FreePtr: {
+                pre(fi);
+                charge(1, CycleClass::Runtime);
+                GuestAddr addr = layout::canonical(
+                    (fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA);
+                RuntimeCost cost;
+                runtime_->plainFree(addr, cost);
+                applyCost(cost);
+                if (instrs_ + fi.rest > config_.maxInstructions)
+                    return execGeneral(func, frame, ret_bounds, depth,
+                                       cur, fi.nextIp, saved_bounds);
+                continue;
+              }
+              case sb::Op::Promote: {
+                pre(fi);
+                charge(1, CycleClass::Promote);
+                PromoteResult result =
+                    promote_->promote(TaggedPtr(regs[fi.a]));
+                regs[fi.dst] = result.ptr.raw();
+                bounds[fi.dst] = result.bounds;
+                uint64_t extra =
+                    result.cycles > 0 ? result.cycles - 1 : 0;
+                cycles_ += extra;
+                chargeClass(CycleClass::Promote, extra);
+                cPromoteInstrs_++;
+                continue;
+              }
+              case sb::Op::RegisterObj: {
+                pre(fi);
+                charge(1, CycleClass::Runtime);
+                RuntimeCost cost;
+                IfpAllocation alloc = runtime_->registerObject(
+                    layout::canonical(regs[fi.a]), fi.immB,
+                    static_cast<LayoutId>(fi.c), cost);
+                regs[fi.dst] = alloc.ptr.raw();
+                bounds[fi.dst] = alloc.bounds;
+                applyCost(cost);
+                cIfpArith_++;
+                stats_.counter("local_objects")++;
+                if (static_cast<LayoutId>(fi.c) != noLayout)
+                    stats_.counter("local_objects_with_layout")++;
+                if (instrs_ + fi.rest > config_.maxInstructions)
+                    return execGeneral(func, frame, ret_bounds, depth,
+                                       cur, fi.nextIp, saved_bounds);
+                continue;
+              }
+              case sb::Op::DeregisterObj: {
+                pre(fi);
+                charge(1, CycleClass::Runtime);
+                TaggedPtr ptr((fi.flags & sb::kAReg) ? regs[fi.a]
+                                                     : fi.immA);
+                RuntimeCost cost;
+                runtime_->deregisterObject(ptr, cost);
+                applyCost(cost);
+                cIfpArith_++;
+                if (instrs_ + fi.rest > config_.maxInstructions)
+                    return execGeneral(func, frame, ret_bounds, depth,
+                                       cur, fi.nextIp, saved_bounds);
+                continue;
+              }
+              case sb::Op::IfpMallocTyped: {
+                pre(fi);
+                charge(1, CycleClass::Runtime);
+                uint64_t count =
+                    (fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA;
+                uint64_t size = count * fi.size;
+                RuntimeCost cost;
+                IfpAllocation alloc = runtime_->ifpMalloc(
+                    size, static_cast<LayoutId>(fi.c), cost);
+                regs[fi.dst] = alloc.ptr.raw();
+                bounds[fi.dst] = alloc.bounds;
+                applyCost(cost);
+                stats_.counter("heap_objects")++;
+                if (static_cast<LayoutId>(fi.c) != noLayout)
+                    stats_.counter("heap_objects_with_layout")++;
+                if (instrs_ + fi.rest > config_.maxInstructions)
+                    return execGeneral(func, frame, ret_bounds, depth,
+                                       cur, fi.nextIp, saved_bounds);
+                continue;
+              }
+              case sb::Op::IfpFree: {
+                pre(fi);
+                charge(1, CycleClass::Runtime);
+                TaggedPtr ptr((fi.flags & sb::kAReg) ? regs[fi.a]
+                                                     : fi.immA);
+                RuntimeCost cost;
+                runtime_->ifpFree(ptr, cost);
+                applyCost(cost);
+                if (instrs_ + fi.rest > config_.maxInstructions)
+                    return execGeneral(func, frame, ret_bounds, depth,
+                                       cur, fi.nextIp, saved_bounds);
+                continue;
+              }
+
+              // --- terminators ---
+              case sb::Op::Jmp:
+                pre(fi);
+                charge(1, CycleClass::Base);
+                cur = fi.target0;
+                goto block_done;
+              case sb::Op::Br: {
+                pre(fi);
+                charge(1, CycleClass::Base);
+                uint64_t cond =
+                    (fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA;
+                cur = cond != 0 ? fi.target0 : fi.target1;
+                goto block_done;
+              }
+              case sb::Op::FusedCmpBr: {
+                pre(fi);
+                charge(2, CycleClass::Base);
+                uint64_t va =
+                    (fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA;
+                uint64_t vb =
+                    (fi.flags & sb::kBReg) ? regs[fi.b] : fi.immB;
+                bool res = evalICmp(fi.sub, va, vb);
+                regs[fi.dst] = res ? 1 : 0;
+                bounds[fi.dst] = Bounds::cleared();
+                sbCounters_.fusedExec++;
+                cur = res ? fi.target0 : fi.target1;
+                goto block_done;
+              }
+              case sb::Op::Ret: {
+                pre(fi);
+                charge(1, CycleClass::Base);
+                if (saved_bounds) {
+                    instrs_ += saved_bounds;
+                    uint64_t reload_cycles =
+                        config_.superscalar ? (saved_bounds + 1) / 2
+                                            : saved_bounds;
+                    cycles_ += reload_cycles;
+                    chargeClass(CycleClass::BndLdSt, reload_cycles);
+                    cBndLdSt_ += saved_bounds;
+                }
+                bool areg = (fi.flags & sb::kAReg) != 0;
+                if (ret_bounds)
+                    *ret_bounds =
+                        areg ? bounds[fi.a] : Bounds::cleared();
+                if (fi.flags & sb::kMisc)
+                    return 0;
+                return areg ? regs[fi.a] : fi.immA;
+              }
+              case sb::Op::Trap:
+                pre(fi);
+                charge(1, CycleClass::Base);
+                throw GuestTrap(
+                    TrapKind::WorkloadAssert,
+                    strfmt("%s code %llu", func->name().c_str(),
+                           static_cast<unsigned long long>(fi.immA)));
+            }
+        }
+      block_done:;
+    }
+}
+
+} // namespace infat

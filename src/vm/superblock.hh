@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Superblock interpreter: per-function predecode into basic blocks of
+ * fully-resolved records covering every opcode.
+ *
+ * The general interpreter (machine.cc) re-derives everything per
+ * instruction: operand kinds, cycle classes, field offsets, tracer
+ * checks. The superblock engine resolves all of that once per function
+ * and then dispatches within a block over a flat record array:
+ *
+ *  - every operand is a pre-resolved register index or constant
+ *    (immediates, global addresses, function indices are folded);
+ *  - adjacent instruction pairs the instrumentation pass emits are
+ *    fused into single records (icmp+br, gep+load/store,
+ *    ifpadd+load/store, ifpchk+load/store, mov-global+ifpbnd);
+ *  - the fixed instruction/cycle contribution of a run of pure
+ *    (non-throwing, non-memory) records is precomputed and charged in
+ *    one shot at the next sync record, instead of per instruction;
+ *  - statically redundant implicit checks (same address expression,
+ *    same bounds register, no intervening redefinition, access size
+ *    covered by an earlier successful check in the same block) skip
+ *    the host-side predicate evaluation while still counting in the
+ *    simulated check statistics.
+ *
+ * Everything here is a host-side optimization: simulated instruction
+ * counts, cycles, per-class attribution, checksums, trap kinds and
+ * messages, and every exported stat are bit-identical to the general
+ * path (tools/superblock_diff.cc and tests/superblock_test.cc gate
+ * this). The engine is bypassed whenever a trace sink or the
+ * differential oracle is attached, and bails out to the general
+ * interpreter mid-block when the instruction budget could expire
+ * inside a block's batched charges.
+ */
+
+#ifndef INFAT_VM_SUPERBLOCK_HH
+#define INFAT_VM_SUPERBLOCK_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ir/function.hh"
+#include "mem/address_space.hh"
+#include "support/stats.hh"
+
+namespace infat {
+namespace sb {
+
+/**
+ * Record opcodes. "Pure" records cannot throw and touch no memory or
+ * variable-cost machinery; their instruction/cycle charges are batched
+ * into the `pre*` fields of the next sync record. Sync records apply
+ * their pending batch, then their own exact per-instruction charge,
+ * before any observable side effect — so at every point where the
+ * simulation can trap or interact with the timing model, the counters
+ * equal the general path's.
+ */
+enum class Op : uint8_t
+{
+    // --- pure ---
+    MovRR,       ///< dst = reg a (bounds propagate)
+    MovImm,      ///< dst = immA (bounds cleared)
+    AddRR,       ///< dst = reg a + reg b
+    AddRI,       ///< dst = reg a + immB
+    IntBin,      ///< sub = Opcode: Sub/Mul/And/Or/Xor/Shl/LShr/AShr
+    ICmp,        ///< sub = ICmpPred
+    FBin,        ///< sub = Opcode: FAdd/FSub/FMul/FDiv
+    FNeg,        ///< dst = -a (float)
+    FCmp,        ///< sub = FCmpPred
+    Cast,        ///< sub = Opcode: SIToFP/FPToSI/SExt/ZExt/Trunc
+    Select,      ///< dst = a ? b : c (operands a / b|immB / c|immC)
+    GepConst,    ///< dst = base(a|immA) + immB (field or imm-index gep)
+    GepReg,      ///< dst = base(a|immA) + reg c * immB (reg-index gep)
+    IfpAdd,      ///< dst = ifpadd(reg a, delta c|immB)
+    IfpIdx,      ///< dst = ifpidx(reg a, immB)
+    IfpBnd,      ///< dst = reg a, bounds = ifpbnd(reg a, immB)
+    IfpChk,      ///< dst = ifpchk(reg a, bounds[a], immB)
+    MovGlobalBnd, ///< dst = immA (global), bounds = ifpbnd(immA, immB)
+
+    // --- sync: memory ---
+    Load,            ///< dst = *(addr a|immA), size bytes
+    Store,           ///< *(addr b|immB) = value a|immA
+    FusedGepLoad,    ///< gep into reg b, then load into dst
+    FusedGepStore,   ///< gep into reg b, then store value d|immC
+    FusedIfpAddLoad, ///< ifpadd into reg b, then load into dst
+    FusedIfpAddStore, ///< ifpadd into reg b, then store value d|immC
+    FusedChkLoad,    ///< ifpchk into reg b, then load into dst
+    FusedChkStore,   ///< ifpchk into reg b, then store value d|immC
+
+    // --- sync: other ---
+    Div,          ///< sub = Opcode: SDiv/SRem/UDiv/URem
+    Alloca,       ///< dst = stack slot (size = precomputed slot bytes)
+    Call,         ///< resolved callee; args via orig
+    CallPtr,      ///< indirect call through value a|immA
+    MallocTyped,  ///< dst = malloc(count(a|immA) * size)
+    FreePtr,      ///< free(a|immA)
+    Promote,      ///< dst = promote(reg a)
+    RegisterObj,  ///< dst = register(reg a, immB bytes, layout c)
+    DeregisterObj, ///< deregister(a|immA)
+    IfpMallocTyped, ///< dst = ifp malloc(count(a|immA) * size, layout c)
+    IfpFree,      ///< ifp free(a|immA)
+
+    // --- terminators ---
+    Jmp,        ///< goto target0
+    Br,         ///< if (a|immA) goto target0 else target1
+    FusedCmpBr, ///< icmp (sub) a|immA, b|immB into dst, then branch
+    Ret,        ///< return a|immA (kRetNone: void)
+    Trap,       ///< workload assert, code immA
+};
+
+/** Operand-kind and behaviour flags. */
+enum RecordFlags : uint8_t
+{
+    kAReg = 1,  ///< operand a is a register (else immA)
+    kBReg = 2,  ///< operand b is a register (else immB)
+    kCReg = 4,  ///< operand c is a register (else immC / immB per op)
+    kDReg = 8,  ///< store value is a register d (else immC)
+    /** Memory op: perform the implicit IFPR bounds check (the address
+     *  operand is a register and implicit checking is configured). */
+    kCheckBounds = 16,
+    /** Memory op: check statically proven redundant — skip the
+     *  predicate evaluation, keep the simulated accounting. */
+    kElide = 32,
+    /** Ret: void (None operand). Alloca: padded (registered) slot. */
+    kMisc = 64,
+    /** Call: caller side of the bounds-passing convention holds. */
+    kPassBounds = 128,
+};
+
+/**
+ * One fully-resolved record. Fused records keep the general path's
+ * exact sub-step order: intermediate register/bounds writes happen
+ * before the access check, which happens before the data access.
+ * `nextIp` and `rest` support the mid-block bail-out to the general
+ * interpreter when the instruction budget could expire before the
+ * block's remaining static charges land.
+ */
+struct Record
+{
+    Op op = Op::Jmp;
+    uint8_t sub = 0;      ///< secondary opcode / predicate / gep instrs
+    uint8_t flags = 0;
+    uint8_t sextBits = 0; ///< sign-extend result from this width; 0=no
+    uint8_t ldClass = 8;  ///< memory access width class (1/2/4/8)
+    uint8_t width = 0;    ///< LShr: operand width to mask to; 0 = none
+    ir::Reg dst = 0;
+    uint32_t a = 0;
+    uint32_t b = 0;       ///< second source / fused intermediate dst
+    uint32_t c = 0;       ///< third source / index reg / LayoutId
+    uint32_t d = 0;       ///< fused store value register
+    uint64_t immA = 0;
+    uint64_t immB = 0;
+    uint64_t immC = 0;
+    uint64_t size = 0;    ///< access bytes / slot bytes / element size
+
+    // Batched charges of the pure run preceding this sync record.
+    uint32_t preInstr = 0;
+    uint32_t preCycles = 0;
+    uint32_t preBase = 0;   ///< CycleClass::Base share of preCycles
+    uint32_t preIfp = 0;    ///< CycleClass::IfpArith class cycles
+    uint32_t preIfpCnt = 0; ///< vm.ifp_arith counter increments
+
+    /** Static instruction charges after this record to block end. */
+    uint32_t rest = 0;
+    /** General-path ip of the first instruction after this record. */
+    uint32_t nextIp = 0;
+
+    ir::BlockId target0 = 0;
+    ir::BlockId target1 = 0;
+    /** Original instruction (arg lists, oracle-free heavy ops). */
+    const ir::Instr *orig = nullptr;
+    /** Pre-resolved direct-call callee. */
+    const ir::Function *callee = nullptr;
+};
+
+struct Block
+{
+    std::vector<Record> records;
+    /** Sum of all static instruction charges in the block. */
+    uint64_t totalInstr = 0;
+};
+
+struct FunctionCode
+{
+    std::vector<Block> blocks;
+};
+
+/** Predecode-time configuration (a snapshot of the VmConfig bits the
+ *  records bake in, plus the constants needed to fold operands). */
+struct PredecodeOptions
+{
+    bool fuse = true;
+    bool checkElim = true;
+    bool implicitChecks = true;
+    bool superscalar = false;
+    bool instrumented = false;
+    /** Null-guard boundary (GuestMemory::pageSize). */
+    GuestAddr nullGuard = 0;
+    /** Resolved raw pointer values of module globals. */
+    const std::vector<uint64_t> *globalPtrRaw = nullptr;
+    const ir::Module *module = nullptr;
+};
+
+/**
+ * Counters in the "vm.superblock" stat group, resolved once. All of
+ * these describe the host-side engine (predecode shape and how checks
+ * were executed); none affect or appear in simulated statistics, and
+ * the differential test excludes this group when comparing engines.
+ */
+struct Stats
+{
+    explicit Stats(StatGroup &g)
+        : functions(g.counter("functions")),
+          blocks(g.counter("blocks")),
+          records(g.counter("records")),
+          fusedRecords(g.counter("fused_records")),
+          fusedCmpBr(g.counter("fused_cmp_br")),
+          fusedGepLoad(g.counter("fused_gep_load")),
+          fusedGepStore(g.counter("fused_gep_store")),
+          fusedIfpAddLoad(g.counter("fused_ifpadd_load")),
+          fusedIfpAddStore(g.counter("fused_ifpadd_store")),
+          fusedChkLoad(g.counter("fused_chk_load")),
+          fusedChkStore(g.counter("fused_chk_store")),
+          fusedMovBnd(g.counter("fused_mov_bnd")),
+          elideSites(g.counter("elide_sites")),
+          elideConstSites(g.counter("elide_const_sites")),
+          checksFull(g.counter("checks_full")),
+          checksElided(g.counter("checks_elided")),
+          fusedExec(g.counter("fused_exec"))
+    {
+        g.formula("check_elim_rate", [this] {
+            uint64_t total = checksFull.value() + checksElided.value();
+            return total == 0 ? 0.0
+                              : static_cast<double>(
+                                    checksElided.value()) /
+                                    static_cast<double>(total);
+        });
+    }
+
+    // Predecode-time shape.
+    Counter &functions;
+    Counter &blocks;
+    Counter &records;
+    Counter &fusedRecords;
+    Counter &fusedCmpBr;
+    Counter &fusedGepLoad;
+    Counter &fusedGepStore;
+    Counter &fusedIfpAddLoad;
+    Counter &fusedIfpAddStore;
+    Counter &fusedChkLoad;
+    Counter &fusedChkStore;
+    Counter &fusedMovBnd;
+    Counter &elideSites;
+    Counter &elideConstSites;
+    // Runtime check execution.
+    Counter &checksFull;
+    Counter &checksElided;
+    Counter &fusedExec;
+};
+
+/** Predecode @p func into superblock records. */
+FunctionCode predecode(const ir::Function &func,
+                       const PredecodeOptions &opts, Stats &stats);
+
+} // namespace sb
+} // namespace infat
+
+#endif // INFAT_VM_SUPERBLOCK_HH

@@ -15,6 +15,10 @@
 #include <stdexcept>
 #include <string>
 
+#include "ifp/bounds.hh"
+#include "ifp/tag.hh"
+#include "support/logging.hh"
+
 namespace infat {
 
 enum class TrapKind
@@ -61,6 +65,37 @@ class GuestTrap : public std::runtime_error
   private:
     TrapKind kind_;
 };
+
+/**
+ * Canonical detail strings for the dereference-check traps. Both the
+ * general interpreter's checkAccess and the superblock engine's fused
+ * check records build their messages here, so trap verdicts stay
+ * bit-identical across engines.
+ */
+inline std::string
+poisonedAccessDetail(TaggedPtr ptr, bool write)
+{
+    return strfmt("%s at %s", write ? "store" : "load",
+                  ptr.toString().c_str());
+}
+
+inline std::string
+nullDerefDetail(GuestAddr addr)
+{
+    return strfmt("address %#llx",
+                  static_cast<unsigned long long>(addr));
+}
+
+inline std::string
+boundsViolationDetail(GuestAddr addr, uint64_t size, const Bounds &bounds,
+                      bool write)
+{
+    return strfmt("%s of %llu bytes at %#llx outside %s",
+                  write ? "store" : "load",
+                  static_cast<unsigned long long>(size),
+                  static_cast<unsigned long long>(addr),
+                  bounds.toString().c_str());
+}
 
 } // namespace infat
 

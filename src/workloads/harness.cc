@@ -59,13 +59,21 @@ std::atomic<bool> recordRuns{false};
 std::mutex recordedMutex;
 std::vector<RecordedRun> recorded;
 
+EngineTuning globalTuning;
+
 /** Execute a built (and possibly instrumented) module; collect stats. */
 RunResult
 execute(const Workload &workload, ir::Module &module,
-        const InstrumentResult *inst, const VmConfig &vm_config,
+        const InstrumentResult *inst, VmConfig vm_config,
         const Observability *obs, const std::string &label,
         std::chrono::steady_clock::time_point run_start)
 {
+    // Host-engine tuning composes: a feature runs only if both the
+    // per-run config and the process-global tuning allow it.
+    vm_config.superblocks &= globalTuning.superblocks;
+    vm_config.superblockFusion &= globalTuning.superblockFusion;
+    vm_config.superblockCheckElim &= globalTuning.superblockCheckElim;
+
     Machine machine(module, inst ? &inst->layouts : nullptr, vm_config);
     installLibc(machine);
     if (obs && obs->traceSink)
@@ -178,6 +186,9 @@ runWorkloadCustomImpl(const Workload &workload, const CustomRun &custom,
     vm_config.implicitChecks = custom.implicitChecks;
     vm_config.superscalar = custom.superscalar;
     vm_config.useL2 = custom.useL2;
+    vm_config.superblocks = custom.superblocks;
+    vm_config.superblockFusion = custom.superblockFusion;
+    vm_config.superblockCheckElim = custom.superblockCheckElim;
 
     return execute(workload, module,
                    custom.instrumented ? &inst : nullptr, vm_config,
@@ -185,6 +196,18 @@ runWorkloadCustomImpl(const Workload &workload, const CustomRun &custom,
 }
 
 } // namespace
+
+void
+setEngineTuning(const EngineTuning &tuning)
+{
+    globalTuning = tuning;
+}
+
+EngineTuning
+engineTuning()
+{
+    return globalTuning;
+}
 
 void
 setRunRecording(bool enabled)

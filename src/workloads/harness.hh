@@ -146,6 +146,16 @@ struct CustomRun
     bool explicitChecks = false;
     bool superscalar = false;
     bool useL2 = false;
+    /**
+     * Host interpreter engine selection (VmConfig equivalents). These
+     * never affect simulated results — they exist so the differential
+     * tests and the bench ablation can pin an engine per run. Both the
+     * per-run flags and the process-global engineTuning() must enable
+     * a feature for it to be active (they are ANDed).
+     */
+    bool superblocks = true;
+    bool superblockFusion = true;
+    bool superblockCheckElim = true;
 };
 
 /** Human-readable label for a CustomRun ("custom-subheap+ss+l2"…). */
@@ -180,6 +190,25 @@ void setRunRecording(bool enabled);
 bool runRecordingEnabled();
 std::vector<RecordedRun> recordedRuns();
 void clearRecordedRuns();
+
+/**
+ * Process-wide host-engine tuning, applied (ANDed) on top of whatever
+ * VmConfig a harness entry point builds — including the fixed
+ * five-configuration runWorkload path, which has no per-run knob. Lets
+ * a bench binary or test pin every run in the process to one engine
+ * (e.g. bench_selfperf --engine=general). Host-side only: simulated
+ * results are identical under any setting. Not thread-safe against
+ * concurrent runs; set it before spawning ThreadPool work.
+ */
+struct EngineTuning
+{
+    bool superblocks = true;
+    bool superblockFusion = true;
+    bool superblockCheckElim = true;
+};
+
+void setEngineTuning(const EngineTuning &tuning);
+EngineTuning engineTuning();
 
 } // namespace workloads
 } // namespace infat

@@ -1,0 +1,523 @@
+/**
+ * @file
+ * Tests for the superblock interpreter (vm/superblock.hh): engine
+ * equivalence on predecode edge cases (single-block functions,
+ * self-looping blocks, calls inside blocks, mixed instrumented /
+ * native call graphs), exact trap preservation under fusion and
+ * redundant-check elimination, instruction-budget equality across the
+ * block-entry and mid-block bail-out paths, and the GuestMemory
+ * micro-TLB invalidation on unmap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <string>
+
+#include "compiler/instrument.hh"
+#include "ir/builder.hh"
+#include "ir/verifier.hh"
+#include "mem/guest_memory.hh"
+#include "support/trace.hh"
+#include "vm/libc_model.hh"
+#include "vm/machine.hh"
+
+namespace infat {
+namespace {
+
+using namespace ir;
+
+using BuildFn = std::function<void(Module &)>;
+
+struct EngineRun
+{
+    bool trapped = false;
+    std::string trapWhat;
+    TrapKind trapKind = TrapKind::WorkloadAssert;
+    uint64_t checksum = 0;
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    std::array<uint64_t,
+               static_cast<size_t>(Machine::CycleClass::NumClasses)>
+        classes{};
+    StatSnapshot stats;
+};
+
+struct EngineOptions
+{
+    bool instrument = false;
+    bool superblocks = true;
+    bool fusion = true;
+    bool checkElim = true;
+    uint64_t maxInstructions = 20'000'000'000ULL;
+    bool attachTracer = false;
+};
+
+EngineRun
+runEngine(const BuildFn &build, const EngineOptions &opts)
+{
+    Module m;
+    build(m);
+    InstrumentResult inst;
+    if (opts.instrument) {
+        inst = instrumentModule(m);
+        verifyOrDie(m);
+    }
+    VmConfig config;
+    config.instrumented = opts.instrument;
+    config.superblocks = opts.superblocks;
+    config.superblockFusion = opts.fusion;
+    config.superblockCheckElim = opts.checkElim;
+    config.maxInstructions = opts.maxInstructions;
+    CollectTraceSink sink;
+    Machine machine(m, opts.instrument ? &inst.layouts : nullptr,
+                    config);
+    installLibc(machine);
+    if (opts.attachTracer)
+        machine.setTraceSink(&sink);
+
+    EngineRun run;
+    try {
+        run.checksum = machine.run();
+    } catch (const GuestTrap &trap) {
+        run.trapped = true;
+        run.trapWhat = trap.what();
+        run.trapKind = trap.kind();
+    }
+    run.instructions = machine.instructions();
+    run.cycles = machine.cycles();
+    for (size_t c = 0; c < run.classes.size(); ++c)
+        run.classes[c] =
+            machine.classCycles(static_cast<Machine::CycleClass>(c));
+    machine.syncStats();
+    run.stats = machine.statRegistry().snapshot();
+    return run;
+}
+
+/** Compare two runs' snapshots, skipping the host-engine group. */
+void
+expectStatsEqual(const StatSnapshot &a, const StatSnapshot &b)
+{
+    for (const StatSnapshot::Group &ga : a.groups) {
+        if (ga.name == "vm.superblock")
+            continue;
+        const StatSnapshot::Group *gb = b.findGroup(ga.name);
+        ASSERT_NE(gb, nullptr) << "missing group " << ga.name;
+        EXPECT_EQ(ga.scalars, gb->scalars) << "group " << ga.name;
+        EXPECT_EQ(ga.formulas, gb->formulas) << "group " << ga.name;
+        ASSERT_EQ(ga.histograms.size(), gb->histograms.size())
+            << "group " << ga.name;
+        for (const auto &[name, ha] : ga.histograms) {
+            auto it = gb->histograms.find(name);
+            ASSERT_NE(it, gb->histograms.end())
+                << ga.name << "." << name;
+            EXPECT_EQ(ha.count, it->second.count)
+                << ga.name << "." << name;
+            EXPECT_EQ(ha.sum, it->second.sum)
+                << ga.name << "." << name;
+        }
+        ASSERT_EQ(ga.distributions.size(), gb->distributions.size())
+            << "group " << ga.name;
+        for (const auto &[name, da] : ga.distributions) {
+            auto it = gb->distributions.find(name);
+            ASSERT_NE(it, gb->distributions.end())
+                << ga.name << "." << name;
+            EXPECT_EQ(da.count, it->second.count)
+                << ga.name << "." << name;
+            EXPECT_EQ(da.sum, it->second.sum)
+                << ga.name << "." << name;
+            EXPECT_EQ(da.min, it->second.min)
+                << ga.name << "." << name;
+            EXPECT_EQ(da.max, it->second.max)
+                << ga.name << "." << name;
+        }
+    }
+}
+
+/**
+ * Run @p build under the general interpreter and under the superblock
+ * engine (and its fusion/check-elim ablations); every simulated
+ * observable must be bit-identical.
+ */
+void
+expectEnginesAgree(const BuildFn &build, bool instrument,
+                   uint64_t max_instructions = 20'000'000'000ULL)
+{
+    EngineOptions base;
+    base.instrument = instrument;
+    base.maxInstructions = max_instructions;
+
+    EngineOptions general = base;
+    general.superblocks = false;
+    EngineRun ref = runEngine(build, general);
+
+    struct Variant
+    {
+        const char *name;
+        bool fusion;
+        bool checkElim;
+    };
+    const Variant variants[] = {
+        {"superblock", true, true},
+        {"superblock-nofuse", false, true},
+        {"superblock-noelim", true, false},
+        {"superblock-base", false, false},
+    };
+    for (const Variant &v : variants) {
+        EngineOptions opts = base;
+        opts.fusion = v.fusion;
+        opts.checkElim = v.checkElim;
+        EngineRun got = runEngine(build, opts);
+        SCOPED_TRACE(v.name);
+        EXPECT_EQ(ref.trapped, got.trapped);
+        EXPECT_EQ(ref.trapWhat, got.trapWhat);
+        if (ref.trapped && got.trapped) {
+            EXPECT_EQ(ref.trapKind, got.trapKind);
+        }
+        EXPECT_EQ(ref.checksum, got.checksum);
+        EXPECT_EQ(ref.instructions, got.instructions);
+        EXPECT_EQ(ref.cycles, got.cycles);
+        EXPECT_EQ(ref.classes, got.classes);
+        expectStatsEqual(ref.stats, got.stats);
+        expectStatsEqual(got.stats, ref.stats);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Predecode edge cases
+// ---------------------------------------------------------------------
+
+TEST(Superblock, SingleBlockFunction)
+{
+    // Straight-line arithmetic, one block, no memory: the whole
+    // function is one pure run flushed by the Ret record.
+    auto build = [](Module &m) {
+        declareLibc(m);
+        TypeContext &tc = m.types();
+        FunctionBuilder fb(m, "main", {}, tc.i64());
+        Value a = fb.add(fb.iconst(40), fb.iconst(2));
+        Value b = fb.mul(a, fb.iconst(3));
+        Value c = fb.xor_(b, fb.iconst(0x55));
+        Value d = fb.select(fb.sgt(c, fb.iconst(0)), c, a);
+        fb.ret(fb.sub(d, fb.ashr(b, fb.iconst(1))));
+    };
+    expectEnginesAgree(build, false);
+    expectEnginesAgree(build, true);
+}
+
+TEST(Superblock, SelfLoopingBlock)
+{
+    // One block that branches back to itself: the backward `rest` pass
+    // and the block-entry budget guard see the same block repeatedly.
+    auto build = [](Module &m) {
+        declareLibc(m);
+        TypeContext &tc = m.types();
+        FunctionBuilder fb(m, "main", {}, tc.i64());
+        Value i = fb.var(tc.i64());
+        Value sum = fb.var(tc.i64());
+        fb.assign(i, fb.iconst(0));
+        fb.assign(sum, fb.iconst(0));
+        BlockId loop = fb.newBlock("loop");
+        BlockId done = fb.newBlock("done");
+        fb.jmp(loop);
+        fb.setBlock(loop);
+        fb.assign(sum, fb.add(sum, i));
+        fb.assign(i, fb.addImm(i, 1));
+        fb.br(fb.slt(i, fb.iconst(1000)), loop, done);
+        fb.setBlock(done);
+        fb.ret(sum);
+    };
+    expectEnginesAgree(build, false);
+    expectEnginesAgree(build, true);
+}
+
+TEST(Superblock, CallsInsideBlocks)
+{
+    // Calls are mid-block sync records (and budget barriers); the
+    // call graph mixes direct calls, an indirect call, and native
+    // (libc-model) allocation calls — the instrumented/uninstrumented
+    // engine boundary.
+    auto build = [](Module &m) {
+        declareLibc(m);
+        TypeContext &tc = m.types();
+        {
+            FunctionBuilder fb(m, "leaf", {tc.i64()}, tc.i64());
+            fb.ret(fb.mulImm(fb.arg(0), 3));
+        }
+        {
+            FunctionBuilder fb(m, "mid", {tc.i64()}, tc.i64());
+            Value a = fb.call("leaf", {fb.arg(0)});
+            Value b = fb.call("leaf", {a});
+            fb.ret(fb.add(a, b));
+        }
+        FunctionBuilder fb(m, "main", {}, tc.i64());
+        Value x = fb.call("mid", {fb.iconst(7)});
+        Value target = fb.funcAddr("leaf");
+        Value y = fb.callPtr(target, tc.i64(), {x});
+        Value buf = fb.mallocTyped(tc.i64(), fb.iconst(4));
+        fb.store(y, buf);
+        Value z = fb.load(buf);
+        fb.freePtr(buf);
+        fb.ret(fb.add(z, x));
+    };
+    expectEnginesAgree(build, false);
+    expectEnginesAgree(build, true);
+}
+
+TEST(Superblock, FusionPatternsViaStructs)
+{
+    // Instrumented struct + array code produces the fusable pairs the
+    // instrumentation emits (gep+load/store, ifp ops + access).
+    auto build = [](Module &m) {
+        declareLibc(m);
+        TypeContext &tc = m.types();
+        const Type *node = tc.createStruct("node", {tc.i64(), tc.i64()});
+        FunctionBuilder fb(m, "main", {}, tc.i64());
+        Value arr = fb.mallocTyped(node, fb.iconst(8));
+        Value i = fb.var(tc.i64());
+        fb.assign(i, fb.iconst(0));
+        BlockId loop = fb.newBlock("loop");
+        BlockId done = fb.newBlock("done");
+        fb.jmp(loop);
+        fb.setBlock(loop);
+        Value p = fb.elemPtr(arr, i);
+        fb.storeField(p, 0, i);
+        fb.storeField(p, 1, fb.mulImm(i, 5));
+        fb.assign(i, fb.addImm(i, 1));
+        fb.br(fb.slt(i, fb.iconst(8)), loop, done);
+        fb.setBlock(done);
+        Value sum = fb.var(tc.i64());
+        fb.assign(sum, fb.iconst(0));
+        Value j = fb.var(tc.i64());
+        fb.assign(j, fb.iconst(0));
+        BlockId loop2 = fb.newBlock("loop2");
+        BlockId done2 = fb.newBlock("done2");
+        fb.jmp(loop2);
+        fb.setBlock(loop2);
+        Value q = fb.elemPtr(arr, j);
+        fb.assign(sum, fb.add(sum, fb.loadField(q, 0)));
+        fb.assign(sum, fb.add(sum, fb.loadField(q, 1)));
+        fb.assign(j, fb.addImm(j, 1));
+        fb.br(fb.slt(j, fb.iconst(8)), loop2, done2);
+        fb.setBlock(done2);
+        fb.freePtr(arr);
+        fb.ret(sum);
+    };
+    expectEnginesAgree(build, false);
+    expectEnginesAgree(build, true);
+}
+
+// ---------------------------------------------------------------------
+// Trap preservation
+// ---------------------------------------------------------------------
+
+TEST(Superblock, CheckElimPreservesOutOfBoundsTrap)
+{
+    // In-bounds accesses warm the in-block check cache; the final
+    // access walks past the allocation through the same kind of
+    // address expression and must still trap, with the identical
+    // message, in every engine variant.
+    auto build = [](Module &m) {
+        declareLibc(m);
+        TypeContext &tc = m.types();
+        FunctionBuilder fb(m, "main", {}, tc.i64());
+        Value arr = fb.mallocTyped(tc.i64(), fb.iconst(4));
+        fb.store(fb.iconst(1), fb.elemPtr(arr, int64_t{0}));
+        fb.store(fb.iconst(2), fb.elemPtr(arr, int64_t{1}));
+        Value v = fb.load(fb.elemPtr(arr, int64_t{0}));
+        fb.store(v, fb.elemPtr(arr, int64_t{6})); // out of bounds
+        fb.ret(v);
+    };
+    expectEnginesAgree(build, true);
+}
+
+TEST(Superblock, RepeatedAccessSameRegisterStillChecksGrowth)
+{
+    // The loop body accesses elemPtr(arr, i) and then advances i: the
+    // kill set must invalidate the cached check fact keyed on i, so
+    // the eventual out-of-bounds iteration traps identically instead
+    // of riding a stale elision.
+    auto build = [](Module &m) {
+        declareLibc(m);
+        TypeContext &tc = m.types();
+        FunctionBuilder fb(m, "main", {}, tc.i64());
+        Value arr = fb.mallocTyped(tc.i64(), fb.iconst(4));
+        Value i = fb.var(tc.i64());
+        fb.assign(i, fb.iconst(0));
+        BlockId loop = fb.newBlock("loop");
+        BlockId done = fb.newBlock("done");
+        fb.jmp(loop);
+        fb.setBlock(loop);
+        fb.store(i, fb.elemPtr(arr, i)); // traps when i == 4
+        fb.assign(i, fb.addImm(i, 1));
+        fb.br(fb.slt(i, fb.iconst(100)), loop, done);
+        fb.setBlock(done);
+        fb.ret(fb.iconst(0));
+    };
+    expectEnginesAgree(build, true);
+}
+
+TEST(Superblock, DivisionByZeroAndAssertTraps)
+{
+    auto div_build = [](Module &m) {
+        declareLibc(m);
+        TypeContext &tc = m.types();
+        FunctionBuilder fb(m, "main", {}, tc.i64());
+        Value z = fb.sub(fb.iconst(5), fb.iconst(5));
+        fb.ret(fb.sdiv(fb.iconst(1), z));
+    };
+    expectEnginesAgree(div_build, false);
+
+    auto trap_build = [](Module &m) {
+        declareLibc(m);
+        TypeContext &tc = m.types();
+        FunctionBuilder fb(m, "main", {}, tc.i64());
+        BlockId bad = fb.newBlock("bad");
+        BlockId good = fb.newBlock("good");
+        fb.br(fb.eq(fb.iconst(1), fb.iconst(1)), bad, good);
+        fb.setBlock(bad);
+        fb.trap(42);
+        fb.setBlock(good);
+        fb.ret(fb.iconst(0));
+    };
+    expectEnginesAgree(trap_build, false);
+}
+
+// ---------------------------------------------------------------------
+// Instruction budget
+// ---------------------------------------------------------------------
+
+TEST(Superblock, InstructionLimitExactAcrossEngines)
+{
+    // Sweep the budget across block boundaries, call barriers, and the
+    // exact completion count: both engines must agree on whether the
+    // run traps, on the trap message, and on the final instruction
+    // counter (the superblock engine bails to the general path rather
+    // than over- or under-charging).
+    auto build = [](Module &m) {
+        declareLibc(m);
+        TypeContext &tc = m.types();
+        {
+            FunctionBuilder fb(m, "leaf", {tc.i64()}, tc.i64());
+            fb.ret(fb.addImm(fb.arg(0), 1));
+        }
+        FunctionBuilder fb(m, "main", {}, tc.i64());
+        Value buf = fb.mallocTyped(tc.i64(), fb.iconst(2));
+        Value i = fb.var(tc.i64());
+        fb.assign(i, fb.iconst(0));
+        BlockId loop = fb.newBlock("loop");
+        BlockId done = fb.newBlock("done");
+        fb.jmp(loop);
+        fb.setBlock(loop);
+        fb.store(i, fb.elemPtr(buf, int64_t{0}));
+        fb.assign(i, fb.call("leaf", {i}));
+        fb.br(fb.slt(i, fb.iconst(40)), loop, done);
+        fb.setBlock(done);
+        fb.freePtr(buf);
+        fb.ret(i);
+    };
+
+    EngineOptions unlimited;
+    unlimited.superblocks = false;
+    EngineRun full = runEngine(build, unlimited);
+    ASSERT_FALSE(full.trapped);
+    ASSERT_GT(full.instructions, 50u);
+
+    const uint64_t interesting[] = {1,
+                                    2,
+                                    3,
+                                    full.instructions / 3,
+                                    full.instructions / 2,
+                                    full.instructions - 2,
+                                    full.instructions - 1,
+                                    full.instructions,
+                                    full.instructions + 1};
+    for (uint64_t limit : interesting) {
+        SCOPED_TRACE(limit);
+        expectEnginesAgree(build, false, limit);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine eligibility
+// ---------------------------------------------------------------------
+
+TEST(Superblock, TracerForcesGeneralPathWithIdenticalStats)
+{
+    auto build = [](Module &m) {
+        declareLibc(m);
+        TypeContext &tc = m.types();
+        FunctionBuilder fb(m, "main", {}, tc.i64());
+        Value buf = fb.mallocTyped(tc.i64(), fb.iconst(2));
+        fb.store(fb.iconst(11), buf);
+        Value v = fb.load(buf);
+        fb.freePtr(buf);
+        fb.ret(v);
+    };
+    EngineOptions with_sb;
+    EngineRun sb_run = runEngine(build, with_sb);
+
+    // Superblocks configured on, but a trace sink forces the general
+    // path for every activation; simulated results must not move.
+    EngineOptions traced = with_sb;
+    traced.attachTracer = true;
+    EngineRun traced_run = runEngine(build, traced);
+
+    EXPECT_EQ(sb_run.checksum, traced_run.checksum);
+    EXPECT_EQ(sb_run.instructions, traced_run.instructions);
+    EXPECT_EQ(sb_run.cycles, traced_run.cycles);
+    // The traced run must not have predecoded anything.
+    EXPECT_EQ(traced_run.stats.scalar("vm.superblock", "functions"),
+              0u);
+    EXPECT_GT(sb_run.stats.scalar("vm.superblock", "functions"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// GuestMemory unmap / micro-TLB
+// ---------------------------------------------------------------------
+
+TEST(GuestMemoryUnmap, InvalidatesMicroTlb)
+{
+    GuestMemory mem;
+    GuestAddr addr = 0x10000000;
+    mem.store<uint64_t>(addr, 0xdeadbeefULL);
+    // Warm the micro-TLB on the page.
+    EXPECT_EQ(mem.load<uint64_t>(addr), 0xdeadbeefULL);
+
+    mem.unmap(addr, GuestMemory::pageSize);
+    // A stale micro-TLB hit would return the old host buffer's
+    // contents; the re-materialized page must read back zero-filled.
+    EXPECT_EQ(mem.load<uint64_t>(addr), 0u);
+
+    mem.store<uint64_t>(addr, 0x1234ULL);
+    EXPECT_EQ(mem.load<uint64_t>(addr), 0x1234ULL);
+}
+
+TEST(GuestMemoryUnmap, PartialPagesAreNotReleased)
+{
+    GuestMemory mem;
+    GuestAddr addr = 0x20000000;
+    mem.store<uint64_t>(addr, 77);
+    // Range smaller than a page (and not page-aligned at both ends):
+    // no full page is covered, nothing is released.
+    mem.unmap(addr + 8, 100);
+    EXPECT_EQ(mem.load<uint64_t>(addr), 77u);
+}
+
+TEST(GuestMemoryUnmap, ResidentPeakSurvivesUnmap)
+{
+    GuestMemory mem;
+    for (int i = 0; i < 4; ++i)
+        mem.store<uint8_t>(0x30000000 + i * GuestMemory::pageSize, 1);
+    uint64_t peak = mem.residentBytes();
+    EXPECT_EQ(peak, 4 * GuestMemory::pageSize);
+    mem.unmap(0x30000000, 2 * GuestMemory::pageSize);
+    EXPECT_EQ(mem.pagesMapped(), 2u);
+    // Figure 12 models max resident size; releasing pages later must
+    // not rewrite history.
+    EXPECT_EQ(mem.residentBytes(), peak);
+}
+
+} // namespace
+} // namespace infat

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Differential gate for the superblock interpreter: every workload, in
+ * both an uninstrumented and an instrumented configuration, must
+ * produce bit-identical simulated results (checksum, instruction and
+ * cycle counts, and the full stat snapshot) under the superblock
+ * engine and under the general interpreter path. The only stat group
+ * allowed to differ is "vm.superblock", which describes the host
+ * engine itself.
+ *
+ * Exits non-zero and prints every divergence when the engines
+ * disagree. Registered as a ctest (infat_superblock_diff).
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workloads/harness.hh"
+#include "workloads/workload.hh"
+
+using namespace infat;
+using namespace infat::workloads;
+
+namespace {
+
+int failures = 0;
+
+void
+reportMismatch(const std::string &where, const std::string &what,
+         const std::string &general_val, const std::string &sb_val)
+{
+    ++failures;
+    std::fprintf(stderr, "MISMATCH %s: %s general=%s superblock=%s\n",
+                 where.c_str(), what.c_str(), general_val.c_str(),
+                 sb_val.c_str());
+}
+
+void
+compareU64(const std::string &where, const std::string &what,
+           uint64_t general_val, uint64_t sb_val)
+{
+    if (general_val != sb_val)
+        reportMismatch(where, what, std::to_string(general_val),
+                 std::to_string(sb_val));
+}
+
+/** Compare snapshots both ways, ignoring the host-engine group. */
+void
+compareStats(const std::string &where, const StatSnapshot &general_s,
+             const StatSnapshot &sb_s)
+{
+    for (int dir = 0; dir < 2; ++dir) {
+        const StatSnapshot &a = dir == 0 ? general_s : sb_s;
+        const StatSnapshot &b = dir == 0 ? sb_s : general_s;
+        for (const StatSnapshot::Group &ga : a.groups) {
+            if (ga.name == "vm.superblock")
+                continue;
+            const StatSnapshot::Group *gb = b.findGroup(ga.name);
+            if (!gb) {
+                reportMismatch(where, "group " + ga.name,
+                         dir == 0 ? "present" : "absent",
+                         dir == 0 ? "absent" : "present");
+                continue;
+            }
+            if (dir != 0)
+                continue; // contents compared on the first pass
+            for (const auto &[name, v] : ga.scalars)
+                compareU64(where, ga.name + "." + name, v,
+                           gb->scalars.count(name)
+                               ? gb->scalars.at(name)
+                               : ~0ULL);
+            for (const auto &[name, v] : ga.formulas) {
+                auto it = gb->formulas.find(name);
+                if (it == gb->formulas.end() || it->second != v)
+                    reportMismatch(where, ga.name + "." + name,
+                             std::to_string(v),
+                             it == gb->formulas.end()
+                                 ? "absent"
+                                 : std::to_string(it->second));
+            }
+            for (const auto &[name, h] : ga.histograms) {
+                auto it = gb->histograms.find(name);
+                if (it == gb->histograms.end()) {
+                    reportMismatch(where, ga.name + "." + name, "present",
+                             "absent");
+                    continue;
+                }
+                compareU64(where, ga.name + "." + name + ".count",
+                           h.count, it->second.count);
+                compareU64(where, ga.name + "." + name + ".sum",
+                           h.sum, it->second.sum);
+            }
+            for (const auto &[name, d] : ga.distributions) {
+                auto it = gb->distributions.find(name);
+                if (it == gb->distributions.end()) {
+                    reportMismatch(where, ga.name + "." + name, "present",
+                             "absent");
+                    continue;
+                }
+                compareU64(where, ga.name + "." + name + ".count",
+                           d.count, it->second.count);
+                compareU64(where, ga.name + "." + name + ".sum",
+                           d.sum, it->second.sum);
+                compareU64(where, ga.name + "." + name + ".min",
+                           d.min, it->second.min);
+                compareU64(where, ga.name + "." + name + ".max",
+                           d.max, it->second.max);
+            }
+        }
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    const Config configs[] = {Config::Baseline, Config::Subheap};
+
+    int runs = 0;
+    for (const Workload &workload : all()) {
+        for (Config config : configs) {
+            std::string where = std::string(workload.name) + "/" +
+                                toString(config);
+
+            EngineTuning general;
+            general.superblocks = false;
+            setEngineTuning(general);
+            RunResult ref = runWorkload(workload, config);
+
+            setEngineTuning(EngineTuning{}); // superblocks + all opts
+            RunResult sb = runWorkload(workload, config);
+
+            compareU64(where, "checksum", ref.checksum, sb.checksum);
+            compareU64(where, "instructions", ref.instructions,
+                       sb.instructions);
+            compareU64(where, "cycles", ref.cycles, sb.cycles);
+            compareStats(where, ref.stats, sb.stats);
+
+            // The superblock pass really must have used the engine
+            // (otherwise this gate compares general against itself).
+            if (sb.stats.scalar("vm.superblock", "functions") == 0) {
+                ++failures;
+                std::fprintf(stderr,
+                             "MISMATCH %s: superblock engine was not "
+                             "active (0 functions predecoded)\n",
+                             where.c_str());
+            }
+            ++runs;
+        }
+    }
+
+    if (failures != 0) {
+        std::fprintf(stderr,
+                     "superblock_diff: %d divergence(s) across %d "
+                     "run pairs\n",
+                     failures, runs);
+        return 1;
+    }
+    std::printf("superblock_diff: %d run pairs bit-identical "
+                "(all workloads x {baseline, subheap})\n",
+                runs);
+    return 0;
+}
