@@ -21,6 +21,10 @@
  *                 superblock-noelim | superblock (default). Used for
  *                 the ablation table in docs/PERFORMANCE.md; simulated
  *                 results are identical under every engine.
+ *   --stats-json=PATH
+ *                 also export every recorded run's full stat snapshot
+ *                 (bench_util.hh StatsExport); uploaded as a CI
+ *                 artifact by the smoke job.
  */
 
 #include <sys/utsname.h>
@@ -133,6 +137,7 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
+    infat::bench::StatsExport stats_export("selfperf", argc, argv);
     unsigned jobs = parseJobs(argc, argv);
     bool smoke = false;
     std::string out = "BENCH_selfperf.json";
@@ -209,6 +214,7 @@ main(int argc, char **argv)
     JsonWriter json(f, /*pretty=*/true);
     json.beginObject();
     json.field("bench", std::string_view("selfperf"));
+    writeProvenance(json);
     json.field("smoke", smoke);
     json.field("engine", std::string_view(engine));
     json.field("host_cores",

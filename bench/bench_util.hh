@@ -26,6 +26,12 @@
 #include "support/thread_pool.hh"
 #include "workloads/harness.hh"
 
+// CMake-generated build provenance (git commit, configure preset);
+// absent when the header is compiled outside the CMake build.
+#if __has_include("infat_provenance.hh")
+#include "infat_provenance.hh"
+#endif
+
 namespace infat {
 namespace bench {
 
@@ -198,6 +204,52 @@ parseJobs(int argc, char **argv)
     return jobs;
 }
 
+/**
+ * Build/run provenance stamped into every bench JSON artifact: the git
+ * commit and configure preset (baked in by CMake at configure time)
+ * and the host interpreter engine the process is pinned to. Lets a
+ * BENCH_*.json trajectory always answer "what produced this number".
+ */
+inline const char *
+provenanceGitCommit()
+{
+#ifdef INFAT_GIT_COMMIT
+    return INFAT_GIT_COMMIT;
+#else
+    return "unknown";
+#endif
+}
+
+inline const char *
+provenanceBuildPreset()
+{
+#ifdef INFAT_BUILD_PRESET
+    return INFAT_BUILD_PRESET;
+#else
+    return "unknown";
+#endif
+}
+
+inline const char *
+provenanceEngine()
+{
+    return workloads::engineTuning().superblocks ? "superblock"
+                                                 : "general";
+}
+
+/** Emit the "provenance" member (call between key/value pairs). */
+inline void
+writeProvenance(JsonWriter &json)
+{
+    json.key("provenance");
+    json.beginObject();
+    json.field("git_commit", std::string_view(provenanceGitCommit()));
+    json.field("build_preset",
+               std::string_view(provenanceBuildPreset()));
+    json.field("engine", std::string_view(provenanceEngine()));
+    json.endObject();
+}
+
 inline double
 ratio(uint64_t a, uint64_t b)
 {
@@ -286,6 +338,7 @@ class StatsExport
         JsonWriter json(f, /*pretty=*/true);
         json.beginObject();
         json.field("bench", std::string_view(bench_));
+        writeProvenance(json);
         json.key("runs");
         json.beginArray();
         for (const workloads::RecordedRun &run : runs) {

@@ -10,19 +10,30 @@
  *          [--explicit-checks] [--superscalar] [--list]
  *          [--stats-json=<path>] [--trace=<path>]
  *          [--trace-categories=<csv>]
+ *          [--profile=<path>] [--flame=<path>]
+ *          [--profile-trace=<path>] [--sample-interval=<cycles>]
+ *          [--forensics]
  *
  * --stats-json writes the machine's full stat registry as JSON;
  * --trace writes a Chrome trace-event file loadable in Perfetto
- * (docs/OBSERVABILITY.md).
+ * (docs/OBSERVABILITY.md). --profile attaches the guest profiler and
+ * writes its "profile" JSON standalone (it also joins --stats-json);
+ * --flame writes collapsed stacks for flamegraph.pl / speedscope;
+ * --profile-trace writes the sampled counter tracks as a Chrome
+ * trace; --forensics prints a full trap report if the run traps.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 
 #include "support/logging.hh"
+#include "support/profile.hh"
 #include "support/trace.hh"
+#include "vm/forensics.hh"
+#include "vm/trap.hh"
 #include "workloads/harness.hh"
 
 using namespace infat;
@@ -42,6 +53,10 @@ usage()
                  "              [--stats-json=<path>] "
                  "[--trace=<path>]\n"
                  "              [--trace-categories=<csv>]\n"
+                 "              [--profile=<path>] [--flame=<path>]\n"
+                 "              [--profile-trace=<path>] "
+                 "[--sample-interval=<cycles>]\n"
+                 "              [--forensics]\n"
                  "       ifpsim --list\n");
     return 2;
 }
@@ -134,6 +149,10 @@ main(int argc, char **argv)
 
     Observability obs;
     std::string trace_path;
+    std::string profile_path;
+    std::string flame_path;
+    std::string profile_trace_path;
+    uint64_t sample_interval = 0;
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg[0] != '-')
@@ -155,6 +174,17 @@ main(int argc, char **argv)
             trace_path = arg.substr(8);
         else if (arg.rfind("--trace-categories=", 0) == 0)
             obs.traceCategories = parseTraceCategories(arg.substr(19));
+        else if (arg.rfind("--profile=", 0) == 0)
+            profile_path = arg.substr(10);
+        else if (arg.rfind("--flame=", 0) == 0)
+            flame_path = arg.substr(8);
+        else if (arg.rfind("--profile-trace=", 0) == 0)
+            profile_trace_path = arg.substr(16);
+        else if (arg.rfind("--sample-interval=", 0) == 0)
+            sample_interval =
+                std::strtoull(arg.c_str() + 18, nullptr, 0);
+        else if (arg == "--forensics")
+            obs.forensics = true;
         else
             return usage();
     }
@@ -165,17 +195,55 @@ main(int argc, char **argv)
         obs.traceSink = trace_sink.get();
     }
 
+    GuestProfiler profiler;
+    bool want_profile = !profile_path.empty() || !flame_path.empty() ||
+                        !profile_trace_path.empty();
+    if (want_profile) {
+        // Flamegraphs / counter tracks need stack samples; default to
+        // one sample per 512 simulated cycles unless overridden.
+        if (sample_interval == 0 &&
+            (!flame_path.empty() || !profile_trace_path.empty()))
+            sample_interval = 512;
+        profiler.setSampleInterval(sample_interval);
+        obs.profiler = &profiler;
+    }
+
     setQuiet(true);
     RunResult result;
-    if (baseline) {
-        result = runWorkload(*workload, Config::Baseline, obs);
-    } else {
-        result = runWorkloadCustom(*workload, custom, obs);
+    try {
+        if (baseline) {
+            result = runWorkload(*workload, Config::Baseline, obs);
+        } else {
+            result = runWorkloadCustom(*workload, custom, obs);
+        }
+    } catch (const GuestTrap &trap) {
+        std::fprintf(stderr, "%s\n", trap.what());
+        if (trap.report())
+            std::fprintf(stderr, "%s", trap.report()->text().c_str());
+        return 1;
     }
     if (trace_sink) {
         trace_sink->close();
         std::fprintf(stderr, "trace written to %s\n",
                      trace_path.c_str());
+    }
+    if (!profile_path.empty()) {
+        std::ofstream os(profile_path);
+        os << profiler.sectionJson() << "\n";
+        std::fprintf(stderr, "profile written to %s\n",
+                     profile_path.c_str());
+    }
+    if (!flame_path.empty()) {
+        profiler.writeCollapsedFile(flame_path);
+        std::fprintf(stderr,
+                     "collapsed stacks (%llu samples) written to %s\n",
+                     (unsigned long long)profiler.samples(),
+                     flame_path.c_str());
+    }
+    if (!profile_trace_path.empty()) {
+        profiler.writeChromeTrace(profile_trace_path);
+        std::fprintf(stderr, "profile counter trace written to %s\n",
+                     profile_trace_path.c_str());
     }
     if (!obs.statsJsonPath.empty())
         std::fprintf(stderr, "stats written to %s\n",

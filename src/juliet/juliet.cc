@@ -314,6 +314,7 @@ runCase(const TestCase &test_case, AllocatorKind allocator,
     config.instrumented = instrumented;
     config.allocator = allocator;
     config.useCache = false; // functional runs
+    config.forensics = true; // capture allocation sites for reports
     Machine machine(module, instrumented ? &inst.layouts : nullptr,
                     config);
     installLibc(machine);
@@ -325,6 +326,7 @@ runCase(const TestCase &test_case, AllocatorKind allocator,
     } catch (const GuestTrap &trap) {
         outcome.trapped = trap.isSpatialViolation();
         outcome.trapDetail = trap.what();
+        outcome.report = trap.reportPtr();
         if (!trap.isSpatialViolation())
             throw; // unexpected trap kind: a harness bug
     }

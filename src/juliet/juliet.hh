@@ -22,12 +22,14 @@
 #define INFAT_JULIET_JULIET_HH
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ir/module.hh"
 #include "runtime/runtime.hh"
 #include "support/stats.hh"
+#include "vm/forensics.hh"
 
 namespace infat {
 namespace juliet {
@@ -89,6 +91,14 @@ struct CaseOutcome
     std::string trapDetail;
     /** bad && trapped, or good && !trapped. */
     bool correct = false;
+    /**
+     * Trap forensics report (vm/forensics.hh) for trapped cases:
+     * symbolized guest stack, decoded faulting pointer, metadata
+     * decode, and nearest-object diagnosis with allocation site. The
+     * suite always runs with VmConfig::forensics enabled — host-side
+     * only, so detection outcomes are unaffected.
+     */
+    std::shared_ptr<const TrapReport> report;
 };
 
 struct SuiteResult

@@ -164,6 +164,13 @@ JsonWriter::value(std::string_view v)
     os_ << '"' << jsonEscape(v) << '"';
 }
 
+void
+JsonWriter::raw(std::string_view json)
+{
+    preValue();
+    os_ << json;
+}
+
 // --- Parser ---
 
 const JsonValue *

@@ -76,6 +76,15 @@ class JsonWriter
         value(v);
     }
 
+    /**
+     * Emit @p json verbatim in value position. The caller is
+     * responsible for @p json being a complete, well-formed JSON value
+     * (object, array, or scalar); comma placement around it is still
+     * handled by the writer. Used to splice pre-rendered sections
+     * (e.g. the profiler's "profile" object) into a larger document.
+     */
+    void raw(std::string_view json);
+
   private:
     enum class Ctx : uint8_t { Top, Object, Array };
 

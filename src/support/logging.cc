@@ -1,12 +1,49 @@
 #include "support/logging.hh"
 
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 namespace infat {
 
 namespace {
 bool gQuiet = false;
+
+LogLevel
+parseLogLevelEnv()
+{
+    const char *env = std::getenv("IFP_LOG");
+    if (env == nullptr || *env == '\0')
+        return LogLevel::Warn;
+    if (std::strcmp(env, "error") == 0 || std::strcmp(env, "0") == 0)
+        return LogLevel::Error;
+    if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "1") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "info") == 0 || std::strcmp(env, "2") == 0)
+        return LogLevel::Info;
+    if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "3") == 0)
+        return LogLevel::Debug;
+    std::fprintf(stderr,
+                 "ifp-warn: unrecognized IFP_LOG=\"%s\" "
+                 "(want error|warn|info|debug or 0-3); using warn\n",
+                 env);
+    return LogLevel::Warn;
+}
+
+LogLevel gLogLevel = parseLogLevelEnv();
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Error: return "error";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Info: return "info";
+      case LogLevel::Debug: return "debug";
+    }
+    return "?";
+}
+
 } // namespace
 
 void
@@ -19,6 +56,36 @@ bool
 quiet()
 {
     return gQuiet;
+}
+
+LogLevel
+logLevel()
+{
+    return gLogLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    gLogLevel = level;
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) <= static_cast<int>(gLogLevel);
+}
+
+void
+logFmt(LogLevel level, const char *fmt, ...)
+{
+    if (!logEnabled(level))
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vstrfmt(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "ifp-%s: %s\n", logLevelName(level), s.c_str());
 }
 
 std::string

@@ -33,6 +33,28 @@ void informImpl(const std::string &msg);
 void setQuiet(bool quiet);
 bool quiet();
 
+/**
+ * Leveled diagnostic logging, independent of the warn()/inform()
+ * channel above (which reports on behalf of the *simulated* run and is
+ * gated by quiet()). The leveled channel is for simulator-internal
+ * subsystems — the profiler, trap forensics — whose chatter must not
+ * pollute bench stdout unless explicitly requested.
+ *
+ * The threshold is read once from the IFP_LOG environment variable
+ * ("error" | "warn" | "info" | "debug", or a numeric 0-3); unset or
+ * unparsable means Warn. setLogLevel() overrides it (tests). Messages
+ * at or below the threshold go to stderr as "ifp-<level>: ...";
+ * everything else is dropped. quiet() does not apply: IFP_LOG is an
+ * explicit opt-in.
+ */
+enum class LogLevel { Error = 0, Warn = 1, Info = 2, Debug = 3 };
+
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+bool logEnabled(LogLevel level);
+void logFmt(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
 [[noreturn]] void panicFmt(const char *file, int line, const char *fmt, ...)
     __attribute__((format(printf, 3, 4)));
 [[noreturn]] void fatalFmt(const char *file, int line, const char *fmt, ...)
@@ -46,6 +68,11 @@ void informFmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 #define fatal(...) ::infat::fatalFmt(__FILE__, __LINE__, __VA_ARGS__)
 #define warn(...) ::infat::warnFmt(__VA_ARGS__)
 #define inform(...) ::infat::informFmt(__VA_ARGS__)
+
+#define log_error(...) ::infat::logFmt(::infat::LogLevel::Error, __VA_ARGS__)
+#define log_warn(...) ::infat::logFmt(::infat::LogLevel::Warn, __VA_ARGS__)
+#define log_info(...) ::infat::logFmt(::infat::LogLevel::Info, __VA_ARGS__)
+#define log_debug(...) ::infat::logFmt(::infat::LogLevel::Debug, __VA_ARGS__)
 
 /** Simulator-internal assertion: condition must hold or it is a bug here. */
 #define panic_if(cond, ...)                                                   \

@@ -1,0 +1,321 @@
+#include "support/profile.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/trace.hh"
+
+namespace infat {
+
+namespace {
+
+const std::string &
+fallbackName(uint32_t func)
+{
+    // Deterministic placeholder for functions that trapped or exited
+    // before registration could happen. Cached so the by-reference
+    // accessor stays cheap.
+    static std::map<uint32_t, std::string> cache;
+    auto it = cache.find(func);
+    if (it == cache.end())
+        it = cache.emplace(func, strfmt("fn%u", func)).first;
+    return it->second;
+}
+
+} // namespace
+
+void
+GuestProfiler::noteFunction(uint32_t func, std::string name,
+                            std::vector<std::string> block_names)
+{
+    ensure(func);
+    FunctionData &f = funcs_[func];
+    f.known = true;
+    f.name = std::move(name);
+    f.blockNames = std::move(block_names);
+    if (f.blocks.size() < f.blockNames.size())
+        f.blocks.resize(f.blockNames.size());
+}
+
+void
+GuestProfiler::countCheckSite(uint32_t func, uint32_t block, uint32_t ip,
+                              uint64_t cycles, uint64_t checks,
+                              uint64_t elided)
+{
+    ensure(func);
+    uint64_t key = (static_cast<uint64_t>(block) << 32) | ip;
+    CheckSiteCounters &s = funcs_[func].sites[key];
+    ++s.accesses;
+    s.executions += checks;
+    s.elided += elided;
+    s.cycles += cycles;
+}
+
+void
+GuestProfiler::addSample(const std::vector<uint32_t> &stack, uint64_t now,
+                         uint64_t instructions, uint64_t checks)
+{
+    ++stacks_[stack];
+    series_.push_back({now, instructions, checks});
+    ++sampleCount_;
+    // Skip ahead past `now` rather than stepping interval by interval:
+    // a long-running block can cross many sample periods at once.
+    nextSample_ = now - now % sampleInterval_ + sampleInterval_;
+}
+
+const std::string &
+GuestProfiler::functionName(uint32_t func) const
+{
+    if (func < funcs_.size() && funcs_[func].known &&
+        !funcs_[func].name.empty())
+        return funcs_[func].name;
+    return fallbackName(func);
+}
+
+void
+GuestProfiler::writeCollapsed(std::ostream &os) const
+{
+    for (const auto &[stack, count] : stacks_) {
+        std::string line;
+        for (size_t i = 0; i < stack.size(); ++i) {
+            if (i != 0)
+                line += ';';
+            line += functionName(stack[i]);
+        }
+        os << line << ' ' << count << '\n';
+    }
+}
+
+void
+GuestProfiler::writeCollapsedFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    fatal_if(!out, "cannot open %s for writing", path.c_str());
+    writeCollapsed(out);
+    fatal_if(!out.good(), "error writing %s", path.c_str());
+    log_info("profiler: wrote %llu collapsed stacks to %s",
+             static_cast<unsigned long long>(stacks_.size()),
+             path.c_str());
+}
+
+void
+GuestProfiler::writeChromeTrace(const std::string &path) const
+{
+    ChromeTraceSink sink(path);
+    TraceEvent ev;
+    ev.phase = 'C';
+    for (const CounterSample &s : series_) {
+        ev.ts = s.ts;
+        ev.category = TraceCategory::Exec;
+        ev.name = "guest_instructions";
+        ev.args = {{"value", s.instructions}};
+        sink.event(ev);
+        ev.category = TraceCategory::Check;
+        ev.name = "implicit_checks";
+        ev.args = {{"value", s.checks}};
+        sink.event(ev);
+    }
+    sink.close();
+    log_info("profiler: wrote %llu counter samples to %s",
+             static_cast<unsigned long long>(series_.size()),
+             path.c_str());
+}
+
+uint64_t
+GuestProfiler::totalBlockCycles() const
+{
+    uint64_t total = 0;
+    for (const FunctionData &f : funcs_)
+        for (const BlockCounters &b : f.blocks)
+            total += b.cycles;
+    return total;
+}
+
+uint64_t
+GuestProfiler::totalBlockInstructions() const
+{
+    uint64_t total = 0;
+    for (const FunctionData &f : funcs_)
+        for (const BlockCounters &b : f.blocks)
+            total += b.instructions;
+    return total;
+}
+
+uint64_t
+GuestProfiler::totalCheckExecutions() const
+{
+    uint64_t total = 0;
+    for (const FunctionData &f : funcs_)
+        for (const auto &[key, s] : f.sites)
+            total += s.executions;
+    return total;
+}
+
+uint64_t
+GuestProfiler::totalCheckElided() const
+{
+    uint64_t total = 0;
+    for (const FunctionData &f : funcs_)
+        for (const auto &[key, s] : f.sites)
+            total += s.elided;
+    return total;
+}
+
+uint64_t
+GuestProfiler::totalCheckCycles() const
+{
+    uint64_t total = 0;
+    for (const FunctionData &f : funcs_)
+        for (const auto &[key, s] : f.sites)
+            total += s.cycles;
+    return total;
+}
+
+uint64_t
+GuestProfiler::totalBndCycles() const
+{
+    uint64_t total = 0;
+    for (const FunctionData &f : funcs_)
+        total += f.bndCycles;
+    return total;
+}
+
+std::string
+GuestProfiler::sectionJson(size_t top_k) const
+{
+    struct BlockRef
+    {
+        uint32_t func;
+        uint32_t block;
+        const BlockCounters *c;
+    };
+    struct SiteRef
+    {
+        uint32_t func;
+        uint32_t block;
+        uint32_t ip;
+        const CheckSiteCounters *c;
+    };
+
+    std::vector<BlockRef> blocks;
+    std::vector<SiteRef> sites;
+    for (uint32_t fid = 0; fid < funcs_.size(); ++fid) {
+        const FunctionData &f = funcs_[fid];
+        for (uint32_t b = 0; b < f.blocks.size(); ++b)
+            if (f.blocks[b].executions != 0 || f.blocks[b].cycles != 0)
+                blocks.push_back({fid, b, &f.blocks[b]});
+        for (const auto &[key, s] : f.sites)
+            sites.push_back({fid, static_cast<uint32_t>(key >> 32),
+                             static_cast<uint32_t>(key), &s});
+    }
+    // Rank by cycles; ties broken by static id so the export is
+    // deterministic across runs of the same simulation.
+    std::sort(blocks.begin(), blocks.end(),
+              [](const BlockRef &a, const BlockRef &b) {
+                  if (a.c->cycles != b.c->cycles)
+                      return a.c->cycles > b.c->cycles;
+                  return std::tie(a.func, a.block) <
+                         std::tie(b.func, b.block);
+              });
+    std::sort(sites.begin(), sites.end(),
+              [](const SiteRef &a, const SiteRef &b) {
+                  if (a.c->cycles != b.c->cycles)
+                      return a.c->cycles > b.c->cycles;
+                  return std::tie(a.func, a.block, a.ip) <
+                         std::tie(b.func, b.block, b.ip);
+              });
+
+    auto blockName = [this](uint32_t func, uint32_t block)
+        -> std::string {
+        const FunctionData &f = funcs_[func];
+        if (block < f.blockNames.size() && !f.blockNames[block].empty())
+            return f.blockNames[block];
+        return strfmt("bb%u", block);
+    };
+
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("sample_interval", sampleInterval_);
+    w.field("samples", sampleCount_);
+
+    w.key("functions");
+    w.beginArray();
+    for (uint32_t fid = 0; fid < funcs_.size(); ++fid) {
+        const FunctionData &f = funcs_[fid];
+        uint64_t cycles = 0, instructions = 0;
+        for (const BlockCounters &b : f.blocks) {
+            cycles += b.cycles;
+            instructions += b.instructions;
+        }
+        if (f.calls == 0 && cycles == 0 && f.bndCycles == 0)
+            continue;
+        w.beginObject();
+        w.field("id", fid);
+        w.field("name", functionName(fid));
+        w.field("calls", f.calls);
+        w.field("cycles", cycles);
+        w.field("instructions", instructions);
+        w.field("bnd_ldst_cycles", f.bndCycles);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("hot_blocks");
+    w.beginArray();
+    for (size_t i = 0; i < blocks.size() && i < top_k; ++i) {
+        const BlockRef &b = blocks[i];
+        w.beginObject();
+        w.field("func", b.func);
+        w.field("function", functionName(b.func));
+        w.field("block", b.block);
+        w.field("name", blockName(b.func, b.block));
+        w.field("executions", b.c->executions);
+        w.field("cycles", b.c->cycles);
+        w.field("instructions", b.c->instructions);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("check_sites");
+    w.beginArray();
+    for (size_t i = 0; i < sites.size() && i < top_k; ++i) {
+        const SiteRef &s = sites[i];
+        w.beginObject();
+        w.field("func", s.func);
+        w.field("function", functionName(s.func));
+        w.field("block", s.block);
+        w.field("ip", s.ip);
+        w.field("accesses", s.c->accesses);
+        w.field("executions", s.c->executions);
+        w.field("elided", s.c->elided);
+        w.field("cycles", s.c->cycles);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("totals");
+    w.beginObject();
+    w.field("block_cycles", totalBlockCycles());
+    w.field("block_instructions", totalBlockInstructions());
+    w.field("check_sites", static_cast<uint64_t>(sites.size()));
+    w.field("check_accesses", [&] {
+        uint64_t total = 0;
+        for (const SiteRef &s : sites)
+            total += s.c->accesses;
+        return total;
+    }());
+    w.field("check_executions", totalCheckExecutions());
+    w.field("check_elided", totalCheckElided());
+    w.field("check_cycles", totalCheckCycles());
+    w.field("bnd_ldst_cycles", totalBndCycles());
+    w.endObject();
+
+    w.endObject();
+    return os.str();
+}
+
+} // namespace infat

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Guest profiler: host-side attribution of simulated cycles and
+ * instructions to guest functions, basic blocks, and IFP check sites.
+ *
+ * The profiler is a passive accumulator attached to a Machine with
+ * setProfiler(). Unlike the tracer and the shadow oracle, attaching it
+ * does NOT disable the superblock engine: the superblock interpreter
+ * batches whole-block deltas into it at block exit, while the general
+ * interpreter falls back to per-instruction attribution. Every hook is
+ * host-side only — simulated instruction/cycle counts and the stat
+ * registry are bit-identical with the profiler attached or not, which
+ * the engine-differential gates (infat_superblock_diff and the
+ * superblock gtests) enforce.
+ *
+ * Identity model: functions and blocks use the IR's FuncId/BlockId; a
+ * check site is the static id (func, block, ip) of the memory-access
+ * instruction carrying the implicit check — for superblock fused
+ * records (chk+load, gep+load, ...) that is the access instruction the
+ * record ends with, so the same site id is produced by both engines.
+ * Block cycles are *self* cycles: callee time is flushed out around
+ * calls and attributed to the callee's own blocks.
+ *
+ * Exports:
+ *  - sectionJson(): the "profile" object spliced into --stats-json;
+ *    this is the input contract for the future JIT tier (top-K hot
+ *    blocks and check sites with cycles, executions, elision stats).
+ *  - writeCollapsed(): collapsed-stack text ("main;a;b <weight>") from
+ *    guest call stacks sampled every sampleInterval simulated cycles,
+ *    ready for flamegraph.pl / speedscope / inferno.
+ *  - writeChromeTrace(): Perfetto counter tracks (instructions,
+ *    implicit checks) riding the Chrome trace-event sink.
+ *
+ * Exact reconciliation invariants (tested by infat_profile_smoke and
+ * tests/profile_test.cc, documented in docs/OBSERVABILITY.md):
+ *  - sum of per-function bnd_ldst_cycles == vm.cycles_bnd_ldst
+ *  - sum of check-site executions == vm.implicit_checks
+ *  - sum of block self cycles <= vm.cycles (trap/abandoned partial
+ *    blocks are the only unattributed remainder)
+ */
+
+#ifndef INFAT_SUPPORT_PROFILE_HH
+#define INFAT_SUPPORT_PROFILE_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace infat {
+
+class GuestProfiler
+{
+  public:
+    struct BlockCounters
+    {
+        uint64_t executions = 0;
+        uint64_t cycles = 0;       ///< self cycles (callees excluded)
+        uint64_t instructions = 0; ///< self instructions
+    };
+
+    struct CheckSiteCounters
+    {
+        uint64_t accesses = 0;   ///< memory accesses through the site
+        uint64_t executions = 0; ///< implicit checks actually evaluated
+        uint64_t elided = 0;     ///< host-side elisions (superblock)
+        uint64_t cycles = 0;     ///< access cost: 1 + cache latency
+    };
+
+    // --- registration (once per function, on first activation) ---
+
+    bool
+    knowsFunction(uint32_t func) const
+    {
+        return func < funcs_.size() && funcs_[func].known;
+    }
+
+    void noteFunction(uint32_t func, std::string name,
+                      std::vector<std::string> block_names);
+
+    // --- hot-path accumulation hooks (host-side only) ---
+
+    void
+    countCall(uint32_t func)
+    {
+        ensure(func);
+        ++funcs_[func].calls;
+    }
+
+    void
+    countBlockEntry(uint32_t func, uint32_t block)
+    {
+        ++blockSlot(func, block).executions;
+    }
+
+    void
+    addBlock(uint32_t func, uint32_t block, uint64_t cycles,
+             uint64_t instructions)
+    {
+        BlockCounters &b = blockSlot(func, block);
+        b.cycles += cycles;
+        b.instructions += instructions;
+    }
+
+    void countCheckSite(uint32_t func, uint32_t block, uint32_t ip,
+                        uint64_t cycles, uint64_t checks,
+                        uint64_t elided);
+
+    void
+    addBndCycles(uint32_t func, uint64_t cycles)
+    {
+        ensure(func);
+        funcs_[func].bndCycles += cycles;
+    }
+
+    // --- stack sampling (flamegraph + counter tracks) ---
+
+    /** Sample every @p cycles simulated cycles; 0 disables (default). */
+    void
+    setSampleInterval(uint64_t cycles)
+    {
+        sampleInterval_ = cycles;
+        nextSample_ = cycles;
+    }
+    uint64_t sampleInterval() const { return sampleInterval_; }
+
+    /** Cheap check the engines make at block boundaries. */
+    bool
+    sampleDue(uint64_t now) const
+    {
+        return sampleInterval_ != 0 && now >= nextSample_;
+    }
+
+    /**
+     * Record one sample: @p stack is the guest call chain as function
+     * ids, outermost first; @p now the cycle clock; @p instructions
+     * and @p checks the cumulative counters for the Perfetto tracks.
+     */
+    void addSample(const std::vector<uint32_t> &stack, uint64_t now,
+                   uint64_t instructions, uint64_t checks);
+
+    uint64_t samples() const { return sampleCount_; }
+
+    // --- exports ---
+
+    /** Collapsed-stack text: one "main;a;b <count>" line per stack. */
+    void writeCollapsed(std::ostream &os) const;
+    void writeCollapsedFile(const std::string &path) const;
+
+    /** Perfetto/Chrome counter tracks from the sampled series. */
+    void writeChromeTrace(const std::string &path) const;
+
+    /**
+     * The "profile" JSON object (not a document: splice it into
+     * --stats-json via StatSnapshot::sections, or write standalone).
+     * Blocks and check sites are ranked by cycles, truncated to
+     * @p top_k each; totals cover everything including what the
+     * truncation dropped.
+     */
+    std::string sectionJson(size_t top_k = 32) const;
+
+    // --- aggregate accessors (tests / reconciliation) ---
+
+    uint64_t totalBlockCycles() const;
+    uint64_t totalBlockInstructions() const;
+    uint64_t totalCheckExecutions() const;
+    uint64_t totalCheckElided() const;
+    uint64_t totalCheckCycles() const;
+    uint64_t totalBndCycles() const;
+
+    const std::string &functionName(uint32_t func) const;
+
+  private:
+    struct FunctionData
+    {
+        bool known = false;
+        std::string name;
+        std::vector<std::string> blockNames;
+        std::vector<BlockCounters> blocks;
+        /** Check sites keyed by (block << 32) | ip. */
+        std::map<uint64_t, CheckSiteCounters> sites;
+        uint64_t calls = 0;
+        uint64_t bndCycles = 0;
+    };
+
+    struct CounterSample
+    {
+        uint64_t ts = 0; ///< simulated cycles
+        uint64_t instructions = 0;
+        uint64_t checks = 0;
+    };
+
+    void
+    ensure(uint32_t func)
+    {
+        if (func >= funcs_.size())
+            funcs_.resize(func + 1);
+    }
+
+    BlockCounters &
+    blockSlot(uint32_t func, uint32_t block)
+    {
+        ensure(func);
+        FunctionData &f = funcs_[func];
+        if (block >= f.blocks.size())
+            f.blocks.resize(block + 1);
+        return f.blocks[block];
+    }
+
+    std::vector<FunctionData> funcs_;
+
+    uint64_t sampleInterval_ = 0;
+    uint64_t nextSample_ = 0;
+    uint64_t sampleCount_ = 0;
+    /** Collapsed stacks: function-id chain -> sample count. */
+    std::map<std::vector<uint32_t>, uint64_t> stacks_;
+    std::vector<CounterSample> series_;
+};
+
+} // namespace infat
+
+#endif // INFAT_SUPPORT_PROFILE_HH

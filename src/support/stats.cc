@@ -343,6 +343,10 @@ StatSnapshot::writeJson(JsonWriter &w) const
         w.endObject();
     }
     w.endObject();
+    for (const auto &[name, json] : sections) {
+        w.key(name);
+        w.raw(json);
+    }
     w.endObject();
 }
 

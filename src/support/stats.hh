@@ -287,11 +287,21 @@ struct StatSnapshot
 
     std::vector<Group> groups;
 
+    /**
+     * Extra top-level sections spliced verbatim into the JSON export
+     * next to "groups": section name -> pre-rendered JSON value. Used
+     * by the harness to attach the profiler's "profile" object to a
+     * --stats-json document without the stat registry (and hence the
+     * engine-differential stat comparisons) ever seeing it. Sections
+     * are ignored by findGroup()/scalar() and by textual dumps.
+     */
+    std::map<std::string, std::string> sections;
+
     const Group *findGroup(const std::string &name) const;
     uint64_t scalar(const std::string &group,
                     const std::string &stat) const;
 
-    /** Emit {"groups": {...}} through @p w. */
+    /** Emit {"groups": {...}, <sections...>} through @p w. */
     void writeJson(JsonWriter &w) const;
     std::string toJson(bool pretty = false) const;
     /** Write toJson() to @p path (fatal on I/O error). */

@@ -1,0 +1,382 @@
+#include "vm/forensics.hh"
+
+#include <sstream>
+
+#include "ifp/config.hh"
+#include "ifp/metadata.hh"
+#include "ifp/tag.hh"
+#include "support/bitops.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "vm/machine.hh"
+
+namespace infat {
+
+namespace {
+using ull = unsigned long long;
+} // namespace
+
+const char *
+toString(AllocKind kind)
+{
+    switch (kind) {
+      case AllocKind::IfpHeap: return "ifp-heap";
+      case AllocKind::PlainHeap: return "heap";
+      case AllocKind::Stack: return "stack";
+      case AllocKind::Global: return "global";
+    }
+    return "?";
+}
+
+const TrapForensics::AllocRecord *
+TrapForensics::findBelow(GuestAddr addr) const
+{
+    auto it = records_.upper_bound(addr);
+    if (it == records_.begin())
+        return nullptr;
+    --it;
+    return &it->second;
+}
+
+std::string
+TrapReport::text() const
+{
+    std::string out;
+    out += strfmt("trap: %s\n", detail.c_str());
+    out += "guest stack (outermost first):\n";
+    for (size_t i = 0; i < stack.size(); ++i) {
+        out += strfmt("  #%zu %s @ %s\n", i, stack[i].function.c_str(),
+                      stack[i].blockName.c_str());
+    }
+    if (!faultKnown)
+        return out;
+
+    out += strfmt("fault: %s of %llu bytes at %#llx through pointer "
+                  "%#llx\n",
+                  write ? "store" : "load",
+                  static_cast<ull>(accessSize), static_cast<ull>(addr),
+                  static_cast<ull>(ptrRaw));
+    out += strfmt("  poison=%s scheme=%s", poison.c_str(),
+                  scheme.c_str());
+    if (!schemeFields.empty())
+        out += strfmt(" (%s)", schemeFields.c_str());
+    out += "\n";
+    if (boundsKnown) {
+        out += strfmt("  bounds=[%#llx, %#llx)\n",
+                      static_cast<ull>(boundsLower),
+                      static_cast<ull>(boundsUpper));
+    } else {
+        out += "  bounds=[cleared]\n";
+    }
+
+    if (meta.present) {
+        out += strfmt("metadata: %s at %#llx", meta.note.c_str(),
+                      static_cast<ull>(meta.metaAddr));
+        if (meta.valid) {
+            out += strfmt(", object [%#llx, +%llu)",
+                          static_cast<ull>(meta.objectBase),
+                          static_cast<ull>(meta.objectSize));
+            if (meta.layoutTable != 0)
+                out += strfmt(", layout table %#llx",
+                              static_cast<ull>(meta.layoutTable));
+        }
+        out += "\n";
+    }
+
+    if (object.present) {
+        out += strfmt("object: %s [%#llx, +%llu) — %s",
+                      toString(object.kind),
+                      static_cast<ull>(object.base),
+                      static_cast<ull>(object.size),
+                      object.relation.c_str());
+        if (object.distance != 0)
+            out += strfmt(" by %llu bytes",
+                          static_cast<ull>(object.distance));
+        out += "\n";
+        if (object.siteKnown)
+            out += strfmt("  allocated at %s @ %s\n",
+                          object.siteFunction.c_str(),
+                          object.siteBlock.c_str());
+    }
+    return out;
+}
+
+std::string
+TrapReport::json() const
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("kind", kind);
+    w.field("detail", detail);
+
+    w.key("stack");
+    w.beginArray();
+    for (const TrapFrame &f : stack) {
+        w.beginObject();
+        w.field("func", f.func);
+        w.field("function", f.function);
+        w.field("block", f.block);
+        w.field("block_name", f.blockName);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.field("fault_known", faultKnown);
+    if (faultKnown) {
+        w.key("pointer");
+        w.beginObject();
+        w.field("raw", ptrRaw);
+        w.field("addr", addr);
+        w.field("poison", poison);
+        w.field("scheme", scheme);
+        w.field("meta12", meta12);
+        w.field("scheme_fields", schemeFields);
+        w.endObject();
+        w.field("access_size", accessSize);
+        w.field("write", write);
+        w.field("bounds_known", boundsKnown);
+        if (boundsKnown) {
+            w.field("bounds_lower", boundsLower);
+            w.field("bounds_upper", boundsUpper);
+        }
+        if (meta.present) {
+            w.key("metadata");
+            w.beginObject();
+            w.field("valid", meta.valid);
+            w.field("addr", meta.metaAddr);
+            w.field("object_base", meta.objectBase);
+            w.field("object_size", meta.objectSize);
+            w.field("layout_table", meta.layoutTable);
+            w.field("note", meta.note);
+            w.endObject();
+        }
+        if (object.present) {
+            w.key("object");
+            w.beginObject();
+            w.field("kind", toString(object.kind));
+            w.field("base", object.base);
+            w.field("size", object.size);
+            w.field("relation", object.relation);
+            w.field("distance", object.distance);
+            w.field("site_known", object.siteKnown);
+            if (object.siteKnown) {
+                w.field("site_function", object.siteFunction);
+                w.field("site_block", object.siteBlock);
+            }
+            w.endObject();
+        }
+    }
+    w.endObject();
+    return os.str();
+}
+
+std::shared_ptr<const TrapReport>
+Machine::buildTrapReport(const GuestTrap &trap)
+{
+    auto rep = std::make_shared<TrapReport>();
+    rep->kind = toString(trap.kind());
+    rep->detail = trap.what();
+
+    // Symbolized guest stack: frames 0..curDepth_ are exactly the live
+    // chain (calls nest strictly and curDepth_ froze when the trap
+    // unwound through callFunction).
+    for (unsigned d = 0; d <= curDepth_ && d < framePool_.size(); ++d) {
+        const Frame *f = framePool_[d].get();
+        if (f == nullptr || f->func == nullptr)
+            break;
+        TrapFrame tf;
+        tf.func = f->func->id();
+        tf.function = f->func->name();
+        tf.block = f->curBlock;
+        tf.blockName =
+            static_cast<size_t>(f->curBlock) < f->func->numBlocks()
+                ? f->func->block(f->curBlock).name
+                : strfmt("bb%u", f->curBlock);
+        rep->stack.push_back(std::move(tf));
+    }
+
+    if (!lastFault_.valid)
+        return rep;
+
+    TaggedPtr ptr(lastFault_.raw);
+    rep->faultKnown = true;
+    rep->ptrRaw = lastFault_.raw;
+    rep->addr = ptr.addr();
+    rep->accessSize = lastFault_.size;
+    rep->write = lastFault_.write;
+    rep->poison = toString(ptr.poison());
+    rep->scheme = toString(ptr.scheme());
+    rep->meta12 = ptr.meta12();
+    switch (ptr.scheme()) {
+      case Scheme::LocalOffset:
+        rep->schemeFields =
+            strfmt("granule_offset=%llu subobject=%llu",
+                   static_cast<ull>(ptr.localGranuleOffset()),
+                   static_cast<ull>(ptr.localSubobjIndex()));
+        break;
+      case Scheme::Subheap:
+        rep->schemeFields =
+            strfmt("ctrl_reg=%llu subobject=%llu",
+                   static_cast<ull>(ptr.subheapCtrlIndex()),
+                   static_cast<ull>(ptr.subheapSubobjIndex()));
+        break;
+      case Scheme::GlobalTable:
+        rep->schemeFields = strfmt(
+            "row=%llu", static_cast<ull>(ptr.globalTableIndex()));
+        break;
+      case Scheme::Legacy:
+        rep->schemeFields = "untagged";
+        break;
+    }
+    rep->boundsKnown = lastFault_.hasBounds;
+    if (lastFault_.hasBounds) {
+        rep->boundsLower = lastFault_.bounds.lower();
+        rep->boundsUpper = lastFault_.bounds.upper();
+    }
+
+    // Decode the metadata the scheme resolves to, with the same address
+    // arithmetic as PromoteEngine::retrieve* but purely functional:
+    // reads go through the raw GuestMemory path and no simulated
+    // counter moves.
+    MetaDecode &md = rep->meta;
+    switch (ptr.scheme()) {
+      case Scheme::LocalOffset: {
+        GuestAddr meta_addr =
+            roundDown(rep->addr, IfpConfig::granuleBytes) +
+            ptr.localGranuleOffset() * IfpConfig::granuleBytes;
+        LocalOffsetMeta m = LocalOffsetMeta::read(mem_, meta_addr);
+        md.present = true;
+        md.metaAddr = meta_addr;
+        md.objectSize = m.objectSize;
+        md.layoutTable = m.layoutTable;
+        md.valid = m.magic == LocalOffsetMeta::magicValue &&
+                   m.objectSize != 0 &&
+                   m.objectSize <= IfpConfig::localMaxObjectBytes;
+        if (md.valid)
+            md.objectBase = meta_addr -
+                            roundUp(m.objectSize, IfpConfig::granuleBytes);
+        md.note = md.valid ? "local-offset metadata"
+                           : "local-offset metadata invalid "
+                             "(bad magic or size)";
+        break;
+      }
+      case Scheme::Subheap: {
+        const SubheapCtrlReg &ctrl =
+            regs_.subheap[ptr.subheapCtrlIndex()];
+        md.present = true;
+        if (!ctrl.valid) {
+            md.note = "subheap control register invalid";
+            break;
+        }
+        GuestAddr block_base =
+            roundDown(rep->addr, 1ULL << ctrl.blockOrderLog2);
+        SubheapBlockMeta m =
+            SubheapBlockMeta::read(mem_, block_base, ctrl.metaOffset);
+        md.metaAddr = block_base + ctrl.metaOffset;
+        md.objectSize = m.objectSize;
+        md.layoutTable = m.layoutTable;
+        bool shape_ok = m.valid && m.slotSize != 0 &&
+                        m.slotsEnd > m.slotsStart && m.objectSize != 0 &&
+                        m.objectSize <= m.slotSize;
+        uint64_t rel = rep->addr - block_base;
+        if (shape_ok && rel >= m.slotsStart && rel < m.slotsEnd) {
+            uint64_t slot = (rel - m.slotsStart) / m.slotSize;
+            md.objectBase =
+                block_base + m.slotsStart + slot * m.slotSize;
+            md.valid = true;
+            md.note = strfmt("subheap block %#llx slot %llu",
+                             static_cast<ull>(block_base),
+                             static_cast<ull>(slot));
+        } else {
+            md.note = shape_ok ? "pointer outside the slot array"
+                               : "subheap block metadata invalid";
+        }
+        break;
+      }
+      case Scheme::GlobalTable: {
+        uint64_t index = ptr.globalTableIndex();
+        md.present = true;
+        if (regs_.globalTableBase == 0 ||
+            index >= regs_.globalTableRows) {
+            md.note = "row index out of table range";
+            break;
+        }
+        md.metaAddr = GlobalTableRow::rowAddr(regs_.globalTableBase,
+                                              index);
+        GlobalTableRow row =
+            GlobalTableRow::read(mem_, regs_.globalTableBase, index);
+        md.valid = row.valid && row.size != 0;
+        md.objectBase = row.base;
+        md.objectSize = row.size;
+        md.note = md.valid
+                      ? strfmt("global table row %llu",
+                               static_cast<ull>(index))
+                      : strfmt("global table row %llu invalid",
+                               static_cast<ull>(index));
+        break;
+      }
+      case Scheme::Legacy:
+        break;
+    }
+
+    // Nearest-object diagnosis against the allocation records. Prefer
+    // the object the bounds register points into (that is the object
+    // the pointer was derived from); fall back to the nearest record
+    // below the faulting address.
+    if (forensics_ != nullptr) {
+        const TrapForensics::AllocRecord *rec = nullptr;
+        if (lastFault_.hasBounds) {
+            rec = forensics_->findBelow(lastFault_.bounds.lower());
+            if (rec != nullptr &&
+                lastFault_.bounds.lower() >= rec->base + rec->size)
+                rec = nullptr;
+        }
+        if (rec == nullptr)
+            rec = forensics_->findBelow(rep->addr);
+        if (rec != nullptr) {
+            ObjectDiagnosis &o = rep->object;
+            o.present = true;
+            o.base = rec->base;
+            o.size = rec->size;
+            o.kind = rec->kind;
+            GuestAddr end = rec->base + rec->size;
+            uint64_t sz = rep->accessSize != 0 ? rep->accessSize : 1;
+            if (rep->addr < rec->base) {
+                o.relation = "underflow";
+                o.distance = rec->base - rep->addr;
+            } else if (rep->addr + sz > end) {
+                o.relation = "overflow";
+                o.distance = rep->addr + sz - end;
+            } else {
+                // Inside the object: a subobject (narrowed-bounds)
+                // violation. Distance is how far the access escapes
+                // the narrowed bounds.
+                o.relation = "intra-object";
+                if (lastFault_.hasBounds) {
+                    GuestAddr lo = lastFault_.bounds.lower();
+                    GuestAddr hi = lastFault_.bounds.upper();
+                    if (rep->addr < lo)
+                        o.distance = lo - rep->addr;
+                    else if (rep->addr + sz > hi)
+                        o.distance = rep->addr + sz - hi;
+                }
+            }
+            if (rec->site.known &&
+                rec->site.func < module_.numFunctions()) {
+                const ir::Function *sf =
+                    module_.function(rec->site.func);
+                o.siteKnown = true;
+                o.siteFunction = sf->name();
+                o.siteBlock =
+                    static_cast<size_t>(rec->site.block) <
+                            sf->numBlocks()
+                        ? sf->block(rec->site.block).name
+                        : strfmt("bb%u", rec->site.block);
+            }
+        }
+    }
+    return rep;
+}
+
+} // namespace infat

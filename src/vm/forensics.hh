@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Trap forensics: structured post-mortem reports for guest traps.
+ *
+ * When any TrapKind fires, the machine's top-level trap handler
+ * (Machine::run) assembles a TrapReport and attaches it to the GuestTrap
+ * before the exception propagates to the harness:
+ *
+ *  - the symbolized guest call stack (function + current basic block per
+ *    frame, outermost first), walked from the machine's frame pool;
+ *  - for the dereference traps, the faulting pointer fully decoded
+ *    (poison bits, scheme selector, per-scheme tag fields) plus the
+ *    bounds register it was checked against;
+ *  - the in-memory metadata the pointer's scheme resolves to (local
+ *    offset / subheap block / global-table row), decoded functionally
+ *    with the same address arithmetic as the promote engine — read via
+ *    the raw GuestMemory path so no simulated counter moves;
+ *  - a nearest-object diagnosis (overflow / underflow / intra-object
+ *    with byte distances) against the runtime allocation records, and
+ *    the allocation site that created the object.
+ *
+ * The allocation records come from TrapForensics, a registry the
+ * interpreter feeds at IfpMalloc/malloc/alloca-registration time when
+ * VmConfig::forensics is set (cheap: one map insert per allocation,
+ * erased on free). With the flag off the report still carries the
+ * stack, pointer decode, and metadata decode — only the nearest-object
+ * diagnosis needs the records.
+ *
+ * Everything here is host-side only: capture and report assembly never
+ * touch simulated instruction/cycle counts or the stat registry, so
+ * runs are bit-identical with forensics on or off (the engine
+ * differential gates check this).
+ */
+
+#ifndef INFAT_VM_FORENSICS_HH
+#define INFAT_VM_FORENSICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ifp/bounds.hh"
+#include "mem/address_space.hh"
+
+namespace infat {
+
+/** Which allocation path created a forensics record. */
+enum class AllocKind : uint8_t
+{
+    IfpHeap,   ///< ifpmalloc (tagged, scheme-carrying)
+    PlainHeap, ///< plain malloc (legacy pointer)
+    Stack,     ///< registered stack object (alloca + objreg)
+    Global,    ///< module global
+};
+
+const char *toString(AllocKind kind);
+
+/** One frame of the symbolized guest call stack, outermost first. */
+struct TrapFrame
+{
+    uint32_t func = 0;
+    std::string function;
+    uint32_t block = 0;
+    std::string blockName;
+};
+
+/** The in-memory metadata the faulting pointer's scheme resolves to. */
+struct MetaDecode
+{
+    bool present = false;   ///< a non-legacy scheme was decoded
+    bool valid = false;     ///< magic/valid checks passed
+    GuestAddr metaAddr = 0; ///< metadata / row address resolved
+    GuestAddr objectBase = 0;
+    uint64_t objectSize = 0;
+    GuestAddr layoutTable = 0;
+    std::string note; ///< human-oriented decode detail
+};
+
+/** Nearest-object diagnosis against the runtime allocation records. */
+struct ObjectDiagnosis
+{
+    bool present = false;
+    GuestAddr base = 0;
+    uint64_t size = 0;
+    AllocKind kind = AllocKind::PlainHeap;
+    /** "overflow" | "underflow" | "intra-object" */
+    std::string relation;
+    /** Bytes by which [addr, addr+size) escapes the object (overflow /
+     *  underflow) or the narrowed subobject bounds (intra-object). */
+    uint64_t distance = 0;
+    bool siteKnown = false;
+    std::string siteFunction;
+    std::string siteBlock;
+};
+
+struct TrapReport
+{
+    std::string kind;   ///< toString(TrapKind)
+    std::string detail; ///< GuestTrap::what()
+    std::vector<TrapFrame> stack;
+
+    // --- dereference-fault details (faultKnown == true) ---
+    bool faultKnown = false;
+    uint64_t ptrRaw = 0;
+    GuestAddr addr = 0;
+    uint64_t accessSize = 0;
+    bool write = false;
+    std::string poison;
+    std::string scheme;
+    uint64_t meta12 = 0;
+    std::string schemeFields; ///< per-scheme decode of the 12 tag bits
+    bool boundsKnown = false;
+    GuestAddr boundsLower = 0;
+    GuestAddr boundsUpper = 0;
+
+    MetaDecode meta;
+    ObjectDiagnosis object;
+
+    /** Multi-line human-readable rendering. */
+    std::string text() const;
+    /** JSON object rendering (same fields, machine-consumable). */
+    std::string json() const;
+};
+
+/**
+ * Allocation-record registry feeding the nearest-object diagnosis.
+ * Owned by Machine, populated only when VmConfig::forensics is set.
+ */
+class TrapForensics
+{
+  public:
+    struct AllocSite
+    {
+        bool known = false;
+        uint32_t func = 0;
+        uint32_t block = 0;
+    };
+
+    struct AllocRecord
+    {
+        GuestAddr base = 0;
+        uint64_t size = 0;
+        AllocKind kind = AllocKind::PlainHeap;
+        AllocSite site;
+    };
+
+    void
+    noteAlloc(GuestAddr base, uint64_t size, AllocKind kind,
+              AllocSite site)
+    {
+        records_[base] = AllocRecord{base, size, kind, site};
+    }
+
+    void noteFree(GuestAddr base) { records_.erase(base); }
+
+    /** The record with the greatest base <= @p addr, or null. */
+    const AllocRecord *findBelow(GuestAddr addr) const;
+
+    size_t recordCount() const { return records_.size(); }
+
+  private:
+    std::map<GuestAddr, AllocRecord> records_;
+};
+
+} // namespace infat
+
+#endif // INFAT_VM_FORENSICS_HH

@@ -7,6 +7,7 @@
 #include "oracle/oracle.hh"
 #include "support/bitops.hh"
 #include "support/logging.hh"
+#include "support/profile.hh"
 
 namespace infat {
 
@@ -109,6 +110,8 @@ Machine::Machine(Module &module, const LayoutRegistry *layouts,
     registry_.add(&mem_.stats());
     registry_.add(&sbStats_);
     runtime_->init(layouts);
+    if (config_.forensics)
+        forensics_ = std::make_unique<TrapForensics>();
     placeGlobals();
     legacyArena_ = layout::globalBase + 0x0800'0000ULL;
 }
@@ -196,6 +199,10 @@ Machine::registerGlobals()
             globalAddrs_[global.id], global.type->size(), layout_id,
             cost);
         globalPtrRaw_[global.id] = alloc.ptr.raw();
+        if (forensics_)
+            forensics_->noteAlloc(globalAddrs_[global.id],
+                                  global.type->size(),
+                                  AllocKind::Global, {});
         applyCost(cost);
         stats_.counter("global_objects_registered")++;
         if (layout_id != ir::noLayout)
@@ -273,7 +280,43 @@ Machine::run(const std::string &entry, const std::vector<uint64_t> &args)
              entry.c_str());
     sp_ = layout::stackBase;
     std::vector<Bounds> arg_bounds(args.size(), Bounds::cleared());
-    return callFunction(func, args, arg_bounds, nullptr, 0);
+    try {
+        return callFunction(func, args, arg_bounds, nullptr, 0);
+    } catch (GuestTrap &trap) {
+        // Attach the forensics report before the trap escapes; the
+        // frame pool still holds the faulting call chain. Host-side
+        // only: what() and every simulated count are untouched.
+        trap.attachReport(buildTrapReport(trap));
+        throw;
+    }
+}
+
+void
+Machine::profileNoteFunction(const ir::Function *func)
+{
+    if (prof_->knowsFunction(func->id()))
+        return;
+    std::vector<std::string> block_names;
+    block_names.reserve(func->numBlocks());
+    for (size_t b = 0; b < func->numBlocks(); ++b)
+        block_names.push_back(
+            func->block(static_cast<BlockId>(b)).name);
+    prof_->noteFunction(func->id(), func->name(),
+                        std::move(block_names));
+}
+
+void
+Machine::profileSample(unsigned depth)
+{
+    sampleStack_.clear();
+    for (unsigned d = 0; d <= depth && d < framePool_.size(); ++d) {
+        const Frame *f = framePool_[d].get();
+        if (f == nullptr || f->func == nullptr)
+            break;
+        sampleStack_.push_back(f->func->id());
+    }
+    prof_->addSample(sampleStack_, cycles_, instrs_,
+                     cImplicitChecks_.value());
 }
 
 uint64_t
@@ -348,12 +391,15 @@ Machine::checkAccess(const Frame &frame, const Operand &addr_op,
         oracle_->check(operandProv(frame, addr_op), ptr.addr(), size,
                        write, traps);
     }
+    const Bounds *fault_bounds =
+        addr_op.isReg() ? &frame.bounds[addr_op.payload] : nullptr;
     if (ptr.isPoisoned()) {
         if (tracer_.enabled(TraceCategory::Check)) {
             tracer_.instant(TraceCategory::Check, "poisoned_access",
                             {{"raw", raw},
                              {"write", uint64_t{write}}});
         }
+        noteFault(raw, size, write, fault_bounds);
         throw GuestTrap(TrapKind::PoisonedAccess,
                         poisonedAccessDetail(ptr, write));
     }
@@ -364,6 +410,7 @@ Machine::checkAccess(const Frame &frame, const Operand &addr_op,
                             {{"addr", addr},
                              {"write", uint64_t{write}}});
         }
+        noteFault(raw, size, write, fault_bounds);
         throw GuestTrap(TrapKind::NullDereference,
                         nullDerefDetail(addr));
     }
@@ -382,6 +429,7 @@ Machine::checkAccess(const Frame &frame, const Operand &addr_op,
                                  {"write", uint64_t{write}}});
             }
             if (!ok) {
+                noteFault(raw, size, write, &bounds);
                 throw GuestTrap(
                     TrapKind::BoundsViolation,
                     boundsViolationDetail(addr, size, bounds, write));
@@ -436,7 +484,12 @@ Machine::callFunction(const Function *func,
     }
 
     GuestAddr saved_sp = sp_;
+    curDepth_ = depth;
     uint64_t ret = execFunction(func, frame, ret_bounds, depth);
+    // On normal return control is back in the caller's frame; on a
+    // trap the throw skips this and curDepth_ stays frozen at the
+    // faulting depth for buildTrapReport's stack walk.
+    curDepth_ = depth == 0 ? 0 : depth - 1;
     sp_ = saved_sp;
     if (oracle_)
         oracle_->unwindStack(saved_sp);
@@ -484,6 +537,12 @@ Machine::execFunction(const Function *func, Frame &frame,
         cycles_ += spill_cycles;
         chargeClass(CycleClass::BndLdSt, spill_cycles);
         cBndLdSt_ += saved_bounds;
+        if (prof_)
+            prof_->addBndCycles(func->id(), spill_cycles);
+    }
+    if (prof_) {
+        profileNoteFunction(func);
+        prof_->countCall(func->id());
     }
 
     // Engine selection, once per activation — a sink cannot appear
@@ -515,6 +574,26 @@ Machine::execGeneral(const Function *func, Frame &frame,
     oracle::Prov *prov =
         oracle_ ? oracle_->frameRegs(depth) : nullptr;
     const Instr *code = func->block(cur).instrs.data();
+    frame.curBlock = cur;
+
+    // Profiler attribution state (host-side only). Deltas since the
+    // last flush are the current block's *self* cost: flushed at block
+    // changes, and re-snapshotted around calls so callee time lands in
+    // the callee's own blocks. A mid-block superblock bailout enters
+    // here with start_ip != 0; the superblock engine flushed and
+    // counted the block entry already.
+    GuestProfiler *const prof = prof_;
+    const uint32_t fid = func->id();
+    uint64_t pb_cycles = cycles_;
+    uint64_t pb_instrs = instrs_;
+    auto pflush = [&](BlockId block) {
+        prof->addBlock(fid, block, cycles_ - pb_cycles,
+                       instrs_ - pb_instrs);
+        pb_cycles = cycles_;
+        pb_instrs = instrs_;
+    };
+    if (prof && start_ip == 0)
+        prof->countBlockEntry(fid, cur);
 
     while (true) {
         const Instr &instr = code[ip];
@@ -740,7 +819,21 @@ Machine::execGeneral(const Function *func, Frame &frame,
           case Opcode::Load: {
             uint64_t raw = evalOperand(frame, instr.a);
             uint64_t size = instr.type->size();
-            checkAccess(frame, instr.a, raw, size, false);
+            if (prof) {
+                // Check-site attribution: 1 base cycle + the cache
+                // latency checkAccess charges; checks evaluated is the
+                // implicit-check counter delta. Same definition as the
+                // superblock engine's access hook.
+                uint64_t c0 = cycles_;
+                uint64_t k0 = cImplicitChecks_.value();
+                checkAccess(frame, instr.a, raw, size, false);
+                prof->countCheckSite(fid, cur,
+                                     static_cast<uint32_t>(ip - 1),
+                                     cycles_ - c0 + 1,
+                                     cImplicitChecks_.value() - k0, 0);
+            } else {
+                checkAccess(frame, instr.a, raw, size, false);
+            }
             GuestAddr addr = layout::canonical(raw);
             uint64_t value = 0;
             switch (size) {
@@ -765,7 +858,17 @@ Machine::execGeneral(const Function *func, Frame &frame,
             uint64_t value = evalOperand(frame, instr.a);
             uint64_t raw = evalOperand(frame, instr.b);
             uint64_t size = instr.type->size();
-            checkAccess(frame, instr.b, raw, size, true);
+            if (prof) {
+                uint64_t c0 = cycles_;
+                uint64_t k0 = cImplicitChecks_.value();
+                checkAccess(frame, instr.b, raw, size, true);
+                prof->countCheckSite(fid, cur,
+                                     static_cast<uint32_t>(ip - 1),
+                                     cycles_ - c0 + 1,
+                                     cImplicitChecks_.value() - k0, 0);
+            } else {
+                checkAccess(frame, instr.b, raw, size, true);
+            }
             GuestAddr addr = layout::canonical(raw);
             switch (size) {
               case 1:
@@ -842,15 +945,31 @@ Machine::execGeneral(const Function *func, Frame &frame,
             break;
           }
           case Opcode::Jmp:
+            if (prof) {
+                pflush(cur);
+                if (prof->sampleDue(cycles_))
+                    profileSample(depth);
+            }
             cur = instr.target0;
             ip = 0;
             code = func->block(cur).instrs.data();
+            frame.curBlock = cur;
+            if (prof)
+                prof->countBlockEntry(fid, cur);
             break;
           case Opcode::Br:
+            if (prof) {
+                pflush(cur);
+                if (prof->sampleDue(cycles_))
+                    profileSample(depth);
+            }
             cur = evalOperand(frame, instr.a) != 0 ? instr.target0
                                                    : instr.target1;
             ip = 0;
             code = func->block(cur).instrs.data();
+            frame.curBlock = cur;
+            if (prof)
+                prof->countBlockEntry(fid, cur);
             break;
           case Opcode::Call:
           case Opcode::CallPtr: {
@@ -893,8 +1012,18 @@ Machine::execGeneral(const Function *func, Frame &frame,
             }
             cCalls_++;
             Bounds ret_b = Bounds::cleared();
+            if (prof)
+                pflush(cur);
             uint64_t ret = callFunction(callee, call_args, call_bounds,
                                         &ret_b, depth + 1);
+            if (prof) {
+                // Discard the callee's delta from this block's self
+                // cost; the callee attributed it to its own blocks.
+                pb_cycles = cycles_;
+                pb_instrs = instrs_;
+                if (prof->sampleDue(cycles_))
+                    profileSample(depth);
+            }
             if (oracle_) {
                 oracle::Prov ret_prov = oracle_->takeRetProv();
                 if (prov && instr.dst != noReg) {
@@ -920,7 +1049,11 @@ Machine::execGeneral(const Function *func, Frame &frame,
                 cycles_ += reload_cycles;
                 chargeClass(CycleClass::BndLdSt, reload_cycles);
                 cBndLdSt_ += saved_bounds;
+                if (prof)
+                    prof->addBndCycles(fid, reload_cycles);
             }
+            if (prof)
+                pflush(cur);
             if (ret_bounds)
                 *ret_bounds = operandBounds(frame, instr.a);
             if (oracle_)
@@ -943,6 +1076,9 @@ Machine::execGeneral(const Function *func, Frame &frame,
             bounds[instr.dst] = Bounds::cleared();
             if (prov)
                 prov[instr.dst] = oracle::Prov{};
+            if (forensics_)
+                noteAllocRecord(layout::canonical(regs[instr.dst]),
+                                size, AllocKind::PlainHeap, func, cur);
             applyCost(cost);
             if (tracer_.enabled(TraceCategory::Alloc)) {
                 tracer_.complete(TraceCategory::Alloc, "malloc",
@@ -957,6 +1093,8 @@ Machine::execGeneral(const Function *func, Frame &frame,
                 layout::canonical(evalOperand(frame, instr.a));
             RuntimeCost cost;
             runtime_->plainFree(addr, cost);
+            if (forensics_)
+                forensics_->noteFree(addr);
             applyCost(cost);
             if (tracer_.enabled(TraceCategory::Alloc)) {
                 tracer_.instant(TraceCategory::Alloc, "free",
@@ -1062,6 +1200,9 @@ Machine::execGeneral(const Function *func, Frame &frame,
             bounds[instr.dst] = alloc.bounds;
             if (prov)
                 prov[instr.dst] = prov[src];
+            if (forensics_)
+                noteAllocRecord(alloc.ptr.addr(), instr.imm0,
+                                AllocKind::Stack, func, cur);
             applyCost(cost);
             cIfpArith_++;
             stats_.counter("local_objects")++;
@@ -1078,6 +1219,8 @@ Machine::execGeneral(const Function *func, Frame &frame,
             TaggedPtr dereg_ptr(evalOperand(frame, instr.a));
             RuntimeCost cost;
             runtime_->deregisterObject(dereg_ptr, cost);
+            if (forensics_)
+                forensics_->noteFree(dereg_ptr.addr());
             applyCost(cost);
             cIfpArith_++;
             if (oracle_)
@@ -1097,6 +1240,9 @@ Machine::execGeneral(const Function *func, Frame &frame,
                 prov[instr.dst] = oracle_->registerObject(
                     alloc.ptr.addr(), size, oracle::ObjectKind::Heap);
             }
+            if (forensics_)
+                noteAllocRecord(alloc.ptr.addr(), size,
+                                AllocKind::IfpHeap, func, cur);
             applyCost(cost);
             stats_.counter("heap_objects")++;
             if (instr.layout != noLayout)
@@ -1113,6 +1259,8 @@ Machine::execGeneral(const Function *func, Frame &frame,
             TaggedPtr ptr(evalOperand(frame, instr.a));
             RuntimeCost cost;
             runtime_->ifpFree(ptr, cost);
+            if (forensics_ && !ptr.isNull())
+                forensics_->noteFree(ptr.addr());
             applyCost(cost);
             if (oracle_ && !ptr.isNull())
                 oracle_->freeObjectAt(ptr.addr());

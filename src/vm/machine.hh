@@ -37,10 +37,13 @@
 #include "runtime/runtime.hh"
 #include "support/stats.hh"
 #include "support/trace.hh"
+#include "vm/forensics.hh"
 #include "vm/superblock.hh"
 #include "vm/trap.hh"
 
 namespace infat {
+
+class GuestProfiler;
 
 namespace oracle {
 class ShadowOracle;
@@ -87,6 +90,15 @@ struct VmConfig
     bool superblockFusion = true;
     /** In-block redundant-check elimination. */
     bool superblockCheckElim = true;
+    /**
+     * Capture allocation records (base, size, kind, allocating
+     * function/block) for trap forensics (vm/forensics.hh). Host-side
+     * only — one map insert per allocation, no simulated cost — but
+     * off by default to keep the hot allocation paths lean. Trap
+     * reports are always assembled; without this flag they simply lack
+     * the nearest-object diagnosis and allocation site.
+     */
+    bool forensics = false;
     /** Runaway guard. */
     uint64_t maxInstructions = 20'000'000'000ULL;
     /**
@@ -150,6 +162,26 @@ class Machine
      * checksums are unchanged. Pass nullptr to detach.
      */
     void setOracle(oracle::ShadowOracle *oracle);
+
+    /**
+     * Attach a guest profiler (support/profile.hh). Unlike the tracer
+     * and the oracle, the profiler does NOT bypass the superblock
+     * engine: the superblock interpreter batches per-block deltas into
+     * it at block exit, the general interpreter attributes
+     * per-instruction. Host-side only — simulated counts and the stat
+     * registry are bit-identical with or without it (enforced by the
+     * engine-differential gates). Pass nullptr to detach.
+     */
+    void setProfiler(GuestProfiler *profiler) { prof_ = profiler; }
+    GuestProfiler *profiler() { return prof_; }
+
+    /**
+     * Assemble the forensics report for @p trap from the current
+     * machine state (vm/forensics.cc). Called by run()'s top-level
+     * handler before the trap propagates; harmless to call again.
+     */
+    std::shared_ptr<const TrapReport> buildTrapReport(const GuestTrap &trap);
+
     const VmConfig &config() const { return config_; }
     ir::Module &module() { return module_; }
 
@@ -211,6 +243,11 @@ class Machine
         std::vector<Bounds> bounds;
         /** Call depth; keys the oracle's per-frame provenance. */
         unsigned depth = 0;
+        /**
+         * Block currently executing in this frame, maintained by both
+         * engines for trap-time stack symbolization (host-side only).
+         */
+        ir::BlockId curBlock = 0;
     };
 
     /**
@@ -256,6 +293,36 @@ class Machine
 
     void applyCost(const RuntimeCost &cost);
     void countInstr(ir::Opcode op);
+
+    // --- profiler support (host-side only) ---
+
+    /** Register @p func's name and block names on first activation. */
+    void profileNoteFunction(const ir::Function *func);
+    /** Record one guest-stack sample at the current cycle clock. */
+    void profileSample(unsigned depth);
+
+    // --- forensics support (host-side only) ---
+
+    /** Capture a dereference fault just before a spatial trap throws. */
+    void
+    noteFault(uint64_t raw, uint64_t size, bool write,
+              const Bounds *bounds)
+    {
+        lastFault_.valid = true;
+        lastFault_.raw = raw;
+        lastFault_.size = size;
+        lastFault_.write = write;
+        lastFault_.hasBounds = bounds != nullptr && bounds->valid();
+        lastFault_.bounds = lastFault_.hasBounds ? *bounds : Bounds();
+    }
+
+    void
+    noteAllocRecord(GuestAddr base, uint64_t size, AllocKind kind,
+                    const ir::Function *func, ir::BlockId block)
+    {
+        forensics_->noteAlloc(base, size, kind,
+                              {true, func->id(), block});
+    }
 
     void
     chargeClass(CycleClass c, uint64_t cycles)
@@ -318,6 +385,27 @@ class Machine
 
     /** Differential bounds oracle; null = detached (the default). */
     oracle::ShadowOracle *oracle_ = nullptr;
+
+    /** Guest profiler; null = detached (the default). */
+    GuestProfiler *prof_ = nullptr;
+    /** Scratch for profileSample stack walks (avoids per-sample alloc). */
+    std::vector<uint32_t> sampleStack_;
+
+    /** Allocation records for forensics; null unless config_.forensics. */
+    std::unique_ptr<TrapForensics> forensics_;
+    /** Dereference details captured at the spatial-trap throw sites. */
+    struct FaultContext
+    {
+        bool valid = false;
+        uint64_t raw = 0;
+        uint64_t size = 0;
+        bool write = false;
+        bool hasBounds = false;
+        Bounds bounds;
+    };
+    FaultContext lastFault_;
+    /** Depth of the innermost live frame, for trap-time stack walks. */
+    unsigned curDepth_ = 0;
 
     uint64_t instrs_ = 0;
     uint64_t cycles_ = 0;

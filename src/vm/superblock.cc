@@ -21,6 +21,7 @@
 #include "ifp/ops.hh"
 #include "support/bitops.hh"
 #include "support/logging.hh"
+#include "support/profile.hh"
 
 namespace infat {
 namespace sb {
@@ -1009,6 +1010,22 @@ Machine::execSuperblock(const Function *func, Frame &frame,
     auto &bounds = frame.bounds;
     BlockId cur = 0;
 
+    // Profiler attribution state (host-side only; see
+    // support/profile.hh). Per-block deltas are batched: snapshot at
+    // block entry, flush the whole block's self cost at block exit, and
+    // re-snapshot around calls so callee time lands in the callee's own
+    // blocks. No simulated counter is touched.
+    GuestProfiler *const prof = prof_;
+    const uint32_t pfid = func->id();
+    uint64_t pb_cycles = cycles_;
+    uint64_t pb_instrs = instrs_;
+    auto pflush = [&](BlockId block) {
+        prof->addBlock(pfid, block, cycles_ - pb_cycles,
+                       instrs_ - pb_instrs);
+        pb_cycles = cycles_;
+        pb_instrs = instrs_;
+    };
+
     // Batched charges of the pure run preceding a sync record.
     auto pre = [&](const sb::Record &fi) {
         instrs_ += fi.preInstr;
@@ -1030,13 +1047,19 @@ Machine::execSuperblock(const Function *func, Frame &frame,
     auto access = [&](const sb::Record &fi, uint64_t raw,
                       uint32_t ck_reg, bool write) {
         TaggedPtr ptr(raw);
+        bool p_checked = false;
+        bool p_elided = false;
         if (fi.flags & sb::kElide) {
             // An earlier same-block check over the same (unchanged)
             // address expression passed, or the address is a constant
             // with a statically Ok verdict: skip the predicates, keep
             // the simulated accounting identical.
-            if ((fi.flags & sb::kCheckBounds) && bounds[ck_reg].valid())
+            if ((fi.flags & sb::kCheckBounds) &&
+                bounds[ck_reg].valid()) {
                 cImplicitChecks_++;
+                p_checked = true;
+            }
+            p_elided = true;
             sbCounters_.checksElided++;
         } else {
             const Bounds *bp = (fi.flags & sb::kCheckBounds)
@@ -1044,26 +1067,42 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                                    : nullptr;
             ops::CheckVerdict v = ops::checkAccessVerdict(
                 ptr, bp, fi.size, GuestMemory::pageSize);
-            if (v == ops::CheckVerdict::Poisoned)
+            if (v == ops::CheckVerdict::Poisoned) {
+                noteFault(raw, fi.size, write, bp);
                 throw GuestTrap(TrapKind::PoisonedAccess,
                                 poisonedAccessDetail(ptr, write));
-            if (v == ops::CheckVerdict::Null)
+            }
+            if (v == ops::CheckVerdict::Null) {
+                noteFault(raw, fi.size, write, bp);
                 throw GuestTrap(TrapKind::NullDereference,
                                 nullDerefDetail(ptr.addr()));
-            if (bp && bp->valid())
+            }
+            if (bp && bp->valid()) {
                 cImplicitChecks_++;
-            if (v == ops::CheckVerdict::OutOfBounds)
+                p_checked = true;
+            }
+            if (v == ops::CheckVerdict::OutOfBounds) {
+                noteFault(raw, fi.size, write, bp);
                 throw GuestTrap(TrapKind::BoundsViolation,
                                 boundsViolationDetail(ptr.addr(),
                                                       fi.size, *bp,
                                                       write));
+            }
             sbCounters_.checksFull++;
         }
+        uint64_t extra = 0;
         if (config_.useCache) {
-            uint64_t extra =
-                l1d_.access(ptr.addr(), fi.size, write).latency - 1;
+            extra = l1d_.access(ptr.addr(), fi.size, write).latency - 1;
             cycles_ += extra;
             chargeClass(CycleClass::Mem, extra);
+        }
+        if (prof) {
+            // Same site identity and cost definition as the general
+            // path: the record ends at the access instruction
+            // (nextIp - 1), and the cost is 1 base cycle + cache
+            // latency; fused chk/gep portions stay in block cycles.
+            prof->countCheckSite(pfid, cur, fi.nextIp - 1, 1 + extra,
+                                 p_checked, p_elided);
         }
     };
     auto doLoad = [&](const sb::Record &fi, uint64_t raw) {
@@ -1125,8 +1164,18 @@ Machine::execSuperblock(const Function *func, Frame &frame,
         }
         cCalls_++;
         Bounds ret_b = Bounds::cleared();
+        if (prof)
+            pflush(cur);
         uint64_t ret = callFunction(callee, call_args, call_bounds,
                                     &ret_b, depth + 1);
+        if (prof) {
+            // Discard the callee's delta from this block's self cost;
+            // the callee attributed it to its own blocks.
+            pb_cycles = cycles_;
+            pb_instrs = instrs_;
+            if (prof->sampleDue(cycles_))
+                profileSample(depth);
+        }
         if (fi.dst != noReg) {
             regs[fi.dst] = ret;
             bounds[fi.dst] =
@@ -1142,6 +1191,12 @@ Machine::execSuperblock(const Function *func, Frame &frame,
         if (instrs_ + blk.totalInstr > config_.maxInstructions)
             return execGeneral(func, frame, ret_bounds, depth, cur, 0,
                                saved_bounds);
+        frame.curBlock = cur;
+        // Terminators reassign `cur` before block_done; remember which
+        // block this iteration's deltas belong to.
+        const BlockId pcur = cur;
+        if (prof)
+            prof->countBlockEntry(pfid, cur);
         const sb::Record *rec = blk.records.data();
         for (;; ++rec) {
             const sb::Record &fi = *rec;
@@ -1508,9 +1563,12 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                 charge(1, CycleClass::Base);
                 doCall(fi, fi.callee,
                        (fi.flags & sb::kPassBounds) != 0);
-                if (instrs_ + fi.rest > config_.maxInstructions)
+                if (instrs_ + fi.rest > config_.maxInstructions) {
+                    if (prof)
+                        pflush(cur);
                     return execGeneral(func, frame, ret_bounds, depth,
                                        cur, fi.nextIp, saved_bounds);
+                }
                 continue;
               case sb::Op::CallPtr: {
                 pre(fi);
@@ -1527,9 +1585,12 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                 doCall(fi, callee,
                        (fi.flags & sb::kPassBounds) &&
                            callee->isInstrumented());
-                if (instrs_ + fi.rest > config_.maxInstructions)
+                if (instrs_ + fi.rest > config_.maxInstructions) {
+                    if (prof)
+                        pflush(cur);
                     return execGeneral(func, frame, ret_bounds, depth,
                                        cur, fi.nextIp, saved_bounds);
+                }
                 continue;
               }
               case sb::Op::MallocTyped: {
@@ -1541,10 +1602,17 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                 RuntimeCost cost;
                 regs[fi.dst] = runtime_->plainMalloc(size, cost);
                 bounds[fi.dst] = Bounds::cleared();
+                if (forensics_)
+                    noteAllocRecord(layout::canonical(regs[fi.dst]),
+                                    size, AllocKind::PlainHeap, func,
+                                    cur);
                 applyCost(cost);
-                if (instrs_ + fi.rest > config_.maxInstructions)
+                if (instrs_ + fi.rest > config_.maxInstructions) {
+                    if (prof)
+                        pflush(cur);
                     return execGeneral(func, frame, ret_bounds, depth,
                                        cur, fi.nextIp, saved_bounds);
+                }
                 continue;
               }
               case sb::Op::FreePtr: {
@@ -1554,10 +1622,15 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                     (fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA);
                 RuntimeCost cost;
                 runtime_->plainFree(addr, cost);
+                if (forensics_)
+                    forensics_->noteFree(addr);
                 applyCost(cost);
-                if (instrs_ + fi.rest > config_.maxInstructions)
+                if (instrs_ + fi.rest > config_.maxInstructions) {
+                    if (prof)
+                        pflush(cur);
                     return execGeneral(func, frame, ret_bounds, depth,
                                        cur, fi.nextIp, saved_bounds);
+                }
                 continue;
               }
               case sb::Op::Promote: {
@@ -1583,14 +1656,20 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                     static_cast<LayoutId>(fi.c), cost);
                 regs[fi.dst] = alloc.ptr.raw();
                 bounds[fi.dst] = alloc.bounds;
+                if (forensics_)
+                    noteAllocRecord(alloc.ptr.addr(), fi.immB,
+                                    AllocKind::Stack, func, cur);
                 applyCost(cost);
                 cIfpArith_++;
                 stats_.counter("local_objects")++;
                 if (static_cast<LayoutId>(fi.c) != noLayout)
                     stats_.counter("local_objects_with_layout")++;
-                if (instrs_ + fi.rest > config_.maxInstructions)
+                if (instrs_ + fi.rest > config_.maxInstructions) {
+                    if (prof)
+                        pflush(cur);
                     return execGeneral(func, frame, ret_bounds, depth,
                                        cur, fi.nextIp, saved_bounds);
+                }
                 continue;
               }
               case sb::Op::DeregisterObj: {
@@ -1600,11 +1679,16 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                                                      : fi.immA);
                 RuntimeCost cost;
                 runtime_->deregisterObject(ptr, cost);
+                if (forensics_)
+                    forensics_->noteFree(ptr.addr());
                 applyCost(cost);
                 cIfpArith_++;
-                if (instrs_ + fi.rest > config_.maxInstructions)
+                if (instrs_ + fi.rest > config_.maxInstructions) {
+                    if (prof)
+                        pflush(cur);
                     return execGeneral(func, frame, ret_bounds, depth,
                                        cur, fi.nextIp, saved_bounds);
+                }
                 continue;
               }
               case sb::Op::IfpMallocTyped: {
@@ -1618,13 +1702,19 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                     size, static_cast<LayoutId>(fi.c), cost);
                 regs[fi.dst] = alloc.ptr.raw();
                 bounds[fi.dst] = alloc.bounds;
+                if (forensics_)
+                    noteAllocRecord(alloc.ptr.addr(), size,
+                                    AllocKind::IfpHeap, func, cur);
                 applyCost(cost);
                 stats_.counter("heap_objects")++;
                 if (static_cast<LayoutId>(fi.c) != noLayout)
                     stats_.counter("heap_objects_with_layout")++;
-                if (instrs_ + fi.rest > config_.maxInstructions)
+                if (instrs_ + fi.rest > config_.maxInstructions) {
+                    if (prof)
+                        pflush(cur);
                     return execGeneral(func, frame, ret_bounds, depth,
                                        cur, fi.nextIp, saved_bounds);
+                }
                 continue;
               }
               case sb::Op::IfpFree: {
@@ -1634,10 +1724,15 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                                                      : fi.immA);
                 RuntimeCost cost;
                 runtime_->ifpFree(ptr, cost);
+                if (forensics_ && !ptr.isNull())
+                    forensics_->noteFree(ptr.addr());
                 applyCost(cost);
-                if (instrs_ + fi.rest > config_.maxInstructions)
+                if (instrs_ + fi.rest > config_.maxInstructions) {
+                    if (prof)
+                        pflush(cur);
                     return execGeneral(func, frame, ret_bounds, depth,
                                        cur, fi.nextIp, saved_bounds);
+                }
                 continue;
               }
 
@@ -1680,7 +1775,11 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                     cycles_ += reload_cycles;
                     chargeClass(CycleClass::BndLdSt, reload_cycles);
                     cBndLdSt_ += saved_bounds;
+                    if (prof)
+                        prof->addBndCycles(pfid, reload_cycles);
                 }
+                if (prof)
+                    pflush(cur);
                 bool areg = (fi.flags & sb::kAReg) != 0;
                 if (ret_bounds)
                     *ret_bounds =
@@ -1699,6 +1798,11 @@ Machine::execSuperblock(const Function *func, Frame &frame,
             }
         }
       block_done:;
+        if (prof) {
+            pflush(pcur);
+            if (prof->sampleDue(cycles_))
+                profileSample(depth);
+        }
     }
 }
 

@@ -12,6 +12,7 @@
 #define INFAT_VM_TRAP_HH
 
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
@@ -20,6 +21,8 @@
 #include "support/logging.hh"
 
 namespace infat {
+
+struct TrapReport;
 
 enum class TrapKind
 {
@@ -62,8 +65,25 @@ class GuestTrap : public std::runtime_error
                kind_ == TrapKind::BoundsViolation;
     }
 
+    /**
+     * Forensics report (vm/forensics.hh), attached by the machine's
+     * top-level trap handler before the trap propagates to the
+     * harness. Null when the machine was destroyed before attachment
+     * could run (never for traps escaping Machine::run). The report
+     * never alters what(): trap messages stay bit-identical across
+     * engines and with forensics on or off.
+     */
+    const TrapReport *report() const { return report_.get(); }
+    std::shared_ptr<const TrapReport> reportPtr() const { return report_; }
+    void
+    attachReport(std::shared_ptr<const TrapReport> report)
+    {
+        report_ = std::move(report);
+    }
+
   private:
     TrapKind kind_;
+    std::shared_ptr<const TrapReport> report_;
 };
 
 /**

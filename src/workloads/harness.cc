@@ -7,6 +7,7 @@
 #include "compiler/instrument.hh"
 #include "ir/verifier.hh"
 #include "support/logging.hh"
+#include "support/profile.hh"
 #include "vm/libc_model.hh"
 #include "vm/machine.hh"
 
@@ -73,6 +74,8 @@ execute(const Workload &workload, ir::Module &module,
     vm_config.superblocks &= globalTuning.superblocks;
     vm_config.superblockFusion &= globalTuning.superblockFusion;
     vm_config.superblockCheckElim &= globalTuning.superblockCheckElim;
+    if (obs && obs->forensics)
+        vm_config.forensics = true;
 
     Machine machine(module, inst ? &inst->layouts : nullptr, vm_config);
     installLibc(machine);
@@ -80,6 +83,8 @@ execute(const Workload &workload, ir::Module &module,
         machine.setTraceSink(obs->traceSink, obs->traceCategories);
     if (obs && obs->oracle)
         machine.setOracle(obs->oracle);
+    if (obs && obs->profiler)
+        machine.setProfiler(obs->profiler);
 
     RunResult result;
     result.workload = workload.name;
@@ -117,6 +122,8 @@ execute(const Workload &workload, ir::Module &module,
 
     machine.syncStats();
     result.stats = machine.statRegistry().snapshot();
+    if (obs && obs->profiler)
+        result.stats.sections["profile"] = obs->profiler->sectionJson();
     if (obs && !obs->statsJsonPath.empty())
         result.stats.writeFile(obs->statsJsonPath);
     if (obs && obs->traceSink)

@@ -19,6 +19,8 @@
 
 namespace infat {
 
+class GuestProfiler;
+
 namespace oracle {
 class ShadowOracle;
 } // namespace oracle
@@ -120,6 +122,22 @@ struct Observability
      * path, so only use on functional (correctness) runs.
      */
     oracle::ShadowOracle *oracle = nullptr;
+    /**
+     * When non-null, attached to the machine for the whole run — the
+     * interpreter feeds it per-block cycle/instruction attribution and
+     * per-check-site hotness (support/profile.hh), and the run's stat
+     * snapshot gains a "profile" JSON section. Host-side only: the
+     * superblock engine stays active and simulated stats are
+     * bit-identical with or without a profiler attached. Must outlive
+     * the run.
+     */
+    GuestProfiler *profiler = nullptr;
+    /**
+     * Enable trap forensics allocation records (VmConfig::forensics):
+     * guest traps carry a TrapReport with a nearest-object diagnosis
+     * and allocation site. Host-side only, like the profiler.
+     */
+    bool forensics = false;
 };
 
 /** Build, (optionally) instrument, and execute one workload. */

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for trap forensics (vm/forensics.hh): every spatial trap from
+ * the Juliet suite carries a structured report with a symbolized guest
+ * stack, the faulting pointer decoded per scheme, and — with
+ * VmConfig::forensics on, as the suite runner enables — a
+ * nearest-object diagnosis naming the allocation site and the byte
+ * distance by which the access escaped the object.
+ */
+
+#include <gtest/gtest.h>
+
+#include "juliet/juliet.hh"
+#include "support/json.hh"
+#include "vm/forensics.hh"
+
+namespace infat {
+namespace {
+
+using namespace juliet;
+
+CaseOutcome
+runBad(Flaw flaw, Location location, Pattern pattern,
+       AllocatorKind allocator)
+{
+    TestCase test_case{flaw, location, pattern, /*bad=*/true};
+    CaseOutcome outcome = runCase(test_case, allocator);
+    EXPECT_TRUE(outcome.trapped) << test_case.name();
+    EXPECT_TRUE(outcome.correct) << test_case.name();
+    return outcome;
+}
+
+TEST(Forensics, HeapOverflowReport)
+{
+    CaseOutcome outcome =
+        runBad(Flaw::Overflow, Location::Heap, Pattern::DirectIndex,
+               AllocatorKind::Subheap);
+    ASSERT_NE(outcome.report, nullptr);
+    const TrapReport &report = *outcome.report;
+
+    // The trap itself.
+    EXPECT_TRUE(report.kind == "bounds violation" ||
+                report.kind == "poisoned access")
+        << report.kind;
+    EXPECT_EQ(report.detail, outcome.trapDetail);
+
+    // Symbolized guest stack, outermost first: main performs the
+    // access directly in this pattern.
+    ASSERT_FALSE(report.stack.empty());
+    EXPECT_EQ(report.stack.front().function, "main");
+
+    // The faulting pointer is fully decoded.
+    ASSERT_TRUE(report.faultKnown);
+    EXPECT_GT(report.accessSize, 0u);
+    EXPECT_FALSE(report.poison.empty());
+    EXPECT_FALSE(report.scheme.empty());
+    EXPECT_NE(report.scheme, "?");
+
+    // Nearest-object diagnosis: the overflow is past the end of the
+    // ifp-heap buffer, by exactly one element (Juliet's buf[len]).
+    ASSERT_TRUE(report.object.present);
+    EXPECT_EQ(toString(report.object.kind),
+              std::string("ifp-heap"));
+    EXPECT_EQ(report.object.relation, "overflow");
+    EXPECT_GT(report.object.distance, 0u);
+    EXPECT_LE(report.object.distance, report.accessSize);
+    // Allocation site: the buffer is allocated in main.
+    ASSERT_TRUE(report.object.siteKnown);
+    EXPECT_EQ(report.object.siteFunction, "main");
+}
+
+TEST(Forensics, StackUnderwriteReport)
+{
+    CaseOutcome outcome =
+        runBad(Flaw::Underwrite, Location::Stack,
+               Pattern::DirectIndex, AllocatorKind::Subheap);
+    ASSERT_NE(outcome.report, nullptr);
+    const TrapReport &report = *outcome.report;
+
+    ASSERT_TRUE(report.faultKnown);
+    EXPECT_TRUE(report.write);
+    if (report.object.present) {
+        EXPECT_EQ(report.object.relation, "underflow");
+        EXPECT_GT(report.object.distance, 0u);
+    }
+}
+
+TEST(Forensics, IntraObjectReport)
+{
+    // Field overflow into a sibling: the access stays inside the
+    // allocation, so the diagnosis is intra-object — only the
+    // narrowed subobject bounds were violated.
+    CaseOutcome outcome =
+        runBad(Flaw::Overflow, Location::Heap, Pattern::IntraField,
+               AllocatorKind::Subheap);
+    ASSERT_NE(outcome.report, nullptr);
+    const TrapReport &report = *outcome.report;
+
+    ASSERT_TRUE(report.faultKnown);
+    ASSERT_TRUE(report.object.present);
+    EXPECT_EQ(report.object.relation, "intra-object");
+    EXPECT_TRUE(report.boundsKnown);
+}
+
+TEST(Forensics, CrossFunctionStack)
+{
+    // The helper dereferences; the stack must show main -> helper.
+    CaseOutcome outcome =
+        runBad(Flaw::Overread, Location::Heap,
+               Pattern::CrossFunction, AllocatorKind::Subheap);
+    ASSERT_NE(outcome.report, nullptr);
+    const TrapReport &report = *outcome.report;
+    ASSERT_GE(report.stack.size(), 2u);
+    EXPECT_EQ(report.stack.front().function, "main");
+    EXPECT_NE(report.stack.back().function, "main");
+}
+
+TEST(Forensics, TextAndJsonRenderings)
+{
+    CaseOutcome outcome =
+        runBad(Flaw::Overflow, Location::Heap, Pattern::DirectIndex,
+               AllocatorKind::Subheap);
+    ASSERT_NE(outcome.report, nullptr);
+    const TrapReport &report = *outcome.report;
+
+    std::string text = report.text();
+    EXPECT_NE(text.find("trap:"), std::string::npos);
+    EXPECT_NE(text.find("guest stack"), std::string::npos);
+    EXPECT_NE(text.find("main"), std::string::npos);
+    EXPECT_NE(text.find("overflow"), std::string::npos);
+
+    std::string error;
+    auto doc = jsonParse(report.json(), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    ASSERT_TRUE(doc->isObject());
+    EXPECT_NE(doc->find("kind"), nullptr);
+    ASSERT_NE(doc->find("stack"), nullptr);
+    EXPECT_TRUE(doc->find("stack")->isArray());
+    const JsonValue *object = doc->find("object");
+    ASSERT_NE(object, nullptr);
+    if (object->isObject()) {
+        EXPECT_EQ(object->find("relation")->str, "overflow");
+        EXPECT_GT(object->find("distance")->asUint(), 0u);
+    }
+}
+
+TEST(Forensics, WholeSuiteCarriesReports)
+{
+    // Every bad case that traps must carry a report with a non-empty
+    // stack; wrapped allocator exercises the other promote scheme.
+    for (AllocatorKind allocator :
+         {AllocatorKind::Subheap, AllocatorKind::Wrapped}) {
+        SuiteResult suite = runSuite(allocator);
+        size_t reports = 0;
+        for (const CaseOutcome &outcome : suite.outcomes) {
+            if (!outcome.trapped)
+                continue;
+            ASSERT_NE(outcome.report, nullptr)
+                << outcome.testCase.name();
+            EXPECT_FALSE(outcome.report->stack.empty())
+                << outcome.testCase.name();
+            ++reports;
+        }
+        EXPECT_GT(reports, 0u);
+    }
+}
+
+} // namespace
+} // namespace infat

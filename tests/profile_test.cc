@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the guest profiler (support/profile.hh): the exact
+ * reconciliation invariants between the profiler's attribution and the
+ * machine's simulated stat registry, engine-agreement of the hotness
+ * counters, the no-perturbation guarantee (simulated results identical
+ * with the profiler attached or not), stack sampling / collapsed-stack
+ * export, and the "profile" JSON section contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/json.hh"
+#include "support/profile.hh"
+#include "workloads/harness.hh"
+#include "workloads/workload.hh"
+
+namespace infat {
+namespace {
+
+using namespace workloads;
+
+struct ProfiledRun
+{
+    GuestProfiler profiler;
+    RunResult result;
+};
+
+/** Run @p name instrumented (subheap) with a profiler attached. */
+void
+runProfiled(ProfiledRun &out, const char *name, bool superblocks,
+            uint64_t sample_interval = 0)
+{
+    const Workload *workload = byName(name);
+    ASSERT_NE(workload, nullptr);
+    out.profiler.setSampleInterval(sample_interval);
+    Observability obs;
+    obs.profiler = &out.profiler;
+    CustomRun custom;
+    custom.superblocks = superblocks;
+    out.result = runWorkloadCustom(*workload, custom, obs);
+}
+
+TEST(Profile, ReconciliationSuperblock)
+{
+    ProfiledRun run;
+    runProfiled(run, "treeadd", /*superblocks=*/true);
+    const RunResult &r = run.result;
+    const GuestProfiler &p = run.profiler;
+
+    // Every implicit check belongs to exactly one static check site.
+    EXPECT_EQ(p.totalCheckExecutions(),
+              r.stats.scalar("vm", "implicit_checks"));
+    // Bounds spill/reload cycles reconcile exactly with the machine's
+    // BndLdSt cycle class (the acceptance contract for the profile
+    // section: per-site/function cycle attribution is not an estimate).
+    EXPECT_EQ(p.totalBndCycles(),
+              r.stats.scalar("vm", "cycles_bnd_ldst"));
+    // Block self-cycles never exceed the cycle clock (the remainder is
+    // partial blocks abandoned by traps — none here).
+    EXPECT_GT(p.totalBlockCycles(), 0u);
+    EXPECT_LE(p.totalBlockCycles(), r.cycles);
+    EXPECT_LE(p.totalBlockInstructions(), r.instructions);
+}
+
+TEST(Profile, ReconciliationGeneral)
+{
+    ProfiledRun run;
+    runProfiled(run, "treeadd", /*superblocks=*/false);
+    const RunResult &r = run.result;
+    const GuestProfiler &p = run.profiler;
+
+    EXPECT_EQ(p.totalCheckExecutions(),
+              r.stats.scalar("vm", "implicit_checks"));
+    EXPECT_EQ(p.totalBndCycles(),
+              r.stats.scalar("vm", "cycles_bnd_ldst"));
+    EXPECT_GT(p.totalBlockCycles(), 0u);
+    EXPECT_LE(p.totalBlockCycles(), r.cycles);
+    // The general interpreter never elides checks host-side.
+    EXPECT_EQ(p.totalCheckElided(), 0u);
+}
+
+TEST(Profile, EnginesAgreeOnAttribution)
+{
+    // The two engines attribute the same cycles to the same blocks and
+    // the same checks to the same sites — the site identity model is
+    // engine-independent, so the profile is comparable across tiers.
+    ProfiledRun sb, gen;
+    runProfiled(sb, "mst", /*superblocks=*/true);
+    runProfiled(gen, "mst", /*superblocks=*/false);
+
+    EXPECT_EQ(sb.result.cycles, gen.result.cycles);
+    EXPECT_EQ(sb.profiler.totalBlockCycles(),
+              gen.profiler.totalBlockCycles());
+    EXPECT_EQ(sb.profiler.totalBlockInstructions(),
+              gen.profiler.totalBlockInstructions());
+    EXPECT_EQ(sb.profiler.totalCheckExecutions(),
+              gen.profiler.totalCheckExecutions());
+    EXPECT_EQ(sb.profiler.totalCheckCycles(),
+              gen.profiler.totalCheckCycles());
+    EXPECT_EQ(sb.profiler.totalBndCycles(),
+              gen.profiler.totalBndCycles());
+}
+
+TEST(Profile, AttachmentDoesNotPerturbSimulation)
+{
+    const Workload *workload = byName("treeadd");
+    ASSERT_NE(workload, nullptr);
+    CustomRun custom;
+    RunResult plain = runWorkloadCustom(*workload, custom);
+
+    ProfiledRun profiled;
+    runProfiled(profiled, "treeadd", /*superblocks=*/true,
+                /*sample_interval=*/128);
+
+    EXPECT_EQ(plain.checksum, profiled.result.checksum);
+    EXPECT_EQ(plain.instructions, profiled.result.instructions);
+    EXPECT_EQ(plain.cycles, profiled.result.cycles);
+    // The profiler must not have disabled the superblock engine
+    // (unlike tracer/oracle attachment).
+    EXPECT_GT(profiled.result.stats.scalar("vm.superblock",
+                                           "functions"),
+              0u);
+}
+
+TEST(Profile, SamplingAndCollapsedStacks)
+{
+    ProfiledRun run;
+    runProfiled(run, "treeadd", /*superblocks=*/true,
+                /*sample_interval=*/64);
+    EXPECT_GT(run.profiler.samples(), 0u);
+
+    std::ostringstream os;
+    run.profiler.writeCollapsed(os);
+    std::string text = os.str();
+    ASSERT_FALSE(text.empty());
+    // Every collapsed stack is rooted at the entry function and ends
+    // with a positive sample count.
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        ASSERT_FALSE(line.empty());
+        EXPECT_EQ(line.rfind("main", 0), 0u) << line;
+        size_t space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        EXPECT_GT(std::stoull(line.substr(space + 1)), 0u) << line;
+    }
+}
+
+TEST(Profile, SectionJsonContract)
+{
+    ProfiledRun run;
+    runProfiled(run, "treeadd", /*superblocks=*/true,
+                /*sample_interval=*/256);
+    std::string section = run.profiler.sectionJson();
+
+    std::string error;
+    auto doc = jsonParse(section, &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    ASSERT_TRUE(doc->isObject());
+
+    const JsonValue *totals = doc->find("totals");
+    ASSERT_NE(totals, nullptr);
+    EXPECT_EQ(totals->find("check_executions")->asUint(),
+              run.profiler.totalCheckExecutions());
+    EXPECT_EQ(totals->find("bnd_ldst_cycles")->asUint(),
+              run.profiler.totalBndCycles());
+
+    const JsonValue *blocks = doc->find("hot_blocks");
+    ASSERT_NE(blocks, nullptr);
+    ASSERT_TRUE(blocks->isArray());
+    ASSERT_FALSE(blocks->arr.empty());
+    // Ranked by cycles, descending.
+    for (size_t i = 1; i < blocks->arr.size(); ++i)
+        EXPECT_GE(blocks->arr[i - 1].find("cycles")->asUint(),
+                  blocks->arr[i].find("cycles")->asUint());
+    for (const JsonValue &b : blocks->arr) {
+        EXPECT_NE(b.find("function"), nullptr);
+        EXPECT_NE(b.find("block"), nullptr);
+        EXPECT_NE(b.find("executions"), nullptr);
+        EXPECT_NE(b.find("instructions"), nullptr);
+    }
+
+    const JsonValue *sites = doc->find("check_sites");
+    ASSERT_NE(sites, nullptr);
+    ASSERT_TRUE(sites->isArray());
+    ASSERT_FALSE(sites->arr.empty());
+    uint64_t listed = 0;
+    for (const JsonValue &s : sites->arr) {
+        EXPECT_NE(s.find("function"), nullptr);
+        EXPECT_NE(s.find("block"), nullptr);
+        EXPECT_NE(s.find("ip"), nullptr);
+        EXPECT_NE(s.find("elided"), nullptr);
+        listed += s.find("executions")->asUint();
+    }
+    // Top-K truncation drops sites, never counts: listed executions
+    // can't exceed the totals, which cover everything.
+    EXPECT_LE(listed, run.profiler.totalCheckExecutions());
+
+    const JsonValue *functions = doc->find("functions");
+    ASSERT_NE(functions, nullptr);
+    ASSERT_TRUE(functions->isArray());
+    uint64_t bnd = 0;
+    for (const JsonValue &f : functions->arr)
+        bnd += f.find("bnd_ldst_cycles")->asUint();
+    EXPECT_EQ(bnd, run.profiler.totalBndCycles());
+}
+
+TEST(Profile, StatsJsonGainsProfileSection)
+{
+    ProfiledRun run;
+    runProfiled(run, "treeadd", /*superblocks=*/true);
+    std::ostringstream os;
+    JsonWriter w(os);
+    run.result.stats.writeJson(w);
+    std::string error;
+    auto doc = jsonParse(os.str(), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    const JsonValue *profile = doc->find("profile");
+    ASSERT_NE(profile, nullptr);
+    EXPECT_TRUE(profile->isObject());
+    EXPECT_NE(profile->find("totals"), nullptr);
+}
+
+} // namespace
+} // namespace infat

@@ -19,6 +19,7 @@
 #include "ir/builder.hh"
 #include "ir/verifier.hh"
 #include "mem/guest_memory.hh"
+#include "support/profile.hh"
 #include "support/trace.hh"
 #include "vm/libc_model.hh"
 #include "vm/machine.hh"
@@ -52,6 +53,10 @@ struct EngineOptions
     bool checkElim = true;
     uint64_t maxInstructions = 20'000'000'000ULL;
     bool attachTracer = false;
+    /** Attach a GuestProfiler (host-side only; engine stays active). */
+    bool attachProfiler = false;
+    /** Enable trap-forensics allocation records (host-side only). */
+    bool forensics = false;
 };
 
 EngineRun
@@ -70,12 +75,18 @@ runEngine(const BuildFn &build, const EngineOptions &opts)
     config.superblockFusion = opts.fusion;
     config.superblockCheckElim = opts.checkElim;
     config.maxInstructions = opts.maxInstructions;
+    config.forensics = opts.forensics;
     CollectTraceSink sink;
     Machine machine(m, opts.instrument ? &inst.layouts : nullptr,
                     config);
     installLibc(machine);
     if (opts.attachTracer)
         machine.setTraceSink(&sink);
+    GuestProfiler profiler;
+    if (opts.attachProfiler) {
+        profiler.setSampleInterval(64);
+        machine.setProfiler(&profiler);
+    }
 
     EngineRun run;
     try {
@@ -157,17 +168,27 @@ expectEnginesAgree(const BuildFn &build, bool instrument,
         const char *name;
         bool fusion;
         bool checkElim;
+        bool profiler;
     };
     const Variant variants[] = {
-        {"superblock", true, true},
-        {"superblock-nofuse", false, true},
-        {"superblock-noelim", true, false},
-        {"superblock-base", false, false},
+        {"superblock", true, true, false},
+        {"superblock-nofuse", false, true, false},
+        {"superblock-noelim", true, false, false},
+        {"superblock-base", false, false, false},
+        // The guest profiler and forensics records are host-side
+        // only: attaching them must not perturb any simulated
+        // observable, in either engine.
+        {"superblock-profiled", true, true, true},
+        {"general-profiled", true, true, true},
     };
     for (const Variant &v : variants) {
         EngineOptions opts = base;
         opts.fusion = v.fusion;
         opts.checkElim = v.checkElim;
+        opts.attachProfiler = v.profiler;
+        opts.forensics = v.profiler;
+        if (std::string(v.name) == "general-profiled")
+            opts.superblocks = false;
         EngineRun got = runEngine(build, opts);
         SCOPED_TRACE(v.name);
         EXPECT_EQ(ref.trapped, got.trapped);

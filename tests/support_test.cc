@@ -1,12 +1,13 @@
 /**
  * @file
  * Unit tests for the support substrate: bit ops, SipHash, RNG, stats,
- * and the table formatter.
+ * leveled logging, and the table formatter.
  */
 
 #include <gtest/gtest.h>
 
 #include "support/bitops.hh"
+#include "support/logging.hh"
 #include "support/rng.hh"
 #include "support/siphash.hh"
 #include "support/stats.hh"
@@ -129,6 +130,104 @@ TEST(Stats, Geomean)
     EXPECT_DOUBLE_EQ(geomean({}), 1.0);
     EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
     EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, Log2BucketBoundaries)
+{
+    // Bucket 0 counts only the value 0; bucket i (i >= 1) covers
+    // [2^(i-1), 2^i). Boundary values 2^i-1 / 2^i must land on the
+    // two sides of each edge.
+    Histogram h = Histogram::log2(8);
+    h.sample(0);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+
+    h.sample(1); // [1, 2) -> bucket 1
+    EXPECT_EQ(h.bucketCount(1), 1u);
+
+    for (unsigned i = 2; i < 8; ++i) {
+        uint64_t lo = 1ULL << (i - 1);
+        h.sample(lo - 1); // top of bucket i-1
+        h.sample(lo);     // bottom of bucket i
+    }
+    // Each bucket i in [1, 7) got its lower edge plus the top of its
+    // range; bucket 7 only its lower edge so far.
+    for (unsigned i = 1; i < 7; ++i)
+        EXPECT_EQ(h.bucketCount(i), 2u) << "bucket " << i;
+    EXPECT_EQ(h.bucketCount(7), 1u);
+    EXPECT_EQ(h.overflow(), 0u);
+
+    // Edges reported by the histogram agree with the shape.
+    EXPECT_EQ(h.bucketLo(0), 0u);
+    EXPECT_EQ(h.bucketHi(0), 1u);
+    EXPECT_EQ(h.bucketLo(3), 4u);
+    EXPECT_EQ(h.bucketHi(3), 8u);
+}
+
+TEST(Stats, Log2TopBucketSaturation)
+{
+    Histogram h = Histogram::log2(4); // top bucket covers [4, 8)
+    h.sample(7); // still in-range
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.overflow(), 0u);
+
+    // At or above the last bucket's upper edge: overflow, but still
+    // part of count/sum/max so means stay exact.
+    h.sample(8);
+    h.sample(~0ULL);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 7u + 8u + ~0ULL);
+    EXPECT_EQ(h.maxValue(), ~0ULL);
+}
+
+TEST(Stats, LinearUnderflowOverflow)
+{
+    Histogram h = Histogram::linear(10, 5, 2); // [10,15) [15,20)
+    h.sample(9);  // below the first bucket
+    h.sample(10); // first bucket's inclusive lower edge
+    h.sample(14);
+    h.sample(19); // top of the last bucket
+    h.sample(20); // exactly the exclusive upper edge
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.minValue(), 9u);
+    EXPECT_EQ(h.maxValue(), 20u);
+}
+
+TEST(Stats, FormulaZeroDenominator)
+{
+    StatGroup group("test");
+    Counter &num = group.counter("num");
+    Counter &den = group.counter("den");
+    group.formula("ratio", [&] {
+        return static_cast<double>(num.value()) /
+               static_cast<double>(den.value());
+    });
+    // 0/0 evaluates non-finite; the registry reports 0.0 instead of
+    // leaking a NaN into dumps and JSON exports.
+    EXPECT_EQ(group.formulaValue("ratio"), 0.0);
+    num += 5;
+    EXPECT_EQ(group.formulaValue("ratio"), 0.0); // 5/0 -> inf -> 0
+    den += 2;
+    EXPECT_DOUBLE_EQ(group.formulaValue("ratio"), 2.5);
+    EXPECT_EQ(group.formulaValue("no-such-formula"), 0.0);
+}
+
+TEST(Logging, LevelThreshold)
+{
+    LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Warn);
+    EXPECT_TRUE(logEnabled(LogLevel::Error));
+    EXPECT_TRUE(logEnabled(LogLevel::Warn));
+    EXPECT_FALSE(logEnabled(LogLevel::Info));
+    EXPECT_FALSE(logEnabled(LogLevel::Debug));
+    setLogLevel(LogLevel::Debug);
+    EXPECT_TRUE(logEnabled(LogLevel::Debug));
+    setLogLevel(saved);
 }
 
 TEST(Table, AlignsColumns)

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * End-to-end smoke test for the guest profiler, run as the
+ * `infat_profile_smoke` ctest.
+ *
+ * Runs one workload with a profiler attached and a --stats-json-style
+ * export, re-parses the document, and checks the "profile" section
+ * contract the tooling (and the future JIT tier) relies on:
+ *
+ *  - the section is present and lists functions, hot blocks, and
+ *    check sites;
+ *  - the top-site/block cycle totals reconcile with the machine's
+ *    simulated counters: summed block self-cycles never exceed
+ *    vm.cycles, summed check-site executions equal
+ *    vm.implicit_checks exactly, and summed per-function bounds
+ *    spill/reload cycles equal vm.cycles_bnd_ldst exactly.
+ *
+ * Exits non-zero with a message per violation.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/profile.hh"
+#include "workloads/harness.hh"
+
+using namespace infat;
+using namespace infat::workloads;
+
+namespace {
+
+int failures = 0;
+
+void
+check(bool ok, const char *what)
+{
+    if (!ok) {
+        std::fprintf(stderr, "FAIL: %s\n", what);
+        ++failures;
+    } else {
+        std::fprintf(stderr, "ok:   %s\n", what);
+    }
+}
+
+uint64_t
+scalarOf(const JsonValue &stats, const char *group, const char *name)
+{
+    const JsonValue *groups = stats.find("groups");
+    const JsonValue *g = groups ? groups->find(group) : nullptr;
+    const JsonValue *scalars = g ? g->find("scalars") : nullptr;
+    const JsonValue *v = scalars ? scalars->find(name) : nullptr;
+    return v ? v->asUint() : ~0ULL;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::string dir =
+        std::getenv("TMPDIR") ? std::getenv("TMPDIR") : ".";
+    std::string stats_path = dir + "/infat_profile_smoke.json";
+
+    GuestProfiler profiler;
+    profiler.setSampleInterval(512);
+    Observability obs;
+    obs.profiler = &profiler;
+    obs.statsJsonPath = stats_path;
+    RunResult result = runWorkload("perimeter", Config::Subheap, obs);
+    check(result.instructions > 0, "workload executed instructions");
+
+    std::string err;
+    std::optional<JsonValue> doc = jsonParseFile(stats_path, &err);
+    check(doc.has_value(), "stats JSON parses");
+    if (!doc) {
+        std::fprintf(stderr, "  parse error: %s\n", err.c_str());
+        return 1;
+    }
+
+    const JsonValue *profile = doc->find("profile");
+    check(profile && profile->isObject(),
+          "stats JSON has a profile section");
+    if (!profile || !profile->isObject())
+        return 1;
+
+    for (const char *key :
+         {"functions", "hot_blocks", "check_sites", "totals"})
+        check(profile->find(key) != nullptr,
+              (std::string("profile has ") + key).c_str());
+    const JsonValue *totals = profile->find("totals");
+    if (!totals)
+        return 1;
+
+    uint64_t vm_cycles = scalarOf(*doc, "vm", "cycles");
+    uint64_t vm_checks = scalarOf(*doc, "vm", "implicit_checks");
+    uint64_t vm_bnd = scalarOf(*doc, "vm", "cycles_bnd_ldst");
+
+    // Per-site/block attribution reconciles with the simulated
+    // counters (docs/OBSERVABILITY.md lists these invariants).
+    check(totals->find("block_cycles")->asUint() <= vm_cycles,
+          "summed block self-cycles <= vm.cycles");
+    check(totals->find("block_cycles")->asUint() > 0,
+          "block attribution is non-empty");
+    check(totals->find("check_executions")->asUint() == vm_checks,
+          "summed check-site executions == vm.implicit_checks");
+    check(totals->find("bnd_ldst_cycles")->asUint() == vm_bnd,
+          "summed bnd spill/reload cycles == vm.cycles_bnd_ldst");
+
+    // The ranked lists are cycle-sorted and within the totals.
+    const JsonValue *blocks = profile->find("hot_blocks");
+    uint64_t top_block_cycles = 0;
+    bool sorted = true;
+    uint64_t prev = ~0ULL;
+    for (const JsonValue &b : blocks->arr) {
+        uint64_t c = b.find("cycles")->asUint();
+        if (c > prev)
+            sorted = false;
+        prev = c;
+        top_block_cycles += c;
+    }
+    check(!blocks->arr.empty(), "hot_blocks is non-empty");
+    check(sorted, "hot_blocks ranked by cycles descending");
+    check(top_block_cycles <= vm_cycles,
+          "top-block cycles sum <= vm.cycles");
+
+    const JsonValue *sites = profile->find("check_sites");
+    uint64_t top_site_cycles = 0;
+    for (const JsonValue &s : sites->arr)
+        top_site_cycles += s.find("cycles")->asUint();
+    check(!sites->arr.empty(), "check_sites is non-empty");
+    check(top_site_cycles <= vm_cycles,
+          "top-site cycles sum <= vm.cycles");
+    check(top_site_cycles <=
+              totals->find("check_cycles")->asUint(),
+          "top-site cycles sum <= total check cycles");
+
+    check(profiler.samples() > 0, "sampling collected stacks");
+
+    std::remove(stats_path.c_str());
+
+    if (failures) {
+        std::fprintf(stderr, "%d check(s) failed\n", failures);
+        return 1;
+    }
+    std::fprintf(stderr, "all checks passed\n");
+    return 0;
+}

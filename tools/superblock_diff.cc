@@ -8,6 +8,11 @@
  * allowed to differ is "vm.superblock", which describes the host
  * engine itself.
  *
+ * A third pass per pair runs the superblock engine with the guest
+ * profiler attached and forensics enabled: the profiler must be purely
+ * host-side (identical simulated results), and — unlike the tracer and
+ * oracle — it must NOT have knocked the run off the superblock engine.
+ *
  * Exits non-zero and prints every divergence when the engines
  * disagree. Registered as a ctest (infat_superblock_diff).
  */
@@ -17,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "support/profile.hh"
 #include "workloads/harness.hh"
 #include "workloads/workload.hh"
 
@@ -147,6 +153,35 @@ main()
                              "MISMATCH %s: superblock engine was not "
                              "active (0 functions predecoded)\n",
                              where.c_str());
+            }
+
+            // Third pass: superblock engine with the guest profiler
+            // attached (sampling on) and forensics records enabled.
+            // Both are host-side only, so simulated results must stay
+            // bit-identical with the reference...
+            GuestProfiler profiler;
+            profiler.setSampleInterval(256);
+            Observability prof_obs;
+            prof_obs.profiler = &profiler;
+            prof_obs.forensics = true;
+            RunResult prof =
+                runWorkload(workload, config, prof_obs);
+            std::string pwhere = where + "/profiled";
+            compareU64(pwhere, "checksum", ref.checksum,
+                       prof.checksum);
+            compareU64(pwhere, "instructions", ref.instructions,
+                       prof.instructions);
+            compareU64(pwhere, "cycles", ref.cycles, prof.cycles);
+            compareStats(pwhere, ref.stats, prof.stats);
+
+            // ...and, unlike tracer/oracle attachment, the profiler
+            // must not have disabled the superblock engine.
+            if (prof.stats.scalar("vm.superblock", "functions") == 0) {
+                ++failures;
+                std::fprintf(stderr,
+                             "MISMATCH %s: superblock engine was not "
+                             "active with profiler attached\n",
+                             pwhere.c_str());
             }
             ++runs;
         }

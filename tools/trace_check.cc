@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Trace-validation gate, run as the `infat_trace_check` ctest.
+ *
+ * Runs a small workload with the Chrome trace sink attached (and a
+ * second pass for the guest profiler's counter-track export), then
+ * re-parses each emitted file with support/json.hh and checks the
+ * well-formedness properties Perfetto and chrome://tracing rely on:
+ *
+ *  - every event carries name/cat/ph/ts/pid/tid;
+ *  - the phase is one of the phases we emit (B, E, i, X, C, M) and
+ *    'X' events carry a duration;
+ *  - the category is a known TraceCategory name;
+ *  - timestamps are monotonically nondecreasing per tid (the cycle
+ *    clock never goes backwards within a track);
+ *  - 'B'/'E' duration pairs are balanced per tid: depth never goes
+ *    negative and every begin is closed by the end of the file.
+ *
+ * Exits non-zero with a message per violation.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/profile.hh"
+#include "support/trace.hh"
+#include "workloads/harness.hh"
+
+using namespace infat;
+using namespace infat::workloads;
+
+namespace {
+
+int failures = 0;
+
+void
+check(bool ok, const std::string &what)
+{
+    if (!ok) {
+        std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+        ++failures;
+    } else {
+        std::fprintf(stderr, "ok:   %s\n", what.c_str());
+    }
+}
+
+/** Validate one Chrome trace-event file; see file comment for rules. */
+void
+validateTraceFile(const std::string &path, const std::string &label)
+{
+    std::string err;
+    std::optional<JsonValue> doc = jsonParseFile(path, &err);
+    check(doc.has_value(), label + ": trace JSON parses");
+    if (!doc) {
+        std::fprintf(stderr, "  parse error: %s\n", err.c_str());
+        return;
+    }
+
+    const JsonValue *events = doc->find("traceEvents");
+    check(events && events->isArray(),
+          label + ": has traceEvents array");
+    if (!events || !events->isArray())
+        return;
+    check(!events->arr.empty(), label + ": traceEvents non-empty");
+
+    const std::set<std::string> known_phases = {"B", "E", "i", "X",
+                                                "C", "M"};
+    std::set<std::string> known_cats;
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(TraceCategory::NumCategories); ++i)
+        known_cats.insert(toString(static_cast<TraceCategory>(i)));
+
+    bool fields_ok = true, phase_ok = true, cat_ok = true;
+    bool ts_ok = true, dur_ok = true, balance_ok = true;
+    std::map<uint64_t, uint64_t> last_ts; // tid -> last seen ts
+    std::map<uint64_t, int64_t> depth;    // tid -> open 'B' count
+    for (const JsonValue &ev : events->arr) {
+        const JsonValue *name = ev.find("name");
+        const JsonValue *cat = ev.find("cat");
+        const JsonValue *ph = ev.find("ph");
+        const JsonValue *ts = ev.find("ts");
+        const JsonValue *tid = ev.find("tid");
+        if (!name || !cat || !ph || !ts || !ev.find("pid") || !tid) {
+            fields_ok = false;
+            continue;
+        }
+        if (!known_phases.count(ph->str))
+            phase_ok = false;
+        if (!known_cats.count(cat->str))
+            cat_ok = false;
+        uint64_t t = tid->asUint();
+        uint64_t now = ts->asUint();
+        auto it = last_ts.find(t);
+        if (it != last_ts.end() && now < it->second)
+            ts_ok = false;
+        last_ts[t] = now;
+        if (ph->str == "X" && !ev.find("dur"))
+            dur_ok = false;
+        if (ph->str == "B")
+            ++depth[t];
+        else if (ph->str == "E" && --depth[t] < 0)
+            balance_ok = false;
+    }
+    for (const auto &[t, d] : depth)
+        if (d != 0)
+            balance_ok = false;
+
+    check(fields_ok, label + ": every event has name/cat/ph/ts/pid/tid");
+    check(phase_ok, label + ": every phase is known");
+    check(cat_ok, label + ": every category is known");
+    check(ts_ok, label + ": timestamps nondecreasing per tid");
+    check(dur_ok, label + ": every 'X' event has a duration");
+    check(balance_ok, label + ": 'B'/'E' pairs balanced per tid");
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::string dir =
+        std::getenv("TMPDIR") ? std::getenv("TMPDIR") : ".";
+    std::string trace_path = dir + "/infat_trace_check.trace.json";
+    std::string counters_path = dir + "/infat_trace_check.prof.json";
+
+    // Pass 1: the machine's own trace sink (all categories except the
+    // per-instruction exec firehose).
+    {
+        Observability obs;
+        ChromeTraceSink sink(trace_path);
+        obs.traceSink = &sink;
+        obs.traceCategories =
+            traceMaskAll & ~traceBit(TraceCategory::Exec);
+        RunResult result =
+            runWorkload("anagram", Config::Subheap, obs);
+        sink.close();
+        check(result.instructions > 0, "workload ran");
+    }
+    validateTraceFile(trace_path, "machine trace");
+
+    // Pass 2: the guest profiler's Perfetto counter tracks.
+    {
+        GuestProfiler profiler;
+        profiler.setSampleInterval(256);
+        Observability obs;
+        obs.profiler = &profiler;
+        RunResult result =
+            runWorkload("anagram", Config::Subheap, obs);
+        check(result.instructions > 0, "profiled workload ran");
+        check(profiler.samples() > 0, "profiler collected samples");
+        profiler.writeChromeTrace(counters_path);
+    }
+    validateTraceFile(counters_path, "profiler counters");
+
+    std::remove(trace_path.c_str());
+    std::remove(counters_path.c_str());
+
+    if (failures) {
+        std::fprintf(stderr, "%d check(s) failed\n", failures);
+        return 1;
+    }
+    std::fprintf(stderr, "all checks passed\n");
+    return 0;
+}
