@@ -18,9 +18,16 @@
  *   --out=PATH    output JSON path (default BENCH_selfperf.json)
  *   --engine=E    pin the host interpreter engine for every run:
  *                 general | superblock-base | superblock-nofuse |
- *                 superblock-noelim | superblock (default). Used for
+ *                 superblock-noelim | superblock | threaded | jit
+ *                 (default; see workloads::engineNames()). Used for
  *                 the ablation table in docs/PERFORMANCE.md; simulated
  *                 results are identical under every engine.
+ *   --matrix      additionally time one serial pass per engine and
+ *                 record the ablation in the JSON `engine_matrix`
+ *                 array, verifying every engine's simulated results
+ *                 bit-identical to the main pass along the way.
+ *                 Implied by the full (non-smoke) run; --no-matrix
+ *                 turns it off.
  *   --stats-json=PATH
  *                 also export every recorded run's full stat snapshot
  *                 (bench_util.hh StatsExport); uploaded as a CI
@@ -29,6 +36,7 @@
 
 #include <sys/utsname.h>
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -65,37 +73,61 @@ runSuite(const std::vector<const Workload *> &ws, unsigned jobs)
 
 /**
  * The determinism guarantee, enforced: every simulated observable of
- * the parallel pass must equal the serial pass bit for bit.
+ * @p other must equal the reference pass bit for bit. Used both for
+ * serial-vs-parallel and for the cross-engine ablation passes (every
+ * tier must be bit-identical to every other; @p what names the
+ * diverging pass in the failure message). Simulated stat snapshots
+ * exclude the host-side vm.superblock / vm.tier groups (the only
+ * groups engines legitimately differ on; see tools/tier_diff.cc).
  */
-void
-verifyIdentical(const SuitePass &serial, const SuitePass &parallel)
+std::string
+simStatsJson(const StatSnapshot &snap)
 {
-    fatal_if(serial.matrices.size() != parallel.matrices.size(),
+    StatSnapshot sim = snap;
+    sim.groups.erase(
+        std::remove_if(sim.groups.begin(), sim.groups.end(),
+                       [](const StatSnapshot::Group &g) {
+                           return g.name == "vm.superblock" ||
+                                  g.name == "vm.tier";
+                       }),
+        sim.groups.end());
+    return sim.toJson();
+}
+
+void
+verifyIdentical(const SuitePass &ref, const SuitePass &other,
+                const char *what, bool sim_only = false)
+{
+    fatal_if(ref.matrices.size() != other.matrices.size(),
              "pass size mismatch");
-    for (size_t i = 0; i < serial.matrices.size(); ++i) {
-        const WorkloadMatrix &s = serial.matrices[i];
+    for (size_t i = 0; i < ref.matrices.size(); ++i) {
+        const WorkloadMatrix &s = ref.matrices[i];
         // Safe: runMatrices never reorders results.
-        const WorkloadMatrix &p = parallel.matrices[i];
+        const WorkloadMatrix &p = other.matrices[i];
         for (Config config : kMatrixConfigs) {
             const RunResult &sr = matrixSlot(s, config);
             const RunResult &pr = matrixSlot(p, config);
             fatal_if(sr.checksum != pr.checksum ||
                          sr.instructions != pr.instructions ||
                          sr.cycles != pr.cycles,
-                     "%s/%s: parallel run diverged from serial "
+                     "%s/%s: %s run diverged from reference "
                      "(checksum %016llx vs %016llx, instrs %llu vs "
                      "%llu, cycles %llu vs %llu)",
-                     s.workload->name, toString(config),
+                     s.workload->name, toString(config), what,
                      (unsigned long long)sr.checksum,
                      (unsigned long long)pr.checksum,
                      (unsigned long long)sr.instructions,
                      (unsigned long long)pr.instructions,
                      (unsigned long long)sr.cycles,
                      (unsigned long long)pr.cycles);
-            fatal_if(sr.stats.toJson() != pr.stats.toJson(),
-                     "%s/%s: stat snapshot JSON diverged between "
-                     "serial and parallel runs",
-                     s.workload->name, toString(config));
+            bool stats_equal =
+                sim_only ? simStatsJson(sr.stats) ==
+                               simStatsJson(pr.stats)
+                         : sr.stats.toJson() == pr.stats.toJson();
+            fatal_if(!stats_equal,
+                     "%s/%s: %s stat snapshot JSON diverged from "
+                     "reference",
+                     s.workload->name, toString(config), what);
         }
     }
 }
@@ -115,19 +147,9 @@ workloads::EngineTuning
 tuningForEngine(const std::string &engine)
 {
     workloads::EngineTuning tuning;
-    if (engine == "general") {
-        tuning.superblocks = false;
-    } else if (engine == "superblock-base") {
-        tuning.superblockFusion = false;
-        tuning.superblockCheckElim = false;
-    } else if (engine == "superblock-nofuse") {
-        tuning.superblockFusion = false;
-    } else if (engine == "superblock-noelim") {
-        tuning.superblockCheckElim = false;
-    } else {
-        fatal_if(engine != "superblock", "unknown --engine=%s",
-                 engine.c_str());
-    }
+    fatal_if(!workloads::engineTuningForName(engine, tuning),
+             "unknown --engine=%s (valid engines: %s)", engine.c_str(),
+             workloads::engineNamesJoined().c_str());
     return tuning;
 }
 
@@ -140,17 +162,29 @@ main(int argc, char **argv)
     infat::bench::StatsExport stats_export("selfperf", argc, argv);
     unsigned jobs = parseJobs(argc, argv);
     bool smoke = false;
+    bool matrix = false;
+    bool no_matrix = false;
     std::string out = "BENCH_selfperf.json";
-    std::string engine = "superblock";
+    std::string engine = "jit";
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--smoke")
             smoke = true;
+        else if (arg == "--matrix")
+            matrix = true;
+        else if (arg == "--no-matrix")
+            no_matrix = true;
         else if (arg.rfind("--out=", 0) == 0)
             out = arg.substr(6);
         else if (arg.rfind("--engine=", 0) == 0)
             engine = arg.substr(9);
     }
+    // The full run records the engine ablation by default; smoke runs
+    // (ctest / CI) skip it unless explicitly requested.
+    if (!matrix)
+        matrix = !smoke;
+    if (no_matrix)
+        matrix = false;
     workloads::setEngineTuning(tuningForEngine(engine));
 
     printHeader("Self-performance: suite wall-clock and parallel "
@@ -176,7 +210,32 @@ main(int argc, char **argv)
     SuitePass serial = runSuite(ws, 1);
     std::fprintf(stderr, "  parallel pass (--jobs=%u)...\n", jobs);
     SuitePass parallel = runSuite(ws, jobs);
-    verifyIdentical(serial, parallel);
+    verifyIdentical(serial, parallel, "parallel");
+
+    // Engine ablation: one timed serial pass per engine, each verified
+    // bit-identical (simulated stats) to the main pass above.
+    struct EngineRow
+    {
+        std::string engine;
+        double millis = 0.0;
+    };
+    std::vector<EngineRow> ablation;
+    if (matrix) {
+        for (const std::string &name : workloads::engineNames()) {
+            if (name == engine) {
+                ablation.push_back({name, serial.millis});
+                continue;
+            }
+            std::fprintf(stderr, "  ablation pass (--engine=%s)...\n",
+                         name.c_str());
+            workloads::setEngineTuning(tuningForEngine(name));
+            SuitePass pass = runSuite(ws, 1);
+            verifyIdentical(serial, pass, name.c_str(),
+                            /*sim_only=*/true);
+            ablation.push_back({name, pass.millis});
+        }
+        workloads::setEngineTuning(tuningForEngine(engine));
+    }
 
     double speedup =
         parallel.millis > 0.0 ? serial.millis / parallel.millis : 0.0;
@@ -205,6 +264,10 @@ main(int argc, char **argv)
                   TextTable::cell(instrs)});
     table.addRow({"interpreter MIPS (serial)",
                   strfmt("%.1f", guest_mips)});
+    for (const EngineRow &row : ablation)
+        table.addRow({strfmt("engine %s serial (ms)",
+                             row.engine.c_str()),
+                      TextTable::cell(uint64_t(row.millis))});
     std::printf("%s", table.render().c_str());
     std::printf("\nserial and parallel passes produced bit-identical "
                 "simulated results (%zu runs compared)\n", runs);
@@ -240,6 +303,20 @@ main(int argc, char **argv)
     json.field("guest_instructions", instrs);
     json.field("interpreter_mips_serial", guest_mips);
     json.field("identical_results", true);
+    if (!ablation.empty()) {
+        json.key("engine_matrix");
+        json.beginArray();
+        for (const EngineRow &row : ablation) {
+            double sec = row.millis / 1000.0;
+            json.beginObject();
+            json.field("engine", std::string_view(row.engine));
+            json.field("serial_ms", row.millis);
+            json.field("interpreter_mips_serial",
+                       sec > 0.0 ? instrs / sec / 1e6 : 0.0);
+            json.endObject();
+        }
+        json.endArray();
+    }
     json.key("per_workload");
     json.beginArray();
     for (const WorkloadMatrix &m : serial.matrices) {

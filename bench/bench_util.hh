@@ -24,6 +24,8 @@
 #include "support/stats.hh"
 #include "support/table.hh"
 #include "support/thread_pool.hh"
+#include "vm/jit.hh"
+#include "vm/machine.hh"
 #include "workloads/harness.hh"
 
 // CMake-generated build provenance (git commit, configure preset);
@@ -233,8 +235,18 @@ provenanceBuildPreset()
 inline const char *
 provenanceEngine()
 {
-    return workloads::engineTuning().superblocks ? "superblock"
-                                                 : "general";
+    workloads::EngineTuning t = workloads::engineTuning();
+    if (!t.superblocks)
+        return "general";
+    if (!t.superblockFusion && !t.superblockCheckElim)
+        return "superblock-base";
+    if (!t.superblockFusion)
+        return "superblock-nofuse";
+    if (!t.superblockCheckElim)
+        return "superblock-noelim";
+    if (!t.threadedDispatch)
+        return "superblock";
+    return t.jit ? "jit" : "threaded";
 }
 
 /** Emit the "provenance" member (call between key/value pairs). */
@@ -247,6 +259,22 @@ writeProvenance(JsonWriter &json)
     json.field("build_preset",
                std::string_view(provenanceBuildPreset()));
     json.field("engine", std::string_view(provenanceEngine()));
+    // Tier configuration: enough to reproduce (or explain) the host
+    // execution strategy behind a BENCH number on any machine.
+    workloads::EngineTuning tuning = workloads::engineTuning();
+    json.key("tier");
+    json.beginObject();
+    json.field("threaded_dispatch", tuning.threadedDispatch);
+    json.field("jit_requested", tuning.jit);
+    json.field("jit_available", jit::available());
+    if (!jit::available())
+        json.field("jit_fallback_reason",
+                   std::string_view(jit::unavailableReason()));
+    json.field("jit_threshold",
+               uint64_t(tuning.jitThreshold != 0
+                            ? tuning.jitThreshold
+                            : VmConfig{}.jitThreshold));
+    json.endObject();
     json.endObject();
 }
 

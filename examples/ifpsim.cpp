@@ -8,6 +8,7 @@
  *   ifpsim <workload> [baseline|subheap|wrapped|mixed]
  *          [--no-promote] [--no-mac] [--no-narrow]
  *          [--explicit-checks] [--superscalar] [--list]
+ *          [--engine=<name>]
  *          [--stats-json=<path>] [--trace=<path>]
  *          [--trace-categories=<csv>]
  *          [--profile=<path>] [--flame=<path>]
@@ -21,6 +22,9 @@
  * --flame writes collapsed stacks for flamegraph.pl / speedscope;
  * --profile-trace writes the sampled counter tracks as a Chrome
  * trace; --forensics prints a full trap report if the run traps.
+ * --engine pins the host interpreter engine (general, superblock-base,
+ * superblock-nofuse, superblock-noelim, superblock, threaded, jit) —
+ * host-side only, simulated results are identical under every engine.
  */
 
 #include <cstdio>
@@ -50,6 +54,7 @@ usage()
                  "              [--no-promote] [--no-mac] "
                  "[--no-narrow]\n"
                  "              [--explicit-checks] [--superscalar]\n"
+                 "              [--engine=<name>]\n"
                  "              [--stats-json=<path>] "
                  "[--trace=<path>]\n"
                  "              [--trace-categories=<csv>]\n"
@@ -168,7 +173,19 @@ main(int argc, char **argv)
             custom.implicitChecks = false;
         } else if (arg == "--superscalar")
             custom.superscalar = true;
-        else if (arg.rfind("--stats-json=", 0) == 0)
+        else if (arg.rfind("--engine=", 0) == 0) {
+            std::string engine = arg.substr(9);
+            EngineTuning tuning;
+            if (!engineTuningForName(engine, tuning)) {
+                std::fprintf(stderr,
+                             "unknown --engine=%s (valid engines: "
+                             "%s)\n",
+                             engine.c_str(),
+                             engineNamesJoined().c_str());
+                return 2;
+            }
+            setEngineTuning(tuning);
+        } else if (arg.rfind("--stats-json=", 0) == 0)
             obs.statsJsonPath = arg.substr(13);
         else if (arg.rfind("--trace=", 0) == 0)
             trace_path = arg.substr(8);

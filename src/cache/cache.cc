@@ -27,6 +27,15 @@ Cache::Cache(std::string name, CacheConfig config)
 unsigned
 Cache::accessLine(uint64_t line_addr, bool is_write)
 {
+    // No miss (and thus no replacement) has happened since the
+    // memoized line last hit, so it must still be resident: skip the
+    // way walk. See mruLine_ in the header for the exactness argument.
+    if (line_addr == mruLine_) {
+        mruPtr_->lruStamp = ++lruClock_;
+        mruPtr_->dirty |= is_write;
+        hits_++;
+        return config_.hitLatency;
+    }
     uint64_t set = line_addr & (numSets_ - 1);
     uint64_t tag = line_addr >> setShift_;
     Line *set_base = &lines_[set * config_.assoc];
@@ -37,10 +46,13 @@ Cache::accessLine(uint64_t line_addr, bool is_write)
             line.lruStamp = ++lruClock_;
             line.dirty |= is_write;
             hits_++;
+            mruLine_ = line_addr;
+            mruPtr_ = &line;
             return config_.hitLatency;
         }
     }
     misses_++;
+    mruLine_ = ~0ULL;
 
     // Miss: pick a victim, preferring an invalid way, else true LRU.
     Line *victim = set_base;
@@ -114,6 +126,7 @@ Cache::flush()
         line.valid = false;
         line.dirty = false;
     }
+    mruLine_ = ~0ULL;
 }
 
 } // namespace infat

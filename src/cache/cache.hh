@@ -91,7 +91,8 @@ class Cache
     StatGroup &stats() { return stats_; }
     const CacheConfig &config() const { return config_; }
 
-  private:
+    // Public (with jitHooks() below) so the template JIT can inline
+    // the single-line MRU-hit fast path of access(); see mruLine_.
     struct Line
     {
         bool valid = false;
@@ -100,6 +101,33 @@ class Cache
         uint64_t lruStamp = 0;
     };
 
+    /**
+     * Raw state the template JIT (vm/jit.cc) bakes into emitted code
+     * to inline the single-line MRU-hit path of access(): compare the
+     * line address against *mruLine, and on equality perform exactly
+     * the updates accessLine()'s memo path does — (*mruPtr)->lruStamp
+     * = ++*lruClock, dirty |= is_write, ++*hits — charging hitLatency.
+     * Anything else (multi-line access, memo miss) must fall back to
+     * calling access(). All pointers are stable for the cache's
+     * lifetime.
+     */
+    struct JitHooks
+    {
+        uint64_t *mruLine;
+        Line **mruPtr;
+        uint64_t *lruClock;
+        uint64_t *hits;
+        unsigned lineShift;
+        unsigned hitLatency;
+    };
+    JitHooks
+    jitHooks()
+    {
+        return {&mruLine_, &mruPtr_,    &lruClock_,
+                hits_.cell(), lineShift_, config_.hitLatency};
+    }
+
+  private:
     /** Returns the latency of accessing one line. */
     unsigned accessLine(uint64_t line_addr, bool is_write);
 
@@ -110,6 +138,17 @@ class Cache
     unsigned lineShift_ = 0;
     unsigned setShift_ = 0;
     std::vector<Line> lines_;
+    /**
+     * Line address of the most recent hit, or ~0 when no hit is
+     * memoized. Lines are only replaced on a miss and every miss
+     * clears this memo, so a repeat access to the memoized line is
+     * guaranteed to still hit — the fast path performs the identical
+     * stat and LRU updates the way loop would, just without the walk.
+     * mruPtr_ stays valid because lines_ never resizes after
+     * construction.
+     */
+    uint64_t mruLine_ = ~0ULL;
+    Line *mruPtr_ = nullptr;
     Cache *nextLevel_ = nullptr;
     Tracer *tracer_ = nullptr;
     uint64_t lruClock_ = 0;

@@ -119,11 +119,6 @@ class GuestMemory
 
     StatGroup &stats() { return stats_; }
 
-  private:
-    uint8_t *pageFor(GuestAddr addr);
-
-    std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
-
     /**
      * Direct-mapped page-translation cache ("micro-TLB"), indexed by
      * the low page-number bits. Loads/stores that hit skip the
@@ -135,6 +130,12 @@ class GuestMemory
      * across rehashes. Purely a host-side speedup: no simulated stat
      * or timing changes (the simulated TLB/cache model is the Cache
      * class, not this).
+     *
+     * The type, entry count, and hit counter are public so the
+     * template JIT (vm/jit.cc) can inline the hit path of load()/
+     * store() — which must bump utlbHits_ exactly as the inline
+     * members above do, since the "mem" stat group (utlb_hit_rate) is
+     * part of the engine-differential comparison.
      */
     static constexpr unsigned utlbEntries = 64; // power of two
     struct UtlbEntry
@@ -142,6 +143,14 @@ class GuestMemory
         uint64_t page = ~0ULL;
         uint8_t *data = nullptr;
     };
+    const UtlbEntry *utlbForJit() const { return utlb_; }
+    uint64_t *utlbHitsForJit() { return &utlbHits_; }
+
+  private:
+    uint8_t *pageFor(GuestAddr addr);
+
+    std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
+
     UtlbEntry utlb_[utlbEntries];
     uint64_t utlbHits_ = 0;
     uint64_t utlbMisses_ = 0;

@@ -1,0 +1,127 @@
+#include "support/exec_mem.hh"
+
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define INFAT_EXEC_MEM_MMAP 1
+#else
+#define INFAT_EXEC_MEM_MMAP 0
+#endif
+
+namespace infat {
+
+namespace {
+
+constexpr size_t kChunkSize = 256 * 1024;
+
+#if INFAT_EXEC_MEM_MMAP
+size_t
+pageAlign(size_t n)
+{
+    static const size_t page =
+        static_cast<size_t>(sysconf(_SC_PAGESIZE));
+    return (n + page - 1) & ~(page - 1);
+}
+#endif
+
+} // namespace
+
+ExecArena::~ExecArena()
+{
+    releaseAll();
+}
+
+bool
+ExecArena::supported()
+{
+#if INFAT_EXEC_MEM_MMAP
+    // Probe once: some hardened kernels refuse PROT_EXEC mappings for
+    // unprivileged processes; detect that up front so the tier
+    // controller can report "jit unavailable" instead of failing every
+    // block compile.
+    static const bool ok = [] {
+        size_t len = pageAlign(1);
+        void *p = mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+        if (p == MAP_FAILED)
+            return false;
+        bool exec_ok = mprotect(p, len, PROT_READ | PROT_EXEC) == 0;
+        munmap(p, len);
+        return exec_ok;
+    }();
+    return ok;
+#else
+    return false;
+#endif
+}
+
+ExecArena::Chunk *
+ExecArena::grow(size_t need)
+{
+#if INFAT_EXEC_MEM_MMAP
+    size_t size = pageAlign(need > kChunkSize ? need : kChunkSize);
+    void *p = mmap(nullptr, size, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (p == MAP_FAILED)
+        return nullptr;
+    chunks_.push_back({static_cast<uint8_t *>(p), size, 0});
+    return &chunks_.back();
+#else
+    (void)need;
+    return nullptr;
+#endif
+}
+
+const void *
+ExecArena::add(const uint8_t *code, size_t len)
+{
+#if INFAT_EXEC_MEM_MMAP
+    if (!supported() || len == 0)
+        return nullptr;
+    // Keep emitted blocks 16-byte aligned.
+    size_t aligned = (len + 15) & ~size_t{15};
+    Chunk *c = nullptr;
+    if (!chunks_.empty() &&
+        chunks_.back().used + aligned <= chunks_.back().size)
+        c = &chunks_.back();
+    else
+        c = grow(aligned);
+    if (c == nullptr)
+        return nullptr;
+    uint8_t *dst = c->base + c->used;
+    // W^X: the chunk is RX between publishes; flip to RW only for the
+    // copy. Block compiles are rare (once per hot block), so the two
+    // mprotect calls are noise.
+    if (mprotect(c->base, c->size, PROT_READ | PROT_WRITE) != 0)
+        return nullptr;
+    std::memcpy(dst, code, len);
+    if (mprotect(c->base, c->size, PROT_READ | PROT_EXEC) != 0)
+        return nullptr;
+    c->used += aligned;
+    bytesUsed_ += len;
+#if defined(__GNUC__)
+    __builtin___clear_cache(reinterpret_cast<char *>(dst),
+                            reinterpret_cast<char *>(dst + len));
+#endif
+    return dst;
+#else
+    (void)code;
+    (void)len;
+    return nullptr;
+#endif
+}
+
+void
+ExecArena::releaseAll()
+{
+#if INFAT_EXEC_MEM_MMAP
+    for (Chunk &c : chunks_)
+        munmap(c.base, c.size);
+#endif
+    chunks_.clear();
+    bytesUsed_ = 0;
+}
+
+} // namespace infat

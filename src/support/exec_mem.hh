@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Executable-memory arena for the template JIT (vm/jit.hh).
+ *
+ * Code is assembled into ordinary heap buffers and then published
+ * here: the arena copies the bytes into mmap'd chunks and flips the
+ * chunk protection between RW (while adding) and RX (while executing),
+ * so there is never a writable+executable mapping (W^X). Chunks are
+ * never freed individually — invalidation drops whole arenas, which is
+ * how the tier controller deoptimizes (vm/tier.hh).
+ */
+
+#ifndef INFAT_SUPPORT_EXEC_MEM_HH
+#define INFAT_SUPPORT_EXEC_MEM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace infat {
+
+class ExecArena
+{
+  public:
+    ExecArena() = default;
+    ~ExecArena();
+
+    ExecArena(const ExecArena &) = delete;
+    ExecArena &operator=(const ExecArena &) = delete;
+
+    /**
+     * Whether this host can map executable memory at all (probed once
+     * on first use; false on hardened kernels that refuse PROT_EXEC).
+     */
+    static bool supported();
+
+    /**
+     * Publish @p len bytes of machine code; returns the executable
+     * address, or nullptr if mapping failed. The returned code stays
+     * valid and executable until releaseAll()/destruction.
+     */
+    const void *add(const uint8_t *code, size_t len);
+
+    /** Unmap every chunk (all published code becomes invalid). */
+    void releaseAll();
+
+    size_t bytesUsed() const { return bytesUsed_; }
+
+  private:
+    struct Chunk
+    {
+        uint8_t *base = nullptr;
+        size_t size = 0;
+        size_t used = 0;
+    };
+
+    Chunk *grow(size_t need);
+
+    std::vector<Chunk> chunks_;
+    size_t bytesUsed_ = 0;
+};
+
+} // namespace infat
+
+#endif // INFAT_SUPPORT_EXEC_MEM_HH

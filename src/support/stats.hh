@@ -57,6 +57,13 @@ class Counter
     void set(uint64_t v) { value_ = v; }
     void reset() { value_ = 0; }
 
+    /**
+     * Address of the raw storage, for updates from outside C++ (the
+     * template JIT bakes it into emitted code). Stable for the owning
+     * group's lifetime (node-based map storage).
+     */
+    uint64_t *cell() { return &value_; }
+
     /** Explicit accessor; there is deliberately no operator uint64_t. */
     uint64_t value() const { return value_; }
 

@@ -1,0 +1,1612 @@
+/**
+ * @file
+ * x86-64 template emitter for hot superblocks. See jit.hh for the
+ * exactness contract; see docs/PERFORMANCE.md ("Tiered execution")
+ * for the template coverage list and bailout rules.
+ *
+ * Register convention inside a compiled block (all callee-saved, so
+ * they survive the out-of-line helper calls):
+ *   r12  guest register file base   (RunCtx::regs)
+ *   r13  bounds register file base  (RunCtx::bounds)
+ *   r14  raw address of the memory record in flight
+ *   r15  canonical (48-bit) form of r14
+ * rax/rcx/rdx and r11 are scratch; rdi/rsi/rdx/rcx carry helper
+ * arguments (SysV).  Simulated counters are updated through absolute
+ * addresses baked into the code (`movabs r11, &ctr; add [r11], n`).
+ */
+
+#include "vm/jit.hh"
+
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "ifp/ops.hh"
+#include "ifp/tag.hh"
+#include "ir/instr.hh"
+#include "mem/guest_memory.hh"
+#include "support/bitops.hh"
+#include "support/exec_mem.hh"
+
+namespace infat {
+namespace jit {
+
+#if defined(__x86_64__)
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Out-of-line helpers called from emitted code. Plain functions with
+// integer/pointer args keep the SysV calling convention trivial; they
+// exist so the jitted path moves the simulator's own models (cache
+// timing, uTLB counters, IFP arithmetic) exactly as the interpreter
+// does. None of these can throw (checked: GuestMemory materializes
+// pages on demand, ops:: return poisoned pointers instead of
+// trapping), which matters because emitted frames carry no unwind
+// info.
+// ---------------------------------------------------------------------
+
+uint64_t
+helpCacheAccess(Cache *c, uint64_t addr, uint64_t len, uint64_t write)
+{
+    return c->access(addr, len, write != 0).latency - 1;
+}
+
+template <typename T>
+uint64_t
+helpLoad(GuestMemory *m, uint64_t addr)
+{
+    return m->load<T>(addr);
+}
+
+template <typename T>
+void
+helpStore(GuestMemory *m, uint64_t addr, uint64_t value)
+{
+    m->store<T>(addr, static_cast<T>(value));
+}
+
+uint64_t
+helpIfpAdd(uint64_t raw, int64_t delta, const Bounds *b)
+{
+    return ops::ifpAdd(TaggedPtr(raw), delta, *b).raw();
+}
+
+uint64_t
+helpIfpIdx(uint64_t raw, uint64_t delta)
+{
+    TaggedPtr ptr(raw);
+    return ops::ifpIdx(ptr, ptr.subobjIndex() + delta).raw();
+}
+
+void
+helpIfpBnd(uint64_t raw, uint64_t size, Bounds *out)
+{
+    *out = ops::ifpBnd(TaggedPtr(raw), size);
+}
+
+uint64_t
+helpIfpChk(uint64_t raw, const Bounds *b, uint64_t size)
+{
+    return ops::ifpChk(TaggedPtr(raw), *b, size).raw();
+}
+
+// ---------------------------------------------------------------------
+// Minimal x86-64 assembler: exactly the encodings the templates need.
+// ---------------------------------------------------------------------
+
+enum Reg64
+{
+    RAX = 0,
+    RCX = 1,
+    RDX = 2,
+    RBX = 3,
+    RSP = 4,
+    RBP = 5,
+    RSI = 6,
+    RDI = 7,
+    R8 = 8,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+};
+
+// Condition codes (low nibble of 0F 9x / 0F 8x / 0F 4x).
+enum Cond
+{
+    CC_B = 0x2,  // unsigned <   (carry)
+    CC_AE = 0x3, // unsigned >=
+    CC_E = 0x4,  // equal / zero
+    CC_NE = 0x5, // not equal / not zero
+    CC_BE = 0x6, // unsigned <=
+    CC_A = 0x7,  // unsigned >
+    CC_P = 0xA,  // parity (unordered after ucomisd)
+    CC_NP = 0xB,
+    CC_L = 0xC, // signed <
+    CC_GE = 0xD,
+    CC_LE = 0xE,
+    CC_G = 0xF,
+};
+
+// /ext fields of the 81/83 (ALU) and C1/D3 (shift) groups.
+enum AluExt
+{
+    EXT_ADD = 0,
+    EXT_AND = 4,
+    EXT_SUB = 5,
+    EXT_CMP = 7,
+};
+enum ShiftExt
+{
+    EXT_SHL = 4,
+    EXT_SHR = 5,
+    EXT_SAR = 7,
+};
+
+struct Label
+{
+    int32_t pos = -1;                // byte offset once bound
+    std::vector<uint32_t> fixups;    // rel32 patch sites
+};
+
+class Asm
+{
+  public:
+    std::vector<uint8_t> code;
+
+    uint32_t pos() const { return static_cast<uint32_t>(code.size()); }
+
+    void u8(uint8_t b) { code.push_back(b); }
+    void
+    u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            u8(static_cast<uint8_t>(v >> (8 * i)));
+    }
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            u8(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    rex(bool w, unsigned reg, unsigned base)
+    {
+        uint8_t r = 0x40 | (w ? 8 : 0) | ((reg >> 3) << 2) | (base >> 3);
+        if (r != 0x40)
+            u8(r);
+    }
+    void
+    modrm(unsigned mod, unsigned reg, unsigned rm)
+    {
+        u8(static_cast<uint8_t>((mod << 6) | ((reg & 7) << 3) |
+                                (rm & 7)));
+    }
+    /** ModRM(+SIB)+disp for a [base + disp] operand. */
+    void
+    mem(unsigned spare, unsigned base, int32_t disp)
+    {
+        unsigned b = base & 7;
+        bool sib = b == 4; // rsp/r12 encodings require a SIB byte
+        if (disp == 0 && b != 5) { // rbp/r13 require an explicit disp
+            modrm(0, spare, sib ? 4 : b);
+            if (sib)
+                u8(0x24);
+        } else if (disp >= -128 && disp <= 127) {
+            modrm(1, spare, sib ? 4 : b);
+            if (sib)
+                u8(0x24);
+            u8(static_cast<uint8_t>(disp));
+        } else {
+            modrm(2, spare, sib ? 4 : b);
+            if (sib)
+                u8(0x24);
+            u32(static_cast<uint32_t>(disp));
+        }
+    }
+
+    // --- moves ---
+    void
+    movRR(unsigned d, unsigned s)
+    {
+        rex(true, s, d);
+        u8(0x89);
+        modrm(3, s, d);
+    }
+    void
+    movRM(unsigned d, unsigned base, int32_t disp)
+    {
+        rex(true, d, base);
+        u8(0x8B);
+        mem(d, base, disp);
+    }
+    void
+    movMR(unsigned base, int32_t disp, unsigned s)
+    {
+        rex(true, s, base);
+        u8(0x89);
+        mem(s, base, disp);
+    }
+    void
+    movRI(unsigned d, uint64_t imm)
+    {
+        if (imm <= 0xFFFFFFFFull) {
+            rex(false, 0, d);
+            u8(0xB8 + (d & 7)); // mov r32, imm32 zero-extends
+            u32(static_cast<uint32_t>(imm));
+        } else if (static_cast<int64_t>(imm) ==
+                   static_cast<int64_t>(static_cast<int32_t>(imm))) {
+            rex(true, 0, d);
+            u8(0xC7);
+            modrm(3, 0, d);
+            u32(static_cast<uint32_t>(imm));
+        } else {
+            rex(true, 0, d);
+            u8(0xB8 + (d & 7)); // movabs
+            u64(imm);
+        }
+    }
+    /** mov qword [base+disp], imm32 (sign-extended). */
+    void
+    movMI(unsigned base, int32_t disp, int32_t imm)
+    {
+        rex(true, 0, base);
+        u8(0xC7);
+        mem(0, base, disp);
+        u32(static_cast<uint32_t>(imm));
+    }
+
+    // --- ALU ---
+    /** Two-register ALU, store form (opc = 01 add, 29 sub, 21 and,
+     *  09 or, 31 xor, 39 cmp, 85 test). */
+    void
+    aluRR(uint8_t opc, unsigned d, unsigned s)
+    {
+        rex(true, s, d);
+        u8(opc);
+        modrm(3, s, d);
+    }
+    void
+    aluRI(unsigned ext, unsigned r, int32_t imm)
+    {
+        rex(true, 0, r);
+        if (imm >= -128 && imm <= 127) {
+            u8(0x83);
+            modrm(3, ext, r);
+            u8(static_cast<uint8_t>(imm));
+        } else {
+            u8(0x81);
+            modrm(3, ext, r);
+            u32(static_cast<uint32_t>(imm));
+        }
+    }
+    /** add/cmp... qword [base+disp], imm. */
+    void
+    aluMI(unsigned ext, unsigned base, int32_t disp, int32_t imm)
+    {
+        rex(true, 0, base);
+        if (imm >= -128 && imm <= 127) {
+            u8(0x83);
+            mem(ext, base, disp);
+            u8(static_cast<uint8_t>(imm));
+        } else {
+            u8(0x81);
+            mem(ext, base, disp);
+            u32(static_cast<uint32_t>(imm));
+        }
+    }
+    /** add qword [base+disp], reg. */
+    void
+    addMR(unsigned base, int32_t disp, unsigned s)
+    {
+        rex(true, s, base);
+        u8(0x01);
+        mem(s, base, disp);
+    }
+    /** cmp reg, qword [base+disp] (load form). */
+    void
+    cmpRM(unsigned r, unsigned base, int32_t disp)
+    {
+        rex(true, r, base);
+        u8(0x3B);
+        mem(r, base, disp);
+    }
+    /** cmp byte [base+disp], imm8. */
+    void
+    cmpM8I(unsigned base, int32_t disp, uint8_t imm)
+    {
+        rex(false, 0, base);
+        u8(0x80);
+        mem(7, base, disp);
+        u8(imm);
+    }
+    void
+    imulRR(unsigned d, unsigned s)
+    {
+        rex(true, d, s);
+        u8(0x0F);
+        u8(0xAF);
+        modrm(3, d, s);
+    }
+    void
+    shiftI(unsigned ext, unsigned r, unsigned n)
+    {
+        if (n == 0)
+            return;
+        rex(true, 0, r);
+        u8(0xC1);
+        modrm(3, ext, r);
+        u8(static_cast<uint8_t>(n));
+    }
+    void
+    shiftCl(unsigned ext, unsigned r)
+    {
+        rex(true, 0, r);
+        u8(0xD3);
+        modrm(3, ext, r);
+    }
+    void
+    leaRM(unsigned d, unsigned base, int32_t disp)
+    {
+        rex(true, d, base);
+        u8(0x8D);
+        mem(d, base, disp);
+    }
+
+    // --- flags and byte registers (rax/rcx/rdx only: no REX needed) ---
+    void
+    setcc(unsigned cc, unsigned r8)
+    {
+        u8(0x0F);
+        u8(0x90 + cc);
+        modrm(3, 0, r8);
+    }
+    /** and/or r8, r8 (opc 0x20 and, 0x08 or). */
+    void
+    alu8RR(uint8_t opc, unsigned d8, unsigned s8)
+    {
+        u8(opc);
+        modrm(3, s8, d8);
+    }
+    void
+    movzxRR8(unsigned d, unsigned s8)
+    {
+        rex(true, d, s8);
+        u8(0x0F);
+        u8(0xB6);
+        modrm(3, d, s8);
+    }
+    void
+    movzxRM8(unsigned d, unsigned base, int32_t disp)
+    {
+        rex(true, d, base);
+        u8(0x0F);
+        u8(0xB6);
+        mem(d, base, disp);
+    }
+    void
+    movzxRM16(unsigned d, unsigned base, int32_t disp)
+    {
+        rex(true, d, base);
+        u8(0x0F);
+        u8(0xB7);
+        mem(d, base, disp);
+    }
+    /** mov r32, dword [base+disp] — zero-extends into the full reg. */
+    void
+    movRM32(unsigned d, unsigned base, int32_t disp)
+    {
+        rex(false, d, base);
+        u8(0x8B);
+        mem(d, base, disp);
+    }
+    /** mov byte [base+disp], r8. Source must be rax/rcx/rdx (no REX
+     *  needed to address its low byte) unless base forces a REX. */
+    void
+    movMR8(unsigned base, int32_t disp, unsigned s8)
+    {
+        rex(false, s8, base);
+        u8(0x88);
+        mem(s8, base, disp);
+    }
+    void
+    movMR16(unsigned base, int32_t disp, unsigned s)
+    {
+        u8(0x66);
+        rex(false, s, base);
+        u8(0x89);
+        mem(s, base, disp);
+    }
+    void
+    movMR32(unsigned base, int32_t disp, unsigned s)
+    {
+        rex(false, s, base);
+        u8(0x89);
+        mem(s, base, disp);
+    }
+    /** mov byte [base+disp], imm8. */
+    void
+    movMI8(unsigned base, int32_t disp, uint8_t imm)
+    {
+        rex(false, 0, base);
+        u8(0xC6);
+        mem(0, base, disp);
+        u8(imm);
+    }
+    void
+    cmovcc(unsigned cc, unsigned d, unsigned s)
+    {
+        rex(true, d, s);
+        u8(0x0F);
+        u8(0x40 + cc);
+        modrm(3, d, s);
+    }
+
+    // --- SSE (xmm0/xmm1 only; no REX.X/B needed for those) ---
+    void
+    movqXR(unsigned x, unsigned r)
+    {
+        u8(0x66);
+        rex(true, x, r);
+        u8(0x0F);
+        u8(0x6E);
+        modrm(3, x, r);
+    }
+    void
+    movqRX(unsigned r, unsigned x)
+    {
+        u8(0x66);
+        rex(true, x, r);
+        u8(0x0F);
+        u8(0x7E);
+        modrm(3, x, r);
+    }
+    /** addsd 58, subsd 5C, mulsd 59, divsd 5E. */
+    void
+    sseRR(uint8_t opc, unsigned xd, unsigned xs)
+    {
+        u8(0xF2);
+        u8(0x0F);
+        u8(opc);
+        modrm(3, xd, xs);
+    }
+    void
+    ucomisd(unsigned xd, unsigned xs)
+    {
+        u8(0x66);
+        u8(0x0F);
+        u8(0x2E);
+        modrm(3, xd, xs);
+    }
+    void
+    cvtsi2sd(unsigned x, unsigned r)
+    {
+        u8(0xF2);
+        rex(true, x, r);
+        u8(0x0F);
+        u8(0x2A);
+        modrm(3, x, r);
+    }
+    void
+    cvttsd2si(unsigned r, unsigned x)
+    {
+        u8(0xF2);
+        rex(true, r, x);
+        u8(0x0F);
+        u8(0x2C);
+        modrm(3, r, x);
+    }
+
+    // --- stack / control ---
+    void
+    push(unsigned r)
+    {
+        rex(false, 0, r);
+        u8(0x50 + (r & 7));
+    }
+    void
+    pop(unsigned r)
+    {
+        rex(false, 0, r);
+        u8(0x58 + (r & 7));
+    }
+    void ret() { u8(0xC3); }
+    void
+    callR(unsigned r)
+    {
+        rex(false, 0, r);
+        u8(0xFF);
+        modrm(3, 2, r);
+    }
+
+    void
+    jmp(Label &l)
+    {
+        u8(0xE9);
+        emitRel32(l);
+    }
+    /** jmp reg (indirect). */
+    void
+    jmpR(unsigned r)
+    {
+        rex(false, 0, r);
+        u8(0xFF);
+        modrm(3, 4, r);
+    }
+    void
+    jcc(unsigned cc, Label &l)
+    {
+        u8(0x0F);
+        u8(0x80 + cc);
+        emitRel32(l);
+    }
+    void
+    bind(Label &l)
+    {
+        l.pos = static_cast<int32_t>(pos());
+        for (uint32_t f : l.fixups)
+            patchRel32(f, l.pos);
+        l.fixups.clear();
+    }
+
+  private:
+    void
+    emitRel32(Label &l)
+    {
+        if (l.pos >= 0) {
+            u32(static_cast<uint32_t>(l.pos -
+                                      static_cast<int32_t>(pos() + 4)));
+        } else {
+            l.fixups.push_back(pos());
+            u32(0);
+        }
+    }
+    void
+    patchRel32(uint32_t at, int32_t target)
+    {
+        int32_t rel = target - static_cast<int32_t>(at + 4);
+        std::memcpy(&code[at], &rel, 4);
+    }
+};
+
+// ---------------------------------------------------------------------
+// Record templates
+// ---------------------------------------------------------------------
+
+using ir::FCmpPred;
+using ir::ICmpPred;
+using ir::Opcode;
+
+uint8_t
+icmpCC(uint8_t pred)
+{
+    switch (static_cast<ICmpPred>(pred)) {
+      case ICmpPred::Eq: return CC_E;
+      case ICmpPred::Ne: return CC_NE;
+      case ICmpPred::Slt: return CC_L;
+      case ICmpPred::Sle: return CC_LE;
+      case ICmpPred::Sgt: return CC_G;
+      case ICmpPred::Sge: return CC_GE;
+      case ICmpPred::Ult: return CC_B;
+      case ICmpPred::Ule: return CC_BE;
+      case ICmpPred::Ugt: return CC_A;
+      case ICmpPred::Uge: return CC_AE;
+    }
+    return CC_E;
+}
+
+/** Compile-time prefix sums of the static per-record stat charges. */
+struct Pending
+{
+    uint64_t instrs = 0;
+    uint64_t cycles = 0;
+    uint64_t base = 0;
+    uint64_t mem = 0;
+    uint64_t ifp = 0;
+    uint64_t ifpCnt = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+};
+
+class Compiler
+{
+  public:
+    Compiler(const BlockCtx &ctx, const MachineBinding &bind)
+        : ctx_(ctx), bind_(bind)
+    {
+        a_.push(RBX);
+        a_.push(R12);
+        a_.push(R13);
+        a_.push(R14);
+        a_.push(R15);
+        // rdi = RunCtx*
+        a_.movRM(R12, RDI, offsetof(RunCtx, regs));
+        a_.movRM(R13, RDI, offsetof(RunCtx, bounds));
+        // Chained jumps from other blocks of the same frame land
+        // here, with r12/r13 already valid and the stack frame of
+        // the originally entered block still open.
+        entryOff_ = a_.pos();
+    }
+
+    uint32_t entryOff() const { return entryOff_; }
+
+    /**
+     * Emit the template for record @p idx; returns false (emitting
+     * nothing) when the record has no template and must end the
+     * compiled prefix.
+     */
+    bool emitRecord(const sb::Record &fi, uint32_t idx);
+
+    /** Bail return value: this block's id + the record to resume. */
+    uint64_t
+    bailValue(uint32_t idx) const
+    {
+        return kExitBail |
+               (static_cast<uint64_t>(ctx_.blockId) << 32) | idx;
+    }
+
+    /** Exit for a partial prefix: resume interpretation at @p idx. */
+    void
+    emitBailExit(uint32_t idx)
+    {
+        flushPending(pending_);
+        a_.movRI(RAX, bailValue(idx));
+        a_.jmp(epilogue_);
+    }
+
+    /** Bail stubs + epilogue; returns the finished code buffer. */
+    const std::vector<uint8_t> &
+    finish()
+    {
+        for (Bail &b : bails_) {
+            a_.bind(b.label);
+            // Settle the static charges of the records *before* the
+            // bailing one (its own charges were not yet accumulated
+            // when the bail label was created); the interpreter then
+            // re-executes the record and charges it itself.
+            flushPending(b.pending);
+            a_.movRI(RAX, bailValue(b.idx));
+            a_.jmp(epilogue_);
+        }
+        a_.bind(epilogue_);
+        a_.pop(R15);
+        a_.pop(R14);
+        a_.pop(R13);
+        a_.pop(R12);
+        a_.pop(RBX);
+        a_.ret();
+        return a_.code;
+    }
+
+  private:
+    static int32_t
+    regDisp(uint32_t r)
+    {
+        return static_cast<int32_t>(8 * r);
+    }
+    static int32_t
+    bndDisp(uint32_t r)
+    {
+        return static_cast<int32_t>(sizeof(Bounds) * r);
+    }
+
+    Label &
+    bailFor(uint32_t idx)
+    {
+        // Snapshot the not-yet-flushed static charges: every record's
+        // trap predicates run before charges() accumulates its own
+        // costs, so the snapshot covers exactly the completed records.
+        bails_.push_back({idx, {}, pending_});
+        return bails_.back().label;
+    }
+
+    void
+    callAbs(const void *fn)
+    {
+        a_.movRI(RAX, reinterpret_cast<uint64_t>(fn));
+        a_.callR(RAX);
+    }
+
+    void
+    counterAdd(uint64_t *ctr, uint64_t n)
+    {
+        if (n == 0)
+            return;
+        a_.movRI(R11, reinterpret_cast<uint64_t>(ctr));
+        a_.aluMI(EXT_ADD, R11, 0, static_cast<int32_t>(n));
+    }
+    /** *ctr += rax. */
+    void
+    counterAddRax(uint64_t *ctr)
+    {
+        a_.movRI(R11, reinterpret_cast<uint64_t>(ctr));
+        a_.addMR(R11, 0, RAX);
+    }
+
+    /**
+     * The batched `pre` + per-record charges of a sync record. All of
+     * these are compile-time constants, so instead of emitting ~6
+     * read-modify-writes per record they accumulate into running
+     * prefix sums, flushed once per exit path (terminator, partial-
+     * prefix exit, or bail stub). Nothing inside a block reads these
+     * counters — helpers only touch their own stats (cache hit/miss,
+     * uTLB), and snapshots happen outside execution — so deferring
+     * the stores to the exits is observationally identical.
+     */
+    void
+    charges(const sb::Record &fi, uint32_t instr, uint32_t base,
+            uint32_t memCyc, uint32_t ifp, uint32_t ifpCnt)
+    {
+        pending_.instrs += fi.preInstr + instr;
+        pending_.cycles += fi.preCycles + instr;
+        pending_.base += fi.preBase + base;
+        pending_.mem += memCyc;
+        pending_.ifp += fi.preIfp + ifp;
+        pending_.ifpCnt += fi.preIfpCnt + ifpCnt;
+    }
+
+    void
+    flushPending(const Pending &p)
+    {
+        counterAdd(bind_.instrs, p.instrs);
+        counterAdd(bind_.cycles, p.cycles);
+        counterAdd(bind_.classBase, p.base);
+        counterAdd(bind_.classMem, p.mem);
+        counterAdd(bind_.classIfp, p.ifp);
+        counterAdd(bind_.cIfpArith, p.ifpCnt);
+        counterAdd(bind_.cLoads, p.loads);
+        counterAdd(bind_.cStores, p.stores);
+    }
+
+    /**
+     * Terminator tail for constant successor @p target: when the
+     * target block is already compiled and the dispatch loop's
+     * block-entry budget guard cannot fire, jump straight into its
+     * chained entry (same frame, r12/r13 live, the entered block's
+     * stack frame stays open); otherwise return the target id to the
+     * interpreter. Pending charges must already be flushed — the
+     * budget guard reads the live instruction counter, and the
+     * chained-to block starts its own prefix sums from zero.
+     */
+    void
+    chainOrExit(uint32_t target)
+    {
+        const sb::Block &tb = ctx_.blocks[target];
+        if (ctx_.jitEntries != nullptr &&
+            tb.totalInstr <= bind_.maxInstructions) {
+            Label fallback;
+            a_.movRI(R11, reinterpret_cast<uint64_t>(
+                              &ctx_.jitEntries[target]));
+            a_.movRM(R11, R11, 0);
+            a_.aluRR(0x85, R11, R11);
+            a_.jcc(CC_E, fallback); // not compiled (yet / anymore)
+            // Replay the interpreter's block-entry budget guard:
+            // close to the instruction limit, the dispatch loop must
+            // see the block so it can replay it on the general
+            // engine for an exact-instruction trap.
+            a_.movRI(RAX, reinterpret_cast<uint64_t>(bind_.instrs));
+            a_.movRM(RAX, RAX, 0);
+            a_.movRI(RCX, bind_.maxInstructions - tb.totalInstr);
+            a_.aluRR(0x39, RAX, RCX);
+            a_.jcc(CC_A, fallback);
+            // The dispatch loop counts entries via noteEnter();
+            // chained entries count themselves to keep vm.tier
+            // jit_blocks meaning "compiled-block executions".
+            if (bind_.tierBlocksRun != nullptr) {
+                a_.movRI(RAX, reinterpret_cast<uint64_t>(
+                                  bind_.tierBlocksRun));
+                a_.aluMI(EXT_ADD, RAX, 0, 1);
+            }
+            a_.jmpR(R11);
+            a_.bind(fallback);
+        }
+        a_.movRI(RAX, target);
+        a_.jmp(epilogue_);
+    }
+
+    /** dst = reg value or immediate, by flag. */
+    void
+    loadVal(unsigned d, bool isReg, uint32_t reg, uint64_t imm)
+    {
+        if (isReg)
+            a_.movRM(d, R12, regDisp(reg));
+        else
+            a_.movRI(d, imm);
+    }
+
+    void
+    sextReg(unsigned r, unsigned bits)
+    {
+        if (bits == 0 || bits >= 64)
+            return;
+        a_.shiftI(EXT_SHL, r, 64 - bits);
+        a_.shiftI(EXT_SAR, r, 64 - bits);
+    }
+
+    void
+    boundsClear(uint32_t r)
+    {
+        // Matches `bounds[r] = Bounds::cleared()`: lower = upper = 0,
+        // valid = false (the qword store zeroes the padding too, which
+        // nothing reads or compares).
+        a_.movMI(R13, bndDisp(r) + 0, 0);
+        a_.movMI(R13, bndDisp(r) + 8, 0);
+        a_.movMI(R13, bndDisp(r) + 16, 0);
+    }
+    void
+    boundsCopy(uint32_t dst, uint32_t src)
+    {
+        if (dst == src)
+            return;
+        a_.movRM(RAX, R13, bndDisp(src) + 0);
+        a_.movMR(R13, bndDisp(dst) + 0, RAX);
+        a_.movRM(RAX, R13, bndDisp(src) + 8);
+        a_.movMR(R13, bndDisp(dst) + 8, RAX);
+        a_.movRM(RAX, R13, bndDisp(src) + 16);
+        a_.movMR(R13, bndDisp(dst) + 16, RAX);
+    }
+    void
+    boundsLiteral(uint32_t dst, const Bounds &b)
+    {
+        a_.movRI(RAX, b.lower());
+        a_.movMR(R13, bndDisp(dst) + 0, RAX);
+        a_.movRI(RAX, b.upper());
+        a_.movMR(R13, bndDisp(dst) + 8, RAX);
+        a_.movRI(RAX, b.valid() ? 1 : 0);
+        a_.movMR(R13, bndDisp(dst) + 16, RAX);
+    }
+
+    enum class Ck
+    {
+        None,    // no bounds predicate (record lacks kCheckBounds)
+        Reg,     // consult bounds[ckReg]
+        Cleared, // bounds register is known-invalid: predicate skipped
+    };
+
+    /**
+     * The full check-path predicates of ops::checkAccessVerdict, in
+     * the interpreter's order, against r14 (raw) / r15 (canon). Any
+     * possible trap jumps to this record's bail stub *before* any
+     * state was written, so the interpreter re-executes the record and
+     * raises the exact trap with exact forensics.
+     */
+    void
+    checkFull(uint32_t idx, Ck ck, uint32_t ckReg, uint64_t size)
+    {
+        Label &bail = bailFor(idx);
+        // Poisoned: raw bits 63:62 nonzero.
+        a_.movRR(RAX, R14);
+        a_.shiftI(EXT_SHR, RAX, 62);
+        a_.jcc(CC_NE, bail);
+        // Null guard: canon < pageSize.
+        a_.aluRI(EXT_CMP, R15,
+                 static_cast<int32_t>(GuestMemory::pageSize));
+        a_.jcc(CC_B, bail);
+        if (ck == Ck::Reg) {
+            Label skip;
+            a_.cmpM8I(R13, bndDisp(ckReg) + 16, 0);
+            a_.jcc(CC_E, skip);
+            a_.cmpRM(R15, R13, bndDisp(ckReg) + 0); // canon < lower?
+            a_.jcc(CC_B, bail);
+            a_.leaRM(RCX, R15, static_cast<int32_t>(size));
+            a_.cmpRM(RCX, R13, bndDisp(ckReg) + 8); // canon+size > upper?
+            a_.jcc(CC_A, bail);
+            counterAdd(bind_.cImplicitChecks, 1);
+            a_.bind(skip);
+        }
+        // (sbCounters_.checksFull is host-only vm.superblock state,
+        // excluded from engine diffs; jitted code does not track it.)
+    }
+
+    /** Elided check: only the cImplicitChecks bump if bounds valid. */
+    void
+    checkElided(Ck ck, uint32_t ckReg)
+    {
+        if (ck != Ck::Reg)
+            return;
+        a_.movzxRM8(RAX, R13, bndDisp(ckReg) + 16); // valid_: 0 or 1
+        counterAddRax(bind_.cImplicitChecks);
+    }
+
+    void
+    check(const sb::Record &fi, uint32_t idx, Ck ck, uint32_t ckReg)
+    {
+        if (fi.flags & sb::kElide)
+            checkElided((fi.flags & sb::kCheckBounds) ? ck : Ck::None,
+                        ckReg);
+        else
+            checkFull(idx,
+                      (fi.flags & sb::kCheckBounds) ? ck : Ck::None,
+                      ckReg, fi.size);
+    }
+
+    /**
+     * uTLB probe shared by the inlined load/store fast paths: on
+     * exit, r11 = host address of the data (page hit, no page cross,
+     * utlbHits_ bumped); any other case jumps to @p slow. Mirrors
+     * GuestMemory::load/store exactly — the "mem" stat group is part
+     * of the engine diff, so hit accounting must not drift. Clobbers
+     * rax, rcx and (for loads) rdx; @p offReg picks the scratch that
+     * holds the page offset (rdx for loads, rax for stores whose
+     * value already sits in rdx).
+     */
+    void
+    utlbProbe(uint64_t size, unsigned offReg, Label &slow)
+    {
+        unsigned idx = offReg == RDX ? RAX : RCX;
+        a_.movRR(idx, R15);
+        a_.shiftI(EXT_SHR, idx, GuestMemory::pageShift); // page
+        a_.movRR(R11, idx);
+        a_.aluRI(EXT_AND, R11,
+                 static_cast<int32_t>(GuestMemory::utlbEntries - 1));
+        a_.shiftI(EXT_SHL, R11, 4); // * sizeof(UtlbEntry)
+        static_assert(sizeof(GuestMemory::UtlbEntry) == 16,
+                      "utlbProbe bakes the entry layout");
+        unsigned base = offReg == RDX ? RCX : RAX;
+        a_.movRI(base,
+                 reinterpret_cast<uint64_t>(bind_.mem->utlbForJit()));
+        a_.aluRR(0x01, R11, base); // r11 = &utlb_[page & mask]
+        a_.cmpRM(idx, R11, 0);     // e.page == page?
+        a_.jcc(CC_NE, slow);
+        a_.movRR(offReg, R15);
+        a_.aluRI(EXT_AND, offReg,
+                 static_cast<int32_t>(GuestMemory::pageSize - 1));
+        // off + size <= pageSize, as one unsigned compare.
+        a_.aluRI(EXT_CMP, offReg,
+                 static_cast<int32_t>(GuestMemory::pageSize - size));
+        a_.jcc(CC_A, slow);
+        a_.movRM(R11, R11, 8);       // e.data
+        a_.aluRR(0x01, R11, offReg); // + off
+        // counterAdd() scratches r11, which now holds the host
+        // address, so bump utlbHits_ through the dead idx register.
+        a_.movRI(idx, reinterpret_cast<uint64_t>(
+                          bind_.mem->utlbHitsForJit()));
+        a_.aluMI(EXT_ADD, idx, 0, 1);
+    }
+
+    /** Cache timing + the data access itself (address in r15). */
+    void
+    memAccess(const sb::Record &fi, bool isStore)
+    {
+        if (bind_.useCache) {
+            // Inline the single-line MRU-hit path of Cache::access
+            // (see Cache::JitHooks): nearly every access re-touches
+            // the memoized line, and on that path every observable
+            // update is a compile-time-known constant, so the helper
+            // call (and, at hitLatency 1, the zero-cycle charge) can
+            // be skipped entirely.
+            Cache::JitHooks h = bind_.l1d->jitHooks();
+            Label slowC, joinC, doneC;
+            a_.movRR(RAX, R15);
+            a_.shiftI(EXT_SHR, RAX, h.lineShift);
+            if (fi.size > 1) {
+                a_.leaRM(RCX, R15,
+                         static_cast<int32_t>(fi.size - 1));
+                a_.shiftI(EXT_SHR, RCX, h.lineShift);
+                a_.aluRR(0x39, RAX, RCX); // line-crossing access?
+                a_.jcc(CC_NE, slowC);
+            }
+            a_.movRI(RCX, reinterpret_cast<uint64_t>(h.mruLine));
+            a_.cmpRM(RAX, RCX, 0);
+            a_.jcc(CC_NE, slowC);
+            // Hit: lruStamp = ++lruClock_, dirty |= is_write, hits_++.
+            a_.movRI(RAX, reinterpret_cast<uint64_t>(h.lruClock));
+            a_.movRM(RCX, RAX, 0);
+            a_.aluRI(EXT_ADD, RCX, 1);
+            a_.movMR(RAX, 0, RCX);
+            a_.movRI(RAX, reinterpret_cast<uint64_t>(h.mruPtr));
+            a_.movRM(RAX, RAX, 0);
+            a_.movMR(RAX,
+                     static_cast<int32_t>(
+                         offsetof(Cache::Line, lruStamp)),
+                     RCX);
+            if (isStore)
+                a_.movMI8(RAX,
+                          static_cast<int32_t>(
+                              offsetof(Cache::Line, dirty)),
+                          1);
+            a_.movRI(RAX, reinterpret_cast<uint64_t>(h.hits));
+            a_.aluMI(EXT_ADD, RAX, 0, 1);
+            if (h.hitLatency == 1) {
+                a_.jmp(doneC); // latency - 1 == 0: nothing to charge
+            } else {
+                a_.movRI(RAX, h.hitLatency - 1);
+                a_.jmp(joinC);
+            }
+            a_.bind(slowC);
+            a_.movRI(RDI, reinterpret_cast<uint64_t>(bind_.l1d));
+            a_.movRR(RSI, R15);
+            a_.movRI(RDX, fi.size);
+            a_.movRI(RCX, isStore ? 1 : 0);
+            callAbs(reinterpret_cast<const void *>(&helpCacheAccess));
+            a_.bind(joinC);
+            counterAddRax(bind_.cycles);
+            counterAddRax(bind_.classMem);
+            a_.bind(doneC);
+        }
+        Label slow, done;
+        if (isStore) {
+            // The value operand is read *after* the fused
+            // intermediate register write, matching the interpreter
+            // when the value register aliases it. A plain Store
+            // carries its value in a|immA; fused stores in d|immC.
+            if (fi.op == sb::Op::Store)
+                loadVal(RDX, (fi.flags & sb::kAReg) != 0, fi.a,
+                        fi.immA);
+            else
+                loadVal(RDX, (fi.flags & sb::kDReg) != 0, fi.d,
+                        fi.immC);
+            utlbProbe(fi.ldClass, RAX, slow);
+            switch (fi.ldClass) {
+              case 1: a_.movMR8(R11, 0, RDX); break;
+              case 2: a_.movMR16(R11, 0, RDX); break;
+              case 4: a_.movMR32(R11, 0, RDX); break;
+              default: a_.movMR(R11, 0, RDX); break;
+            }
+            a_.jmp(done);
+            a_.bind(slow); // uTLB miss or page-crossing access
+            a_.movRI(RDI, reinterpret_cast<uint64_t>(bind_.mem));
+            a_.movRR(RSI, R15);
+            switch (fi.ldClass) {
+              case 1:
+                callAbs(reinterpret_cast<const void *>(
+                    &helpStore<uint8_t>));
+                break;
+              case 2:
+                callAbs(reinterpret_cast<const void *>(
+                    &helpStore<uint16_t>));
+                break;
+              case 4:
+                callAbs(reinterpret_cast<const void *>(
+                    &helpStore<uint32_t>));
+                break;
+              default:
+                callAbs(reinterpret_cast<const void *>(
+                    &helpStore<uint64_t>));
+                break;
+            }
+            a_.bind(done);
+            pending_.stores += 1;
+        } else {
+            utlbProbe(fi.ldClass, RDX, slow);
+            switch (fi.ldClass) {
+              case 1: a_.movzxRM8(RAX, R11, 0); break;
+              case 2: a_.movzxRM16(RAX, R11, 0); break;
+              case 4: a_.movRM32(RAX, R11, 0); break;
+              default: a_.movRM(RAX, R11, 0); break;
+            }
+            a_.jmp(done);
+            a_.bind(slow); // uTLB miss or page-crossing access
+            a_.movRI(RDI, reinterpret_cast<uint64_t>(bind_.mem));
+            a_.movRR(RSI, R15);
+            switch (fi.ldClass) {
+              case 1:
+                callAbs(reinterpret_cast<const void *>(
+                    &helpLoad<uint8_t>));
+                break;
+              case 2:
+                callAbs(reinterpret_cast<const void *>(
+                    &helpLoad<uint16_t>));
+                break;
+              case 4:
+                callAbs(reinterpret_cast<const void *>(
+                    &helpLoad<uint32_t>));
+                break;
+              default:
+                callAbs(reinterpret_cast<const void *>(
+                    &helpLoad<uint64_t>));
+                break;
+            }
+            a_.bind(done);
+            sextReg(RAX, fi.sextBits);
+            a_.movMR(R12, regDisp(fi.dst), RAX);
+            boundsClear(fi.dst);
+            pending_.loads += 1;
+        }
+    }
+
+    /** Plain-store value template (Store reads value before address,
+     *  but there are no prior writes, so order is immaterial). */
+    void
+    canonFromR14()
+    {
+        a_.movRR(R15, R14);
+        a_.shiftI(EXT_SHL, R15, 64 - layout::addrBits);
+        a_.shiftI(EXT_SHR, R15, 64 - layout::addrBits);
+    }
+
+    const BlockCtx &ctx_;
+    const MachineBinding &bind_;
+    Asm a_;
+    Label epilogue_;
+    /** Code offset of the post-prologue chained entry point. */
+    uint32_t entryOff_ = 0;
+    /** Accumulated-but-unflushed static charges (prefix sums). */
+    Pending pending_;
+    struct Bail
+    {
+        uint32_t idx;
+        Label label;
+        Pending pending; ///< prefix sums when the bail was created
+    };
+    std::deque<Bail> bails_;
+};
+
+bool
+Compiler::emitRecord(const sb::Record &fi, uint32_t idx)
+{
+    const bool areg = (fi.flags & sb::kAReg) != 0;
+    const bool breg = (fi.flags & sb::kBReg) != 0;
+    const bool creg = (fi.flags & sb::kCReg) != 0;
+    switch (fi.op) {
+      // --- pure (no simulated charges at execution time: those are
+      // batched into the next sync record's `pre`) ---
+      case sb::Op::MovRR:
+        a_.movRM(RAX, R12, regDisp(fi.a));
+        a_.movMR(R12, regDisp(fi.dst), RAX);
+        boundsCopy(fi.dst, fi.a);
+        return true;
+      case sb::Op::MovImm:
+        a_.movRI(RAX, fi.immA);
+        a_.movMR(R12, regDisp(fi.dst), RAX);
+        boundsClear(fi.dst);
+        return true;
+      case sb::Op::AddRR:
+        a_.movRM(RAX, R12, regDisp(fi.a));
+        a_.movRM(RCX, R12, regDisp(fi.b));
+        a_.aluRR(0x01, RAX, RCX);
+        sextReg(RAX, fi.sextBits);
+        a_.movMR(R12, regDisp(fi.dst), RAX);
+        boundsClear(fi.dst);
+        return true;
+      case sb::Op::AddRI:
+        a_.movRM(RAX, R12, regDisp(fi.a));
+        if (static_cast<int64_t>(fi.immB) ==
+            static_cast<int64_t>(static_cast<int32_t>(fi.immB))) {
+            a_.aluRI(EXT_ADD, RAX, static_cast<int32_t>(fi.immB));
+        } else {
+            a_.movRI(RCX, fi.immB);
+            a_.aluRR(0x01, RAX, RCX);
+        }
+        sextReg(RAX, fi.sextBits);
+        a_.movMR(R12, regDisp(fi.dst), RAX);
+        boundsClear(fi.dst);
+        return true;
+      case sb::Op::IntBin: {
+        loadVal(RAX, areg, fi.a, fi.immA);
+        loadVal(RCX, breg, fi.b, fi.immB);
+        switch (static_cast<Opcode>(fi.sub)) {
+          case Opcode::Sub: a_.aluRR(0x29, RAX, RCX); break;
+          case Opcode::Mul: a_.imulRR(RAX, RCX); break;
+          case Opcode::And: a_.aluRR(0x21, RAX, RCX); break;
+          case Opcode::Or: a_.aluRR(0x09, RAX, RCX); break;
+          case Opcode::Xor: a_.aluRR(0x31, RAX, RCX); break;
+          case Opcode::Shl: a_.shiftCl(EXT_SHL, RAX); break;
+          case Opcode::LShr:
+            if (fi.width) {
+                uint64_t m = mask(fi.width);
+                if (m <= 0x7FFFFFFFull) {
+                    a_.aluRI(EXT_AND, RAX, static_cast<int32_t>(m));
+                } else {
+                    a_.movRI(RDX, m);
+                    a_.aluRR(0x21, RAX, RDX);
+                }
+            }
+            a_.shiftCl(EXT_SHR, RAX);
+            break;
+          case Opcode::AShr: a_.shiftCl(EXT_SAR, RAX); break;
+          default: return false; // no template for this sub-op
+        }
+        sextReg(RAX, fi.sextBits);
+        a_.movMR(R12, regDisp(fi.dst), RAX);
+        boundsClear(fi.dst);
+        return true;
+      }
+      case sb::Op::ICmp:
+        loadVal(RAX, areg, fi.a, fi.immA);
+        loadVal(RCX, breg, fi.b, fi.immB);
+        a_.aluRR(0x39, RAX, RCX);
+        a_.setcc(icmpCC(fi.sub), RAX);
+        a_.movzxRR8(RAX, RAX);
+        a_.movMR(R12, regDisp(fi.dst), RAX);
+        boundsClear(fi.dst);
+        return true;
+      case sb::Op::FBin: {
+        uint8_t opc;
+        switch (static_cast<Opcode>(fi.sub)) {
+          case Opcode::FAdd: opc = 0x58; break;
+          case Opcode::FSub: opc = 0x5C; break;
+          case Opcode::FMul: opc = 0x59; break;
+          case Opcode::FDiv: opc = 0x5E; break;
+          default: return false;
+        }
+        loadVal(RAX, areg, fi.a, fi.immA);
+        loadVal(RCX, breg, fi.b, fi.immB);
+        a_.movqXR(0, RAX);
+        a_.movqXR(1, RCX);
+        a_.sseRR(opc, 0, 1);
+        a_.movqRX(RAX, 0);
+        a_.movMR(R12, regDisp(fi.dst), RAX);
+        return true; // float ops leave the bounds register alone
+      }
+      case sb::Op::FNeg:
+        // IEEE negation is exactly a sign-bit flip (NaNs included).
+        loadVal(RAX, areg, fi.a, fi.immA);
+        a_.movRI(RCX, 0x8000000000000000ull);
+        a_.aluRR(0x31, RAX, RCX);
+        a_.movMR(R12, regDisp(fi.dst), RAX);
+        return true;
+      case sb::Op::FCmp: {
+        loadVal(RAX, areg, fi.a, fi.immA);
+        loadVal(RCX, breg, fi.b, fi.immB);
+        a_.movqXR(0, RAX);
+        a_.movqXR(1, RCX);
+        // ucomisd sets ZF/PF/CF; unordered sets all three. Lt/Le use
+        // the swapped compare so "unordered => false" falls out of
+        // the unsigned-above conditions, same as the C++ operators
+        // the interpreter evaluates.
+        switch (static_cast<FCmpPred>(fi.sub)) {
+          case FCmpPred::Eq:
+            a_.ucomisd(0, 1);
+            a_.setcc(CC_E, RAX);
+            a_.setcc(CC_NP, RCX);
+            a_.alu8RR(0x20, RAX, RCX); // and al, cl
+            break;
+          case FCmpPred::Ne:
+            a_.ucomisd(0, 1);
+            a_.setcc(CC_NE, RAX);
+            a_.setcc(CC_P, RCX);
+            a_.alu8RR(0x08, RAX, RCX); // or al, cl
+            break;
+          case FCmpPred::Lt:
+            a_.ucomisd(1, 0);
+            a_.setcc(CC_A, RAX);
+            break;
+          case FCmpPred::Le:
+            a_.ucomisd(1, 0);
+            a_.setcc(CC_AE, RAX);
+            break;
+          case FCmpPred::Gt:
+            a_.ucomisd(0, 1);
+            a_.setcc(CC_A, RAX);
+            break;
+          case FCmpPred::Ge:
+            a_.ucomisd(0, 1);
+            a_.setcc(CC_AE, RAX);
+            break;
+        }
+        a_.movzxRR8(RAX, RAX);
+        a_.movMR(R12, regDisp(fi.dst), RAX);
+        return true;
+      }
+      case sb::Op::Cast:
+        loadVal(RAX, areg, fi.a, fi.immA);
+        switch (static_cast<Opcode>(fi.sub)) {
+          case Opcode::SIToFP:
+            a_.cvtsi2sd(0, RAX);
+            a_.movqRX(RAX, 0);
+            break;
+          case Opcode::FPToSI:
+            // cvttsd2si is what the compiled interpreter executes for
+            // the double->int64 cast, including the 0x8000.. result
+            // on overflow/NaN.
+            a_.movqXR(0, RAX);
+            a_.cvttsd2si(RAX, 0);
+            break;
+          case Opcode::SExt:
+            sextReg(RAX, static_cast<unsigned>(fi.immB));
+            break;
+          case Opcode::ZExt:
+            if (static_cast<unsigned>(fi.immB) < 64) {
+                a_.shiftI(EXT_SHL, RAX,
+                          64 - static_cast<unsigned>(fi.immB));
+                a_.shiftI(EXT_SHR, RAX,
+                          64 - static_cast<unsigned>(fi.immB));
+            }
+            break;
+          case Opcode::Trunc:
+            sextReg(RAX, fi.sextBits); // identity when sextBits == 0
+            break;
+          default: return false;
+        }
+        a_.movMR(R12, regDisp(fi.dst), RAX);
+        return true; // casts leave the bounds register alone
+      case sb::Op::Select: {
+        Label pick_c, done;
+        loadVal(RAX, areg, fi.a, fi.immA);
+        a_.aluRR(0x85, RAX, RAX);
+        a_.jcc(CC_E, pick_c);
+        loadVal(RAX, breg, fi.b, fi.immB);
+        a_.movMR(R12, regDisp(fi.dst), RAX);
+        if (breg)
+            boundsCopy(fi.dst, fi.b);
+        else
+            boundsClear(fi.dst);
+        a_.jmp(done);
+        a_.bind(pick_c);
+        loadVal(RAX, creg, fi.c, fi.immC);
+        a_.movMR(R12, regDisp(fi.dst), RAX);
+        if (creg)
+            boundsCopy(fi.dst, fi.c);
+        else
+            boundsClear(fi.dst);
+        a_.bind(done);
+        return true;
+      }
+      case sb::Op::GepConst:
+        loadVal(RAX, areg, fi.a, fi.immA);
+        if (static_cast<int64_t>(fi.immB) ==
+            static_cast<int64_t>(static_cast<int32_t>(fi.immB))) {
+            a_.aluRI(EXT_ADD, RAX, static_cast<int32_t>(fi.immB));
+        } else {
+            a_.movRI(RCX, fi.immB);
+            a_.aluRR(0x01, RAX, RCX);
+        }
+        a_.movMR(R12, regDisp(fi.dst), RAX);
+        if (areg)
+            boundsCopy(fi.dst, fi.a);
+        else
+            boundsClear(fi.dst);
+        return true;
+      case sb::Op::GepReg:
+        loadVal(RAX, areg, fi.a, fi.immA);
+        a_.movRM(RCX, R12, regDisp(fi.c));
+        a_.movRI(RDX, fi.immB);
+        a_.imulRR(RCX, RDX);
+        a_.aluRR(0x01, RAX, RCX);
+        a_.movMR(R12, regDisp(fi.dst), RAX);
+        if (areg)
+            boundsCopy(fi.dst, fi.a);
+        else
+            boundsClear(fi.dst);
+        return true;
+      case sb::Op::IfpAdd:
+        a_.movRM(RDI, R12, regDisp(fi.a));
+        loadVal(RSI, creg, fi.c, fi.immB);
+        a_.leaRM(RDX, R13, bndDisp(fi.a));
+        callAbs(reinterpret_cast<const void *>(&helpIfpAdd));
+        a_.movMR(R12, regDisp(fi.dst), RAX);
+        boundsCopy(fi.dst, fi.a);
+        return true;
+      case sb::Op::IfpIdx:
+        a_.movRM(RDI, R12, regDisp(fi.a));
+        a_.movRI(RSI, fi.immB);
+        callAbs(reinterpret_cast<const void *>(&helpIfpIdx));
+        a_.movMR(R12, regDisp(fi.dst), RAX);
+        boundsCopy(fi.dst, fi.a);
+        return true;
+      case sb::Op::IfpBnd:
+        a_.movRM(RDI, R12, regDisp(fi.a));
+        a_.movMR(R12, regDisp(fi.dst), RDI); // regs[dst] = raw first
+        a_.movRI(RSI, fi.immB);
+        a_.leaRM(RDX, R13, bndDisp(fi.dst));
+        callAbs(reinterpret_cast<const void *>(&helpIfpBnd));
+        return true;
+      case sb::Op::IfpChk:
+        a_.movRM(RDI, R12, regDisp(fi.a));
+        a_.leaRM(RSI, R13, bndDisp(fi.a));
+        a_.movRI(RDX, fi.immB);
+        callAbs(reinterpret_cast<const void *>(&helpIfpChk));
+        a_.movMR(R12, regDisp(fi.dst), RAX);
+        return true; // bounds register untouched
+      case sb::Op::MovGlobalBnd: {
+        // Pure function of two immediates: fold at compile time.
+        Bounds nb = ops::ifpBnd(TaggedPtr(fi.immA), fi.immB);
+        a_.movRI(RAX, fi.immA);
+        a_.movMR(R12, regDisp(fi.dst), RAX);
+        boundsLiteral(fi.dst, nb);
+        return true;
+      }
+
+      // --- sync: memory ---
+      case sb::Op::Load:
+        loadVal(R14, areg, fi.a, fi.immA);
+        canonFromR14();
+        check(fi, idx, Ck::Reg, fi.a);
+        charges(fi, 1, 0, 1, 0, 0);
+        memAccess(fi, /*isStore=*/false);
+        return true;
+      case sb::Op::Store:
+        loadVal(R14, breg, fi.b, fi.immB);
+        canonFromR14();
+        check(fi, idx, Ck::Reg, fi.b);
+        charges(fi, 1, 0, 1, 0, 0);
+        memAccess(fi, /*isStore=*/true);
+        return true;
+      case sb::Op::FusedGepLoad:
+      case sb::Op::FusedGepStore: {
+        // raw = base + (creg ? regs[c] * immB : immB)
+        loadVal(R14, areg, fi.a, fi.immA);
+        if (creg) {
+            a_.movRM(RCX, R12, regDisp(fi.c));
+            a_.movRI(RDX, fi.immB);
+            a_.imulRR(RCX, RDX);
+            a_.aluRR(0x01, R14, RCX);
+        } else if (fi.immB != 0) {
+            if (static_cast<int64_t>(fi.immB) ==
+                static_cast<int64_t>(static_cast<int32_t>(fi.immB))) {
+                a_.aluRI(EXT_ADD, R14, static_cast<int32_t>(fi.immB));
+            } else {
+                a_.movRI(RCX, fi.immB);
+                a_.aluRR(0x01, R14, RCX);
+            }
+        }
+        canonFromR14();
+        // The interpreter checks against bounds[b] *after* writing
+        // bounds[b] = areg ? bounds[a] : cleared; checking the source
+        // before any write sees the identical bounds value, so a trap
+        // bails with no partial effects.
+        check(fi, idx, areg ? Ck::Reg : Ck::Cleared, fi.a);
+        charges(fi, fi.sub + 1u, fi.sub, 1, 0, 0);
+        a_.movMR(R12, regDisp(fi.b), R14);
+        if (areg)
+            boundsCopy(fi.b, fi.a);
+        else
+            boundsClear(fi.b);
+        memAccess(fi, fi.op == sb::Op::FusedGepStore);
+        return true;
+      }
+      case sb::Op::FusedIfpAddLoad:
+      case sb::Op::FusedIfpAddStore:
+        a_.movRM(RDI, R12, regDisp(fi.a));
+        loadVal(RSI, creg, fi.c, fi.immB);
+        a_.leaRM(RDX, R13, bndDisp(fi.a));
+        callAbs(reinterpret_cast<const void *>(&helpIfpAdd));
+        a_.movRR(R14, RAX);
+        canonFromR14();
+        // bounds[b] will be a copy of bounds[a]; check the source.
+        check(fi, idx, Ck::Reg, fi.a);
+        charges(fi, 2, 0, 1, 1, 1);
+        a_.movMR(R12, regDisp(fi.b), R14);
+        boundsCopy(fi.b, fi.a);
+        memAccess(fi, fi.op == sb::Op::FusedIfpAddStore);
+        return true;
+      case sb::Op::FusedChkLoad:
+      case sb::Op::FusedChkStore:
+        a_.movRM(RDI, R12, regDisp(fi.a));
+        a_.leaRM(RSI, R13, bndDisp(fi.a));
+        a_.movRI(RDX, fi.immB);
+        callAbs(reinterpret_cast<const void *>(&helpIfpChk));
+        a_.movRR(R14, RAX);
+        canonFromR14();
+        // ifpchk leaves bounds[b] alone; the dereference consults the
+        // *current* bounds[b], exactly as the interpreter does.
+        check(fi, idx, Ck::Reg, fi.b);
+        charges(fi, 2, 0, 1, 1, 1);
+        a_.movMR(R12, regDisp(fi.b), R14);
+        memAccess(fi, fi.op == sb::Op::FusedChkStore);
+        return true;
+
+      // --- terminators ---
+      case sb::Op::Jmp:
+        charges(fi, 1, 1, 0, 0, 0);
+        flushPending(pending_);
+        chainOrExit(fi.target0);
+        return true;
+      case sb::Op::Br: {
+        charges(fi, 1, 1, 0, 0, 0);
+        flushPending(pending_);
+        loadVal(RDX, areg, fi.a, fi.immA);
+        a_.aluRR(0x85, RDX, RDX);
+        Label not_taken;
+        a_.jcc(CC_E, not_taken); // zero condition falls to target1
+        chainOrExit(fi.target0);
+        a_.bind(not_taken);
+        chainOrExit(fi.target1);
+        return true;
+      }
+      case sb::Op::FusedCmpBr: {
+        charges(fi, 2, 2, 0, 0, 0);
+        flushPending(pending_);
+        loadVal(RAX, areg, fi.a, fi.immA);
+        loadVal(RCX, breg, fi.b, fi.immB);
+        a_.aluRR(0x39, RAX, RCX);
+        a_.setcc(icmpCC(fi.sub), RDX);
+        a_.movzxRR8(RDX, RDX);
+        a_.movMR(R12, regDisp(fi.dst), RDX);
+        boundsClear(fi.dst);
+        a_.aluRR(0x85, RDX, RDX);
+        Label not_taken;
+        a_.jcc(CC_E, not_taken); // zero condition falls to target1
+        chainOrExit(fi.target0);
+        a_.bind(not_taken);
+        chainOrExit(fi.target1);
+        return true;
+      }
+
+      // --- everything else runs interpreted (calls, division,
+      // allocation/promote-engine records, ret, trap) ---
+      default:
+        return false;
+    }
+}
+
+bool
+isTerminatorOp(sb::Op op)
+{
+    return op == sb::Op::Jmp || op == sb::Op::Br ||
+           op == sb::Op::FusedCmpBr || op == sb::Op::Ret ||
+           op == sb::Op::Trap;
+}
+
+} // namespace
+
+bool
+available()
+{
+    return ExecArena::supported();
+}
+
+const char *
+unavailableReason()
+{
+    return available() ? "" : "host refuses executable mappings";
+}
+
+bool
+compileBlock(const BlockCtx &ctx, const MachineBinding &bind,
+             ExecArena &arena, CompiledBlock &out, uint32_t minCovered)
+{
+    if (!available())
+        return false;
+    const sb::Block &blk = ctx.blocks[ctx.blockId];
+    Compiler c(ctx, bind);
+    uint32_t covered = 0;
+    bool full = false;
+    for (uint32_t i = 0; i < blk.records.size(); ++i) {
+        const sb::Record &fi = blk.records[i];
+        if (!c.emitRecord(fi, i))
+            break;
+        ++covered;
+        if (isTerminatorOp(fi.op)) {
+            full = true;
+            break;
+        }
+    }
+    if (covered == 0 || (!full && covered < minCovered))
+        return false;
+    if (!full)
+        c.emitBailExit(covered);
+    const std::vector<uint8_t> &code = c.finish();
+    const void *fn = arena.add(code.data(), code.size());
+    if (fn == nullptr)
+        return false;
+    out.fn = reinterpret_cast<BlockFn>(const_cast<void *>(fn));
+    out.chainEntry =
+        reinterpret_cast<const uint8_t *>(fn) + c.entryOff();
+    out.covered = covered;
+    out.full = full;
+    out.codeBytes = static_cast<uint32_t>(code.size());
+    return true;
+}
+
+#else // !__x86_64__
+
+bool
+available()
+{
+    return false;
+}
+
+const char *
+unavailableReason()
+{
+    return "template JIT targets x86-64 only";
+}
+
+bool
+compileBlock(const sb::Block &, const MachineBinding &, ExecArena &,
+             CompiledBlock &, uint32_t)
+{
+    return false;
+}
+
+#endif
+
+} // namespace jit
+} // namespace infat

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * x86-64 template JIT for hot superblocks (tier 2 of vm/tier.hh).
+ *
+ * A compiled block is the longest *prefix* of a superblock's record
+ * array made of records a template covers: every pure record (ALU,
+ * moves, geps, single-cycle IFP arithmetic via tiny out-of-line
+ * helpers), plain and fused loads/stores with the implicit IFP
+ * tag-and-bounds check inlined branchlessly on the hit path, and the
+ * in-block terminators (jmp / br / fused cmp+br). Anything else —
+ * calls, division, allocation and promote-engine records, ret, trap —
+ * ends the prefix: the emitted code exits back to the interpreter with
+ * the record index to resume from (a "bailout"), and the interpreter
+ * executes the rest of the block with exact semantics.
+ *
+ * Exactness contract (the same one the superblock engine obeys): a
+ * record either executes completely in jitted code — with simulated
+ * instruction/cycle/class charges and counters identical to the
+ * interpreter's, applied through addresses baked in at compile time —
+ * or not at all. In particular a memory record evaluates its check
+ * predicates *before* any register/bounds write or counter charge; if
+ * any predicate might trap, the code bails out with no record side
+ * effects and the interpreter re-executes the record from scratch,
+ * raising the exact trap (kind, message, forensics) the general engine
+ * would. Cache timing and guest memory go through the simulator's own
+ * Cache::access / GuestMemory::load|store, so the timing model and the
+ * mem/l1d stat groups move exactly as interpreted execution moves
+ * them.
+ */
+
+#ifndef INFAT_VM_JIT_HH
+#define INFAT_VM_JIT_HH
+
+#include <cstdint>
+
+#include "ifp/bounds.hh"
+#include "vm/superblock.hh"
+
+namespace infat {
+
+class Cache;
+class GuestMemory;
+class ExecArena;
+
+namespace jit {
+
+/** True when this build/host can emit and run jitted blocks. */
+bool available();
+/** Why not (empty string when available()). */
+const char *unavailableReason();
+
+/**
+ * Per-invocation state handed to a compiled block (SysV arg 0). Only
+ * the frame pointers vary between invocations; everything else a block
+ * needs is baked into its code as absolute addresses.
+ */
+struct RunCtx
+{
+    uint64_t *regs;
+    Bounds *bounds;
+};
+
+/**
+ * Return-value protocol of a compiled block: bit 63 clear means
+ * execution ran to a terminator and the low 32 bits are the next
+ * BlockId; bit 63 set means a bailout — bits 62:32 are the BlockId of
+ * the block the bail happened in (compiled blocks chain directly into
+ * each other, so this is not necessarily the block the interpreter
+ * entered) and the low 32 bits are the record index to resume at,
+ * with no partial effects from that record applied.
+ */
+constexpr uint64_t kExitBail = 1ULL << 63;
+
+using BlockFn = uint64_t (*)(RunCtx *);
+
+/** Machine-state addresses baked into emitted code. */
+struct MachineBinding
+{
+    uint64_t *instrs = nullptr;
+    uint64_t *cycles = nullptr;
+    uint64_t *classBase = nullptr;
+    uint64_t *classMem = nullptr;
+    uint64_t *classIfp = nullptr;
+    uint64_t *cLoads = nullptr;
+    uint64_t *cStores = nullptr;
+    uint64_t *cImplicitChecks = nullptr;
+    uint64_t *cIfpArith = nullptr;
+    GuestMemory *mem = nullptr;
+    Cache *l1d = nullptr;
+    bool useCache = true;
+    /**
+     * VmConfig::maxInstructions: chained block-to-block jumps replay
+     * the dispatch loop's block-entry budget guard before bypassing
+     * it, falling back to the interpreter (which replays on the
+     * general engine for an exact-instruction trap) when the target
+     * block's static charges could cross the limit.
+     */
+    uint64_t maxInstructions = ~0ULL;
+    /** vm.tier.jit_blocks cell; chained entries count themselves. */
+    uint64_t *tierBlocksRun = nullptr;
+};
+
+/**
+ * The function-level context of the block being compiled: terminators
+ * chain directly (a tail jump, skipping the interpreter loop head and
+ * the prologue/epilogue pair) to any successor whose slot in the
+ * per-function entry table is already published, and bail exits
+ * identify their own block to the interpreter.
+ */
+struct BlockCtx
+{
+    /** The function's block array (for successors' static charges). */
+    const sb::Block *blocks = nullptr;
+    /** sb::FunctionCode::jitEntries.data(): chained entry points. */
+    const void *const *jitEntries = nullptr;
+    /** Id of the block being compiled. */
+    uint32_t blockId = 0;
+};
+
+struct CompiledBlock
+{
+    BlockFn fn = nullptr;
+    /**
+     * Entry point that skips the prologue, for direct block-to-block
+     * chaining: valid only while r12/r13 already hold the frame's
+     * reg/bounds arrays, i.e. when jumped to from another compiled
+     * block of the same frame.
+     */
+    const void *chainEntry = nullptr;
+    /** Records the prefix covers (rest runs interpreted). */
+    uint32_t covered = 0;
+    /** True when the prefix reaches the block terminator. */
+    bool full = false;
+    uint32_t codeBytes = 0;
+};
+
+/**
+ * Compile the longest supported prefix of block @p ctx.blockId.
+ * Returns false (and leaves @p out untouched) when no leading record
+ * has a template, the prefix stops before the terminator with fewer
+ * than @p minCovered records (not worth the call-out), or the arena
+ * cannot map executable memory.
+ */
+bool compileBlock(const BlockCtx &ctx, const MachineBinding &bind,
+                  ExecArena &arena, CompiledBlock &out,
+                  uint32_t minCovered = 4);
+
+} // namespace jit
+} // namespace infat
+
+#endif // INFAT_VM_JIT_HH

@@ -8,6 +8,7 @@
 #include "support/bitops.hh"
 #include "support/logging.hh"
 #include "support/profile.hh"
+#include "vm/tier.hh"
 
 namespace infat {
 
@@ -109,6 +110,33 @@ Machine::Machine(Module &module, const LayoutRegistry *layouts,
     registry_.add(&runtime_->stats());
     registry_.add(&mem_.stats());
     registry_.add(&sbStats_);
+    // Tier controller (vm/tier.hh): constructed unconditionally so
+    // every run exposes the same stat-group set; compilation only
+    // happens when the dispatch loop finds tier 2 live.
+    tier_ = std::make_unique<TierController>();
+    tier_->configure(config_.threadedDispatch,
+                     config_.jit && jit::available(),
+                     config_.jitThreshold);
+    jit::MachineBinding bind;
+    bind.instrs = &instrs_;
+    bind.cycles = &cycles_;
+    bind.classBase =
+        &classCycles_[static_cast<size_t>(CycleClass::Base)];
+    bind.classMem =
+        &classCycles_[static_cast<size_t>(CycleClass::Mem)];
+    bind.classIfp =
+        &classCycles_[static_cast<size_t>(CycleClass::IfpArith)];
+    bind.cLoads = cLoads_.cell();
+    bind.cStores = cStores_.cell();
+    bind.cImplicitChecks = cImplicitChecks_.cell();
+    bind.cIfpArith = cIfpArith_.cell();
+    bind.mem = &mem_;
+    bind.l1d = &l1d_;
+    bind.useCache = config_.useCache;
+    bind.maxInstructions = config_.maxInstructions;
+    bind.tierBlocksRun = tier_->blocksRunCell();
+    tier_->bind(bind);
+    registry_.add(&tier_->stats());
     runtime_->init(layouts);
     if (config_.forensics)
         forensics_ = std::make_unique<TrapForensics>();

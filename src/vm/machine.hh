@@ -44,6 +44,7 @@
 namespace infat {
 
 class GuestProfiler;
+class TierController;
 
 namespace oracle {
 class ShadowOracle;
@@ -90,6 +91,22 @@ struct VmConfig
     bool superblockFusion = true;
     /** In-block redundant-check elimination. */
     bool superblockCheckElim = true;
+    /**
+     * Tier 1: direct-threaded dispatch (computed goto) of superblock
+     * records. Pure host-code-layout change — same record bodies, same
+     * simulated behaviour; silently falls back to the switch dispatch
+     * on compilers without the labels-as-values extension.
+     */
+    bool threadedDispatch = true;
+    /**
+     * Tier 2: x86-64 template JIT for hot superblocks (vm/jit.hh,
+     * vm/tier.hh). Host-side only, bit-identical by construction;
+     * automatically inactive when unsupported on this host or while a
+     * profiler/tracer/oracle is attached.
+     */
+    bool jit = true;
+    /** Block entries before a block is promoted to jitted code. */
+    uint32_t jitThreshold = 16;
     /**
      * Capture allocation records (base, size, kind, allocating
      * function/block) for trap forensics (vm/forensics.hh). Host-side
@@ -174,6 +191,18 @@ class Machine
      */
     void setProfiler(GuestProfiler *profiler) { prof_ = profiler; }
     GuestProfiler *profiler() { return prof_; }
+
+    /**
+     * Deoptimize tier 2 (vm/tier.hh): un-publish every jitted block
+     * (promotion state resets to cold) and release their executable
+     * memory. Call whenever something jitted code baked in becomes
+     * stale — predecoded records, the layout table, counter addresses.
+     * Host-side only: execution continues interpreted and blocks
+     * re-promote deterministically; vm.tier.deopts records it. Safe to
+     * call at any interpreter-visible point (jitted code never holds
+     * control across records).
+     */
+    void invalidateTieredCode(const char *reason);
 
     /**
      * Assemble the forensics report for @p trap from the current
@@ -275,10 +304,21 @@ class Machine
                          Bounds *ret_bounds, unsigned depth,
                          ir::BlockId start_block, size_t start_ip,
                          unsigned saved_bounds);
-    /** The superblock engine (vm/superblock.cc). */
+    /** The superblock engine (vm/superblock.cc): selects the dispatch
+     *  tier (switch vs computed goto) from config and host support. */
     uint64_t execSuperblock(const ir::Function *func, Frame &frame,
                             Bounds *ret_bounds, unsigned depth,
                             unsigned saved_bounds);
+    /**
+     * One shared engine body, instantiated per dispatch tier.
+     * @tparam Threaded direct-threaded (computed goto) dispatch; the
+     *         false instantiation is the PR 4 switch dispatch. Both
+     *         run the tier-2 JIT hook when the controller is live.
+     */
+    template <bool Threaded>
+    uint64_t execSuperblockImpl(const ir::Function *func, Frame &frame,
+                                Bounds *ret_bounds, unsigned depth,
+                                unsigned saved_bounds);
 
     uint64_t evalOperand(const Frame &frame, const ir::Operand &operand);
     const Bounds &operandBounds(const Frame &frame,
@@ -379,6 +419,9 @@ class Machine
 
     /** Predecoded superblock code, indexed by function id. */
     std::vector<std::unique_ptr<sb::FunctionCode>> sbCode_;
+
+    /** Tier-2 promotion/compile/deopt state (vm/tier.hh). */
+    std::unique_ptr<TierController> tier_;
 
     GuestAddr sp_ = 0;
     GuestAddr legacyArena_ = 0;

@@ -22,6 +22,8 @@
 #include "support/bitops.hh"
 #include "support/logging.hh"
 #include "support/profile.hh"
+#include "vm/jit.hh"
+#include "vm/tier.hh"
 
 namespace infat {
 namespace sb {
@@ -952,6 +954,10 @@ predecode(const Function &func, const PredecodeOptions &opts,
     BlockBuilder builder(func, opts, stats);
     for (BlockId b = 0; b < func.numBlocks(); ++b)
         fc.blocks[b] = builder.build(b);
+    // Chained-entry table for tier 2 (vm/jit.hh). Sized once, here:
+    // emitted code bakes slot addresses in, so the vector must never
+    // reallocate (deopt clears it with fill, not assign).
+    fc.jitEntries.assign(func.numBlocks(), nullptr);
     stats.functions++;
     return fc;
 }
@@ -1000,10 +1006,48 @@ evalICmp(uint8_t pred, uint64_t ua, uint64_t ub)
 
 } // namespace
 
+// ---------------------------------------------------------------------
+// Dispatch tiers. One body serves both: SB_CASE places a computed-goto
+// label on every case so tier 1 (Threaded) jumps straight to record
+// bodies through a label table, each body ending in its own indirect
+// jump (SB_NEXT) so the host BTB learns per-predecessor patterns —
+// the "direct-threaded" property the central switch branch lacks.
+// Tier 0 takes the same macros down the classic switch. Non-GCC/Clang
+// builds lack labels-as-values and compile tier 0 only.
+// ---------------------------------------------------------------------
+
+#if defined(__GNUC__) || defined(__clang__)
+#define INFAT_SB_THREADED 1
+#else
+#define INFAT_SB_THREADED 0
+#endif
+
+#if INFAT_SB_THREADED
+#define SB_CASE(name)                                                  \
+    case sb::Op::name:                                                 \
+    L_##name:
+#define SB_NEXT                                                        \
+    {                                                                  \
+        ++rec;                                                         \
+        if constexpr (Threaded)                                        \
+            goto *kLabels[static_cast<size_t>(rec->op)];               \
+        else                                                           \
+            goto dispatch;                                             \
+    }
+#else
+#define SB_CASE(name) case sb::Op::name:
+#define SB_NEXT                                                        \
+    {                                                                  \
+        ++rec;                                                         \
+        goto dispatch;                                                 \
+    }
+#endif
+
+template <bool Threaded>
 uint64_t
-Machine::execSuperblock(const Function *func, Frame &frame,
-                        Bounds *ret_bounds, unsigned depth,
-                        unsigned saved_bounds)
+Machine::execSuperblockImpl(const Function *func, Frame &frame,
+                            Bounds *ret_bounds, unsigned depth,
+                            unsigned saved_bounds)
 {
     const sb::FunctionCode &fc = sbCode(func);
     auto &regs = frame.regs;
@@ -1183,6 +1227,51 @@ Machine::execSuperblock(const Function *func, Frame &frame,
         }
     };
 
+#if INFAT_SB_THREADED
+    // Label table for tier-1 dispatch; order must match sb::Op exactly.
+    static const void *const kLabels[] = {
+        &&L_MovRR,        &&L_MovImm,
+        &&L_AddRR,        &&L_AddRI,
+        &&L_IntBin,       &&L_ICmp,
+        &&L_FBin,         &&L_FNeg,
+        &&L_FCmp,         &&L_Cast,
+        &&L_Select,       &&L_GepConst,
+        &&L_GepReg,       &&L_IfpAdd,
+        &&L_IfpIdx,       &&L_IfpBnd,
+        &&L_IfpChk,       &&L_MovGlobalBnd,
+        &&L_Load,         &&L_Store,
+        &&L_FusedGepLoad, &&L_FusedGepStore,
+        &&L_FusedIfpAddLoad, &&L_FusedIfpAddStore,
+        &&L_FusedChkLoad, &&L_FusedChkStore,
+        &&L_Div,          &&L_Alloca,
+        &&L_Call,         &&L_CallPtr,
+        &&L_MallocTyped,  &&L_FreePtr,
+        &&L_Promote,      &&L_RegisterObj,
+        &&L_DeregisterObj, &&L_IfpMallocTyped,
+        &&L_IfpFree,      &&L_Jmp,
+        &&L_Br,           &&L_FusedCmpBr,
+        &&L_Ret,          &&L_Trap,
+    };
+    (void)kLabels; // referenced only by the Threaded instantiation
+#endif
+
+    // Tier 2 is live when configured on, compilable on this host, and
+    // no profiler is attached (the profiler's per-block attribution
+    // needs the interpreter loop; the engine itself is already gated
+    // off tracer/oracle attachment by execFunction). Promotion
+    // counting only advances while live, so two identical runs promote
+    // identical blocks at identical points.
+    const bool jit_live = config_.jit && tier_ != nullptr &&
+                          prof == nullptr && jit::available();
+
+    const sb::Record *rec = nullptr;
+// From here to the end of the dispatch loop, record fields are read
+// through the cursor: the computed-goto path re-enters a case body
+// without passing the loop head, so a loop-scoped `fi` reference
+// would go stale. The lambdas above keep `fi` as a parameter name and
+// must stay ahead of this define.
+#define fi (*rec)
+
     for (;;) {
         const sb::Block &blk = fc.blocks[cur];
         // Block-entry budget guard: if the block's static charges
@@ -1197,38 +1286,71 @@ Machine::execSuperblock(const Function *func, Frame &frame,
         const BlockId pcur = cur;
         if (prof)
             prof->countBlockEntry(pfid, cur);
-        const sb::Record *rec = blk.records.data();
-        for (;; ++rec) {
-            const sb::Record &fi = *rec;
+        rec = blk.records.data();
+        if (jit_live && blk.jitId != sb::kJitNever) {
+            if (blk.jitId == sb::kJitNone &&
+                ++blk.hotCount >= config_.jitThreshold) {
+                int32_t id = tier_->compile(fc, cur);
+                blk.jitId = id >= 0 ? id : sb::kJitNever;
+            }
+            if (blk.jitId >= 0) {
+                tier_->noteEnter();
+                jit::RunCtx ctx{regs.data(), bounds.data()};
+                uint64_t exit = tier_->unit(blk.jitId).fn(&ctx);
+                if (exit & jit::kExitBail) {
+                    // Resume interpretation at the bail record; the
+                    // jitted code applied none of its effects. Bits
+                    // 62:32 carry the bailing block's id — compiled
+                    // blocks chain into each other, so it is not
+                    // necessarily the block entered above.
+                    tier_->noteBail();
+                    cur = static_cast<BlockId>(exit >> 32) &
+                          0x7FFFFFFFu;
+                    frame.curBlock = cur;
+                    rec = fc.blocks[cur].records.data() +
+                          static_cast<uint32_t>(exit);
+                    goto dispatch;
+                } else {
+                    cur = static_cast<BlockId>(exit);
+                    goto block_done;
+                }
+            }
+        }
+        {
+          dispatch:
+#if INFAT_SB_THREADED
+            if constexpr (Threaded)
+                goto *kLabels[static_cast<size_t>(rec->op)];
+#endif
             switch (fi.op) {
               // --- pure ---
-              case sb::Op::MovRR:
+              SB_CASE(MovRR)
                 regs[fi.dst] = regs[fi.a];
                 bounds[fi.dst] = bounds[fi.a];
-                continue;
-              case sb::Op::MovImm:
+                SB_NEXT;
+              SB_CASE(MovImm)
                 regs[fi.dst] = fi.immA;
                 bounds[fi.dst] = Bounds::cleared();
-                continue;
-              case sb::Op::AddRR: {
+                SB_NEXT;
+              SB_CASE(AddRR) {
                 uint64_t sum = regs[fi.a] + regs[fi.b];
                 if (fi.sextBits)
                     sum = static_cast<uint64_t>(
                         sext(sum, fi.sextBits));
                 regs[fi.dst] = sum;
                 bounds[fi.dst] = Bounds::cleared();
-                continue;
+                SB_NEXT;
               }
-              case sb::Op::AddRI: {
+              SB_CASE(AddRI) {
                 uint64_t sum = regs[fi.a] + fi.immB;
                 if (fi.sextBits)
                     sum = static_cast<uint64_t>(
                         sext(sum, fi.sextBits));
                 regs[fi.dst] = sum;
                 bounds[fi.dst] = Bounds::cleared();
-                continue;
+                SB_NEXT;
               }
-              case sb::Op::IntBin: {
+              SB_CASE(IntBin) {
                 uint64_t va =
                     (fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA;
                 uint64_t vb =
@@ -1257,18 +1379,18 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                         sext(res, fi.sextBits));
                 regs[fi.dst] = res;
                 bounds[fi.dst] = Bounds::cleared();
-                continue;
+                SB_NEXT;
               }
-              case sb::Op::ICmp: {
+              SB_CASE(ICmp) {
                 uint64_t va =
                     (fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA;
                 uint64_t vb =
                     (fi.flags & sb::kBReg) ? regs[fi.b] : fi.immB;
                 regs[fi.dst] = evalICmp(fi.sub, va, vb) ? 1 : 0;
                 bounds[fi.dst] = Bounds::cleared();
-                continue;
+                SB_NEXT;
               }
-              case sb::Op::FBin: {
+              SB_CASE(FBin) {
                 double fa = asF64(
                     (fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA);
                 double fb = asF64(
@@ -1282,13 +1404,13 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                   default: break;
                 }
                 regs[fi.dst] = fromF64(res);
-                continue; // float ops leave the bounds register alone
+                SB_NEXT; // float ops leave the bounds register alone
               }
-              case sb::Op::FNeg:
+              SB_CASE(FNeg)
                 regs[fi.dst] = fromF64(-asF64(
                     (fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA));
-                continue;
-              case sb::Op::FCmp: {
+                SB_NEXT;
+              SB_CASE(FCmp) {
                 double fa = asF64(
                     (fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA);
                 double fb = asF64(
@@ -1303,9 +1425,9 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                   case FCmpPred::Ge: res = fa >= fb; break;
                 }
                 regs[fi.dst] = res ? 1 : 0;
-                continue;
+                SB_NEXT;
               }
-              case sb::Op::Cast: {
+              SB_CASE(Cast) {
                 uint64_t va =
                     (fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA;
                 switch (static_cast<Opcode>(fi.sub)) {
@@ -1334,9 +1456,9 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                     break;
                   default: break;
                 }
-                continue; // casts leave the bounds register alone
+                SB_NEXT; // casts leave the bounds register alone
               }
-              case sb::Op::Select: {
+              SB_CASE(Select) {
                 bool cond =
                     ((fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA) !=
                     0;
@@ -1355,25 +1477,25 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                     regs[fi.dst] = v;
                     bounds[fi.dst] = nb;
                 }
-                continue;
+                SB_NEXT;
               }
-              case sb::Op::GepConst: {
+              SB_CASE(GepConst) {
                 bool areg = (fi.flags & sb::kAReg) != 0;
                 uint64_t base = areg ? regs[fi.a] : fi.immA;
                 Bounds nb = areg ? bounds[fi.a] : Bounds::cleared();
                 regs[fi.dst] = base + fi.immB;
                 bounds[fi.dst] = nb;
-                continue;
+                SB_NEXT;
               }
-              case sb::Op::GepReg: {
+              SB_CASE(GepReg) {
                 bool areg = (fi.flags & sb::kAReg) != 0;
                 uint64_t base = areg ? regs[fi.a] : fi.immA;
                 Bounds nb = areg ? bounds[fi.a] : Bounds::cleared();
                 regs[fi.dst] = base + regs[fi.c] * fi.immB;
                 bounds[fi.dst] = nb;
-                continue;
+                SB_NEXT;
               }
-              case sb::Op::IfpAdd: {
+              SB_CASE(IfpAdd) {
                 auto delta = static_cast<int64_t>(
                     (fi.flags & sb::kCReg) ? regs[fi.c] : fi.immB);
                 Bounds src_bounds = bounds[fi.a];
@@ -1381,46 +1503,46 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                                             delta, src_bounds);
                 regs[fi.dst] = res.raw();
                 bounds[fi.dst] = src_bounds;
-                continue;
+                SB_NEXT;
               }
-              case sb::Op::IfpIdx: {
+              SB_CASE(IfpIdx) {
                 TaggedPtr ptr(regs[fi.a]);
                 uint64_t new_index = ptr.subobjIndex() + fi.immB;
                 Bounds src_bounds = bounds[fi.a];
                 regs[fi.dst] = ops::ifpIdx(ptr, new_index).raw();
                 bounds[fi.dst] = src_bounds;
-                continue;
+                SB_NEXT;
               }
-              case sb::Op::IfpBnd: {
+              SB_CASE(IfpBnd) {
                 TaggedPtr ptr(regs[fi.a]);
                 regs[fi.dst] = ptr.raw();
                 bounds[fi.dst] = ops::ifpBnd(ptr, fi.immB);
-                continue;
+                SB_NEXT;
               }
-              case sb::Op::IfpChk:
+              SB_CASE(IfpChk)
                 // Writes the register only; the paired bounds register
                 // is untouched (matches the general path).
                 regs[fi.dst] = ops::ifpChk(TaggedPtr(regs[fi.a]),
                                            bounds[fi.a], fi.immB)
                                    .raw();
-                continue;
-              case sb::Op::MovGlobalBnd: {
+                SB_NEXT;
+              SB_CASE(MovGlobalBnd) {
                 TaggedPtr ptr(fi.immA);
                 regs[fi.dst] = fi.immA;
                 bounds[fi.dst] = ops::ifpBnd(ptr, fi.immB);
-                continue;
+                SB_NEXT;
               }
 
               // --- sync: memory ---
-              case sb::Op::Load: {
+              SB_CASE(Load) {
                 pre(fi);
                 charge(1, CycleClass::Mem);
                 uint64_t raw =
                     (fi.flags & sb::kAReg) ? regs[fi.a] : fi.immA;
                 doLoad(fi, raw);
-                continue;
+                SB_NEXT;
               }
-              case sb::Op::Store: {
+              SB_CASE(Store) {
                 pre(fi);
                 charge(1, CycleClass::Mem);
                 uint64_t value =
@@ -1428,10 +1550,10 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                 uint64_t raw =
                     (fi.flags & sb::kBReg) ? regs[fi.b] : fi.immB;
                 doStore(fi, raw, value);
-                continue;
+                SB_NEXT;
               }
-              case sb::Op::FusedGepLoad:
-              case sb::Op::FusedGepStore: {
+              SB_CASE(FusedGepLoad)
+              SB_CASE(FusedGepStore) {
                 pre(fi);
                 instrs_ += fi.sub + 1u;
                 cycles_ += fi.sub + 1u;
@@ -1456,10 +1578,10 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                                          : fi.immC;
                     doStore(fi, raw, value);
                 }
-                continue;
+                SB_NEXT;
               }
-              case sb::Op::FusedIfpAddLoad:
-              case sb::Op::FusedIfpAddStore: {
+              SB_CASE(FusedIfpAddLoad)
+              SB_CASE(FusedIfpAddStore) {
                 pre(fi);
                 instrs_ += 2;
                 cycles_ += 2;
@@ -1484,10 +1606,10 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                                          : fi.immC;
                     doStore(fi, res.raw(), value);
                 }
-                continue;
+                SB_NEXT;
               }
-              case sb::Op::FusedChkLoad:
-              case sb::Op::FusedChkStore: {
+              SB_CASE(FusedChkLoad)
+              SB_CASE(FusedChkStore) {
                 pre(fi);
                 instrs_ += 2;
                 cycles_ += 2;
@@ -1512,11 +1634,11 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                                          : fi.immC;
                     doStore(fi, raw, value);
                 }
-                continue;
+                SB_NEXT;
               }
 
               // --- sync: other ---
-              case sb::Op::Div: {
+              SB_CASE(Div) {
                 pre(fi);
                 charge(1, CycleClass::Base);
                 uint64_t va =
@@ -1546,9 +1668,9 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                         sext(res, fi.sextBits));
                 regs[fi.dst] = res;
                 bounds[fi.dst] = Bounds::cleared();
-                continue;
+                SB_NEXT;
               }
-              case sb::Op::Alloca:
+              SB_CASE(Alloca)
                 pre(fi);
                 charge(1, CycleClass::Base);
                 sp_ = roundDown(sp_ - fi.size, 16);
@@ -1557,8 +1679,8 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                                     func->name());
                 regs[fi.dst] = sp_;
                 bounds[fi.dst] = Bounds::cleared();
-                continue;
-              case sb::Op::Call:
+                SB_NEXT;
+              SB_CASE(Call)
                 pre(fi);
                 charge(1, CycleClass::Base);
                 doCall(fi, fi.callee,
@@ -1569,8 +1691,8 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                     return execGeneral(func, frame, ret_bounds, depth,
                                        cur, fi.nextIp, saved_bounds);
                 }
-                continue;
-              case sb::Op::CallPtr: {
+                SB_NEXT;
+              SB_CASE(CallPtr) {
                 pre(fi);
                 charge(1, CycleClass::Base);
                 uint64_t fid =
@@ -1591,9 +1713,9 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                     return execGeneral(func, frame, ret_bounds, depth,
                                        cur, fi.nextIp, saved_bounds);
                 }
-                continue;
+                SB_NEXT;
               }
-              case sb::Op::MallocTyped: {
+              SB_CASE(MallocTyped) {
                 pre(fi);
                 charge(1, CycleClass::Runtime);
                 uint64_t count =
@@ -1613,9 +1735,9 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                     return execGeneral(func, frame, ret_bounds, depth,
                                        cur, fi.nextIp, saved_bounds);
                 }
-                continue;
+                SB_NEXT;
               }
-              case sb::Op::FreePtr: {
+              SB_CASE(FreePtr) {
                 pre(fi);
                 charge(1, CycleClass::Runtime);
                 GuestAddr addr = layout::canonical(
@@ -1631,9 +1753,9 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                     return execGeneral(func, frame, ret_bounds, depth,
                                        cur, fi.nextIp, saved_bounds);
                 }
-                continue;
+                SB_NEXT;
               }
-              case sb::Op::Promote: {
+              SB_CASE(Promote) {
                 pre(fi);
                 charge(1, CycleClass::Promote);
                 PromoteResult result =
@@ -1645,9 +1767,9 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                 cycles_ += extra;
                 chargeClass(CycleClass::Promote, extra);
                 cPromoteInstrs_++;
-                continue;
+                SB_NEXT;
               }
-              case sb::Op::RegisterObj: {
+              SB_CASE(RegisterObj) {
                 pre(fi);
                 charge(1, CycleClass::Runtime);
                 RuntimeCost cost;
@@ -1670,9 +1792,9 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                     return execGeneral(func, frame, ret_bounds, depth,
                                        cur, fi.nextIp, saved_bounds);
                 }
-                continue;
+                SB_NEXT;
               }
-              case sb::Op::DeregisterObj: {
+              SB_CASE(DeregisterObj) {
                 pre(fi);
                 charge(1, CycleClass::Runtime);
                 TaggedPtr ptr((fi.flags & sb::kAReg) ? regs[fi.a]
@@ -1689,9 +1811,9 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                     return execGeneral(func, frame, ret_bounds, depth,
                                        cur, fi.nextIp, saved_bounds);
                 }
-                continue;
+                SB_NEXT;
               }
-              case sb::Op::IfpMallocTyped: {
+              SB_CASE(IfpMallocTyped) {
                 pre(fi);
                 charge(1, CycleClass::Runtime);
                 uint64_t count =
@@ -1715,9 +1837,9 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                     return execGeneral(func, frame, ret_bounds, depth,
                                        cur, fi.nextIp, saved_bounds);
                 }
-                continue;
+                SB_NEXT;
               }
-              case sb::Op::IfpFree: {
+              SB_CASE(IfpFree) {
                 pre(fi);
                 charge(1, CycleClass::Runtime);
                 TaggedPtr ptr((fi.flags & sb::kAReg) ? regs[fi.a]
@@ -1733,16 +1855,16 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                     return execGeneral(func, frame, ret_bounds, depth,
                                        cur, fi.nextIp, saved_bounds);
                 }
-                continue;
+                SB_NEXT;
               }
 
               // --- terminators ---
-              case sb::Op::Jmp:
+              SB_CASE(Jmp)
                 pre(fi);
                 charge(1, CycleClass::Base);
                 cur = fi.target0;
                 goto block_done;
-              case sb::Op::Br: {
+              SB_CASE(Br) {
                 pre(fi);
                 charge(1, CycleClass::Base);
                 uint64_t cond =
@@ -1750,7 +1872,7 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                 cur = cond != 0 ? fi.target0 : fi.target1;
                 goto block_done;
               }
-              case sb::Op::FusedCmpBr: {
+              SB_CASE(FusedCmpBr) {
                 pre(fi);
                 charge(2, CycleClass::Base);
                 uint64_t va =
@@ -1764,7 +1886,7 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                 cur = res ? fi.target0 : fi.target1;
                 goto block_done;
               }
-              case sb::Op::Ret: {
+              SB_CASE(Ret) {
                 pre(fi);
                 charge(1, CycleClass::Base);
                 if (saved_bounds) {
@@ -1788,7 +1910,7 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                     return 0;
                 return areg ? regs[fi.a] : fi.immA;
               }
-              case sb::Op::Trap:
+              SB_CASE(Trap)
                 pre(fi);
                 charge(1, CycleClass::Base);
                 throw GuestTrap(
@@ -1804,6 +1926,49 @@ Machine::execSuperblock(const Function *func, Frame &frame,
                 profileSample(depth);
         }
     }
+}
+
+#undef fi
+#undef SB_NEXT
+#undef SB_CASE
+
+uint64_t
+Machine::execSuperblock(const Function *func, Frame &frame,
+                        Bounds *ret_bounds, unsigned depth,
+                        unsigned saved_bounds)
+{
+#if INFAT_SB_THREADED
+    if (config_.threadedDispatch)
+        return execSuperblockImpl<true>(func, frame, ret_bounds,
+                                        depth, saved_bounds);
+#endif
+    return execSuperblockImpl<false>(func, frame, ret_bounds, depth,
+                                     saved_bounds);
+}
+
+void
+Machine::invalidateTieredCode(const char *reason)
+{
+    if (tier_ == nullptr)
+        return;
+    // Un-publish before freeing: once jitId drops back to kJitNone no
+    // dispatch loop can reach the stale unit, so releasing the arena
+    // afterwards is safe (jitted code never holds control while
+    // interpreter-context code runs).
+    for (const std::unique_ptr<sb::FunctionCode> &fc : sbCode_) {
+        if (!fc)
+            continue;
+        for (const sb::Block &blk : fc->blocks) {
+            blk.jitId = sb::kJitNone;
+            blk.hotCount = 0;
+        }
+        // fill, not assign: emitted code bakes slot addresses, so the
+        // storage must stay put for code compiled after the deopt.
+        std::fill(fc->jitEntries.begin(), fc->jitEntries.end(),
+                  nullptr);
+    }
+    tier_->invalidateAll();
+    log_debug("tier: deoptimized jitted code (%s)", reason);
 }
 
 } // namespace infat

@@ -44,6 +44,9 @@
 #include "support/stats.hh"
 
 namespace infat {
+namespace ir {
+class Module;
+} // namespace ir
 namespace sb {
 
 /**
@@ -173,16 +176,35 @@ struct Record
     const ir::Function *callee = nullptr;
 };
 
+/** Tier-promotion states of Block::jitId (vm/tier.hh). */
+constexpr int32_t kJitNone = -1;  // not promoted (yet)
+constexpr int32_t kJitNever = -2; // compile failed; never retry
+
 struct Block
 {
     std::vector<Record> records;
     /** Sum of all static instruction charges in the block. */
     uint64_t totalInstr = 0;
+
+    // Tier-2 promotion state, owned by the dispatch loop. Host-side
+    // bookkeeping only (mutable: predecoded code is semantically
+    // const); reset by Machine::invalidateTieredCode.
+    mutable uint32_t hotCount = 0;
+    mutable int32_t jitId = kJitNone;
 };
 
 struct FunctionCode
 {
     std::vector<Block> blocks;
+    /**
+     * Chained entry point of each compiled block (vm/jit.hh), or null
+     * while the block is uncompiled. Sized to blocks by predecode;
+     * published by TierController::compile and read from emitted code
+     * so jitted terminators can jump block-to-block without returning
+     * to the dispatch loop. Host-side tier state like Block::jitId
+     * (mutable for the same reason); cleared on deoptimization.
+     */
+    mutable std::vector<const void *> jitEntries;
 };
 
 /** Predecode-time configuration (a snapshot of the VmConfig bits the

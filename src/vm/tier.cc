@@ -1,0 +1,71 @@
+#include "vm/tier.hh"
+
+namespace infat {
+
+TierController::TierController()
+    : stats_("vm.tier"),
+      promotions_(stats_.counter("jit_promotions")),
+      compileFailures_(stats_.counter("jit_compile_failures")),
+      blocksRun_(stats_.counter("jit_blocks")),
+      bailouts_(stats_.counter("jit_bailouts")),
+      coveredRecords_(stats_.counter("jit_covered_records")),
+      fullBlocks_(stats_.counter("jit_full_blocks")),
+      codeBytes_(stats_.counter("jit_code_bytes")),
+      deopts_(stats_.counter("deopts")),
+      thresholdStat_(stats_.counter("promotion_threshold")),
+      threadedStat_(stats_.counter("threaded_dispatch")),
+      jitStat_(stats_.counter("jit_active"))
+{
+    stats_.formula("jit_bailout_rate", [this] {
+        uint64_t runs = blocksRun_.value();
+        return runs == 0 ? 0.0
+                         : static_cast<double>(bailouts_.value()) /
+                               static_cast<double>(runs);
+    });
+}
+
+void
+TierController::configure(bool threaded, bool jit_on,
+                          uint32_t threshold)
+{
+    threadedStat_.set(threaded ? 1 : 0);
+    jitStat_.set(jit_on ? 1 : 0);
+    thresholdStat_.set(threshold);
+}
+
+int32_t
+TierController::compile(const sb::FunctionCode &fc, uint32_t block_id)
+{
+    jit::BlockCtx ctx;
+    ctx.blocks = fc.blocks.data();
+    ctx.jitEntries = fc.jitEntries.data();
+    ctx.blockId = block_id;
+    jit::CompiledBlock unit;
+    if (!jit::compileBlock(ctx, bind_, arena_, unit)) {
+        compileFailures_++;
+        return -1;
+    }
+    promotions_++;
+    coveredRecords_ += unit.covered;
+    if (unit.full)
+        fullBlocks_++;
+    codeBytes_.set(arena_.bytesUsed());
+    units_.push_back(unit);
+    // Publish the chained entry: terminators of other compiled blocks
+    // in this function may now jump here directly.
+    fc.jitEntries[block_id] = unit.chainEntry;
+    return static_cast<int32_t>(units_.size() - 1);
+}
+
+void
+TierController::invalidateAll()
+{
+    if (units_.empty())
+        return;
+    units_.clear();
+    arena_.releaseAll();
+    codeBytes_.set(0);
+    deopts_++;
+}
+
+} // namespace infat

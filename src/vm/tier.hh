@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tier controller for the tiered execution subsystem.
+ *
+ * The superblock engine runs at three tiers behind one bit-identical
+ * contract (simulated stats never move by a single count between
+ * tiers; see docs/PERFORMANCE.md "Tiered execution"):
+ *
+ *   tier 0  switch-dispatched superblock interpreter (PR 4)
+ *   tier 1  direct-threaded dispatch (computed goto) of the same
+ *           record arrays — pure code-layout change, no state here
+ *   tier 2  x86-64 template JIT (vm/jit.hh) for hot blocks
+ *
+ * This controller owns tier 2's moving parts: the promotion policy
+ * (a block is compiled when its execution counter crosses a
+ * deterministic threshold, VmConfig::jitThreshold), the executable
+ * arena and compiled-unit table, and deoptimization (invalidateAll
+ * drops every unit; Machine::invalidateTieredCode resets the
+ * per-block promotion state and calls it when predecoded code or the
+ * layout table is invalidated). It also owns the `vm.tier.*` stat
+ * group — host-side observability, excluded from engine diffs exactly
+ * like `vm.superblock.*` (see docs/OBSERVABILITY.md).
+ */
+
+#ifndef INFAT_VM_TIER_HH
+#define INFAT_VM_TIER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/exec_mem.hh"
+#include "support/stats.hh"
+#include "vm/jit.hh"
+
+namespace infat {
+
+class TierController
+{
+  public:
+    TierController();
+
+    /** Bake machine-state addresses into subsequently compiled code. */
+    void bind(const jit::MachineBinding &binding) { bind_ = binding; }
+
+    /**
+     * Record the resolved tier configuration (shown by vm.tier.* and
+     * the bench provenance block).
+     */
+    void configure(bool threaded, bool jit_on, uint32_t threshold);
+
+    /**
+     * Compile block @p block_id of @p fc after it crossed the
+     * promotion threshold, publishing its chained entry point in
+     * fc.jitEntries on success. Returns a unit id >= 0, or a negative
+     * value when the block has no usable template prefix (callers
+     * cache it as "never retry").
+     */
+    int32_t compile(const sb::FunctionCode &fc, uint32_t block_id);
+
+    const jit::CompiledBlock &
+    unit(int32_t id) const
+    {
+        return units_[static_cast<size_t>(id)];
+    }
+
+    /** One compiled-block entry (from the dispatch loop). */
+    void noteEnter() { blocksRun_++; }
+    /** jit_blocks cell, for chained entries to count themselves. */
+    uint64_t *blocksRunCell() { return blocksRun_.cell(); }
+    /** One bailout back to the interpreter. */
+    void noteBail() { bailouts_++; }
+
+    /**
+     * Deoptimize: drop every compiled unit and its executable memory.
+     * The caller must already have un-published every cached unit id
+     * (Machine::invalidateTieredCode does), since block code freed
+     * here must never be re-entered.
+     */
+    void invalidateAll();
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    StatGroup stats_;
+    Counter &promotions_;
+    Counter &compileFailures_;
+    Counter &blocksRun_;
+    Counter &bailouts_;
+    Counter &coveredRecords_;
+    Counter &fullBlocks_;
+    Counter &codeBytes_;
+    Counter &deopts_;
+    Counter &thresholdStat_;
+    Counter &threadedStat_;
+    Counter &jitStat_;
+
+    ExecArena arena_;
+    std::vector<jit::CompiledBlock> units_;
+    jit::MachineBinding bind_;
+};
+
+} // namespace infat
+
+#endif // INFAT_VM_TIER_HH

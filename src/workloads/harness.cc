@@ -74,6 +74,10 @@ execute(const Workload &workload, ir::Module &module,
     vm_config.superblocks &= globalTuning.superblocks;
     vm_config.superblockFusion &= globalTuning.superblockFusion;
     vm_config.superblockCheckElim &= globalTuning.superblockCheckElim;
+    vm_config.threadedDispatch &= globalTuning.threadedDispatch;
+    vm_config.jit &= globalTuning.jit;
+    if (globalTuning.jitThreshold != 0)
+        vm_config.jitThreshold = globalTuning.jitThreshold;
     if (obs && obs->forensics)
         vm_config.forensics = true;
 
@@ -196,6 +200,8 @@ runWorkloadCustomImpl(const Workload &workload, const CustomRun &custom,
     vm_config.superblocks = custom.superblocks;
     vm_config.superblockFusion = custom.superblockFusion;
     vm_config.superblockCheckElim = custom.superblockCheckElim;
+    vm_config.threadedDispatch = custom.threadedDispatch;
+    vm_config.jit = custom.jit;
 
     return execute(workload, module,
                    custom.instrumented ? &inst : nullptr, vm_config,
@@ -214,6 +220,61 @@ EngineTuning
 engineTuning()
 {
     return globalTuning;
+}
+
+namespace {
+
+struct NamedEngine
+{
+    const char *name;
+    EngineTuning tuning;
+};
+
+/** Order matters: ablation tables iterate slowest-to-fastest. */
+const NamedEngine namedEngines[] = {
+    // name               sb     fuse   elim   thread jit
+    {"general", {false, false, false, false, false, 0}},
+    {"superblock-base", {true, false, false, false, false, 0}},
+    {"superblock-nofuse", {true, false, true, false, false, 0}},
+    {"superblock-noelim", {true, true, false, false, false, 0}},
+    {"superblock", {true, true, true, false, false, 0}},
+    {"threaded", {true, true, true, true, false, 0}},
+    {"jit", {true, true, true, true, true, 0}},
+};
+
+} // namespace
+
+std::vector<std::string>
+engineNames()
+{
+    std::vector<std::string> names;
+    for (const NamedEngine &e : namedEngines)
+        names.push_back(e.name);
+    return names;
+}
+
+bool
+engineTuningForName(std::string_view name, EngineTuning &out)
+{
+    for (const NamedEngine &e : namedEngines) {
+        if (name == e.name) {
+            out = e.tuning;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+engineNamesJoined()
+{
+    std::string joined;
+    for (const NamedEngine &e : namedEngines) {
+        if (!joined.empty())
+            joined += ", ";
+        joined += e.name;
+    }
+    return joined;
 }
 
 void

@@ -174,6 +174,8 @@ struct CustomRun
     bool superblocks = true;
     bool superblockFusion = true;
     bool superblockCheckElim = true;
+    bool threadedDispatch = true;
+    bool jit = true;
 };
 
 /** Human-readable label for a CustomRun ("custom-subheap+ss+l2"…). */
@@ -223,10 +225,38 @@ struct EngineTuning
     bool superblocks = true;
     bool superblockFusion = true;
     bool superblockCheckElim = true;
+    bool threadedDispatch = true;
+    bool jit = true;
+    /** When nonzero, overrides VmConfig::jitThreshold for every run. */
+    uint32_t jitThreshold = 0;
 };
 
 void setEngineTuning(const EngineTuning &tuning);
 EngineTuning engineTuning();
+
+/**
+ * Named host-engine selections, shared by every binary exposing an
+ * `--engine=` flag (bench_selfperf, ifpsim, the differential tools).
+ * From slowest to fastest:
+ *
+ *   general           general interpreter (superblocks off)
+ *   superblock-base   superblocks, no fusion / no check elimination
+ *   superblock-nofuse superblocks + check elimination, no fusion
+ *   superblock-noelim superblocks + fusion, no check elimination
+ *   superblock        full PR-4 superblock interpreter (switch dispatch)
+ *   threaded          superblock + tier-1 direct-threaded dispatch
+ *   jit               threaded + tier-2 x86-64 template JIT (default)
+ *
+ * All of them produce bit-identical simulated results; the name only
+ * picks the host execution strategy.
+ */
+std::vector<std::string> engineNames();
+
+/** Resolve @p name to its tuning; false (out untouched) if unknown. */
+bool engineTuningForName(std::string_view name, EngineTuning &out);
+
+/** Comma-separated engineNames() for error messages. */
+std::string engineNamesJoined();
 
 } // namespace workloads
 } // namespace infat

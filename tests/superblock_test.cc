@@ -57,6 +57,11 @@ struct EngineOptions
     bool attachProfiler = false;
     /** Enable trap-forensics allocation records (host-side only). */
     bool forensics = false;
+    // Tiered execution (vm/tier.hh). Host-side only; every simulated
+    // observable must be identical across tiers.
+    bool threadedDispatch = true;
+    bool jit = true;
+    uint32_t jitThreshold = 64;
 };
 
 EngineRun
@@ -76,6 +81,9 @@ runEngine(const BuildFn &build, const EngineOptions &opts)
     config.superblockCheckElim = opts.checkElim;
     config.maxInstructions = opts.maxInstructions;
     config.forensics = opts.forensics;
+    config.threadedDispatch = opts.threadedDispatch;
+    config.jit = opts.jit;
+    config.jitThreshold = opts.jitThreshold;
     CollectTraceSink sink;
     Machine machine(m, opts.instrument ? &inst.layouts : nullptr,
                     config);
@@ -106,12 +114,14 @@ runEngine(const BuildFn &build, const EngineOptions &opts)
     return run;
 }
 
-/** Compare two runs' snapshots, skipping the host-engine group. */
+/** Compare two runs' snapshots, skipping the host-engine groups
+ *  (vm.superblock: predecode shape; vm.tier: promotion/JIT activity —
+ *  both describe how the host executed, not what was simulated). */
 void
 expectStatsEqual(const StatSnapshot &a, const StatSnapshot &b)
 {
     for (const StatSnapshot::Group &ga : a.groups) {
-        if (ga.name == "vm.superblock")
+        if (ga.name == "vm.superblock" || ga.name == "vm.tier")
             continue;
         const StatSnapshot::Group *gb = b.findGroup(ga.name);
         ASSERT_NE(gb, nullptr) << "missing group " << ga.name;
@@ -169,17 +179,28 @@ expectEnginesAgree(const BuildFn &build, bool instrument,
         bool fusion;
         bool checkElim;
         bool profiler;
+        bool threaded;
+        bool jit;
+        uint32_t jitThreshold;
     };
     const Variant variants[] = {
-        {"superblock", true, true, false},
-        {"superblock-nofuse", false, true, false},
-        {"superblock-noelim", true, false, false},
-        {"superblock-base", false, false, false},
+        {"superblock", true, true, false, false, false, 64},
+        {"superblock-nofuse", false, true, false, false, false, 64},
+        {"superblock-noelim", true, false, false, false, false, 64},
+        {"superblock-base", false, false, false, false, false, 64},
+        // Tier 1 (direct-threaded dispatch) and tier 2 (template JIT,
+        // threshold 2 so even short tests promote) over the same
+        // record streams: bit-identical by construction, gated here.
+        {"threaded", true, true, false, true, false, 64},
+        {"jit", true, true, false, true, true, 2},
+        {"jit-base", false, false, false, true, true, 2},
         // The guest profiler and forensics records are host-side
         // only: attaching them must not perturb any simulated
-        // observable, in either engine.
-        {"superblock-profiled", true, true, true},
-        {"general-profiled", true, true, true},
+        // observable, in either engine (with the profiler attached
+        // the JIT stays cold — the interpreter path must still match).
+        {"superblock-profiled", true, true, true, false, false, 64},
+        {"jit-profiled", true, true, true, true, true, 2},
+        {"general-profiled", true, true, true, false, false, 64},
     };
     for (const Variant &v : variants) {
         EngineOptions opts = base;
@@ -187,6 +208,9 @@ expectEnginesAgree(const BuildFn &build, bool instrument,
         opts.checkElim = v.checkElim;
         opts.attachProfiler = v.profiler;
         opts.forensics = v.profiler;
+        opts.threadedDispatch = v.threaded;
+        opts.jit = v.jit;
+        opts.jitThreshold = v.jitThreshold;
         if (std::string(v.name) == "general-profiled")
             opts.superblocks = false;
         EngineRun got = runEngine(build, opts);
@@ -492,6 +516,195 @@ TEST(Superblock, TracerForcesGeneralPathWithIdenticalStats)
     EXPECT_EQ(traced_run.stats.scalar("vm.superblock", "functions"),
               0u);
     EXPECT_GT(sb_run.stats.scalar("vm.superblock", "functions"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Tiered execution (vm/tier.hh)
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** A hot self-loop plus a struct-access loop: exercises both the pure
+ *  templates and the fused-memory templates of the tier-2 JIT. */
+void
+buildTierWorkload(Module &m)
+{
+    declareLibc(m);
+    TypeContext &tc = m.types();
+    const Type *pair = m.types().createStruct("pair",
+                                              {tc.i64(), tc.i64()});
+    FunctionBuilder fb(m, "main", {}, tc.i64());
+    Value arr = fb.mallocTyped(pair, fb.iconst(16));
+    Value i = fb.var(tc.i64());
+    Value sum = fb.var(tc.i64());
+    fb.assign(i, fb.iconst(0));
+    fb.assign(sum, fb.iconst(0));
+    BlockId loop = fb.newBlock("loop");
+    BlockId done = fb.newBlock("done");
+    fb.jmp(loop);
+    fb.setBlock(loop);
+    Value p = fb.elemPtr(arr, fb.and_(i, fb.iconst(15)));
+    fb.storeField(p, 0, i);
+    fb.assign(sum, fb.add(sum, fb.loadField(p, 0)));
+    fb.assign(i, fb.addImm(i, 1));
+    fb.br(fb.slt(i, fb.iconst(2000)), loop, done);
+    fb.setBlock(done);
+    fb.freePtr(arr);
+    fb.ret(sum);
+}
+
+} // namespace
+
+TEST(Tier, PromotionIsDeterministic)
+{
+    // Two identical runs must promote the same blocks at the same
+    // guest-cycle points: every vm.tier scalar (and every simulated
+    // stat) must match exactly.
+    EngineOptions opts;
+    opts.instrument = true;
+    opts.jitThreshold = 4;
+    EngineRun a = runEngine(buildTierWorkload, opts);
+    EngineRun b = runEngine(buildTierWorkload, opts);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    const StatSnapshot::Group *ta = a.stats.findGroup("vm.tier");
+    const StatSnapshot::Group *tb = b.stats.findGroup("vm.tier");
+    ASSERT_NE(ta, nullptr);
+    ASSERT_NE(tb, nullptr);
+    EXPECT_EQ(ta->scalars, tb->scalars);
+    if (a.stats.scalar("vm.tier", "jit_active") == 1) {
+        EXPECT_GT(a.stats.scalar("vm.tier", "jit_promotions"), 0u);
+        EXPECT_GT(a.stats.scalar("vm.tier", "jit_blocks"), 0u);
+    }
+}
+
+TEST(Tier, TrapInsideJittedBlockBailsExactly)
+{
+    // The loop block is promoted long before the out-of-bounds
+    // iteration; the jitted code must detect the trap predicate,
+    // bail with no partial effects, and let the interpreter raise
+    // the identical trap (message, kind, counters, forensics).
+    auto build = [](Module &m) {
+        declareLibc(m);
+        TypeContext &tc = m.types();
+        FunctionBuilder fb(m, "main", {}, tc.i64());
+        Value arr = fb.mallocTyped(tc.i64(), fb.iconst(64));
+        Value i = fb.var(tc.i64());
+        fb.assign(i, fb.iconst(0));
+        BlockId loop = fb.newBlock("loop");
+        BlockId done = fb.newBlock("done");
+        fb.jmp(loop);
+        fb.setBlock(loop);
+        fb.store(i, fb.elemPtr(arr, i)); // traps when i == 64
+        fb.assign(i, fb.addImm(i, 1));
+        fb.br(fb.slt(i, fb.iconst(100)), loop, done);
+        fb.setBlock(done);
+        fb.ret(fb.iconst(0));
+    };
+
+    EngineOptions general;
+    general.instrument = true;
+    general.superblocks = false;
+    general.forensics = true;
+    EngineRun ref = runEngine(build, general);
+    ASSERT_TRUE(ref.trapped);
+
+    EngineOptions jit;
+    jit.instrument = true;
+    jit.jitThreshold = 2;
+    jit.forensics = true;
+    EngineRun got = runEngine(build, jit);
+    EXPECT_TRUE(got.trapped);
+    EXPECT_EQ(ref.trapWhat, got.trapWhat);
+    EXPECT_EQ(ref.trapKind, got.trapKind);
+    EXPECT_EQ(ref.instructions, got.instructions);
+    EXPECT_EQ(ref.cycles, got.cycles);
+    expectStatsEqual(ref.stats, got.stats);
+    if (got.stats.scalar("vm.tier", "jit_active") == 1) {
+        // The trap was discovered inside jitted code.
+        EXPECT_GT(got.stats.scalar("vm.tier", "jit_promotions"), 0u);
+        EXPECT_GT(got.stats.scalar("vm.tier", "jit_bailouts"), 0u);
+    }
+}
+
+TEST(Tier, DeoptOnInvalidationRepromotes)
+{
+    // A native hook invalidates all tiered code mid-run (the layout-
+    // table / code invalidation path): compiled units are dropped,
+    // hot counters reset, and the still-hot loop block re-promotes —
+    // with every simulated observable identical to the general path.
+    auto build = [](Module &m) {
+        declareLibc(m);
+        TypeContext &tc = m.types();
+        m.declareNative("tier_poke", {}, tc.voidTy());
+        FunctionBuilder fb(m, "main", {}, tc.i64());
+        Value sum = fb.var(tc.i64());
+        Value k = fb.var(tc.i64());
+        fb.assign(sum, fb.iconst(0));
+        fb.assign(k, fb.iconst(0));
+        BlockId outer = fb.newBlock("outer");
+        BlockId inner = fb.newBlock("inner");
+        BlockId innerDone = fb.newBlock("inner_done");
+        BlockId done = fb.newBlock("done");
+        fb.jmp(outer);
+        fb.setBlock(outer);
+        Value i = fb.var(tc.i64());
+        fb.assign(i, fb.iconst(0));
+        fb.jmp(inner);
+        fb.setBlock(inner);
+        fb.assign(sum, fb.add(sum, fb.xor_(i, k)));
+        fb.assign(i, fb.addImm(i, 1));
+        fb.br(fb.slt(i, fb.iconst(200)), inner, innerDone);
+        fb.setBlock(innerDone);
+        fb.call("tier_poke", {});
+        fb.assign(k, fb.addImm(k, 1));
+        fb.br(fb.slt(k, fb.iconst(3)), outer, done);
+        fb.setBlock(done);
+        fb.ret(sum);
+    };
+
+    auto runWith = [&](bool superblocks, bool jit_on,
+                       StatSnapshot *tier_out) {
+        Module m;
+        build(m);
+        InstrumentResult inst = instrumentModule(m);
+        verifyOrDie(m);
+        VmConfig config;
+        config.instrumented = true;
+        config.superblocks = superblocks;
+        config.jit = jit_on;
+        config.jitThreshold = 2;
+        Machine machine(m, &inst.layouts, config);
+        installLibc(machine);
+        machine.registerNative(
+            "tier_poke",
+            [](Machine &mm, const std::vector<uint64_t> &) {
+                mm.invalidateTieredCode("test invalidation");
+                return uint64_t{0};
+            });
+        EngineRun run;
+        run.checksum = machine.run();
+        run.instructions = machine.instructions();
+        run.cycles = machine.cycles();
+        machine.syncStats();
+        if (tier_out)
+            *tier_out = machine.statRegistry().snapshot();
+        return run;
+    };
+
+    StatSnapshot tiered;
+    EngineRun ref = runWith(false, false, nullptr);
+    EngineRun got = runWith(true, true, &tiered);
+    EXPECT_EQ(ref.checksum, got.checksum);
+    EXPECT_EQ(ref.instructions, got.instructions);
+    EXPECT_EQ(ref.cycles, got.cycles);
+    if (tiered.scalar("vm.tier", "jit_active") == 1) {
+        // Each poke drops the promoted inner-loop unit; the next
+        // outer iteration re-promotes it.
+        EXPECT_GE(tiered.scalar("vm.tier", "deopts"), 1u);
+        EXPECT_GE(tiered.scalar("vm.tier", "jit_promotions"), 2u);
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -61,7 +61,10 @@ compareStats(const std::string &where, const StatSnapshot &general_s,
         const StatSnapshot &a = dir == 0 ? general_s : sb_s;
         const StatSnapshot &b = dir == 0 ? sb_s : general_s;
         for (const StatSnapshot::Group &ga : a.groups) {
-            if (ga.name == "vm.superblock")
+            // Both groups describe the host engine, not the
+            // simulation: vm.superblock (predecode shape, check
+            // execution) and vm.tier (dispatch tier / JIT activity).
+            if (ga.name == "vm.superblock" || ga.name == "vm.tier")
                 continue;
             const StatSnapshot::Group *gb = b.findGroup(ga.name);
             if (!gb) {

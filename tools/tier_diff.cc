@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Differential gate for tiered execution (vm/tier.hh): every workload,
+ * in both an uninstrumented and an instrumented configuration, must
+ * produce bit-identical simulated results (checksum, instruction and
+ * cycle counts, and the full stat snapshot) under every host execution
+ * tier:
+ *
+ *   superblock  switch-dispatched superblock interpreter (PR 4)
+ *   threaded    tier 1: direct-threaded (computed-goto) dispatch
+ *   jit         tier 2: x86-64 template JIT for hot blocks, with a
+ *               low promotion threshold so even short workloads
+ *               promote, execute jitted code, and exercise bailouts
+ *
+ * The only stat groups allowed to differ are "vm.superblock" and
+ * "vm.tier", which describe the host engine itself. On hosts where the
+ * template JIT is unavailable (non-x86-64, or W^X mapping denied) the
+ * jit tier degrades to the threaded interpreter; the comparison still
+ * runs, and the end-of-run summary records why no block was promoted.
+ *
+ * Exits non-zero and prints every divergence when any tier disagrees
+ * with the general interpreter. Registered as a ctest
+ * (infat_tier_diff).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "vm/jit.hh"
+#include "workloads/harness.hh"
+#include "workloads/workload.hh"
+
+using namespace infat;
+using namespace infat::workloads;
+
+namespace {
+
+int failures = 0;
+
+void
+reportMismatch(const std::string &where, const std::string &what,
+               const std::string &general_val,
+               const std::string &tier_val)
+{
+    ++failures;
+    std::fprintf(stderr, "MISMATCH %s: %s general=%s tier=%s\n",
+                 where.c_str(), what.c_str(), general_val.c_str(),
+                 tier_val.c_str());
+}
+
+void
+compareU64(const std::string &where, const std::string &what,
+           uint64_t general_val, uint64_t tier_val)
+{
+    if (general_val != tier_val)
+        reportMismatch(where, what, std::to_string(general_val),
+                       std::to_string(tier_val));
+}
+
+/** Compare snapshots both ways, ignoring the host-engine groups. */
+void
+compareStats(const std::string &where, const StatSnapshot &general_s,
+             const StatSnapshot &tier_s)
+{
+    for (int dir = 0; dir < 2; ++dir) {
+        const StatSnapshot &a = dir == 0 ? general_s : tier_s;
+        const StatSnapshot &b = dir == 0 ? tier_s : general_s;
+        for (const StatSnapshot::Group &ga : a.groups) {
+            if (ga.name == "vm.superblock" || ga.name == "vm.tier")
+                continue;
+            const StatSnapshot::Group *gb = b.findGroup(ga.name);
+            if (!gb) {
+                reportMismatch(where, "group " + ga.name,
+                               dir == 0 ? "present" : "absent",
+                               dir == 0 ? "absent" : "present");
+                continue;
+            }
+            if (dir != 0)
+                continue; // contents compared on the first pass
+            for (const auto &[name, v] : ga.scalars)
+                compareU64(where, ga.name + "." + name, v,
+                           gb->scalars.count(name)
+                               ? gb->scalars.at(name)
+                               : ~0ULL);
+            for (const auto &[name, v] : ga.formulas) {
+                auto it = gb->formulas.find(name);
+                if (it == gb->formulas.end() || it->second != v)
+                    reportMismatch(where, ga.name + "." + name,
+                                   std::to_string(v),
+                                   it == gb->formulas.end()
+                                       ? "absent"
+                                       : std::to_string(it->second));
+            }
+            for (const auto &[name, h] : ga.histograms) {
+                auto it = gb->histograms.find(name);
+                if (it == gb->histograms.end()) {
+                    reportMismatch(where, ga.name + "." + name,
+                                   "present", "absent");
+                    continue;
+                }
+                compareU64(where, ga.name + "." + name + ".count",
+                           h.count, it->second.count);
+                compareU64(where, ga.name + "." + name + ".sum", h.sum,
+                           it->second.sum);
+            }
+            for (const auto &[name, d] : ga.distributions) {
+                auto it = gb->distributions.find(name);
+                if (it == gb->distributions.end()) {
+                    reportMismatch(where, ga.name + "." + name,
+                                   "present", "absent");
+                    continue;
+                }
+                compareU64(where, ga.name + "." + name + ".count",
+                           d.count, it->second.count);
+                compareU64(where, ga.name + "." + name + ".sum", d.sum,
+                           it->second.sum);
+                compareU64(where, ga.name + "." + name + ".min", d.min,
+                           it->second.min);
+                compareU64(where, ga.name + "." + name + ".max", d.max,
+                           it->second.max);
+            }
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // --require-jit: refuse to pass when the template JIT does not
+    // back this host (CI's jit-smoke job on x86-64 runners; without
+    // the flag, unavailable hosts still run the comparison with the
+    // jit tier degraded to the threaded interpreter).
+    bool require_jit = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--require-jit")
+            require_jit = true;
+    if (require_jit && !jit::available()) {
+        std::fprintf(stderr,
+                     "tier_diff: --require-jit but the template JIT "
+                     "is unavailable on this host (%s)\n",
+                     jit::unavailableReason());
+        return 1;
+    }
+
+    const Config configs[] = {Config::Baseline, Config::Subheap};
+    const char *tiers[] = {"superblock", "threaded", "jit"};
+
+    int runs = 0;
+    uint64_t jit_promotions = 0;
+    uint64_t jit_blocks = 0;
+    uint64_t jit_bailouts = 0;
+    for (const Workload &workload : all()) {
+        for (Config config : configs) {
+            EngineTuning general;
+            general.superblocks = false;
+            setEngineTuning(general);
+            RunResult ref = runWorkload(workload, config);
+
+            for (const char *tier : tiers) {
+                std::string where = std::string(workload.name) + "/" +
+                                    toString(config) + "/" + tier;
+                EngineTuning tuning;
+                if (!engineTuningForName(tier, tuning)) {
+                    std::fprintf(stderr, "unknown tier %s\n", tier);
+                    return 1;
+                }
+                // Low threshold: promote (and bail from) jitted code
+                // even in short workloads.
+                if (tuning.jit)
+                    tuning.jitThreshold = 8;
+                setEngineTuning(tuning);
+                RunResult got = runWorkload(workload, config);
+
+                compareU64(where, "checksum", ref.checksum,
+                           got.checksum);
+                compareU64(where, "instructions", ref.instructions,
+                           got.instructions);
+                compareU64(where, "cycles", ref.cycles, got.cycles);
+                compareStats(where, ref.stats, got.stats);
+
+                if (got.stats.scalar("vm.superblock", "functions") ==
+                    0) {
+                    ++failures;
+                    std::fprintf(stderr,
+                                 "MISMATCH %s: superblock engine was "
+                                 "not active (0 functions "
+                                 "predecoded)\n",
+                                 where.c_str());
+                }
+                if (tuning.jit) {
+                    jit_promotions += got.stats.scalar(
+                        "vm.tier", "jit_promotions");
+                    jit_blocks +=
+                        got.stats.scalar("vm.tier", "jit_blocks");
+                    jit_bailouts +=
+                        got.stats.scalar("vm.tier", "jit_bailouts");
+                }
+                ++runs;
+            }
+        }
+    }
+
+    // The jit tier must have really executed jitted code somewhere in
+    // the matrix (otherwise this gate silently degrades to comparing
+    // the threaded interpreter against itself). Only enforceable when
+    // the template JIT backs this host.
+    if (jit::available()) {
+        if (jit_promotions == 0 || jit_blocks == 0) {
+            ++failures;
+            std::fprintf(stderr,
+                         "MISMATCH: template JIT is available but "
+                         "promoted %llu block(s) and ran %llu — the "
+                         "jit tier was never exercised\n",
+                         (unsigned long long)jit_promotions,
+                         (unsigned long long)jit_blocks);
+        }
+    } else {
+        std::fprintf(stderr,
+                     "note: template JIT unavailable on this host "
+                     "(%s); jit tier ran as threaded interpreter\n",
+                     jit::unavailableReason());
+    }
+
+    if (failures != 0) {
+        std::fprintf(stderr,
+                     "tier_diff: %d divergence(s) across %d runs\n",
+                     failures, runs);
+        return 1;
+    }
+    std::printf("tier_diff: %d runs bit-identical (all workloads x "
+                "{baseline, subheap} x {superblock, threaded, jit}); "
+                "jit promoted %llu block(s), ran %llu, bailed %llu\n",
+                runs, (unsigned long long)jit_promotions,
+                (unsigned long long)jit_blocks,
+                (unsigned long long)jit_bailouts);
+    return 0;
+}
