@@ -54,6 +54,17 @@ reportSuite(const char *label, const juliet::OracleSuiteResult &suite)
                 static_cast<unsigned long long>(suite.abstained),
                 static_cast<unsigned long long>(suite.falseNegatives),
                 static_cast<unsigned long long>(suite.falsePositives));
+    std::printf("temporal: %llu TP, %llu FN (%llu unexplained), "
+                "%llu FP, %zu explained misses\n",
+                static_cast<unsigned long long>(
+                    suite.temporalTruePositives),
+                static_cast<unsigned long long>(
+                    suite.temporalFalseNegatives),
+                static_cast<unsigned long long>(
+                    suite.temporalFalseNegativesUnexplained),
+                static_cast<unsigned long long>(
+                    suite.temporalFalsePositives),
+                suite.badExplained);
     if (suite.falseNegatives + suite.falsePositives > 0) {
         TextTable table({"cell", "FN", "FP"});
         for (const auto &[cell, counts] : suite.cells) {
@@ -156,7 +167,7 @@ main(int argc, char **argv)
             names.push_back(w.name);
     }
     TextTable table({"workload", "config", "checks", "abstained",
-                     "FN", "FP"});
+                     "FN", "FP", "temporal FP"});
     for (const std::string &name : names) {
         for (Config config : {Config::Wrapped, Config::Subheap}) {
             oracle::ShadowOracle shadow;
@@ -167,7 +178,9 @@ main(int argc, char **argv)
                           TextTable::cell(shadow.checks()),
                           TextTable::cell(shadow.abstained()),
                           TextTable::cell(shadow.falseNegatives()),
-                          TextTable::cell(shadow.falsePositives())});
+                          TextTable::cell(shadow.falsePositives()),
+                          TextTable::cell(
+                              shadow.temporalFalsePositives())});
             std::string prefix =
                 name + "_" + toString(config) + "_";
             workload_group.counter(prefix + "checks")
@@ -178,7 +191,10 @@ main(int argc, char **argv)
                 .set(shadow.falseNegatives());
             workload_group.counter(prefix + "false_positives")
                 .set(shadow.falsePositives());
-            if (shadow.falseNegatives() + shadow.falsePositives() > 0)
+            workload_group.counter(prefix + "temporal_false_positives")
+                .set(shadow.temporalFalsePositives());
+            if (shadow.falseNegatives() + shadow.falsePositives() +
+                    shadow.temporalFalsePositives() > 0)
                 ++failures;
         }
     }

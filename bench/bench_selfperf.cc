@@ -237,6 +237,54 @@ main(int argc, char **argv)
         workloads::setEngineTuning(tuningForEngine(engine));
     }
 
+    // Temporal lock-and-key overhead: the instrumented matrix with
+    // IfpConfig::temporalEnabled on vs. off (everything else pinned),
+    // diffed on suite wall-clock, simulated cycles, and memory
+    // footprint. The resident-byte delta is the metadata cost of the
+    // generation locks (per-slot guest lock bytes in the subheap,
+    // widened metadata granules elsewhere); see DESIGN.md §8,
+    // "Temporal extension".
+    struct TemporalPass
+    {
+        double millis = 0.0;
+        uint64_t cycles = 0;
+        uint64_t residentBytes = 0;
+        uint64_t heapPeak = 0;
+    };
+    auto runTemporalPass = [&](bool enabled) {
+        auto t0 = std::chrono::steady_clock::now();
+        TemporalPass pass;
+        for (const Workload *w : ws) {
+            for (AllocatorKind alloc : {AllocatorKind::Subheap,
+                                        AllocatorKind::Wrapped}) {
+                workloads::CustomRun custom;
+                custom.allocator = alloc;
+                custom.ifp.temporalEnabled = enabled;
+                RunResult r = workloads::runWorkloadCustom(*w, custom);
+                pass.cycles += r.cycles;
+                pass.residentBytes += r.residentBytes;
+                pass.heapPeak += r.heapPeak;
+            }
+        }
+        pass.millis = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+        return pass;
+    };
+    std::fprintf(stderr, "  temporal pass (locks on)...\n");
+    TemporalPass temporal_on = runTemporalPass(true);
+    std::fprintf(stderr, "  temporal pass (locks off)...\n");
+    TemporalPass temporal_off = runTemporalPass(false);
+    double temporal_cycle_pct =
+        temporal_off.cycles > 0
+            ? 100.0 * (double(temporal_on.cycles) -
+                       double(temporal_off.cycles)) /
+                  double(temporal_off.cycles)
+            : 0.0;
+    int64_t temporal_meta_bytes =
+        int64_t(temporal_on.residentBytes) -
+        int64_t(temporal_off.residentBytes);
+
     double speedup =
         parallel.millis > 0.0 ? serial.millis / parallel.millis : 0.0;
     uint64_t instrs = totalInstructions(serial);
@@ -268,6 +316,14 @@ main(int argc, char **argv)
         table.addRow({strfmt("engine %s serial (ms)",
                              row.engine.c_str()),
                       TextTable::cell(uint64_t(row.millis))});
+    table.addRow({"temporal-on pass (ms)",
+                  TextTable::cell(uint64_t(temporal_on.millis))});
+    table.addRow({"temporal-off pass (ms)",
+                  TextTable::cell(uint64_t(temporal_off.millis))});
+    table.addRow({"temporal cycle overhead",
+                  strfmt("%.2f%%", temporal_cycle_pct)});
+    table.addRow({"temporal metadata bytes",
+                  strfmt("%lld", (long long)temporal_meta_bytes)});
     std::printf("%s", table.render().c_str());
     std::printf("\nserial and parallel passes produced bit-identical "
                 "simulated results (%zu runs compared)\n", runs);
@@ -317,6 +373,20 @@ main(int argc, char **argv)
         }
         json.endArray();
     }
+    json.key("temporal_overhead");
+    json.beginObject();
+    json.field("runs_per_pass", uint64_t(ws.size() * 2));
+    json.field("on_ms", temporal_on.millis);
+    json.field("off_ms", temporal_off.millis);
+    json.field("on_cycles", temporal_on.cycles);
+    json.field("off_cycles", temporal_off.cycles);
+    json.field("cycle_overhead_pct", temporal_cycle_pct);
+    json.field("on_resident_bytes", temporal_on.residentBytes);
+    json.field("off_resident_bytes", temporal_off.residentBytes);
+    json.field("metadata_bytes_delta", double(temporal_meta_bytes));
+    json.field("on_heap_peak", temporal_on.heapPeak);
+    json.field("off_heap_peak", temporal_off.heapPeak);
+    json.endObject();
     json.key("per_workload");
     json.beginArray();
     for (const WorkloadMatrix &m : serial.matrices) {

@@ -46,6 +46,14 @@ class FreeListAllocator
     /** Usable size of a live allocation. */
     uint64_t usableSize(GuestAddr addr) const;
 
+    /**
+     * Whether @p addr is the base of a live allocation. The runtime's
+     * free paths consult this before deallocate() so an invalid guest
+     * free (double free, interior pointer, wild address) becomes a
+     * guest-visible event instead of a host panic.
+     */
+    bool isLive(GuestAddr addr) const { return live_.count(addr) != 0; }
+
     /** High-water mark of arena consumption, headers included. */
     uint64_t peakFootprint() const { return peak_ - arenaBase_; }
 

@@ -48,6 +48,17 @@ struct IfpConfig
     static constexpr unsigned layoutEntryBytes = 16;
     static constexpr unsigned maxLayoutWalkDepth = 8;
 
+    // --- Temporal scheme (lock-and-key tag versioning) ---
+    /**
+     * Generation-key width. The key rides in pointer bits 47:44
+     * (layout::genBits); the matching lock lives with each scheme's
+     * metadata (local-offset word 1, subheap per-slot byte array,
+     * global-table row word 0). Generations wrap modulo 2^4, so a
+     * stale pointer aliases a live one after exactly 16 reuses of its
+     * slot — the documented residual false-negative window.
+     */
+    static constexpr unsigned temporalGenBits = 4;
+
     // --- Runtime feature toggles (benchmark configurations) ---
     /** When true, promote behaves as a nop (the "no-promote" variant). */
     bool noPromote = false;
@@ -55,12 +66,21 @@ struct IfpConfig
     bool macEnabled = true;
     /** Perform subobject narrowing when layout tables are present. */
     bool narrowingEnabled = true;
+    /**
+     * Compare the pointer's generation key against the allocation's
+     * lock during promote and validate frees (double/stale/interior
+     * free detection). Off = the spatial-only PR 7 behaviour.
+     */
+    bool temporalEnabled = true;
 
     // --- Timing (cycles; see DESIGN.md §5) ---
     unsigned promoteBaseCycles = 3;
     unsigned macCheckCycles = 2;
     unsigned divisionCycles = 8;
     unsigned layoutStepCycles = 1;
+    /** Extra latency of the key/lock comparison on the promote path
+     *  (one compare plus, for subheaps, the lock-byte fetch issue). */
+    unsigned temporalCheckCycles = 1;
 };
 
 } // namespace infat

@@ -19,15 +19,20 @@ LocalOffsetMeta::word0() const
 void
 LocalOffsetMeta::write(GuestMemory &mem, GuestAddr meta_addr,
                        uint64_t object_size, GuestAddr layout_table,
-                       const MacKey &key)
+                       const MacKey &key, uint64_t generation)
 {
     panic_if(object_size > mask(16), "local-offset object too large");
     LocalOffsetMeta meta;
     meta.objectSize = object_size;
     meta.layoutTable = layout::canonical(layout_table);
+    uint64_t gen = generation & mask(4);
     uint64_t w0 = meta.word0();
-    uint64_t m = mac48(w0, layout::canonical(meta_addr), key.k0, key.k1);
-    uint64_t w1 = m | (static_cast<uint64_t>(magicValue) << 48);
+    // Fold the generation lock into the MAC's address word so rolling
+    // the lock bits back cannot revalidate a stale pointer.
+    uint64_t m = mac48(w0, layout::canonical(meta_addr) | (gen << 56),
+                       key.k0, key.k1);
+    uint64_t w1 = m | (static_cast<uint64_t>(magicValue) << 48) |
+                  (gen << 56);
     mem.store<uint64_t>(meta_addr, w0);
     mem.store<uint64_t>(meta_addr + 8, w1);
 }
@@ -42,6 +47,7 @@ LocalOffsetMeta::read(GuestMemory &mem, GuestAddr meta_addr)
     meta.layoutTable = bits(w0, 63, 16);
     meta.mac = bits(w1, 47, 0);
     meta.magic = static_cast<uint8_t>(bits(w1, 55, 48));
+    meta.generation = static_cast<uint8_t>(bits(w1, 59, 56));
     return meta;
 }
 
@@ -51,7 +57,10 @@ LocalOffsetMeta::verify(GuestAddr meta_addr, const MacKey &key) const
     if (magic != magicValue)
         return false;
     uint64_t expect =
-        mac48(word0(), layout::canonical(meta_addr), key.k0, key.k1);
+        mac48(word0(),
+              layout::canonical(meta_addr) |
+                  (static_cast<uint64_t>(generation) << 56),
+              key.k0, key.k1);
     return mac == expect;
 }
 
@@ -139,7 +148,8 @@ GlobalTableRow::write(GuestMemory &mem, GuestAddr table_base,
 {
     GuestAddr addr = rowAddr(table_base, index);
     uint64_t w0 = layout::canonical(row.base) |
-                  (static_cast<uint64_t>(row.valid ? 1 : 0) << 48);
+                  (static_cast<uint64_t>(row.valid ? 1 : 0) << 48) |
+                  (static_cast<uint64_t>(row.generation & mask(4)) << 50);
     mem.store<uint64_t>(addr, w0);
     mem.store<uint64_t>(addr + 8, row.size);
 }
@@ -151,8 +161,9 @@ GlobalTableRow::read(GuestMemory &mem, GuestAddr table_base,
     GuestAddr addr = rowAddr(table_base, index);
     uint64_t w0 = mem.load<uint64_t>(addr);
     GlobalTableRow row;
-    row.base = bits(w0, 47, 0);
+    row.base = bits(w0, 43, 0);
     row.valid = bits(w0, 48, 48) != 0;
+    row.generation = static_cast<uint8_t>(bits(w0, 53, 50));
     row.size = mem.load<uint64_t>(addr + 8);
     return row;
 }

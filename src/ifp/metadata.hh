@@ -4,10 +4,12 @@
  *
  * Local offset (16 bytes, appended after the object, granule-aligned):
  *   word0: bits 15:0 object size, bits 63:16 layout-table address
- *          (canonical 48-bit; 0 = no layout table)
- *   word1: bits 47:0 MAC, bits 55:48 magic 0xA5, bits 63:56 reserved
- *   The MAC covers (word0, metadata address) so metadata cannot be
- *   replayed at a different location.
+ *          (canonical; 0 = no layout table)
+ *   word1: bits 47:0 MAC, bits 55:48 magic 0xA5, bits 59:56 temporal
+ *          generation lock, bits 63:60 reserved
+ *   The MAC covers (word0, metadata address, generation) so metadata
+ *   cannot be replayed at a different location and a stale pointer
+ *   cannot be revalidated by rolling the lock back.
  *
  * Subheap block metadata (32 bytes, shared by all objects in a block):
  *   word0: bits 31:0 slot-array start offset, bits 63:32 end offset
@@ -15,11 +17,16 @@
  *   word1: bits 31:0 slot size, bits 63:32 object size
  *   word2: bits 47:0 layout-table address, bit 48 valid flag
  *   word3: bits 47:0 MAC over (word0..word2, block base)
+ *   Immediately after the 32 MAC'd bytes sits one generation-lock byte
+ *   per slot (xTag-style side array, not MAC'd: it mutates on every
+ *   free and re-MACing the block each time would defeat the shared-
+ *   metadata design; see DESIGN.md "temporal scheme").
  *
  * Global table row (16 bytes):
  *   word0: bits 47:0 object base address, bit 48 valid flag,
  *          bit 49 layout-table-present (unused: the prototype devotes
- *          all 12 tag bits to the row index, so no narrowing, §3.3.3)
+ *          all 12 tag bits to the row index, so no narrowing, §3.3.3),
+ *          bits 53:50 temporal generation lock
  *   word1: object size
  *   Rows live in runtime-owned memory and carry no MAC (the table is
  *   the integrity root the other schemes defend with MACs).
@@ -44,13 +51,15 @@ struct LocalOffsetMeta
     GuestAddr layoutTable = 0; // 0 = none
     uint64_t mac = 0;
     uint8_t magic = 0;
+    /** Temporal generation lock (bits 59:56 of word1, MAC-covered). */
+    uint8_t generation = 0;
 
     static constexpr uint8_t magicValue = 0xA5;
 
     /** Encode + MAC and write to guest memory at @p meta_addr. */
     static void write(GuestMemory &mem, GuestAddr meta_addr,
                       uint64_t object_size, GuestAddr layout_table,
-                      const MacKey &key);
+                      const MacKey &key, uint64_t generation = 0);
 
     /** Read raw words from @p meta_addr and decode (no verification). */
     static LocalOffsetMeta read(GuestMemory &mem, GuestAddr meta_addr);
@@ -88,6 +97,16 @@ struct SubheapBlockMeta
     static void erase(GuestMemory &mem, GuestAddr block_base,
                       uint32_t meta_offset);
 
+    /**
+     * Guest address of slot @p slot's generation-lock byte: the
+     * per-slot side array starts right after the 32 MAC'd bytes.
+     */
+    static GuestAddr
+    genAddr(GuestAddr block_base, uint32_t meta_offset, uint64_t slot)
+    {
+        return block_base + meta_offset + 32 + slot;
+    }
+
   private:
     void encodeWords(uint64_t words[3]) const;
 };
@@ -98,6 +117,8 @@ struct GlobalTableRow
     GuestAddr base = 0;
     uint64_t size = 0;
     bool valid = false;
+    /** Temporal generation lock (bits 53:50 of word0). */
+    uint8_t generation = 0;
 
     static void write(GuestMemory &mem, GuestAddr table_base,
                       uint64_t index, const GlobalTableRow &row);

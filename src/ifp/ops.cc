@@ -14,8 +14,9 @@ ifpAdd(TaggedPtr ptr, int64_t delta, const Bounds &bounds)
         old_addr + static_cast<uint64_t>(delta));
     TaggedPtr result = ptr.withAddr(new_addr);
 
-    if (ptr.poison() == Poison::Invalid)
-        return result; // invalid is sticky
+    if (ptr.poison() == Poison::Invalid ||
+        ptr.poison() == Poison::TemporalStale)
+        return result; // invalid / stale are sticky
 
     if (ptr.scheme() == Scheme::LocalOffset) {
         int64_t granules_crossed =
@@ -48,7 +49,8 @@ ifpAdd(TaggedPtr ptr, int64_t delta, const Bounds &bounds)
 TaggedPtr
 ifpIdx(TaggedPtr ptr, uint64_t subobj_index)
 {
-    if (ptr.poison() == Poison::Invalid)
+    if (ptr.poison() == Poison::Invalid ||
+        ptr.poison() == Poison::TemporalStale)
         return ptr;
     // Legacy and global-table pointers carry no subobject-index field;
     // the instruction is a no-op for them (narrowing happens through
@@ -69,7 +71,7 @@ ifpBnd(TaggedPtr ptr, uint64_t size)
 {
     GuestAddr lower = ptr.addr();
     // Saturate at the top of the canonical space: lower is canonical
-    // (< 2^48) but lower + size can pass 2^48 -- or wrap the full
+    // (< 2^addrBits) but lower + size can pass it -- or wrap the full
     // 64-bit range -- and an upper below lower would turn contains()
     // into a pass-nothing or pass-everything predicate.
     GuestAddr upper = lower + size;
@@ -83,7 +85,7 @@ ifpBndRange(GuestAddr lower, GuestAddr upper)
 {
     // The range form takes explicit integers, not tagged pointers:
     // saturate the upper limit rather than canonicalizing it, which
-    // would wrap 2^48 (one past the last canonical byte) to 0.
+    // would wrap 2^addrBits (one past the last canonical byte) to 0.
     if (upper > layout::addrMask + 1)
         upper = layout::addrMask + 1;
     return Bounds(layout::canonical(lower), upper);
@@ -94,7 +96,8 @@ ifpChk(TaggedPtr ptr, const Bounds &bounds, uint64_t access_size)
 {
     if (!bounds.valid())
         return ptr; // unchecked (legacy / demoted)
-    if (ptr.poison() == Poison::Invalid)
+    if (ptr.poison() == Poison::Invalid ||
+        ptr.poison() == Poison::TemporalStale)
         return ptr;
     Poison poison = bounds.contains(ptr.addr(), access_size)
                         ? Poison::Valid

@@ -22,6 +22,8 @@ toString(PromoteResult::Outcome outcome)
         return "retrieved";
       case PromoteResult::Outcome::MetaInvalid:
         return "meta_invalid";
+      case PromoteResult::Outcome::TemporalStale:
+        return "temporal_stale";
     }
     return "unknown";
 }
@@ -41,6 +43,8 @@ PromoteEngine::PromoteEngine(GuestMemory &mem, Cache *l1d,
       schemeSubheap_(stats_.counter("scheme_subheap")),
       schemeGlobal_(stats_.counter("scheme_global")),
       macFail_(stats_.counter("mac_fail")),
+      bypassStale_(stats_.counter("bypass_stale")),
+      temporalStale_(stats_.counter("temporal_stale")),
       slotDivisions_(stats_.counter("slot_divisions")),
       walkDivisions_(stats_.counter("walk_divisions")),
       narrowAttempts_(stats_.counter("narrow_attempts")),
@@ -88,12 +92,25 @@ PromoteEngine::poisonResult(TaggedPtr ptr, unsigned cycles)
 }
 
 PromoteResult
+PromoteEngine::staleResult(TaggedPtr ptr, unsigned cycles)
+{
+    PromoteResult result;
+    result.outcome = PromoteResult::Outcome::TemporalStale;
+    result.ptr = ptr.withPoison(Poison::TemporalStale);
+    result.bounds = Bounds::cleared();
+    result.cycles = cycles;
+    temporalStale_++;
+    return result;
+}
+
+PromoteResult
 PromoteEngine::promote(TaggedPtr ptr)
 {
     PromoteResult result = promoteImpl(ptr);
     promoteCycles_.sample(result.cycles);
     if (result.retrieved() ||
-        result.outcome == PromoteResult::Outcome::MetaInvalid) {
+        result.outcome == PromoteResult::Outcome::MetaInvalid ||
+        result.outcome == PromoteResult::Outcome::TemporalStale) {
         retrieveCycles_.sample(result.cycles);
     }
     return result;
@@ -117,14 +134,21 @@ PromoteEngine::promoteImpl(TaggedPtr ptr)
     }
 
     // Figure 5: an invalid pointer must not drive a metadata lookup
-    // (the lookup depends on the pointer value and could fault).
-    if (ptr.poison() == Poison::Invalid) {
+    // (the lookup depends on the pointer value and could fault). A
+    // stale pointer is bypassed for the same reason — its slot may by
+    // now describe a different live object whose metadata would
+    // revalidate it.
+    if (ptr.poison() == Poison::Invalid ||
+        ptr.poison() == Poison::TemporalStale) {
         PromoteResult result;
         result.outcome = PromoteResult::Outcome::BypassPoisoned;
         result.ptr = ptr;
         result.bounds = Bounds::cleared();
         result.cycles = cycles;
-        bypassInvalid_++;
+        if (ptr.poison() == Poison::TemporalStale)
+            bypassStale_++;
+        else
+            bypassInvalid_++;
         return result;
     }
 
@@ -194,6 +218,8 @@ PromoteEngine::retrieveLocalOffset(TaggedPtr ptr)
         meta.objectSize > IfpConfig::localMaxObjectBytes) {
         return poisonResult(ptr, cycles);
     }
+    if (generationMismatch(ptr, meta.generation, cycles))
+        return staleResult(ptr, cycles);
 
     // Object base: metadata directly follows the granule-padded object.
     GuestAddr base =
@@ -241,6 +267,16 @@ PromoteEngine::retrieveSubheap(TaggedPtr ptr)
     cycles += isPowerOf2(meta.slotSize) ? 1 : config_.divisionCycles;
     slotDivisions_++;
     uint64_t slot = (rel - meta.slotsStart) / meta.slotSize;
+    if (config_.temporalEnabled) {
+        // Fetch the slot's generation-lock byte from the per-block
+        // side array (metadata.hh): one extra cached byte load.
+        GuestAddr gen_addr =
+            SubheapBlockMeta::genAddr(block_base, ctrl.metaOffset, slot);
+        fetch(gen_addr, 1, cycles);
+        uint8_t lock = mem_.load<uint8_t>(gen_addr);
+        if (generationMismatch(ptr, lock, cycles))
+            return staleResult(ptr, cycles);
+    }
     GuestAddr base = block_base + meta.slotsStart + slot * meta.slotSize;
     Bounds object_bounds(base, base + meta.objectSize);
     return finish(ptr, object_bounds, meta.layoutTable, cycles);
@@ -260,6 +296,8 @@ PromoteEngine::retrieveGlobalTable(TaggedPtr ptr)
         GlobalTableRow::read(mem_, regs_.globalTableBase, index);
     if (!row.valid || row.size == 0)
         return poisonResult(ptr, cycles);
+    if (generationMismatch(ptr, row.generation, cycles))
+        return staleResult(ptr, cycles);
 
     Bounds object_bounds(row.base, row.base + row.size);
     // All 12 tag bits are the row index, so there is no subobject index

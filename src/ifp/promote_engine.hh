@@ -39,6 +39,12 @@ struct PromoteResult
         Retrieved,
         /** Metadata fetched but invalid; output poisoned. */
         MetaInvalid,
+        /**
+         * Metadata valid but the pointer's generation key does not
+         * match the allocation's lock: the object was freed (and
+         * possibly its slot reused). Output poisoned TemporalStale.
+         */
+        TemporalStale,
     };
 
     Outcome outcome = Outcome::BypassPoisoned;
@@ -114,6 +120,22 @@ class PromoteEngine
                          GuestAddr layout_table, unsigned cycles);
 
     PromoteResult poisonResult(TaggedPtr ptr, unsigned cycles);
+    PromoteResult staleResult(TaggedPtr ptr, unsigned cycles);
+
+    /**
+     * The lock-and-key comparison (temporal axis): true when temporal
+     * checking is on and @p lock disagrees with the pointer's key.
+     * Charges the comparison latency either way so timing does not
+     * depend on the outcome.
+     */
+    bool
+    generationMismatch(TaggedPtr ptr, uint64_t lock, unsigned &cycles)
+    {
+        if (!config_.temporalEnabled)
+            return false;
+        cycles += config_.temporalCheckCycles;
+        return ptr.generation() != (lock & (layout::genLimit - 1));
+    }
 
     GuestMemory &mem_;
     Cache *l1d_;
@@ -134,6 +156,8 @@ class PromoteEngine
     Counter &schemeSubheap_;
     Counter &schemeGlobal_;
     Counter &macFail_;
+    Counter &bypassStale_;
+    Counter &temporalStale_;
     Counter &slotDivisions_;
     Counter &walkDivisions_;
     Counter &narrowAttempts_;

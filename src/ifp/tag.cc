@@ -12,11 +12,12 @@ toString(Poison poison)
         return "valid";
       case Poison::OutOfBounds:
         return "oob";
+      case Poison::TemporalStale:
+        return "stale";
       case Poison::Invalid:
         return "invalid";
-      default:
-        return "reserved";
     }
+    return "?";
 }
 
 const char *
@@ -99,6 +100,13 @@ TaggedPtr::withLocalGranuleOffset(uint64_t offset) const
     return TaggedPtr(insertBits(raw_, 59, 54, offset));
 }
 
+TaggedPtr
+TaggedPtr::withGeneration(uint64_t gen) const
+{
+    return TaggedPtr((raw_ & ~layout::genMask) |
+                     ((gen << layout::genShift) & layout::genMask));
+}
+
 uint64_t
 TaggedPtr::maxSubobjIndex() const
 {
@@ -115,9 +123,10 @@ TaggedPtr::maxSubobjIndex() const
 std::string
 TaggedPtr::toString() const
 {
-    return strfmt("[%s %s meta=%#llx addr=%#llx]", infat::toString(poison()),
-                  infat::toString(scheme()),
+    return strfmt("[%s %s meta=%#llx gen=%llu addr=%#llx]",
+                  infat::toString(poison()), infat::toString(scheme()),
                   static_cast<unsigned long long>(meta12()),
+                  static_cast<unsigned long long>(generation()),
                   static_cast<unsigned long long>(addr()));
 }
 

@@ -4,12 +4,14 @@
  *
  * The top 16 bits of every 64-bit pointer form the tag:
  *
- *   bit 63..62  poison bits (valid / out-of-bounds-recoverable / invalid)
+ *   bit 63..62  poison bits (valid / oob-recoverable / stale / invalid)
  *   bit 61..60  scheme selector
  *   bit 59..48  scheme metadata + subobject index, layout per scheme:
  *                 local offset:  [59:54] granule offset, [53:48] subobject
  *                 subheap:       [59:56] control reg,    [55:48] subobject
  *                 global table:  [59:48] table row index
+ *   bit 47..44  temporal generation key (lock-and-key versioning); the
+ *               canonical address space is 44-bit (mem/address_space.hh)
  *
  * An all-zero tag is a canonical user-level pointer, i.e. a legacy
  * pointer carrying no metadata. The scheme selector value 0 is therefore
@@ -37,6 +39,12 @@ enum class Poison : uint8_t
     Valid = 0,
     /** Out of bounds but recoverable (e.g. one-past-the-end). */
     OutOfBounds = 1,
+    /**
+     * Temporal staleness: the pointer's generation key failed the
+     * lock comparison at promote (its allocation was freed). Sticky
+     * like Invalid — dereference traps with TemporalViolation.
+     */
+    TemporalStale = 2,
     /** Irrecoverable: invalid metadata or post-failure derivation. */
     Invalid = 3,
 };
@@ -108,6 +116,13 @@ class TaggedPtr
     /** Global table scheme: row index into the metadata table. */
     uint64_t globalTableIndex() const { return bits(raw_, 59, 48); }
 
+    /** Temporal generation key (bits 47:44); 0 on legacy pointers. */
+    uint64_t
+    generation() const
+    {
+        return (raw_ & layout::genMask) >> layout::genShift;
+    }
+
     /** Scheme-dispatched subobject index (0 for global table/legacy). */
     uint64_t subobjIndex() const;
 
@@ -117,6 +132,7 @@ class TaggedPtr
     TaggedPtr withMeta12(uint64_t meta12) const;
     TaggedPtr withSubobjIndex(uint64_t index) const;
     TaggedPtr withLocalGranuleOffset(uint64_t offset) const;
+    TaggedPtr withGeneration(uint64_t gen) const;
 
     /** Maximum representable subobject index for this pointer's scheme. */
     uint64_t maxSubobjIndex() const;

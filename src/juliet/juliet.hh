@@ -40,6 +40,15 @@ enum class Flaw
     Underwrite, // write below the lower bound
     Overread,   // read past the upper bound
     Underread,  // read below the lower bound
+
+    // Temporal classes (lock-and-key scheme, DESIGN.md). Unlike the
+    // spatial flaws, these are generated over an explicit cell list
+    // (not the full location x pattern cross product), because a
+    // lifetime bug needs an end-of-lifetime event the location must
+    // support (free, or a returned stack frame).
+    UseAfterFree,   // CWE-416: dangling pointer held in a register
+    DanglingReload, // CWE-416: dangling pointer reloaded (promote path)
+    DoubleFree,     // CWE-415: second free of the same allocation
 };
 
 enum class Location
@@ -59,6 +68,10 @@ enum class Pattern
     ReloadPromote, // store buf to a global, reload (promote), index
     IntraField,    // struct { buf[8]; sensitive; }: buf[k] directly
     IntraReload,   // same, with &s.buf stored and reloaded first
+
+    // Temporal-only patterns.
+    Recycle,    // free + same-size realloc recycles the slot first
+    Wraparound, // 16 reuses alias the 4-bit generation (residual FN)
 };
 
 const char *toString(Flaw flaw);
@@ -76,6 +89,17 @@ struct TestCase
     std::string name() const;
     /** Whether detection requires subobject granularity. */
     bool intraObject() const;
+    /** Whether the flaw is a lifetime (temporal) violation. */
+    bool temporal() const;
+    /**
+     * Non-null iff this cell's bad variant lies outside the temporal
+     * scheme's coverage: the name of the documented residual bucket
+     * ("register_held", "generation_wraparound") the expected miss is
+     * accounted under. Suites count such misses as explained rather
+     * than as detection failures — but only when the cell indeed
+     * misses; a trap still counts as detected.
+     */
+    const char *expectedMissBucket() const;
 
     /** Build the case's module (main performs the access). */
     void build(ir::Module &module) const;
@@ -106,9 +130,15 @@ struct SuiteResult
     std::vector<CaseOutcome> outcomes;
     size_t total = 0;
     size_t badDetected = 0;
+    /** Unexplained misses only; gates pin this to zero. */
     size_t badMissed = 0;
+    /** Expected misses of cells outside the temporal coverage,
+     *  accounted per named bucket in missBuckets. */
+    size_t badExplained = 0;
     size_t falsePositives = 0;
     size_t goodPassed = 0;
+    /** Explained-miss counts keyed by TestCase::expectedMissBucket. */
+    std::map<std::string, size_t> missBuckets;
 };
 
 /**
@@ -134,6 +164,12 @@ struct OracleCaseOutcome
     uint64_t abstained = 0;
     uint64_t falseNegatives = 0;
     uint64_t falsePositives = 0;
+    // Temporal axis (Stale verdicts and free-path diffs), kept apart
+    // from the spatial counters so the spatial zero-FN gate retains
+    // its meaning.
+    uint64_t temporalTruePositives = 0;
+    uint64_t temporalFalseNegatives = 0;
+    uint64_t temporalFalsePositives = 0;
 };
 
 /**
@@ -148,6 +184,8 @@ struct OracleSuiteResult
     {
         uint64_t falseNegatives = 0;
         uint64_t falsePositives = 0;
+        uint64_t temporalFalseNegatives = 0;
+        uint64_t temporalFalsePositives = 0;
     };
 
     std::vector<OracleCaseOutcome> outcomes;
@@ -155,15 +193,25 @@ struct OracleSuiteResult
     std::map<std::string, Cell> cells;
     size_t total = 0;
     size_t badDetected = 0;
+    /** Unexplained misses only (see SuiteResult::badMissed). */
     size_t badMissed = 0;
+    size_t badExplained = 0;
     size_t goodPassed = 0;
     size_t suiteFalsePositives = 0;
+    std::map<std::string, size_t> missBuckets;
     uint64_t checks = 0;
     uint64_t abstained = 0;
     uint64_t falseNegatives = 0;
     uint64_t falsePositives = 0;
+    uint64_t temporalTruePositives = 0;
+    uint64_t temporalFalseNegatives = 0;
+    /** Temporal FNs from cells with no explanation bucket; the
+     *  version-covered zero-FN gate pins this (not the total). */
+    uint64_t temporalFalseNegativesUnexplained = 0;
+    uint64_t temporalFalsePositives = 0;
 
-    /** Zero oracle FN/FP and full good/bad suite correctness. */
+    /** Zero oracle FN/FP (spatial; temporal outside the documented
+     *  residual buckets) and full good/bad suite correctness. */
     bool clean() const;
     /** Export totals plus per-cell fn_/fp_ counters into @p group. */
     void addToStats(StatGroup &group) const;

@@ -2,11 +2,15 @@
  * @file
  * Guest virtual address space layout.
  *
- * The simulated machine is a 64-bit architecture with a 48-bit virtual
- * address space, leaving the upper 16 bits of every pointer available as
- * the In-Fat Pointer tag (paper §3). User-level canonical addresses have
+ * The simulated machine is a 64-bit architecture with a 44-bit virtual
+ * address space. The upper 16 bits of every pointer carry the In-Fat
+ * Pointer tag (paper §3); bits 47:44 — architecturally address bits,
+ * but unused by a 44-bit user-level address space — carry the 4-bit
+ * temporal generation key (lock-and-key versioning in the style of
+ * xTag / temporal fat pointers). User-level canonical addresses have
  * the upper bits clear, which is why the all-zero scheme selector is
- * reserved for legacy pointers.
+ * reserved for legacy pointers and why a generation of zero makes
+ * legacy pointers bit-compatible with plain integers.
  *
  * The layout below is the single-process world the VM runs workloads in:
  *
@@ -23,13 +27,21 @@
 
 namespace infat {
 
-/** A guest virtual address. Tag bits, if any, live above bit 47. */
+/** A guest virtual address. Tag bits, if any, live above bit 47; the
+ *  temporal generation key, if any, lives in bits 47:44. */
 using GuestAddr = uint64_t;
 
 namespace layout {
 
-constexpr unsigned addrBits = 48;
+constexpr unsigned addrBits = 44;
 constexpr GuestAddr addrMask = (GuestAddr{1} << addrBits) - 1;
+
+/** Temporal generation key: bits 47:44, between the canonical address
+ *  and the 16-bit IFP tag. Zero for legacy/never-freed allocations. */
+constexpr unsigned genBits = 4;
+constexpr unsigned genShift = addrBits;
+constexpr uint64_t genMask = ((uint64_t{1} << genBits) - 1) << genShift;
+constexpr uint64_t genLimit = uint64_t{1} << genBits;
 
 constexpr GuestAddr globalBase = 0x0000'1000'0000ULL;
 constexpr GuestAddr globalLimit = 0x0000'2000'0000ULL;
@@ -47,10 +59,11 @@ constexpr unsigned buddyOrderLog2 = 30;
 constexpr GuestAddr tableBase = 0x0001'0000'0000ULL;
 constexpr GuestAddr tableLimit = 0x0001'1000'0000ULL;
 
-constexpr GuestAddr stackBase = 0x7fff'f000'0000ULL;
-constexpr GuestAddr stackLimit = 0x7ffe'f000'0000ULL;
+constexpr GuestAddr stackBase = 0x0fff'f000'0000ULL;
+constexpr GuestAddr stackLimit = 0x0ffe'f000'0000ULL;
 
-/** Strip tag bits, producing the canonical 48-bit address. */
+/** Strip tag and generation bits, producing the canonical 44-bit
+ *  address. */
 constexpr GuestAddr
 canonical(GuestAddr addr)
 {

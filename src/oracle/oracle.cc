@@ -17,6 +17,8 @@ toString(Verdict verdict)
         return "out-of-bounds";
       case Verdict::IntraObject:
         return "intra-object";
+      case Verdict::Stale:
+        return "stale";
     }
     return "?";
 }
@@ -35,6 +37,14 @@ ShadowOracle::ShadowOracle()
       cFalsePositives_(stats_.counter("false_positives")),
       cOobVerdicts_(stats_.counter("oob_verdicts")),
       cIntraVerdicts_(stats_.counter("intra_verdicts")),
+      cStaleVerdicts_(stats_.counter("stale_verdicts")),
+      cTemporalTruePositives_(
+          stats_.counter("temporal_true_positives")),
+      cTemporalFalseNegatives_(
+          stats_.counter("temporal_false_negatives")),
+      cTemporalFalsePositives_(
+          stats_.counter("temporal_false_positives")),
+      cFreeChecks_(stats_.counter("free_checks")),
       cObjects_(stats_.counter("objects_tracked")),
       cShadowStores_(stats_.counter("shadow_stores"))
 {
@@ -51,6 +61,7 @@ ShadowOracle::registerObject(GuestAddr base, uint64_t size,
     objects_.push_back(Object{base, size, kind, true});
     uint32_t id = static_cast<uint32_t>(objects_.size());
     liveByBase_[base] = id;
+    lastByBase_[base] = id;
     if (kind == ObjectKind::Stack)
         stackLifo_.push_back(id);
     ++cObjects_;
@@ -156,7 +167,7 @@ ShadowOracle::classify(const Prov &prov, GuestAddr addr,
         return Verdict::Unknown;
     const Object &obj = objects_[prov.objId - 1];
     if (!obj.live)
-        return Verdict::Unknown; // temporal staleness: not our beat
+        return Verdict::Stale; // freed (or superseded at this base)
     if (addr < obj.base || addr + size > obj.base + obj.size)
         return Verdict::OutOfBounds;
     if (prov.hasSub() &&
@@ -168,7 +179,7 @@ ShadowOracle::classify(const Prov &prov, GuestAddr addr,
 
 void
 ShadowOracle::check(const Prov &prov, GuestAddr addr, uint64_t size,
-                    bool write, bool ifp_traps)
+                    bool write, bool ifp_traps, bool ifp_temporal)
 {
     ++cChecks_;
     Verdict verdict = classify(prov, addr, size);
@@ -178,7 +189,13 @@ ShadowOracle::check(const Prov &prov, GuestAddr addr, uint64_t size,
         return;
       case Verdict::InBounds:
         if (ifp_traps) {
+            // A trap on a live, in-bounds access is over-blocking
+            // whichever axis raised it; a temporal one additionally
+            // lands in the temporal FP counter the acceptance gates
+            // pin to zero.
             ++cFalsePositives_;
+            if (ifp_temporal)
+                ++cTemporalFalsePositives_;
             record(false, verdict, prov, addr, size, write);
         } else {
             ++cTrueNegatives_;
@@ -195,7 +212,67 @@ ShadowOracle::check(const Prov &prov, GuestAddr addr, uint64_t size,
             record(true, verdict, prov, addr, size, write);
         }
         return;
+      case Verdict::Stale:
+        // Temporal ground truth: the object is dead, so any trap —
+        // temporal or spatial (e.g. erased metadata poisoning the
+        // promote) — means the defense caught the use-after-free.
+        // These feed separate counters so the spatial zero-FN gates
+        // keep their meaning.
+        ++cStaleVerdicts_;
+        if (ifp_traps) {
+            ++cTemporalTruePositives_;
+        } else {
+            ++cTemporalFalseNegatives_;
+            record(true, verdict, prov, addr, size, write);
+        }
+        return;
     }
+}
+
+void
+ShadowOracle::checkFree(GuestAddr base, bool ifp_traps,
+                        const Prov &prov)
+{
+    ++cFreeChecks_;
+    if (prov.valid()) {
+        // The pointer's provenance disambiguates the recycled-slot
+        // case the base lookup cannot: after free + same-size malloc
+        // the base is live again under a *new* object, but a re-free
+        // through the old pointer is still a stale free.
+        const Object &obj = objects_[prov.objId - 1];
+        auto live = liveByBase_.find(base);
+        if (obj.live && live != liveByBase_.end() &&
+            live->second == prov.objId) {
+            if (ifp_traps) {
+                ++cTemporalFalsePositives_;
+                ++cFalsePositives_;
+            }
+            return;
+        }
+        // Dead (freed or superseded) provenance, or a pointer that
+        // does not address its own object's base: an invalid free.
+        if (ifp_traps)
+            ++cTemporalTruePositives_;
+        else
+            ++cTemporalFalseNegatives_;
+        return;
+    }
+    if (liveByBase_.count(base) != 0) {
+        if (ifp_traps) {
+            // Trapping a correct free of a live object would break
+            // real programs: a temporal (and overall) false positive.
+            ++cTemporalFalsePositives_;
+            ++cFalsePositives_;
+        }
+        return;
+    }
+    if (lastByBase_.count(base) == 0)
+        return; // never tracked here: abstain
+    // Tracked before but not live now: a double (or stale) free.
+    if (ifp_traps)
+        ++cTemporalTruePositives_;
+    else
+        ++cTemporalFalseNegatives_;
 }
 
 void

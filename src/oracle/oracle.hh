@@ -56,7 +56,7 @@ enum class ObjectKind
 /** The oracle's independent classification of one access. */
 enum class Verdict
 {
-    /** No provenance (or stale provenance): the oracle abstains. */
+    /** No provenance: the oracle abstains. */
     Unknown,
     /** Within the object and, if narrowed, within the subobject. */
     InBounds,
@@ -64,6 +64,12 @@ enum class Verdict
     OutOfBounds,
     /** Inside the object but outside the claimed subobject extent. */
     IntraObject,
+    /**
+     * Provenance refers to an object that is no longer live (freed, or
+     * superseded by a re-registration at the same base): any access
+     * through it is a temporal violation (use-after-free).
+     */
+    Stale,
 };
 
 const char *toString(Verdict verdict);
@@ -176,10 +182,32 @@ class ShadowOracle
     /**
      * Diff the oracle's verdict against the IFP machinery's:
      * @p ifp_traps is whether the checked access is about to trap
-     * (poison, null, or implicit bounds-check failure).
+     * (poison, null, or implicit bounds-check failure) and
+     * @p ifp_temporal whether that trap is the temporal kind (a
+     * TemporalStale poison, i.e. a failed generation-lock comparison).
+     * Stale verdicts feed the temporal TP/FN counters, which are kept
+     * separate from the spatial ones so the spatial zero-FN gates stay
+     * meaningful; a temporal trap on a live in-bounds access counts as
+     * both a temporal and an overall false positive.
      */
     void check(const Prov &prov, GuestAddr addr, uint64_t size,
-               bool write, bool ifp_traps);
+               bool write, bool ifp_traps, bool ifp_temporal = false);
+
+    /**
+     * Temporal ground truth for one free of the object at @p base:
+     * live object = a correct free (an InvalidFree trap would be a
+     * temporal false positive); a base the oracle has tracked before
+     * but that is not live = double/stale free (no trap = temporal
+     * false negative); never-tracked base = abstain.
+     *
+     * When the freeing pointer's provenance is available, it takes
+     * precedence over the base lookup: a freed slot can be live again
+     * under a *new* object (recycled by the allocator), and only the
+     * provenance can tell a correct free of the new object from a
+     * stale re-free through the old pointer.
+     */
+    void checkFree(GuestAddr base, bool ifp_traps,
+                   const Prov &prov = Prov{});
 
     // --- Results ----------------------------------------------------
     StatGroup &stats() { return stats_; }
@@ -189,6 +217,21 @@ class ShadowOracle
     uint64_t trueNegatives() const { return cTrueNegatives_.value(); }
     uint64_t falseNegatives() const { return cFalseNegatives_.value(); }
     uint64_t falsePositives() const { return cFalsePositives_.value(); }
+    uint64_t
+    temporalTruePositives() const
+    {
+        return cTemporalTruePositives_.value();
+    }
+    uint64_t
+    temporalFalseNegatives() const
+    {
+        return cTemporalFalseNegatives_.value();
+    }
+    uint64_t
+    temporalFalsePositives() const
+    {
+        return cTemporalFalsePositives_.value();
+    }
     /** First few disagreements, capped, for error messages. */
     const std::vector<Discrepancy> &discrepancies() const
     {
@@ -217,6 +260,10 @@ class ShadowOracle
      *  provenance never aliases a reused id. */
     std::vector<Object> objects_;
     std::unordered_map<GuestAddr, uint32_t> liveByBase_;
+    /** Most recent object id ever tracked at each base (live or not):
+     *  distinguishes a double free from a free of an address the
+     *  oracle never saw (which it abstains on). */
+    std::unordered_map<GuestAddr, uint32_t> lastByBase_;
     /** Allocation-ordered live-ish stack object ids for unwindStack. */
     std::vector<uint32_t> stackLifo_;
 
@@ -236,6 +283,11 @@ class ShadowOracle
     Counter &cFalsePositives_;
     Counter &cOobVerdicts_;
     Counter &cIntraVerdicts_;
+    Counter &cStaleVerdicts_;
+    Counter &cTemporalTruePositives_;
+    Counter &cTemporalFalseNegatives_;
+    Counter &cTemporalFalsePositives_;
+    Counter &cFreeChecks_;
     Counter &cObjects_;
     Counter &cShadowStores_;
 

@@ -4,6 +4,7 @@
 #include "ifp/metadata.hh"
 #include "support/bitops.hh"
 #include "support/logging.hh"
+#include "vm/trap.hh"
 
 namespace infat {
 
@@ -46,8 +47,9 @@ toString(AllocatorKind kind)
 }
 
 Runtime::Runtime(GuestMemory &mem, IfpControlRegs &regs,
-                 AllocatorKind kind, bool instrumented)
+                 AllocatorKind kind, bool instrumented, IfpConfig ifp)
     : mem_(mem), regs_(regs), kind_(kind), instrumented_(instrumented),
+      config_(ifp),
       freelist_(layout::freelistBase, layout::freelistLimit),
       buddy_(layout::buddyBase, layout::buddyOrderLog2, 12),
       stats_("runtime"),
@@ -107,6 +109,33 @@ Runtime::paddedSlotSize(uint64_t object_size)
     return roundUp(object_size, IfpConfig::granuleBytes);
 }
 
+// --- Temporal generation keys ---
+
+uint64_t
+Runtime::takeGen(GuestAddr addr)
+{
+    if (!config_.temporalEnabled)
+        return 0;
+    auto it = addrGen_.find(addr);
+    return it == addrGen_.end() ? 0 : it->second;
+}
+
+void
+Runtime::retireGen(GuestAddr addr, uint64_t gen)
+{
+    if (!config_.temporalEnabled)
+        return;
+    addrGen_[addr] = static_cast<uint8_t>(
+        (gen + 1) & mask(IfpConfig::temporalGenBits));
+}
+
+void
+Runtime::invalidFree(const char *what, TaggedPtr ptr)
+{
+    stats_.counter("invalid_frees")++;
+    throw GuestTrap(TrapKind::InvalidFree, invalidFreeDetail(what, ptr));
+}
+
 // --- Baseline allocation ---
 
 GuestAddr
@@ -127,8 +156,17 @@ Runtime::plainFree(GuestAddr addr, RuntimeCost &cost)
 {
     if (addr == 0)
         return;
-    freelist_.deallocate(addr);
     cost.instructions += plainFreeCost;
+    if (!freelist_.isLive(addr)) {
+        // glibc model: a double/interior/wild free silently corrupts
+        // the arena rather than failing fast, so the baseline run
+        // survives the bug (ground truth for the bad case comes from
+        // the oracle and the instrumented run). Modelled as a no-op so
+        // the simulation's own bookkeeping stays intact.
+        stats_.counter("plain_invalid_frees")++;
+        return;
+    }
+    freelist_.deallocate(addr);
     cost.touch(addr - FreeListAllocator::headerBytes, 16, true);
     stats_.counter("plain_frees")++;
 }
@@ -181,8 +219,9 @@ Runtime::makeLocalOffset(GuestAddr addr, uint64_t size,
     panic_if(addr & (IfpConfig::granuleBytes - 1),
              "local-offset object base not granule aligned");
     GuestAddr meta_addr = addr + roundUp(size, IfpConfig::granuleBytes);
+    uint64_t gen = takeGen(addr);
     LocalOffsetMeta::write(mem_, meta_addr, size, layout_addr,
-                           regs_.macKey);
+                           regs_.macKey, gen);
     cost.touch(meta_addr, IfpConfig::localMetadataBytes, true);
 
     uint64_t offset = (meta_addr - roundDown(addr, IfpConfig::granuleBytes)) /
@@ -191,7 +230,7 @@ Runtime::makeLocalOffset(GuestAddr addr, uint64_t size,
              "local-offset granule offset overflow");
     TaggedPtr ptr = TaggedPtr::make(
         addr, Scheme::LocalOffset,
-        offset << IfpConfig::localSubobjBits);
+        offset << IfpConfig::localSubobjBits).withGeneration(gen);
     stats_.counter("local_offset_objects")++;
     localOffsetBytes_.sample(size);
     return {ptr, Bounds(addr, addr + size)};
@@ -201,14 +240,17 @@ IfpAllocation
 Runtime::makeGlobalTable(GuestAddr addr, uint64_t size, RuntimeCost &cost)
 {
     uint32_t row = allocGlobalRow();
+    uint64_t gen = takeGen(addr);
     GlobalTableRow entry;
     entry.base = addr;
     entry.size = size;
+    entry.generation = static_cast<uint8_t>(gen);
     entry.valid = true;
     GlobalTableRow::write(mem_, regs_.globalTableBase, row, entry);
     cost.touch(GlobalTableRow::rowAddr(regs_.globalTableBase, row),
                IfpConfig::globalRowBytes, true);
-    TaggedPtr ptr = TaggedPtr::make(addr, Scheme::GlobalTable, row);
+    TaggedPtr ptr = TaggedPtr::make(addr, Scheme::GlobalTable, row)
+                        .withGeneration(gen);
     stats_.counter("global_table_objects")++;
     globalTableBytes_.sample(size);
     return {ptr, Bounds(addr, addr + size)};
@@ -239,20 +281,56 @@ Runtime::wrappedFree(TaggedPtr ptr, RuntimeCost &cost)
         GuestAddr meta_addr =
             roundDown(addr, IfpConfig::granuleBytes) +
             ptr.localGranuleOffset() * IfpConfig::granuleBytes;
+        cost.touch(meta_addr, IfpConfig::localMetadataBytes, false);
+        LocalOffsetMeta m = LocalOffsetMeta::read(mem_, meta_addr);
+        bool shape_ok = m.magic == LocalOffsetMeta::magicValue &&
+                        m.objectSize != 0 &&
+                        m.objectSize <= IfpConfig::localMaxObjectBytes;
+        if (!shape_ok)
+            invalidFree("double or wild free", ptr);
+        // The metadata sits at the granule-rounded end of the object,
+        // so the only base it certifies is meta_addr minus the rounded
+        // object size: anything else is an interior free.
+        GuestAddr base =
+            meta_addr - roundUp(m.objectSize, IfpConfig::granuleBytes);
+        if (addr != base)
+            invalidFree("interior free", ptr);
+        if (config_.temporalEnabled && ptr.generation() != m.generation)
+            invalidFree("stale free", ptr);
         LocalOffsetMeta::erase(mem_, meta_addr);
         cost.touch(meta_addr, IfpConfig::localMetadataBytes, true);
+        retireGen(addr, m.generation);
         break;
       }
       case Scheme::GlobalTable: {
         auto row = static_cast<uint32_t>(ptr.globalTableIndex());
+        if (regs_.globalTableBase == 0 || row >= regs_.globalTableRows)
+            invalidFree("free with out-of-range global row", ptr);
+        cost.touch(GlobalTableRow::rowAddr(regs_.globalTableBase, row),
+                   IfpConfig::globalRowBytes, false);
+        GlobalTableRow entry =
+            GlobalTableRow::read(mem_, regs_.globalTableBase, row);
+        if (!entry.valid || entry.size == 0)
+            invalidFree("double or wild free", ptr);
+        if (entry.base != addr)
+            invalidFree("interior free", ptr);
+        if (config_.temporalEnabled &&
+            ptr.generation() != entry.generation) {
+            invalidFree("stale free", ptr);
+        }
         freeGlobalRow(row);
         GlobalTableRow::erase(mem_, regs_.globalTableBase, row);
         cost.touch(GlobalTableRow::rowAddr(regs_.globalTableBase, row),
                    IfpConfig::globalRowBytes, true);
+        retireGen(addr, entry.generation);
         break;
       }
       case Scheme::Legacy:
-        // Legacy pointer freed by instrumented code: no metadata.
+        // Untagged pointer freed by instrumented code: no metadata to
+        // validate, but the chunk must still be live in the glibc
+        // model or the free is invalid.
+        if (!freelist_.isLive(addr))
+            invalidFree("free of unknown pointer", ptr);
         break;
       default:
         panic("wrapped free of %s pointer", infat::toString(ptr.scheme()));
@@ -286,9 +364,11 @@ Runtime::subheapMalloc(uint64_t size, ir::LayoutId layout,
 
     // Objects too large even for the biggest blocks fall back to the
     // wrapped path (global table; the paper's runtime could also mix
-    // allocators, §4.2.1).
-    unsigned min_order = log2Ceil(slot_size +
-                                  IfpConfig::subheapMetadataBytes);
+    // allocators, §4.2.1). The temporal lock array costs up to one
+    // granule of extra headroom in the worst (single-slot) case.
+    unsigned min_order = log2Ceil(
+        slot_size + IfpConfig::subheapMetadataBytes +
+        (config_.temporalEnabled ? IfpConfig::granuleBytes : 0));
     unsigned order = std::max(16u, min_order); // default 64 KiB blocks
     if (order > 24) {
         stats_.counter("subheap_fallbacks")++;
@@ -303,11 +383,29 @@ Runtime::subheapMalloc(uint64_t size, ir::LayoutId layout,
         pool.ctrlReg = ctrlRegForOrder(order);
         pool.objectSize = size;
         pool.slotSize = slot_size;
-        pool.slotsStart = roundUp(IfpConfig::subheapMetadataBytes,
-                                  IfpConfig::granuleBytes);
         uint64_t block_bytes = uint64_t{1} << order;
+        uint32_t slots_start =
+            roundUp(IfpConfig::subheapMetadataBytes,
+                    IfpConfig::granuleBytes);
+        if (config_.temporalEnabled) {
+            // Reserve one generation-lock byte per slot between the
+            // block metadata and the slot array. More slots need more
+            // lock bytes, which leave room for fewer slots; iterate to
+            // the fixed point (monotone, converges in a few steps).
+            for (;;) {
+                auto n = static_cast<uint32_t>(
+                    (block_bytes - slots_start) / slot_size);
+                auto needed = static_cast<uint32_t>(
+                    roundUp(IfpConfig::subheapMetadataBytes + n,
+                            IfpConfig::granuleBytes));
+                if (needed <= slots_start)
+                    break;
+                slots_start = needed;
+            }
+        }
+        pool.slotsStart = slots_start;
         pool.numSlots = static_cast<uint32_t>(
-            (block_bytes - pool.slotsStart) / slot_size);
+            (block_bytes - slots_start) / slot_size);
         pool.layoutAddr = layout_addr;
     }
 
@@ -335,6 +433,7 @@ Runtime::subheapMalloc(uint64_t size, ir::LayoutId layout,
         block.freeSlots.reserve(pool.numSlots);
         for (uint32_t i = pool.numSlots; i-- > 0;)
             block.freeSlots.push_back(i);
+        block.liveSlots.assign(pool.numSlots, false);
         pool.blocks.emplace(block_base, std::move(block));
         pool.partialBlocks.push_back(block_base);
         blockOwner_.emplace(block_base, key);
@@ -357,16 +456,29 @@ Runtime::subheapMalloc(uint64_t size, ir::LayoutId layout,
     SubheapBlock &block = pool.blocks.at(block_base);
     uint32_t slot = block.freeSlots.back();
     block.freeSlots.pop_back();
+    block.liveSlots[slot] = true;
     block.liveCount++;
     if (block.freeSlots.empty())
         pool.partialBlocks.pop_back();
 
     GuestAddr addr = block_base + pool.slotsStart + slot * pool.slotSize;
     cost.touch(addr, 8, true); // free-list link update
+    // The slot's current lock (bumped at every free of this slot)
+    // becomes the pointer's generation key; a fresh block starts at
+    // whatever the lock array holds (zero-filled pages, or surviving
+    // locks when buddy memory is recycled).
+    uint64_t gen = 0;
+    if (config_.temporalEnabled) {
+        GuestAddr gen_addr =
+            SubheapBlockMeta::genAddr(block_base, 0, slot);
+        gen = mem_.load<uint8_t>(gen_addr) &
+              mask(IfpConfig::temporalGenBits);
+        cost.touch(gen_addr, 1, false);
+    }
     TaggedPtr ptr = TaggedPtr::make(
         addr, Scheme::Subheap,
         static_cast<uint64_t>(pool.ctrlReg)
-            << IfpConfig::subheapSubobjBits);
+            << IfpConfig::subheapSubobjBits).withGeneration(gen);
     stats_.counter("subheap_objects")++;
     subheapBytes_.sample(size);
     return {ptr, Bounds(addr, addr + size)};
@@ -376,22 +488,56 @@ void
 Runtime::subheapFree(TaggedPtr ptr, RuntimeCost &cost)
 {
     GuestAddr addr = ptr.addr();
+    cost.instructions += subheapFreeCost;
+    cost.ifpInstructions += subheapFreeIfpCost;
     const SubheapCtrlReg &ctrl = regs_.subheap[ptr.subheapCtrlIndex()];
-    panic_if(!ctrl.valid, "subheap free with invalid control register");
+    if (!ctrl.valid)
+        invalidFree("free with invalid subheap control register", ptr);
     GuestAddr block_base = roundDown(addr, uint64_t{1}
                                                << ctrl.blockOrderLog2);
     auto owner = blockOwner_.find(block_base);
-    panic_if(owner == blockOwner_.end(), "subheap free of unknown block");
+    if (owner == blockOwner_.end())
+        invalidFree("free of unknown subheap block", ptr);
     SubheapPool &pool = pools_.at(owner->second);
     SubheapBlock &block = pool.blocks.at(block_base);
 
+    uint64_t rel = addr - block_base;
+    if (rel < pool.slotsStart ||
+        rel >= pool.slotsStart +
+                   uint64_t{pool.numSlots} * pool.slotSize ||
+        (rel - pool.slotsStart) % pool.slotSize != 0) {
+        invalidFree("interior free", ptr);
+    }
     auto slot = static_cast<uint32_t>(
-        (addr - block_base - pool.slotsStart) / pool.slotSize);
+        (rel - pool.slotsStart) / pool.slotSize);
+    // Liveness is checked before the free list is touched: the old
+    // path pushed the slot first, so a double free put the same slot
+    // on the free list twice and corrupted the pool.
+    if (!block.liveSlots[slot])
+        invalidFree("double free", ptr);
+    GuestAddr gen_addr =
+        SubheapBlockMeta::genAddr(block_base, ctrl.metaOffset, slot);
+    uint64_t lock = 0;
+    if (config_.temporalEnabled) {
+        lock = mem_.load<uint8_t>(gen_addr) &
+               mask(IfpConfig::temporalGenBits);
+        cost.touch(gen_addr, 1, false);
+        if (ptr.generation() != lock)
+            invalidFree("stale free", ptr);
+    }
+
+    block.liveSlots[slot] = false;
     block.freeSlots.push_back(slot);
-    panic_if(block.liveCount == 0, "subheap double free");
+    panic_if(block.liveCount == 0, "subheap live count underflow");
     block.liveCount--;
-    cost.instructions += subheapFreeCost;
-    cost.ifpInstructions += subheapFreeIfpCost;
+    if (config_.temporalEnabled) {
+        // Bump the slot lock: every outstanding pointer to this slot
+        // incarnation now fails the promote-time key comparison.
+        mem_.store<uint8_t>(
+            gen_addr, static_cast<uint8_t>(
+                          (lock + 1) & mask(IfpConfig::temporalGenBits)));
+        cost.touch(gen_addr, 1, true);
+    }
     cost.touch(addr, 8, true);
 
     if (block.freeSlots.size() == 1)
@@ -439,6 +585,10 @@ Runtime::deregisterObject(TaggedPtr ptr, RuntimeCost &cost)
             ptr.localGranuleOffset() * IfpConfig::granuleBytes;
         LocalOffsetMeta::erase(mem_, meta_addr);
         cost.touch(meta_addr, IfpConfig::localMetadataBytes, true);
+        // Retire the key so re-registration at the same stack slot
+        // gets a fresh generation and dangling pointers to the old
+        // object fail the lock comparison.
+        retireGen(ptr.addr(), ptr.generation());
         break;
       }
       case Scheme::GlobalTable: {
@@ -447,6 +597,7 @@ Runtime::deregisterObject(TaggedPtr ptr, RuntimeCost &cost)
         GlobalTableRow::erase(mem_, regs_.globalTableBase, row);
         cost.touch(GlobalTableRow::rowAddr(regs_.globalTableBase, row),
                    IfpConfig::globalRowBytes, true);
+        retireGen(ptr.addr(), ptr.generation());
         break;
       }
       default:

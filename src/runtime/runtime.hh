@@ -26,12 +26,14 @@
 
 #include <map>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "alloc/buddy_allocator.hh"
 #include "alloc/freelist_allocator.hh"
 #include "compiler/layout_gen.hh"
 #include "ifp/bounds.hh"
+#include "ifp/config.hh"
 #include "ifp/control_regs.hh"
 #include "ifp/tag.hh"
 #include "mem/guest_memory.hh"
@@ -90,8 +92,15 @@ struct IfpAllocation
 class Runtime
 {
   public:
+    /**
+     * @p ifp carries the temporal (lock-and-key) settings: when
+     * temporalEnabled, allocations draw a 4-bit generation key
+     * (pointer bits 47:44) matched by a lock in the scheme metadata,
+     * and the free paths validate double/stale/interior frees,
+     * throwing GuestTrap(InvalidFree) on violation.
+     */
     Runtime(GuestMemory &mem, IfpControlRegs &regs, AllocatorKind kind,
-            bool instrumented);
+            bool instrumented, IfpConfig ifp = {});
 
     // Holds references into stats_ (see stats.hh on reference
     // stability); copying would alias another instance's stats.
@@ -145,6 +154,9 @@ class Runtime
     struct SubheapBlock
     {
         std::vector<uint32_t> freeSlots;
+        /** Per-slot liveness, so a double free of a slot is detected
+         *  before the free list is corrupted. */
+        std::vector<bool> liveSlots;
         uint32_t liveCount = 0;
     };
 
@@ -180,10 +192,24 @@ class Runtime
     uint32_t allocGlobalRow();
     void freeGlobalRow(uint32_t row);
 
+    /**
+     * Generation key for a new allocation / registration at @p addr.
+     * Non-subheap locks live in metadata that is erased on free, so
+     * the next generation per base is remembered host-side (the
+     * hardware analogue: the lock survives in the freed chunk until
+     * its memory is reused, giving the same mod-16 sequence).
+     */
+    uint64_t takeGen(GuestAddr addr);
+    /** Retire @p gen at @p addr: the next allocation gets gen+1 mod 16. */
+    void retireGen(GuestAddr addr, uint64_t gen);
+    /** Count and raise a free-path violation as a guest trap. */
+    [[noreturn]] void invalidFree(const char *what, TaggedPtr ptr);
+
     GuestMemory &mem_;
     IfpControlRegs &regs_;
     AllocatorKind kind_;
     bool instrumented_;
+    IfpConfig config_;
 
     FreeListAllocator freelist_;
     BuddyAllocator buddy_;
@@ -191,6 +217,9 @@ class Runtime
     std::vector<GuestAddr> layoutAddrs_;
     std::vector<bool> globalRowUsed_;
     uint32_t globalRowHint_ = 0;
+
+    /** Next generation key per object base (see takeGen). */
+    std::unordered_map<GuestAddr, uint8_t> addrGen_;
 
     /** Subheap pools keyed by (slot size, layout table address). */
     std::map<std::pair<uint64_t, GuestAddr>, SubheapPool> pools_;

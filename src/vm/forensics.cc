@@ -38,6 +38,16 @@ TrapForensics::findBelow(GuestAddr addr) const
     return &it->second;
 }
 
+const TrapForensics::FreedRecord *
+TrapForensics::findFreedBelow(GuestAddr addr) const
+{
+    auto it = freed_.upper_bound(addr);
+    if (it == freed_.begin())
+        return nullptr;
+    --it;
+    return &it->second;
+}
+
 std::string
 TrapReport::text() const
 {
@@ -81,6 +91,17 @@ TrapReport::text() const
                               static_cast<ull>(meta.layoutTable));
         }
         out += "\n";
+    }
+
+    if (temporalKnown) {
+        out += strfmt("temporal: key=%llu lock=%llu delta=%llu reuse%s\n",
+                      static_cast<ull>(ptrGeneration),
+                      static_cast<ull>(lockGeneration),
+                      static_cast<ull>(generationDelta),
+                      generationDelta == 1 ? "" : "s");
+        if (freeSiteKnown)
+            out += strfmt("  freed at %s @ %s\n", freeFunction.c_str(),
+                          freeBlock.c_str());
     }
 
     if (object.present) {
@@ -149,6 +170,20 @@ TrapReport::json() const
             w.field("object_size", meta.objectSize);
             w.field("layout_table", meta.layoutTable);
             w.field("note", meta.note);
+            w.endObject();
+        }
+        w.field("temporal_known", temporalKnown);
+        if (temporalKnown) {
+            w.key("temporal");
+            w.beginObject();
+            w.field("ptr_generation", ptrGeneration);
+            w.field("lock_generation", lockGeneration);
+            w.field("generation_delta", generationDelta);
+            w.field("free_site_known", freeSiteKnown);
+            if (freeSiteKnown) {
+                w.field("free_function", freeFunction);
+                w.field("free_block", freeBlock);
+            }
             w.endObject();
         }
         if (object.present) {
@@ -250,6 +285,7 @@ Machine::buildTrapReport(const GuestTrap &trap)
         md.metaAddr = meta_addr;
         md.objectSize = m.objectSize;
         md.layoutTable = m.layoutTable;
+        md.generation = m.generation;
         md.valid = m.magic == LocalOffsetMeta::magicValue &&
                    m.objectSize != 0 &&
                    m.objectSize <= IfpConfig::localMaxObjectBytes;
@@ -285,6 +321,8 @@ Machine::buildTrapReport(const GuestTrap &trap)
             md.objectBase =
                 block_base + m.slotsStart + slot * m.slotSize;
             md.valid = true;
+            md.generation = mem_.load<uint8_t>(SubheapBlockMeta::genAddr(
+                block_base, ctrl.metaOffset, slot));
             md.note = strfmt("subheap block %#llx slot %llu",
                              static_cast<ull>(block_base),
                              static_cast<ull>(slot));
@@ -309,6 +347,7 @@ Machine::buildTrapReport(const GuestTrap &trap)
         md.valid = row.valid && row.size != 0;
         md.objectBase = row.base;
         md.objectSize = row.size;
+        md.generation = row.generation;
         md.note = md.valid
                       ? strfmt("global table row %llu",
                                static_cast<ull>(index))
@@ -320,11 +359,69 @@ Machine::buildTrapReport(const GuestTrap &trap)
         break;
     }
 
+    // Temporal traps: report both ends of the lock-and-key comparison
+    // and, when the forensics registry retired a record covering this
+    // address, the free site that ended the object's lifetime.
+    if (trap.kind() == TrapKind::TemporalViolation ||
+        trap.kind() == TrapKind::InvalidFree) {
+        rep->temporalKnown = true;
+        rep->ptrGeneration = ptr.generation();
+        rep->lockGeneration = rep->meta.generation;
+        rep->generationDelta =
+            (rep->lockGeneration - rep->ptrGeneration) &
+            (layout::genLimit - 1);
+        if (forensics_ != nullptr) {
+            const TrapForensics::FreedRecord *fr =
+                forensics_->findFreedBelow(rep->addr);
+            if (fr != nullptr && rep->addr >= fr->alloc.base &&
+                rep->addr < fr->alloc.base + fr->alloc.size) {
+                if (fr->freeSite.known &&
+                    fr->freeSite.func < module_.numFunctions()) {
+                    const ir::Function *ff =
+                        module_.function(fr->freeSite.func);
+                    rep->freeSiteKnown = true;
+                    rep->freeFunction = ff->name();
+                    rep->freeBlock =
+                        static_cast<size_t>(fr->freeSite.block) <
+                                ff->numBlocks()
+                            ? ff->block(fr->freeSite.block).name
+                            : strfmt("bb%u", fr->freeSite.block);
+                }
+                // The live-record diagnosis below describes the slot's
+                // current occupant (if any); seed the freed object's
+                // identity here so the report names the allocation the
+                // stale pointer was actually derived from.
+                ObjectDiagnosis &o = rep->object;
+                if (!o.present) {
+                    o.present = true;
+                    o.base = fr->alloc.base;
+                    o.size = fr->alloc.size;
+                    o.kind = fr->alloc.kind;
+                    o.relation = "freed";
+                    if (fr->alloc.site.known &&
+                        fr->alloc.site.func < module_.numFunctions()) {
+                        const ir::Function *af =
+                            module_.function(fr->alloc.site.func);
+                        o.siteKnown = true;
+                        o.siteFunction = af->name();
+                        o.siteBlock =
+                            static_cast<size_t>(fr->alloc.site.block) <
+                                    af->numBlocks()
+                                ? af->block(fr->alloc.site.block).name
+                                : strfmt("bb%u", fr->alloc.site.block);
+                    }
+                }
+            }
+        }
+    }
+
     // Nearest-object diagnosis against the allocation records. Prefer
     // the object the bounds register points into (that is the object
     // the pointer was derived from); fall back to the nearest record
-    // below the faulting address.
-    if (forensics_ != nullptr) {
+    // below the faulting address. A freed-record diagnosis seeded above
+    // wins: the stale pointer's own object is more useful than the
+    // slot's current occupant.
+    if (forensics_ != nullptr && !rep->object.present) {
         const TrapForensics::AllocRecord *rec = nullptr;
         if (lastFault_.hasBounds) {
             rec = forensics_->findBelow(lastFault_.bounds.lower());

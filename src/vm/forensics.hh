@@ -74,6 +74,8 @@ struct MetaDecode
     GuestAddr objectBase = 0;
     uint64_t objectSize = 0;
     GuestAddr layoutTable = 0;
+    /** Current generation lock at the metadata (temporal scheme). */
+    uint64_t generation = 0;
     std::string note; ///< human-oriented decode detail
 };
 
@@ -117,6 +119,16 @@ struct TrapReport
     MetaDecode meta;
     ObjectDiagnosis object;
 
+    // --- temporal-trap details (temporalKnown == true) ---
+    bool temporalKnown = false;
+    uint64_t ptrGeneration = 0;  ///< the pointer's key
+    uint64_t lockGeneration = 0; ///< current lock at the metadata
+    /** Slot reuses between the pointer's allocation and now (mod 16). */
+    uint64_t generationDelta = 0;
+    bool freeSiteKnown = false;
+    std::string freeFunction;
+    std::string freeBlock;
+
     /** Multi-line human-readable rendering. */
     std::string text() const;
     /** JSON object rendering (same fields, machine-consumable). */
@@ -145,6 +157,14 @@ class TrapForensics
         AllocSite site;
     };
 
+    /** A retired allocation: the original record plus the free site,
+     *  kept so temporal traps can name both ends of the lifetime. */
+    struct FreedRecord
+    {
+        AllocRecord alloc;
+        AllocSite freeSite;
+    };
+
     void
     noteAlloc(GuestAddr base, uint64_t size, AllocKind kind,
               AllocSite site)
@@ -152,16 +172,46 @@ class TrapForensics
         records_[base] = AllocRecord{base, size, kind, site};
     }
 
-    void noteFree(GuestAddr base) { records_.erase(base); }
+    /**
+     * Retire the record at @p base, remembering it (with @p free_site)
+     * for temporal-trap reports. Re-allocation at the same base keeps
+     * the most recent freed record, matching the generation scheme's
+     * notion of "the object this stale pointer referred to".
+     * (Defined below the class: a default argument of AllocSite{}
+     * would need the nested class's member initializers before the
+     * enclosing class is complete.)
+     */
+    inline void noteFree(GuestAddr base, AllocSite free_site);
+    inline void noteFree(GuestAddr base);
 
     /** The record with the greatest base <= @p addr, or null. */
     const AllocRecord *findBelow(GuestAddr addr) const;
+
+    /** The freed record with the greatest base <= @p addr, or null. */
+    const FreedRecord *findFreedBelow(GuestAddr addr) const;
 
     size_t recordCount() const { return records_.size(); }
 
   private:
     std::map<GuestAddr, AllocRecord> records_;
+    std::map<GuestAddr, FreedRecord> freed_;
 };
+
+inline void
+TrapForensics::noteFree(GuestAddr base, AllocSite free_site)
+{
+    auto it = records_.find(base);
+    if (it != records_.end()) {
+        freed_[base] = FreedRecord{it->second, free_site};
+        records_.erase(it);
+    }
+}
+
+inline void
+TrapForensics::noteFree(GuestAddr base)
+{
+    noteFree(base, AllocSite());
+}
 
 } // namespace infat
 

@@ -9,7 +9,7 @@
  *   r12  guest register file base   (RunCtx::regs)
  *   r13  bounds register file base  (RunCtx::bounds)
  *   r14  raw address of the memory record in flight
- *   r15  canonical (48-bit) form of r14
+ *   r15  canonical (layout::addrBits-wide) form of r14
  * rax/rcx/rdx and r11 are scratch; rdi/rsi/rdx/rcx carry helper
  * arguments (SysV).  Simulated counters are updated through absolute
  * addresses baked into the code (`movabs r11, &ctr; add [r11], n`).

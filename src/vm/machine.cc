@@ -102,7 +102,7 @@ Machine::Machine(Module &module, const LayoutRegistry *layouts,
     promote_ = std::make_unique<PromoteEngine>(
         mem_, config_.useCache ? &l1d_ : nullptr, regs_, config_.ifp);
     runtime_ = std::make_unique<Runtime>(mem_, regs_, config_.allocator,
-                                         config_.instrumented);
+                                         config_.instrumented, config_.ifp);
     registry_.add(&stats_);
     registry_.add(&promote_->stats());
     registry_.add(&l1d_.stats());
@@ -417,7 +417,8 @@ Machine::checkAccess(const Frame &frame, const Operand &addr_op,
             traps = b.valid() && !b.contains(ptr.addr(), size);
         }
         oracle_->check(operandProv(frame, addr_op), ptr.addr(), size,
-                       write, traps);
+                       write, traps,
+                       ptr.poison() == Poison::TemporalStale);
     }
     const Bounds *fault_bounds =
         addr_op.isReg() ? &frame.bounds[addr_op.payload] : nullptr;
@@ -428,7 +429,7 @@ Machine::checkAccess(const Frame &frame, const Operand &addr_op,
                              {"write", uint64_t{write}}});
         }
         noteFault(raw, size, write, fault_bounds);
-        throw GuestTrap(TrapKind::PoisonedAccess,
+        throw GuestTrap(poisonTrapKind(ptr.poison()),
                         poisonedAccessDetail(ptr, write));
     }
     GuestAddr addr = ptr.addr();
@@ -1122,7 +1123,7 @@ Machine::execGeneral(const Function *func, Frame &frame,
             RuntimeCost cost;
             runtime_->plainFree(addr, cost);
             if (forensics_)
-                forensics_->noteFree(addr);
+                forensics_->noteFree(addr, {true, func->id(), cur});
             applyCost(cost);
             if (tracer_.enabled(TraceCategory::Alloc)) {
                 tracer_.instant(TraceCategory::Alloc, "free",
@@ -1248,7 +1249,8 @@ Machine::execGeneral(const Function *func, Frame &frame,
             RuntimeCost cost;
             runtime_->deregisterObject(dereg_ptr, cost);
             if (forensics_)
-                forensics_->noteFree(dereg_ptr.addr());
+                forensics_->noteFree(dereg_ptr.addr(),
+                                     {true, func->id(), cur});
             applyCost(cost);
             cIfpArith_++;
             if (oracle_)
@@ -1286,9 +1288,26 @@ Machine::execGeneral(const Function *func, Frame &frame,
           case Opcode::IfpFree: {
             TaggedPtr ptr(evalOperand(frame, instr.a));
             RuntimeCost cost;
-            runtime_->ifpFree(ptr, cost);
+            try {
+                runtime_->ifpFree(ptr, cost);
+            } catch (const GuestTrap &) {
+                // Free-path validation trapped (double/stale/interior
+                // free). Diff the verdict before the trap propagates,
+                // and capture the pointer so the trap report decodes
+                // its metadata and generations.
+                noteFault(ptr.raw(), 0, false, nullptr);
+                if (oracle_ && !ptr.isNull())
+                    oracle_->checkFree(ptr.addr(), true,
+                                       operandProv(frame, instr.a));
+                applyCost(cost);
+                throw;
+            }
+            if (oracle_ && !ptr.isNull())
+                oracle_->checkFree(ptr.addr(), false,
+                                   operandProv(frame, instr.a));
             if (forensics_ && !ptr.isNull())
-                forensics_->noteFree(ptr.addr());
+                forensics_->noteFree(ptr.addr(),
+                                     {true, func->id(), cur});
             applyCost(cost);
             if (oracle_ && !ptr.isNull())
                 oracle_->freeObjectAt(ptr.addr());

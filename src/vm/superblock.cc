@@ -1113,7 +1113,7 @@ Machine::execSuperblockImpl(const Function *func, Frame &frame,
                 ptr, bp, fi.size, GuestMemory::pageSize);
             if (v == ops::CheckVerdict::Poisoned) {
                 noteFault(raw, fi.size, write, bp);
-                throw GuestTrap(TrapKind::PoisonedAccess,
+                throw GuestTrap(poisonTrapKind(ptr.poison()),
                                 poisonedAccessDetail(ptr, write));
             }
             if (v == ops::CheckVerdict::Null) {
@@ -1745,7 +1745,7 @@ Machine::execSuperblockImpl(const Function *func, Frame &frame,
                 RuntimeCost cost;
                 runtime_->plainFree(addr, cost);
                 if (forensics_)
-                    forensics_->noteFree(addr);
+                    forensics_->noteFree(addr, {true, func->id(), cur});
                 applyCost(cost);
                 if (instrs_ + fi.rest > config_.maxInstructions) {
                     if (prof)
@@ -1802,7 +1802,8 @@ Machine::execSuperblockImpl(const Function *func, Frame &frame,
                 RuntimeCost cost;
                 runtime_->deregisterObject(ptr, cost);
                 if (forensics_)
-                    forensics_->noteFree(ptr.addr());
+                    forensics_->noteFree(ptr.addr(),
+                                         {true, func->id(), cur});
                 applyCost(cost);
                 cIfpArith_++;
                 if (instrs_ + fi.rest > config_.maxInstructions) {
@@ -1845,9 +1846,16 @@ Machine::execSuperblockImpl(const Function *func, Frame &frame,
                 TaggedPtr ptr((fi.flags & sb::kAReg) ? regs[fi.a]
                                                      : fi.immA);
                 RuntimeCost cost;
-                runtime_->ifpFree(ptr, cost);
+                try {
+                    runtime_->ifpFree(ptr, cost);
+                } catch (const GuestTrap &) {
+                    noteFault(ptr.raw(), 0, false, nullptr);
+                    applyCost(cost);
+                    throw;
+                }
                 if (forensics_ && !ptr.isNull())
-                    forensics_->noteFree(ptr.addr());
+                    forensics_->noteFree(ptr.addr(),
+                                         {true, func->id(), cur});
                 applyCost(cost);
                 if (instrs_ + fi.rest > config_.maxInstructions) {
                     if (prof)

@@ -30,6 +30,16 @@ enum class TrapKind
     PoisonedAccess,
     /** Implicit or explicit bounds check failed at dereference. */
     BoundsViolation,
+    /**
+     * Load/store through a stale pointer: the generation key failed
+     * the lock comparison at promote (use-after-free).
+     */
+    TemporalViolation,
+    /**
+     * Free-path violation detected by the runtime: double free, free
+     * of a stale pointer, or free of an interior/unknown address.
+     */
+    InvalidFree,
     /** Dereference of (or near) NULL. */
     NullDereference,
     /** Integer division by zero. */
@@ -44,7 +54,36 @@ enum class TrapKind
     InstructionLimit,
 };
 
-const char *toString(TrapKind kind);
+// Header-only (the runtime library throws GuestTrap on free-path
+// violations and links below infat_vm, so trap machinery cannot live
+// in the vm library's objects).
+inline const char *
+toString(TrapKind kind)
+{
+    switch (kind) {
+      case TrapKind::PoisonedAccess:
+        return "poisoned access";
+      case TrapKind::BoundsViolation:
+        return "bounds violation";
+      case TrapKind::TemporalViolation:
+        return "temporal violation";
+      case TrapKind::InvalidFree:
+        return "invalid free";
+      case TrapKind::NullDereference:
+        return "null dereference";
+      case TrapKind::DivisionByZero:
+        return "division by zero";
+      case TrapKind::StackOverflow:
+        return "stack overflow";
+      case TrapKind::WorkloadAssert:
+        return "workload assertion";
+      case TrapKind::BadIndirectCall:
+        return "bad indirect call";
+      case TrapKind::InstructionLimit:
+        return "instruction limit";
+    }
+    return "?";
+}
 
 class GuestTrap : public std::runtime_error
 {
@@ -63,6 +102,21 @@ class GuestTrap : public std::runtime_error
     {
         return kind_ == TrapKind::PoisonedAccess ||
                kind_ == TrapKind::BoundsViolation;
+    }
+
+    /** True for the traps the temporal (lock-and-key) defense raises. */
+    bool
+    isTemporalViolation() const
+    {
+        return kind_ == TrapKind::TemporalViolation ||
+               kind_ == TrapKind::InvalidFree;
+    }
+
+    /** Any memory-safety detection (spatial or temporal axis). */
+    bool
+    isSafetyViolation() const
+    {
+        return isSpatialViolation() || isTemporalViolation();
     }
 
     /**
@@ -97,6 +151,26 @@ poisonedAccessDetail(TaggedPtr ptr, bool write)
 {
     return strfmt("%s at %s", write ? "store" : "load",
                   ptr.toString().c_str());
+}
+
+/**
+ * Trap kind for a dereference through a poisoned pointer: temporal
+ * staleness gets its own kind, everything else is the classic spatial
+ * PoisonedAccess. Shared by the general interpreter and the superblock
+ * engine so both throw identical traps (the JIT bails out to the
+ * interpreter before any trap is raised).
+ */
+inline TrapKind
+poisonTrapKind(Poison poison)
+{
+    return poison == Poison::TemporalStale ? TrapKind::TemporalViolation
+                                           : TrapKind::PoisonedAccess;
+}
+
+inline std::string
+invalidFreeDetail(const char *what, TaggedPtr ptr)
+{
+    return strfmt("%s of %s", what, ptr.toString().c_str());
 }
 
 inline std::string

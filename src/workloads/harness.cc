@@ -40,6 +40,8 @@ describe(const CustomRun &custom)
     std::string label = strfmt("custom-%s", toString(custom.allocator));
     if (custom.ifp.noPromote)
         label += "+np";
+    if (!custom.ifp.temporalEnabled)
+        label += "-notemporal";
     if (custom.explicitChecks)
         label += "+explicit";
     if (!custom.implicitChecks)

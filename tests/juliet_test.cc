@@ -39,6 +39,15 @@ TEST_P(JulietSuite, AllBadDetectedNoFalsePositives)
         return fp;
     }();
     EXPECT_EQ(result.total, generateSuite().size());
+    // The temporal cells outside the lock-and-key scheme's coverage
+    // miss by design, each accounted under its documented bucket:
+    // three register-held UAF cells (the stale key never reaches
+    // promote) and one 16-reuse generation-wraparound cell.
+    EXPECT_EQ(result.badExplained, 4u);
+    ASSERT_EQ(result.missBuckets.count("register_held"), 1u);
+    EXPECT_EQ(result.missBuckets.at("register_held"), 3u);
+    ASSERT_EQ(result.missBuckets.count("generation_wraparound"), 1u);
+    EXPECT_EQ(result.missBuckets.at("generation_wraparound"), 1u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Allocators, JulietSuite,
@@ -64,11 +73,17 @@ TEST(JulietBaseline, MissesIntraObjectCases)
 TEST(JulietSuiteShape, HasAllDimensions)
 {
     auto suite = generateSuite();
-    EXPECT_EQ(suite.size(), 4u * 3u * 8u * 2u);
+    // 4 spatial flaws x 3 locations x 8 patterns, plus the 11
+    // explicit temporal cells, each as a good/bad pair.
+    EXPECT_EQ(suite.size(), 4u * 3u * 8u * 2u + 11u * 2u);
     size_t intra = 0;
-    for (const TestCase &tc : suite)
+    size_t temporal = 0;
+    for (const TestCase &tc : suite) {
         intra += tc.intraObject();
+        temporal += tc.temporal();
+    }
     EXPECT_EQ(intra, 4u * 3u * 2u * 2u);
+    EXPECT_EQ(temporal, 11u * 2u);
 }
 
 } // namespace

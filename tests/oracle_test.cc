@@ -52,20 +52,91 @@ TEST(ShadowOracle, ClassifiesSubobjectExtent)
     EXPECT_EQ(oracle.classify(p, 0x2080, 8), Verdict::OutOfBounds);
 }
 
-TEST(ShadowOracle, AbstainsOnInvalidAndStaleProvenance)
+TEST(ShadowOracle, StaleProvenanceGetsTemporalVerdict)
 {
     ShadowOracle oracle;
     EXPECT_EQ(oracle.classify(Prov{}, 0x1000, 8), Verdict::Unknown);
 
     Prov p = oracle.registerObject(0x3000, 32, ObjectKind::Heap);
     oracle.freeObjectAt(0x3000);
-    EXPECT_EQ(oracle.classify(p, 0x3000, 8), Verdict::Unknown);
+    EXPECT_EQ(oracle.classify(p, 0x3000, 8), Verdict::Stale);
 
     // Re-registering the same base supersedes: the old provenance
-    // stays stale instead of adopting the new object's extent.
+    // keeps referring to the dead object (stale) instead of adopting
+    // the new object's extent.
     Prov p2 = oracle.registerObject(0x3000, 16, ObjectKind::Heap);
-    EXPECT_EQ(oracle.classify(p, 0x3000, 8), Verdict::Unknown);
+    EXPECT_EQ(oracle.classify(p, 0x3000, 8), Verdict::Stale);
     EXPECT_EQ(oracle.classify(p2, 0x3000, 8), Verdict::InBounds);
+}
+
+TEST(ShadowOracle, StaleVerdictFeedsTemporalCounters)
+{
+    ShadowOracle oracle;
+    Prov p = oracle.registerObject(0x3000, 32, ObjectKind::Heap);
+    oracle.freeObjectAt(0x3000);
+
+    // Defense trapped the use-after-free: temporal true positive.
+    oracle.check(p, 0x3000, 8, /*write=*/false, /*ifp_traps=*/true,
+                 /*ifp_temporal=*/true);
+    EXPECT_EQ(oracle.temporalTruePositives(), 1u);
+    // Missed it: temporal false negative — the *spatial* FN counter
+    // must not move (the spatial zero-FN gates keep their meaning).
+    oracle.check(p, 0x3000, 8, false, false);
+    EXPECT_EQ(oracle.temporalFalseNegatives(), 1u);
+    EXPECT_EQ(oracle.falseNegatives(), 0u);
+}
+
+TEST(ShadowOracle, CheckFreeDiffsDoubleFreeGroundTruth)
+{
+    ShadowOracle oracle;
+    oracle.registerObject(0x3000, 32, ObjectKind::Heap);
+
+    // Correct free, no trap: nothing moves.
+    oracle.checkFree(0x3000, /*ifp_traps=*/false);
+    oracle.freeObjectAt(0x3000);
+    EXPECT_EQ(oracle.temporalFalsePositives(), 0u);
+
+    // Double free caught by the runtime: temporal true positive.
+    oracle.checkFree(0x3000, true);
+    EXPECT_EQ(oracle.temporalTruePositives(), 1u);
+    // Double free missed: temporal false negative.
+    oracle.checkFree(0x3000, false);
+    EXPECT_EQ(oracle.temporalFalseNegatives(), 1u);
+    // Never-tracked address: abstain either way.
+    oracle.checkFree(0x7777, false);
+    EXPECT_EQ(oracle.temporalFalseNegatives(), 1u);
+
+    // Trapping a correct free of a live object is a false positive on
+    // both the temporal and overall axes.
+    oracle.registerObject(0x5000, 16, ObjectKind::Heap);
+    oracle.checkFree(0x5000, true);
+    EXPECT_EQ(oracle.temporalFalsePositives(), 1u);
+    EXPECT_EQ(oracle.falsePositives(), 1u);
+}
+
+TEST(ShadowOracle, CheckFreeProvenanceDisambiguatesRecycledSlot)
+{
+    ShadowOracle oracle;
+    Prov p = oracle.registerObject(0x3000, 32, ObjectKind::Heap);
+    oracle.freeObjectAt(0x3000);
+    // The allocator recycles the slot: live again under a new object.
+    Prov q = oracle.registerObject(0x3000, 32, ObjectKind::Heap);
+
+    // Base-keyed ground truth would call a trap here a false
+    // positive; the stale provenance proves it is a stale free.
+    oracle.checkFree(0x3000, true, p);
+    EXPECT_EQ(oracle.temporalTruePositives(), 1u);
+    EXPECT_EQ(oracle.temporalFalsePositives(), 0u);
+    // Missing the stale free is a temporal false negative.
+    oracle.checkFree(0x3000, false, p);
+    EXPECT_EQ(oracle.temporalFalseNegatives(), 1u);
+    // A correct free of the live new object must not trap...
+    oracle.checkFree(0x3000, true, q);
+    EXPECT_EQ(oracle.temporalFalsePositives(), 1u);
+    // ...and silently passing it moves nothing.
+    oracle.checkFree(0x3000, false, q);
+    EXPECT_EQ(oracle.temporalFalsePositives(), 1u);
+    EXPECT_EQ(oracle.temporalTruePositives(), 1u);
 }
 
 TEST(ShadowOracle, UnwindKillsCalleeStackObjects)
@@ -77,8 +148,8 @@ TEST(ShadowOracle, UnwindKillsCalleeStackObjects)
     Prov callee2 = oracle.registerObject(0x8e00, 32, ObjectKind::Stack);
 
     oracle.unwindStack(0x9000); // return: sp restored above callees
-    EXPECT_EQ(oracle.classify(callee1, 0x8f00, 8), Verdict::Unknown);
-    EXPECT_EQ(oracle.classify(callee2, 0x8e00, 8), Verdict::Unknown);
+    EXPECT_EQ(oracle.classify(callee1, 0x8f00, 8), Verdict::Stale);
+    EXPECT_EQ(oracle.classify(callee2, 0x8e00, 8), Verdict::Stale);
     EXPECT_EQ(oracle.classify(caller, 0x9000, 8), Verdict::InBounds);
 }
 
@@ -181,6 +252,16 @@ TEST(OracleJuliet, FullSuiteZeroFalseNegativesZeroFalsePositives)
     }();
     EXPECT_EQ(suite.total, juliet::generateSuite().size());
     EXPECT_GT(suite.checks, 0u);
+    // The temporal cells feed the temporal axis: detections become
+    // true positives, and the only false negatives sit in the two
+    // documented residual buckets.
+    EXPECT_GT(suite.temporalTruePositives, 0u);
+    EXPECT_EQ(suite.temporalFalsePositives, 0u);
+    EXPECT_EQ(suite.temporalFalseNegativesUnexplained, 0u);
+    ASSERT_EQ(suite.missBuckets.count("register_held"), 1u);
+    EXPECT_EQ(suite.missBuckets.at("register_held"), 3u);
+    ASSERT_EQ(suite.missBuckets.count("generation_wraparound"), 1u);
+    EXPECT_EQ(suite.missBuckets.at("generation_wraparound"), 1u);
 }
 
 } // namespace

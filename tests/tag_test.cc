@@ -13,11 +13,41 @@ namespace {
 
 TEST(Tag, LegacyPointerIsCanonical)
 {
-    TaggedPtr p = TaggedPtr::legacy(0x1234'5678'9abcULL);
-    EXPECT_EQ(p.raw(), 0x1234'5678'9abcULL);
+    // Addresses are layout::addrBits (44) wide; bits above that hold
+    // the generation key and the 16-bit tag.
+    TaggedPtr p = TaggedPtr::legacy(0x0234'5678'9abcULL);
+    EXPECT_EQ(p.raw(), 0x0234'5678'9abcULL);
     EXPECT_TRUE(p.isLegacy());
     EXPECT_FALSE(p.isPoisoned());
-    EXPECT_EQ(p.addr(), 0x1234'5678'9abcULL);
+    EXPECT_EQ(p.addr(), 0x0234'5678'9abcULL);
+    EXPECT_EQ(p.generation(), 0u);
+}
+
+TEST(Tag, GenerationKeyRoundTrip)
+{
+    TaggedPtr p = TaggedPtr::make(0xbeef0, Scheme::Subheap, 0x300);
+    EXPECT_EQ(p.generation(), 0u);
+    TaggedPtr q = p.withGeneration(11);
+    EXPECT_EQ(q.generation(), 11u);
+    // The key must not perturb the address, scheme, or tag fields.
+    EXPECT_EQ(q.addr(), p.addr());
+    EXPECT_EQ(q.scheme(), p.scheme());
+    EXPECT_EQ(q.meta12(), p.meta12());
+    EXPECT_EQ(q.poison(), Poison::Valid);
+    // Keys wrap modulo 2^4: writing 16+3 stores 3.
+    EXPECT_EQ(p.withGeneration(19).generation(), 3u);
+}
+
+TEST(Tag, TemporalStalePoisonIsSticky)
+{
+    TaggedPtr p = TaggedPtr::make(0x1000, Scheme::LocalOffset, 0x41)
+                      .withPoison(Poison::TemporalStale);
+    EXPECT_TRUE(p.isPoisoned());
+    EXPECT_EQ(p.poison(), Poison::TemporalStale);
+    // Pointer arithmetic on a stale pointer keeps the stale poison
+    // (same contract as Invalid: the trap fires at dereference).
+    TaggedPtr q = ops::ifpAdd(p, 8, Bounds());
+    EXPECT_EQ(q.poison(), Poison::TemporalStale);
 }
 
 TEST(Tag, FieldRoundTrip)

@@ -66,6 +66,11 @@ checkSuite(const juliet::OracleSuiteResult &suite, const char *label)
           std::string(label) + ": zero oracle false negatives");
     check(suite.falsePositives == 0,
           std::string(label) + ": zero oracle false positives");
+    check(suite.temporalFalsePositives == 0,
+          std::string(label) + ": zero temporal false positives");
+    check(suite.temporalFalseNegativesUnexplained == 0,
+          std::string(label) +
+              ": temporal misses limited to documented buckets");
     if (suite.falseNegatives + suite.falsePositives > 0) {
         for (const auto &[cell, counts] : suite.cells) {
             if (counts.falseNegatives + counts.falsePositives == 0)

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * End-to-end smoke test for the temporal (lock-and-key) defense, run
+ * as the `infat_temporal_smoke` ctest.
+ *
+ * Runs the generated Juliet suite — including the temporal CWE cells
+ * (use-after-free, dangling reload, double free; see juliet.hh) —
+ * with the shadow oracle attached under both allocators, and asserts
+ * the temporal detection matrix:
+ *
+ *  - every version-covered temporal bad case traps: use-after-free
+ *    through the promote path, reloads into recycled heap slots and
+ *    re-registered stack frames, double frees, and stale frees of
+ *    recycled slots;
+ *  - every undetected temporal case sits in a named explanation
+ *    bucket — "register_held" (the dangling pointer never round-trips
+ *    through promote) or "generation_wraparound" (16 slot reuses
+ *    alias the 4-bit key) — and those buckets hold exactly the
+ *    documented cells, nothing more;
+ *  - zero temporal false positives: no live pointer trips the
+ *    generation comparison and no correct free is rejected, even
+ *    across slot recycling;
+ *  - zero unexplained temporal false negatives against the oracle's
+ *    liveness ground truth.
+ *
+ * The combined spatial+temporal detection matrix is exported through
+ * the stat registry (--stats-json=PATH, default under TMPDIR),
+ * re-parsed, and the counters the CI jobs rely on are asserted
+ * present. Exits non-zero with a self-describing message on any
+ * violation.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "juliet/juliet.hh"
+#include "support/json.hh"
+#include "support/logging.hh"
+#include "support/stats.hh"
+
+using namespace infat;
+
+namespace {
+
+int failures = 0;
+
+void
+check(bool ok, const std::string &what)
+{
+    if (!ok) {
+        std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+        ++failures;
+    } else {
+        std::fprintf(stderr, "ok:   %s\n", what.c_str());
+    }
+}
+
+void
+checkTemporalSuite(const juliet::OracleSuiteResult &suite,
+                   StatGroup &group, const char *label)
+{
+    std::string prefix(label);
+    check(suite.badMissed == 0,
+          prefix + ": no unexplained bad-case misses");
+    check(suite.suiteFalsePositives == 0,
+          prefix + ": every good case passed");
+    check(suite.falseNegatives == 0 && suite.falsePositives == 0,
+          prefix + ": spatial oracle axes stay at zero");
+    check(suite.temporalTruePositives > 0,
+          prefix + ": temporal detections registered as TPs");
+    check(suite.temporalFalsePositives == 0,
+          prefix + ": zero temporal false positives");
+    check(suite.temporalFalseNegativesUnexplained == 0,
+          prefix + ": zero unexplained temporal false negatives");
+
+    // Per-cell detection matrix: every version-covered temporal bad
+    // case must have trapped; the explained misses must be exactly
+    // the documented residual cells.
+    size_t temporal_bad = 0;
+    size_t explained_misses = 0;
+    for (const juliet::OracleCaseOutcome &oc : suite.outcomes) {
+        const juliet::TestCase &tc = oc.outcome.testCase;
+        if (!tc.temporal())
+            continue;
+        std::string cell = std::string(toString(tc.flaw)) + "_" +
+                           toString(tc.location) + "_" +
+                           toString(tc.pattern);
+        if (!tc.bad) {
+            check(!oc.outcome.trapped,
+                  prefix + ": good variant of " + cell + " passes");
+            continue;
+        }
+        ++temporal_bad;
+        group.counter("matrix_" + cell)
+            .set(oc.outcome.trapped ? 1 : 0);
+        if (tc.expectedMissBucket() == nullptr) {
+            check(oc.outcome.trapped,
+                  prefix + ": detects " + cell);
+        } else {
+            explained_misses += !oc.outcome.trapped;
+        }
+    }
+    check(temporal_bad == 11,
+          prefix + ": all 11 temporal bad cells ran");
+    check(explained_misses == 4 && suite.badExplained == 4,
+          prefix + ": exactly the 4 documented residual misses");
+    auto bucket = [&](const char *name) -> size_t {
+        auto it = suite.missBuckets.find(name);
+        return it == suite.missBuckets.end() ? 0 : it->second;
+    };
+    check(bucket("register_held") == 3,
+          prefix + ": register_held bucket holds its 3 cells");
+    check(bucket("generation_wraparound") == 1,
+          prefix + ": generation_wraparound bucket holds its cell");
+    check(suite.missBuckets.size() == 2,
+          prefix + ": no unexpected explanation buckets");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+
+    std::string dir =
+        std::getenv("TMPDIR") ? std::getenv("TMPDIR") : ".";
+    std::string stats_path = dir + "/infat_temporal_smoke.json";
+    bool keep_stats = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--stats-json=", 13) == 0) {
+            stats_path = argv[i] + 13;
+            keep_stats = true;
+        }
+    }
+
+    StatGroup wrapped_group("juliet_temporal_wrapped");
+    StatGroup subheap_group("juliet_temporal_subheap");
+
+    juliet::OracleSuiteResult wrapped =
+        juliet::runSuiteWithOracle(AllocatorKind::Wrapped);
+    wrapped.addToStats(wrapped_group);
+    checkTemporalSuite(wrapped, wrapped_group, "temporal/wrapped");
+
+    juliet::OracleSuiteResult subheap =
+        juliet::runSuiteWithOracle(AllocatorKind::Subheap);
+    subheap.addToStats(subheap_group);
+    checkTemporalSuite(subheap, subheap_group, "temporal/subheap");
+
+    // --- stats-json export and re-parse ---
+    StatRegistry registry;
+    registry.add(&wrapped_group);
+    registry.add(&subheap_group);
+    registry.snapshot().writeFile(stats_path);
+
+    std::string err;
+    std::optional<JsonValue> doc = jsonParseFile(stats_path, &err);
+    check(doc.has_value(), "stats JSON parses");
+    if (doc) {
+        const JsonValue *groups = doc->find("groups");
+        for (const char *name :
+             {"juliet_temporal_wrapped", "juliet_temporal_subheap"}) {
+            const JsonValue *g =
+                groups ? groups->find(name) : nullptr;
+            check(g != nullptr,
+                  std::string("stats has group ") + name);
+            const JsonValue *scalars = g ? g->find("scalars") : nullptr;
+            for (const char *counter :
+                 {"bad_detected", "bad_missed", "bad_explained",
+                  "temporal_true_positives", "temporal_false_positives",
+                  "temporal_false_negatives_unexplained",
+                  "miss_bucket_register_held",
+                  "miss_bucket_generation_wraparound"}) {
+                check(scalars && scalars->find(counter) != nullptr,
+                      std::string(name) + " exports " + counter);
+            }
+            const JsonValue *fp =
+                scalars ? scalars->find("temporal_false_positives")
+                        : nullptr;
+            check(fp && fp->asUint() == 0,
+                  std::string(name) +
+                      ".temporal_false_positives exported as zero");
+        }
+    } else {
+        std::fprintf(stderr, "  parse error: %s\n", err.c_str());
+    }
+
+    if (!keep_stats)
+        std::remove(stats_path.c_str());
+
+    if (failures) {
+        std::fprintf(stderr, "%d check(s) failed\n", failures);
+        return 1;
+    }
+    std::fprintf(stderr, "all checks passed\n");
+    return 0;
+}
