@@ -15,6 +15,12 @@
  *   --jobs=N      concurrent runs in the parallel pass (default: cores)
  *   --smoke       small 4-workload subset; used by the
  *                 infat_parallel_smoke ctest and the CI smoke job
+ *   --repeat=N    time the serial pass (and each engine ablation
+ *                 pass) N times and record the best-of-N wall clock
+ *                 alongside the first run; every repeat is verified
+ *                 bit-identical to the first. Suite wall-clock on a
+ *                 shared machine is noisy — the perf target in
+ *                 ROADMAP.md is judged on the best-of number.
  *   --out=PATH    output JSON path (default BENCH_selfperf.json)
  *   --engine=E    pin the host interpreter engine for every run:
  *                 general | superblock-base | superblock-nofuse |
@@ -164,6 +170,7 @@ main(int argc, char **argv)
     bool smoke = false;
     bool matrix = false;
     bool no_matrix = false;
+    unsigned repeat = 1;
     std::string out = "BENCH_selfperf.json";
     std::string engine = "jit";
     for (int i = 1; i < argc; ++i) {
@@ -174,6 +181,8 @@ main(int argc, char **argv)
             matrix = true;
         else if (arg == "--no-matrix")
             no_matrix = true;
+        else if (arg.rfind("--repeat=", 0) == 0)
+            repeat = std::max(1, std::atoi(arg.c_str() + 9));
         else if (arg.rfind("--out=", 0) == 0)
             out = arg.substr(6);
         else if (arg.rfind("--engine=", 0) == 0)
@@ -208,6 +217,23 @@ main(int argc, char **argv)
 
     std::fprintf(stderr, "  serial pass (%zu runs)...\n", runs);
     SuitePass serial = runSuite(ws, 1);
+
+    // Best-of-N: rerun the serial pass repeat-1 more times, verify
+    // each repeat bit-identical to the first, keep the minimum wall
+    // clock. The first run's matrices stay the reference everywhere.
+    auto repeatBest = [&](const SuitePass &first, bool sim_only) {
+        double best = first.millis;
+        for (unsigned r = 1; r < repeat; ++r) {
+            std::fprintf(stderr, "    repeat %u/%u...\n", r + 1,
+                         repeat);
+            SuitePass pass = runSuite(ws, 1);
+            verifyIdentical(first, pass, "repeat", sim_only);
+            best = std::min(best, pass.millis);
+        }
+        return best;
+    };
+    double serial_best = repeatBest(serial, /*sim_only=*/false);
+
     std::fprintf(stderr, "  parallel pass (--jobs=%u)...\n", jobs);
     SuitePass parallel = runSuite(ws, jobs);
     verifyIdentical(serial, parallel, "parallel");
@@ -217,13 +243,15 @@ main(int argc, char **argv)
     struct EngineRow
     {
         std::string engine;
-        double millis = 0.0;
+        double millis = 0.0;     ///< first timed pass
+        double bestMillis = 0.0; ///< best of --repeat passes
     };
     std::vector<EngineRow> ablation;
     if (matrix) {
         for (const std::string &name : workloads::engineNames()) {
             if (name == engine) {
-                ablation.push_back({name, serial.millis});
+                ablation.push_back({name, serial.millis,
+                                    serial_best});
                 continue;
             }
             std::fprintf(stderr, "  ablation pass (--engine=%s)...\n",
@@ -232,7 +260,8 @@ main(int argc, char **argv)
             SuitePass pass = runSuite(ws, 1);
             verifyIdentical(serial, pass, name.c_str(),
                             /*sim_only=*/true);
-            ablation.push_back({name, pass.millis});
+            double best = repeatBest(pass, /*sim_only=*/false);
+            ablation.push_back({name, pass.millis, best});
         }
         workloads::setEngineTuning(tuningForEngine(engine));
     }
@@ -305,6 +334,9 @@ main(int argc, char **argv)
     table.addRow({"jobs", TextTable::cell(uint64_t(jobs))});
     table.addRow({"serial wall-clock (ms)",
                   TextTable::cell(uint64_t(serial.millis))});
+    if (repeat > 1)
+        table.addRow({strfmt("serial best-of-%u (ms)", repeat),
+                      TextTable::cell(uint64_t(serial_best))});
     table.addRow({"parallel wall-clock (ms)",
                   TextTable::cell(uint64_t(parallel.millis))});
     table.addRow({"speedup", strfmt("%.2fx", speedup)});
@@ -312,10 +344,15 @@ main(int argc, char **argv)
                   TextTable::cell(instrs)});
     table.addRow({"interpreter MIPS (serial)",
                   strfmt("%.1f", guest_mips)});
-    for (const EngineRow &row : ablation)
+    for (const EngineRow &row : ablation) {
         table.addRow({strfmt("engine %s serial (ms)",
                              row.engine.c_str()),
                       TextTable::cell(uint64_t(row.millis))});
+        if (repeat > 1)
+            table.addRow({strfmt("engine %s best-of-%u (ms)",
+                                 row.engine.c_str(), repeat),
+                          TextTable::cell(uint64_t(row.bestMillis))});
+    }
     table.addRow({"temporal-on pass (ms)",
                   TextTable::cell(uint64_t(temporal_on.millis))});
     table.addRow({"temporal-off pass (ms)",
@@ -347,7 +384,9 @@ main(int argc, char **argv)
     json.field("jobs", uint64_t(jobs));
     json.field("workloads", uint64_t(ws.size()));
     json.field("runs", uint64_t(runs));
+    json.field("repeat", uint64_t(repeat));
     json.field("serial_ms", serial.millis);
+    json.field("serial_best_ms", serial_best);
     json.field("parallel_ms", parallel.millis);
     json.field("speedup", speedup);
     json.field("runs_per_sec_serial",
@@ -364,11 +403,16 @@ main(int argc, char **argv)
         json.beginArray();
         for (const EngineRow &row : ablation) {
             double sec = row.millis / 1000.0;
+            double best_sec = row.bestMillis / 1000.0;
             json.beginObject();
             json.field("engine", std::string_view(row.engine));
             json.field("serial_ms", row.millis);
+            json.field("serial_best_ms", row.bestMillis);
             json.field("interpreter_mips_serial",
                        sec > 0.0 ? instrs / sec / 1e6 : 0.0);
+            json.field("interpreter_mips_serial_best",
+                       best_sec > 0.0 ? instrs / best_sec / 1e6
+                                      : 0.0);
             json.endObject();
         }
         json.endArray();

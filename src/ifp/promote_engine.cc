@@ -103,76 +103,11 @@ PromoteEngine::staleResult(TaggedPtr ptr, unsigned cycles)
     return result;
 }
 
+// The bypass ladder (no-promote, poisoned, null, legacy) is inline in
+// promote() — see promote_engine.hh; only retrieval lands here.
 PromoteResult
-PromoteEngine::promote(TaggedPtr ptr)
+PromoteEngine::promoteRetrieve(TaggedPtr ptr)
 {
-    PromoteResult result = promoteImpl(ptr);
-    promoteCycles_.sample(result.cycles);
-    if (result.retrieved() ||
-        result.outcome == PromoteResult::Outcome::MetaInvalid ||
-        result.outcome == PromoteResult::Outcome::TemporalStale) {
-        retrieveCycles_.sample(result.cycles);
-    }
-    return result;
-}
-
-PromoteResult
-PromoteEngine::promoteImpl(TaggedPtr ptr)
-{
-    promotes_++;
-    unsigned cycles = config_.promoteBaseCycles;
-
-    if (config_.noPromote) {
-        // The no-promote configuration (paper §5.2): promote costs the
-        // same as a nop and treats every pointer as legacy.
-        PromoteResult result;
-        result.outcome = PromoteResult::Outcome::BypassLegacy;
-        result.ptr = ptr;
-        result.bounds = Bounds::cleared();
-        result.cycles = 1;
-        return result;
-    }
-
-    // Figure 5: an invalid pointer must not drive a metadata lookup
-    // (the lookup depends on the pointer value and could fault). A
-    // stale pointer is bypassed for the same reason — its slot may by
-    // now describe a different live object whose metadata would
-    // revalidate it.
-    if (ptr.poison() == Poison::Invalid ||
-        ptr.poison() == Poison::TemporalStale) {
-        PromoteResult result;
-        result.outcome = PromoteResult::Outcome::BypassPoisoned;
-        result.ptr = ptr;
-        result.bounds = Bounds::cleared();
-        result.cycles = cycles;
-        if (ptr.poison() == Poison::TemporalStale)
-            bypassStale_++;
-        else
-            bypassInvalid_++;
-        return result;
-    }
-
-    if (ptr.isNull()) {
-        PromoteResult result;
-        result.outcome = PromoteResult::Outcome::BypassNull;
-        result.ptr = ptr;
-        result.bounds = Bounds::cleared();
-        result.cycles = cycles;
-        bypassNull_++;
-        return result;
-    }
-
-    if (ptr.isLegacy()) {
-        // Legacy pointers have bounds cleared and are never checked.
-        PromoteResult result;
-        result.outcome = PromoteResult::Outcome::BypassLegacy;
-        result.ptr = ptr;
-        result.bounds = Bounds::cleared();
-        result.cycles = cycles;
-        bypassLegacy_++;
-        return result;
-    }
-
     validPromotes_++;
     PromoteResult result;
     switch (ptr.scheme()) {

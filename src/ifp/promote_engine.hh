@@ -83,14 +83,74 @@ class PromoteEngine
     PromoteEngine(const PromoteEngine &) = delete;
     PromoteEngine &operator=(const PromoteEngine &) = delete;
 
-    PromoteResult promote(TaggedPtr ptr);
+    /**
+     * The hot decision path lives here, inline into both the
+     * interpreter and the JIT's promote runtime entry: every bypass
+     * outcome (no-promote config, already-poisoned, null, legacy)
+     * decides from the pointer bits alone — no metadata fetch, no
+     * cache traffic — and call-heavy instrumented code promotes the
+     * same few already-clean pointers over and over. Only retrieval
+     * (metadata actually read) goes out of line.
+     */
+    PromoteResult
+    promote(TaggedPtr ptr)
+    {
+        promotes_++;
+        unsigned cycles = config_.promoteBaseCycles;
+        PromoteResult result;
+        if (config_.noPromote) {
+            // The no-promote configuration (paper §5.2): promote
+            // costs the same as a nop and treats every pointer as
+            // legacy.
+            result.outcome = PromoteResult::Outcome::BypassLegacy;
+            result.ptr = ptr;
+            result.bounds = Bounds::cleared();
+            result.cycles = 1;
+            promoteCycles_.sample(result.cycles);
+            return result;
+        }
+        // Figure 5: an invalid pointer must not drive a metadata
+        // lookup (the lookup depends on the pointer value and could
+        // fault). A stale pointer is bypassed for the same reason —
+        // its slot may by now describe a different live object whose
+        // metadata would revalidate it.
+        if (ptr.poison() == Poison::Invalid ||
+            ptr.poison() == Poison::TemporalStale) {
+            result.outcome = PromoteResult::Outcome::BypassPoisoned;
+            if (ptr.poison() == Poison::TemporalStale)
+                bypassStale_++;
+            else
+                bypassInvalid_++;
+        } else if (ptr.isNull()) {
+            result.outcome = PromoteResult::Outcome::BypassNull;
+            bypassNull_++;
+        } else if (ptr.isLegacy()) {
+            // Legacy pointers have bounds cleared, never checked.
+            result.outcome = PromoteResult::Outcome::BypassLegacy;
+            bypassLegacy_++;
+        } else {
+            result = promoteRetrieve(ptr);
+            promoteCycles_.sample(result.cycles);
+            // Retrieval outcomes are exactly Retrieved / MetaInvalid
+            // / TemporalStale — all belong in the retrieval histogram.
+            retrieveCycles_.sample(result.cycles);
+            return result;
+        }
+        result.ptr = ptr;
+        result.bounds = Bounds::cleared();
+        result.cycles = cycles;
+        promoteCycles_.sample(result.cycles);
+        return result;
+    }
 
     StatGroup &stats() { return stats_; }
     const IfpConfig &config() const { return config_; }
     void setConfig(const IfpConfig &config) { config_ = config; }
 
   private:
-    PromoteResult promoteImpl(TaggedPtr ptr);
+    /** The retrieval tail of promote(): scheme dispatch + metadata
+     *  fetch. Returns Retrieved, MetaInvalid, or TemporalStale. */
+    PromoteResult promoteRetrieve(TaggedPtr ptr);
 
     /** Charge a metadata fetch of @p len bytes through the cache. */
     void fetch(GuestAddr addr, uint64_t len, unsigned &cycles);

@@ -175,6 +175,26 @@ GuestProfiler::totalCheckCycles() const
 }
 
 uint64_t
+GuestProfiler::totalCallSiteCalls() const
+{
+    uint64_t total = 0;
+    for (const FunctionData &f : funcs_)
+        for (const auto &[key, s] : f.callSites)
+            total += s.calls;
+    return total;
+}
+
+uint64_t
+GuestProfiler::totalCallSiteCycles() const
+{
+    uint64_t total = 0;
+    for (const FunctionData &f : funcs_)
+        for (const auto &[key, s] : f.callSites)
+            total += s.cycles;
+    return total;
+}
+
+uint64_t
 GuestProfiler::totalBndCycles() const
 {
     uint64_t total = 0;
@@ -199,9 +219,17 @@ GuestProfiler::sectionJson(size_t top_k) const
         uint32_t ip;
         const CheckSiteCounters *c;
     };
+    struct CallRef
+    {
+        uint32_t func;
+        uint32_t block;
+        uint32_t ip;
+        const CallSiteCounters *c;
+    };
 
     std::vector<BlockRef> blocks;
     std::vector<SiteRef> sites;
+    std::vector<CallRef> callSites;
     for (uint32_t fid = 0; fid < funcs_.size(); ++fid) {
         const FunctionData &f = funcs_[fid];
         for (uint32_t b = 0; b < f.blocks.size(); ++b)
@@ -210,6 +238,9 @@ GuestProfiler::sectionJson(size_t top_k) const
         for (const auto &[key, s] : f.sites)
             sites.push_back({fid, static_cast<uint32_t>(key >> 32),
                              static_cast<uint32_t>(key), &s});
+        for (const auto &[key, s] : f.callSites)
+            callSites.push_back({fid, static_cast<uint32_t>(key >> 32),
+                                 static_cast<uint32_t>(key), &s});
     }
     // Rank by cycles; ties broken by static id so the export is
     // deterministic across runs of the same simulation.
@@ -222,6 +253,13 @@ GuestProfiler::sectionJson(size_t top_k) const
               });
     std::sort(sites.begin(), sites.end(),
               [](const SiteRef &a, const SiteRef &b) {
+                  if (a.c->cycles != b.c->cycles)
+                      return a.c->cycles > b.c->cycles;
+                  return std::tie(a.func, a.block, a.ip) <
+                         std::tie(b.func, b.block, b.ip);
+              });
+    std::sort(callSites.begin(), callSites.end(),
+              [](const CallRef &a, const CallRef &b) {
                   if (a.c->cycles != b.c->cycles)
                       return a.c->cycles > b.c->cycles;
                   return std::tie(a.func, a.block, a.ip) <
@@ -297,6 +335,21 @@ GuestProfiler::sectionJson(size_t top_k) const
     }
     w.endArray();
 
+    w.key("call_sites");
+    w.beginArray();
+    for (size_t i = 0; i < callSites.size() && i < top_k; ++i) {
+        const CallRef &s = callSites[i];
+        w.beginObject();
+        w.field("func", s.func);
+        w.field("function", functionName(s.func));
+        w.field("block", s.block);
+        w.field("ip", s.ip);
+        w.field("calls", s.c->calls);
+        w.field("cycles", s.c->cycles);
+        w.endObject();
+    }
+    w.endArray();
+
     w.key("totals");
     w.beginObject();
     w.field("block_cycles", totalBlockCycles());
@@ -311,6 +364,9 @@ GuestProfiler::sectionJson(size_t top_k) const
     w.field("check_executions", totalCheckExecutions());
     w.field("check_elided", totalCheckElided());
     w.field("check_cycles", totalCheckCycles());
+    w.field("call_sites", static_cast<uint64_t>(callSites.size()));
+    w.field("call_site_calls", totalCallSiteCalls());
+    w.field("call_site_cycles", totalCallSiteCycles());
     w.field("bnd_ldst_cycles", totalBndCycles());
     w.endObject();
 

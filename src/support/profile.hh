@@ -35,6 +35,7 @@
  * tests/profile_test.cc, documented in docs/OBSERVABILITY.md):
  *  - sum of per-function bnd_ldst_cycles == vm.cycles_bnd_ldst
  *  - sum of check-site executions == vm.implicit_checks
+ *  - sum of call-site calls == vm.calls
  *  - sum of block self cycles <= vm.cycles (trap/abandoned partial
  *    blocks are the only unattributed remainder)
  */
@@ -66,6 +67,27 @@ class GuestProfiler
         uint64_t executions = 0; ///< implicit checks actually evaluated
         uint64_t elided = 0;     ///< host-side elisions (superblock)
         uint64_t cycles = 0;     ///< access cost: 1 + cache latency
+    };
+
+    /**
+     * Per-call-site attribution: the static id (func, block, ip) of a
+     * Call/CallPtr instruction. `calls` is bumped exactly where the
+     * engines bump vm.calls, so the reconciliation invariant is
+     * sum(call-site calls) == vm.calls, exact (infat_profile_smoke
+     * asserts it). `cycles` is the *inclusive* callee time observed
+     * across the call — flushed out of the caller block's self cost,
+     * and counted again at every enclosing site of a nested chain, so
+     * site cycles may sum past vm.cycles — and is abandoned when the
+     * callee traps (same partial-attribution rule as block self
+     * cycles). These sites are the profiler-side view of
+     * the call sites the tier-2 JIT inlines (vm.tier.call_inlined);
+     * attaching the profiler forces the interpreter engines, so both
+     * views are never live in one run.
+     */
+    struct CallSiteCounters
+    {
+        uint64_t calls = 0;  ///< guest calls made through the site
+        uint64_t cycles = 0; ///< callee cycles attributed to the site
     };
 
     // --- registration (once per function, on first activation) ---
@@ -106,6 +128,23 @@ class GuestProfiler
     void countCheckSite(uint32_t func, uint32_t block, uint32_t ip,
                         uint64_t cycles, uint64_t checks,
                         uint64_t elided);
+
+    /** One guest call through the site; made before the call runs so
+     *  a trapping callee still counts (vm.calls does too). */
+    void
+    countCallSite(uint32_t func, uint32_t block, uint32_t ip)
+    {
+        ensure(func);
+        ++funcs_[func].callSites[key(block, ip)].calls;
+    }
+
+    /** Callee cycle delta for a completed call through the site. */
+    void
+    addCallSiteCycles(uint32_t func, uint32_t block, uint32_t ip,
+                      uint64_t cycles)
+    {
+        funcs_[func].callSites[key(block, ip)].cycles += cycles;
+    }
 
     void
     addBndCycles(uint32_t func, uint64_t cycles)
@@ -168,6 +207,8 @@ class GuestProfiler
     uint64_t totalCheckElided() const;
     uint64_t totalCheckCycles() const;
     uint64_t totalBndCycles() const;
+    uint64_t totalCallSiteCalls() const;
+    uint64_t totalCallSiteCycles() const;
 
     const std::string &functionName(uint32_t func) const;
 
@@ -180,6 +221,8 @@ class GuestProfiler
         std::vector<BlockCounters> blocks;
         /** Check sites keyed by (block << 32) | ip. */
         std::map<uint64_t, CheckSiteCounters> sites;
+        /** Call sites, same key scheme. */
+        std::map<uint64_t, CallSiteCounters> callSites;
         uint64_t calls = 0;
         uint64_t bndCycles = 0;
     };
@@ -196,6 +239,12 @@ class GuestProfiler
     {
         if (func >= funcs_.size())
             funcs_.resize(func + 1);
+    }
+
+    static uint64_t
+    key(uint32_t block, uint32_t ip)
+    {
+        return (static_cast<uint64_t>(block) << 32) | ip;
     }
 
     BlockCounters &

@@ -6,6 +6,7 @@
  *
  * Register convention inside a compiled block (all callee-saved, so
  * they survive the out-of-line helper calls):
+ *   rbx  the invocation's RunCtx*  (curBlock/retVal/retBounds access)
  *   r12  guest register file base   (RunCtx::regs)
  *   r13  bounds register file base  (RunCtx::bounds)
  *   r14  raw address of the memory record in flight
@@ -20,6 +21,7 @@
 #include <cstddef>
 #include <cstring>
 #include <deque>
+#include <limits>
 #include <vector>
 
 #include "cache/cache.hh"
@@ -325,6 +327,29 @@ class Asm
         mem(7, base, disp);
         u8(imm);
     }
+    /** Sign-extend rax into rdx:rax. */
+    void
+    cqo()
+    {
+        u8(0x48);
+        u8(0x99);
+    }
+    /** Unsigned rdx:rax / r → quotient rax, remainder rdx. */
+    void
+    divR(unsigned r)
+    {
+        rex(true, 0, r);
+        u8(0xF7);
+        modrm(3, 6, r);
+    }
+    /** Signed rdx:rax / r → quotient rax, remainder rdx. */
+    void
+    idivR(unsigned r)
+    {
+        rex(true, 0, r);
+        u8(0xF7);
+        modrm(3, 7, r);
+    }
     void
     imulRR(unsigned d, unsigned s)
     {
@@ -611,6 +636,9 @@ struct Pending
     uint64_t ifpCnt = 0;
     uint64_t loads = 0;
     uint64_t stores = 0;
+    uint64_t bnd = 0;    ///< BndLdSt class cycles (emitted Ret)
+    uint64_t bndCnt = 0; ///< vm.bnd_ldst count (emitted Ret)
+    uint64_t promote = 0;///< Promote class cycles (emitted Promote)
 };
 
 class Compiler
@@ -624,7 +652,11 @@ class Compiler
         a_.push(R13);
         a_.push(R14);
         a_.push(R15);
-        // rdi = RunCtx*
+        // rdi = RunCtx*. rbx keeps it live for the whole invocation
+        // (callee-saved, so it survives helper calls and chained
+        // jumps): the call/ret templates read curBlock/retVal/
+        // retBounds through it at run time.
+        a_.movRR(RBX, RDI);
         a_.movRM(R12, RDI, offsetof(RunCtx, regs));
         a_.movRM(R13, RDI, offsetof(RunCtx, bounds));
         // Chained jumps from other blocks of the same frame land
@@ -673,6 +705,17 @@ class Compiler
             a_.movRI(RAX, bailValue(b.idx));
             a_.jmp(epilogue_);
         }
+        for (ExtExit &e : extExits_) {
+            // Trap/general exits fire only after a call record whose
+            // template flushed (and reset) the prefix sums before
+            // entering the runtime, so there is nothing to settle.
+            a_.bind(e.label);
+            a_.movRI(RAX, e.bits |
+                              (static_cast<uint64_t>(ctx_.blockId)
+                               << 32) |
+                              e.idx);
+            a_.jmp(epilogue_);
+        }
         a_.bind(epilogue_);
         a_.pop(R15);
         a_.pop(R14);
@@ -705,6 +748,13 @@ class Compiler
         return bails_.back().label;
     }
 
+    Label &
+    extExitFor(uint32_t idx, uint64_t bits)
+    {
+        extExits_.push_back({idx, bits, {}});
+        return extExits_.back().label;
+    }
+
     void
     callAbs(const void *fn)
     {
@@ -715,7 +765,7 @@ class Compiler
     void
     counterAdd(uint64_t *ctr, uint64_t n)
     {
-        if (n == 0)
+        if (n == 0 || ctr == nullptr)
             return;
         a_.movRI(R11, reinterpret_cast<uint64_t>(ctr));
         a_.aluMI(EXT_ADD, R11, 0, static_cast<int32_t>(n));
@@ -761,6 +811,9 @@ class Compiler
         counterAdd(bind_.cIfpArith, p.ifpCnt);
         counterAdd(bind_.cLoads, p.loads);
         counterAdd(bind_.cStores, p.stores);
+        counterAdd(bind_.classBndLdSt, p.bnd);
+        counterAdd(bind_.cBndLdSt, p.bndCnt);
+        counterAdd(bind_.classPromote, p.promote);
     }
 
     /**
@@ -1135,6 +1188,14 @@ class Compiler
         Pending pending; ///< prefix sums when the bail was created
     };
     std::deque<Bail> bails_;
+    /** Post-runtime-call exits (kExitTrapBit / kExitGeneralBit). */
+    struct ExtExit
+    {
+        uint32_t idx;
+        uint64_t bits;
+        Label label;
+    };
+    std::deque<ExtExit> extExits_;
 };
 
 bool
@@ -1519,8 +1580,158 @@ Compiler::emitRecord(const sb::Record &fi, uint32_t idx)
         return true;
       }
 
-      // --- everything else runs interpreted (calls, division,
-      // allocation/promote-engine records, ret, trap) ---
+      case sb::Op::Div: {
+        // Any div-by-zero bails so the interpreter re-executes the
+        // record and raises the exact DivisionByZero trap.
+        Label &bail = bailFor(idx);
+        charges(fi, 1, 1, 0, 0, 0);
+        loadVal(RAX, areg, fi.a, fi.immA);
+        loadVal(RCX, breg, fi.b, fi.immB);
+        a_.aluRR(0x85, RCX, RCX);
+        a_.jcc(CC_E, bail);
+        Opcode op = static_cast<Opcode>(fi.sub);
+        bool is_rem = op == Opcode::SRem || op == Opcode::URem;
+        if (op == Opcode::SDiv || op == Opcode::SRem) {
+            // INT64_MIN / -1 faults in idiv; the interpreter defines
+            // it as (lhs, 0) — compute that without dividing.
+            Label do_div, store;
+            a_.aluRI(EXT_CMP, RCX, -1);
+            a_.jcc(CC_NE, do_div);
+            a_.movRI(RDX, 0x8000000000000000ULL);
+            a_.aluRR(0x39, RAX, RDX);
+            a_.jcc(CC_NE, do_div);
+            if (is_rem)
+                a_.movRI(RAX, 0);
+            a_.jmp(store);
+            a_.bind(do_div);
+            a_.cqo();
+            a_.idivR(RCX);
+            if (is_rem)
+                a_.movRR(RAX, RDX);
+            a_.bind(store);
+        } else {
+            a_.movRI(RDX, 0);
+            a_.divR(RCX);
+            if (is_rem)
+                a_.movRR(RAX, RDX);
+        }
+        sextReg(RAX, fi.sextBits);
+        a_.movMR(R12, regDisp(fi.dst), RAX);
+        boundsClear(fi.dst);
+        return true;
+      }
+
+      case sb::Op::Alloca: {
+        if (bind_.sp == nullptr)
+            return false;
+        // On overflow the interpreter re-executes the record (write
+        // sp_, then throw), so the emitted path must bail *before*
+        // touching sp_ for the replay to start from the same state.
+        Label &bail = bailFor(idx);
+        charges(fi, 1, 1, 0, 0, 0);
+        a_.movRI(R11, reinterpret_cast<uint64_t>(bind_.sp));
+        a_.movRM(RAX, R11, 0);
+        if (fi.size <=
+            static_cast<uint64_t>(
+                std::numeric_limits<int32_t>::max())) {
+            a_.aluRI(EXT_SUB, RAX, static_cast<int32_t>(fi.size));
+        } else {
+            a_.movRI(RCX, fi.size);
+            a_.aluRR(0x29, RAX, RCX);
+        }
+        a_.aluRI(EXT_AND, RAX, -16); // roundDown(sp - size, 16)
+        a_.movRI(RCX, layout::stackLimit);
+        a_.aluRR(0x39, RAX, RCX);
+        a_.jcc(CC_B, bail);
+        a_.movMR(R11, 0, RAX);
+        a_.movMR(R12, regDisp(fi.dst), RAX);
+        boundsClear(fi.dst);
+        return true;
+      }
+
+      case sb::Op::Call:
+      case sb::Op::CallPtr: {
+        if (!bind_.inlineCalls || bind_.machine == nullptr)
+            return false;
+        charges(fi, 1, 1, 0, 0, 0);
+        // The runtime (and everything below it: callee charges, budget
+        // guards, traps) reads the live counters, so the prefix sums
+        // must be settled — and restarted — around the call.
+        flushPending(pending_);
+        pending_ = Pending{};
+        // Chained jumps do not maintain frame.curBlock; a trap inside
+        // the callee symbolizes the caller from it, so store the
+        // compile-time block id before entering the runtime.
+        a_.movRM(RAX, RBX, offsetof(RunCtx, curBlock));
+        a_.movRI(RCX, ctx_.blockId);
+        a_.movMR32(RAX, 0, RCX);
+        a_.movRI(RDI, reinterpret_cast<uint64_t>(bind_.machine));
+        a_.movRI(RSI, reinterpret_cast<uint64_t>(&fi));
+        callAbs(reinterpret_cast<const void *>(&guestCallRuntime));
+        a_.aluRI(EXT_CMP, RAX, 1);
+        a_.jcc(CC_E, extExitFor(idx, kExitBail | kExitTrapBit));
+        a_.jcc(CC_A, extExitFor(idx, kExitBail | kExitGeneralBit));
+        return true;
+      }
+
+      case sb::Op::Promote: {
+        if (!bind_.inlineCalls || bind_.machine == nullptr)
+            return false;
+        // Own charge is 1 cycle in the Promote class; the runtime adds
+        // the engine's extra cycles and counters directly, which is
+        // order-independent with the deferred prefix sums (nothing in
+        // a block reads the cells).
+        charges(fi, 1, 0, 0, 0, 0);
+        pending_.promote += 1;
+        a_.movRI(RDI, reinterpret_cast<uint64_t>(bind_.machine));
+        a_.movRM(RSI, R12, regDisp(fi.a));
+        a_.leaRM(RDX, R13, bndDisp(fi.dst));
+        callAbs(reinterpret_cast<const void *>(&promoteRuntime));
+        a_.movMR(R12, regDisp(fi.dst), RAX);
+        return true;
+      }
+
+      case sb::Op::Ret: {
+        if (!bind_.inlineCalls)
+            return false;
+        charges(fi, 1, 1, 0, 0, 0);
+        // The activation epilogue's saved-bounds reload, exactly as
+        // the interpreter's Ret charges it.
+        pending_.instrs += ctx_.savedBounds;
+        pending_.cycles += ctx_.savedBoundsCycles;
+        pending_.bnd += ctx_.savedBoundsCycles;
+        pending_.bndCnt += ctx_.savedBounds;
+        flushPending(pending_);
+        a_.movRM(RCX, RBX, offsetof(RunCtx, retBounds));
+        a_.aluRR(0x85, RCX, RCX);
+        Label no_bounds;
+        a_.jcc(CC_E, no_bounds);
+        if (areg) {
+            a_.movRM(RAX, R13, bndDisp(fi.a) + 0);
+            a_.movMR(RCX, 0, RAX);
+            a_.movRM(RAX, R13, bndDisp(fi.a) + 8);
+            a_.movMR(RCX, 8, RAX);
+            a_.movRM(RAX, R13, bndDisp(fi.a) + 16);
+            a_.movMR(RCX, 16, RAX);
+        } else {
+            a_.movMI(RCX, 0, 0);
+            a_.movMI(RCX, 8, 0);
+            a_.movMI(RCX, 16, 0);
+        }
+        a_.bind(no_bounds);
+        if (fi.flags & sb::kMisc)
+            a_.movRI(RAX, 0);
+        else
+            loadVal(RAX, areg, fi.a, fi.immA);
+        a_.movMR(RBX, offsetof(RunCtx, retVal), RAX);
+        counterAdd(bind_.tierInlineRets, 1);
+        a_.movRI(RAX, kExitRet);
+        a_.jmp(epilogue_);
+        return true;
+      }
+
+      // --- everything else runs interpreted (heap allocation, frees,
+      // object registration, trap) ---
       default:
         return false;
     }
@@ -1553,6 +1764,9 @@ compileBlock(const BlockCtx &ctx, const MachineBinding &bind,
              ExecArena &arena, CompiledBlock &out, uint32_t minCovered)
 {
     if (!available())
+        return false;
+    // Bail-family exit values carry the block id in bits 60:32.
+    if (ctx.blockId > kExitBlockMask)
         return false;
     const sb::Block &blk = ctx.blocks[ctx.blockId];
     Compiler c(ctx, bind);

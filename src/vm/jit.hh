@@ -7,11 +7,16 @@
  * moves, geps, single-cycle IFP arithmetic via tiny out-of-line
  * helpers), plain and fused loads/stores with the implicit IFP
  * tag-and-bounds check inlined branchlessly on the hit path, and the
- * in-block terminators (jmp / br / fused cmp+br). Anything else —
- * calls, division, allocation and promote-engine records, ret, trap —
- * ends the prefix: the emitted code exits back to the interpreter with
- * the record index to resume from (a "bailout"), and the interpreter
- * executes the rest of the block with exact semantics.
+ * in-block terminators (jmp / br / fused cmp+br), plus — since the
+ * guest calling convention moved into emitted code — division, stack
+ * allocation, promote-engine records, guest calls (through the
+ * Machine::jitGuestCall runtime entry, which runs the callee through
+ * the normal tiered machinery so hot callees execute their own jitted
+ * blocks), and ret. Anything else — heap allocation, frees, object
+ * registration, trap — ends the prefix: the emitted code exits back to
+ * the interpreter with the record index to resume from (a "bailout"),
+ * and the interpreter executes the rest of the block with exact
+ * semantics.
  *
  * Exactness contract (the same one the superblock engine obeys): a
  * record either executes completely in jitted code — with simulated
@@ -41,6 +46,7 @@ namespace infat {
 class Cache;
 class GuestMemory;
 class ExecArena;
+class Machine;
 
 namespace jit {
 
@@ -58,18 +64,46 @@ struct RunCtx
 {
     uint64_t *regs;
     Bounds *bounds;
+    /**
+     * &Frame::curBlock of the executing frame. Chained jumps do not
+     * maintain it, so the call template stores its own block id here
+     * before entering the runtime: a trap inside the callee must
+     * symbolize the caller's exact block for forensics.
+     */
+    ir::BlockId *curBlock = nullptr;
+    /** Guest return value, set by an emitted Ret before kExitRet. */
+    uint64_t retVal = 0;
+    /** The caller's ret_bounds slot (may be null), for emitted Ret. */
+    Bounds *retBounds = nullptr;
 };
 
 /**
- * Return-value protocol of a compiled block: bit 63 clear means
- * execution ran to a terminator and the low 32 bits are the next
- * BlockId; bit 63 set means a bailout — bits 62:32 are the BlockId of
- * the block the bail happened in (compiled blocks chain directly into
- * each other, so this is not necessarily the block the interpreter
- * entered) and the low 32 bits are the record index to resume at,
- * with no partial effects from that record applied.
+ * Return-value protocol of a compiled block. Bit 63 clear: either the
+ * kExitRet sentinel (an emitted Ret completed the activation and
+ * RunCtx::retVal/retBounds hold the result) or the low 32 bits are the
+ * next BlockId. Bit 63 set means the block did not run to a plain
+ * terminator — bits 60:32 are the BlockId of the block the exit
+ * happened in (compiled blocks chain directly into each other, so this
+ * is not necessarily the block the interpreter entered) and the low
+ * 32 bits are the record index involved:
+ *
+ *  - neither kExitTrapBit nor kExitGeneralBit: a bailout — resume
+ *    interpreting at that record, no partial effects applied;
+ *  - kExitTrapBit: a guest trap was raised inside a jitted callee and
+ *    parked in Machine::pendingTrap_ (a C++ exception must not unwind
+ *    through an emitted frame); the dispatch loop rethrows it;
+ *  - kExitGeneralBit: the rest of the activation must replay on the
+ *    general engine starting *after* that record (post-call budget
+ *    pressure, or a deopt inside the callee forcing every live
+ *    emitted frame to unwind).
  */
 constexpr uint64_t kExitBail = 1ULL << 63;
+constexpr uint64_t kExitTrapBit = 1ULL << 62;
+constexpr uint64_t kExitGeneralBit = 1ULL << 61;
+/** Block-id field of a bail-family exit value (bits 60:32). */
+constexpr uint64_t kExitBlockMask = 0x1FFFFFFFULL;
+/** Distinguished non-bail exit: an emitted Ret ended the activation. */
+constexpr uint64_t kExitRet = 1ULL << 62;
 
 using BlockFn = uint64_t (*)(RunCtx *);
 
@@ -98,7 +132,40 @@ struct MachineBinding
     uint64_t maxInstructions = ~0ULL;
     /** vm.tier.jit_blocks cell; chained entries count themselves. */
     uint64_t *tierBlocksRun = nullptr;
+    /** vm.tier.call_jit_rets cell; emitted Rets count themselves. */
+    uint64_t *tierInlineRets = nullptr;
+    /** BndLdSt class-cycle cell (emitted Ret's saved-bounds reload). */
+    uint64_t *classBndLdSt = nullptr;
+    /** vm.bnd_ldst counter cell (paired with classBndLdSt). */
+    uint64_t *cBndLdSt = nullptr;
+    /** Promote class-cycle cell (emitted Promote's own charge). */
+    uint64_t *classPromote = nullptr;
+    /** &Machine::sp_, for the emitted Alloca stack-pointer update. */
+    uint64_t *sp = nullptr;
+    /**
+     * Runtime-entry receiver for guest calls and promotes. When null
+     * (or inlineCalls is false — the jit-nocalls ablation engine),
+     * Call/CallPtr/Ret/Alloca/Promote records have no template and the
+     * block bails at them as PR 7 did.
+     */
+    Machine *machine = nullptr;
+    bool inlineCalls = true;
 };
+
+/**
+ * Out-of-line runtime entries for the emitted guest-call convention,
+ * defined next to the interpreter in machine.cc so the semantics stay
+ * side by side. guestCallRuntime executes one Call/CallPtr record
+ * (argument marshalling, depth guard, callee execution through the
+ * normal tiered machinery, return write-back) and reports how emitted
+ * code must continue; promoteRuntime executes one Promote record's
+ * engine decision and returns the (possibly rewritten) pointer.
+ */
+constexpr uint64_t kCallOk = 0;           ///< continue in emitted code
+constexpr uint64_t kCallTrapPending = 1;  ///< exit kExitTrapBit
+constexpr uint64_t kCallResumeGeneral = 2;///< exit kExitGeneralBit
+uint64_t guestCallRuntime(Machine *m, const sb::Record *rec);
+uint64_t promoteRuntime(Machine *m, uint64_t raw, Bounds *out_bounds);
 
 /**
  * The function-level context of the block being compiled: terminators
@@ -115,6 +182,14 @@ struct BlockCtx
     const void *const *jitEntries = nullptr;
     /** Id of the block being compiled. */
     uint32_t blockId = 0;
+    /**
+     * The function's saved-bounds reload charge, replayed by an
+     * emitted Ret exactly as Machine::execFunction's epilogue charges
+     * it: savedBounds instructions/bnd_ldst ops, savedBoundsCycles
+     * cycles in the BndLdSt class.
+     */
+    uint32_t savedBounds = 0;
+    uint32_t savedBoundsCycles = 0;
 };
 
 struct CompiledBlock

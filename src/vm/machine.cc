@@ -135,6 +135,15 @@ Machine::Machine(Module &module, const LayoutRegistry *layouts,
     bind.useCache = config_.useCache;
     bind.maxInstructions = config_.maxInstructions;
     bind.tierBlocksRun = tier_->blocksRunCell();
+    bind.tierInlineRets = tier_->inlineRetsCell();
+    bind.classBndLdSt =
+        &classCycles_[static_cast<size_t>(CycleClass::BndLdSt)];
+    bind.cBndLdSt = cBndLdSt_.cell();
+    bind.classPromote =
+        &classCycles_[static_cast<size_t>(CycleClass::Promote)];
+    bind.sp = &sp_;
+    bind.machine = this;
+    bind.inlineCalls = config_.jitCalls;
     tier_->bind(bind);
     registry_.add(&tier_->stats());
     runtime_->init(layouts);
@@ -524,6 +533,175 @@ Machine::callFunction(const Function *func,
         oracle_->unwindStack(saved_sp);
     return ret;
 }
+
+// ---------------------------------------------------------------------
+// JIT runtime entries: the emitted guest-call convention. These mirror
+// the superblock interpreter's Call/CallPtr handling (doCall in
+// superblock.cc) effect for effect — same counter order, same trap
+// order, same budget replay — with one host-side difference: arguments
+// marshal straight into the pooled callee frame instead of bouncing
+// through the depth-indexed ArgScratch, which removes a copy from
+// every one of the suite's ~16M guest calls. The oracle, tracer, and
+// profiler all force the general engine, so they are never attached
+// on this path.
+// ---------------------------------------------------------------------
+
+uint64_t
+Machine::jitGuestCall(const sb::Record &rec) noexcept
+{
+    // The emitted caller is always the innermost live activation.
+    const unsigned depth = curDepth_;
+    Frame &frame = *framePool_[depth];
+    try {
+        const Function *callee;
+        bool pass_bounds;
+        if (rec.op == sb::Op::Call) {
+            callee = rec.callee;
+            pass_bounds = (rec.flags & sb::kPassBounds) != 0;
+        } else {
+            uint64_t fid = (rec.flags & sb::kAReg) ? frame.regs[rec.a]
+                                                   : rec.immA;
+            if (fid >= module_.numFunctions())
+                throw GuestTrap(
+                    TrapKind::BadIndirectCall,
+                    strfmt("index %llu",
+                           static_cast<unsigned long long>(fid)));
+            callee = module_.function(static_cast<FuncId>(fid));
+            pass_bounds = (rec.flags & sb::kPassBounds) &&
+                          callee->isInstrumented();
+        }
+        tier_->noteInlineCall();
+
+        if (callee->isNative()) {
+            // Natives take the interpreter's exact path (ArgScratch +
+            // callFunction); they are host handlers, not guest code.
+            ArgScratch &scratch = argScratch(depth);
+            scratch.args.clear();
+            scratch.bounds.clear();
+            for (const Operand &arg : rec.orig->args) {
+                scratch.args.push_back(evalOperand(frame, arg));
+                scratch.bounds.push_back(
+                    pass_bounds ? operandBounds(frame, arg)
+                                : Bounds::cleared());
+            }
+            cCalls_++;
+            Bounds ret_b = Bounds::cleared();
+            uint64_t ret = callFunction(callee, scratch.args,
+                                        scratch.bounds, &ret_b,
+                                        depth + 1);
+            if (rec.dst != noReg) {
+                frame.regs[rec.dst] = ret;
+                frame.bounds[rec.dst] =
+                    pass_bounds ? ret_b : Bounds::cleared();
+            }
+        } else {
+            cCalls_++;
+            const unsigned cdepth = depth + 1;
+            if (cdepth > config_.maxCallDepth)
+                throw GuestTrap(TrapKind::StackOverflow, "call depth");
+            if (framePool_.size() <= cdepth)
+                framePool_.resize(cdepth + 1);
+            if (!framePool_[cdepth])
+                framePool_[cdepth] = std::make_unique<Frame>();
+            Frame &cf = *framePool_[cdepth];
+            cf.func = callee;
+            cf.depth = cdepth;
+            cf.regs.assign(callee->numRegs(), 0);
+            cf.bounds.assign(callee->numRegs(), Bounds::cleared());
+            const size_t nparams = callee->numParams();
+            size_t i = 0;
+            for (const Operand &arg : rec.orig->args) {
+                if (i >= nparams)
+                    break;
+                cf.regs[i] = evalOperand(frame, arg);
+                if (pass_bounds)
+                    cf.bounds[i] = operandBounds(frame, arg);
+                ++i;
+            }
+            GuestAddr saved_sp = sp_;
+            curDepth_ = cdepth;
+            Bounds ret_b = Bounds::cleared();
+            // execFunction runs the callee through the normal tiered
+            // machinery: its hot blocks promote (on first miss) and
+            // execute their own jitted code.
+            uint64_t ret = execFunction(callee, cf, &ret_b, cdepth);
+            curDepth_ = depth;
+            sp_ = saved_sp;
+            if (rec.dst != noReg) {
+                frame.regs[rec.dst] = ret;
+                frame.bounds[rec.dst] =
+                    pass_bounds ? ret_b : Bounds::cleared();
+            }
+        }
+    } catch (const GuestTrap &trap) {
+        // A C++ exception must not unwind through the emitted caller
+        // frame (no unwind tables). Park the trap and let the emitted
+        // code exit through its kExitTrapBit stub; the dispatch loop
+        // rethrows, and each enclosing jitted activation re-parks and
+        // rethrows in turn. curDepth_/sp_ stay frozen at the trap
+        // site, exactly like an interpreter throw, so the forensics
+        // stack walk sees the same frames.
+        pendingTrap_ = std::make_unique<GuestTrap>(trap);
+        tier_->noteCallTrapUnwind();
+        return jit::kCallTrapPending;
+    }
+    if (tier_->deoptUnwindPending()) {
+        // A deopt inside the callee: every live emitted frame must
+        // leave its (now stale) code. Replaying the rest of this
+        // activation on the general engine is exact and jit-free.
+        tier_->noteCallDeoptExit();
+        return jit::kCallResumeGeneral;
+    }
+    if (instrs_ + rec.rest > config_.maxInstructions) {
+        // Post-call budget replay, as the interpreter's Call case
+        // does it: the rest of the block could cross the instruction
+        // limit, so it must run on the general engine for an
+        // exact-instruction InstructionLimit trap.
+        tier_->noteCallBudgetExit();
+        return jit::kCallResumeGeneral;
+    }
+    return jit::kCallOk;
+}
+
+uint64_t
+Machine::jitPromote(uint64_t raw, Bounds *out)
+{
+    // Mirrors the interpreter's Promote case. The record's 1-cycle
+    // base charge is in the emitted prefix sums (Promote class); only
+    // the engine's extra cycles land here.
+    PromoteResult result = promote_->promote(TaggedPtr(raw));
+    *out = result.bounds;
+    uint64_t extra = result.cycles > 0 ? result.cycles - 1 : 0;
+    cycles_ += extra;
+    chargeClass(CycleClass::Promote, extra);
+    cPromoteInstrs_++;
+    return result.ptr.raw();
+}
+
+void
+Machine::rethrowPendingTrap()
+{
+    fatal_if(!pendingTrap_, "kExitTrapBit exit with no pending trap");
+    GuestTrap trap = *pendingTrap_;
+    pendingTrap_.reset();
+    throw trap;
+}
+
+namespace jit {
+
+uint64_t
+guestCallRuntime(Machine *m, const sb::Record *rec)
+{
+    return m->jitGuestCall(*rec);
+}
+
+uint64_t
+promoteRuntime(Machine *m, uint64_t raw, Bounds *out_bounds)
+{
+    return m->jitPromote(raw, out_bounds);
+}
+
+} // namespace jit
 
 const sb::FunctionCode &
 Machine::sbCode(const ir::Function *func)
@@ -1041,11 +1219,17 @@ Machine::execGeneral(const Function *func, Frame &frame,
             }
             cCalls_++;
             Bounds ret_b = Bounds::cleared();
-            if (prof)
+            uint64_t call_c0 = 0;
+            if (prof) {
                 pflush(cur);
+                prof->countCallSite(fid, cur, ip - 1);
+                call_c0 = cycles_;
+            }
             uint64_t ret = callFunction(callee, call_args, call_bounds,
                                         &ret_b, depth + 1);
             if (prof) {
+                prof->addCallSiteCycles(fid, cur, ip - 1,
+                                        cycles_ - call_c0);
                 // Discard the callee's delta from this block's self
                 // cost; the callee attributed it to its own blocks.
                 pb_cycles = cycles_;

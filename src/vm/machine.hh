@@ -108,6 +108,15 @@ struct VmConfig
     /** Block entries before a block is promoted to jitted code. */
     uint32_t jitThreshold = 16;
     /**
+     * Emitted guest-call convention: let jitted blocks execute
+     * Call/CallPtr/Ret/Alloca/Promote records through the
+     * jitGuestCall/jitPromote runtime entries instead of bailing to
+     * the interpreter at every call boundary. Bit-identical either
+     * way; exists as the ablation switch behind the bench harness's
+     * `jit-nocalls` engine.
+     */
+    bool jitCalls = true;
+    /**
      * Capture allocation records (base, size, kind, allocating
      * function/block) for trap forensics (vm/forensics.hh). Host-side
      * only — one map insert per allocation, no simulated cost — but
@@ -214,6 +223,26 @@ class Machine
     const VmConfig &config() const { return config_; }
     ir::Module &module() { return module_; }
 
+    // --- JIT runtime entries (vm/jit.cc emitted code only) ---
+
+    /**
+     * Execute one Call/CallPtr record on behalf of a jitted block:
+     * resolve the callee, marshal arguments straight into the pooled
+     * callee frame, run it through the normal tiered machinery (so hot
+     * callees execute their own jitted blocks), and write the return
+     * value back. Returns jit::kCallOk to continue in emitted code,
+     * jit::kCallTrapPending when a guest trap was parked in
+     * pendingTrap_ (a C++ exception must not unwind through an
+     * emitted frame), or jit::kCallResumeGeneral when the rest of the
+     * caller's activation must replay on the general engine (post-call
+     * budget pressure, or a deopt inside the callee draining every
+     * live emitted frame).
+     */
+    uint64_t jitGuestCall(const sb::Record &rec) noexcept;
+    /** Execute one Promote record's engine decision; returns the
+     *  (possibly rewritten) pointer, writes bounds through @p out. */
+    uint64_t jitPromote(uint64_t raw, Bounds *out);
+
     // --- Statistics ---
     uint64_t instructions() const { return instrs_; }
     uint64_t cycles() const { return cycles_; }
@@ -319,6 +348,16 @@ class Machine
     uint64_t execSuperblockImpl(const ir::Function *func, Frame &frame,
                                 Bounds *ret_bounds, unsigned depth,
                                 unsigned saved_bounds);
+
+    /**
+     * Rethrow the trap parked by jitGuestCall once control has exited
+     * every emitted frame between the trap site and the dispatch
+     * loop's kExitTrapBit decode. Each enclosing jitted activation
+     * re-parks and rethrows in turn, so the trap cascades out of the
+     * machine exactly as an interpreter throw would, with curDepth_
+     * and sp_ frozen at the trap site for stack symbolization.
+     */
+    [[noreturn]] void rethrowPendingTrap();
 
     uint64_t evalOperand(const Frame &frame, const ir::Operand &operand);
     const Bounds &operandBounds(const Frame &frame,
@@ -449,6 +488,9 @@ class Machine
     FaultContext lastFault_;
     /** Depth of the innermost live frame, for trap-time stack walks. */
     unsigned curDepth_ = 0;
+    /** Trap caught at a jitted call boundary, awaiting its rethrow
+     *  from the dispatch loop (see rethrowPendingTrap). */
+    std::unique_ptr<GuestTrap> pendingTrap_;
 
     uint64_t instrs_ = 0;
     uint64_t cycles_ = 0;

@@ -958,6 +958,13 @@ predecode(const Function &func, const PredecodeOptions &opts,
     // emitted code bakes slot addresses in, so the vector must never
     // reallocate (deopt clears it with fill, not assign).
     fc.jitEntries.assign(func.numBlocks(), nullptr);
+    // Return-path saved-bounds charge, mirroring the entry-path spill
+    // in Machine::execFunction so the JIT's emitted Ret replays it.
+    unsigned sbnd = (opts.instrumented && func.isInstrumented())
+                        ? func.savedBoundsRegs()
+                        : 0;
+    fc.savedBounds = sbnd;
+    fc.savedBoundsCycles = opts.superscalar ? (sbnd + 1) / 2 : sbnd;
     stats.functions++;
     return fc;
 }
@@ -1208,11 +1215,20 @@ Machine::execSuperblockImpl(const Function *func, Frame &frame,
         }
         cCalls_++;
         Bounds ret_b = Bounds::cleared();
-        if (prof)
+        uint64_t call_c0 = 0;
+        if (prof) {
             pflush(cur);
+            // Call-site id: the record's original Call/CallPtr
+            // instruction (fusion never folds calls, so nextIp - 1 is
+            // exactly the instruction the general engine sees too).
+            prof->countCallSite(pfid, cur, fi.nextIp - 1);
+            call_c0 = cycles_;
+        }
         uint64_t ret = callFunction(callee, call_args, call_bounds,
                                     &ret_b, depth + 1);
         if (prof) {
+            prof->addCallSiteCycles(pfid, cur, fi.nextIp - 1,
+                                    cycles_ - call_c0);
             // Discard the callee's delta from this block's self cost;
             // the callee attributed it to its own blocks.
             pb_cycles = cycles_;
@@ -1291,29 +1307,59 @@ Machine::execSuperblockImpl(const Function *func, Frame &frame,
             if (blk.jitId == sb::kJitNone &&
                 ++blk.hotCount >= config_.jitThreshold) {
                 int32_t id = tier_->compile(fc, cur);
-                blk.jitId = id >= 0 ? id : sb::kJitNever;
+                if (id >= 0)
+                    blk.jitId = id;
+                else if (id == TierController::kRetryLater)
+                    blk.hotCount = 0; // deferred deopt draining
+                else
+                    blk.jitId = sb::kJitNever;
             }
             if (blk.jitId >= 0) {
                 tier_->noteEnter();
-                jit::RunCtx ctx{regs.data(), bounds.data()};
+                jit::RunCtx ctx{regs.data(), bounds.data(),
+                                &frame.curBlock, 0, ret_bounds};
+                tier_->enterJitFrame();
                 uint64_t exit = tier_->unit(blk.jitId).fn(&ctx);
+                tier_->leaveJitFrame();
                 if (exit & jit::kExitBail) {
-                    // Resume interpretation at the bail record; the
-                    // jitted code applied none of its effects. Bits
-                    // 62:32 carry the bailing block's id — compiled
-                    // blocks chain into each other, so it is not
-                    // necessarily the block entered above.
-                    tier_->noteBail();
-                    cur = static_cast<BlockId>(exit >> 32) &
-                          0x7FFFFFFFu;
+                    // Bits 60:32 carry the exiting block's id —
+                    // compiled blocks chain into each other, so it is
+                    // not necessarily the block entered above.
+                    cur = static_cast<BlockId>(
+                        (exit >> 32) & jit::kExitBlockMask);
                     frame.curBlock = cur;
+                    if (exit & jit::kExitTrapBit) {
+                        // A trap inside a jitted callee, parked at
+                        // the call boundary; rethrow now that control
+                        // is out of the emitted frame.
+                        rethrowPendingTrap();
+                    }
+                    if (exit & jit::kExitGeneralBit) {
+                        // Post-call budget pressure or a deopt-unwind
+                        // inside the callee: replay the rest of this
+                        // activation on the general engine, resuming
+                        // just after the call record.
+                        uint32_t idx = static_cast<uint32_t>(exit);
+                        return execGeneral(
+                            func, frame, ret_bounds, depth, cur,
+                            fc.blocks[cur].records[idx].nextIp,
+                            saved_bounds);
+                    }
+                    // Plain bailout: resume interpretation at the
+                    // bail record; the jitted code applied none of
+                    // its effects.
+                    tier_->noteBail();
                     rec = fc.blocks[cur].records.data() +
                           static_cast<uint32_t>(exit);
                     goto dispatch;
-                } else {
-                    cur = static_cast<BlockId>(exit);
-                    goto block_done;
                 }
+                if (exit == jit::kExitRet) {
+                    // An emitted Ret completed the activation; the
+                    // return value and bounds are already in place.
+                    return ctx.retVal;
+                }
+                cur = static_cast<BlockId>(exit);
+                goto block_done;
             }
         }
         {
@@ -1959,10 +2005,17 @@ Machine::invalidateTieredCode(const char *reason)
 {
     if (tier_ == nullptr)
         return;
-    // Un-publish before freeing: once jitId drops back to kJitNone no
-    // dispatch loop can reach the stale unit, so releasing the arena
-    // afterwards is safe (jitted code never holds control while
-    // interpreter-context code runs).
+    // Un-publish before freeing: once jitId drops back to kJitNone
+    // and the chain entries are nulled, no dispatch loop, chained
+    // terminator, or jitted call site can reach the stale units — the
+    // emitted call convention bakes nothing cross-function (call
+    // sites enter callees through the live jitEntries/jitId state),
+    // so nulling these tables unlinks every call-site patch too. With
+    // emitted frames live on the host stack (a jitted callee
+    // triggered this deopt), TierController defers the actual free
+    // until the last frame unwinds through the general engine
+    // (jitGuestCall's deopt-unwind exit); until then compile()
+    // returns kRetryLater so no new code lands in the doomed arena.
     for (const std::unique_ptr<sb::FunctionCode> &fc : sbCode_) {
         if (!fc)
             continue;

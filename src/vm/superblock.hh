@@ -205,6 +205,15 @@ struct FunctionCode
      * (mutable for the same reason); cleared on deoptimization.
      */
     mutable std::vector<const void *> jitEntries;
+    /**
+     * The function's return-path saved-bounds reload charge (same
+     * formula Machine::execFunction uses for the entry-path spill):
+     * savedBounds bnd_ldst instructions costing savedBoundsCycles
+     * cycles. Precomputed here so the JIT's emitted Ret can replay the
+     * charge without consulting the Function at run time.
+     */
+    uint32_t savedBounds = 0;
+    uint32_t savedBoundsCycles = 0;
 };
 
 /** Predecode-time configuration (a snapshot of the VmConfig bits the

@@ -14,7 +14,12 @@ TierController::TierController()
       deopts_(stats_.counter("deopts")),
       thresholdStat_(stats_.counter("promotion_threshold")),
       threadedStat_(stats_.counter("threaded_dispatch")),
-      jitStat_(stats_.counter("jit_active"))
+      jitStat_(stats_.counter("jit_active")),
+      callsInlined_(stats_.counter("call_inlined")),
+      callRets_(stats_.counter("call_jit_rets")),
+      callTrapUnwinds_(stats_.counter("call_trap_unwinds")),
+      callBudgetExits_(stats_.counter("call_budget_exits")),
+      callDeoptExits_(stats_.counter("call_deopt_exits"))
 {
     stats_.formula("jit_bailout_rate", [this] {
         uint64_t runs = blocksRun_.value();
@@ -36,10 +41,17 @@ TierController::configure(bool threaded, bool jit_on,
 int32_t
 TierController::compile(const sb::FunctionCode &fc, uint32_t block_id)
 {
+    // While a deferred deopt is draining, the unit table still holds
+    // the stale code live emitted frames will return through; adding
+    // new units would hand out ids that the drain is about to clear.
+    if (pendingInvalidate_)
+        return kRetryLater;
     jit::BlockCtx ctx;
     ctx.blocks = fc.blocks.data();
     ctx.jitEntries = fc.jitEntries.data();
     ctx.blockId = block_id;
+    ctx.savedBounds = fc.savedBounds;
+    ctx.savedBoundsCycles = fc.savedBoundsCycles;
     jit::CompiledBlock unit;
     if (!jit::compileBlock(ctx, bind_, arena_, unit)) {
         compileFailures_++;
@@ -62,10 +74,26 @@ TierController::invalidateAll()
 {
     if (units_.empty())
         return;
+    deopts_++;
+    if (jitFramesLive_ > 0) {
+        // Emitted frames on the host stack will still execute stale
+        // code until they unwind; keep it mapped. The caller already
+        // un-published every unit id and chain entry, so no *new*
+        // execution can reach it, and jitGuestCall forces each live
+        // frame out through the general-engine unwind path.
+        pendingInvalidate_ = true;
+        return;
+    }
+    dropUnits();
+}
+
+void
+TierController::dropUnits()
+{
     units_.clear();
     arena_.releaseAll();
     codeBytes_.set(0);
-    deopts_++;
+    pendingInvalidate_ = false;
 }
 
 } // namespace infat

@@ -49,11 +49,18 @@ class TierController
     void configure(bool threaded, bool jit_on, uint32_t threshold);
 
     /**
+     * Returned by compile() while a deferred deopt is draining: the
+     * caller must not cache a never-retry verdict, just reset the
+     * block's counter and re-promote once the stale units are freed.
+     */
+    static constexpr int32_t kRetryLater = -2;
+
+    /**
      * Compile block @p block_id of @p fc after it crossed the
      * promotion threshold, publishing its chained entry point in
-     * fc.jitEntries on success. Returns a unit id >= 0, or a negative
-     * value when the block has no usable template prefix (callers
-     * cache it as "never retry").
+     * fc.jitEntries on success. Returns a unit id >= 0, kRetryLater
+     * while a deferred deopt is draining, or -1 when the block has no
+     * usable template prefix (callers cache it as "never retry").
      */
     int32_t compile(const sb::FunctionCode &fc, uint32_t block_id);
 
@@ -67,14 +74,44 @@ class TierController
     void noteEnter() { blocksRun_++; }
     /** jit_blocks cell, for chained entries to count themselves. */
     uint64_t *blocksRunCell() { return blocksRun_.cell(); }
+    /** call_jit_rets cell, for emitted Rets to count themselves. */
+    uint64_t *inlineRetsCell() { return callRets_.cell(); }
     /** One bailout back to the interpreter. */
     void noteBail() { bailouts_++; }
+
+    // Emitted-call accounting (Machine::jitGuestCall).
+    void noteInlineCall() { callsInlined_++; }
+    void noteCallTrapUnwind() { callTrapUnwinds_++; }
+    void noteCallBudgetExit() { callBudgetExits_++; }
+    void noteCallDeoptExit() { callDeoptExits_++; }
+
+    /**
+     * Emitted-frame tracking: the dispatch loop brackets every
+     * compiled-block invocation so a deopt arriving while emitted
+     * frames are live (a jitted callee invalidating layout tables
+     * below a jitted caller) can defer freeing the executable memory
+     * those frames will still return through. While the deferred
+     * deopt drains, jitGuestCall forces every live emitted frame to
+     * unwind to the general engine (deoptUnwindPending), and the last
+     * leaveJitFrame() frees the stale units.
+     */
+    void enterJitFrame() { jitFramesLive_++; }
+    void
+    leaveJitFrame()
+    {
+        if (--jitFramesLive_ == 0 && pendingInvalidate_)
+            dropUnits();
+    }
+    bool deoptUnwindPending() const { return pendingInvalidate_; }
 
     /**
      * Deoptimize: drop every compiled unit and its executable memory.
      * The caller must already have un-published every cached unit id
      * (Machine::invalidateTieredCode does), since block code freed
-     * here must never be re-entered.
+     * here must never be re-entered. With emitted frames live the
+     * drop is deferred (see enterJitFrame); the stale code stays
+     * mapped but unreachable for new entries, and every live frame is
+     * forced out through the deopt-unwind path.
      */
     void invalidateAll();
 
@@ -93,10 +130,21 @@ class TierController
     Counter &thresholdStat_;
     Counter &threadedStat_;
     Counter &jitStat_;
+    Counter &callsInlined_;
+    Counter &callRets_;
+    Counter &callTrapUnwinds_;
+    Counter &callBudgetExits_;
+    Counter &callDeoptExits_;
+
+    void dropUnits();
 
     ExecArena arena_;
     std::vector<jit::CompiledBlock> units_;
     jit::MachineBinding bind_;
+    /** Emitted-block invocations currently on the host stack. */
+    uint32_t jitFramesLive_ = 0;
+    /** A deopt arrived while emitted frames were live. */
+    bool pendingInvalidate_ = false;
 };
 
 } // namespace infat

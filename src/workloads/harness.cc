@@ -78,6 +78,7 @@ execute(const Workload &workload, ir::Module &module,
     vm_config.superblockCheckElim &= globalTuning.superblockCheckElim;
     vm_config.threadedDispatch &= globalTuning.threadedDispatch;
     vm_config.jit &= globalTuning.jit;
+    vm_config.jitCalls &= globalTuning.jitCalls;
     if (globalTuning.jitThreshold != 0)
         vm_config.jitThreshold = globalTuning.jitThreshold;
     if (obs && obs->forensics)
@@ -234,13 +235,14 @@ struct NamedEngine
 
 /** Order matters: ablation tables iterate slowest-to-fastest. */
 const NamedEngine namedEngines[] = {
-    // name               sb     fuse   elim   thread jit
+    // name               sb     fuse   elim   thread jit    thr calls
     {"general", {false, false, false, false, false, 0}},
     {"superblock-base", {true, false, false, false, false, 0}},
     {"superblock-nofuse", {true, false, true, false, false, 0}},
     {"superblock-noelim", {true, true, false, false, false, 0}},
     {"superblock", {true, true, true, false, false, 0}},
     {"threaded", {true, true, true, true, false, 0}},
+    {"jit-nocalls", {true, true, true, true, true, 0, false}},
     {"jit", {true, true, true, true, true, 0}},
 };
 

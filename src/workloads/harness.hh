@@ -229,6 +229,12 @@ struct EngineTuning
     bool jit = true;
     /** When nonzero, overrides VmConfig::jitThreshold for every run. */
     uint32_t jitThreshold = 0;
+    /**
+     * Emit Call/CallPtr/Ret templates in jitted code (VmConfig::
+     * jitCalls). Off = the jit-nocalls ablation engine: every guest
+     * call bails to the interpreter, as in PR 7.
+     */
+    bool jitCalls = true;
 };
 
 void setEngineTuning(const EngineTuning &tuning);
@@ -245,6 +251,7 @@ EngineTuning engineTuning();
  *   superblock-noelim superblocks + fusion, no check elimination
  *   superblock        full PR-4 superblock interpreter (switch dispatch)
  *   threaded          superblock + tier-1 direct-threaded dispatch
+ *   jit-nocalls       threaded + tier-2 JIT, guest calls bail (PR-7 shape)
  *   jit               threaded + tier-2 x86-64 template JIT (default)
  *
  * All of them produce bit-identical simulated results; the name only

@@ -21,6 +21,7 @@
 #include "mem/guest_memory.hh"
 #include "support/profile.hh"
 #include "support/trace.hh"
+#include "vm/forensics.hh"
 #include "vm/libc_model.hh"
 #include "vm/machine.hh"
 
@@ -43,6 +44,9 @@ struct EngineRun
                static_cast<size_t>(Machine::CycleClass::NumClasses)>
         classes{};
     StatSnapshot stats;
+    /** Forensics report attached to the trap (null when not trapped
+     *  or the machine did not build one). */
+    std::shared_ptr<const TrapReport> report;
 };
 
 struct EngineOptions
@@ -51,6 +55,7 @@ struct EngineOptions
     bool superblocks = true;
     bool fusion = true;
     bool checkElim = true;
+    AllocatorKind allocator = AllocatorKind::Wrapped;
     uint64_t maxInstructions = 20'000'000'000ULL;
     bool attachTracer = false;
     /** Attach a GuestProfiler (host-side only; engine stays active). */
@@ -76,6 +81,7 @@ runEngine(const BuildFn &build, const EngineOptions &opts)
     }
     VmConfig config;
     config.instrumented = opts.instrument;
+    config.allocator = opts.allocator;
     config.superblocks = opts.superblocks;
     config.superblockFusion = opts.fusion;
     config.superblockCheckElim = opts.checkElim;
@@ -103,6 +109,7 @@ runEngine(const BuildFn &build, const EngineOptions &opts)
         run.trapped = true;
         run.trapWhat = trap.what();
         run.trapKind = trap.kind();
+        run.report = trap.reportPtr();
     }
     run.instructions = machine.instructions();
     run.cycles = machine.cycles();
@@ -704,6 +711,240 @@ TEST(Tier, DeoptOnInvalidationRepromotes)
         // outer iteration re-promotes it.
         EXPECT_GE(tiered.scalar("vm.tier", "deopts"), 1u);
         EXPECT_GE(tiered.scalar("vm.tier", "jit_promotions"), 2u);
+    }
+}
+
+TEST(Tier, DeoptWithLiveJittedCallFrames)
+{
+    // Invalidate all tiered code while a jitted callee is multiple
+    // emitted frames deep (main -> mid -> leaf, every call made by an
+    // emitted Call template). The arena must stay mapped until the
+    // last live emitted frame exits; each frame is forced out through
+    // the resume-general path (call_deopt_exits), the rest of each
+    // activation replays on the general engine, the still-hot blocks
+    // re-promote afterwards, and every simulated observable matches
+    // the general interpreter exactly.
+    auto build = [](Module &m) {
+        declareLibc(m);
+        TypeContext &tc = m.types();
+        m.declareNative("tier_poke", {}, tc.voidTy());
+        {
+            // leaf(t): hot spin so its blocks promote, then the poke
+            // on the designated iteration — reached with the whole
+            // call chain still inside emitted code.
+            FunctionBuilder fb(m, "leaf", {tc.i64()}, tc.i64());
+            Value s = fb.var(tc.i64());
+            Value i = fb.var(tc.i64());
+            fb.assign(s, fb.iconst(0));
+            fb.assign(i, fb.iconst(0));
+            BlockId spin = fb.newBlock("spin");
+            BlockId check = fb.newBlock("check");
+            BlockId poke = fb.newBlock("poke");
+            BlockId out = fb.newBlock("out");
+            fb.jmp(spin);
+            fb.setBlock(spin);
+            fb.assign(s, fb.add(s, i));
+            fb.assign(i, fb.addImm(i, 1));
+            fb.br(fb.slt(i, fb.iconst(60)), spin, check);
+            fb.setBlock(check);
+            fb.br(fb.ne(fb.arg(0), fb.iconst(0)), poke, out);
+            fb.setBlock(poke);
+            fb.call("tier_poke", {});
+            fb.jmp(out);
+            fb.setBlock(out);
+            fb.ret(s);
+        }
+        {
+            FunctionBuilder fb(m, "mid", {tc.i64()}, tc.i64());
+            Value a = fb.call("leaf", {fb.arg(0)});
+            fb.ret(fb.addImm(a, 1));
+        }
+        FunctionBuilder fb(m, "main", {}, tc.i64());
+        Value acc = fb.var(tc.i64());
+        Value k = fb.var(tc.i64());
+        fb.assign(acc, fb.iconst(0));
+        fb.assign(k, fb.iconst(0));
+        BlockId loop = fb.newBlock("loop");
+        BlockId done = fb.newBlock("done");
+        fb.jmp(loop);
+        fb.setBlock(loop);
+        // t != 0 exactly once, on iteration 6 — long after threshold-2
+        // promotion of every block in the chain.
+        Value t = fb.eq(k, fb.iconst(6));
+        fb.assign(acc, fb.add(acc, fb.call("mid", {t})));
+        fb.assign(k, fb.addImm(k, 1));
+        fb.br(fb.slt(k, fb.iconst(10)), loop, done);
+        fb.setBlock(done);
+        fb.ret(acc);
+    };
+
+    auto runWith = [&](bool superblocks, bool jit_on,
+                       StatSnapshot *snap_out) {
+        Module m;
+        build(m);
+        InstrumentResult inst = instrumentModule(m);
+        verifyOrDie(m);
+        VmConfig config;
+        config.instrumented = true;
+        config.superblocks = superblocks;
+        config.jit = jit_on;
+        config.jitThreshold = 2;
+        Machine machine(m, &inst.layouts, config);
+        installLibc(machine);
+        machine.registerNative(
+            "tier_poke",
+            [](Machine &mm, const std::vector<uint64_t> &) {
+                mm.invalidateTieredCode("test invalidation");
+                return uint64_t{0};
+            });
+        EngineRun run;
+        run.checksum = machine.run();
+        run.instructions = machine.instructions();
+        run.cycles = machine.cycles();
+        machine.syncStats();
+        if (snap_out)
+            *snap_out = machine.statRegistry().snapshot();
+        return run;
+    };
+
+    StatSnapshot general_snap, tiered_snap;
+    EngineRun ref = runWith(false, false, &general_snap);
+    EngineRun got = runWith(true, true, &tiered_snap);
+    EXPECT_EQ(ref.checksum, got.checksum);
+    EXPECT_EQ(ref.instructions, got.instructions);
+    EXPECT_EQ(ref.cycles, got.cycles);
+    expectStatsEqual(general_snap, tiered_snap);
+    expectStatsEqual(tiered_snap, general_snap);
+    if (tiered_snap.scalar("vm.tier", "jit_active") == 1) {
+        // Calls really went through the emitted convention...
+        EXPECT_GT(tiered_snap.scalar("vm.tier", "call_inlined"), 0u);
+        EXPECT_GT(tiered_snap.scalar("vm.tier", "call_jit_rets"), 0u);
+        // ...the poke deopted with emitted frames live, and every
+        // live frame was forced out via the resume-general path
+        // (leaf's and mid's callers at minimum)...
+        EXPECT_GE(tiered_snap.scalar("vm.tier", "deopts"), 1u);
+        EXPECT_GE(tiered_snap.scalar("vm.tier", "call_deopt_exits"),
+                  2u);
+        // ...and the still-hot chain re-promoted afterwards.
+        EXPECT_GE(tiered_snap.scalar("vm.tier", "jit_promotions"),
+                  2u);
+    }
+}
+
+TEST(Tier, TemporalStaleTrapInsideJittedCallee)
+{
+    // A use-after-free whose stale promote + poisoned dereference
+    // fire inside a jitted callee two emitted call frames deep
+    // (main -> mid -> reader, all promoted by a warm phase while the
+    // pointer was still live). The trap must unwind through the
+    // emitted frames with the guest stack frozen mid-call, and the
+    // forensics report must be bit-identical to the general engine's:
+    // same symbolized stack, same allocation site, same free site,
+    // same generation lock/key delta.
+    auto build = [](Module &m) {
+        declareLibc(m);
+        TypeContext &tc = m.types();
+        GlobalId slot = m.addGlobal("slot", tc.ptr(tc.i64()));
+        {
+            // reader: hot spin (promotes the function), then promote
+            // + dereference of the pointer parked in the global.
+            FunctionBuilder fb(m, "reader", {}, tc.i64());
+            Value s = fb.var(tc.i64());
+            Value i = fb.var(tc.i64());
+            fb.assign(s, fb.iconst(0));
+            fb.assign(i, fb.iconst(0));
+            BlockId spin = fb.newBlock("spin");
+            BlockId deref = fb.newBlock("deref");
+            fb.jmp(spin);
+            fb.setBlock(spin);
+            fb.assign(s, fb.add(s, i));
+            fb.assign(i, fb.addImm(i, 1));
+            fb.br(fb.slt(i, fb.iconst(40)), spin, deref);
+            fb.setBlock(deref);
+            Value p = fb.load(fb.globalAddr(slot));
+            fb.ret(fb.add(s, fb.load(fb.elemPtr(p, int64_t{0}))));
+        }
+        {
+            FunctionBuilder fb(m, "mid", {}, tc.i64());
+            fb.ret(fb.addImm(fb.call("reader", {}), 1));
+        }
+        FunctionBuilder fb(m, "main", {}, tc.i64());
+        Value p = fb.mallocTyped(tc.i64(), fb.iconst(8));
+        fb.store(fb.iconst(7), fb.elemPtr(p, int64_t{0}));
+        fb.store(p, fb.globalAddr(slot));
+        Value acc = fb.var(tc.i64());
+        Value k = fb.var(tc.i64());
+        fb.assign(acc, fb.iconst(0));
+        fb.assign(k, fb.iconst(0));
+        BlockId warm = fb.newBlock("warm");
+        BlockId uaf = fb.newBlock("uaf");
+        fb.jmp(warm);
+        fb.setBlock(warm);
+        fb.assign(acc, fb.add(acc, fb.call("mid", {})));
+        fb.assign(k, fb.addImm(k, 1));
+        fb.br(fb.slt(k, fb.iconst(12)), warm, uaf);
+        fb.setBlock(uaf);
+        fb.freePtr(p);
+        // Recycle the slot so the stale key faces a bumped lock
+        // (the classic undetectable-before-versioning shape).
+        Value q = fb.mallocTyped(tc.i64(), fb.iconst(8));
+        fb.store(fb.iconst(9), fb.elemPtr(q, int64_t{0}));
+        fb.assign(acc, fb.add(acc, fb.call("mid", {})));
+        fb.ret(acc);
+    };
+
+    EngineOptions general;
+    general.instrument = true;
+    general.superblocks = false;
+    general.allocator = AllocatorKind::Subheap;
+    general.forensics = true;
+    EngineRun ref = runEngine(build, general);
+    ASSERT_TRUE(ref.trapped);
+    EXPECT_EQ(ref.trapKind, TrapKind::TemporalViolation)
+        << ref.trapWhat;
+
+    EngineOptions jit;
+    jit.instrument = true;
+    jit.allocator = AllocatorKind::Subheap;
+    jit.forensics = true;
+    jit.jitThreshold = 2;
+    EngineRun got = runEngine(build, jit);
+    ASSERT_TRUE(got.trapped);
+    EXPECT_EQ(ref.trapWhat, got.trapWhat);
+    EXPECT_EQ(ref.trapKind, got.trapKind);
+    EXPECT_EQ(ref.instructions, got.instructions);
+    EXPECT_EQ(ref.cycles, got.cycles);
+    expectStatsEqual(ref.stats, got.stats);
+    expectStatsEqual(got.stats, ref.stats);
+
+    // The forensics reports must match field for field — the JSON
+    // rendering covers every one of them (stack, pointer decode,
+    // metadata decode, nearest object, temporal lock/key).
+    ASSERT_NE(ref.report, nullptr);
+    ASSERT_NE(got.report, nullptr);
+    EXPECT_EQ(ref.report->json(), got.report->json());
+
+    // Spot-check the fields the report contract names, on both.
+    for (const auto *report : {ref.report.get(), got.report.get()}) {
+        ASSERT_GE(report->stack.size(), 3u);
+        EXPECT_EQ(report->stack.front().function, "main");
+        EXPECT_EQ(report->stack.back().function, "reader");
+        EXPECT_TRUE(report->temporalKnown);
+        EXPECT_GE(report->generationDelta, 1u);
+        EXPECT_NE(report->ptrGeneration, report->lockGeneration);
+        EXPECT_TRUE(report->freeSiteKnown);
+        EXPECT_EQ(report->freeFunction, "main");
+        // Allocation site of the freed object.
+        ASSERT_TRUE(report->object.present);
+        ASSERT_TRUE(report->object.siteKnown);
+        EXPECT_EQ(report->object.siteFunction, "main");
+    }
+
+    if (got.stats.scalar("vm.tier", "jit_active") == 1) {
+        // The trap really crossed emitted call frames.
+        EXPECT_GT(got.stats.scalar("vm.tier", "call_inlined"), 0u);
+        EXPECT_GE(got.stats.scalar("vm.tier", "call_trap_unwinds"),
+                  1u);
     }
 }
 

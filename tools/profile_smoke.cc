@@ -12,8 +12,9 @@
  *  - the top-site/block cycle totals reconcile with the machine's
  *    simulated counters: summed block self-cycles never exceed
  *    vm.cycles, summed check-site executions equal
- *    vm.implicit_checks exactly, and summed per-function bounds
- *    spill/reload cycles equal vm.cycles_bnd_ldst exactly.
+ *    vm.implicit_checks exactly, summed per-function bounds
+ *    spill/reload cycles equal vm.cycles_bnd_ldst exactly, and
+ *    summed call-site calls equal vm.calls exactly.
  *
  * Exits non-zero with a message per violation.
  */
@@ -89,7 +90,8 @@ main()
         return 1;
 
     for (const char *key :
-         {"functions", "hot_blocks", "check_sites", "totals"})
+         {"functions", "hot_blocks", "check_sites", "call_sites",
+          "totals"})
         check(profile->find(key) != nullptr,
               (std::string("profile has ") + key).c_str());
     const JsonValue *totals = profile->find("totals");
@@ -99,6 +101,7 @@ main()
     uint64_t vm_cycles = scalarOf(*doc, "vm", "cycles");
     uint64_t vm_checks = scalarOf(*doc, "vm", "implicit_checks");
     uint64_t vm_bnd = scalarOf(*doc, "vm", "cycles_bnd_ldst");
+    uint64_t vm_calls = scalarOf(*doc, "vm", "calls");
 
     // Per-site/block attribution reconciles with the simulated
     // counters (docs/OBSERVABILITY.md lists these invariants).
@@ -110,6 +113,12 @@ main()
           "summed check-site executions == vm.implicit_checks");
     check(totals->find("bnd_ldst_cycles")->asUint() == vm_bnd,
           "summed bnd spill/reload cycles == vm.cycles_bnd_ldst");
+    check(totals->find("call_site_calls")->asUint() == vm_calls,
+          "summed call-site calls == vm.calls");
+    // No <= vm.cycles bound on call-site cycles: they are inclusive
+    // callee time, so nested callees count at every enclosing site.
+    check(totals->find("call_site_cycles")->asUint() > 0,
+          "call-site cycle attribution is non-empty");
 
     // The ranked lists are cycle-sorted and within the totals.
     const JsonValue *blocks = profile->find("hot_blocks");
@@ -138,6 +147,14 @@ main()
     check(top_site_cycles <=
               totals->find("check_cycles")->asUint(),
           "top-site cycles sum <= total check cycles");
+
+    const JsonValue *calls = profile->find("call_sites");
+    uint64_t top_call_calls = 0;
+    for (const JsonValue &s : calls->arr)
+        top_call_calls += s.find("calls")->asUint();
+    check(!calls->arr.empty(), "call_sites is non-empty");
+    check(top_call_calls <= vm_calls,
+          "top-call-site calls sum <= vm.calls");
 
     check(profiler.samples() > 0, "sampling collected stacks");
 

@@ -152,6 +152,8 @@ main(int argc, char **argv)
     uint64_t jit_promotions = 0;
     uint64_t jit_blocks = 0;
     uint64_t jit_bailouts = 0;
+    uint64_t jit_calls_inlined = 0;
+    uint64_t jit_call_rets = 0;
     for (const Workload &workload : all()) {
         for (Config config : configs) {
             EngineTuning general;
@@ -197,6 +199,10 @@ main(int argc, char **argv)
                         got.stats.scalar("vm.tier", "jit_blocks");
                     jit_bailouts +=
                         got.stats.scalar("vm.tier", "jit_bailouts");
+                    jit_calls_inlined += got.stats.scalar(
+                        "vm.tier", "call_inlined");
+                    jit_call_rets += got.stats.scalar(
+                        "vm.tier", "call_jit_rets");
                 }
                 ++runs;
             }
@@ -217,6 +223,21 @@ main(int argc, char **argv)
                          (unsigned long long)jit_promotions,
                          (unsigned long long)jit_blocks);
         }
+        // The suite is call-heavy (recursive treeadd, bisort, ...):
+        // with the emitted guest calling convention live, jitted call
+        // sites and emitted returns must both have fired. A zero here
+        // means every call still bails to the interpreter — the
+        // inlining regressed even though results stayed identical.
+        if (jit_calls_inlined == 0 || jit_call_rets == 0) {
+            ++failures;
+            std::fprintf(stderr,
+                         "MISMATCH: template JIT is available but "
+                         "inlined %llu guest call(s) and emitted %llu "
+                         "jit return(s) — the call convention was "
+                         "never exercised\n",
+                         (unsigned long long)jit_calls_inlined,
+                         (unsigned long long)jit_call_rets);
+        }
     } else {
         std::fprintf(stderr,
                      "note: template JIT unavailable on this host "
@@ -232,9 +253,12 @@ main(int argc, char **argv)
     }
     std::printf("tier_diff: %d runs bit-identical (all workloads x "
                 "{baseline, subheap} x {superblock, threaded, jit}); "
-                "jit promoted %llu block(s), ran %llu, bailed %llu\n",
+                "jit promoted %llu block(s), ran %llu, bailed %llu, "
+                "inlined %llu call(s), emitted %llu ret(s)\n",
                 runs, (unsigned long long)jit_promotions,
                 (unsigned long long)jit_blocks,
-                (unsigned long long)jit_bailouts);
+                (unsigned long long)jit_bailouts,
+                (unsigned long long)jit_calls_inlined,
+                (unsigned long long)jit_call_rets);
     return 0;
 }
